@@ -1,0 +1,78 @@
+//! Ablation A5: branch-predictor sweep — the §3.1.5 claim checked
+//! directly. If the clone carries the original's control-flow
+//! predictability (not just its taken rate), its misprediction rate must
+//! track the original's across predictor designs of very different
+//! strengths, exactly as the cache sweep tracks misses.
+
+use perfclone::{pearson, Table};
+use perfclone_bench::{mean, prepare_all};
+use perfclone_isa::Program;
+use perfclone_sim::Simulator;
+use perfclone_uarch::{BranchPredictor, PredictorKind};
+
+/// The predictor population swept, weakest to strongest.
+fn predictors() -> Vec<PredictorKind> {
+    vec![
+        PredictorKind::NotTaken,
+        PredictorKind::Taken,
+        PredictorKind::Bimodal { table_bits: 6 },
+        PredictorKind::Bimodal { table_bits: 9 },
+        PredictorKind::Bimodal { table_bits: 12 },
+        PredictorKind::Gshare { history_bits: 8 },
+        PredictorKind::Gshare { history_bits: 12 },
+        PredictorKind::TwoLevelGAp { history_bits: 6, addr_bits: 4 },
+        PredictorKind::TwoLevelGAp { history_bits: 8, addr_bits: 4 },
+        PredictorKind::TwoLevelGAp { history_bits: 10, addr_bits: 6 },
+    ]
+}
+
+/// Misprediction rate of one program under one predictor (functional
+/// replay; the predictor sweep needs no pipeline).
+fn mispredict_rate(program: &Program, kind: PredictorKind) -> f64 {
+    let mut bp = BranchPredictor::new(kind);
+    for d in Simulator::trace(program, u64::MAX) {
+        if d.instr.is_cond_branch() {
+            bp.predict_and_update(d.pc, d.taken);
+        }
+    }
+    bp.stats().mispredict_rate()
+}
+
+fn main() {
+    let kinds = predictors();
+    let mut table = Table::new(vec![
+        "benchmark".into(),
+        "pearson r".into(),
+        "mean |delta| mispredict".into(),
+    ]);
+    let mut rs = Vec::new();
+    let mut deltas = Vec::new();
+    for bench in prepare_all() {
+        let real: Vec<f64> =
+            kinds.iter().map(|k| mispredict_rate(&bench.program, *k)).collect();
+        let synth: Vec<f64> =
+            kinds.iter().map(|k| mispredict_rate(&bench.clone, *k)).collect();
+        let r = pearson(&real, &synth);
+        let d = real
+            .iter()
+            .zip(&synth)
+            .map(|(a, b)| (a - b).abs())
+            .sum::<f64>()
+            / real.len() as f64;
+        rs.push(r);
+        deltas.push(d);
+        table.row(vec![
+            bench.kernel.name().into(),
+            format!("{r:.3}"),
+            format!("{d:.4}"),
+        ]);
+    }
+    table.row(vec![
+        "average".into(),
+        format!("{:.3}", mean(&rs)),
+        format!("{:.4}", mean(&deltas)),
+    ]);
+    println!("\nAblation A5 — misprediction tracking across 10 branch predictor designs\n");
+    println!("{}", table.render());
+    println!("(the clone must track the original across predictors, §3.1.5)");
+}

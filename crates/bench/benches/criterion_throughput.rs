@@ -1,0 +1,50 @@
+//! Criterion throughput benchmarks of the simulation stack itself:
+//! functional simulation, profiling, synthesis, cache replay, and the
+//! timing pipeline — the engineering numbers behind the experiment
+//! runtimes.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use perfclone::{base_config, profile_program, synthesize, Pipeline, SynthesisParams};
+use perfclone_kernels::{by_name, Scale};
+use perfclone_sim::Simulator;
+use perfclone_uarch::{simulate_dcache, Assoc, CacheConfig};
+
+fn bench_stack(c: &mut Criterion) {
+    let kb = by_name("crc32").expect("kernel exists").build(Scale::Tiny);
+    let program = kb.program;
+    let dynamic = {
+        let mut sim = Simulator::new(&program);
+        sim.run(u64::MAX).expect("kernel runs").retired
+    };
+    let profile = profile_program(&program, u64::MAX);
+    let params = SynthesisParams { target_dynamic: 100_000, ..SynthesisParams::default() };
+
+    let mut group = c.benchmark_group("stack");
+    group.throughput(Throughput::Elements(dynamic));
+    group.bench_function("functional_sim", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(&program);
+            sim.run(u64::MAX).expect("runs")
+        })
+    });
+    group.bench_function("profiler", |b| {
+        b.iter(|| profile_program(&program, u64::MAX))
+    });
+    group.bench_function("dcache_replay", |b| {
+        let cfg = CacheConfig::new(16 * 1024, Assoc::Ways(2), 32);
+        b.iter(|| simulate_dcache(&program, cfg, u64::MAX))
+    });
+    group.bench_function("pipeline", |b| {
+        b.iter(|| Pipeline::new(base_config()).run(Simulator::trace(&program, u64::MAX)))
+    });
+    group.finish();
+
+    c.bench_function("synthesize", |b| b.iter(|| synthesize(&profile, &params)));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_stack
+}
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Extension E1: L2-cache sweep. The paper sweeps the L1 D-cache
+//! (Figures 4/5); the same relative-accuracy question applies one level
+//! down. With the Table-2 L1 fixed, we sweep unified-L2 capacities
+//! 32 KB–512 KB × {2, 4, 8}-way and correlate real-vs-clone L2 misses per
+//! instruction.
+
+use perfclone::{pearson, Table};
+use perfclone_bench::{mean, prepare_all};
+use perfclone_uarch::{base_config, simulate_hierarchy, Assoc, CacheConfig};
+
+fn l2_sweep() -> Vec<CacheConfig> {
+    let mut out = Vec::new();
+    let mut size = 32 * 1024u64;
+    while size <= 512 * 1024 {
+        for ways in [2u32, 4, 8] {
+            out.push(CacheConfig::new(size, Assoc::Ways(ways), 64));
+        }
+        size *= 2;
+    }
+    out
+}
+
+fn main() {
+    let l1 = base_config().l1d;
+    let configs = l2_sweep();
+    let mut table = Table::new(vec![
+        "benchmark".into(),
+        "pearson r".into(),
+        "sweep MAE".into(),
+    ]);
+    let mut rs = Vec::new();
+    for bench in prepare_all() {
+        let real: Vec<f64> = configs
+            .iter()
+            .map(|c| simulate_hierarchy(&bench.program, l1, *c, u64::MAX).l2_mpi())
+            .collect();
+        let synth: Vec<f64> = configs
+            .iter()
+            .map(|c| simulate_hierarchy(&bench.clone, l1, *c, u64::MAX).l2_mpi())
+            .collect();
+        let (lo, hi) =
+            real.iter().fold((f64::INFINITY, 0.0f64), |(l, h), &v| (l.min(v), h.max(v)));
+        let flat = hi <= 1e-9 || (hi - lo) / hi < 0.15;
+        let mae: f64 =
+            real.iter().zip(&synth).map(|(r, s)| (r - s).abs()).sum::<f64>() / real.len() as f64;
+        let r_text = if flat {
+            "flat".into()
+        } else {
+            let r = pearson(&real, &synth);
+            rs.push(r);
+            format!("{r:.3}")
+        };
+        table.row(vec![bench.kernel.name().into(), r_text, format!("{mae:.5}")]);
+    }
+    table.row(vec!["average (non-flat)".into(), format!("{:.3}", mean(&rs)), "-".into()]);
+    println!("\nExtension E1 — L2 sweep ({} configurations, L1 fixed at Table 2)\n", configs.len());
+    println!("{}", table.render());
+}

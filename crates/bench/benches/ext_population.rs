@@ -1,0 +1,59 @@
+//! Extension E3: out-of-population check. The synthesis models were
+//! calibrated against the paper's 23-kernel population; this bench clones
+//! the five *extended* kernels (sobel, viterbi, huffman, typeset,
+//! tiff_median — algorithm shapes the main set under-represents) and
+//! reports the Figure-6-style IPC/power errors. Comparable errors mean
+//! the models generalize rather than overfit.
+
+use perfclone::{base_config, run_timing, Cloner, SynthesisParams, Table};
+use perfclone_bench::{mean, scale_from_env};
+use perfclone_kernels::{catalog, catalog_extended};
+
+fn main() {
+    let base = base_config();
+    let extended: Vec<_> = catalog_extended().iter().skip(catalog().len()).collect();
+    let mut table = Table::new(vec![
+        "kernel".into(),
+        "IPC (real)".into(),
+        "IPC (clone)".into(),
+        "IPC err".into(),
+        "power err".into(),
+    ]);
+    let mut ipc_errs = Vec::new();
+    let mut pow_errs = Vec::new();
+    for kernel in extended {
+        eprintln!("  cloning {} ...", kernel.name());
+        let program = kernel.build(scale_from_env()).program;
+        let profile = perfclone::profile_program(&program, u64::MAX);
+        let params = SynthesisParams {
+            target_dynamic: profile.total_instrs.clamp(100_000, 2_500_000),
+            ..SynthesisParams::default()
+        };
+        let clone = Cloner::with_params(params).clone_program_from(&profile);
+        let real = run_timing(&program, &base, u64::MAX);
+        let synth = run_timing(&clone, &base, u64::MAX);
+        let ie = ((synth.report.ipc() - real.report.ipc()) / real.report.ipc()).abs();
+        let pe = ((synth.power.average_power - real.power.average_power)
+            / real.power.average_power)
+            .abs();
+        ipc_errs.push(ie);
+        pow_errs.push(pe);
+        table.row(vec![
+            kernel.name().into(),
+            format!("{:.3}", real.report.ipc()),
+            format!("{:.3}", synth.report.ipc()),
+            format!("{:.1}%", 100.0 * ie),
+            format!("{:.1}%", 100.0 * pe),
+        ]);
+    }
+    table.row(vec![
+        "average".into(),
+        "-".into(),
+        "-".into(),
+        format!("{:.2}%", 100.0 * mean(&ipc_errs)),
+        format!("{:.2}%", 100.0 * mean(&pow_errs)),
+    ]);
+    println!("\nExtension E3 — clone quality on the out-of-population kernels\n");
+    println!("{}", table.render());
+    println!("(models were never tuned against these five; errors comparable to Fig. 6\n means the microarchitecture-independent models generalize)");
+}

@@ -1,0 +1,61 @@
+//! Extension E2: instruction-window sweep. Table 3's design change 1
+//! doubles the ROB once; here we sweep ROB sizes 8–128 (LSQ scaled at
+//! half) and check the clone tracks the IPC-vs-window curve — the ILP
+//! profile the dependency-distance model is supposed to carry.
+
+use perfclone::{pearson, run_timing, Table};
+use perfclone_bench::{mean, prepare_all};
+use perfclone_uarch::{base_config, MachineConfig};
+
+fn window_configs() -> Vec<MachineConfig> {
+    [8u32, 16, 32, 64, 128]
+        .iter()
+        .map(|&rob| MachineConfig {
+            name: "window-sweep",
+            rob_size: rob,
+            lsq_size: (rob / 2).max(4),
+            ..base_config()
+        })
+        .collect()
+}
+
+fn main() {
+    let configs = window_configs();
+    let mut table = Table::new(vec![
+        "benchmark".into(),
+        "pearson r".into(),
+        "max IPC err".into(),
+    ]);
+    let mut rs = Vec::new();
+    let mut worst = Vec::new();
+    for bench in prepare_all() {
+        let real: Vec<f64> = configs
+            .iter()
+            .map(|c| run_timing(&bench.program, c, u64::MAX).report.ipc())
+            .collect();
+        let synth: Vec<f64> = configs
+            .iter()
+            .map(|c| run_timing(&bench.clone, c, u64::MAX).report.ipc())
+            .collect();
+        let r = pearson(&real, &synth);
+        let w = real
+            .iter()
+            .zip(&synth)
+            .map(|(a, b)| ((a - b) / a).abs())
+            .fold(0.0f64, f64::max);
+        rs.push(r);
+        worst.push(w);
+        table.row(vec![
+            bench.kernel.name().into(),
+            format!("{r:.3}"),
+            format!("{:.1}%", 100.0 * w),
+        ]);
+    }
+    table.row(vec![
+        "average".into(),
+        format!("{:.3}", mean(&rs)),
+        format!("{:.1}%", 100.0 * mean(&worst)),
+    ]);
+    println!("\nExtension E2 — IPC tracking across ROB sizes 8-128\n");
+    println!("{}", table.render());
+}

@@ -1,0 +1,47 @@
+//! Figure 3: percentage of dynamic memory references that exhibit a stride
+//! pattern with a single stride value, per benchmark — the validation of
+//! the paper's per-static-op stride model (§3.1.4). Also prints the
+//! Table-1 population (name + domain) and each program's unique-stream
+//! count (the paper quotes 66 for its worst case vs an 18 average).
+
+use perfclone::Table;
+use perfclone_bench::{kernels_from_env, mean, scale_from_env};
+use perfclone_profile::profile_program;
+
+fn main() {
+    let scale = scale_from_env();
+    let mut table = Table::new(vec![
+        "benchmark".into(),
+        "domain".into(),
+        "single-stride refs".into(),
+        "unique streams".into(),
+    ]);
+    let mut coverages = Vec::new();
+    let mut streams = Vec::new();
+    for kernel in kernels_from_env() {
+        let program = kernel.build(scale).program;
+        let profile = profile_program(&program, u64::MAX);
+        let cov = profile.stride_coverage();
+        coverages.push(cov);
+        streams.push(profile.unique_streams() as f64);
+        table.row(vec![
+            kernel.name().into(),
+            kernel.domain().to_string(),
+            format!("{:.1}%", 100.0 * cov),
+            profile.unique_streams().to_string(),
+        ]);
+    }
+    table.row(vec![
+        "average".into(),
+        "-".into(),
+        format!("{:.1}%", 100.0 * mean(&coverages)),
+        format!("{:.1}", mean(&streams)),
+    ]);
+    println!("\nFigure 3 — dynamic memory references covered by a single stride per static op\n");
+    println!("{}", table.render());
+    println!(
+        "(paper: >=90% for most MiBench/MediaBench programs; our population contains\n\
+         more data-dependent table lookups, so irregular ops fall back to the\n\
+         footprint walker during synthesis — see DESIGN.md)"
+    );
+}

@@ -1,0 +1,64 @@
+//! Figure 4: Pearson correlation coefficient between real benchmark and
+//! synthetic clone misses-per-instruction across the 28 L1 D-cache
+//! configurations (256 B–16 KB × {DM, 2-way, 4-way, FA}, 32 B lines, LRU).
+//! The paper reports an average of 0.93 with a 0.80 worst case.
+
+use perfclone::experiments::cache_sweep_pair;
+use perfclone::{cache_sweep, Table};
+use perfclone_bench::{mean, prepare_all};
+
+fn main() {
+    let configs = cache_sweep();
+    let mut table = Table::new(vec![
+        "benchmark".into(),
+        "pearson r".into(),
+        "sweep MAE".into(),
+        "unique streams".into(),
+    ]);
+    let mut rs = Vec::new();
+    let mut maes = Vec::new();
+    for bench in prepare_all() {
+        let sweep = cache_sweep_pair(&bench.program, &bench.clone, &configs, u64::MAX);
+        // A benchmark whose real MPI barely varies over the sweep (pure
+        // streaming working sets) makes Pearson numerically meaningless;
+        // mark those rows "flat" and judge them by the mean absolute MPI
+        // error instead. The paper's population was chosen to be cache-
+        // sensitive over this sweep, so every one of its points is the
+        // correlated kind.
+        let (lo, hi) = sweep
+            .real_mpi
+            .iter()
+            .fold((f64::INFINITY, 0.0f64), |(l, h), &v| (l.min(v), h.max(v)));
+        let flat = hi <= 1e-9 || (hi - lo) / hi < 0.15;
+        let mae: f64 = sweep
+            .real_mpi
+            .iter()
+            .zip(&sweep.synth_mpi)
+            .map(|(r, s)| (r - s).abs())
+            .sum::<f64>()
+            / sweep.real_mpi.len() as f64;
+        maes.push(mae);
+        let r_text = if flat {
+            "flat".to_string()
+        } else {
+            let r = sweep.correlation();
+            rs.push(r);
+            format!("{r:.3}")
+        };
+        table.row(vec![
+            bench.kernel.name().into(),
+            r_text,
+            format!("{mae:.5}"),
+            bench.profile.unique_streams().to_string(),
+        ]);
+    }
+    table.row(vec![
+        "average (non-flat)".into(),
+        format!("{:.3}", mean(&rs)),
+        format!("{:.5}", mean(&maes)),
+        "-".into(),
+    ]);
+    println!("\nFigure 4 — Pearson correlation of real vs clone MPI over 28 cache configs\n");
+    println!("{}", table.render());
+    println!("(paper: average 0.93, minimum 0.80 on its worst benchmark)");
+}

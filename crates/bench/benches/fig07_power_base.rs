@@ -1,0 +1,40 @@
+//! Figure 7: total power consumption of the original benchmark and of the
+//! synthetic clone on the Table-2 base configuration (Wattch-style model,
+//! arbitrary units). The paper reports an average absolute power error of
+//! 6.44 %.
+
+use perfclone::{base_config, run_timing, Table};
+use perfclone_bench::{mean, prepare_all};
+
+fn main() {
+    let config = base_config();
+    let mut table = Table::new(vec![
+        "benchmark".into(),
+        "power (real)".into(),
+        "power (clone)".into(),
+        "abs error".into(),
+    ]);
+    let mut errors = Vec::new();
+    for bench in prepare_all() {
+        let real = run_timing(&bench.program, &config, u64::MAX);
+        let synth = run_timing(&bench.clone, &config, u64::MAX);
+        let (rp, sp) = (real.power.average_power, synth.power.average_power);
+        let err = ((sp - rp) / rp).abs();
+        errors.push(err);
+        table.row(vec![
+            bench.kernel.name().into(),
+            format!("{rp:.2}"),
+            format!("{sp:.2}"),
+            format!("{:.1}%", 100.0 * err),
+        ]);
+    }
+    table.row(vec![
+        "average".into(),
+        "-".into(),
+        "-".into(),
+        format!("{:.2}%", 100.0 * mean(&errors)),
+    ]);
+    println!("\nFigure 7 — power on the base configuration, real vs synthetic clone\n");
+    println!("{}", table.render());
+    println!("(paper: average absolute power error 6.44%)");
+}

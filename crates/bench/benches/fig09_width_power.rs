@@ -1,0 +1,41 @@
+//! Figure 9: fraction by which power consumption increases for every
+//! benchmark and its clone in response to doubling the fetch, decode, and
+//! issue width.
+
+use perfclone::{base_config, run_timing, Table};
+use perfclone_bench::{mean, prepare_all};
+use perfclone_uarch::config::change_double_width;
+
+fn main() {
+    let base = base_config();
+    let wide = change_double_width();
+    let mut table = Table::new(vec![
+        "benchmark".into(),
+        "power increase (real)".into(),
+        "power increase (clone)".into(),
+    ]);
+    let mut real_inc = Vec::new();
+    let mut synth_inc = Vec::new();
+    for bench in prepare_all() {
+        let rb = run_timing(&bench.program, &base, u64::MAX).power.average_power;
+        let rw = run_timing(&bench.program, &wide, u64::MAX).power.average_power;
+        let sb = run_timing(&bench.clone, &base, u64::MAX).power.average_power;
+        let sw = run_timing(&bench.clone, &wide, u64::MAX).power.average_power;
+        let (ri, si) = (rw / rb - 1.0, sw / sb - 1.0);
+        real_inc.push(ri);
+        synth_inc.push(si);
+        table.row(vec![
+            bench.kernel.name().into(),
+            format!("{:.1}%", 100.0 * ri),
+            format!("{:.1}%", 100.0 * si),
+        ]);
+    }
+    table.row(vec![
+        "average".into(),
+        format!("{:.1}%", 100.0 * mean(&real_inc)),
+        format!("{:.1}%", 100.0 * mean(&synth_inc)),
+    ]);
+    println!("\nFigure 9 — power increase from doubling fetch/decode/issue width\n");
+    println!("{}", table.render());
+    println!("(paper: clones track the per-benchmark power increase closely)");
+}

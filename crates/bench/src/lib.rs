@@ -1,0 +1,117 @@
+//! # perfclone-bench
+//!
+//! Shared machinery for the bench targets that regenerate every table and
+//! figure of the paper's evaluation (§5). Each `benches/*.rs` binary is a
+//! plain `harness = false` main that builds the benchmark population,
+//! clones it, runs the experiment, and prints the same rows/series the
+//! paper reports.
+//!
+//! Environment knobs:
+//!
+//! * `PERFCLONE_SCALE` — `tiny` (fast smoke runs) or `small` (default; the
+//!   paper-scale inputs, ~0.5-2 M dynamic instructions per kernel),
+//! * `PERFCLONE_KERNELS` — comma-separated kernel names to restrict the
+//!   population (default: all 23).
+
+use perfclone::{Cloner, SynthesisParams, WorkloadProfile};
+use perfclone_isa::Program;
+use perfclone_kernels::{catalog, Kernel, Scale};
+
+/// One prepared benchmark: the original program, its profile, and its
+/// synthesized clone.
+pub struct PreparedBench {
+    /// The kernel descriptor.
+    pub kernel: &'static Kernel,
+    /// The original ("proprietary") program.
+    pub program: Program,
+    /// The microarchitecture-independent profile.
+    pub profile: WorkloadProfile,
+    /// The synthetic benchmark clone.
+    pub clone: Program,
+}
+
+/// Reads the input scale from `PERFCLONE_SCALE` (default: small).
+pub fn scale_from_env() -> Scale {
+    match std::env::var("PERFCLONE_SCALE").as_deref() {
+        Ok("tiny") | Ok("Tiny") | Ok("TINY") => Scale::Tiny,
+        _ => Scale::Small,
+    }
+}
+
+/// The kernel population, optionally restricted via `PERFCLONE_KERNELS`.
+pub fn kernels_from_env() -> Vec<&'static Kernel> {
+    match std::env::var("PERFCLONE_KERNELS") {
+        Ok(list) if !list.trim().is_empty() => {
+            let wanted: Vec<&str> = list.split(',').map(str::trim).collect();
+            catalog().iter().filter(|k| wanted.contains(&k.name())).collect()
+        }
+        _ => catalog().iter().collect(),
+    }
+}
+
+/// Synthesis parameters used by the experiments: clone dynamic length
+/// matched to the original's.
+pub fn experiment_params(profile_len: u64) -> SynthesisParams {
+    SynthesisParams {
+        target_dynamic: profile_len.clamp(100_000, 2_500_000),
+        ..SynthesisParams::default()
+    }
+}
+
+/// Builds, profiles, and clones one kernel.
+pub fn prepare(kernel: &'static Kernel, scale: Scale, params_of: &dyn Fn(u64) -> SynthesisParams)
+    -> PreparedBench
+{
+    let program = kernel.build(scale).program;
+    let profile = perfclone::profile_program(&program, u64::MAX);
+    let params = params_of(profile.total_instrs);
+    let clone = Cloner::with_params(params).clone_program_from(&profile);
+    PreparedBench { kernel, program, profile, clone }
+}
+
+/// Builds the whole population with the default experiment parameters,
+/// printing progress to stderr.
+pub fn prepare_all() -> Vec<PreparedBench> {
+    let scale = scale_from_env();
+    kernels_from_env()
+        .into_iter()
+        .map(|k| {
+            eprintln!("  preparing {} ...", k.name());
+            prepare(k, scale, &experiment_params)
+        })
+        .collect()
+}
+
+/// Geometric-free arithmetic mean helper.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_defaults() {
+        // Not setting the variables yields the full population at Small.
+        std::env::remove_var("PERFCLONE_KERNELS");
+        assert_eq!(kernels_from_env().len(), 23);
+    }
+
+    #[test]
+    fn experiment_params_clamp() {
+        assert_eq!(experiment_params(10).target_dynamic, 100_000);
+        assert_eq!(experiment_params(10_000_000).target_dynamic, 2_500_000);
+        assert_eq!(experiment_params(500_000).target_dynamic, 500_000);
+    }
+
+    #[test]
+    fn mean_of_empty_is_zero() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+    }
+}

@@ -1,0 +1,116 @@
+//! Minimal dependency-free option parsing.
+
+use std::collections::HashMap;
+
+/// Parsed command-line tail: positional arguments plus `--key value` /
+/// `-k value` options (flags without values are stored as empty strings).
+#[derive(Debug, Default)]
+pub struct Parsed {
+    pub positional: Vec<String>,
+    options: HashMap<String, String>,
+}
+
+/// Option keys that take a value; everything else starting with `-` is a
+/// bare flag.
+const VALUED: &[&str] = &["-o", "--out", "--asm", "--scale", "--seed", "--dynamic", "--config"];
+
+/// Splits `argv` into positionals and options.
+///
+/// # Errors
+///
+/// Returns an error when a valued option is missing its value.
+pub fn parse(argv: &[String]) -> Result<Parsed, String> {
+    let mut out = Parsed::default();
+    let mut it = argv.iter().peekable();
+    while let Some(a) = it.next() {
+        if a.starts_with('-') {
+            if VALUED.contains(&a.as_str()) {
+                let v = it
+                    .next()
+                    .ok_or_else(|| format!("option {a} requires a value"))?;
+                out.options.insert(a.clone(), v.clone());
+            } else {
+                out.options.insert(a.clone(), String::new());
+            }
+        } else {
+            out.positional.push(a.clone());
+        }
+    }
+    Ok(out)
+}
+
+impl Parsed {
+    /// Returns the value of the first present key among `keys`.
+    pub fn opt(&self, keys: &[&str]) -> Option<&str> {
+        keys.iter().find_map(|k| self.options.get(*k)).map(String::as_str)
+    }
+
+    /// Parses an integer option.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the value is present but not an integer.
+    pub fn opt_u64(&self, keys: &[&str]) -> Result<Option<u64>, String> {
+        match self.opt(keys) {
+            None => Ok(None),
+            Some(v) => v
+                .parse::<u64>()
+                .map(Some)
+                .map_err(|_| format!("expected an integer for {}, got {v:?}", keys[0])),
+        }
+    }
+
+    /// Returns the input scale selected by `--scale` (default small).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unknown scale names.
+    pub fn scale(&self) -> Result<perfclone_kernels::Scale, String> {
+        match self.opt(&["--scale"]) {
+            None | Some("small") => Ok(perfclone_kernels::Scale::Small),
+            Some("tiny") => Ok(perfclone_kernels::Scale::Tiny),
+            Some(other) => Err(format!("unknown scale {other:?} (use tiny or small)")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn positionals_and_options() {
+        let p = parse(&argv(&["profile", "crc32", "--scale", "tiny", "-o", "x.json"])).unwrap();
+        assert_eq!(p.positional, vec!["profile", "crc32"]);
+        assert_eq!(p.opt(&["--scale"]), Some("tiny"));
+        assert_eq!(p.opt(&["-o", "--out"]), Some("x.json"));
+        assert_eq!(p.opt(&["--missing"]), None);
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        assert!(parse(&argv(&["synth", "--seed"])).is_err());
+    }
+
+    #[test]
+    fn scale_parses() {
+        let p = parse(&argv(&["x", "--scale", "tiny"])).unwrap();
+        assert_eq!(p.scale().unwrap(), perfclone_kernels::Scale::Tiny);
+        let q = parse(&argv(&["x"])).unwrap();
+        assert_eq!(q.scale().unwrap(), perfclone_kernels::Scale::Small);
+        let r = parse(&argv(&["x", "--scale", "huge"])).unwrap();
+        assert!(r.scale().is_err());
+    }
+
+    #[test]
+    fn u64_option() {
+        let p = parse(&argv(&["x", "--seed", "42"])).unwrap();
+        assert_eq!(p.opt_u64(&["--seed"]).unwrap(), Some(42));
+        let q = parse(&argv(&["x", "--seed", "nope"])).unwrap();
+        assert!(q.opt_u64(&["--seed"]).is_err());
+    }
+}

@@ -1,0 +1,346 @@
+//! Subcommand implementations.
+
+use perfclone::{
+    base_config, cache_sweep, run_timing, validate_pair, Cloner, SynthesisParams, Table,
+    WorkloadProfile,
+};
+use perfclone_isa::Program;
+use perfclone_kernels::Scale;
+use perfclone_uarch::{design_changes, simulate_dcache, MachineConfig};
+
+use crate::args::{parse, Parsed};
+
+const USAGE: &str = "\
+perfclone — performance cloning toolchain (IISWC 2006 reproduction)
+
+USAGE:
+  perfclone list                                  list the benchmark kernels
+  perfclone configs                               list machine configurations
+  perfclone profile <kernel> [opts]               profile to JSON
+  perfclone synth <profile.json> [opts]           synthesize a clone
+  perfclone validate <kernel> [opts]              clone + side-by-side timing
+  perfclone sweep <kernel> [opts]                 28-config cache sweep
+  perfclone disasm <kernel> [opts]                disassemble a kernel
+  perfclone report <kernel> [opts]                characterization report
+  perfclone statsim <kernel> [opts]               statistical-simulation IPC
+
+OPTIONS:
+  --scale tiny|small      input scale (default small)
+  -o, --out FILE          output file (profile JSON / clone C source)
+  --asm FILE              also write the clone as assembly text
+  --seed N                synthesis seed
+  --dynamic N             clone dynamic-instruction target
+  --config NAME           machine config for validate (default base)
+";
+
+/// Dispatches a parsed command line.
+///
+/// # Errors
+///
+/// Returns a human-readable message for unknown commands, bad options, or
+/// I/O failures.
+pub fn dispatch(argv: &[String]) -> Result<(), String> {
+    let Some(cmd) = argv.first().map(String::as_str) else {
+        println!("{USAGE}");
+        return Ok(());
+    };
+    let rest = parse(&argv[1..])?;
+    match cmd {
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        "list" => list(),
+        "configs" => configs(),
+        "profile" => profile(&rest),
+        "synth" => synth(&rest),
+        "validate" => validate(&rest),
+        "sweep" => sweep(&rest),
+        "disasm" => disasm(&rest),
+        "report" => report(&rest),
+        "statsim" => statsim(&rest),
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+fn kernel_program(parsed: &Parsed, pos: usize) -> Result<(String, Program), String> {
+    let name = parsed
+        .positional
+        .get(pos)
+        .ok_or_else(|| "missing kernel name".to_string())?;
+    let kernel = perfclone_kernels::by_name(name)
+        .ok_or_else(|| format!("unknown kernel {name:?} (see `perfclone list`)"))?;
+    Ok((name.clone(), kernel.build(parsed.scale()?).program))
+}
+
+fn list() -> Result<(), String> {
+    let paper = perfclone_kernels::catalog().len();
+    let mut t = Table::new(vec!["kernel".into(), "domain".into(), "population".into()]);
+    for (i, k) in perfclone_kernels::catalog_extended().iter().enumerate() {
+        let tag = if i < paper { "paper (Table 1)" } else { "extended" };
+        t.row(vec![k.name().into(), k.domain().to_string(), tag.into()]);
+    }
+    println!("{}", t.render());
+    Ok(())
+}
+
+fn all_configs() -> Vec<MachineConfig> {
+    let mut v = vec![base_config()];
+    v.extend(design_changes());
+    v
+}
+
+fn configs() -> Result<(), String> {
+    for c in all_configs() {
+        println!("{c}");
+    }
+    Ok(())
+}
+
+fn profile(parsed: &Parsed) -> Result<(), String> {
+    let (name, program) = kernel_program(parsed, 0)?;
+    let profile = perfclone::profile_program(&program, u64::MAX);
+    let json = profile.to_json().map_err(|e| e.to_string())?;
+    let out = parsed.opt(&["-o", "--out"]).map(str::to_string).unwrap_or(format!("{name}.json"));
+    std::fs::write(&out, &json).map_err(|e| format!("writing {out}: {e}"))?;
+    println!(
+        "profiled {name}: {} instrs, {} SFG nodes, {} streams, {} branches -> {out}",
+        profile.total_instrs,
+        profile.nodes.len(),
+        profile.streams.len(),
+        profile.branches.len()
+    );
+    Ok(())
+}
+
+fn synth_params(parsed: &Parsed, profile: &WorkloadProfile) -> Result<SynthesisParams, String> {
+    let mut params = SynthesisParams {
+        target_dynamic: profile.total_instrs.clamp(100_000, 2_500_000),
+        ..SynthesisParams::default()
+    };
+    if let Some(seed) = parsed.opt_u64(&["--seed"])? {
+        params.seed = seed;
+    }
+    if let Some(dynamic) = parsed.opt_u64(&["--dynamic"])? {
+        params.target_dynamic = dynamic;
+    }
+    Ok(params)
+}
+
+fn synth(parsed: &Parsed) -> Result<(), String> {
+    let path = parsed
+        .positional
+        .first()
+        .ok_or_else(|| "missing profile path".to_string())?;
+    let json = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let profile = WorkloadProfile::from_json(&json).map_err(|e| format!("parsing {path}: {e}"))?;
+    let params = synth_params(parsed, &profile)?;
+    let clone = Cloner::with_params(params).clone_program_from(&profile);
+    let c_out = parsed
+        .opt(&["-o", "--out"])
+        .map(str::to_string)
+        .unwrap_or(format!("{}.c", profile.name));
+    std::fs::write(&c_out, perfclone::emit_c(&clone)).map_err(|e| format!("writing {c_out}: {e}"))?;
+    println!(
+        "synthesized {}: {} static instrs, {} streams -> {c_out}",
+        clone.name(),
+        clone.len(),
+        clone.streams().len()
+    );
+    if let Some(asm) = parsed.opt(&["--asm"]) {
+        std::fs::write(asm, perfclone_isa::disasm_program(&clone))
+            .map_err(|e| format!("writing {asm}: {e}"))?;
+        println!("assembly listing -> {asm}");
+    }
+    Ok(())
+}
+
+fn validate(parsed: &Parsed) -> Result<(), String> {
+    let (name, program) = kernel_program(parsed, 0)?;
+    let config = match parsed.opt(&["--config"]) {
+        None => base_config(),
+        Some(wanted) => all_configs()
+            .into_iter()
+            .find(|c| c.name == wanted)
+            .ok_or_else(|| format!("unknown config {wanted:?} (see `perfclone configs`)"))?,
+    };
+    let profile = perfclone::profile_program(&program, u64::MAX);
+    let params = synth_params(parsed, &profile)?;
+    let clone = Cloner::with_params(params).clone_program_from(&profile);
+    let cmp = validate_pair(&program, &clone, &config, u64::MAX);
+    let mut t = Table::new(vec!["metric".into(), "real".into(), "clone".into(), "error".into()]);
+    t.row(vec![
+        "IPC".into(),
+        format!("{:.3}", cmp.real.report.ipc()),
+        format!("{:.3}", cmp.synth.report.ipc()),
+        format!("{:.1}%", 100.0 * cmp.ipc_error()),
+    ]);
+    t.row(vec![
+        "power".into(),
+        format!("{:.2}", cmp.real.power.average_power),
+        format!("{:.2}", cmp.synth.power.average_power),
+        format!("{:.1}%", 100.0 * cmp.power_error()),
+    ]);
+    t.row(vec![
+        "L1D miss/instr".into(),
+        format!("{:.4}", cmp.real.report.l1d_mpi()),
+        format!("{:.4}", cmp.synth.report.l1d_mpi()),
+        "-".into(),
+    ]);
+    t.row(vec![
+        "bpred mispredict".into(),
+        format!("{:.3}", cmp.real.report.bpred.mispredict_rate()),
+        format!("{:.3}", cmp.synth.report.bpred.mispredict_rate()),
+        "-".into(),
+    ]);
+    println!("{name} on {} :\n\n{}", config.name, t.render());
+    Ok(())
+}
+
+fn sweep(parsed: &Parsed) -> Result<(), String> {
+    let (name, program) = kernel_program(parsed, 0)?;
+    let profile = perfclone::profile_program(&program, u64::MAX);
+    let params = synth_params(parsed, &profile)?;
+    let clone = Cloner::with_params(params).clone_program_from(&profile);
+    let mut t =
+        Table::new(vec!["config".into(), "MPI (real)".into(), "MPI (clone)".into()]);
+    let mut real = Vec::new();
+    let mut synth = Vec::new();
+    for cfg in cache_sweep() {
+        let r = simulate_dcache(&program, cfg, u64::MAX).mpi();
+        let s = simulate_dcache(&clone, cfg, u64::MAX).mpi();
+        real.push(r);
+        synth.push(s);
+        t.row(vec![cfg.to_string(), format!("{r:.5}"), format!("{s:.5}")]);
+    }
+    println!("{name} cache sweep:\n\n{}", t.render());
+    println!("pearson r = {:.3}", perfclone::pearson(&real, &synth));
+    Ok(())
+}
+
+fn disasm(parsed: &Parsed) -> Result<(), String> {
+    let (_, program) = kernel_program(parsed, 0)?;
+    print!("{}", perfclone_isa::disasm_program(&program));
+    Ok(())
+}
+
+fn report(parsed: &Parsed) -> Result<(), String> {
+    let (_, program) = kernel_program(parsed, 0)?;
+    let profile = perfclone::profile_program(&program, u64::MAX);
+    print!("{}", perfclone_profile::render_report(&profile));
+    Ok(())
+}
+
+fn statsim(parsed: &Parsed) -> Result<(), String> {
+    use perfclone_statsim::{synth_trace, TraceParams};
+    let (name, program) = kernel_program(parsed, 0)?;
+    let profile = perfclone::profile_program(&program, u64::MAX);
+    let mut tp = TraceParams {
+        length: profile.total_instrs.clamp(100_000, 1_000_000),
+        ..TraceParams::default()
+    };
+    if let Some(n) = parsed.opt_u64(&["--dynamic"])? {
+        tp.length = n;
+    }
+    if let Some(s) = parsed.opt_u64(&["--seed"])? {
+        tp.seed = s;
+    }
+    let trace = synth_trace(&profile, &tp);
+    let config = base_config();
+    let real = run_timing(&program, &config, u64::MAX);
+    let synth = perfclone_uarch::Pipeline::new(config).run(trace);
+    let mut t = Table::new(vec!["metric".into(), "real".into(), "statsim trace".into()]);
+    t.row(vec![
+        "IPC".into(),
+        format!("{:.3}", real.report.ipc()),
+        format!("{:.3}", synth.ipc()),
+    ]);
+    t.row(vec![
+        "L1D miss/instr".into(),
+        format!("{:.4}", real.report.l1d_mpi()),
+        format!("{:.4}", synth.l1d_mpi()),
+    ]);
+    println!("{name} statistical simulation ({} synthetic instrs):
+
+{}", tp.length, t.render());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(args: &[&str]) -> Result<(), String> {
+        let argv: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        dispatch(&argv)
+    }
+
+    #[test]
+    fn help_and_list_work() {
+        run(&["help"]).unwrap();
+        run(&["list"]).unwrap();
+        run(&["configs"]).unwrap();
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        assert!(run(&["frobnicate"]).is_err());
+        assert!(run(&["validate", "not-a-kernel"]).is_err());
+    }
+
+    #[test]
+    fn profile_synth_round_trip() {
+        let dir = std::env::temp_dir();
+        let json = dir.join("cli_test_profile.json");
+        let c = dir.join("cli_test_clone.c");
+        let asm = dir.join("cli_test_clone.s");
+        run(&[
+            "profile",
+            "crc32",
+            "--scale",
+            "tiny",
+            "-o",
+            json.to_str().unwrap(),
+        ])
+        .unwrap();
+        run(&[
+            "synth",
+            json.to_str().unwrap(),
+            "-o",
+            c.to_str().unwrap(),
+            "--asm",
+            asm.to_str().unwrap(),
+            "--dynamic",
+            "20000",
+        ])
+        .unwrap();
+        let c_text = std::fs::read_to_string(&c).unwrap();
+        assert!(c_text.contains("asm volatile"));
+        let asm_text = std::fs::read_to_string(&asm).unwrap();
+        assert!(asm_text.contains("halt"));
+    }
+
+    #[test]
+    fn validate_runs_on_tiny_kernel() {
+        run(&["validate", "bitcount", "--scale", "tiny", "--dynamic", "20000"]).unwrap();
+    }
+
+    #[test]
+    fn report_and_statsim_run_on_tiny_kernels() {
+        run(&["report", "susan", "--scale", "tiny"]).unwrap();
+        run(&["statsim", "crc32", "--scale", "tiny", "--dynamic", "20000"]).unwrap();
+    }
+
+    #[test]
+    fn extended_kernels_are_reachable() {
+        run(&["validate", "viterbi", "--scale", "tiny", "--dynamic", "20000"]).unwrap();
+        run(&["disasm", "sobel", "--scale", "tiny"]).unwrap();
+    }
+
+    #[test]
+    fn bad_config_name_is_reported() {
+        let e = run(&["validate", "crc32", "--scale", "tiny", "--config", "warp-drive"])
+            .unwrap_err();
+        assert!(e.contains("warp-drive"));
+    }
+}

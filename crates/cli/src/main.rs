@@ -1,0 +1,29 @@
+//! `perfclone` — command-line front end for the performance-cloning
+//! toolchain.
+//!
+//! ```text
+//! perfclone list
+//! perfclone profile  <kernel> [--scale tiny|small] [-o profile.json]
+//! perfclone synth    <profile.json> [-o clone.c] [--asm clone.s] [--seed N] [--dynamic N]
+//! perfclone validate <kernel> [--scale tiny|small] [--config NAME]
+//! perfclone sweep    <kernel> [--scale tiny|small]
+//! perfclone disasm   <kernel> [--scale tiny|small]
+//! perfclone configs
+//! ```
+
+use std::process::ExitCode;
+
+mod args;
+mod cmd;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match cmd::dispatch(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("perfclone: {e}");
+            eprintln!("run `perfclone help` for usage");
+            ExitCode::FAILURE
+        }
+    }
+}

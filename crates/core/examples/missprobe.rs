@@ -1,0 +1,37 @@
+//! Developer diagnostic: per-static-op cache miss attribution for a
+//! kernel and its clone on the reference cache. Usage:
+//! `cargo run --release -p perfclone --example missprobe [kernel]`
+use perfclone::*;
+use perfclone_kernels::{by_name, Scale};
+use perfclone_sim::Simulator;
+use perfclone_uarch::{Assoc, Cache, CacheConfig};
+use std::collections::HashMap;
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or("rijndael".into());
+    let app = by_name(&which).unwrap().build(Scale::Small).program;
+    let profile = profile_program(&app, u64::MAX);
+    let params = SynthesisParams { target_dynamic: profile.total_instrs.clamp(100_000, 2_500_000), ..Default::default() };
+    let clone = Cloner::with_params(params).clone_program_from(&profile);
+
+    for (name, prog) in [("orig", &app), ("clone", &clone)] {
+        let mut cache = Cache::new(CacheConfig::new(16 * 1024, Assoc::Ways(2), 32));
+        let mut by_pc: HashMap<u32, (u64, u64)> = HashMap::new();
+        for d in Simulator::trace(prog, u64::MAX) {
+            if let Some(m) = d.mem {
+                let r = cache.access(m.addr, m.is_store);
+                let e = by_pc.entry(d.pc).or_default();
+                e.0 += 1;
+                if !r.hit { e.1 += 1; }
+            }
+        }
+        let mut v: Vec<_> = by_pc.into_iter().collect();
+        v.sort_by_key(|(_, (_, m))| std::cmp::Reverse(*m));
+        println!("== {name}: top missing static ops ==");
+        let total: u64 = v.iter().map(|(_, (_, m))| m).sum();
+        println!("  total misses {total}");
+        for (pc, (acc, miss)) in v.iter().take(30) {
+            println!("  pc{:6} acc{:9} miss{:8} ({:.3}) instr={:?}", pc, acc, miss, *miss as f64 / *acc as f64, prog.fetch(*pc));
+        }
+    }
+}

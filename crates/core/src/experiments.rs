@@ -1,0 +1,181 @@
+//! Experiment drivers for the paper's evaluation (§5): the 28-configuration
+//! cache sweep (Figures 4 and 5), base-configuration comparison (Figures 6
+//! and 7), and the five design changes (Table 3, Figures 8 and 9).
+
+use perfclone_isa::Program;
+use perfclone_metrics::{pearson, rank, relative_error};
+use perfclone_uarch::{design_changes, simulate_dcache, CacheConfig, MachineConfig};
+
+use crate::{run_timing, TimingResult};
+
+/// Result of sweeping real program and clone over the same cache
+/// configurations.
+#[derive(Clone, Debug)]
+pub struct CacheSweepComparison {
+    /// The configurations swept.
+    pub configs: Vec<CacheConfig>,
+    /// Real program misses-per-instruction, per configuration.
+    pub real_mpi: Vec<f64>,
+    /// Clone misses-per-instruction, per configuration.
+    pub synth_mpi: Vec<f64>,
+}
+
+impl CacheSweepComparison {
+    /// Pearson correlation between real and clone MPI over the
+    /// configurations other than the first (the paper correlates the 27
+    /// points relative to the 256 B direct-mapped baseline; Pearson is
+    /// invariant to the affine normalization, so raw MPIs are used).
+    pub fn correlation(&self) -> f64 {
+        pearson(&self.real_mpi[1..], &self.synth_mpi[1..])
+    }
+
+    /// Cache-configuration rankings by MPI (rank 1 = fewest misses) for
+    /// real and clone — the Figure-5 scatter data.
+    pub fn rankings(&self) -> (Vec<f64>, Vec<f64>) {
+        (rank(&self.real_mpi), rank(&self.synth_mpi))
+    }
+}
+
+/// Sweeps a (real, clone) pair over `configs` (Figure 4 / 5 experiment).
+pub fn cache_sweep_pair(
+    real: &Program,
+    clone: &Program,
+    configs: &[CacheConfig],
+    limit: u64,
+) -> CacheSweepComparison {
+    let real_mpi =
+        configs.iter().map(|c| simulate_dcache(real, *c, limit).mpi()).collect();
+    let synth_mpi =
+        configs.iter().map(|c| simulate_dcache(clone, *c, limit).mpi()).collect();
+    CacheSweepComparison { configs: configs.to_vec(), real_mpi, synth_mpi }
+}
+
+/// Results of one design-change experiment for one benchmark pair.
+#[derive(Clone, Debug)]
+pub struct DesignChangeResult {
+    /// The changed configuration.
+    pub config: MachineConfig,
+    /// Real program on the changed configuration.
+    pub real: TimingResult,
+    /// Clone on the changed configuration.
+    pub synth: TimingResult,
+}
+
+/// A benchmark pair evaluated on the base configuration and all five
+/// design changes — the Table-3 experiment.
+#[derive(Clone, Debug)]
+pub struct DesignChangeSweep {
+    /// Base-configuration results (real, clone).
+    pub base_real: TimingResult,
+    /// Base-configuration clone result.
+    pub base_synth: TimingResult,
+    /// Per-design-change results, in Table-3 order.
+    pub changes: Vec<DesignChangeResult>,
+}
+
+impl DesignChangeSweep {
+    /// The paper's §5.2 relative IPC error for design change `i`.
+    pub fn ipc_relative_error(&self, i: usize) -> f64 {
+        relative_error(
+            self.changes[i].synth.report.ipc(),
+            self.base_synth.report.ipc(),
+            self.changes[i].real.report.ipc(),
+            self.base_real.report.ipc(),
+        )
+    }
+
+    /// The paper's §5.2 relative power error for design change `i`.
+    pub fn power_relative_error(&self, i: usize) -> f64 {
+        relative_error(
+            self.changes[i].synth.power.average_power,
+            self.base_synth.power.average_power,
+            self.changes[i].real.power.average_power,
+            self.base_real.power.average_power,
+        )
+    }
+
+    /// Real IPC speedup of design change `i` over base (Figure 8's bars).
+    pub fn real_speedup(&self, i: usize) -> f64 {
+        self.changes[i].real.report.ipc() / self.base_real.report.ipc()
+    }
+
+    /// Clone IPC speedup of design change `i` over base.
+    pub fn synth_speedup(&self, i: usize) -> f64 {
+        self.changes[i].synth.report.ipc() / self.base_synth.report.ipc()
+    }
+
+    /// Real power ratio of design change `i` over base (Figure 9's bars).
+    pub fn real_power_ratio(&self, i: usize) -> f64 {
+        self.changes[i].real.power.average_power / self.base_real.power.average_power
+    }
+
+    /// Clone power ratio of design change `i` over base.
+    pub fn synth_power_ratio(&self, i: usize) -> f64 {
+        self.changes[i].synth.power.average_power / self.base_synth.power.average_power
+    }
+}
+
+/// Runs the full Table-3 sweep for one (real, clone) pair: base plus the
+/// five design changes.
+pub fn design_change_sweep(
+    real: &Program,
+    clone: &Program,
+    base: &MachineConfig,
+    limit: u64,
+) -> DesignChangeSweep {
+    let base_real = run_timing(real, base, limit);
+    let base_synth = run_timing(clone, base, limit);
+    let changes = design_changes()
+        .into_iter()
+        .map(|config| DesignChangeResult {
+            config,
+            real: run_timing(real, &config, limit),
+            synth: run_timing(clone, &config, limit),
+        })
+        .collect();
+    DesignChangeSweep { base_real, base_synth, changes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Cloner, SynthesisParams};
+    use perfclone_kernels::{by_name, Scale};
+    use perfclone_uarch::{base_config, cache_sweep};
+
+    fn small_pair() -> (Program, Program) {
+        let app = by_name("susan").unwrap().build(Scale::Tiny).program;
+        let params = SynthesisParams {
+            target_blocks: 120,
+            target_dynamic: 120_000,
+            ..Default::default()
+        };
+        let clone = Cloner::with_params(params).clone_program(&app, u64::MAX).clone;
+        (app, clone)
+    }
+
+    #[test]
+    fn cache_sweep_correlates() {
+        let (app, clone) = small_pair();
+        let sweep = cache_sweep_pair(&app, &clone, &cache_sweep(), u64::MAX);
+        assert_eq!(sweep.real_mpi.len(), 28);
+        let r = sweep.correlation();
+        assert!(r > 0.5, "correlation {r}");
+        let (rr, rs) = sweep.rankings();
+        assert_eq!(rr.len(), 28);
+        assert_eq!(rs.len(), 28);
+    }
+
+    #[test]
+    fn design_change_sweep_produces_all_points() {
+        let (app, clone) = small_pair();
+        let sweep = design_change_sweep(&app, &clone, &base_config(), 150_000);
+        assert_eq!(sweep.changes.len(), 5);
+        for i in 0..5 {
+            assert!(sweep.ipc_relative_error(i).is_finite());
+            assert!(sweep.power_relative_error(i).is_finite());
+            assert!(sweep.real_speedup(i) > 0.0);
+            assert!(sweep.synth_power_ratio(i) > 0.0);
+        }
+    }
+}

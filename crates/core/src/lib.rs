@@ -1,0 +1,192 @@
+//! # perfclone
+//!
+//! Performance cloning: profile a (proprietary) application's
+//! microarchitecture-independent characteristics and synthesize a benchmark
+//! clone with the same performance and power behaviour but entirely
+//! different code — a full reproduction of Joshi, Eeckhout, Bell & John,
+//! *Performance Cloning: A Technique for Disseminating Proprietary
+//! Applications as Benchmarks* (IISWC 2006).
+//!
+//! This crate is the facade over the workspace: it wires the functional
+//! simulator, the workload profiler, the clone synthesizer, the timing
+//! pipeline, and the power model into the two flows the paper's Figure 1
+//! shows — *clone generation* and *clone validation* — plus the experiment
+//! drivers that regenerate every table and figure of the evaluation.
+//!
+//! ```text
+//! proprietary workload ─▶ Profiler ─▶ WorkloadProfile ─▶ Synthesizer ─▶ clone
+//!                                                                        │
+//!        real hardware / execution-driven simulator  ◀──────────────────┘
+//! ```
+//!
+//! # Quick start
+//!
+//! ```
+//! use perfclone::{Cloner, validate_pair, base_config};
+//! use perfclone_kernels::{by_name, Scale};
+//!
+//! // The "proprietary" application: one of the embedded kernels.
+//! let app = by_name("crc32").unwrap().build(Scale::Tiny).program;
+//!
+//! // Clone it: profile + synthesize. Only microarchitecture-independent
+//! // attributes flow into the clone.
+//! let cloner = Cloner::new();
+//! let outcome = cloner.clone_program(&app, 1_000_000);
+//!
+//! // Validate: run both through the same machine; IPCs should be close.
+//! let cmp = validate_pair(&app, &outcome.clone, &base_config(), 1_000_000);
+//! assert!(cmp.ipc_error() < 0.5);
+//! ```
+
+pub mod experiments;
+pub mod suite;
+
+pub use perfclone_metrics::{mean_abs_pct_error, pearson, rank, relative_error, spearman, Table};
+pub use perfclone_power::{estimate_power, PowerReport};
+pub use perfclone_profile::{profile_program, WorkloadProfile};
+pub use perfclone_synth::{emit_c, synthesize, BranchModel, MemoryModel, SynthesisParams};
+pub use perfclone_uarch::{
+    base_config, cache_sweep, design_changes, CacheConfig, MachineConfig, Pipeline,
+    PipelineReport,
+};
+
+use perfclone_isa::Program;
+use perfclone_sim::Simulator;
+
+/// The performance-cloning pipeline: profiling plus synthesis under one
+/// set of [`SynthesisParams`].
+///
+/// See the [crate-level example](crate) for the end-to-end flow.
+#[derive(Clone, Debug, Default)]
+pub struct Cloner {
+    params: SynthesisParams,
+}
+
+/// The output of [`Cloner::clone_program`]: the disseminable profile and
+/// the synthesized clone built from it.
+#[derive(Clone, Debug)]
+pub struct CloneOutcome {
+    /// The microarchitecture-independent workload profile (the only data
+    /// that leaves the vendor).
+    pub profile: WorkloadProfile,
+    /// The synthetic benchmark clone.
+    pub clone: Program,
+}
+
+impl Cloner {
+    /// Creates a cloner with default synthesis parameters.
+    pub fn new() -> Cloner {
+        Cloner::default()
+    }
+
+    /// Creates a cloner with explicit synthesis parameters.
+    pub fn with_params(params: SynthesisParams) -> Cloner {
+        Cloner { params }
+    }
+
+    /// The active synthesis parameters.
+    pub fn params(&self) -> &SynthesisParams {
+        &self.params
+    }
+
+    /// Profiles `program` for up to `limit` instructions and synthesizes
+    /// its clone — the full Figure-1 flow.
+    pub fn clone_program(&self, program: &Program, limit: u64) -> CloneOutcome {
+        let profile = profile_program(program, limit);
+        let clone = synthesize(&profile, &self.params);
+        CloneOutcome { profile, clone }
+    }
+
+    /// Synthesizes a clone from an already-collected profile — the step a
+    /// third party performs after receiving the disseminated profile.
+    pub fn clone_program_from(&self, profile: &WorkloadProfile) -> Program {
+        synthesize(profile, &self.params)
+    }
+}
+
+/// IPC and power of one program on one machine configuration.
+#[derive(Clone, Debug)]
+pub struct TimingResult {
+    /// The pipeline report (cycles, IPC, cache and predictor statistics).
+    pub report: PipelineReport,
+    /// The Wattch-style power estimate.
+    pub power: PowerReport,
+}
+
+/// Runs `program` (up to `limit` instructions) through the timing pipeline
+/// under `config` and estimates power.
+pub fn run_timing(program: &Program, config: &MachineConfig, limit: u64) -> TimingResult {
+    let report = Pipeline::new(*config).run(Simulator::trace(program, limit));
+    let power = estimate_power(config, &report);
+    TimingResult { report, power }
+}
+
+/// Side-by-side comparison of a real program and its clone on one machine.
+#[derive(Clone, Debug)]
+pub struct PairComparison {
+    /// The real benchmark's result.
+    pub real: TimingResult,
+    /// The clone's result.
+    pub synth: TimingResult,
+}
+
+impl PairComparison {
+    /// `|IPC_synth − IPC_real| / IPC_real` — Figure 6's metric.
+    pub fn ipc_error(&self) -> f64 {
+        let (r, s) = (self.real.report.ipc(), self.synth.report.ipc());
+        ((s - r) / r).abs()
+    }
+
+    /// `|P_synth − P_real| / P_real` — Figure 7's metric.
+    pub fn power_error(&self) -> f64 {
+        let (r, s) = (self.real.power.average_power, self.synth.power.average_power);
+        ((s - r) / r).abs()
+    }
+}
+
+/// Runs the real program and its clone through the same machine and
+/// returns the side-by-side result (the validation half of Figure 1).
+pub fn validate_pair(
+    real: &Program,
+    clone: &Program,
+    config: &MachineConfig,
+    limit: u64,
+) -> PairComparison {
+    PairComparison {
+        real: run_timing(real, config, limit),
+        synth: run_timing(clone, config, limit),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perfclone_kernels::{by_name, Scale};
+
+    #[test]
+    fn cloner_produces_runnable_clone() {
+        let app = by_name("crc32").unwrap().build(Scale::Tiny).program;
+        let outcome = Cloner::new().clone_program(&app, 200_000);
+        let mut sim = Simulator::new(&outcome.clone);
+        assert!(sim.run(20_000_000).unwrap().halted);
+        assert!(outcome.profile.total_instrs > 0);
+    }
+
+    #[test]
+    fn validate_pair_reports_errors() {
+        let params = SynthesisParams {
+            target_blocks: 100,
+            target_dynamic: 150_000,
+            ..Default::default()
+        };
+        let app = by_name("crc32").unwrap().build(Scale::Tiny).program;
+        let outcome = Cloner::with_params(params).clone_program(&app, u64::MAX);
+        let cmp = validate_pair(&app, &outcome.clone, &base_config(), u64::MAX);
+        assert!(cmp.real.report.ipc() > 0.0);
+        assert!(cmp.synth.report.ipc() > 0.0);
+        // Tight loops clone very well; allow generous slack in the unit
+        // test (the benches measure the real numbers).
+        assert!(cmp.ipc_error() < 0.5, "ipc error {}", cmp.ipc_error());
+        assert!(cmp.power_error() < 0.5, "power error {}", cmp.power_error());
+    }
+}

@@ -1,0 +1,154 @@
+//! Workload suites: EEMBC-style aggregation of per-benchmark results into
+//! a single mark, for both real programs and their clones.
+//!
+//! The paper's motivation (§1) is exactly this setting: embedded vendors
+//! benchmark processors with suite-level marks (EEMBC's AutoMark,
+//! TeleMark, …), but want the marks to reflect *their* applications. A
+//! [`Suite`] bundles programs with weights; [`suite_mark`] computes the
+//! geometric-mean IPC mark of a suite on a machine, so a cloned suite can
+//! stand in for a proprietary one.
+
+use perfclone_isa::Program;
+use perfclone_uarch::MachineConfig;
+
+use crate::{run_timing, Cloner};
+
+/// A named, weighted collection of programs.
+#[derive(Debug)]
+pub struct Suite {
+    name: String,
+    entries: Vec<(Program, f64)>,
+}
+
+impl Suite {
+    /// Creates an empty suite.
+    pub fn new(name: impl Into<String>) -> Suite {
+        Suite { name: name.into(), entries: Vec::new() }
+    }
+
+    /// The suite's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds a program with the given weight (weights need not sum to 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight` is not positive.
+    pub fn push(&mut self, program: Program, weight: f64) {
+        assert!(weight > 0.0, "suite weights must be positive");
+        self.entries.push((program, weight));
+    }
+
+    /// Number of programs.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the suite is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The programs and weights.
+    pub fn entries(&self) -> impl Iterator<Item = (&Program, f64)> {
+        self.entries.iter().map(|(p, w)| (p, *w))
+    }
+
+    /// Builds the suite of clones: every member profiled and synthesized
+    /// with `cloner`, weights preserved.
+    pub fn clone_suite(&self, cloner: &Cloner) -> Suite {
+        let mut out = Suite::new(format!("{}-clone", self.name));
+        for (program, weight) in self.entries() {
+            let outcome = cloner.clone_program(program, u64::MAX);
+            out.push(outcome.clone, weight);
+        }
+        out
+    }
+}
+
+/// A suite mark: weighted geometric mean of per-program IPC (the EEMBC
+/// aggregation), plus the weighted arithmetic mean power.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SuiteMark {
+    /// Weighted geometric-mean IPC.
+    pub ipc_mark: f64,
+    /// Weighted arithmetic-mean power.
+    pub power_mark: f64,
+}
+
+/// Computes the suite mark of `suite` on `config`.
+///
+/// # Panics
+///
+/// Panics if the suite is empty.
+pub fn suite_mark(suite: &Suite, config: &MachineConfig, limit: u64) -> SuiteMark {
+    assert!(!suite.is_empty(), "cannot mark an empty suite");
+    let mut log_sum = 0.0;
+    let mut weight_sum = 0.0;
+    let mut power_sum = 0.0;
+    for (program, weight) in suite.entries() {
+        let t = run_timing(program, config, limit);
+        log_sum += weight * t.report.ipc().ln();
+        power_sum += weight * t.power.average_power;
+        weight_sum += weight;
+    }
+    SuiteMark {
+        ipc_mark: (log_sum / weight_sum).exp(),
+        power_mark: power_sum / weight_sum,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{base_config, SynthesisParams};
+    use perfclone_kernels::{by_name, Scale};
+
+    fn program(name: &str) -> Program {
+        by_name(name).expect("kernel exists").build(Scale::Tiny).program
+    }
+
+    #[test]
+    fn suite_mark_is_between_member_ipcs() {
+        let mut s = Suite::new("auto");
+        s.push(program("bitcount"), 1.0);
+        s.push(program("qsort"), 1.0);
+        let mark = suite_mark(&s, &base_config(), u64::MAX);
+        assert!(mark.ipc_mark > 0.3 && mark.ipc_mark <= 1.0);
+        assert!(mark.power_mark > 0.0);
+    }
+
+    #[test]
+    fn cloned_suite_mark_tracks_real_mark() {
+        let mut s = Suite::new("telecom");
+        s.push(program("crc32"), 2.0);
+        s.push(program("adpcm_enc"), 1.0);
+        let cloner = Cloner::with_params(SynthesisParams {
+            target_dynamic: 60_000,
+            ..SynthesisParams::default()
+        });
+        let clones = s.clone_suite(&cloner);
+        assert_eq!(clones.len(), s.len());
+        assert_eq!(clones.name(), "telecom-clone");
+        let real = suite_mark(&s, &base_config(), u64::MAX);
+        let synth = suite_mark(&clones, &base_config(), u64::MAX);
+        let err = ((synth.ipc_mark - real.ipc_mark) / real.ipc_mark).abs();
+        assert!(err < 0.3, "suite mark error {err:.3}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_weight_rejected() {
+        let mut s = Suite::new("bad");
+        s.push(program("crc32"), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_suite_rejected() {
+        let s = Suite::new("none");
+        let _ = suite_mark(&s, &base_config(), 1000);
+    }
+}

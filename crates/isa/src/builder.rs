@@ -1,0 +1,578 @@
+//! An assembler DSL for constructing [`Program`]s.
+
+use std::fmt;
+
+use crate::instr::{AluOp, Cond, FpOp, Instr, MemRef, MemWidth};
+use crate::program::{DataSeg, Program, StreamDesc, StreamId};
+use crate::reg::{FReg, Reg};
+
+/// Base address of the builder's data bump allocator.
+const DATA_BASE: u64 = 0x1000_0000;
+
+/// A forward-referenceable code label.
+///
+/// Created with [`ProgramBuilder::label`], bound to the next emitted
+/// instruction with [`ProgramBuilder::bind`], and usable as a branch or jump
+/// target before or after binding.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Label(u32);
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+/// Builds a [`Program`] instruction by instruction.
+///
+/// Mnemonic methods (`add`, `li`, `ld`, `beq`, …) append one instruction
+/// each. Control-flow targets are [`Label`]s, resolved when [`build`] is
+/// called. A bump allocator hands out data addresses; `data_*` helpers
+/// allocate *and* initialize memory.
+///
+/// # Example
+///
+/// ```
+/// use perfclone_isa::{ProgramBuilder, Reg};
+/// let mut b = ProgramBuilder::new("copy8");
+/// let src = b.data_u64(&[7]);
+/// let dst = b.alloc(8);
+/// let (t, p) = (Reg::new(1), Reg::new(2));
+/// b.li(p, src as i64);
+/// b.ld(t, p, 0);
+/// b.li(p, dst as i64);
+/// b.sd(t, p, 0);
+/// b.halt();
+/// let prog = b.build();
+/// assert_eq!(prog.len(), 5);
+/// ```
+///
+/// [`build`]: ProgramBuilder::build
+#[derive(Debug)]
+pub struct ProgramBuilder {
+    name: String,
+    instrs: Vec<Instr>,
+    data: Vec<DataSeg>,
+    streams: Vec<StreamDesc>,
+    labels: Vec<Option<u32>>,
+    fixups: Vec<(usize, Label)>,
+    next_addr: u64,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder for a program called `name`.
+    pub fn new(name: impl Into<String>) -> ProgramBuilder {
+        ProgramBuilder {
+            name: name.into(),
+            instrs: Vec::new(),
+            data: Vec::new(),
+            streams: Vec::new(),
+            labels: Vec::new(),
+            fixups: Vec::new(),
+            next_addr: DATA_BASE,
+        }
+    }
+
+    /// Index of the next instruction to be emitted.
+    pub fn here(&self) -> u32 {
+        self.instrs.len() as u32
+    }
+
+    /// Number of instructions emitted so far.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Returns `true` if no instructions have been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// Creates a fresh, unbound label.
+    pub fn label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() as u32 - 1)
+    }
+
+    /// Binds `label` to the next emitted instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label is already bound.
+    pub fn bind(&mut self, label: Label) {
+        let here = self.here();
+        let slot = &mut self.labels[label.0 as usize];
+        assert!(slot.is_none(), "label {label} bound twice");
+        *slot = Some(here);
+    }
+
+    /// Appends a raw instruction.
+    pub fn emit(&mut self, instr: Instr) {
+        self.instrs.push(instr);
+    }
+
+    // ---- data -----------------------------------------------------------
+
+    /// Reserves `bytes` of zero-initialized memory, returning its address.
+    /// Allocations are 16-byte aligned.
+    pub fn alloc(&mut self, bytes: u64) -> u64 {
+        let addr = self.next_addr;
+        self.next_addr += (bytes + 15) & !15;
+        addr
+    }
+
+    /// Allocates and initializes raw bytes, returning the address.
+    pub fn data_bytes(&mut self, bytes: &[u8]) -> u64 {
+        let addr = self.alloc(bytes.len() as u64);
+        self.data.push(DataSeg { addr, bytes: bytes.to_vec() });
+        addr
+    }
+
+    /// Allocates and initializes an array of `u64` words (little-endian).
+    pub fn data_u64(&mut self, words: &[u64]) -> u64 {
+        let bytes: Vec<u8> = words.iter().flat_map(|w| w.to_le_bytes()).collect();
+        self.data_bytes(&bytes)
+    }
+
+    /// Allocates and initializes an array of `i64` words (little-endian).
+    pub fn data_i64(&mut self, words: &[i64]) -> u64 {
+        let bytes: Vec<u8> = words.iter().flat_map(|w| w.to_le_bytes()).collect();
+        self.data_bytes(&bytes)
+    }
+
+    /// Allocates and initializes an array of `u32` words (little-endian).
+    pub fn data_u32(&mut self, words: &[u32]) -> u64 {
+        let bytes: Vec<u8> = words.iter().flat_map(|w| w.to_le_bytes()).collect();
+        self.data_bytes(&bytes)
+    }
+
+    /// Allocates and initializes an array of `f64` values (little-endian).
+    pub fn data_f64(&mut self, vals: &[f64]) -> u64 {
+        let bytes: Vec<u8> = vals.iter().flat_map(|v| v.to_le_bytes()).collect();
+        self.data_bytes(&bytes)
+    }
+
+    /// Registers a stride stream and returns its id, for use with the
+    /// `*_stream` load/store helpers.
+    pub fn stream(&mut self, desc: StreamDesc) -> StreamId {
+        self.streams.push(desc);
+        StreamId::new(self.streams.len() as u32 - 1)
+    }
+
+    /// Allocates backing storage for a stream and registers it.
+    ///
+    /// The base is placed so that both positive and negative strides stay in
+    /// the allocation.
+    pub fn stream_alloc(&mut self, stride: i64, length: u32) -> StreamId {
+        let extent = stride.unsigned_abs() * u64::from(length.max(1) - 1) + 8;
+        let lo = self.alloc(extent);
+        let base = if stride >= 0 { lo } else { lo + extent - 8 };
+        self.stream(StreamDesc { base, stride, length })
+    }
+
+    // ---- integer ALU ----------------------------------------------------
+
+    /// `rd = rs1 + rs2`
+    pub fn add(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Instr::Alu { op: AluOp::Add, rd, rs1, rs2 });
+    }
+
+    /// `rd = rs1 - rs2`
+    pub fn sub(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Instr::Alu { op: AluOp::Sub, rd, rs1, rs2 });
+    }
+
+    /// `rd = rs1 & rs2`
+    pub fn and(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Instr::Alu { op: AluOp::And, rd, rs1, rs2 });
+    }
+
+    /// `rd = rs1 | rs2`
+    pub fn or(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Instr::Alu { op: AluOp::Or, rd, rs1, rs2 });
+    }
+
+    /// `rd = rs1 ^ rs2`
+    pub fn xor(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Instr::Alu { op: AluOp::Xor, rd, rs1, rs2 });
+    }
+
+    /// `rd = rs1 << rs2`
+    pub fn sll(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Instr::Alu { op: AluOp::Sll, rd, rs1, rs2 });
+    }
+
+    /// `rd = rs1 >> rs2` (logical)
+    pub fn srl(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Instr::Alu { op: AluOp::Srl, rd, rs1, rs2 });
+    }
+
+    /// `rd = rs1 >> rs2` (arithmetic)
+    pub fn sra(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Instr::Alu { op: AluOp::Sra, rd, rs1, rs2 });
+    }
+
+    /// `rd = (rs1 < rs2) as i64` (signed)
+    pub fn slt(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Instr::Alu { op: AluOp::Slt, rd, rs1, rs2 });
+    }
+
+    /// `rd = imm`
+    pub fn li(&mut self, rd: Reg, imm: i64) {
+        self.emit(Instr::Li { rd, imm });
+    }
+
+    /// `rd = rs1 + imm`
+    pub fn addi(&mut self, rd: Reg, rs1: Reg, imm: i32) {
+        self.emit(Instr::AluImm { op: AluOp::Add, rd, rs1, imm });
+    }
+
+    /// `rd = rs1 & imm`
+    pub fn andi(&mut self, rd: Reg, rs1: Reg, imm: i32) {
+        self.emit(Instr::AluImm { op: AluOp::And, rd, rs1, imm });
+    }
+
+    /// `rd = rs1 ^ imm`
+    pub fn xori(&mut self, rd: Reg, rs1: Reg, imm: i32) {
+        self.emit(Instr::AluImm { op: AluOp::Xor, rd, rs1, imm });
+    }
+
+    /// `rd = rs1 | imm`
+    pub fn ori(&mut self, rd: Reg, rs1: Reg, imm: i32) {
+        self.emit(Instr::AluImm { op: AluOp::Or, rd, rs1, imm });
+    }
+
+    /// `rd = rs1 << imm`
+    pub fn slli(&mut self, rd: Reg, rs1: Reg, imm: i32) {
+        self.emit(Instr::AluImm { op: AluOp::Sll, rd, rs1, imm });
+    }
+
+    /// `rd = rs1 >> imm` (logical)
+    pub fn srli(&mut self, rd: Reg, rs1: Reg, imm: i32) {
+        self.emit(Instr::AluImm { op: AluOp::Srl, rd, rs1, imm });
+    }
+
+    /// `rd = rs1 >> imm` (arithmetic)
+    pub fn srai(&mut self, rd: Reg, rs1: Reg, imm: i32) {
+        self.emit(Instr::AluImm { op: AluOp::Sra, rd, rs1, imm });
+    }
+
+    /// `rd = (rs1 < imm) as i64` (signed)
+    pub fn slti(&mut self, rd: Reg, rs1: Reg, imm: i32) {
+        self.emit(Instr::AluImm { op: AluOp::Slt, rd, rs1, imm });
+    }
+
+    /// `rd = rs` (copy, encoded as `rd = rs + r0`)
+    pub fn mv(&mut self, rd: Reg, rs: Reg) {
+        self.add(rd, rs, Reg::ZERO);
+    }
+
+    /// `rd = rs1 * rs2`
+    pub fn mul(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Instr::Mul { rd, rs1, rs2 });
+    }
+
+    /// `rd = rs1 / rs2` (signed; 0 on division by zero)
+    pub fn div(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Instr::Div { rd, rs1, rs2 });
+    }
+
+    /// `rd = rs1 % rs2` (signed; `rs1` on remainder by zero)
+    pub fn rem(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Instr::Rem { rd, rs1, rs2 });
+    }
+
+    /// `nop`
+    pub fn nop(&mut self) {
+        self.emit(Instr::Nop);
+    }
+
+    // ---- floating point --------------------------------------------------
+
+    /// `fd = fs1 + fs2`
+    pub fn fadd(&mut self, fd: FReg, fs1: FReg, fs2: FReg) {
+        self.emit(Instr::Fp { op: FpOp::Add, fd, fs1, fs2 });
+    }
+
+    /// `fd = fs1 - fs2`
+    pub fn fsub(&mut self, fd: FReg, fs1: FReg, fs2: FReg) {
+        self.emit(Instr::Fp { op: FpOp::Sub, fd, fs1, fs2 });
+    }
+
+    /// `fd = fs1 * fs2`
+    pub fn fmul(&mut self, fd: FReg, fs1: FReg, fs2: FReg) {
+        self.emit(Instr::Fp { op: FpOp::Mul, fd, fs1, fs2 });
+    }
+
+    /// `fd = fs1 / fs2`
+    pub fn fdiv(&mut self, fd: FReg, fs1: FReg, fs2: FReg) {
+        self.emit(Instr::Fp { op: FpOp::Div, fd, fs1, fs2 });
+    }
+
+    /// `fd = sqrt(fs)`
+    pub fn fsqrt(&mut self, fd: FReg, fs: FReg) {
+        self.emit(Instr::Fp { op: FpOp::Sqrt, fd, fs1: fs, fs2: fs });
+    }
+
+    /// `fd = imm`
+    pub fn fli(&mut self, fd: FReg, imm: f64) {
+        self.emit(Instr::FLi { fd, imm });
+    }
+
+    /// `fd = rs as f64`
+    pub fn cvt_i_f(&mut self, fd: FReg, rs: Reg) {
+        self.emit(Instr::CvtIf { fd, rs });
+    }
+
+    /// `rd = fs as i64` (truncating)
+    pub fn cvt_f_i(&mut self, rd: Reg, fs: FReg) {
+        self.emit(Instr::CvtFi { rd, fs });
+    }
+
+    /// `rd = (fs1 < fs2) as i64`
+    pub fn fcmp_lt(&mut self, rd: Reg, fs1: FReg, fs2: FReg) {
+        self.emit(Instr::FCmpLt { rd, fs1, fs2 });
+    }
+
+    /// `fd = fs` (copy, encoded as `fd = fmin(fs, fs)`)
+    pub fn fmv(&mut self, fd: FReg, fs: FReg) {
+        self.emit(Instr::Fp { op: FpOp::Min, fd, fs1: fs, fs2: fs });
+    }
+
+    // ---- memory -----------------------------------------------------------
+
+    /// 8-byte load: `rd = mem[rs1 + offset]`
+    pub fn ld(&mut self, rd: Reg, base: Reg, offset: i32) {
+        self.emit(Instr::Load { rd, mem: MemRef::Base { base, offset }, width: MemWidth::B8 });
+    }
+
+    /// 4-byte load (sign-extended).
+    pub fn lw(&mut self, rd: Reg, base: Reg, offset: i32) {
+        self.emit(Instr::Load { rd, mem: MemRef::Base { base, offset }, width: MemWidth::B4 });
+    }
+
+    /// 1-byte load (zero-extended).
+    pub fn lb(&mut self, rd: Reg, base: Reg, offset: i32) {
+        self.emit(Instr::Load { rd, mem: MemRef::Base { base, offset }, width: MemWidth::B1 });
+    }
+
+    /// 8-byte store.
+    pub fn sd(&mut self, rs: Reg, base: Reg, offset: i32) {
+        self.emit(Instr::Store { rs, mem: MemRef::Base { base, offset }, width: MemWidth::B8 });
+    }
+
+    /// 4-byte store.
+    pub fn sw(&mut self, rs: Reg, base: Reg, offset: i32) {
+        self.emit(Instr::Store { rs, mem: MemRef::Base { base, offset }, width: MemWidth::B4 });
+    }
+
+    /// 1-byte store.
+    pub fn sb(&mut self, rs: Reg, base: Reg, offset: i32) {
+        self.emit(Instr::Store { rs, mem: MemRef::Base { base, offset }, width: MemWidth::B1 });
+    }
+
+    /// 8-byte FP load.
+    pub fn fld(&mut self, fd: FReg, base: Reg, offset: i32) {
+        self.emit(Instr::LoadF { fd, mem: MemRef::Base { base, offset } });
+    }
+
+    /// 8-byte FP store.
+    pub fn fsd(&mut self, fs: FReg, base: Reg, offset: i32) {
+        self.emit(Instr::StoreF { fs, mem: MemRef::Base { base, offset } });
+    }
+
+    /// Auto-stride load from stream `id`.
+    pub fn ld_stream(&mut self, rd: Reg, id: StreamId, width: MemWidth) {
+        self.emit(Instr::Load { rd, mem: MemRef::Stream(id), width });
+    }
+
+    /// Auto-stride store to stream `id`.
+    pub fn sd_stream(&mut self, rs: Reg, id: StreamId, width: MemWidth) {
+        self.emit(Instr::Store { rs, mem: MemRef::Stream(id), width });
+    }
+
+    /// Auto-stride FP load from stream `id`.
+    pub fn fld_stream(&mut self, fd: FReg, id: StreamId) {
+        self.emit(Instr::LoadF { fd, mem: MemRef::Stream(id) });
+    }
+
+    /// Auto-stride FP store to stream `id`.
+    pub fn fsd_stream(&mut self, fs: FReg, id: StreamId) {
+        self.emit(Instr::StoreF { fs, mem: MemRef::Stream(id) });
+    }
+
+    // ---- control flow -----------------------------------------------------
+
+    fn branch(&mut self, cond: Cond, rs1: Reg, rs2: Reg, target: Label) {
+        self.fixups.push((self.instrs.len(), target));
+        self.emit(Instr::Branch { cond, rs1, rs2, target: u32::MAX });
+    }
+
+    /// Branch to `target` when `rs1 == rs2`.
+    pub fn beq(&mut self, rs1: Reg, rs2: Reg, target: Label) {
+        self.branch(Cond::Eq, rs1, rs2, target);
+    }
+
+    /// Branch to `target` when `rs1 != rs2`.
+    pub fn bne(&mut self, rs1: Reg, rs2: Reg, target: Label) {
+        self.branch(Cond::Ne, rs1, rs2, target);
+    }
+
+    /// Branch to `target` when `rs1 < rs2` (signed).
+    pub fn blt(&mut self, rs1: Reg, rs2: Reg, target: Label) {
+        self.branch(Cond::Lt, rs1, rs2, target);
+    }
+
+    /// Branch to `target` when `rs1 >= rs2` (signed).
+    pub fn bge(&mut self, rs1: Reg, rs2: Reg, target: Label) {
+        self.branch(Cond::Ge, rs1, rs2, target);
+    }
+
+    /// Branch to `target` when `rs1 <= rs2` (signed).
+    pub fn ble(&mut self, rs1: Reg, rs2: Reg, target: Label) {
+        self.branch(Cond::Le, rs1, rs2, target);
+    }
+
+    /// Branch to `target` when `rs1 > rs2` (signed).
+    pub fn bgt(&mut self, rs1: Reg, rs2: Reg, target: Label) {
+        self.branch(Cond::Gt, rs1, rs2, target);
+    }
+
+    /// Branch to `target` when `rs != 0`.
+    pub fn bnez(&mut self, rs: Reg, target: Label) {
+        self.branch(Cond::Ne, rs, Reg::ZERO, target);
+    }
+
+    /// Branch to `target` when `rs == 0`.
+    pub fn beqz(&mut self, rs: Reg, target: Label) {
+        self.branch(Cond::Eq, rs, Reg::ZERO, target);
+    }
+
+    /// Unconditional jump to `target`.
+    pub fn j(&mut self, target: Label) {
+        self.fixups.push((self.instrs.len(), target));
+        self.emit(Instr::Jump { target: u32::MAX });
+    }
+
+    /// Call: `rd = return pc`, jump to `target`.
+    pub fn jal(&mut self, rd: Reg, target: Label) {
+        self.fixups.push((self.instrs.len(), target));
+        self.emit(Instr::Jal { rd, target: u32::MAX });
+    }
+
+    /// Indirect jump (return) through `rs`.
+    pub fn jr(&mut self, rs: Reg) {
+        self.emit(Instr::Jr { rs });
+    }
+
+    /// Stops the program.
+    pub fn halt(&mut self) {
+        self.emit(Instr::Halt);
+    }
+
+    // ---- finalization ------------------------------------------------------
+
+    /// Resolves all label references and produces the [`Program`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any referenced label was never bound.
+    pub fn build(self) -> Program {
+        let ProgramBuilder { name, mut instrs, data, streams, labels, fixups, .. } = self;
+        for (idx, label) in fixups {
+            let pc = labels[label.0 as usize]
+                .unwrap_or_else(|| panic!("label {label} referenced but never bound"));
+            match &mut instrs[idx] {
+                Instr::Branch { target, .. } | Instr::Jump { target } | Instr::Jal { target, .. } => {
+                    *target = pc;
+                }
+                other => unreachable!("fixup on non-control instruction {other:?}"),
+            }
+        }
+        Program::from_parts(name, instrs, 0, data, streams)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_and_backward_labels_resolve() {
+        let mut b = ProgramBuilder::new("t");
+        let fwd = b.label();
+        let back = b.label();
+        b.bind(back);
+        b.nop();
+        b.j(fwd); // forward reference
+        b.nop();
+        b.bind(fwd);
+        b.beqz(Reg::new(1), back); // backward reference
+        b.halt();
+        let p = b.build();
+        assert_eq!(p.fetch(1), Instr::Jump { target: 3 });
+        match p.fetch(3) {
+            Instr::Branch { target, .. } => assert_eq!(target, 0),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "never bound")]
+    fn unbound_label_panics() {
+        let mut b = ProgramBuilder::new("t");
+        let l = b.label();
+        b.j(l);
+        let _ = b.build();
+    }
+
+    #[test]
+    #[should_panic(expected = "bound twice")]
+    fn double_bind_panics() {
+        let mut b = ProgramBuilder::new("t");
+        let l = b.label();
+        b.bind(l);
+        b.bind(l);
+    }
+
+    #[test]
+    fn data_allocation_is_aligned_and_disjoint() {
+        let mut b = ProgramBuilder::new("t");
+        let a = b.alloc(3);
+        let c = b.alloc(40);
+        let d = b.data_u64(&[1, 2, 3]);
+        assert_eq!(a % 16, 0);
+        assert_eq!(c % 16, 0);
+        assert!(c >= a + 3);
+        assert!(d >= c + 40);
+        let prog = b.build();
+        assert_eq!(prog.data().len(), 1);
+        assert_eq!(prog.data()[0].bytes.len(), 24);
+    }
+
+    #[test]
+    fn stream_alloc_places_negative_stride_at_top() {
+        let mut b = ProgramBuilder::new("t");
+        let id = b.stream_alloc(-16, 4);
+        b.halt();
+        let p = b.build();
+        let s = p.stream(id);
+        assert_eq!(s.stride, -16);
+        // Walking the whole stream must stay at or above the allocation base.
+        let lo = s.base - 16 * 3;
+        for k in 0..4 {
+            assert!(s.address(k) >= lo && s.address(k) <= s.base);
+        }
+    }
+
+    #[test]
+    fn mv_is_add_zero() {
+        let mut b = ProgramBuilder::new("t");
+        b.mv(Reg::new(2), Reg::new(3));
+        let p = b.build();
+        assert_eq!(
+            p.fetch(0),
+            Instr::Alu { op: AluOp::Add, rd: Reg::new(2), rs1: Reg::new(3), rs2: Reg::ZERO }
+        );
+    }
+}

@@ -1,0 +1,149 @@
+//! Human-readable disassembly.
+
+use std::fmt::Write as _;
+
+use crate::instr::{Instr, MemRef, MemWidth};
+use crate::program::Program;
+
+fn mem_str(mem: &MemRef) -> String {
+    match mem {
+        MemRef::Base { base, offset } => format!("{offset}({base})"),
+        MemRef::Stream(id) => format!("[{id}]"),
+    }
+}
+
+fn width_suffix(width: MemWidth) -> &'static str {
+    match width {
+        MemWidth::B1 => "b",
+        MemWidth::B4 => "w",
+        MemWidth::B8 => "d",
+    }
+}
+
+/// Renders one instruction as assembly text.
+///
+/// # Example
+///
+/// ```
+/// use perfclone_isa::{disasm, Instr, Reg, AluOp};
+/// let i = Instr::Alu { op: AluOp::Add, rd: Reg::new(1), rs1: Reg::new(2), rs2: Reg::new(3) };
+/// assert_eq!(disasm(&i), "add r1, r2, r3");
+/// ```
+pub fn disasm(instr: &Instr) -> String {
+    match instr {
+        Instr::Alu { op, rd, rs1, rs2 } => format!("{op} {rd}, {rs1}, {rs2}"),
+        Instr::AluImm { op, rd, rs1, imm } => format!("{op}i {rd}, {rs1}, {imm}"),
+        Instr::Li { rd, imm } => format!("li {rd}, {imm}"),
+        Instr::Mul { rd, rs1, rs2 } => format!("mul {rd}, {rs1}, {rs2}"),
+        Instr::Div { rd, rs1, rs2 } => format!("div {rd}, {rs1}, {rs2}"),
+        Instr::Rem { rd, rs1, rs2 } => format!("rem {rd}, {rs1}, {rs2}"),
+        Instr::Fp { op, fd, fs1, fs2 } => format!("{op} {fd}, {fs1}, {fs2}"),
+        Instr::FLi { fd, imm } => format!("fli {fd}, {imm}"),
+        Instr::CvtIf { fd, rs } => format!("cvt.i.f {fd}, {rs}"),
+        Instr::CvtFi { rd, fs } => format!("cvt.f.i {rd}, {fs}"),
+        Instr::FCmpLt { rd, fs1, fs2 } => format!("fcmp.lt {rd}, {fs1}, {fs2}"),
+        Instr::Load { rd, mem, width } => {
+            format!("l{} {rd}, {}", width_suffix(*width), mem_str(mem))
+        }
+        Instr::Store { rs, mem, width } => {
+            format!("s{} {rs}, {}", width_suffix(*width), mem_str(mem))
+        }
+        Instr::LoadF { fd, mem } => format!("fld {fd}, {}", mem_str(mem)),
+        Instr::StoreF { fs, mem } => format!("fsd {fs}, {}", mem_str(mem)),
+        Instr::Branch { cond, rs1, rs2, target } => {
+            format!("{cond} {rs1}, {rs2}, @{target}")
+        }
+        Instr::Jump { target } => format!("j @{target}"),
+        Instr::Jal { rd, target } => format!("jal {rd}, @{target}"),
+        Instr::Jr { rs } => format!("jr {rs}"),
+        Instr::Nop => "nop".to_string(),
+        Instr::Halt => "halt".to_string(),
+    }
+}
+
+/// Renders a whole program as an assembly listing, one instruction per line,
+/// prefixed with its pc.
+pub fn disasm_program(program: &Program) -> String {
+    let mut out = String::new();
+    for (pc, instr) in program.instrs().iter().enumerate() {
+        let _ = writeln!(out, "{pc:6}: {}", disasm(instr));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::instr::Cond;
+    use crate::program::StreamId;
+    use crate::reg::{FReg, Reg};
+
+    #[test]
+    fn loads_and_stores() {
+        let i = Instr::Load {
+            rd: Reg::new(3),
+            mem: MemRef::Base { base: Reg::new(4), offset: -8 },
+            width: MemWidth::B4,
+        };
+        assert_eq!(disasm(&i), "lw r3, -8(r4)");
+        let s = Instr::Store {
+            rs: Reg::new(5),
+            mem: MemRef::Stream(StreamId::new(2)),
+            width: MemWidth::B8,
+        };
+        assert_eq!(disasm(&s), "sd r5, [s2]");
+    }
+
+    #[test]
+    fn branches_and_fp() {
+        let b = Instr::Branch { cond: Cond::Lt, rs1: Reg::new(1), rs2: Reg::new(2), target: 10 };
+        assert_eq!(disasm(&b), "blt r1, r2, @10");
+        let f = Instr::Fp {
+            op: crate::instr::FpOp::Mul,
+            fd: FReg::new(1),
+            fs1: FReg::new(2),
+            fs2: FReg::new(3),
+        };
+        assert_eq!(disasm(&f), "fmul f1, f2, f3");
+    }
+
+    #[test]
+    fn program_listing_has_one_line_per_instr() {
+        let mut b = ProgramBuilder::new("t");
+        b.nop();
+        b.halt();
+        let p = b.build();
+        let text = disasm_program(&p);
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.contains("halt"));
+    }
+
+    #[test]
+    fn every_variant_disassembles_distinctly() {
+        let r1 = Reg::new(1);
+        let f1 = FReg::new(1);
+        let mem = MemRef::Base { base: r1, offset: 0 };
+        let variants = vec![
+            Instr::Alu { op: crate::AluOp::Add, rd: r1, rs1: r1, rs2: r1 },
+            Instr::AluImm { op: crate::AluOp::Xor, rd: r1, rs1: r1, imm: 1 },
+            Instr::Li { rd: r1, imm: 1 },
+            Instr::Mul { rd: r1, rs1: r1, rs2: r1 },
+            Instr::Div { rd: r1, rs1: r1, rs2: r1 },
+            Instr::Rem { rd: r1, rs1: r1, rs2: r1 },
+            Instr::FLi { fd: f1, imm: 1.0 },
+            Instr::CvtIf { fd: f1, rs: r1 },
+            Instr::CvtFi { rd: r1, fs: f1 },
+            Instr::FCmpLt { rd: r1, fs1: f1, fs2: f1 },
+            Instr::LoadF { fd: f1, mem },
+            Instr::StoreF { fs: f1, mem },
+            Instr::Jump { target: 0 },
+            Instr::Jal { rd: r1, target: 0 },
+            Instr::Jr { rs: r1 },
+            Instr::Nop,
+            Instr::Halt,
+        ];
+        let texts: std::collections::HashSet<String> = variants.iter().map(disasm).collect();
+        assert_eq!(texts.len(), variants.len());
+    }
+}

@@ -1,0 +1,455 @@
+//! Fixed-width binary encoding of instructions.
+//!
+//! Every instruction encodes to one 64-bit word (the ISA's
+//! [`INSTR_BYTES`](crate::INSTR_BYTES)): an 8-bit opcode, three 8-bit
+//! register/selector fields, and a 32-bit immediate. Large `li` immediates
+//! that exceed 32 bits are the one variable exception — they are encoded
+//! as an opcode marker plus the full value in a trailing word by
+//! [`encode_program`], mirroring how fixed-width ISAs split large
+//! constants across instruction pairs.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::instr::{AluOp, Cond, FpOp, Instr, MemRef, MemWidth};
+use crate::program::StreamId;
+use crate::reg::{FReg, Reg};
+
+/// Error produced when a word does not decode to an instruction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DecodeError {
+    word: u64,
+    reason: &'static str,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot decode {:#018x}: {}", self.word, self.reason)
+    }
+}
+
+impl Error for DecodeError {}
+
+// Opcode space.
+const OP_ALU: u8 = 0x01; // a = AluOp discriminant
+const OP_ALU_IMM: u8 = 0x02;
+const OP_LI: u8 = 0x03; // imm32 sign-extended
+const OP_LI_WIDE: u8 = 0x04; // value in the following word
+const OP_MUL: u8 = 0x05;
+const OP_DIV: u8 = 0x06;
+const OP_REM: u8 = 0x07;
+const OP_FP: u8 = 0x08; // a = FpOp discriminant
+const OP_FLI: u8 = 0x09; // f64 bits in the following word
+const OP_CVT_IF: u8 = 0x0a;
+const OP_CVT_FI: u8 = 0x0b;
+const OP_FCMP_LT: u8 = 0x0c;
+const OP_LOAD: u8 = 0x0d; // c = width code; imm = offset
+const OP_STORE: u8 = 0x0e;
+const OP_LOAD_STREAM: u8 = 0x0f; // imm = stream id
+const OP_STORE_STREAM: u8 = 0x10;
+const OP_LOADF: u8 = 0x11;
+const OP_STOREF: u8 = 0x12;
+const OP_LOADF_STREAM: u8 = 0x13;
+const OP_STOREF_STREAM: u8 = 0x14;
+const OP_BRANCH: u8 = 0x15; // a = Cond discriminant; imm = target
+const OP_JUMP: u8 = 0x16;
+const OP_JAL: u8 = 0x17;
+const OP_JR: u8 = 0x18;
+const OP_NOP: u8 = 0x19;
+const OP_HALT: u8 = 0x1a;
+
+fn pack(op: u8, a: u8, b: u8, c: u8, imm: u32) -> u64 {
+    (u64::from(op) << 56)
+        | (u64::from(a) << 48)
+        | (u64::from(b) << 40)
+        | (u64::from(c) << 32)
+        | u64::from(imm)
+}
+
+fn fields(word: u64) -> (u8, u8, u8, u8, u32) {
+    (
+        (word >> 56) as u8,
+        (word >> 48) as u8,
+        (word >> 40) as u8,
+        (word >> 32) as u8,
+        word as u32,
+    )
+}
+
+fn alu_code(op: AluOp) -> u8 {
+    match op {
+        AluOp::Add => 0,
+        AluOp::Sub => 1,
+        AluOp::And => 2,
+        AluOp::Or => 3,
+        AluOp::Xor => 4,
+        AluOp::Sll => 5,
+        AluOp::Srl => 6,
+        AluOp::Sra => 7,
+        AluOp::Slt => 8,
+        AluOp::Sltu => 9,
+    }
+}
+
+fn alu_from(code: u8) -> Option<AluOp> {
+    Some(match code {
+        0 => AluOp::Add,
+        1 => AluOp::Sub,
+        2 => AluOp::And,
+        3 => AluOp::Or,
+        4 => AluOp::Xor,
+        5 => AluOp::Sll,
+        6 => AluOp::Srl,
+        7 => AluOp::Sra,
+        8 => AluOp::Slt,
+        9 => AluOp::Sltu,
+        _ => return None,
+    })
+}
+
+fn fp_code(op: FpOp) -> u8 {
+    match op {
+        FpOp::Add => 0,
+        FpOp::Sub => 1,
+        FpOp::Mul => 2,
+        FpOp::Div => 3,
+        FpOp::Sqrt => 4,
+        FpOp::Min => 5,
+        FpOp::Max => 6,
+    }
+}
+
+fn fp_from(code: u8) -> Option<FpOp> {
+    Some(match code {
+        0 => FpOp::Add,
+        1 => FpOp::Sub,
+        2 => FpOp::Mul,
+        3 => FpOp::Div,
+        4 => FpOp::Sqrt,
+        5 => FpOp::Min,
+        6 => FpOp::Max,
+        _ => return None,
+    })
+}
+
+fn cond_code(c: Cond) -> u8 {
+    match c {
+        Cond::Eq => 0,
+        Cond::Ne => 1,
+        Cond::Lt => 2,
+        Cond::Ge => 3,
+        Cond::Le => 4,
+        Cond::Gt => 5,
+    }
+}
+
+fn cond_from(code: u8) -> Option<Cond> {
+    Some(match code {
+        0 => Cond::Eq,
+        1 => Cond::Ne,
+        2 => Cond::Lt,
+        3 => Cond::Ge,
+        4 => Cond::Le,
+        5 => Cond::Gt,
+        _ => return None,
+    })
+}
+
+fn width_code(w: MemWidth) -> u8 {
+    match w {
+        MemWidth::B1 => 0,
+        MemWidth::B4 => 1,
+        MemWidth::B8 => 2,
+    }
+}
+
+fn width_from(code: u8) -> Option<MemWidth> {
+    Some(match code {
+        0 => MemWidth::B1,
+        1 => MemWidth::B4,
+        2 => MemWidth::B8,
+        _ => return None,
+    })
+}
+
+/// Encodes one instruction to a word, plus an optional trailing word for
+/// wide immediates (`li` beyond ±2³¹, and every `fli`).
+pub fn encode_instr(instr: &Instr) -> (u64, Option<u64>) {
+    match *instr {
+        Instr::Alu { op, rd, rs1, rs2 } => {
+            (pack(OP_ALU, alu_code(op), rd.index(), rs1.index(), u32::from(rs2.index())), None)
+        }
+        Instr::AluImm { op, rd, rs1, imm } => {
+            (pack(OP_ALU_IMM, alu_code(op), rd.index(), rs1.index(), imm as u32), None)
+        }
+        Instr::Li { rd, imm } => {
+            if i64::from(imm as i32) == imm {
+                (pack(OP_LI, rd.index(), 0, 0, imm as u32), None)
+            } else {
+                (pack(OP_LI_WIDE, rd.index(), 0, 0, 0), Some(imm as u64))
+            }
+        }
+        Instr::Mul { rd, rs1, rs2 } => {
+            (pack(OP_MUL, rd.index(), rs1.index(), rs2.index(), 0), None)
+        }
+        Instr::Div { rd, rs1, rs2 } => {
+            (pack(OP_DIV, rd.index(), rs1.index(), rs2.index(), 0), None)
+        }
+        Instr::Rem { rd, rs1, rs2 } => {
+            (pack(OP_REM, rd.index(), rs1.index(), rs2.index(), 0), None)
+        }
+        Instr::Fp { op, fd, fs1, fs2 } => {
+            (pack(OP_FP, fp_code(op), fd.index(), fs1.index(), u32::from(fs2.index())), None)
+        }
+        Instr::FLi { fd, imm } => {
+            (pack(OP_FLI, fd.index(), 0, 0, 0), Some(imm.to_bits()))
+        }
+        Instr::CvtIf { fd, rs } => (pack(OP_CVT_IF, fd.index(), rs.index(), 0, 0), None),
+        Instr::CvtFi { rd, fs } => (pack(OP_CVT_FI, rd.index(), fs.index(), 0, 0), None),
+        Instr::FCmpLt { rd, fs1, fs2 } => {
+            (pack(OP_FCMP_LT, rd.index(), fs1.index(), fs2.index(), 0), None)
+        }
+        Instr::Load { rd, mem, width } => match mem {
+            MemRef::Base { base, offset } => {
+                (pack(OP_LOAD, rd.index(), base.index(), width_code(width), offset as u32), None)
+            }
+            MemRef::Stream(id) => {
+                (pack(OP_LOAD_STREAM, rd.index(), 0, width_code(width), id.index()), None)
+            }
+        },
+        Instr::Store { rs, mem, width } => match mem {
+            MemRef::Base { base, offset } => {
+                (pack(OP_STORE, rs.index(), base.index(), width_code(width), offset as u32), None)
+            }
+            MemRef::Stream(id) => {
+                (pack(OP_STORE_STREAM, rs.index(), 0, width_code(width), id.index()), None)
+            }
+        },
+        Instr::LoadF { fd, mem } => match mem {
+            MemRef::Base { base, offset } => {
+                (pack(OP_LOADF, fd.index(), base.index(), 0, offset as u32), None)
+            }
+            MemRef::Stream(id) => (pack(OP_LOADF_STREAM, fd.index(), 0, 0, id.index()), None),
+        },
+        Instr::StoreF { fs, mem } => match mem {
+            MemRef::Base { base, offset } => {
+                (pack(OP_STOREF, fs.index(), base.index(), 0, offset as u32), None)
+            }
+            MemRef::Stream(id) => (pack(OP_STOREF_STREAM, fs.index(), 0, 0, id.index()), None),
+        },
+        Instr::Branch { cond, rs1, rs2, target } => {
+            (pack(OP_BRANCH, cond_code(cond), rs1.index(), rs2.index(), target), None)
+        }
+        Instr::Jump { target } => (pack(OP_JUMP, 0, 0, 0, target), None),
+        Instr::Jal { rd, target } => (pack(OP_JAL, rd.index(), 0, 0, target), None),
+        Instr::Jr { rs } => (pack(OP_JR, rs.index(), 0, 0, 0), None),
+        Instr::Nop => (pack(OP_NOP, 0, 0, 0, 0), None),
+        Instr::Halt => (pack(OP_HALT, 0, 0, 0, 0), None),
+    }
+}
+
+/// Decodes one word (plus the optional trailing word when the opcode
+/// demands one) back to an instruction.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] for unknown opcodes, out-of-range fields, or a
+/// missing trailing word.
+pub fn decode_instr(word: u64, trailing: Option<u64>) -> Result<Instr, DecodeError> {
+    let err = |reason: &'static str| DecodeError { word, reason };
+    let reg = |i: u8| -> Result<Reg, DecodeError> {
+        if i < 32 {
+            Ok(Reg::new(i))
+        } else {
+            Err(err("register field out of range"))
+        }
+    };
+    let freg = |i: u8| -> Result<FReg, DecodeError> {
+        if i < 32 {
+            Ok(FReg::new(i))
+        } else {
+            Err(err("fp register field out of range"))
+        }
+    };
+    let (op, a, b, c, imm) = fields(word);
+    Ok(match op {
+        OP_ALU => Instr::Alu {
+            op: alu_from(a).ok_or_else(|| err("bad alu op"))?,
+            rd: reg(b)?,
+            rs1: reg(c)?,
+            rs2: reg(imm as u8)?,
+        },
+        OP_ALU_IMM => Instr::AluImm {
+            op: alu_from(a).ok_or_else(|| err("bad alu op"))?,
+            rd: reg(b)?,
+            rs1: reg(c)?,
+            imm: imm as i32,
+        },
+        OP_LI => Instr::Li { rd: reg(a)?, imm: i64::from(imm as i32) },
+        OP_LI_WIDE => Instr::Li {
+            rd: reg(a)?,
+            imm: trailing.ok_or_else(|| err("missing wide immediate"))? as i64,
+        },
+        OP_MUL => Instr::Mul { rd: reg(a)?, rs1: reg(b)?, rs2: reg(c)? },
+        OP_DIV => Instr::Div { rd: reg(a)?, rs1: reg(b)?, rs2: reg(c)? },
+        OP_REM => Instr::Rem { rd: reg(a)?, rs1: reg(b)?, rs2: reg(c)? },
+        OP_FP => Instr::Fp {
+            op: fp_from(a).ok_or_else(|| err("bad fp op"))?,
+            fd: freg(b)?,
+            fs1: freg(c)?,
+            fs2: freg(imm as u8)?,
+        },
+        OP_FLI => Instr::FLi {
+            fd: freg(a)?,
+            imm: f64::from_bits(trailing.ok_or_else(|| err("missing fp immediate"))?),
+        },
+        OP_CVT_IF => Instr::CvtIf { fd: freg(a)?, rs: reg(b)? },
+        OP_CVT_FI => Instr::CvtFi { rd: reg(a)?, fs: freg(b)? },
+        OP_FCMP_LT => Instr::FCmpLt { rd: reg(a)?, fs1: freg(b)?, fs2: freg(c)? },
+        OP_LOAD => Instr::Load {
+            rd: reg(a)?,
+            mem: MemRef::Base { base: reg(b)?, offset: imm as i32 },
+            width: width_from(c).ok_or_else(|| err("bad width"))?,
+        },
+        OP_STORE => Instr::Store {
+            rs: reg(a)?,
+            mem: MemRef::Base { base: reg(b)?, offset: imm as i32 },
+            width: width_from(c).ok_or_else(|| err("bad width"))?,
+        },
+        OP_LOAD_STREAM => Instr::Load {
+            rd: reg(a)?,
+            mem: MemRef::Stream(StreamId::new(imm)),
+            width: width_from(c).ok_or_else(|| err("bad width"))?,
+        },
+        OP_STORE_STREAM => Instr::Store {
+            rs: reg(a)?,
+            mem: MemRef::Stream(StreamId::new(imm)),
+            width: width_from(c).ok_or_else(|| err("bad width"))?,
+        },
+        OP_LOADF => Instr::LoadF {
+            fd: freg(a)?,
+            mem: MemRef::Base { base: reg(b)?, offset: imm as i32 },
+        },
+        OP_STOREF => Instr::StoreF {
+            fs: freg(a)?,
+            mem: MemRef::Base { base: reg(b)?, offset: imm as i32 },
+        },
+        OP_LOADF_STREAM => Instr::LoadF { fd: freg(a)?, mem: MemRef::Stream(StreamId::new(imm)) },
+        OP_STOREF_STREAM => {
+            Instr::StoreF { fs: freg(a)?, mem: MemRef::Stream(StreamId::new(imm)) }
+        }
+        OP_BRANCH => Instr::Branch {
+            cond: cond_from(a).ok_or_else(|| err("bad condition"))?,
+            rs1: reg(b)?,
+            rs2: reg(c)?,
+            target: imm,
+        },
+        OP_JUMP => Instr::Jump { target: imm },
+        OP_JAL => Instr::Jal { rd: reg(a)?, target: imm },
+        OP_JR => Instr::Jr { rs: reg(a)? },
+        OP_NOP => Instr::Nop,
+        OP_HALT => Instr::Halt,
+        _ => return Err(err("unknown opcode")),
+    })
+}
+
+/// Encodes a whole instruction sequence (wide immediates expand to two
+/// words).
+pub fn encode_program(instrs: &[Instr]) -> Vec<u64> {
+    let mut out = Vec::with_capacity(instrs.len());
+    for i in instrs {
+        let (w, trailing) = encode_instr(i);
+        out.push(w);
+        if let Some(t) = trailing {
+            out.push(t);
+        }
+    }
+    out
+}
+
+/// Decodes a word stream produced by [`encode_program`].
+///
+/// # Errors
+///
+/// Returns the first [`DecodeError`] encountered.
+pub fn decode_program(words: &[u64]) -> Result<Vec<Instr>, DecodeError> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < words.len() {
+        let word = words[i];
+        let (op, ..) = fields(word);
+        let needs_trailing = op == OP_LI_WIDE || op == OP_FLI;
+        let trailing = if needs_trailing {
+            i += 1;
+            Some(*words.get(i).ok_or(DecodeError { word, reason: "truncated stream" })?)
+        } else {
+            None
+        };
+        out.push(decode_instr(word, trailing)?);
+        i += 1;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::reg::Reg;
+
+    #[test]
+    fn round_trip_simple_ops() {
+        let cases = [
+            Instr::Alu { op: AluOp::Xor, rd: Reg::new(1), rs1: Reg::new(2), rs2: Reg::new(3) },
+            Instr::AluImm { op: AluOp::Sra, rd: Reg::new(4), rs1: Reg::new(5), imm: -12 },
+            Instr::Li { rd: Reg::new(6), imm: -1 },
+            Instr::Branch { cond: Cond::Le, rs1: Reg::new(7), rs2: Reg::new(8), target: 9999 },
+            Instr::Halt,
+        ];
+        for i in cases {
+            let (w, t) = encode_instr(&i);
+            assert_eq!(decode_instr(w, t).unwrap(), i, "{i:?}");
+        }
+    }
+
+    #[test]
+    fn wide_immediates_take_two_words() {
+        let big = Instr::Li { rd: Reg::new(1), imm: 0x1234_5678_9abc };
+        let (w, t) = encode_instr(&big);
+        assert!(t.is_some());
+        assert_eq!(decode_instr(w, t).unwrap(), big);
+        let fp = Instr::FLi { fd: FReg::new(2), imm: -0.125 };
+        let (w, t) = encode_instr(&fp);
+        assert_eq!(decode_instr(w, t).unwrap(), fp);
+    }
+
+    #[test]
+    fn whole_kernel_round_trips() {
+        // A real program with every addressing mode.
+        let mut b = ProgramBuilder::new("rt");
+        let id = b.stream(crate::program::StreamDesc { base: 0x100, stride: 4, length: 9 });
+        b.li(Reg::new(1), 1 << 40);
+        b.fli(FReg::new(0), 3.5);
+        b.ld_stream(Reg::new(2), id, MemWidth::B4);
+        b.sd(Reg::new(2), Reg::new(1), -16);
+        let l = b.label();
+        b.bind(l);
+        b.bne(Reg::new(1), Reg::new(2), l);
+        b.halt();
+        let p = b.build();
+        let words = encode_program(p.instrs());
+        assert!(words.len() > p.len()); // wide imms expanded
+        let back = decode_program(&words).unwrap();
+        assert_eq!(back, p.instrs());
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(decode_instr(u64::MAX, None).is_err());
+        assert!(decode_instr(pack(OP_ALU, 99, 1, 2, 3), None).is_err());
+        assert!(decode_instr(pack(OP_LI_WIDE, 1, 0, 0, 0), None).is_err());
+        assert!(decode_program(&[pack(OP_FLI, 1, 0, 0, 0)]).is_err()); // truncated
+        let e = decode_instr(u64::MAX, None).unwrap_err();
+        assert!(e.to_string().contains("cannot decode"));
+    }
+}

@@ -1,0 +1,630 @@
+//! The instruction set.
+
+use std::fmt;
+
+use crate::program::StreamId;
+use crate::reg::{FReg, Reg};
+
+/// Integer ALU operation selector for [`Instr::Alu`] / [`Instr::AluImm`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    /// Two's-complement addition.
+    Add,
+    /// Two's-complement subtraction.
+    Sub,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Logical shift left (shift amount taken modulo 64).
+    Sll,
+    /// Logical shift right (shift amount taken modulo 64).
+    Srl,
+    /// Arithmetic shift right (shift amount taken modulo 64).
+    Sra,
+    /// Set-if-less-than, signed: `rd = (rs1 < rs2) as i64`.
+    Slt,
+    /// Set-if-less-than, unsigned.
+    Sltu,
+}
+
+impl AluOp {
+    /// Returns the assembly mnemonic for this operation.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            AluOp::Add => "add",
+            AluOp::Sub => "sub",
+            AluOp::And => "and",
+            AluOp::Or => "or",
+            AluOp::Xor => "xor",
+            AluOp::Sll => "sll",
+            AluOp::Srl => "srl",
+            AluOp::Sra => "sra",
+            AluOp::Slt => "slt",
+            AluOp::Sltu => "sltu",
+        }
+    }
+}
+
+impl fmt::Display for AluOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Floating-point operation selector for [`Instr::Fp`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FpOp {
+    /// IEEE-754 double addition.
+    Add,
+    /// IEEE-754 double subtraction.
+    Sub,
+    /// IEEE-754 double multiplication.
+    Mul,
+    /// IEEE-754 double division.
+    Div,
+    /// Square root of the first source (second source ignored).
+    Sqrt,
+    /// Minimum of the two sources.
+    Min,
+    /// Maximum of the two sources.
+    Max,
+}
+
+impl FpOp {
+    /// Returns the assembly mnemonic for this operation.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            FpOp::Add => "fadd",
+            FpOp::Sub => "fsub",
+            FpOp::Mul => "fmul",
+            FpOp::Div => "fdiv",
+            FpOp::Sqrt => "fsqrt",
+            FpOp::Min => "fmin",
+            FpOp::Max => "fmax",
+        }
+    }
+}
+
+impl fmt::Display for FpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Branch condition codes, evaluated over two signed integer registers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Cond {
+    /// Taken when `rs1 == rs2`.
+    Eq,
+    /// Taken when `rs1 != rs2`.
+    Ne,
+    /// Taken when `rs1 < rs2` (signed).
+    Lt,
+    /// Taken when `rs1 >= rs2` (signed).
+    Ge,
+    /// Taken when `rs1 <= rs2` (signed).
+    Le,
+    /// Taken when `rs1 > rs2` (signed).
+    Gt,
+}
+
+impl Cond {
+    /// Evaluates the condition over two signed operands.
+    #[inline]
+    pub fn eval(self, a: i64, b: i64) -> bool {
+        match self {
+            Cond::Eq => a == b,
+            Cond::Ne => a != b,
+            Cond::Lt => a < b,
+            Cond::Ge => a >= b,
+            Cond::Le => a <= b,
+            Cond::Gt => a > b,
+        }
+    }
+
+    /// Returns the assembly mnemonic (`beq`, `bne`, …).
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            Cond::Eq => "beq",
+            Cond::Ne => "bne",
+            Cond::Lt => "blt",
+            Cond::Ge => "bge",
+            Cond::Le => "ble",
+            Cond::Gt => "bgt",
+        }
+    }
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Memory access width in bytes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MemWidth {
+    /// One byte (zero-extended on load).
+    B1,
+    /// Four bytes (sign-extended on load).
+    B4,
+    /// Eight bytes.
+    B8,
+}
+
+impl MemWidth {
+    /// Returns the access size in bytes.
+    #[inline]
+    pub fn bytes(self) -> u64 {
+        match self {
+            MemWidth::B1 => 1,
+            MemWidth::B4 => 4,
+            MemWidth::B8 => 8,
+        }
+    }
+}
+
+/// The addressing mode of a load or store.
+///
+/// `Base` is conventional base-plus-displacement addressing used by the
+/// hand-written kernels. `Stream` is the auto-stride (post-increment with
+/// wrap) mode used by the clone synthesizer: the effective address walks a
+/// fixed-stride, fixed-length stream described by a [`StreamDesc`] in the
+/// owning [`Program`] — the executable realization of the paper's
+/// per-static-instruction stream model (§3.1.4).
+///
+/// [`StreamDesc`]: crate::StreamDesc
+/// [`Program`]: crate::Program
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MemRef {
+    /// `[base + offset]`.
+    Base {
+        /// Base address register.
+        base: Reg,
+        /// Signed byte displacement.
+        offset: i32,
+    },
+    /// Next address of the program-owned stride stream `id`.
+    Stream(StreamId),
+}
+
+/// One machine instruction.
+///
+/// Program counters are instruction indices; every instruction occupies
+/// [`INSTR_BYTES`](crate::INSTR_BYTES) bytes in the instruction address space
+/// seen by the I-cache.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Instr {
+    /// Three-register integer ALU operation: `rd = op(rs1, rs2)`.
+    Alu { op: AluOp, rd: Reg, rs1: Reg, rs2: Reg },
+    /// Register-immediate integer ALU operation: `rd = op(rs1, imm)`.
+    AluImm { op: AluOp, rd: Reg, rs1: Reg, imm: i32 },
+    /// Load immediate: `rd = imm` (classes as integer ALU).
+    Li { rd: Reg, imm: i64 },
+    /// Integer multiply: `rd = rs1 * rs2` (wrapping).
+    Mul { rd: Reg, rs1: Reg, rs2: Reg },
+    /// Integer divide: `rd = rs1 / rs2`; division by zero yields 0.
+    Div { rd: Reg, rs1: Reg, rs2: Reg },
+    /// Integer remainder: `rd = rs1 % rs2`; remainder by zero yields `rs1`.
+    Rem { rd: Reg, rs1: Reg, rs2: Reg },
+    /// Floating-point operation: `fd = op(fs1, fs2)`.
+    Fp { op: FpOp, fd: FReg, fs1: FReg, fs2: FReg },
+    /// Load FP immediate: `fd = imm` (classes as FP ALU).
+    FLi { fd: FReg, imm: f64 },
+    /// Convert integer to double: `fd = rs as f64` (classes as FP ALU).
+    CvtIf { fd: FReg, rs: Reg },
+    /// Convert double to integer (truncating): `rd = fs as i64` (FP ALU).
+    CvtFi { rd: Reg, fs: FReg },
+    /// FP compare: `rd = (fs1 < fs2) as i64` (classes as FP ALU).
+    FCmpLt { rd: Reg, fs1: FReg, fs2: FReg },
+    /// Integer load.
+    Load { rd: Reg, mem: MemRef, width: MemWidth },
+    /// Integer store.
+    Store { rs: Reg, mem: MemRef, width: MemWidth },
+    /// FP load (width is always 8 bytes).
+    LoadF { fd: FReg, mem: MemRef },
+    /// FP store (width is always 8 bytes).
+    StoreF { fs: FReg, mem: MemRef },
+    /// Conditional branch to the absolute instruction index `target`.
+    Branch { cond: Cond, rs1: Reg, rs2: Reg, target: u32 },
+    /// Unconditional jump to the absolute instruction index `target`.
+    Jump { target: u32 },
+    /// Jump and link: `rd = pc + 1`, then jump to `target`.
+    Jal { rd: Reg, target: u32 },
+    /// Indirect jump to the instruction index held in `rs`.
+    Jr { rs: Reg },
+    /// No operation (classes as integer ALU).
+    Nop,
+    /// Stops the program.
+    Halt,
+}
+
+/// Instruction classes used for the paper's instruction-mix attribute and for
+/// functional-unit assignment in the timing simulator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum InstrClass {
+    /// Integer arithmetic/logic (including `li` and `nop`).
+    IntAlu,
+    /// Integer multiplication.
+    IntMul,
+    /// Integer division/remainder.
+    IntDiv,
+    /// FP add/sub/compare/convert.
+    FpAlu,
+    /// FP multiplication.
+    FpMul,
+    /// FP division/square-root.
+    FpDiv,
+    /// Memory load (integer or FP).
+    Load,
+    /// Memory store (integer or FP).
+    Store,
+    /// Conditional branch.
+    Branch,
+    /// Unconditional control transfer (`jump`, `jal`, `jr`, `halt`).
+    Jump,
+}
+
+impl InstrClass {
+    /// All classes, in display order.
+    pub const ALL: [InstrClass; 10] = [
+        InstrClass::IntAlu,
+        InstrClass::IntMul,
+        InstrClass::IntDiv,
+        InstrClass::FpAlu,
+        InstrClass::FpMul,
+        InstrClass::FpDiv,
+        InstrClass::Load,
+        InstrClass::Store,
+        InstrClass::Branch,
+        InstrClass::Jump,
+    ];
+
+    /// A short label for tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            InstrClass::IntAlu => "int_alu",
+            InstrClass::IntMul => "int_mul",
+            InstrClass::IntDiv => "int_div",
+            InstrClass::FpAlu => "fp_alu",
+            InstrClass::FpMul => "fp_mul",
+            InstrClass::FpDiv => "fp_div",
+            InstrClass::Load => "load",
+            InstrClass::Store => "store",
+            InstrClass::Branch => "branch",
+            InstrClass::Jump => "jump",
+        }
+    }
+
+    /// Index of this class within [`InstrClass::ALL`].
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+impl fmt::Display for InstrClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A reference to an architectural register, integer or floating-point.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RegRef {
+    /// An integer register.
+    Int(Reg),
+    /// A floating-point register.
+    Fp(FReg),
+}
+
+impl RegRef {
+    /// A dense index in `0..64` (ints first), for flat lookup tables.
+    #[inline]
+    pub fn flat_index(self) -> usize {
+        match self {
+            RegRef::Int(r) => r.index() as usize,
+            RegRef::Fp(f) => 32 + f.index() as usize,
+        }
+    }
+}
+
+impl fmt::Display for RegRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegRef::Int(r) => write!(f, "{r}"),
+            RegRef::Fp(r) => write!(f, "{r}"),
+        }
+    }
+}
+
+/// A fixed-capacity (max 3) list of register references, returned by
+/// [`Instr::defs`] and [`Instr::uses`] without heap allocation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OperandList {
+    items: [Option<RegRef>; 3],
+    len: u8,
+}
+
+impl OperandList {
+    /// Creates an empty list.
+    pub fn new() -> OperandList {
+        OperandList::default()
+    }
+
+    fn push(&mut self, r: RegRef) {
+        // The zero register is never a real dependence.
+        if matches!(r, RegRef::Int(reg) if reg.is_zero()) {
+            return;
+        }
+        self.items[self.len as usize] = Some(r);
+        self.len += 1;
+    }
+
+    /// Number of operands in the list.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Returns `true` when the list holds no operands.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Iterates over the operands.
+    pub fn iter(&self) -> impl Iterator<Item = RegRef> + '_ {
+        self.items.iter().take(self.len as usize).map(|o| o.unwrap())
+    }
+}
+
+impl IntoIterator for OperandList {
+    type Item = RegRef;
+    type IntoIter = std::iter::Flatten<std::array::IntoIter<Option<RegRef>, 3>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.into_iter().flatten()
+    }
+}
+
+impl Instr {
+    /// Returns the instruction's class for mix accounting and FU assignment.
+    pub fn class(&self) -> InstrClass {
+        match self {
+            Instr::Alu { .. } | Instr::AluImm { .. } | Instr::Li { .. } | Instr::Nop => {
+                InstrClass::IntAlu
+            }
+            Instr::Mul { .. } => InstrClass::IntMul,
+            Instr::Div { .. } | Instr::Rem { .. } => InstrClass::IntDiv,
+            Instr::Fp { op, .. } => match op {
+                FpOp::Mul => InstrClass::FpMul,
+                FpOp::Div | FpOp::Sqrt => InstrClass::FpDiv,
+                _ => InstrClass::FpAlu,
+            },
+            Instr::FLi { .. } | Instr::CvtIf { .. } | Instr::CvtFi { .. } | Instr::FCmpLt { .. } => {
+                InstrClass::FpAlu
+            }
+            Instr::Load { .. } | Instr::LoadF { .. } => InstrClass::Load,
+            Instr::Store { .. } | Instr::StoreF { .. } => InstrClass::Store,
+            Instr::Branch { .. } => InstrClass::Branch,
+            Instr::Jump { .. } | Instr::Jal { .. } | Instr::Jr { .. } | Instr::Halt => {
+                InstrClass::Jump
+            }
+        }
+    }
+
+    /// Registers written by this instruction (the hardwired zero register is
+    /// never reported).
+    pub fn defs(&self) -> OperandList {
+        let mut out = OperandList::new();
+        match *self {
+            Instr::Alu { rd, .. }
+            | Instr::AluImm { rd, .. }
+            | Instr::Li { rd, .. }
+            | Instr::Mul { rd, .. }
+            | Instr::Div { rd, .. }
+            | Instr::Rem { rd, .. }
+            | Instr::CvtFi { rd, .. }
+            | Instr::FCmpLt { rd, .. }
+            | Instr::Load { rd, .. }
+            | Instr::Jal { rd, .. } => out.push(RegRef::Int(rd)),
+            Instr::Fp { fd, .. } | Instr::FLi { fd, .. } | Instr::CvtIf { fd, .. } => {
+                out.push(RegRef::Fp(fd))
+            }
+            Instr::LoadF { fd, .. } => out.push(RegRef::Fp(fd)),
+            Instr::Store { .. }
+            | Instr::StoreF { .. }
+            | Instr::Branch { .. }
+            | Instr::Jump { .. }
+            | Instr::Jr { .. }
+            | Instr::Nop
+            | Instr::Halt => {}
+        }
+        out
+    }
+
+    /// Registers read by this instruction (the hardwired zero register is
+    /// never reported). Address base registers of loads/stores are included.
+    pub fn uses(&self) -> OperandList {
+        let mut out = OperandList::new();
+        let push_mem = |out: &mut OperandList, mem: &MemRef| {
+            if let MemRef::Base { base, .. } = mem {
+                out.push(RegRef::Int(*base));
+            }
+        };
+        match self {
+            Instr::Alu { rs1, rs2, .. } => {
+                out.push(RegRef::Int(*rs1));
+                out.push(RegRef::Int(*rs2));
+            }
+            Instr::AluImm { rs1, .. } => out.push(RegRef::Int(*rs1)),
+            Instr::Li { .. } | Instr::FLi { .. } | Instr::Nop | Instr::Halt => {}
+            Instr::Mul { rs1, rs2, .. } | Instr::Div { rs1, rs2, .. } | Instr::Rem { rs1, rs2, .. } => {
+                out.push(RegRef::Int(*rs1));
+                out.push(RegRef::Int(*rs2));
+            }
+            Instr::Fp { op, fs1, fs2, .. } => {
+                out.push(RegRef::Fp(*fs1));
+                if !matches!(op, FpOp::Sqrt) {
+                    out.push(RegRef::Fp(*fs2));
+                }
+            }
+            Instr::CvtIf { rs, .. } => out.push(RegRef::Int(*rs)),
+            Instr::CvtFi { fs, .. } => out.push(RegRef::Fp(*fs)),
+            Instr::FCmpLt { fs1, fs2, .. } => {
+                out.push(RegRef::Fp(*fs1));
+                out.push(RegRef::Fp(*fs2));
+            }
+            Instr::Load { mem, .. } => push_mem(&mut out, mem),
+            Instr::LoadF { mem, .. } => push_mem(&mut out, mem),
+            Instr::Store { rs, mem, .. } => {
+                out.push(RegRef::Int(*rs));
+                push_mem(&mut out, mem);
+            }
+            Instr::StoreF { fs, mem } => {
+                out.push(RegRef::Fp(*fs));
+                push_mem(&mut out, mem);
+            }
+            Instr::Branch { rs1, rs2, .. } => {
+                out.push(RegRef::Int(*rs1));
+                out.push(RegRef::Int(*rs2));
+            }
+            Instr::Jump { .. } | Instr::Jal { .. } => {}
+            Instr::Jr { rs } => out.push(RegRef::Int(*rs)),
+        }
+        out
+    }
+
+    /// Returns the memory reference for loads/stores, `None` otherwise.
+    pub fn mem_ref(&self) -> Option<(MemRef, MemWidth, bool)> {
+        match *self {
+            Instr::Load { mem, width, .. } => Some((mem, width, false)),
+            Instr::LoadF { mem, .. } => Some((mem, MemWidth::B8, false)),
+            Instr::Store { mem, width, .. } => Some((mem, width, true)),
+            Instr::StoreF { mem, .. } => Some((mem, MemWidth::B8, true)),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` for instructions that may redirect control flow
+    /// (conditional branches and all jumps, but not `halt`).
+    pub fn is_control(&self) -> bool {
+        matches!(
+            self,
+            Instr::Branch { .. } | Instr::Jump { .. } | Instr::Jal { .. } | Instr::Jr { .. }
+        )
+    }
+
+    /// Returns `true` for conditional branches.
+    pub fn is_cond_branch(&self) -> bool {
+        matches!(self, Instr::Branch { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(i: u8) -> Reg {
+        Reg::new(i)
+    }
+
+    #[test]
+    fn classes() {
+        assert_eq!(Instr::Nop.class(), InstrClass::IntAlu);
+        assert_eq!(
+            Instr::Mul { rd: r(1), rs1: r(2), rs2: r(3) }.class(),
+            InstrClass::IntMul
+        );
+        assert_eq!(
+            Instr::Fp { op: FpOp::Mul, fd: FReg::new(0), fs1: FReg::new(1), fs2: FReg::new(2) }
+                .class(),
+            InstrClass::FpMul
+        );
+        assert_eq!(
+            Instr::Fp { op: FpOp::Sqrt, fd: FReg::new(0), fs1: FReg::new(1), fs2: FReg::new(1) }
+                .class(),
+            InstrClass::FpDiv
+        );
+        assert_eq!(Instr::Halt.class(), InstrClass::Jump);
+    }
+
+    #[test]
+    fn class_index_matches_all() {
+        for (i, c) in InstrClass::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+    }
+
+    #[test]
+    fn defs_and_uses() {
+        let i = Instr::Alu { op: AluOp::Add, rd: r(1), rs1: r(2), rs2: r(3) };
+        assert_eq!(i.defs().iter().collect::<Vec<_>>(), vec![RegRef::Int(r(1))]);
+        assert_eq!(
+            i.uses().iter().collect::<Vec<_>>(),
+            vec![RegRef::Int(r(2)), RegRef::Int(r(3))]
+        );
+    }
+
+    #[test]
+    fn zero_register_is_invisible() {
+        let i = Instr::Alu { op: AluOp::Add, rd: Reg::ZERO, rs1: Reg::ZERO, rs2: r(3) };
+        assert!(i.defs().is_empty());
+        assert_eq!(i.uses().len(), 1);
+    }
+
+    #[test]
+    fn store_uses_value_and_base() {
+        let i = Instr::Store {
+            rs: r(4),
+            mem: MemRef::Base { base: r(5), offset: 8 },
+            width: MemWidth::B8,
+        };
+        assert!(i.defs().is_empty());
+        assert_eq!(i.uses().len(), 2);
+        let (mem, width, is_store) = i.mem_ref().unwrap();
+        assert_eq!(width.bytes(), 8);
+        assert!(is_store);
+        assert_eq!(mem, MemRef::Base { base: r(5), offset: 8 });
+    }
+
+    #[test]
+    fn stream_memref_has_no_register_uses() {
+        let i = Instr::Load { rd: r(1), mem: MemRef::Stream(StreamId::new(0)), width: MemWidth::B4 };
+        assert!(i.uses().is_empty());
+    }
+
+    #[test]
+    fn cond_eval() {
+        assert!(Cond::Eq.eval(3, 3));
+        assert!(Cond::Ne.eval(3, 4));
+        assert!(Cond::Lt.eval(-1, 0));
+        assert!(Cond::Ge.eval(0, 0));
+        assert!(Cond::Le.eval(-5, -5));
+        assert!(Cond::Gt.eval(7, 6));
+        assert!(!Cond::Gt.eval(6, 7));
+    }
+
+    #[test]
+    fn sqrt_uses_single_source() {
+        let i = Instr::Fp {
+            op: FpOp::Sqrt,
+            fd: FReg::new(0),
+            fs1: FReg::new(1),
+            fs2: FReg::new(2),
+        };
+        assert_eq!(i.uses().len(), 1);
+    }
+
+    #[test]
+    fn flat_index_is_dense() {
+        assert_eq!(RegRef::Int(Reg::new(0)).flat_index(), 0);
+        assert_eq!(RegRef::Int(Reg::new(31)).flat_index(), 31);
+        assert_eq!(RegRef::Fp(FReg::new(0)).flat_index(), 32);
+        assert_eq!(RegRef::Fp(FReg::new(31)).flat_index(), 63);
+    }
+}

@@ -1,0 +1,425 @@
+//! Parsing of the assembly text produced by [`disasm`](crate::disasm) —
+//! the inverse direction, so program listings round-trip.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::instr::{AluOp, Cond, FpOp, Instr, MemRef, MemWidth};
+use crate::program::StreamId;
+use crate::reg::{FReg, Reg};
+
+/// Error produced when assembly text cannot be parsed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseInstrError {
+    text: String,
+    reason: String,
+}
+
+impl ParseInstrError {
+    fn new(text: &str, reason: impl Into<String>) -> ParseInstrError {
+        ParseInstrError { text: text.to_string(), reason: reason.into() }
+    }
+}
+
+impl fmt::Display for ParseInstrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot parse {:?}: {}", self.text, self.reason)
+    }
+}
+
+impl Error for ParseInstrError {}
+
+fn parse_reg(s: &str) -> Result<Reg, String> {
+    let idx = s
+        .strip_prefix('r')
+        .and_then(|n| n.parse::<u8>().ok())
+        .filter(|&n| n < 32)
+        .ok_or_else(|| format!("bad integer register {s:?}"))?;
+    Ok(Reg::new(idx))
+}
+
+fn parse_freg(s: &str) -> Result<FReg, String> {
+    let idx = s
+        .strip_prefix('f')
+        .and_then(|n| n.parse::<u8>().ok())
+        .filter(|&n| n < 32)
+        .ok_or_else(|| format!("bad fp register {s:?}"))?;
+    Ok(FReg::new(idx))
+}
+
+fn parse_target(s: &str) -> Result<u32, String> {
+    s.strip_prefix('@')
+        .and_then(|n| n.parse::<u32>().ok())
+        .ok_or_else(|| format!("bad target {s:?}"))
+}
+
+/// Parses `off(rN)` or `[sN]` memory operands.
+fn parse_mem(s: &str) -> Result<MemRef, String> {
+    if let Some(inner) = s.strip_prefix('[').and_then(|x| x.strip_suffix(']')) {
+        let id = inner
+            .strip_prefix('s')
+            .and_then(|n| n.parse::<u32>().ok())
+            .ok_or_else(|| format!("bad stream ref {s:?}"))?;
+        return Ok(MemRef::Stream(StreamId::new(id)));
+    }
+    let open = s.find('(').ok_or_else(|| format!("bad memory operand {s:?}"))?;
+    let close = s.rfind(')').ok_or_else(|| format!("bad memory operand {s:?}"))?;
+    let offset: i32 =
+        s[..open].parse().map_err(|_| format!("bad offset in {s:?}"))?;
+    let base = parse_reg(&s[open + 1..close])?;
+    Ok(MemRef::Base { base, offset })
+}
+
+fn alu_op(mnemonic: &str) -> Option<AluOp> {
+    Some(match mnemonic {
+        "add" => AluOp::Add,
+        "sub" => AluOp::Sub,
+        "and" => AluOp::And,
+        "or" => AluOp::Or,
+        "xor" => AluOp::Xor,
+        "sll" => AluOp::Sll,
+        "srl" => AluOp::Srl,
+        "sra" => AluOp::Sra,
+        "slt" => AluOp::Slt,
+        "sltu" => AluOp::Sltu,
+        _ => return None,
+    })
+}
+
+fn fp_op(mnemonic: &str) -> Option<FpOp> {
+    Some(match mnemonic {
+        "fadd" => FpOp::Add,
+        "fsub" => FpOp::Sub,
+        "fmul" => FpOp::Mul,
+        "fdiv" => FpOp::Div,
+        "fsqrt" => FpOp::Sqrt,
+        "fmin" => FpOp::Min,
+        "fmax" => FpOp::Max,
+        _ => return None,
+    })
+}
+
+fn cond(mnemonic: &str) -> Option<Cond> {
+    Some(match mnemonic {
+        "beq" => Cond::Eq,
+        "bne" => Cond::Ne,
+        "blt" => Cond::Lt,
+        "bge" => Cond::Ge,
+        "ble" => Cond::Le,
+        "bgt" => Cond::Gt,
+        _ => return None,
+    })
+}
+
+/// Parses one line of assembly in [`disasm`](crate::disasm)'s syntax.
+///
+/// # Example
+///
+/// ```
+/// use perfclone_isa::{parse_instr, disasm, Instr, Reg, AluOp};
+/// let i = Instr::AluImm { op: AluOp::Xor, rd: Reg::new(1), rs1: Reg::new(2), imm: -5 };
+/// assert_eq!(parse_instr(&disasm(&i)).unwrap(), i);
+/// ```
+///
+/// # Errors
+///
+/// Returns [`ParseInstrError`] for unknown mnemonics or malformed operands.
+pub fn parse_instr(line: &str) -> Result<Instr, ParseInstrError> {
+    let text = line.trim();
+    let err = |reason: String| ParseInstrError::new(text, reason);
+    let (mnemonic, rest) = match text.split_once(' ') {
+        Some((m, r)) => (m, r.trim()),
+        None => (text, ""),
+    };
+    let ops: Vec<&str> = if rest.is_empty() {
+        Vec::new()
+    } else {
+        rest.split(',').map(str::trim).collect()
+    };
+    let want = |n: usize| -> Result<(), ParseInstrError> {
+        if ops.len() == n {
+            Ok(())
+        } else {
+            Err(err(format!("expected {n} operands, got {}", ops.len())))
+        }
+    };
+
+    // Register-register ALU.
+    if let Some(op) = alu_op(mnemonic) {
+        want(3)?;
+        return Ok(Instr::Alu {
+            op,
+            rd: parse_reg(ops[0]).map_err(err)?,
+            rs1: parse_reg(ops[1]).map_err(err)?,
+            rs2: parse_reg(ops[2]).map_err(err)?,
+        });
+    }
+    // Register-immediate ALU: mnemonic ends with 'i'.
+    if let Some(op) = mnemonic.strip_suffix('i').and_then(alu_op) {
+        want(3)?;
+        return Ok(Instr::AluImm {
+            op,
+            rd: parse_reg(ops[0]).map_err(err)?,
+            rs1: parse_reg(ops[1]).map_err(err)?,
+            imm: ops[2].parse().map_err(|_| err(format!("bad immediate {:?}", ops[2])))?,
+        });
+    }
+    if let Some(op) = fp_op(mnemonic) {
+        if op == FpOp::Sqrt {
+            // disasm prints both sources even though sqrt reads one.
+            want(3)?;
+        } else {
+            want(3)?;
+        }
+        return Ok(Instr::Fp {
+            op,
+            fd: parse_freg(ops[0]).map_err(err)?,
+            fs1: parse_freg(ops[1]).map_err(err)?,
+            fs2: parse_freg(ops[2]).map_err(err)?,
+        });
+    }
+    if let Some(c) = cond(mnemonic) {
+        want(3)?;
+        return Ok(Instr::Branch {
+            cond: c,
+            rs1: parse_reg(ops[0]).map_err(err)?,
+            rs2: parse_reg(ops[1]).map_err(err)?,
+            target: parse_target(ops[2]).map_err(err)?,
+        });
+    }
+    match mnemonic {
+        "li" => {
+            want(2)?;
+            Ok(Instr::Li {
+                rd: parse_reg(ops[0]).map_err(err)?,
+                imm: ops[1].parse().map_err(|_| err(format!("bad immediate {:?}", ops[1])))?,
+            })
+        }
+        "fli" => {
+            want(2)?;
+            Ok(Instr::FLi {
+                fd: parse_freg(ops[0]).map_err(err)?,
+                imm: ops[1].parse().map_err(|_| err(format!("bad fp immediate {:?}", ops[1])))?,
+            })
+        }
+        "mul" | "div" | "rem" => {
+            want(3)?;
+            let rd = parse_reg(ops[0]).map_err(err)?;
+            let rs1 = parse_reg(ops[1]).map_err(err)?;
+            let rs2 = parse_reg(ops[2]).map_err(err)?;
+            Ok(match mnemonic {
+                "mul" => Instr::Mul { rd, rs1, rs2 },
+                "div" => Instr::Div { rd, rs1, rs2 },
+                _ => Instr::Rem { rd, rs1, rs2 },
+            })
+        }
+        "cvt.i.f" => {
+            want(2)?;
+            Ok(Instr::CvtIf {
+                fd: parse_freg(ops[0]).map_err(err)?,
+                rs: parse_reg(ops[1]).map_err(err)?,
+            })
+        }
+        "cvt.f.i" => {
+            want(2)?;
+            Ok(Instr::CvtFi {
+                rd: parse_reg(ops[0]).map_err(err)?,
+                fs: parse_freg(ops[1]).map_err(err)?,
+            })
+        }
+        "fcmp.lt" => {
+            want(3)?;
+            Ok(Instr::FCmpLt {
+                rd: parse_reg(ops[0]).map_err(err)?,
+                fs1: parse_freg(ops[1]).map_err(err)?,
+                fs2: parse_freg(ops[2]).map_err(err)?,
+            })
+        }
+        "lb" | "lw" | "ld" => {
+            want(2)?;
+            let width = match mnemonic {
+                "lb" => MemWidth::B1,
+                "lw" => MemWidth::B4,
+                _ => MemWidth::B8,
+            };
+            Ok(Instr::Load {
+                rd: parse_reg(ops[0]).map_err(err)?,
+                mem: parse_mem(ops[1]).map_err(err)?,
+                width,
+            })
+        }
+        "sb" | "sw" | "sd" => {
+            want(2)?;
+            let width = match mnemonic {
+                "sb" => MemWidth::B1,
+                "sw" => MemWidth::B4,
+                _ => MemWidth::B8,
+            };
+            Ok(Instr::Store {
+                rs: parse_reg(ops[0]).map_err(err)?,
+                mem: parse_mem(ops[1]).map_err(err)?,
+                width,
+            })
+        }
+        "fld" => {
+            want(2)?;
+            Ok(Instr::LoadF {
+                fd: parse_freg(ops[0]).map_err(err)?,
+                mem: parse_mem(ops[1]).map_err(err)?,
+            })
+        }
+        "fsd" => {
+            want(2)?;
+            Ok(Instr::StoreF {
+                fs: parse_freg(ops[0]).map_err(err)?,
+                mem: parse_mem(ops[1]).map_err(err)?,
+            })
+        }
+        "j" => {
+            want(1)?;
+            Ok(Instr::Jump { target: parse_target(ops[0]).map_err(err)? })
+        }
+        "jal" => {
+            want(2)?;
+            Ok(Instr::Jal {
+                rd: parse_reg(ops[0]).map_err(err)?,
+                target: parse_target(ops[1]).map_err(err)?,
+            })
+        }
+        "jr" => {
+            want(1)?;
+            Ok(Instr::Jr { rs: parse_reg(ops[0]).map_err(err)? })
+        }
+        "nop" => {
+            want(0)?;
+            Ok(Instr::Nop)
+        }
+        "halt" => {
+            want(0)?;
+            Ok(Instr::Halt)
+        }
+        other => Err(err(format!("unknown mnemonic {other:?}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disasm::disasm;
+    use proptest::prelude::*;
+
+    fn reg_strategy() -> impl Strategy<Value = Reg> {
+        (0u8..32).prop_map(Reg::new)
+    }
+
+    fn freg_strategy() -> impl Strategy<Value = FReg> {
+        (0u8..32).prop_map(FReg::new)
+    }
+
+    fn mem_strategy() -> impl Strategy<Value = MemRef> {
+        prop_oneof![
+            (reg_strategy(), -4096i32..4096)
+                .prop_map(|(base, offset)| MemRef::Base { base, offset }),
+            (0u32..64).prop_map(|i| MemRef::Stream(StreamId::new(i))),
+        ]
+    }
+
+    fn instr_strategy() -> impl Strategy<Value = Instr> {
+        let alu = prop_oneof![
+            Just(AluOp::Add),
+            Just(AluOp::Sub),
+            Just(AluOp::And),
+            Just(AluOp::Or),
+            Just(AluOp::Xor),
+            Just(AluOp::Sll),
+            Just(AluOp::Srl),
+            Just(AluOp::Sra),
+            Just(AluOp::Slt),
+            Just(AluOp::Sltu),
+        ];
+        let conds = prop_oneof![
+            Just(Cond::Eq),
+            Just(Cond::Ne),
+            Just(Cond::Lt),
+            Just(Cond::Ge),
+            Just(Cond::Le),
+            Just(Cond::Gt),
+        ];
+        let widths = prop_oneof![Just(MemWidth::B1), Just(MemWidth::B4), Just(MemWidth::B8)];
+        prop_oneof![
+            (alu.clone(), reg_strategy(), reg_strategy(), reg_strategy())
+                .prop_map(|(op, rd, rs1, rs2)| Instr::Alu { op, rd, rs1, rs2 }),
+            (alu, reg_strategy(), reg_strategy(), -1000i32..1000)
+                .prop_map(|(op, rd, rs1, imm)| Instr::AluImm { op, rd, rs1, imm }),
+            (reg_strategy(), -1_000_000i64..1_000_000)
+                .prop_map(|(rd, imm)| Instr::Li { rd, imm }),
+            (reg_strategy(), reg_strategy(), reg_strategy())
+                .prop_map(|(rd, rs1, rs2)| Instr::Mul { rd, rs1, rs2 }),
+            (reg_strategy(), reg_strategy(), reg_strategy())
+                .prop_map(|(rd, rs1, rs2)| Instr::Div { rd, rs1, rs2 }),
+            (reg_strategy(), reg_strategy(), reg_strategy())
+                .prop_map(|(rd, rs1, rs2)| Instr::Rem { rd, rs1, rs2 }),
+            (freg_strategy(), freg_strategy(), freg_strategy())
+                .prop_map(|(fd, fs1, fs2)| Instr::Fp { op: FpOp::Mul, fd, fs1, fs2 }),
+            (reg_strategy(), mem_strategy(), widths.clone())
+                .prop_map(|(rd, mem, width)| Instr::Load { rd, mem, width }),
+            (reg_strategy(), mem_strategy(), widths)
+                .prop_map(|(rs, mem, width)| Instr::Store { rs, mem, width }),
+            (freg_strategy(), mem_strategy()).prop_map(|(fd, mem)| Instr::LoadF { fd, mem }),
+            (freg_strategy(), mem_strategy()).prop_map(|(fs, mem)| Instr::StoreF { fs, mem }),
+            (conds, reg_strategy(), reg_strategy(), 0u32..10_000)
+                .prop_map(|(cond, rs1, rs2, target)| Instr::Branch { cond, rs1, rs2, target }),
+            (0u32..10_000).prop_map(|target| Instr::Jump { target }),
+            (reg_strategy(), 0u32..10_000).prop_map(|(rd, target)| Instr::Jal { rd, target }),
+            reg_strategy().prop_map(|rs| Instr::Jr { rs }),
+            Just(Instr::Nop),
+            Just(Instr::Halt),
+        ]
+    }
+
+    proptest! {
+        /// Every instruction round-trips through disassembly and parsing.
+        #[test]
+        fn disasm_parse_round_trip(i in instr_strategy()) {
+            let text = disasm(&i);
+            let back = parse_instr(&text).expect("parses");
+            prop_assert_eq!(back, i);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_instr("frobnicate r1, r2").is_err());
+        assert!(parse_instr("add r1, r2").is_err()); // too few operands
+        assert!(parse_instr("add r1, r2, r99").is_err()); // bad register
+        assert!(parse_instr("ld r1, nonsense").is_err());
+        assert!(parse_instr("beq r1, r2, 12").is_err()); // missing '@'
+    }
+
+    #[test]
+    fn parse_examples() {
+        assert_eq!(
+            parse_instr("lw r3, -8(r4)").unwrap(),
+            Instr::Load {
+                rd: Reg::new(3),
+                mem: MemRef::Base { base: Reg::new(4), offset: -8 },
+                width: MemWidth::B4
+            }
+        );
+        assert_eq!(
+            parse_instr("sd r5, [s2]").unwrap(),
+            Instr::Store {
+                rs: Reg::new(5),
+                mem: MemRef::Stream(StreamId::new(2)),
+                width: MemWidth::B8
+            }
+        );
+        assert_eq!(parse_instr("halt").unwrap(), Instr::Halt);
+    }
+
+    #[test]
+    fn error_display_mentions_input() {
+        let e = parse_instr("bogus r1").unwrap_err();
+        assert!(e.to_string().contains("bogus"));
+    }
+}

@@ -1,0 +1,225 @@
+//! Linked programs: instructions, initial data image, stream descriptors.
+
+use std::fmt;
+
+use crate::instr::Instr;
+
+/// Bytes occupied by one instruction in the instruction address space, as
+/// seen by the I-cache.
+pub const INSTR_BYTES: u64 = 8;
+
+/// Identifier of a stride stream owned by a [`Program`].
+///
+/// Every static load/store emitted by the clone synthesizer references its own
+/// stream, realizing the paper's "each static memory access instruction is one
+/// stream of accesses" model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StreamId(u32);
+
+impl StreamId {
+    /// Creates a stream id from a raw index.
+    #[inline]
+    pub fn new(index: u32) -> StreamId {
+        StreamId(index)
+    }
+
+    /// Returns the raw index.
+    #[inline]
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for StreamId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// Descriptor of an arithmetic-progression access stream.
+///
+/// The `k`-th access of the stream touches
+/// `base + (k mod length) * stride` bytes; after `length` accesses the walk
+/// wraps to the start, bounding the data footprint (paper §3.2 step 11).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct StreamDesc {
+    /// First byte address of the stream.
+    pub base: u64,
+    /// Signed byte stride between consecutive accesses.
+    pub stride: i64,
+    /// Number of accesses before the walk resets (must be ≥ 1).
+    pub length: u32,
+}
+
+impl StreamDesc {
+    /// Effective address of the `k`-th dynamic access of this stream.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use perfclone_isa::StreamDesc;
+    /// let s = StreamDesc { base: 0x1000, stride: 16, length: 4 };
+    /// assert_eq!(s.address(0), 0x1000);
+    /// assert_eq!(s.address(3), 0x1030);
+    /// assert_eq!(s.address(4), 0x1000); // wrapped
+    /// ```
+    #[inline]
+    pub fn address(&self, k: u64) -> u64 {
+        let pos = (k % u64::from(self.length.max(1))) as i64;
+        (self.base as i64).wrapping_add(pos.wrapping_mul(self.stride)) as u64
+    }
+
+    /// The byte extent touched by one full walk of the stream
+    /// (`|stride| * (length - 1) + 1` start bytes).
+    pub fn footprint_bytes(&self) -> u64 {
+        self.stride.unsigned_abs() * u64::from(self.length.saturating_sub(1)) + 1
+    }
+}
+
+/// An initialized data segment in the program's initial memory image.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DataSeg {
+    /// First byte address.
+    pub addr: u64,
+    /// Initial contents.
+    pub bytes: Vec<u8>,
+}
+
+/// A fully linked program: code, entry point, initial data, stream table.
+///
+/// Built with [`ProgramBuilder`](crate::ProgramBuilder); executed by
+/// `perfclone-sim`.
+#[derive(Clone, Debug)]
+pub struct Program {
+    name: String,
+    instrs: Vec<Instr>,
+    entry: u32,
+    data: Vec<DataSeg>,
+    streams: Vec<StreamDesc>,
+}
+
+impl Program {
+    pub(crate) fn from_parts(
+        name: String,
+        instrs: Vec<Instr>,
+        entry: u32,
+        data: Vec<DataSeg>,
+        streams: Vec<StreamDesc>,
+    ) -> Program {
+        Program { name, instrs, entry, data, streams }
+    }
+
+    /// The program's human-readable name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The instruction sequence; program counters index into this slice.
+    pub fn instrs(&self) -> &[Instr] {
+        &self.instrs
+    }
+
+    /// Fetches the instruction at `pc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pc` is outside the program.
+    #[inline]
+    pub fn fetch(&self, pc: u32) -> Instr {
+        self.instrs[pc as usize]
+    }
+
+    /// The entry program counter.
+    pub fn entry(&self) -> u32 {
+        self.entry
+    }
+
+    /// Number of static instructions.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Returns `true` when the program has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// The initialized data segments.
+    pub fn data(&self) -> &[DataSeg] {
+        &self.data
+    }
+
+    /// The stream descriptor table referenced by `MemRef::Stream` operands.
+    pub fn streams(&self) -> &[StreamDesc] {
+        &self.streams
+    }
+
+    /// Looks up a stream descriptor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is not in the table.
+    #[inline]
+    pub fn stream(&self, id: StreamId) -> StreamDesc {
+        self.streams[id.index() as usize]
+    }
+
+    /// Byte address of the instruction at `pc` in the I-cache address space.
+    #[inline]
+    pub fn instr_addr(pc: u32) -> u64 {
+        u64::from(pc) * INSTR_BYTES
+    }
+
+    /// Replaces the instruction at `pc` — the back-patching hook program
+    /// generators use to fix up values (e.g. loop trip counts) only known
+    /// after layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pc` is outside the program.
+    pub fn patch_instr(&mut self, pc: u32, instr: Instr) {
+        self.instrs[pc as usize] = instr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::Instr;
+
+    #[test]
+    fn stream_negative_stride() {
+        let s = StreamDesc { base: 0x1000, stride: -8, length: 3 };
+        assert_eq!(s.address(0), 0x1000);
+        assert_eq!(s.address(1), 0xff8);
+        assert_eq!(s.address(2), 0xff0);
+        assert_eq!(s.address(3), 0x1000);
+        assert_eq!(s.footprint_bytes(), 17);
+    }
+
+    #[test]
+    fn stream_zero_stride() {
+        let s = StreamDesc { base: 0x40, stride: 0, length: 1 };
+        for k in 0..5 {
+            assert_eq!(s.address(k), 0x40);
+        }
+        assert_eq!(s.footprint_bytes(), 1);
+    }
+
+    #[test]
+    fn program_accessors() {
+        let p = Program::from_parts(
+            "t".into(),
+            vec![Instr::Nop, Instr::Halt],
+            0,
+            vec![DataSeg { addr: 16, bytes: vec![1, 2] }],
+            vec![StreamDesc { base: 0, stride: 4, length: 2 }],
+        );
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+        assert_eq!(p.fetch(1), Instr::Halt);
+        assert_eq!(p.data().len(), 1);
+        assert_eq!(p.stream(StreamId::new(0)).stride, 4);
+        assert_eq!(Program::instr_addr(3), 24);
+    }
+}

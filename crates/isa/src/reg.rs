@@ -1,0 +1,146 @@
+//! Architectural register names.
+
+use std::fmt;
+
+/// Number of integer architectural registers.
+pub const NUM_INT_REGS: usize = 32;
+/// Number of floating-point architectural registers.
+pub const NUM_FP_REGS: usize = 32;
+
+/// An integer architectural register, `r0`–`r31`.
+///
+/// `r0` is hardwired to zero: writes to it are discarded and reads always
+/// return 0, as in MIPS/RISC-V.
+///
+/// # Example
+///
+/// ```
+/// use perfclone_isa::Reg;
+/// let r5 = Reg::new(5);
+/// assert_eq!(r5.index(), 5);
+/// assert_eq!(r5.to_string(), "r5");
+/// assert!(Reg::ZERO.is_zero());
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// The hardwired zero register `r0`.
+    pub const ZERO: Reg = Reg(0);
+
+    /// Creates a register from its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 32`.
+    #[inline]
+    pub const fn new(index: u8) -> Reg {
+        assert!((index as usize) < NUM_INT_REGS, "integer register index out of range");
+        Reg(index)
+    }
+
+    /// Returns the register index in `0..32`.
+    #[inline]
+    pub fn index(self) -> u8 {
+        self.0
+    }
+
+    /// Returns `true` for the hardwired zero register.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterates over all 32 integer registers, `r0` first.
+    pub fn all() -> impl Iterator<Item = Reg> {
+        (0..NUM_INT_REGS as u8).map(Reg)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// A floating-point architectural register, `f0`–`f31`.
+///
+/// Unlike [`Reg`], `f0` is an ordinary register.
+///
+/// # Example
+///
+/// ```
+/// use perfclone_isa::FReg;
+/// assert_eq!(FReg::new(7).to_string(), "f7");
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FReg(u8);
+
+impl FReg {
+    /// Creates a floating-point register from its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 32`.
+    #[inline]
+    pub const fn new(index: u8) -> FReg {
+        assert!((index as usize) < NUM_FP_REGS, "fp register index out of range");
+        FReg(index)
+    }
+
+    /// Returns the register index in `0..32`.
+    #[inline]
+    pub fn index(self) -> u8 {
+        self.0
+    }
+
+    /// Iterates over all 32 floating-point registers, `f0` first.
+    pub fn all() -> impl Iterator<Item = FReg> {
+        (0..NUM_FP_REGS as u8).map(FReg)
+    }
+}
+
+impl fmt::Display for FReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_register() {
+        assert!(Reg::ZERO.is_zero());
+        assert!(!Reg::new(1).is_zero());
+        assert_eq!(Reg::ZERO, Reg::new(0));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Reg::new(31).to_string(), "r31");
+        assert_eq!(FReg::new(0).to_string(), "f0");
+    }
+
+    #[test]
+    fn all_yields_each_register_once() {
+        let regs: Vec<Reg> = Reg::all().collect();
+        assert_eq!(regs.len(), NUM_INT_REGS);
+        assert_eq!(regs[0], Reg::ZERO);
+        let fregs: Vec<FReg> = FReg::all().collect();
+        assert_eq!(fregs.len(), NUM_FP_REGS);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        let _ = Reg::new(32);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn fp_out_of_range_panics() {
+        let _ = FReg::new(32);
+    }
+}

@@ -1,0 +1,505 @@
+//! Automotive-domain kernels: `basicmath`, `bitcount`, `qsort`, `susan`.
+
+use perfclone_isa::{FReg, ProgramBuilder};
+
+use crate::util::regs::*;
+use crate::util::{loop_head, loop_tail_lt, SplitMix64};
+use crate::{KernelBuild, Scale};
+
+/// `basicmath`: Newton iteration on cubic polynomials, bitwise integer
+/// square roots, and degree→radian conversion — the MiBench `basicmath`
+/// workload structure.
+pub(crate) fn basicmath(scale: Scale) -> KernelBuild {
+    let n = match scale {
+        Scale::Tiny => 150,
+        Scale::Small => 2500,
+    };
+    let mut rng = SplitMix64::new(0xBA51C);
+    // Coefficient ranges chosen so the derivative 3x^2+2ax+b stays positive.
+    let a: Vec<f64> = (0..n).map(|_| 0.5 + rng.f64()).collect();
+    let b: Vec<f64> = (0..n).map(|_| 1.0 + rng.f64()).collect();
+    let c: Vec<f64> = (0..n).map(|_| -2.0 + 4.0 * rng.f64()).collect();
+    let ints: Vec<u64> = (0..n).map(|_| rng.below(1 << 31)).collect();
+    let degs: Vec<f64> = (0..n).map(|_| 360.0 * rng.f64()).collect();
+
+    // Host reference, mirroring the kernel's arithmetic exactly.
+    let mut acc_f = 0.0f64;
+    for i in 0..n {
+        let mut x = 1.0f64;
+        for _ in 0..12 {
+            let f = ((x + a[i]) * x + b[i]) * x + c[i];
+            let fp = (3.0 * x + 2.0 * a[i]) * x + b[i];
+            x -= f / fp;
+        }
+        acc_f += x;
+    }
+    let mut acc_i = 0i64;
+    for &v in &ints {
+        let mut v = v;
+        let mut res: u64 = 0;
+        let mut bit: u64 = 1 << 30;
+        while bit > v {
+            bit >>= 2;
+        }
+        while bit != 0 {
+            if v >= res + bit {
+                v -= res + bit;
+                res = (res >> 1) + bit;
+            } else {
+                res >>= 1;
+            }
+            bit >>= 2;
+        }
+        acc_i = acc_i.wrapping_add(res as i64);
+    }
+    let deg2rad = std::f64::consts::PI / 180.0;
+    for &d in &degs {
+        acc_f += d * deg2rad;
+    }
+    let expected = acc_i.wrapping_add((acc_f * 4096.0) as i64);
+
+    let mut bld = ProgramBuilder::new("basicmath");
+    let ta = bld.data_f64(&a);
+    let tb = bld.data_f64(&b);
+    let tc = bld.data_f64(&c);
+    let ti = bld.data_u64(&ints);
+    let td = bld.data_f64(&degs);
+    let (fx, ff, ffp, facc, f3, f2, fa, fb2, fc2, fdr) = (
+        FReg::new(0),
+        FReg::new(1),
+        FReg::new(2),
+        FReg::new(3),
+        FReg::new(4),
+        FReg::new(5),
+        FReg::new(6),
+        FReg::new(7),
+        FReg::new(8),
+        FReg::new(9),
+    );
+    let ft = FReg::new(10);
+
+    bld.li(CHK, 0);
+    bld.fli(facc, 0.0);
+    bld.fli(f3, 3.0);
+    bld.fli(f2, 2.0);
+    bld.fli(fdr, deg2rad);
+    bld.li(N, n as i64);
+
+    // Part A: Newton on cubics.
+    bld.li(B0, ta as i64);
+    bld.li(B1, tb as i64);
+    bld.li(B2, tc as i64);
+    let top_a = loop_head(&mut bld, I, 0);
+    {
+        bld.slli(T0, I, 3);
+        bld.add(P, B0, T0);
+        bld.fld(fa, P, 0);
+        bld.add(P, B1, T0);
+        bld.fld(fb2, P, 0);
+        bld.add(P, B2, T0);
+        bld.fld(fc2, P, 0);
+        bld.fli(fx, 1.0);
+        let newt = loop_head(&mut bld, J, 0);
+        {
+            // f = ((x + a) * x + b) * x + c
+            bld.fadd(ff, fx, fa);
+            bld.fmul(ff, ff, fx);
+            bld.fadd(ff, ff, fb2);
+            bld.fmul(ff, ff, fx);
+            bld.fadd(ff, ff, fc2);
+            // fp = (3x + 2a) * x + b
+            bld.fmul(ffp, f3, fx);
+            bld.fmul(ft, f2, fa);
+            bld.fadd(ffp, ffp, ft);
+            bld.fmul(ffp, ffp, fx);
+            bld.fadd(ffp, ffp, fb2);
+            // x -= f / fp
+            bld.fdiv(ff, ff, ffp);
+            bld.fsub(fx, fx, ff);
+        }
+        bld.li(T1, 12);
+        loop_tail_lt(&mut bld, newt, J, 1, T1);
+        bld.fadd(facc, facc, fx);
+    }
+    loop_tail_lt(&mut bld, top_a, I, 1, N);
+
+    // Part B: bitwise integer square roots.
+    bld.li(B0, ti as i64);
+    let top_b = loop_head(&mut bld, I, 0);
+    {
+        bld.slli(T0, I, 3);
+        bld.add(P, B0, T0);
+        bld.ld(T1, P, 0); // v
+        bld.li(T2, 0); // res
+        bld.li(T3, 1 << 30); // bit
+        let shrink = bld.label();
+        let shrunk = bld.label();
+        bld.bind(shrink);
+        bld.ble(T3, T1, shrunk); // while bit > v
+        bld.srli(T3, T3, 2);
+        bld.j(shrink);
+        bld.bind(shrunk);
+        let sq_top = bld.label();
+        let sq_done = bld.label();
+        let no_sub = bld.label();
+        let next = bld.label();
+        bld.bind(sq_top);
+        bld.beqz(T3, sq_done);
+        bld.add(T4, T2, T3); // res + bit
+        bld.blt(T1, T4, no_sub);
+        bld.sub(T1, T1, T4);
+        bld.srli(T2, T2, 1);
+        bld.add(T2, T2, T3);
+        bld.j(next);
+        bld.bind(no_sub);
+        bld.srli(T2, T2, 1);
+        bld.bind(next);
+        bld.srli(T3, T3, 2);
+        bld.j(sq_top);
+        bld.bind(sq_done);
+        bld.add(CHK, CHK, T2);
+    }
+    loop_tail_lt(&mut bld, top_b, I, 1, N);
+
+    // Part C: degree→radian conversions.
+    bld.li(B0, td as i64);
+    let top_c = loop_head(&mut bld, I, 0);
+    {
+        bld.slli(T0, I, 3);
+        bld.add(P, B0, T0);
+        bld.fld(ft, P, 0);
+        bld.fmul(ft, ft, fdr);
+        bld.fadd(facc, facc, ft);
+    }
+    loop_tail_lt(&mut bld, top_c, I, 1, N);
+
+    // checksum = acc_i + (acc_f * 4096) as i64
+    bld.fli(ft, 4096.0);
+    bld.fmul(facc, facc, ft);
+    bld.cvt_f_i(T0, facc);
+    bld.add(CHK, CHK, T0);
+    bld.halt();
+
+    KernelBuild { program: bld.build(), expected }
+}
+
+/// `bitcount`: three bit-population-count methods (Kernighan loop, byte
+/// table lookup, SWAR reduction) over a vector of words.
+pub(crate) fn bitcount(scale: Scale) -> KernelBuild {
+    let n = match scale {
+        Scale::Tiny => 300,
+        Scale::Small => 4500,
+    };
+    let mut rng = SplitMix64::new(0xB17C0);
+    let data = rng.u64_vec(n);
+    let expected: i64 = data.iter().map(|&x| 3 * i64::from(x.count_ones())).sum();
+
+    let lut: Vec<u8> = (0u32..256).map(|v| v.count_ones() as u8).collect();
+
+    let mut b = ProgramBuilder::new("bitcount");
+    let tdata = b.data_u64(&data);
+    let tlut = b.data_bytes(&lut);
+
+    b.li(CHK, 0);
+    b.li(B0, tdata as i64);
+    b.li(B1, tlut as i64);
+    b.li(N, n as i64);
+    b.li(S0, 8); // inner table-loop bound
+    b.li(S6, 0x5555_5555_5555_5555u64 as i64);
+    b.li(S7, 0x3333_3333_3333_3333u64 as i64);
+    b.li(S8, 0x0f0f_0f0f_0f0f_0f0fu64 as i64);
+    b.li(S9, 0x0101_0101_0101_0101u64 as i64);
+
+    let top = loop_head(&mut b, I, 0);
+    {
+        b.slli(T0, I, 3);
+        b.add(P, B0, T0);
+        b.ld(S1, P, 0); // x
+
+        // Method 1: Kernighan.
+        b.mv(T0, S1);
+        b.li(T1, 0);
+        let k_top = b.label();
+        let k_done = b.label();
+        b.bind(k_top);
+        b.beqz(T0, k_done);
+        b.addi(T2, T0, -1);
+        b.and(T0, T0, T2);
+        b.addi(T1, T1, 1);
+        b.j(k_top);
+        b.bind(k_done);
+        b.add(CHK, CHK, T1);
+
+        // Method 2: byte-table lookups.
+        b.mv(T3, S1);
+        b.li(T2, 0);
+        let t_top = loop_head(&mut b, K, 0);
+        {
+            b.andi(T4, T3, 255);
+            b.add(T5, B1, T4);
+            b.lb(T6, T5, 0);
+            b.add(T2, T2, T6);
+            b.srli(T3, T3, 8);
+        }
+        loop_tail_lt(&mut b, t_top, K, 1, S0);
+        b.add(CHK, CHK, T2);
+
+        // Method 3: SWAR.
+        b.srli(T0, S1, 1);
+        b.and(T0, T0, S6);
+        b.sub(T0, S1, T0);
+        b.srli(T1, T0, 2);
+        b.and(T1, T1, S7);
+        b.and(T0, T0, S7);
+        b.add(T0, T0, T1);
+        b.srli(T1, T0, 4);
+        b.add(T0, T0, T1);
+        b.and(T0, T0, S8);
+        b.mul(T0, T0, S9);
+        b.srli(T0, T0, 56);
+        b.add(CHK, CHK, T0);
+    }
+    loop_tail_lt(&mut b, top, I, 1, N);
+    b.halt();
+
+    KernelBuild { program: b.build(), expected }
+}
+
+/// `qsort`: iterative quicksort (Lomuto partition, explicit stack) over a
+/// vector of signed words, checksummed order-sensitively.
+pub(crate) fn qsort(scale: Scale) -> KernelBuild {
+    let n = match scale {
+        Scale::Tiny => 400,
+        Scale::Small => 9000,
+    };
+    let mut rng = SplitMix64::new(0x50F7);
+    let data: Vec<i64> = (0..n).map(|_| (rng.next_u64() & 0xfff_ffff) as i64).collect();
+
+    let mut sorted = data.clone();
+    sorted.sort_unstable();
+    let expected = sorted
+        .iter()
+        .enumerate()
+        .fold(0i64, |acc, (i, &v)| acc.wrapping_add(v.wrapping_mul(i as i64 + 1)));
+
+    let mut b = ProgramBuilder::new("qsort");
+    let tdata = b.data_i64(&data);
+    let tstack = b.alloc(4 * n as u64 * 16 + 64);
+
+    let (arr, stk, sp) = (B0, B1, S0);
+    let (lo, hi, piv) = (S1, S2, S3);
+    let (pi, pj) = (S4, S5);
+
+    b.li(arr, tdata as i64);
+    b.li(stk, tstack as i64);
+    // push (0, n-1)
+    b.li(T0, 0);
+    b.sd(T0, stk, 0);
+    b.li(T0, n as i64 - 1);
+    b.sd(T0, stk, 8);
+    b.li(sp, 1);
+
+    let main_top = b.label();
+    let main_done = b.label();
+    let skip = b.label();
+    b.bind(main_top);
+    b.beqz(sp, main_done);
+    // pop
+    b.addi(sp, sp, -1);
+    b.slli(T0, sp, 4);
+    b.add(T1, stk, T0);
+    b.ld(lo, T1, 0);
+    b.ld(hi, T1, 8);
+    b.bge(lo, hi, skip);
+    {
+        // partition: pivot = a[hi]
+        b.slli(T0, hi, 3);
+        b.add(T1, arr, T0);
+        b.ld(piv, T1, 0);
+        b.addi(pi, lo, -1);
+        b.mv(pj, lo);
+        let p_top = b.label();
+        let p_done = b.label();
+        let no_swap = b.label();
+        b.bind(p_top);
+        b.bge(pj, hi, p_done);
+        b.slli(T0, pj, 3);
+        b.add(T1, arr, T0);
+        b.ld(T2, T1, 0); // a[j]
+        b.bgt(T2, piv, no_swap);
+        b.addi(pi, pi, 1);
+        b.slli(T3, pi, 3);
+        b.add(T4, arr, T3);
+        b.ld(T5, T4, 0); // a[i]
+        b.sd(T2, T4, 0); // a[i] = a[j]
+        b.sd(T5, T1, 0); // a[j] = old a[i]
+        b.bind(no_swap);
+        b.addi(pj, pj, 1);
+        b.j(p_top);
+        b.bind(p_done);
+        // swap a[i+1], a[hi]
+        b.addi(pi, pi, 1);
+        b.slli(T0, pi, 3);
+        b.add(T1, arr, T0);
+        b.ld(T2, T1, 0);
+        b.slli(T0, hi, 3);
+        b.add(T3, arr, T0);
+        b.ld(T4, T3, 0);
+        b.sd(T4, T1, 0);
+        b.sd(T2, T3, 0);
+        // push (lo, i-1)
+        b.slli(T0, sp, 4);
+        b.add(T1, stk, T0);
+        b.sd(lo, T1, 0);
+        b.addi(T2, pi, -1);
+        b.sd(T2, T1, 8);
+        b.addi(sp, sp, 1);
+        // push (i+1, hi)
+        b.slli(T0, sp, 4);
+        b.add(T1, stk, T0);
+        b.addi(T2, pi, 1);
+        b.sd(T2, T1, 0);
+        b.sd(hi, T1, 8);
+        b.addi(sp, sp, 1);
+    }
+    b.bind(skip);
+    b.j(main_top);
+    b.bind(main_done);
+
+    // checksum: sum a[k] * (k+1)
+    b.li(CHK, 0);
+    b.li(N, n as i64);
+    let c_top = loop_head(&mut b, I, 0);
+    {
+        b.slli(T0, I, 3);
+        b.add(T1, arr, T0);
+        b.ld(T2, T1, 0);
+        b.addi(T3, I, 1);
+        b.mul(T2, T2, T3);
+        b.add(CHK, CHK, T2);
+    }
+    loop_tail_lt(&mut b, c_top, I, 1, N);
+    b.halt();
+
+    KernelBuild { program: b.build(), expected }
+}
+
+/// `susan`: image-processing kernel — USAN area computation over a 3×3
+/// neighbourhood with a brightness-similarity lookup table, as in the
+/// MiBench `susan` corner/edge detector.
+pub(crate) fn susan(scale: Scale) -> KernelBuild {
+    let (w, h) = match scale {
+        Scale::Tiny => (28, 28),
+        Scale::Small => (110, 110),
+    };
+    let mut rng = SplitMix64::new(0x5005A);
+    let img = rng.byte_vec(w * h);
+
+    // Brightness-similarity LUT over signed differences -255..=255.
+    let lut: Vec<u8> = (-255i32..=255)
+        .map(|d| {
+            let r = f64::from(d) / 20.0;
+            (100.0 * (-r.powi(6)).exp()).round() as u8
+        })
+        .collect();
+    let thresh: i64 = 620;
+
+    // Host reference.
+    let idx = |x: usize, y: usize| y * w + x;
+    let mut expected = 0i64;
+    for y in 1..h - 1 {
+        for x in 1..w - 1 {
+            let c = i64::from(img[idx(x, y)]);
+            let mut usan = 0i64;
+            for (dx, dy) in [(-1i64, -1i64), (0, -1), (1, -1), (-1, 0), (1, 0), (-1, 1), (0, 1), (1, 1)]
+            {
+                let nb = i64::from(
+                    img[idx((x as i64 + dx) as usize, (y as i64 + dy) as usize)],
+                );
+                usan += i64::from(lut[(255 + c - nb) as usize]);
+            }
+            if usan < thresh {
+                expected = expected.wrapping_add(usan);
+            } else {
+                expected = expected.wrapping_add(1);
+            }
+        }
+    }
+
+    let mut b = ProgramBuilder::new("susan");
+    let timg = b.data_bytes(&img);
+    let tlut = b.data_bytes(&lut);
+
+    let (ximg, xlut) = (B0, B1);
+    let (px, py) = (I, J);
+    let (c, usan) = (S0, S1);
+    let (wl, hl) = (S2, S3);
+    let row = S4;
+
+    b.li(CHK, 0);
+    b.li(ximg, timg as i64);
+    b.li(xlut, tlut as i64 + 255); // bias so lut[c - nb] works directly
+    b.li(wl, w as i64 - 1);
+    b.li(hl, h as i64 - 1);
+    b.li(S5, thresh);
+
+    let y_top = loop_head(&mut b, py, 1);
+    {
+        b.li(T0, w as i64);
+        b.mul(row, py, T0);
+        b.add(row, row, ximg); // &img[y*w]
+        let x_top = loop_head(&mut b, px, 1);
+        {
+            b.add(T0, row, px);
+            b.lb(c, T0, 0);
+            b.li(usan, 0);
+            // 8 neighbours, unrolled with static offsets from &img[y*w + x].
+            for off in [-(w as i32) - 1, -(w as i32), -(w as i32) + 1, -1, 1, w as i32 - 1, w as i32, w as i32 + 1] {
+                b.lb(T1, T0, off);
+                b.sub(T2, c, T1);
+                b.add(T3, xlut, T2);
+                b.lb(T4, T3, 0);
+                b.add(usan, usan, T4);
+            }
+            let not_edge = b.label();
+            let done = b.label();
+            b.bge(usan, S5, not_edge);
+            b.add(CHK, CHK, usan);
+            b.j(done);
+            b.bind(not_edge);
+            b.addi(CHK, CHK, 1);
+            b.bind(done);
+        }
+        loop_tail_lt(&mut b, x_top, px, 1, wl);
+    }
+    loop_tail_lt(&mut b, y_top, py, 1, hl);
+    b.halt();
+
+    KernelBuild { program: b.build(), expected }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests_support::check_kernel;
+
+    #[test]
+    fn basicmath_checksum() {
+        check_kernel(basicmath(Scale::Tiny));
+    }
+
+    #[test]
+    fn bitcount_checksum() {
+        check_kernel(bitcount(Scale::Tiny));
+    }
+
+    #[test]
+    fn qsort_checksum() {
+        check_kernel(qsort(Scale::Tiny));
+    }
+
+    #[test]
+    fn susan_checksum() {
+        check_kernel(susan(Scale::Tiny));
+    }
+}

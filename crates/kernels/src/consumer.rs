@@ -1,0 +1,515 @@
+//! Consumer-domain kernels: `jpeg_enc`, `jpeg_dec`, `lame`.
+
+use perfclone_isa::{FReg, ProgramBuilder};
+
+use crate::util::regs::*;
+use crate::util::{loop_head, loop_tail_lt, SplitMix64};
+use crate::{KernelBuild, Scale};
+
+/// Fixed-point DCT basis: `C[u][x] = round(c(u) * cos((2x+1)u*pi/16) * 4096)`.
+fn dct_table() -> Vec<i64> {
+    let mut t = vec![0i64; 64];
+    for u in 0..8 {
+        for x in 0..8 {
+            let cu = if u == 0 { (0.5f64).sqrt() } else { 1.0 };
+            let v = 0.5 * cu * ((2.0 * x as f64 + 1.0) * u as f64 * std::f64::consts::PI / 16.0).cos();
+            t[u * 8 + x] = (v * 4096.0).round() as i64;
+        }
+    }
+    t
+}
+
+/// JPEG luminance quantization table (Annex K).
+const QTAB: [i64; 64] = [
+    16, 11, 10, 16, 24, 40, 51, 61, 12, 12, 14, 19, 26, 58, 60, 55, 14, 13, 16, 24, 40, 57, 69,
+    56, 14, 17, 22, 29, 51, 87, 80, 62, 18, 22, 37, 56, 68, 109, 103, 77, 24, 35, 55, 64, 81,
+    104, 113, 92, 49, 64, 78, 87, 103, 121, 120, 101, 72, 92, 95, 98, 112, 100, 103, 99,
+];
+
+/// Host-side forward DCT + quantization of one 8×8 block (level-shifted
+/// integer arithmetic mirroring the kernel exactly).
+fn fdct_quant_host(pix: &[i64], dct: &[i64]) -> [i64; 64] {
+    let mut tmp = [0i64; 64];
+    // Rows: tmp[u][y] = sum_x (pix[y*8+x] - 128) * C[u][x]  >> 9
+    for u in 0..8 {
+        for y in 0..8 {
+            let mut s = 0i64;
+            for x in 0..8 {
+                s += (pix[y * 8 + x] - 128) * dct[u * 8 + x];
+            }
+            tmp[u * 8 + y] = s >> 9;
+        }
+    }
+    // Cols: out[u][v] = (sum_y tmp[u][y] * C[v][y]) >> 15, then quantize.
+    let mut out = [0i64; 64];
+    for u in 0..8 {
+        for v in 0..8 {
+            let mut s = 0i64;
+            for y in 0..8 {
+                s += tmp[u * 8 + y] * dct[v * 8 + y];
+            }
+            out[u * 8 + v] = (s >> 15).wrapping_div(QTAB[u * 8 + v]);
+        }
+    }
+    out
+}
+
+/// `jpeg_enc`: forward 8×8 integer DCT + quantization over image blocks —
+/// multiply/accumulate loops with an integer-divide quantizer, as in cjpeg.
+pub(crate) fn jpeg_enc(scale: Scale) -> KernelBuild {
+    let blocks = match scale {
+        Scale::Tiny => 40,
+        Scale::Small => 130,
+    };
+    let mut rng = SplitMix64::new(0x17E6);
+    let pixels: Vec<i64> = (0..64 * blocks).map(|_| rng.below(256) as i64).collect();
+    let dct = dct_table();
+
+    let mut expected = 0i64;
+    for blk in 0..blocks {
+        let out = fdct_quant_host(&pixels[64 * blk..64 * (blk + 1)], &dct);
+        for c in out {
+            expected = expected.wrapping_add(c);
+            if c != 0 {
+                expected = expected.wrapping_add(1);
+            }
+        }
+    }
+
+    let mut b = ProgramBuilder::new("jpeg_enc");
+    let tpix = b.data_i64(&pixels);
+    let tdct = b.data_i64(&dct);
+    let tq = b.data_i64(&QTAB);
+    let ttmp = b.alloc(64 * 8);
+
+    let (pix_r, dct_r, q_r, tmp_r) = (B0, B1, B2, B3);
+    let (u, v, x) = (I, J, K);
+    let (blk_r, acc, eight) = (S0, S1, S2);
+    let base = S3;
+
+    b.li(CHK, 0);
+    b.li(dct_r, tdct as i64);
+    b.li(q_r, tq as i64);
+    b.li(tmp_r, ttmp as i64);
+    b.li(eight, 8);
+    b.li(S9, blocks as i64);
+
+    let blk_top = loop_head(&mut b, blk_r, 0);
+    {
+        b.slli(T0, blk_r, 9); // 64 * 8 bytes
+        b.li(T1, tpix as i64);
+        b.add(base, T1, T0);
+        b.mv(pix_r, base);
+
+        // Row pass.
+        let u_top = loop_head(&mut b, u, 0);
+        {
+            let y_top = loop_head(&mut b, v, 0); // v plays "y" here
+            {
+                b.li(acc, 0);
+                let x_top = loop_head(&mut b, x, 0);
+                {
+                    // (pix[y*8+x] - 128) * dct[u*8+x]
+                    b.slli(T0, v, 3);
+                    b.add(T0, T0, x);
+                    b.slli(T0, T0, 3);
+                    b.add(T1, pix_r, T0);
+                    b.ld(T2, T1, 0);
+                    b.addi(T2, T2, -128);
+                    b.slli(T3, u, 3);
+                    b.add(T3, T3, x);
+                    b.slli(T3, T3, 3);
+                    b.add(T4, dct_r, T3);
+                    b.ld(T5, T4, 0);
+                    b.mul(T2, T2, T5);
+                    b.add(acc, acc, T2);
+                }
+                loop_tail_lt(&mut b, x_top, x, 1, eight);
+                b.srai(acc, acc, 9);
+                b.slli(T0, u, 3);
+                b.add(T0, T0, v);
+                b.slli(T0, T0, 3);
+                b.add(T1, tmp_r, T0);
+                b.sd(acc, T1, 0);
+            }
+            loop_tail_lt(&mut b, y_top, v, 1, eight);
+        }
+        loop_tail_lt(&mut b, u_top, u, 1, eight);
+
+        // Column pass + quantize + checksum.
+        let u2_top = loop_head(&mut b, u, 0);
+        {
+            let v2_top = loop_head(&mut b, v, 0);
+            {
+                b.li(acc, 0);
+                let y2_top = loop_head(&mut b, x, 0); // x plays "y"
+                {
+                    b.slli(T0, u, 3);
+                    b.add(T0, T0, x);
+                    b.slli(T0, T0, 3);
+                    b.add(T1, tmp_r, T0);
+                    b.ld(T2, T1, 0);
+                    b.slli(T3, v, 3);
+                    b.add(T3, T3, x);
+                    b.slli(T3, T3, 3);
+                    b.add(T4, dct_r, T3);
+                    b.ld(T5, T4, 0);
+                    b.mul(T2, T2, T5);
+                    b.add(acc, acc, T2);
+                }
+                loop_tail_lt(&mut b, y2_top, x, 1, eight);
+                b.srai(acc, acc, 15);
+                b.slli(T0, u, 3);
+                b.add(T0, T0, v);
+                b.slli(T0, T0, 3);
+                b.add(T1, q_r, T0);
+                b.ld(T2, T1, 0);
+                b.div(acc, acc, T2);
+                b.add(CHK, CHK, acc);
+                let zero = b.label();
+                b.beqz(acc, zero);
+                b.addi(CHK, CHK, 1);
+                b.bind(zero);
+            }
+            loop_tail_lt(&mut b, v2_top, v, 1, eight);
+        }
+        loop_tail_lt(&mut b, u2_top, u, 1, eight);
+    }
+    loop_tail_lt(&mut b, blk_top, blk_r, 1, S9);
+    b.halt();
+
+    KernelBuild { program: b.build(), expected }
+}
+
+/// `jpeg_dec`: dequantization + inverse 8×8 integer DCT with output
+/// clamping over host-encoded coefficient blocks, as in djpeg.
+pub(crate) fn jpeg_dec(scale: Scale) -> KernelBuild {
+    let blocks = match scale {
+        Scale::Tiny => 40,
+        Scale::Small => 130,
+    };
+    let mut rng = SplitMix64::new(0x17E7);
+    let pixels: Vec<i64> = (0..64 * blocks).map(|_| rng.below(256) as i64).collect();
+    let dct = dct_table();
+    let coeffs: Vec<i64> = (0..blocks)
+        .flat_map(|blk| fdct_quant_host(&pixels[64 * blk..64 * (blk + 1)], &dct))
+        .collect();
+
+    // Host IDCT reference: pix[x][y] = clamp(sum_u sum_v deq[u][v] * C[u][x] * C[v][y] terms)
+    let mut expected = 0i64;
+    let mut tmp = [0i64; 64];
+    for blk in 0..blocks {
+        let c = &coeffs[64 * blk..64 * (blk + 1)];
+        // dequantize into tmp2, then rows then cols
+        let mut deq = [0i64; 64];
+        for i in 0..64 {
+            deq[i] = c[i] * QTAB[i];
+        }
+        // Rows over u: tmp[x][v] = sum_u deq[u*8+v] * C[u][x] >> 12
+        for x in 0..8 {
+            for v in 0..8 {
+                let mut s = 0i64;
+                for u in 0..8 {
+                    s += deq[u * 8 + v] * dct[u * 8 + x];
+                }
+                tmp[x * 8 + v] = s >> 12;
+            }
+        }
+        // Cols over v: pix[x][y] = clamp((sum_v tmp[x*8+v] * C[v][y] >> 12) + 128)
+        for x in 0..8 {
+            for y in 0..8 {
+                let mut s = 0i64;
+                for v in 0..8 {
+                    s += tmp[x * 8 + v] * dct[v * 8 + y];
+                }
+                let p = ((s >> 12) + 128).clamp(0, 255);
+                expected = expected.wrapping_add(p);
+            }
+        }
+    }
+
+    let mut b = ProgramBuilder::new("jpeg_dec");
+    let tcoef = b.data_i64(&coeffs);
+    let tdct = b.data_i64(&dct);
+    let tq = b.data_i64(&QTAB);
+    let tdeq = b.alloc(64 * 8);
+    let ttmp = b.alloc(64 * 8);
+
+    let (dct_r, q_r, deq_r, tmp_r) = (B1, B2, B3, S8);
+    let (u, v, x) = (I, J, K);
+    let (blk_r, acc, eight, base) = (S0, S1, S2, S3);
+
+    b.li(CHK, 0);
+    b.li(dct_r, tdct as i64);
+    b.li(q_r, tq as i64);
+    b.li(deq_r, tdeq as i64);
+    b.li(tmp_r, ttmp as i64);
+    b.li(eight, 8);
+    b.li(S9, blocks as i64);
+
+    let blk_top = loop_head(&mut b, blk_r, 0);
+    {
+        b.slli(T0, blk_r, 9);
+        b.li(T1, tcoef as i64);
+        b.add(base, T1, T0);
+
+        // Dequantize 64 coefficients.
+        b.li(T7, 64);
+        let dq = loop_head(&mut b, u, 0);
+        {
+            b.slli(T0, u, 3);
+            b.add(T1, base, T0);
+            b.ld(T2, T1, 0);
+            b.add(T1, q_r, T0);
+            b.ld(T3, T1, 0);
+            b.mul(T2, T2, T3);
+            b.add(T1, deq_r, T0);
+            b.sd(T2, T1, 0);
+        }
+        loop_tail_lt(&mut b, dq, u, 1, T7);
+
+        // Row pass: tmp[x][v] = sum_u deq[u*8+v] * dct[u*8+x] >> 12
+        let x_top = loop_head(&mut b, x, 0);
+        {
+            let v_top = loop_head(&mut b, v, 0);
+            {
+                b.li(acc, 0);
+                let u_top = loop_head(&mut b, u, 0);
+                {
+                    b.slli(T0, u, 3);
+                    b.add(T1, T0, v);
+                    b.slli(T1, T1, 3);
+                    b.add(T2, deq_r, T1);
+                    b.ld(T3, T2, 0);
+                    b.add(T1, T0, x);
+                    b.slli(T1, T1, 3);
+                    b.add(T2, dct_r, T1);
+                    b.ld(T4, T2, 0);
+                    b.mul(T3, T3, T4);
+                    b.add(acc, acc, T3);
+                }
+                loop_tail_lt(&mut b, u_top, u, 1, eight);
+                b.srai(acc, acc, 12);
+                b.slli(T0, x, 3);
+                b.add(T0, T0, v);
+                b.slli(T0, T0, 3);
+                b.add(T1, tmp_r, T0);
+                b.sd(acc, T1, 0);
+            }
+            loop_tail_lt(&mut b, v_top, v, 1, eight);
+        }
+        loop_tail_lt(&mut b, x_top, x, 1, eight);
+
+        // Column pass + clamp + checksum.
+        let x2 = loop_head(&mut b, x, 0);
+        {
+            let y2 = loop_head(&mut b, u, 0); // u plays "y"
+            {
+                b.li(acc, 0);
+                let v2 = loop_head(&mut b, v, 0);
+                {
+                    b.slli(T0, x, 3);
+                    b.add(T0, T0, v);
+                    b.slli(T0, T0, 3);
+                    b.add(T1, tmp_r, T0);
+                    b.ld(T2, T1, 0);
+                    b.slli(T3, v, 3);
+                    b.add(T3, T3, u);
+                    b.slli(T3, T3, 3);
+                    b.add(T4, dct_r, T3);
+                    b.ld(T5, T4, 0);
+                    b.mul(T2, T2, T5);
+                    b.add(acc, acc, T2);
+                }
+                loop_tail_lt(&mut b, v2, v, 1, eight);
+                b.srai(acc, acc, 12);
+                b.addi(acc, acc, 128);
+                let nolo = b.label();
+                let nohi = b.label();
+                b.bge(acc, perfclone_isa::Reg::ZERO, nolo);
+                b.li(acc, 0);
+                b.bind(nolo);
+                b.li(T0, 255);
+                b.ble(acc, T0, nohi);
+                b.li(acc, 255);
+                b.bind(nohi);
+                b.add(CHK, CHK, acc);
+            }
+            loop_tail_lt(&mut b, y2, u, 1, eight);
+        }
+        loop_tail_lt(&mut b, x2, x, 1, eight);
+    }
+    loop_tail_lt(&mut b, blk_top, blk_r, 1, S9);
+    b.halt();
+
+    KernelBuild { program: b.build(), expected }
+}
+
+/// `lame`: MP3 polyphase subband analysis — 512-tap windowing, partial-sum
+/// folding and a 32×64 cosine matrixing stage per granule. FP MAC bound.
+pub(crate) fn lame(scale: Scale) -> KernelBuild {
+    let granules = match scale {
+        Scale::Tiny => 10,
+        Scale::Small => 65,
+    };
+    let mut rng = SplitMix64::new(0x1A3E);
+    let nsamples = granules * 32 + 512;
+    let samples: Vec<f64> = (0..nsamples).map(|_| 2.0 * rng.f64() - 1.0).collect();
+    let window: Vec<f64> = (0..512)
+        .map(|i| {
+            let x = i as f64 / 512.0;
+            (std::f64::consts::PI * x).sin() * (1.0 - x)
+        })
+        .collect();
+    let matrix: Vec<f64> = (0..32)
+        .flat_map(|sb| {
+            (0..64).map(move |k| {
+                ((2.0 * sb as f64 + 1.0) * (k as f64 - 16.0) * std::f64::consts::PI / 64.0).cos()
+            })
+        })
+        .collect();
+
+    // Host reference mirroring the kernel op order.
+    let mut acc = 0.0f64;
+    let mut z = [0.0f64; 512];
+    let mut y = [0.0f64; 64];
+    for g in 0..granules {
+        let base = g * 32;
+        for k in 0..512 {
+            z[k] = samples[base + k] * window[k];
+        }
+        for (k, yk) in y.iter_mut().enumerate() {
+            let mut s = 0.0f64;
+            for j in 0..8 {
+                s += z[k + 64 * j];
+            }
+            *yk = s;
+        }
+        for sb in 0..32 {
+            let mut s = 0.0f64;
+            for (k, yk) in y.iter().enumerate() {
+                s += matrix[sb * 64 + k] * yk;
+            }
+            acc += s;
+        }
+    }
+    let expected = (acc * 4096.0) as i64;
+
+    let mut b = ProgramBuilder::new("lame");
+    let tsamp = b.data_f64(&samples);
+    let twin = b.data_f64(&window);
+    let tmat = b.data_f64(&matrix);
+    let tz = b.alloc(512 * 8);
+    let ty = b.alloc(64 * 8);
+
+    let (samp_r, win_r, mat_r, z_r, y_r) = (B0, B1, B2, B3, S8);
+    let (g, base) = (S0, S1);
+    let (facc, fs, ft) = (FReg::new(0), FReg::new(1), FReg::new(2));
+
+    b.li(samp_r, tsamp as i64);
+    b.li(win_r, twin as i64);
+    b.li(mat_r, tmat as i64);
+    b.li(z_r, tz as i64);
+    b.li(y_r, ty as i64);
+    b.fli(facc, 0.0);
+    b.li(S9, granules as i64);
+
+    let g_top = loop_head(&mut b, g, 0);
+    {
+        b.slli(base, g, 5); // *32
+        b.slli(base, base, 3); // *8 bytes
+        b.add(base, samp_r, base);
+
+        // Windowing: z[k] = x[base+k] * win[k]
+        b.li(T7, 512);
+        let wk = loop_head(&mut b, I, 0);
+        {
+            b.slli(T0, I, 3);
+            b.add(T1, base, T0);
+            b.fld(fs, T1, 0);
+            b.add(T1, win_r, T0);
+            b.fld(ft, T1, 0);
+            b.fmul(fs, fs, ft);
+            b.add(T1, z_r, T0);
+            b.fsd(fs, T1, 0);
+        }
+        loop_tail_lt(&mut b, wk, I, 1, T7);
+
+        // Partial-sum folding: y[k] = sum_j z[k + 64j]
+        b.li(T7, 64);
+        let fold = loop_head(&mut b, I, 0);
+        {
+            b.fli(fs, 0.0);
+            b.slli(T0, I, 3);
+            b.add(T1, z_r, T0);
+            for j in 0..8i32 {
+                b.fld(ft, T1, j * 64 * 8);
+                b.fadd(fs, fs, ft);
+            }
+            b.add(T2, y_r, T0);
+            b.fsd(fs, T2, 0);
+        }
+        loop_tail_lt(&mut b, fold, I, 1, T7);
+
+        // Matrixing: acc += sum_sb sum_k m[sb][k] * y[k]
+        b.li(T7, 32);
+        let sb_top = loop_head(&mut b, J, 0);
+        {
+            b.fli(fs, 0.0);
+            b.slli(T0, J, 6); // *64
+            b.slli(T0, T0, 3);
+            b.add(T1, mat_r, T0); // &m[sb*64]
+            b.li(T6, 64);
+            let k_top = loop_head(&mut b, K, 0);
+            {
+                b.slli(T2, K, 3);
+                b.add(T3, T1, T2);
+                b.fld(ft, T3, 0);
+                b.add(T3, y_r, T2);
+                b.fld(FReg::new(3), T3, 0);
+                b.fmul(ft, ft, FReg::new(3));
+                b.fadd(fs, fs, ft);
+            }
+            loop_tail_lt(&mut b, k_top, K, 1, T6);
+            b.fadd(facc, facc, fs);
+        }
+        loop_tail_lt(&mut b, sb_top, J, 1, T7);
+    }
+    loop_tail_lt(&mut b, g_top, g, 1, S9);
+
+    b.fli(ft, 4096.0);
+    b.fmul(facc, facc, ft);
+    b.cvt_f_i(CHK, facc);
+    b.halt();
+
+    KernelBuild { program: b.build(), expected }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests_support::check_kernel;
+
+    #[test]
+    fn jpeg_enc_checksum() {
+        check_kernel(jpeg_enc(Scale::Tiny));
+    }
+
+    #[test]
+    fn jpeg_dec_checksum() {
+        check_kernel(jpeg_dec(Scale::Tiny));
+    }
+
+    #[test]
+    fn lame_checksum() {
+        check_kernel(lame(Scale::Tiny));
+    }
+
+    #[test]
+    fn dct_table_dc_row_is_constant() {
+        let t = dct_table();
+        for x in 1..8 {
+            assert_eq!(t[0], t[x]);
+        }
+    }
+}

@@ -1,0 +1,638 @@
+//! Extended benchmark population: five additional embedded kernels beyond
+//! the paper's Table-1 set, used to test the cloning models on algorithm
+//! shapes the 23-kernel population under-represents (sorting networks,
+//! trellis decoding, bit packing, dynamic programming).
+//!
+//! `catalog()` remains the paper's population;
+//! [`catalog_extended`](crate::catalog_extended) appends these.
+
+use perfclone_isa::{ProgramBuilder, Reg};
+
+use crate::util::regs::*;
+use crate::util::{loop_head, loop_tail_lt, SplitMix64};
+use crate::{KernelBuild, Scale};
+
+/// `sobel`: 3×3 Sobel gradient magnitude with thresholding over a
+/// grayscale image — the classic automotive edge-detection front end.
+pub(crate) fn sobel(scale: Scale) -> KernelBuild {
+    let (w, h) = match scale {
+        Scale::Tiny => (28usize, 28usize),
+        Scale::Small => (120, 120),
+    };
+    let mut rng = SplitMix64::new(0x50BE1);
+    let img = rng.byte_vec(w * h);
+
+    // Host reference.
+    let mut expected = 0i64;
+    for y in 1..h - 1 {
+        for x in 1..w - 1 {
+            let p = |dx: i64, dy: i64| {
+                i64::from(img[((y as i64 + dy) * w as i64 + x as i64 + dx) as usize])
+            };
+            let gx = p(1, -1) + 2 * p(1, 0) + p(1, 1) - p(-1, -1) - 2 * p(-1, 0) - p(-1, 1);
+            let gy = p(-1, 1) + 2 * p(0, 1) + p(1, 1) - p(-1, -1) - 2 * p(0, -1) - p(1, -1);
+            let mag = gx.abs() + gy.abs();
+            if mag > 200 {
+                expected = expected.wrapping_add(1);
+            }
+            expected = expected.wrapping_add(mag);
+        }
+    }
+
+    let mut b = ProgramBuilder::new("sobel");
+    let timg = b.data_bytes(&img);
+    let (px, py) = (I, J);
+    let (gx, gy, wl, hl, rowp) = (S0, S1, S2, S3, S4);
+
+    b.li(CHK, 0);
+    b.li(B0, timg as i64);
+    b.li(wl, w as i64 - 1);
+    b.li(hl, h as i64 - 1);
+    b.li(S5, 200);
+
+    let wi = w as i32;
+    let y_top = loop_head(&mut b, py, 1);
+    {
+        b.li(T0, w as i64);
+        b.mul(rowp, py, T0);
+        b.add(rowp, rowp, B0);
+        let x_top = loop_head(&mut b, px, 1);
+        {
+            b.add(T0, rowp, px); // &img[y*w+x]
+            // gx = (r - l) column sums with Sobel weights.
+            b.lb(T1, T0, 1 - wi);
+            b.lb(T2, T0, 1);
+            b.slli(T2, T2, 1);
+            b.add(T1, T1, T2);
+            b.lb(T2, T0, 1 + wi);
+            b.add(gx, T1, T2);
+            b.lb(T1, T0, -1 - wi);
+            b.sub(gx, gx, T1);
+            b.lb(T1, T0, -1);
+            b.slli(T1, T1, 1);
+            b.sub(gx, gx, T1);
+            b.lb(T1, T0, -1 + wi);
+            b.sub(gx, gx, T1);
+            // gy
+            b.lb(T1, T0, wi - 1);
+            b.lb(T2, T0, wi);
+            b.slli(T2, T2, 1);
+            b.add(T1, T1, T2);
+            b.lb(T2, T0, wi + 1);
+            b.add(gy, T1, T2);
+            b.lb(T1, T0, -wi - 1);
+            b.sub(gy, gy, T1);
+            b.lb(T1, T0, -wi);
+            b.slli(T1, T1, 1);
+            b.sub(gy, gy, T1);
+            b.lb(T1, T0, -wi + 1);
+            b.sub(gy, gy, T1);
+            // mag = |gx| + |gy|
+            let gx_pos = b.label();
+            b.bge(gx, Reg::ZERO, gx_pos);
+            b.sub(gx, Reg::ZERO, gx);
+            b.bind(gx_pos);
+            let gy_pos = b.label();
+            b.bge(gy, Reg::ZERO, gy_pos);
+            b.sub(gy, Reg::ZERO, gy);
+            b.bind(gy_pos);
+            b.add(T3, gx, gy);
+            let no_edge = b.label();
+            b.ble(T3, S5, no_edge);
+            b.addi(CHK, CHK, 1);
+            b.bind(no_edge);
+            b.add(CHK, CHK, T3);
+        }
+        loop_tail_lt(&mut b, x_top, px, 1, wl);
+    }
+    loop_tail_lt(&mut b, y_top, py, 1, hl);
+    b.halt();
+
+    KernelBuild { program: b.build(), expected }
+}
+
+/// `viterbi`: 4-state (K=3) Viterbi decoder — per-symbol branch metrics
+/// and add-compare-select over the trellis, the heart of every telecom
+/// baseband.
+pub(crate) fn viterbi(scale: Scale) -> KernelBuild {
+    let n = match scale {
+        Scale::Tiny => 1_500,
+        Scale::Small => 18_000,
+    };
+    let mut rng = SplitMix64::new(0x17EB);
+    // Received soft symbols: two 3-bit confidences per step.
+    let rx: Vec<i64> = (0..2 * n).map(|_| rng.below(8) as i64).collect();
+    // Expected (code) outputs per state transition for generator (7,5):
+    // out[state][input] packed as 2 bits.
+    const OUT: [[i64; 2]; 4] = [[0b00, 0b11], [0b11, 0b00], [0b10, 0b01], [0b01, 0b10]];
+    const NEXT: [[usize; 2]; 4] = [[0, 2], [0, 2], [1, 3], [1, 3]];
+
+    // Host reference.
+    let mut pm = [0i64, 1 << 20, 1 << 20, 1 << 20];
+    let mut expected = 0i64;
+    for step in 0..n {
+        let (r0, r1) = (rx[2 * step], rx[2 * step + 1]);
+        let mut npm = [i64::MAX; 4];
+        let mut dec = 0i64;
+        for s in 0..4 {
+            for input in 0..2 {
+                let o = OUT[s][input];
+                let b0 = (o >> 1) & 1;
+                let b1 = o & 1;
+                // Soft metric: distance of confidence from expected bit.
+                let m = (r0 - b0 * 7).abs() + (r1 - b1 * 7).abs();
+                let cand = pm[s] + m;
+                let ns = NEXT[s][input];
+                if cand < npm[ns] {
+                    npm[ns] = cand;
+                    if ns == 0 {
+                        dec = input as i64;
+                    }
+                }
+            }
+        }
+        // Normalize to avoid unbounded growth.
+        let min = *npm.iter().min().expect("4 states");
+        for (p, v) in pm.iter_mut().zip(npm.iter()) {
+            *p = v - min;
+        }
+        expected = expected.wrapping_add(dec).wrapping_add(min);
+    }
+    for p in pm {
+        expected = expected.wrapping_add(p);
+    }
+
+    let mut b = ProgramBuilder::new("viterbi");
+    let trx = b.data_i64(&rx);
+    let tout: Vec<i64> = OUT.iter().flatten().copied().collect();
+    let tnext: Vec<i64> = NEXT.iter().flatten().map(|&x| x as i64).collect();
+    let tout = b.data_i64(&tout);
+    let tnext = b.data_i64(&tnext);
+    let tpm = b.data_i64(&[0, 1 << 20, 1 << 20, 1 << 20]);
+    let tnpm = b.alloc(4 * 8);
+
+    let (rx_r, out_r, next_r, pm_r, npm_r) = (B0, B1, B2, B3, S8);
+    let (r0, r1, dec, minv) = (S0, S1, S2, S3);
+    let (s, input) = (J, K);
+
+    b.li(CHK, 0);
+    b.li(rx_r, trx as i64);
+    b.li(out_r, tout as i64);
+    b.li(next_r, tnext as i64);
+    b.li(pm_r, tpm as i64);
+    b.li(npm_r, tnpm as i64);
+    b.li(N, n as i64);
+
+    let step = loop_head(&mut b, I, 0);
+    {
+        b.slli(T0, I, 4);
+        b.add(T1, rx_r, T0);
+        b.ld(r0, T1, 0);
+        b.ld(r1, T1, 8);
+        // npm = MAX
+        b.li(T2, i64::MAX);
+        for k in 0..4i32 {
+            b.sd(T2, npm_r, k * 8);
+        }
+        b.li(dec, 0);
+        b.li(T7, 4);
+        let s_top = loop_head(&mut b, s, 0);
+        {
+            b.li(T6, 2);
+            let in_top = loop_head(&mut b, input, 0);
+            {
+                // o = OUT[s][input]
+                b.slli(T0, s, 1);
+                b.add(T0, T0, input);
+                b.slli(T0, T0, 3);
+                b.add(T1, out_r, T0);
+                b.ld(T2, T1, 0); // o
+                b.add(T1, next_r, T0);
+                b.ld(T3, T1, 0); // ns
+                // m = |r0 - b0*7| + |r1 - b1*7|
+                b.srli(T4, T2, 1);
+                b.andi(T4, T4, 1);
+                b.li(T5, 7);
+                b.mul(T4, T4, T5);
+                b.sub(T4, r0, T4);
+                let p0 = b.label();
+                b.bge(T4, Reg::ZERO, p0);
+                b.sub(T4, Reg::ZERO, T4);
+                b.bind(p0);
+                b.andi(T2, T2, 1);
+                b.mul(T2, T2, T5);
+                b.sub(T2, r1, T2);
+                let p1 = b.label();
+                b.bge(T2, Reg::ZERO, p1);
+                b.sub(T2, Reg::ZERO, T2);
+                b.bind(p1);
+                b.add(T4, T4, T2); // m
+                // cand = pm[s] + m
+                b.slli(T0, s, 3);
+                b.add(T1, pm_r, T0);
+                b.ld(T2, T1, 0);
+                b.add(T4, T4, T2);
+                // if cand < npm[ns]: npm[ns] = cand; if ns==0: dec = input
+                b.slli(T0, T3, 3);
+                b.add(T1, npm_r, T0);
+                b.ld(T2, T1, 0);
+                let no_update = b.label();
+                b.bge(T4, T2, no_update);
+                b.sd(T4, T1, 0);
+                let not_zero = b.label();
+                b.bnez(T3, not_zero);
+                b.mv(dec, input);
+                b.bind(not_zero);
+                b.bind(no_update);
+            }
+            loop_tail_lt(&mut b, in_top, input, 1, T6);
+        }
+        loop_tail_lt(&mut b, s_top, s, 1, T7);
+        // min over npm; pm = npm - min
+        b.ld(minv, npm_r, 0);
+        for k in 1..4i32 {
+            let skip = b.label();
+            b.ld(T0, npm_r, k * 8);
+            b.bge(T0, minv, skip);
+            b.mv(minv, T0);
+            b.bind(skip);
+        }
+        for k in 0..4i32 {
+            b.ld(T0, npm_r, k * 8);
+            b.sub(T0, T0, minv);
+            b.sd(T0, pm_r, k * 8);
+        }
+        b.add(CHK, CHK, dec);
+        b.add(CHK, CHK, minv);
+    }
+    loop_tail_lt(&mut b, step, I, 1, N);
+    for k in 0..4i32 {
+        b.ld(T0, pm_r, k * 8);
+        b.add(CHK, CHK, T0);
+    }
+    b.halt();
+
+    KernelBuild { program: b.build(), expected }
+}
+
+/// `huffman`: canonical-Huffman bit packing — table-driven encoding with
+/// shift/or accumulation into 64-bit words, the consumer-codec staple.
+pub(crate) fn huffman(scale: Scale) -> KernelBuild {
+    let n = match scale {
+        Scale::Tiny => 6_000,
+        Scale::Small => 90_000,
+    };
+    let mut rng = SplitMix64::new(0x48FF);
+    // Skewed source: geometric-ish symbol distribution over 16 symbols.
+    let data: Vec<u8> = (0..n)
+        .map(|_| {
+            let mut s = 0u8;
+            while s < 15 && rng.below(2) == 0 {
+                s += 1;
+            }
+            s
+        })
+        .collect();
+    // Fixed canonical code: symbol s gets length min(s+1, 15), code =
+    // canonical assignment (host-computed).
+    let lengths: Vec<u32> = (0..16u32).map(|s| (s + 1).min(15)).collect();
+    let mut codes = vec![0u64; 16];
+    {
+        let mut code = 0u64;
+        let mut last_len = 0u32;
+        let mut order: Vec<usize> = (0..16).collect();
+        order.sort_by_key(|&i| lengths[i]);
+        for &sym in &order {
+            code <<= lengths[sym] - last_len;
+            codes[sym] = code;
+            code += 1;
+            last_len = lengths[sym];
+        }
+    }
+
+    // Host reference: pack codes MSB-first into 64-bit words.
+    let mut expected = 0i64;
+    let mut acc = 0u64;
+    let mut bits = 0u32;
+    let mut total_bits = 0u64;
+    for &sym in &data {
+        let (c, l) = (codes[sym as usize], lengths[sym as usize]);
+        total_bits += u64::from(l);
+        if bits + l <= 64 {
+            acc = (acc << l) | c;
+            bits += l;
+        } else {
+            let hi = 64 - bits;
+            let lo = l - hi;
+            acc = (acc << hi) | (c >> lo);
+            expected ^= acc as i64;
+            acc = c & ((1 << lo) - 1);
+            bits = lo;
+        }
+    }
+    expected ^= acc as i64;
+    expected = expected.wrapping_add(total_bits as i64);
+
+    let mut b = ProgramBuilder::new("huffman");
+    let tdata = b.data_bytes(&data);
+    let tcodes = b.data_u64(&codes);
+    let tlens: Vec<i64> = lengths.iter().map(|&l| i64::from(l)).collect();
+    let tlens = b.data_i64(&tlens);
+
+    let (acc_r, bits_r, tot_r) = (S0, S1, S2);
+    let (c, l) = (S3, S4);
+
+    b.li(CHK, 0);
+    b.li(B0, tdata as i64);
+    b.li(B1, tcodes as i64);
+    b.li(B2, tlens as i64);
+    b.li(acc_r, 0);
+    b.li(bits_r, 0);
+    b.li(tot_r, 0);
+    b.li(S5, 64);
+    b.li(N, n as i64);
+
+    let top = loop_head(&mut b, I, 0);
+    {
+        b.add(T0, B0, I);
+        b.lb(T1, T0, 0); // sym
+        b.slli(T2, T1, 3);
+        b.add(T3, B1, T2);
+        b.ld(c, T3, 0);
+        b.add(T3, B2, T2);
+        b.ld(l, T3, 0);
+        b.add(tot_r, tot_r, l);
+        b.add(T4, bits_r, l);
+        let spill = b.label();
+        let done = b.label();
+        b.bgt(T4, S5, spill);
+        // acc = (acc << l) | c; bits += l
+        b.sll(acc_r, acc_r, l);
+        b.or(acc_r, acc_r, c);
+        b.mv(bits_r, T4);
+        b.j(done);
+        b.bind(spill);
+        // hi = 64 - bits; lo = l - hi
+        b.sub(T5, S5, bits_r); // hi
+        b.sub(T6, l, T5); // lo
+        b.sll(acc_r, acc_r, T5);
+        b.srl(T7, c, T6);
+        b.or(acc_r, acc_r, T7);
+        b.xor(CHK, CHK, acc_r);
+        // acc = c & ((1 << lo) - 1); bits = lo
+        b.li(T7, 1);
+        b.sll(T7, T7, T6);
+        b.addi(T7, T7, -1);
+        b.and(acc_r, c, T7);
+        b.mv(bits_r, T6);
+        b.bind(done);
+    }
+    loop_tail_lt(&mut b, top, I, 1, N);
+    b.xor(CHK, CHK, acc_r);
+    b.add(CHK, CHK, tot_r);
+    b.halt();
+
+    KernelBuild { program: b.build(), expected }
+}
+
+/// `typeset`: optimal line breaking by dynamic programming (Knuth-Plass
+/// style squared-badness), the office text-formatting workload.
+pub(crate) fn typeset(scale: Scale) -> KernelBuild {
+    let n = match scale {
+        Scale::Tiny => 900,
+        Scale::Small => 9_000,
+    };
+    let line_width = 60i64;
+    let mut rng = SplitMix64::new(0x7E57);
+    let words: Vec<i64> = (0..n).map(|_| 1 + rng.below(12) as i64).collect();
+
+    // Host reference: dp[i] = best badness for words[i..]; dp[n] = 0.
+    let big = 1i64 << 40;
+    let mut dp = vec![0i64; n + 1];
+    let mut expected = 0i64;
+    for i in (0..n).rev() {
+        let mut best = big;
+        let mut width = -1i64; // running width incl. single spaces
+        let mut j = i;
+        while j < n {
+            width += words[j] + 1;
+            if width > line_width {
+                break;
+            }
+            let slack = line_width - width;
+            let badness = if j == n - 1 { 0 } else { slack * slack };
+            let cand = badness + dp[j + 1];
+            if cand < best {
+                best = cand;
+            }
+            j += 1;
+        }
+        dp[i] = best.min(big);
+        expected = expected.wrapping_add(dp[i] & 0xffff);
+    }
+
+    let mut b = ProgramBuilder::new("typeset");
+    let twords = b.data_i64(&words);
+    let tdp = b.alloc((n as u64 + 1) * 8);
+
+    let (w_r, dp_r) = (B0, B1);
+    let (best, width, jj, slack) = (S0, S1, S2, S3);
+
+    b.li(CHK, 0);
+    b.li(w_r, twords as i64);
+    b.li(dp_r, tdp as i64);
+    b.li(S4, line_width);
+    b.li(S5, big);
+    b.li(N, n as i64);
+    // dp[n] = 0 is already zero-initialized memory.
+
+    // i from n-1 down to 0.
+    b.li(I, n as i64 - 1);
+    let i_top = b.label();
+    let i_done = b.label();
+    b.bind(i_top);
+    b.blt(I, Reg::ZERO, i_done);
+    {
+        b.mv(best, S5);
+        b.li(width, -1);
+        b.mv(jj, I);
+        let j_top = b.label();
+        let j_done = b.label();
+        b.bind(j_top);
+        b.bge(jj, N, j_done);
+        b.slli(T0, jj, 3);
+        b.add(T1, w_r, T0);
+        b.ld(T2, T1, 0);
+        b.add(width, width, T2);
+        b.addi(width, width, 1);
+        b.bgt(width, S4, j_done);
+        b.sub(slack, S4, width);
+        // badness = (j == n-1) ? 0 : slack^2
+        b.mul(T3, slack, slack);
+        b.addi(T4, N, -1);
+        let not_last = b.label();
+        b.bne(jj, T4, not_last);
+        b.li(T3, 0);
+        b.bind(not_last);
+        // cand = badness + dp[j+1]
+        b.addi(T5, jj, 1);
+        b.slli(T5, T5, 3);
+        b.add(T5, dp_r, T5);
+        b.ld(T6, T5, 0);
+        b.add(T3, T3, T6);
+        let no_best = b.label();
+        b.bge(T3, best, no_best);
+        b.mv(best, T3);
+        b.bind(no_best);
+        b.addi(jj, jj, 1);
+        b.j(j_top);
+        b.bind(j_done);
+        b.slli(T0, I, 3);
+        b.add(T1, dp_r, T0);
+        b.sd(best, T1, 0);
+        b.li(T2, 0xffff);
+        b.and(T3, best, T2);
+        b.add(CHK, CHK, T3);
+    }
+    b.addi(I, I, -1);
+    b.j(i_top);
+    b.bind(i_done);
+    b.halt();
+
+    KernelBuild { program: b.build(), expected }
+}
+
+/// `tiff_median`: 3×3 median filter with an insertion-sort network —
+/// branch-heavy image denoising (the MiBench `tiffmedian` shape).
+pub(crate) fn tiff_median(scale: Scale) -> KernelBuild {
+    let (w, h) = match scale {
+        Scale::Tiny => (26usize, 26usize),
+        Scale::Small => (90, 90),
+    };
+    let mut rng = SplitMix64::new(0x71FF);
+    let img = rng.byte_vec(w * h);
+
+    // Host reference.
+    let mut expected = 0i64;
+    for y in 1..h - 1 {
+        for x in 1..w - 1 {
+            let mut v = [0i64; 9];
+            let mut k = 0;
+            for dy in -1i64..=1 {
+                for dx in -1i64..=1 {
+                    v[k] =
+                        i64::from(img[((y as i64 + dy) * w as i64 + x as i64 + dx) as usize]);
+                    k += 1;
+                }
+            }
+            // Insertion sort, mirroring the kernel's compare/shift loop.
+            for i in 1..9 {
+                let key = v[i];
+                let mut j = i;
+                while j > 0 && v[j - 1] > key {
+                    v[j] = v[j - 1];
+                    j -= 1;
+                }
+                v[j] = key;
+            }
+            expected = expected.wrapping_add(v[4]);
+        }
+    }
+
+    let mut b = ProgramBuilder::new("tiff_median");
+    let timg = b.data_bytes(&img);
+    let tv = b.alloc(9 * 8);
+
+    let (px, py) = (I, J);
+    let (wl, hl, rowp, v_r) = (S0, S1, S2, S3);
+    let (ii, jj, key) = (S4, S5, S6);
+
+    b.li(CHK, 0);
+    b.li(B0, timg as i64);
+    b.li(v_r, tv as i64);
+    b.li(wl, w as i64 - 1);
+    b.li(hl, h as i64 - 1);
+    b.li(S7, 9);
+
+    let wi = w as i32;
+    let y_top = loop_head(&mut b, py, 1);
+    {
+        b.li(T0, w as i64);
+        b.mul(rowp, py, T0);
+        b.add(rowp, rowp, B0);
+        let x_top = loop_head(&mut b, px, 1);
+        {
+            b.add(T0, rowp, px);
+            // Gather the 3x3 window into v[0..9].
+            for (k, off) in [-wi - 1, -wi, -wi + 1, -1, 0, 1, wi - 1, wi, wi + 1]
+                .iter()
+                .enumerate()
+            {
+                b.lb(T1, T0, *off);
+                b.sd(T1, v_r, (k as i32) * 8);
+            }
+            // Insertion sort.
+            let srt = loop_head(&mut b, ii, 1);
+            {
+                b.slli(T1, ii, 3);
+                b.add(T2, v_r, T1);
+                b.ld(key, T2, 0);
+                b.mv(jj, ii);
+                let shift = b.label();
+                let placed = b.label();
+                b.bind(shift);
+                b.beqz(jj, placed);
+                b.slli(T1, jj, 3);
+                b.add(T2, v_r, T1);
+                b.ld(T3, T2, -8);
+                b.ble(T3, key, placed);
+                b.sd(T3, T2, 0);
+                b.addi(jj, jj, -1);
+                b.j(shift);
+                b.bind(placed);
+                b.slli(T1, jj, 3);
+                b.add(T2, v_r, T1);
+                b.sd(key, T2, 0);
+            }
+            loop_tail_lt(&mut b, srt, ii, 1, S7);
+            b.ld(T1, v_r, 4 * 8);
+            b.add(CHK, CHK, T1);
+        }
+        loop_tail_lt(&mut b, x_top, px, 1, wl);
+    }
+    loop_tail_lt(&mut b, y_top, py, 1, hl);
+    b.halt();
+
+    KernelBuild { program: b.build(), expected }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests_support::check_kernel;
+
+    #[test]
+    fn sobel_checksum() {
+        check_kernel(sobel(Scale::Tiny));
+    }
+
+    #[test]
+    fn viterbi_checksum() {
+        check_kernel(viterbi(Scale::Tiny));
+    }
+
+    #[test]
+    fn huffman_checksum() {
+        check_kernel(huffman(Scale::Tiny));
+    }
+
+    #[test]
+    fn typeset_checksum() {
+        check_kernel(typeset(Scale::Tiny));
+    }
+
+    #[test]
+    fn tiff_median_checksum() {
+        check_kernel(tiff_median(Scale::Tiny));
+    }
+}

@@ -1,0 +1,278 @@
+//! # perfclone-kernels
+//!
+//! Twenty-three embedded benchmark kernels standing in for the MiBench and
+//! MediaBench programs the paper evaluates on (its Table 1), plus a
+//! five-kernel extended population ([`catalog_extended`]) used to check
+//! that the cloning models generalize beyond the calibration set.
+//!
+//! Each kernel is a hand-written program for the `perfclone-isa` instruction
+//! set, implementing the core algorithm its namesake suite program is built
+//! around, over deterministic synthetic inputs. Every kernel computes a
+//! checksum into [`CHECK_REG`] that is validated against a host-side Rust
+//! reference implementation, so the whole population is self-checking.
+//!
+//! # Example
+//!
+//! ```
+//! use perfclone_kernels::{catalog, Scale};
+//! use perfclone_sim::Simulator;
+//!
+//! let kernel = perfclone_kernels::by_name("crc32").unwrap();
+//! let build = kernel.build(Scale::Tiny);
+//! let mut sim = Simulator::new(&build.program);
+//! sim.run(u64::MAX)?;
+//! assert_eq!(sim.state().reg(perfclone_kernels::CHECK_REG), build.expected);
+//! assert!(catalog().len() >= 23);
+//! # Ok::<(), perfclone_sim::SimError>(())
+//! ```
+
+mod automotive;
+mod consumer;
+mod extended;
+mod media;
+mod network;
+mod office;
+mod security;
+mod telecom;
+mod util;
+
+use std::fmt;
+
+use perfclone_isa::{Program, Reg};
+
+/// The register each kernel leaves its checksum in before halting.
+pub const CHECK_REG: Reg = Reg::new(10);
+
+/// Application domains, mirroring the paper's Table 1 population.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Domain {
+    /// MiBench automotive/industrial control.
+    Automotive,
+    /// MiBench networking.
+    Network,
+    /// MiBench security.
+    Security,
+    /// MiBench telecommunications.
+    Telecom,
+    /// MiBench office automation.
+    Office,
+    /// MiBench consumer devices.
+    Consumer,
+    /// MediaBench media processing.
+    Media,
+}
+
+impl Domain {
+    /// A short lowercase label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Domain::Automotive => "automotive",
+            Domain::Network => "network",
+            Domain::Security => "security",
+            Domain::Telecom => "telecom",
+            Domain::Office => "office",
+            Domain::Consumer => "consumer",
+            Domain::Media => "media",
+        }
+    }
+}
+
+impl fmt::Display for Domain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Input-size scaling for a kernel, playing the role of the MiBench
+/// small/large input sets.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Scale {
+    /// A few tens of thousands of dynamic instructions — unit tests.
+    Tiny,
+    /// A few hundred thousand to ~2 M dynamic instructions — experiments
+    /// (the default).
+    #[default]
+    Small,
+}
+
+/// A built kernel: the program plus the checksum its run must produce.
+#[derive(Clone, Debug)]
+pub struct KernelBuild {
+    /// The executable program.
+    pub program: Program,
+    /// Expected value of [`CHECK_REG`] after the program halts, computed by
+    /// a host-side reference implementation over the same inputs.
+    pub expected: i64,
+}
+
+/// One entry of the benchmark population.
+#[derive(Clone, Copy, Debug)]
+pub struct Kernel {
+    name: &'static str,
+    domain: Domain,
+    build: fn(Scale) -> KernelBuild,
+}
+
+impl Kernel {
+    /// The kernel's name (e.g. `"crc32"`).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The kernel's application domain.
+    pub fn domain(&self) -> Domain {
+        self.domain
+    }
+
+    /// Builds the kernel program at the given scale.
+    pub fn build(&self, scale: Scale) -> KernelBuild {
+        (self.build)(scale)
+    }
+}
+
+impl fmt::Display for Kernel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.name, self.domain)
+    }
+}
+
+macro_rules! kernel {
+    ($name:literal, $domain:ident, $path:path) => {
+        Kernel { name: $name, domain: Domain::$domain, build: $path }
+    };
+}
+
+/// The full 23-kernel population (paper Table 1).
+pub fn catalog() -> &'static [Kernel] {
+    const CATALOG: &[Kernel] = &[
+        kernel!("basicmath", Automotive, automotive::basicmath),
+        kernel!("bitcount", Automotive, automotive::bitcount),
+        kernel!("qsort", Automotive, automotive::qsort),
+        kernel!("susan", Automotive, automotive::susan),
+        kernel!("dijkstra", Network, network::dijkstra),
+        kernel!("patricia", Network, network::patricia),
+        kernel!("blowfish", Security, security::blowfish),
+        kernel!("rijndael", Security, security::rijndael),
+        kernel!("sha", Security, security::sha),
+        kernel!("adpcm_enc", Telecom, telecom::adpcm_enc),
+        kernel!("adpcm_dec", Telecom, telecom::adpcm_dec),
+        kernel!("crc32", Telecom, telecom::crc32),
+        kernel!("fft", Telecom, telecom::fft),
+        kernel!("gsm", Telecom, telecom::gsm),
+        kernel!("stringsearch", Office, office::stringsearch),
+        kernel!("ispell", Office, office::ispell),
+        kernel!("ghostscript", Office, office::ghostscript),
+        kernel!("jpeg_enc", Consumer, consumer::jpeg_enc),
+        kernel!("jpeg_dec", Consumer, consumer::jpeg_dec),
+        kernel!("lame", Consumer, consumer::lame),
+        kernel!("mpeg2_dec", Media, media::mpeg2_dec),
+        kernel!("g721_enc", Media, media::g721_enc),
+        kernel!("epic", Media, media::epic),
+    ];
+    CATALOG
+}
+
+/// The paper's 23 kernels plus the five extended-population kernels
+/// (`sobel`, `viterbi`, `huffman`, `typeset`, `tiff_median`) — see
+/// `extended.rs` for why they exist.
+pub fn catalog_extended() -> &'static [Kernel] {
+    const EXTENDED: &[Kernel] = &[
+        kernel!("basicmath", Automotive, automotive::basicmath),
+        kernel!("bitcount", Automotive, automotive::bitcount),
+        kernel!("qsort", Automotive, automotive::qsort),
+        kernel!("susan", Automotive, automotive::susan),
+        kernel!("dijkstra", Network, network::dijkstra),
+        kernel!("patricia", Network, network::patricia),
+        kernel!("blowfish", Security, security::blowfish),
+        kernel!("rijndael", Security, security::rijndael),
+        kernel!("sha", Security, security::sha),
+        kernel!("adpcm_enc", Telecom, telecom::adpcm_enc),
+        kernel!("adpcm_dec", Telecom, telecom::adpcm_dec),
+        kernel!("crc32", Telecom, telecom::crc32),
+        kernel!("fft", Telecom, telecom::fft),
+        kernel!("gsm", Telecom, telecom::gsm),
+        kernel!("stringsearch", Office, office::stringsearch),
+        kernel!("ispell", Office, office::ispell),
+        kernel!("ghostscript", Office, office::ghostscript),
+        kernel!("jpeg_enc", Consumer, consumer::jpeg_enc),
+        kernel!("jpeg_dec", Consumer, consumer::jpeg_dec),
+        kernel!("lame", Consumer, consumer::lame),
+        kernel!("mpeg2_dec", Media, media::mpeg2_dec),
+        kernel!("g721_enc", Media, media::g721_enc),
+        kernel!("epic", Media, media::epic),
+        kernel!("sobel", Automotive, extended::sobel),
+        kernel!("viterbi", Telecom, extended::viterbi),
+        kernel!("huffman", Consumer, extended::huffman),
+        kernel!("typeset", Office, extended::typeset),
+        kernel!("tiff_median", Consumer, extended::tiff_median),
+    ];
+    EXTENDED
+}
+
+/// Looks up a kernel by name, searching the extended population (which
+/// contains the paper's 23 as a prefix).
+pub fn by_name(name: &str) -> Option<&'static Kernel> {
+    catalog_extended().iter().find(|k| k.name == name)
+}
+
+#[cfg(test)]
+pub(crate) mod tests_support {
+    use crate::{KernelBuild, CHECK_REG};
+    use perfclone_sim::Simulator;
+
+    /// Runs a built kernel to completion and asserts its checksum matches
+    /// the host-side reference value.
+    pub(crate) fn check_kernel(kb: KernelBuild) {
+        let mut sim = Simulator::new(&kb.program);
+        let out = sim.run(100_000_000).expect("kernel faulted");
+        assert!(out.halted, "kernel {} did not halt", kb.program.name());
+        assert_eq!(
+            sim.state().reg(CHECK_REG),
+            kb.expected,
+            "kernel {} checksum mismatch after {} instructions",
+            kb.program.name(),
+            out.retired
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_has_23_unique_kernels() {
+        let names: std::collections::HashSet<&str> =
+            catalog().iter().map(|k| k.name()).collect();
+        assert_eq!(names.len(), 23);
+        assert_eq!(catalog().len(), 23);
+    }
+
+    #[test]
+    fn every_domain_is_represented() {
+        let domains: std::collections::HashSet<Domain> =
+            catalog().iter().map(|k| k.domain()).collect();
+        assert_eq!(domains.len(), 7);
+    }
+
+    #[test]
+    fn by_name_round_trips() {
+        for k in catalog() {
+            assert_eq!(by_name(k.name()).unwrap().name(), k.name());
+        }
+        assert!(by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn extended_catalog_extends_the_paper_population() {
+        let base = catalog();
+        let ext = catalog_extended();
+        assert_eq!(ext.len(), base.len() + 5);
+        for (a, b) in base.iter().zip(ext.iter()) {
+            assert_eq!(a.name(), b.name());
+        }
+        for name in ["sobel", "viterbi", "huffman", "typeset", "tiff_median"] {
+            assert!(by_name(name).is_some(), "{name} missing");
+        }
+    }
+}

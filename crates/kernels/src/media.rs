@@ -1,0 +1,496 @@
+//! Media-domain kernels: `mpeg2_dec`, `g721_enc`, `epic`.
+
+use perfclone_isa::{ProgramBuilder, Reg};
+
+use crate::util::regs::*;
+use crate::util::{loop_head, loop_tail_lt, SplitMix64};
+use crate::{KernelBuild, Scale};
+
+/// `mpeg2_dec`: motion compensation — per 8×8 block, fetch a motion-
+/// displaced prediction from the reference frame, add the residual, clamp,
+/// and accumulate; the irregular-offset block-copy pattern of an MPEG-2
+/// decoder.
+pub(crate) fn mpeg2_dec(scale: Scale) -> KernelBuild {
+    let (fw, fh, blocks) = match scale {
+        Scale::Tiny => (176usize, 144usize, 150usize),
+        Scale::Small => (352, 288, 1500),
+    };
+    let mut rng = SplitMix64::new(0x4263);
+    let refframe = rng.byte_vec(fw * fh);
+    // Block descriptors: bx, by, dx, dy (|mv| <= 8, kept in-bounds).
+    let mut desc = Vec::new();
+    for _ in 0..blocks {
+        let bx = 8 + rng.below((fw - 24) as u64) as i64;
+        let by = 8 + rng.below((fh - 24) as u64) as i64;
+        let dx = rng.below(17) as i64 - 8;
+        let dy = rng.below(17) as i64 - 8;
+        desc.extend_from_slice(&[bx, by, dx, dy]);
+    }
+    let resid: Vec<i64> = (0..64 * blocks).map(|_| rng.below(65) as i64 - 32).collect();
+
+    // Host reference.
+    let mut expected = 0i64;
+    for blk in 0..blocks {
+        let (bx, by, dx, dy) =
+            (desc[4 * blk], desc[4 * blk + 1], desc[4 * blk + 2], desc[4 * blk + 3]);
+        for y in 0..8i64 {
+            for x in 0..8i64 {
+                let p = i64::from(refframe[((by + y + dy) * fw as i64 + bx + x + dx) as usize]);
+                let v = (p + resid[64 * blk + (y * 8 + x) as usize]).clamp(0, 255);
+                expected = expected.wrapping_add(v);
+            }
+        }
+    }
+
+    let mut b = ProgramBuilder::new("mpeg2_dec");
+    let tref = b.data_bytes(&refframe);
+    let tdesc = b.data_i64(&desc);
+    let tres = b.data_i64(&resid);
+
+    let (ref_r, desc_r, res_r) = (B0, B1, B2);
+    let (bx, by, dx, dy) = (S0, S1, S2, S3);
+    let (src, rblk) = (S4, S5);
+    let (x, y) = (I, J);
+    let eight = S6;
+
+    b.li(CHK, 0);
+    b.li(ref_r, tref as i64);
+    b.li(desc_r, tdesc as i64);
+    b.li(res_r, tres as i64);
+    b.li(eight, 8);
+    b.li(S9, blocks as i64);
+
+    let blk_top = loop_head(&mut b, K, 0);
+    {
+        b.slli(T0, K, 5); // 4 words * 8
+        b.add(T1, desc_r, T0);
+        b.ld(bx, T1, 0);
+        b.ld(by, T1, 8);
+        b.ld(dx, T1, 16);
+        b.ld(dy, T1, 24);
+        // src = &ref[(by+dy)*fw + bx+dx]
+        b.add(T2, by, dy);
+        b.li(T3, fw as i64);
+        b.mul(T2, T2, T3);
+        b.add(T2, T2, bx);
+        b.add(T2, T2, dx);
+        b.add(src, ref_r, T2);
+        // rblk = &resid[64*blk]
+        b.slli(T0, K, 9);
+        b.add(rblk, res_r, T0);
+
+        let y_top = loop_head(&mut b, y, 0);
+        {
+            b.li(T0, fw as i64);
+            b.mul(T1, y, T0);
+            b.add(T1, src, T1); // row ptr
+            b.slli(T2, y, 3);
+            b.slli(T3, T2, 3);
+            b.add(T3, rblk, T3); // residual row ptr (y*8 words)
+            let x_top = loop_head(&mut b, x, 0);
+            {
+                b.add(T4, T1, x);
+                b.lb(T5, T4, 0);
+                b.slli(T6, x, 3);
+                b.add(T6, T3, T6);
+                b.ld(T7, T6, 0);
+                b.add(T5, T5, T7);
+                let nolo = b.label();
+                let nohi = b.label();
+                b.bge(T5, Reg::ZERO, nolo);
+                b.li(T5, 0);
+                b.bind(nolo);
+                b.li(T6, 255);
+                b.ble(T5, T6, nohi);
+                b.li(T5, 255);
+                b.bind(nohi);
+                b.add(CHK, CHK, T5);
+            }
+            loop_tail_lt(&mut b, x_top, x, 1, eight);
+        }
+        loop_tail_lt(&mut b, y_top, y, 1, eight);
+    }
+    loop_tail_lt(&mut b, blk_top, K, 1, S9);
+    b.halt();
+
+    KernelBuild { program: b.build(), expected }
+}
+
+/// Quantizer decision thresholds for the simplified G.721 code.
+const G721_THRESH: [i64; 7] = [80, 178, 300, 460, 680, 1000, 1500];
+/// Reconstruction magnitudes per 3-bit code.
+const G721_RECON: [i64; 8] = [32, 120, 240, 380, 560, 820, 1220, 1800];
+
+/// `g721_enc`: simplified G.721 ADPCM — adaptive FIR/IIR prediction,
+/// threshold-search quantization and sign-sign LMS coefficient adaptation;
+/// the serial, branchy fixed-point structure of the MediaBench `g721` codec.
+pub(crate) fn g721_enc(scale: Scale) -> KernelBuild {
+    let n = match scale {
+        Scale::Tiny => 1_400,
+        Scale::Small => 7_500,
+    };
+    let mut rng = SplitMix64::new(0x672);
+    let mut s = 0i64;
+    let samples: Vec<i64> = (0..n)
+        .map(|_| {
+            s += rng.below(601) as i64 - 300;
+            s = s.clamp(-8000, 8000);
+            s
+        })
+        .collect();
+
+    // Host reference.
+    let mut bcoef = [0i64; 6]; // FIR coefficients (Q14)
+    let mut dqh = [0i64; 6]; // past quantized differences
+    let mut expected = 0i64;
+    for &xs in &samples {
+        let mut se = 0i64;
+        for i in 0..6 {
+            se += bcoef[i].wrapping_mul(dqh[i]);
+        }
+        se >>= 14;
+        let d = xs - se;
+        let (sign, mag) = if d < 0 { (1i64, -d) } else { (0, d) };
+        let mut code = 0i64;
+        for &t in &G721_THRESH {
+            if mag >= t {
+                code += 1;
+            }
+        }
+        let dq = if sign != 0 { -G721_RECON[code as usize] } else { G721_RECON[code as usize] };
+        // Sign-sign LMS adaptation.
+        for i in 0..6 {
+            let grad = if (dq < 0) == (dqh[i] < 0) && dqh[i] != 0 { 32 } else { -32 };
+            bcoef[i] += grad;
+            bcoef[i] = bcoef[i].clamp(-12288, 12288);
+        }
+        // Shift history.
+        for i in (1..6).rev() {
+            dqh[i] = dqh[i - 1];
+        }
+        dqh[0] = dq;
+        expected = expected.wrapping_add(code | (sign << 3));
+    }
+
+    let mut b = ProgramBuilder::new("g721_enc");
+    let tsamp = b.data_i64(&samples);
+    let tthr = b.data_i64(&G721_THRESH);
+    let trec = b.data_i64(&G721_RECON);
+    let tb = b.alloc(6 * 8);
+    let tdq = b.alloc(6 * 8);
+
+    let (samp_r, thr_r, rec_r, b_r, dq_r) = (B0, B1, B2, B3, S8);
+    let (se, d, sign, mag, code, dq) = (S0, S1, S2, S3, S4, S5);
+    let six = S6;
+
+    b.li(CHK, 0);
+    b.li(samp_r, tsamp as i64);
+    b.li(thr_r, tthr as i64);
+    b.li(rec_r, trec as i64);
+    b.li(b_r, tb as i64);
+    b.li(dq_r, tdq as i64);
+    b.li(six, 6);
+    b.li(N, n as i64);
+
+    let top = loop_head(&mut b, K, 0);
+    {
+        // Prediction.
+        b.li(se, 0);
+        let fir = loop_head(&mut b, I, 0);
+        {
+            b.slli(T0, I, 3);
+            b.add(T1, b_r, T0);
+            b.ld(T2, T1, 0);
+            b.add(T1, dq_r, T0);
+            b.ld(T3, T1, 0);
+            b.mul(T2, T2, T3);
+            b.add(se, se, T2);
+        }
+        loop_tail_lt(&mut b, fir, I, 1, six);
+        b.srai(se, se, 14);
+        // d = x - se; sign/mag split.
+        b.slli(T0, K, 3);
+        b.add(T1, samp_r, T0);
+        b.ld(T2, T1, 0);
+        b.sub(d, T2, se);
+        b.li(sign, 0);
+        b.mv(mag, d);
+        let nonneg = b.label();
+        b.bge(d, Reg::ZERO, nonneg);
+        b.li(sign, 1);
+        b.sub(mag, Reg::ZERO, d);
+        b.bind(nonneg);
+        // Threshold search.
+        b.li(code, 0);
+        b.li(T7, 7);
+        let th = loop_head(&mut b, I, 0);
+        {
+            let below = b.label();
+            b.slli(T0, I, 3);
+            b.add(T1, thr_r, T0);
+            b.ld(T2, T1, 0);
+            b.blt(mag, T2, below);
+            b.addi(code, code, 1);
+            b.bind(below);
+        }
+        loop_tail_lt(&mut b, th, I, 1, T7);
+        // dq = +/- recon[code]
+        b.slli(T0, code, 3);
+        b.add(T1, rec_r, T0);
+        b.ld(dq, T1, 0);
+        let pos = b.label();
+        b.beqz(sign, pos);
+        b.sub(dq, Reg::ZERO, dq);
+        b.bind(pos);
+        // Sign-sign LMS.
+        let lms = loop_head(&mut b, I, 0);
+        {
+            let neg_grad = b.label();
+            let apply = b.label();
+            b.slli(T0, I, 3);
+            b.add(T1, dq_r, T0);
+            b.ld(T2, T1, 0); // dqh[i]
+            // grad = +32 iff (dq<0)==(dqh<0) && dqh != 0
+            b.beqz(T2, neg_grad);
+            b.slt(T3, dq, Reg::ZERO);
+            b.slt(T4, T2, Reg::ZERO);
+            b.bne(T3, T4, neg_grad);
+            b.li(T5, 32);
+            b.j(apply);
+            b.bind(neg_grad);
+            b.li(T5, -32);
+            b.bind(apply);
+            b.add(T6, b_r, T0);
+            b.ld(T7, T6, 0);
+            b.add(T7, T7, T5);
+            // clamp +/- 12288
+            let nolo = b.label();
+            let nohi = b.label();
+            b.li(T5, -12288);
+            b.bge(T7, T5, nolo);
+            b.mv(T7, T5);
+            b.bind(nolo);
+            b.li(T5, 12288);
+            b.ble(T7, T5, nohi);
+            b.mv(T7, T5);
+            b.bind(nohi);
+            b.sd(T7, T6, 0);
+        }
+        loop_tail_lt(&mut b, lms, I, 1, six);
+        // Shift history (5 moves) then insert dq.
+        for i in (1..6i32).rev() {
+            b.ld(T0, dq_r, (i - 1) * 8);
+            b.sd(T0, dq_r, i * 8);
+        }
+        b.sd(dq, dq_r, 0);
+        // checksum += code | (sign << 3)
+        b.slli(T0, sign, 3);
+        b.or(T0, T0, code);
+        b.add(CHK, CHK, T0);
+    }
+    loop_tail_lt(&mut b, top, K, 1, N);
+    b.halt();
+
+    KernelBuild { program: b.build(), expected }
+}
+
+/// `epic`: two-level separable Haar wavelet pyramid with quantization over
+/// a sequence of images — the subsampled filter structure of the MediaBench
+/// `epic` image coder.
+pub(crate) fn epic(scale: Scale) -> KernelBuild {
+    let (w, frames) = match scale {
+        Scale::Tiny => (32usize, 2usize),
+        Scale::Small => (64, 10),
+    };
+    let mut rng = SplitMix64::new(0xE61C);
+    let images: Vec<i64> = (0..frames * w * w).map(|_| rng.below(256) as i64).collect();
+
+    // Host reference: level-1 rows, level-1 cols, level-2 on LL quadrant,
+    // then quantize-and-sum.
+    let mut expected = 0i64;
+    let mut buf = vec![0i64; w * w];
+    let mut tmp = vec![0i64; w * w];
+    for f in 0..frames {
+        buf.copy_from_slice(&images[f * w * w..(f + 1) * w * w]);
+        for level in 0..2usize {
+            let lw = w >> level;
+            // Rows.
+            for y in 0..lw {
+                for k in 0..lw / 2 {
+                    let a = buf[y * w + 2 * k];
+                    let b = buf[y * w + 2 * k + 1];
+                    tmp[y * w + k] = (a + b) >> 1;
+                    tmp[y * w + lw / 2 + k] = a - b;
+                }
+            }
+            // Cols.
+            for x in 0..lw {
+                for k in 0..lw / 2 {
+                    let a = tmp[(2 * k) * w + x];
+                    let b = tmp[(2 * k + 1) * w + x];
+                    buf[k * w + x] = (a + b) >> 1;
+                    buf[(lw / 2 + k) * w + x] = a - b;
+                }
+            }
+        }
+        for y in 0..w {
+            for x in 0..w {
+                let q = buf[y * w + x] >> 3;
+                expected = expected.wrapping_add(q);
+                if q == 0 {
+                    expected = expected.wrapping_add(1);
+                }
+            }
+        }
+    }
+
+    let mut b = ProgramBuilder::new("epic");
+    let timg = b.data_i64(&images);
+    let tbuf = b.alloc((w * w) as u64 * 8);
+    let ttmp = b.alloc((w * w) as u64 * 8);
+
+    let (img_r, buf_r, tmp_r) = (B0, B1, B2);
+    let (lw, half, level) = (S0, S1, S2);
+    let (x, y, k) = (I, J, K);
+    let ww = S3;
+
+    b.li(CHK, 0);
+    b.li(img_r, timg as i64);
+    b.li(buf_r, tbuf as i64);
+    b.li(tmp_r, ttmp as i64);
+    b.li(ww, w as i64);
+    b.li(S9, frames as i64);
+
+    let f_top = loop_head(&mut b, S8, 0);
+    {
+        // Copy frame into buf.
+        b.mul(T0, S8, ww);
+        b.mul(T0, T0, ww);
+        b.slli(T0, T0, 3);
+        b.add(T1, img_r, T0); // frame base
+        b.li(N, (w * w) as i64);
+        let cp = loop_head(&mut b, x, 0);
+        {
+            b.slli(T2, x, 3);
+            b.add(T3, T1, T2);
+            b.ld(T4, T3, 0);
+            b.add(T3, buf_r, T2);
+            b.sd(T4, T3, 0);
+        }
+        loop_tail_lt(&mut b, cp, x, 1, N);
+
+        b.li(level, 0);
+        let lvl_top = b.label();
+        let lvl_done = b.label();
+        b.bind(lvl_top);
+        b.li(T0, 2);
+        b.bge(level, T0, lvl_done);
+        {
+            b.srl(lw, ww, level);
+            b.srai(half, lw, 1);
+            // Rows.
+            let ry = loop_head(&mut b, y, 0);
+            {
+                b.mul(T5, y, ww);
+                b.slli(T5, T5, 3); // y*w*8
+                let rk = loop_head(&mut b, k, 0);
+                {
+                    b.slli(T0, k, 4); // 2k * 8
+                    b.add(T1, T5, T0);
+                    b.add(T1, buf_r, T1);
+                    b.ld(T2, T1, 0); // a
+                    b.ld(T3, T1, 8); // b
+                    b.add(T4, T2, T3);
+                    b.srai(T4, T4, 1);
+                    b.slli(T6, k, 3);
+                    b.add(T7, T5, T6);
+                    b.add(T7, tmp_r, T7);
+                    b.sd(T4, T7, 0); // tmp[y*w+k]
+                    b.sub(T4, T2, T3);
+                    b.slli(T6, half, 3);
+                    b.add(T7, T7, T6);
+                    b.sd(T4, T7, 0); // tmp[y*w+half+k]
+                }
+                loop_tail_lt(&mut b, rk, k, 1, half);
+            }
+            loop_tail_lt(&mut b, ry, y, 1, lw);
+            // Cols.
+            let cx = loop_head(&mut b, x, 0);
+            {
+                b.slli(T5, x, 3); // x*8
+                let ck = loop_head(&mut b, k, 0);
+                {
+                    b.slli(T0, k, 1); // 2k
+                    b.mul(T1, T0, ww);
+                    b.slli(T1, T1, 3);
+                    b.add(T1, T1, T5);
+                    b.add(T1, tmp_r, T1);
+                    b.ld(T2, T1, 0); // a = tmp[2k*w+x]
+                    b.slli(T3, ww, 3);
+                    b.add(T1, T1, T3);
+                    b.ld(T3, T1, 0); // b = tmp[(2k+1)*w+x]
+                    b.add(T4, T2, T3);
+                    b.srai(T4, T4, 1);
+                    b.mul(T6, k, ww);
+                    b.slli(T6, T6, 3);
+                    b.add(T6, T6, T5);
+                    b.add(T6, buf_r, T6);
+                    b.sd(T4, T6, 0); // buf[k*w+x]
+                    b.sub(T4, T2, T3);
+                    b.add(T7, half, k);
+                    b.mul(T7, T7, ww);
+                    b.slli(T7, T7, 3);
+                    b.add(T7, T7, T5);
+                    b.add(T7, buf_r, T7);
+                    b.sd(T4, T7, 0); // buf[(half+k)*w+x]
+                }
+                loop_tail_lt(&mut b, ck, k, 1, half);
+            }
+            loop_tail_lt(&mut b, cx, x, 1, lw);
+            b.addi(level, level, 1);
+        }
+        b.j(lvl_top);
+        b.bind(lvl_done);
+
+        // Quantize and accumulate.
+        b.li(N, (w * w) as i64);
+        let qs = loop_head(&mut b, x, 0);
+        {
+            b.slli(T0, x, 3);
+            b.add(T1, buf_r, T0);
+            b.ld(T2, T1, 0);
+            b.srai(T2, T2, 3);
+            b.add(CHK, CHK, T2);
+            let nz = b.label();
+            b.bnez(T2, nz);
+            b.addi(CHK, CHK, 1);
+            b.bind(nz);
+        }
+        loop_tail_lt(&mut b, qs, x, 1, N);
+    }
+    loop_tail_lt(&mut b, f_top, S8, 1, S9);
+    b.halt();
+
+    KernelBuild { program: b.build(), expected }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests_support::check_kernel;
+
+    #[test]
+    fn mpeg2_dec_checksum() {
+        check_kernel(mpeg2_dec(Scale::Tiny));
+    }
+
+    #[test]
+    fn g721_enc_checksum() {
+        check_kernel(g721_enc(Scale::Tiny));
+    }
+
+    #[test]
+    fn epic_checksum() {
+        check_kernel(epic(Scale::Tiny));
+    }
+}

@@ -1,0 +1,372 @@
+//! Network-domain kernels: `dijkstra`, `patricia`.
+
+use perfclone_isa::ProgramBuilder;
+
+use crate::util::regs::*;
+use crate::util::{loop_head, loop_tail_lt, SplitMix64};
+use crate::{KernelBuild, Scale};
+
+const INF: i64 = 1 << 40;
+
+/// `dijkstra`: repeated single-source shortest paths over a dense adjacency
+/// matrix with linear min-scans — the MiBench `dijkstra` structure.
+pub(crate) fn dijkstra(scale: Scale) -> KernelBuild {
+    let (n, sources) = match scale {
+        Scale::Tiny => (20, 4),
+        Scale::Small => (64, 18),
+    };
+    let mut rng = SplitMix64::new(0xD1157);
+    let mut mat = vec![0i64; n * n];
+    for u in 0..n {
+        for v in 0..n {
+            mat[u * n + v] = if u == v {
+                0
+            } else if rng.below(10) < 3 {
+                INF
+            } else {
+                1 + rng.below(99) as i64
+            };
+        }
+    }
+
+    // Host reference.
+    let mut expected = 0i64;
+    for s in 0..sources {
+        let src = s % n;
+        let mut dist = vec![INF; n];
+        let mut visited = vec![false; n];
+        dist[src] = 0;
+        for _ in 0..n {
+            let mut best = 1i64 << 60;
+            let mut u = 0usize;
+            for i in 0..n {
+                if !visited[i] && dist[i] < best {
+                    best = dist[i];
+                    u = i;
+                }
+            }
+            visited[u] = true;
+            for v in 0..n {
+                let nd = dist[u] + mat[u * n + v];
+                if nd < dist[v] {
+                    dist[v] = nd;
+                }
+            }
+        }
+        for d in &dist {
+            expected = expected.wrapping_add(*d);
+        }
+    }
+
+    let mut b = ProgramBuilder::new("dijkstra");
+    let tmat = b.data_i64(&mat);
+    let tdist = b.alloc(n as u64 * 8);
+    let tvis = b.alloc(n as u64 * 8);
+
+    let (mat_r, dist_r, vis_r) = (B0, B1, B2);
+    let (nn, src, best, u) = (S0, S1, S2, S3);
+    let iter = S4;
+
+    b.li(CHK, 0);
+    b.li(mat_r, tmat as i64);
+    b.li(dist_r, tdist as i64);
+    b.li(vis_r, tvis as i64);
+    b.li(nn, n as i64);
+    b.li(S5, INF);
+    b.li(MASK, 1 << 60);
+
+    let s_top = loop_head(&mut b, K, 0);
+    {
+        // src = K % n
+        b.li(T0, n as i64);
+        b.rem(src, K, T0);
+        // init dist/vis
+        let init = loop_head(&mut b, I, 0);
+        {
+            b.slli(T0, I, 3);
+            b.add(T1, dist_r, T0);
+            b.sd(S5, T1, 0);
+            b.add(T1, vis_r, T0);
+            b.sd(perfclone_isa::Reg::ZERO, T1, 0);
+        }
+        loop_tail_lt(&mut b, init, I, 1, nn);
+        b.slli(T0, src, 3);
+        b.add(T1, dist_r, T0);
+        b.sd(perfclone_isa::Reg::ZERO, T1, 0);
+
+        let step = loop_head(&mut b, iter, 0);
+        {
+            // argmin scan
+            b.mv(best, MASK);
+            b.li(u, 0);
+            let scan = loop_head(&mut b, I, 0);
+            {
+                let next = b.label();
+                b.slli(T0, I, 3);
+                b.add(T1, vis_r, T0);
+                b.ld(T2, T1, 0);
+                b.bnez(T2, next);
+                b.add(T1, dist_r, T0);
+                b.ld(T2, T1, 0);
+                b.bge(T2, best, next);
+                b.mv(best, T2);
+                b.mv(u, I);
+                b.bind(next);
+            }
+            loop_tail_lt(&mut b, scan, I, 1, nn);
+            // visited[u] = 1
+            b.slli(T0, u, 3);
+            b.add(T1, vis_r, T0);
+            b.li(T2, 1);
+            b.sd(T2, T1, 0);
+            // relax row u
+            b.add(T3, dist_r, T0);
+            b.ld(T4, T3, 0); // dist[u]
+            b.mul(T5, u, nn);
+            b.slli(T5, T5, 3);
+            b.add(T5, mat_r, T5); // &mat[u*n]
+            let relax = loop_head(&mut b, J, 0);
+            {
+                let no = b.label();
+                b.slli(T0, J, 3);
+                b.add(T1, T5, T0);
+                b.ld(T2, T1, 0); // w
+                b.add(T2, T2, T4); // nd
+                b.add(T1, dist_r, T0);
+                b.ld(T6, T1, 0); // dist[v]
+                b.bge(T2, T6, no);
+                b.sd(T2, T1, 0);
+                b.bind(no);
+            }
+            loop_tail_lt(&mut b, relax, J, 1, nn);
+        }
+        loop_tail_lt(&mut b, step, iter, 1, nn);
+
+        // checksum += sum dist
+        let acc = loop_head(&mut b, I, 0);
+        {
+            b.slli(T0, I, 3);
+            b.add(T1, dist_r, T0);
+            b.ld(T2, T1, 0);
+            b.add(CHK, CHK, T2);
+        }
+        loop_tail_lt(&mut b, acc, I, 1, nn);
+    }
+    b.li(T0, sources as i64);
+    loop_tail_lt(&mut b, s_top, K, 1, T0);
+    b.halt();
+
+    KernelBuild { program: b.build(), expected }
+}
+
+/// `patricia`: digital search trie over 32-bit keys (array-of-indices
+/// representation), insert phase followed by a lookup phase — the pointer-
+/// chasing access pattern of the MiBench `patricia` routing-table kernel.
+pub(crate) fn patricia(scale: Scale) -> KernelBuild {
+    let (inserts, lookups) = match scale {
+        Scale::Tiny => (300, 300),
+        Scale::Small => (4200, 4200),
+    };
+    let mut rng = SplitMix64::new(0xAA7);
+    let keys: Vec<i64> = (0..inserts).map(|_| rng.below(1 << 32) as i64).collect();
+    let probes: Vec<i64> = (0..lookups)
+        .map(|i| if i % 2 == 0 { keys[rng.below(inserts as u64) as usize] } else { rng.below(1 << 32) as i64 })
+        .collect();
+
+    // Host reference trie.
+    let cap = inserts + 1;
+    let mut nkey = vec![0i64; cap];
+    let mut left = vec![-1i64; cap];
+    let mut right = vec![-1i64; cap];
+    nkey[0] = keys[0];
+    let mut next_free = 1i64;
+    for &k in &keys[1..] {
+        let mut cur = 0usize;
+        let mut d = 0u32;
+        loop {
+            if nkey[cur] == k {
+                break;
+            }
+            let dir = (k >> (31 - (d % 32))) & 1;
+            let child = if dir == 0 { left[cur] } else { right[cur] };
+            if child < 0 {
+                let nf = next_free as usize;
+                nkey[nf] = k;
+                if dir == 0 {
+                    left[cur] = next_free;
+                } else {
+                    right[cur] = next_free;
+                }
+                next_free += 1;
+                break;
+            }
+            cur = child as usize;
+            d += 1;
+        }
+    }
+    let mut found = 0i64;
+    for &k in &probes {
+        let mut cur = 0i64;
+        let mut d = 0u32;
+        loop {
+            if nkey[cur as usize] == k {
+                found += 1;
+                break;
+            }
+            let dir = (k >> (31 - (d % 32))) & 1;
+            let child = if dir == 0 { left[cur as usize] } else { right[cur as usize] };
+            if child < 0 {
+                break;
+            }
+            cur = child;
+            d += 1;
+        }
+    }
+    let expected = next_free.wrapping_add(found);
+
+    let mut b = ProgramBuilder::new("patricia");
+    let tkeys = b.data_i64(&keys);
+    let tprobes = b.data_i64(&probes);
+    let tnkey = b.alloc(cap as u64 * 8);
+    let tleft = b.alloc(cap as u64 * 8);
+    let tright = b.alloc(cap as u64 * 8);
+
+    let (xkey, xleft, xright) = (B0, B1, B2);
+    let (cur, key, d, nf) = (S0, S1, S2, S3);
+    let (neg1, c31) = (S4, S5);
+
+    b.li(xkey, tnkey as i64);
+    b.li(xleft, tleft as i64);
+    b.li(xright, tright as i64);
+    b.li(neg1, -1);
+    b.li(c31, 31);
+    b.li(MASK, 31); // depth mask for (d % 32)
+
+    // Initialize left/right arrays to -1.
+    b.li(N, cap as i64);
+    let init = loop_head(&mut b, I, 0);
+    {
+        b.slli(T0, I, 3);
+        b.add(T1, xleft, T0);
+        b.sd(neg1, T1, 0);
+        b.add(T1, xright, T0);
+        b.sd(neg1, T1, 0);
+    }
+    loop_tail_lt(&mut b, init, I, 1, N);
+
+    // nkey[0] = keys[0]; next_free = 1
+    b.li(B3, tkeys as i64);
+    b.ld(T0, B3, 0);
+    b.sd(T0, xkey, 0);
+    b.li(nf, 1);
+
+    // Insert phase.
+    b.li(N, inserts as i64);
+    let ins = loop_head(&mut b, I, 1);
+    {
+        b.slli(T0, I, 3);
+        b.add(T1, B3, T0);
+        b.ld(key, T1, 0);
+        b.li(cur, 0);
+        b.li(d, 0);
+        let walk = b.label();
+        let done = b.label();
+        let go_right = b.label();
+        let have_child = b.label();
+        b.bind(walk);
+        b.slli(T0, cur, 3);
+        b.add(T1, xkey, T0);
+        b.ld(T2, T1, 0);
+        b.beq(T2, key, done);
+        // dir = (key >> (31 - d%32)) & 1
+        b.and(T3, d, MASK);
+        b.sub(T3, c31, T3);
+        b.srl(T4, key, T3);
+        b.andi(T4, T4, 1);
+        b.bnez(T4, go_right);
+        b.add(T5, xleft, T0);
+        b.j(have_child);
+        b.bind(go_right);
+        b.add(T5, xright, T0);
+        b.bind(have_child);
+        b.ld(T6, T5, 0); // child
+        let descend = b.label();
+        b.bge(T6, perfclone_isa::Reg::ZERO, descend);
+        // allocate node nf
+        b.slli(T7, nf, 3);
+        b.add(T2, xkey, T7);
+        b.sd(key, T2, 0);
+        b.sd(nf, T5, 0);
+        b.addi(nf, nf, 1);
+        b.j(done);
+        b.bind(descend);
+        b.mv(cur, T6);
+        b.addi(d, d, 1);
+        b.j(walk);
+        b.bind(done);
+    }
+    loop_tail_lt(&mut b, ins, I, 1, N);
+
+    // Lookup phase; found count in S6.
+    b.li(S6, 0);
+    b.li(B3, tprobes as i64);
+    b.li(N, lookups as i64);
+    let lk = loop_head(&mut b, I, 0);
+    {
+        b.slli(T0, I, 3);
+        b.add(T1, B3, T0);
+        b.ld(key, T1, 0);
+        b.li(cur, 0);
+        b.li(d, 0);
+        let walk = b.label();
+        let hit = b.label();
+        let done = b.label();
+        let go_right = b.label();
+        let have_child = b.label();
+        b.bind(walk);
+        b.slli(T0, cur, 3);
+        b.add(T1, xkey, T0);
+        b.ld(T2, T1, 0);
+        b.beq(T2, key, hit);
+        b.and(T3, d, MASK);
+        b.sub(T3, c31, T3);
+        b.srl(T4, key, T3);
+        b.andi(T4, T4, 1);
+        b.bnez(T4, go_right);
+        b.add(T5, xleft, T0);
+        b.j(have_child);
+        b.bind(go_right);
+        b.add(T5, xright, T0);
+        b.bind(have_child);
+        b.ld(T6, T5, 0);
+        b.blt(T6, perfclone_isa::Reg::ZERO, done); // miss
+        b.mv(cur, T6);
+        b.addi(d, d, 1);
+        b.j(walk);
+        b.bind(hit);
+        b.addi(S6, S6, 1);
+        b.bind(done);
+    }
+    loop_tail_lt(&mut b, lk, I, 1, N);
+
+    b.add(CHK, nf, S6);
+    b.halt();
+
+    KernelBuild { program: b.build(), expected }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests_support::check_kernel;
+
+    #[test]
+    fn dijkstra_checksum() {
+        check_kernel(dijkstra(Scale::Tiny));
+    }
+
+    #[test]
+    fn patricia_checksum() {
+        check_kernel(patricia(Scale::Tiny));
+    }
+}

@@ -1,0 +1,494 @@
+//! Office-domain kernels: `stringsearch`, `ispell`, `ghostscript`.
+
+use perfclone_isa::{ProgramBuilder, Reg};
+
+use crate::util::regs::*;
+use crate::util::{loop_head, loop_tail_lt, SplitMix64};
+use crate::{KernelBuild, Scale};
+
+/// `stringsearch`: Boyer–Moore–Horspool multi-pattern search over lowercase
+/// text, including per-pattern shift-table construction.
+pub(crate) fn stringsearch(scale: Scale) -> KernelBuild {
+    let (text_len, npat) = match scale {
+        Scale::Tiny => (4_000, 6),
+        Scale::Small => (42_000, 14),
+    };
+    let mut rng = SplitMix64::new(0x57A6);
+    let text: Vec<u8> = (0..text_len).map(|_| b'a' + (rng.below(26) as u8)).collect();
+    // Half the patterns are substrings of the text (guaranteed hits).
+    let mut pats: Vec<Vec<u8>> = Vec::new();
+    for i in 0..npat {
+        let m = 4 + rng.below(7) as usize;
+        if i % 2 == 0 {
+            let at = rng.below((text_len - m) as u64) as usize;
+            pats.push(text[at..at + m].to_vec());
+        } else {
+            pats.push((0..m).map(|_| b'a' + (rng.below(26) as u8)).collect());
+        }
+    }
+
+    // Host reference.
+    let mut expected = 0i64;
+    for pat in &pats {
+        let m = pat.len();
+        let mut shift = [m as i64; 256];
+        for j in 0..m - 1 {
+            shift[pat[j] as usize] = (m - 1 - j) as i64;
+        }
+        let mut i = m - 1;
+        while i < text_len {
+            let c = text[i];
+            let mut k = 0usize;
+            while k < m && pat[m - 1 - k] == text[i - k] {
+                k += 1;
+            }
+            if k == m {
+                expected = expected.wrapping_add(1).wrapping_add(i as i64);
+            }
+            i += shift[c as usize] as usize;
+        }
+    }
+
+    // Pattern buffer layout: concatenated bytes; per-pattern (offset, len).
+    let mut pat_buf = Vec::new();
+    let mut pat_meta = Vec::new();
+    for pat in &pats {
+        pat_meta.push(pat_buf.len() as i64);
+        pat_meta.push(pat.len() as i64);
+        pat_buf.extend_from_slice(pat);
+    }
+
+    let mut b = ProgramBuilder::new("stringsearch");
+    let ttext = b.data_bytes(&text);
+    let tpbuf = b.data_bytes(&pat_buf);
+    let tmeta = b.data_i64(&pat_meta);
+    let tshift = b.alloc(256 * 8);
+
+    let (text_r, shift_r, pat_r) = (B0, B1, B2);
+    let (m, pos, k) = (S0, S1, S2);
+    let (tlen, p) = (S3, S4);
+    let mlast = S5;
+
+    b.li(CHK, 0);
+    b.li(text_r, ttext as i64);
+    b.li(shift_r, tshift as i64);
+    b.li(tlen, text_len as i64);
+    b.li(S9, npat as i64);
+
+    let pat_top = loop_head(&mut b, p, 0);
+    {
+        // Load pattern meta.
+        b.slli(T0, p, 4);
+        b.li(T1, tmeta as i64);
+        b.add(T1, T1, T0);
+        b.ld(T2, T1, 0); // offset
+        b.ld(m, T1, 8); // length
+        b.li(T3, tpbuf as i64);
+        b.add(pat_r, T3, T2);
+        b.addi(mlast, m, -1);
+
+        // Build shift table: all = m, then shift[pat[j]] = m-1-j for j<m-1.
+        b.li(T7, 256);
+        let init = loop_head(&mut b, I, 0);
+        {
+            b.slli(T0, I, 3);
+            b.add(T1, shift_r, T0);
+            b.sd(m, T1, 0);
+        }
+        loop_tail_lt(&mut b, init, I, 1, T7);
+        let fillt = loop_head(&mut b, I, 0);
+        {
+            b.add(T0, pat_r, I);
+            b.lb(T1, T0, 0);
+            b.slli(T1, T1, 3);
+            b.add(T1, shift_r, T1);
+            b.sub(T2, mlast, I);
+            b.sd(T2, T1, 0);
+        }
+        loop_tail_lt(&mut b, fillt, I, 1, mlast);
+
+        // Scan.
+        b.mv(pos, mlast);
+        let scan = b.label();
+        let scan_done = b.label();
+        b.bind(scan);
+        b.bge(pos, tlen, scan_done);
+        {
+            b.add(T0, text_r, pos);
+            b.lb(T6, T0, 0); // c = text[pos]
+            b.li(k, 0);
+            let cmp = b.label();
+            let cmp_done = b.label();
+            b.bind(cmp);
+            b.bge(k, m, cmp_done);
+            // pat[m-1-k] vs text[pos-k]
+            b.sub(T1, mlast, k);
+            b.add(T1, pat_r, T1);
+            b.lb(T2, T1, 0);
+            b.sub(T3, pos, k);
+            b.add(T3, text_r, T3);
+            b.lb(T4, T3, 0);
+            b.bne(T2, T4, cmp_done);
+            b.addi(k, k, 1);
+            b.j(cmp);
+            b.bind(cmp_done);
+            let no_match = b.label();
+            b.blt(k, m, no_match);
+            b.addi(CHK, CHK, 1);
+            b.add(CHK, CHK, pos);
+            b.bind(no_match);
+            b.slli(T1, T6, 3);
+            b.add(T1, shift_r, T1);
+            b.ld(T2, T1, 0);
+            b.add(pos, pos, T2);
+        }
+        b.j(scan);
+        b.bind(scan_done);
+    }
+    loop_tail_lt(&mut b, pat_top, p, 1, S9);
+    b.halt();
+
+    KernelBuild { program: b.build(), expected }
+}
+
+/// FNV-1a over a byte slice, the hash both the host and the kernel use.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &c in bytes {
+        h ^= u64::from(c);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// `ispell`: dictionary spell-check — open-addressing hash table with
+/// linear probing and byte-wise key comparison.
+pub(crate) fn ispell(scale: Scale) -> KernelBuild {
+    let (nwords, nqueries, table_bits) = match scale {
+        Scale::Tiny => (400usize, 800usize, 11u32),
+        Scale::Small => (4_000, 9_000, 14),
+    };
+    let table_size = 1usize << table_bits;
+    let mut rng = SplitMix64::new(0x15BE);
+    let words: Vec<Vec<u8>> = (0..nwords)
+        .map(|_| {
+            let m = 4 + rng.below(9) as usize;
+            (0..m).map(|_| b'a' + (rng.below(26) as u8)).collect()
+        })
+        .collect();
+    let queries: Vec<Vec<u8>> = (0..nqueries)
+        .map(|i| {
+            if i % 2 == 0 {
+                words[rng.below(nwords as u64) as usize].clone()
+            } else {
+                let m = 4 + rng.below(9) as usize;
+                (0..m).map(|_| b'a' + (rng.below(26) as u8)).collect()
+            }
+        })
+        .collect();
+
+    // Word buffer layout: concatenated; per-word meta (offset, len).
+    let mut wbuf = Vec::new();
+    let mut wmeta = Vec::new();
+    for w in &words {
+        wmeta.push(wbuf.len() as i64);
+        wmeta.push(w.len() as i64);
+        wbuf.extend_from_slice(w);
+    }
+    let mut qbuf = Vec::new();
+    let mut qmeta = Vec::new();
+    for q in &queries {
+        qmeta.push(qbuf.len() as i64);
+        qmeta.push(q.len() as i64);
+        qbuf.extend_from_slice(q);
+    }
+
+    // Host reference: insert phase then query phase.
+    // Table entry: (word_offset << 8) | len, 0 = empty (offset+1 stored so
+    // offset 0 with len 0 cannot alias empty — we store offset+1 in the
+    // high bits).
+    let mask = (table_size - 1) as u64;
+    let mut table = vec![0i64; table_size];
+    for (wi, w) in words.iter().enumerate() {
+        let mut slot = (fnv1a(w) & mask) as usize;
+        while table[slot] != 0 {
+            slot = (slot + 1) & mask as usize;
+        }
+        table[slot] = (((wmeta[2 * wi] + 1) << 8) | wmeta[2 * wi + 1]) as i64;
+    }
+    let mut found = 0i64;
+    let mut probes = 0i64;
+    for q in &queries {
+        let mut slot = (fnv1a(q) & mask) as usize;
+        loop {
+            probes += 1;
+            let e = table[slot];
+            if e == 0 {
+                break;
+            }
+            let len = (e & 0xff) as usize;
+            let off = ((e >> 8) - 1) as usize;
+            if len == q.len() && &wbuf[off..off + len] == q.as_slice() {
+                found += 1;
+                break;
+            }
+            slot = (slot + 1) & mask as usize;
+        }
+    }
+    let expected = found.wrapping_add(probes);
+
+    let mut bld = ProgramBuilder::new("ispell");
+    let twbuf = bld.data_bytes(&wbuf);
+    let twmeta = bld.data_i64(&wmeta);
+    let tqbuf = bld.data_bytes(&qbuf);
+    let tqmeta = bld.data_i64(&qmeta);
+    let ttab = bld.alloc(table_size as u64 * 8);
+
+    let (tab_r, wbuf_r, meta_r) = (B0, B1, B2);
+    let (hash, slot, len, off) = (S0, S1, S2, S3);
+    let (maskr, fnvp) = (S4, S5);
+    let (found_r, probes_r) = (S6, S7);
+
+    bld.li(tab_r, ttab as i64);
+    bld.li(maskr, mask as i64);
+    bld.li(fnvp, 0x0000_0100_0000_01b3);
+    bld.li(found_r, 0);
+    bld.li(probes_r, 0);
+
+    // Emits: hash = fnv1a(bytes at `ptr` for `len` bytes). Clobbers T0-T2, J.
+    let emit_hash = |b: &mut ProgramBuilder, ptr: Reg, len: Reg, hash: Reg| {
+        b.li(hash, 0xcbf2_9ce4_8422_2325u64 as i64);
+        let h_top = b.label();
+        let h_done = b.label();
+        b.li(J, 0);
+        b.bind(h_top);
+        b.bge(J, len, h_done);
+        b.add(T0, ptr, J);
+        b.lb(T1, T0, 0);
+        b.xor(hash, hash, T1);
+        b.mul(hash, hash, fnvp);
+        b.addi(J, J, 1);
+        b.j(h_top);
+        b.bind(h_done);
+    };
+
+    // Insert phase.
+    bld.li(wbuf_r, twbuf as i64);
+    bld.li(meta_r, twmeta as i64);
+    bld.li(S9, nwords as i64);
+    let ins = loop_head(&mut bld, K, 0);
+    {
+        bld.slli(T3, K, 4);
+        bld.add(T4, meta_r, T3);
+        bld.ld(off, T4, 0);
+        bld.ld(len, T4, 8);
+        bld.add(T5, wbuf_r, off);
+        emit_hash(&mut bld, T5, len, hash);
+        bld.and(slot, hash, maskr);
+        let probe = bld.label();
+        let empty = bld.label();
+        bld.bind(probe);
+        bld.slli(T0, slot, 3);
+        bld.add(T1, tab_r, T0);
+        bld.ld(T2, T1, 0);
+        bld.beqz(T2, empty);
+        bld.addi(slot, slot, 1);
+        bld.and(slot, slot, maskr);
+        bld.j(probe);
+        bld.bind(empty);
+        bld.addi(T2, off, 1);
+        bld.slli(T2, T2, 8);
+        bld.or(T2, T2, len);
+        bld.sd(T2, T1, 0);
+    }
+    loop_tail_lt(&mut bld, ins, K, 1, S9);
+
+    // Query phase.
+    bld.li(B3, tqbuf as i64);
+    bld.li(meta_r, tqmeta as i64);
+    bld.li(S9, nqueries as i64);
+    let qr = loop_head(&mut bld, K, 0);
+    {
+        bld.slli(T3, K, 4);
+        bld.add(T4, meta_r, T3);
+        bld.ld(off, T4, 0);
+        bld.ld(len, T4, 8);
+        bld.add(S8, B3, off); // query ptr
+        emit_hash(&mut bld, S8, len, hash);
+        bld.and(slot, hash, maskr);
+        let probe = bld.label();
+        let miss = bld.label();
+        let hit = bld.label();
+        let next_slot = bld.label();
+        let done = bld.label();
+        bld.bind(probe);
+        bld.addi(probes_r, probes_r, 1);
+        bld.slli(T0, slot, 3);
+        bld.add(T1, tab_r, T0);
+        bld.ld(T2, T1, 0);
+        bld.beqz(T2, miss);
+        // length check
+        bld.andi(T3, T2, 255);
+        bld.bne(T3, len, next_slot);
+        // byte compare: entry offset vs query bytes
+        bld.srli(T4, T2, 8);
+        bld.addi(T4, T4, -1);
+        bld.add(T4, wbuf_r, T4); // entry word ptr
+        bld.li(J, 0);
+        let ctop = bld.label();
+        bld.bind(ctop);
+        bld.bge(J, len, hit);
+        bld.add(T5, T4, J);
+        bld.lb(T6, T5, 0);
+        bld.add(T5, S8, J);
+        bld.lb(T7, T5, 0);
+        bld.bne(T6, T7, next_slot);
+        bld.addi(J, J, 1);
+        bld.j(ctop);
+        bld.bind(next_slot);
+        bld.addi(slot, slot, 1);
+        bld.and(slot, slot, maskr);
+        bld.j(probe);
+        bld.bind(hit);
+        bld.addi(found_r, found_r, 1);
+        bld.j(done);
+        bld.bind(miss);
+        bld.bind(done);
+    }
+    loop_tail_lt(&mut bld, qr, K, 1, S9);
+
+    bld.add(CHK, found_r, probes_r);
+    bld.halt();
+
+    KernelBuild { program: bld.build(), expected }
+}
+
+/// `ghostscript`: page-rendering stand-in — gradient span fills of many
+/// rectangles into a framebuffer followed by a checksum sweep; store-heavy
+/// with many distinct access streams (the paper's hardest locality case).
+pub(crate) fn ghostscript(scale: Scale) -> KernelBuild {
+    let (fb_w, fb_h, rects) = match scale {
+        Scale::Tiny => (128usize, 64usize, 12usize),
+        Scale::Small => (320, 200, 48),
+    };
+    let mut rng = SplitMix64::new(0x6057);
+    // Rect list: x0, y0, w, h, color.
+    let mut rect_data = Vec::new();
+    for _ in 0..rects {
+        let w = 8 + rng.below((fb_w / 2) as u64) as i64;
+        let h = 4 + rng.below((fb_h / 2) as u64) as i64;
+        let x0 = rng.below((fb_w as i64 - w) as u64 + 1) as i64;
+        let y0 = rng.below((fb_h as i64 - h) as u64 + 1) as i64;
+        let color = rng.below(256) as i64;
+        rect_data.extend_from_slice(&[x0, y0, w, h, color]);
+    }
+
+    // Host reference.
+    let mut fb = vec![0u8; fb_w * fb_h];
+    for r in rect_data.chunks(5) {
+        let (x0, y0, w, h, color) = (r[0], r[1], r[2], r[3], r[4]);
+        for y in y0..y0 + h {
+            for x in x0..x0 + w {
+                fb[(y * fb_w as i64 + x) as usize] = ((color + x - x0) & 255) as u8;
+            }
+        }
+    }
+    let mut expected = 0i64;
+    for &px in &fb {
+        expected = expected.wrapping_add(i64::from(px));
+    }
+
+    let mut b = ProgramBuilder::new("ghostscript");
+    let trects = b.data_i64(&rect_data);
+    let tfb = b.alloc((fb_w * fb_h) as u64);
+
+    let (fb_r, rect_r) = (B0, B1);
+    let (x0, y0, w, h, color) = (S0, S1, S2, S3, S4);
+    let (y, x, rowp) = (S5, S6, S7);
+
+    b.li(CHK, 0);
+    b.li(fb_r, tfb as i64);
+    b.li(rect_r, trects as i64);
+    b.li(S9, rects as i64);
+
+    let r_top = loop_head(&mut b, K, 0);
+    {
+        b.slli(T0, K, 3);
+        b.li(T1, 5);
+        b.mul(T0, K, T1);
+        b.slli(T0, T0, 3);
+        b.add(T1, rect_r, T0);
+        b.ld(x0, T1, 0);
+        b.ld(y0, T1, 8);
+        b.ld(w, T1, 16);
+        b.ld(h, T1, 24);
+        b.ld(color, T1, 32);
+        b.add(S8, y0, h); // y limit
+        b.mv(y, y0);
+        let y_top = b.label();
+        let y_done = b.label();
+        b.bind(y_top);
+        b.bge(y, S8, y_done);
+        {
+            b.li(T0, fb_w as i64);
+            b.mul(rowp, y, T0);
+            b.add(rowp, fb_r, rowp);
+            b.add(rowp, rowp, x0); // &fb[y*W + x0]
+            b.li(x, 0);
+            let x_top = b.label();
+            let x_done = b.label();
+            b.bind(x_top);
+            b.bge(x, w, x_done);
+            b.add(T1, color, x);
+            b.andi(T1, T1, 255);
+            b.add(T2, rowp, x);
+            b.sb(T1, T2, 0);
+            b.addi(x, x, 1);
+            b.j(x_top);
+            b.bind(x_done);
+            b.addi(y, y, 1);
+        }
+        b.j(y_top);
+        b.bind(y_done);
+    }
+    loop_tail_lt(&mut b, r_top, K, 1, S9);
+
+    // Checksum sweep.
+    b.li(N, (fb_w * fb_h) as i64);
+    let sweep = loop_head(&mut b, I, 0);
+    {
+        b.add(T0, fb_r, I);
+        b.lb(T1, T0, 0);
+        b.add(CHK, CHK, T1);
+    }
+    loop_tail_lt(&mut b, sweep, I, 1, N);
+    b.halt();
+
+    KernelBuild { program: b.build(), expected }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests_support::check_kernel;
+
+    #[test]
+    fn stringsearch_checksum() {
+        check_kernel(stringsearch(Scale::Tiny));
+    }
+
+    #[test]
+    fn ispell_checksum() {
+        check_kernel(ispell(Scale::Tiny));
+    }
+
+    #[test]
+    fn ghostscript_checksum() {
+        check_kernel(ghostscript(Scale::Tiny));
+    }
+
+    #[test]
+    fn fnv_distinguishes_words() {
+        assert_ne!(fnv1a(b"hello"), fnv1a(b"world"));
+    }
+}

@@ -1,0 +1,550 @@
+//! Security-domain kernels: `blowfish`, `rijndael`, `sha`.
+
+use perfclone_isa::{ProgramBuilder, Reg};
+
+use crate::util::regs::*;
+use crate::util::{loop_head, loop_tail_lt, SplitMix64};
+use crate::{KernelBuild, Scale};
+
+const M32: i64 = 0xffff_ffff;
+
+/// `blowfish`: 16-round Feistel cipher with four S-box lookups per round —
+/// the MiBench `blowfish` structure (schedule tables are PRNG-filled; the
+/// dataflow, not the key schedule, is what the workload exercises).
+pub(crate) fn blowfish(scale: Scale) -> KernelBuild {
+    let blocks = match scale {
+        Scale::Tiny => 220,
+        Scale::Small => 3000,
+    };
+    let mut rng = SplitMix64::new(0xB10F);
+    let p_tab: Vec<u64> = (0..18).map(|_| rng.next_u64() & 0xffff_ffff).collect();
+    let s_tab: Vec<u64> = (0..4 * 256).map(|_| rng.next_u64() & 0xffff_ffff).collect();
+    let plain: Vec<u64> = (0..2 * blocks).map(|_| rng.next_u64() & 0xffff_ffff).collect();
+
+    let f = |x: u64| -> u64 {
+        let a = s_tab[(x >> 24) as usize & 255];
+        let b = s_tab[256 + ((x >> 16) as usize & 255)];
+        let c = s_tab[512 + ((x >> 8) as usize & 255)];
+        let d = s_tab[768 + (x as usize & 255)];
+        ((a.wrapping_add(b) & 0xffff_ffff) ^ c).wrapping_add(d) & 0xffff_ffff
+    };
+
+    // Host reference.
+    let mut check = 0u64;
+    for blk in 0..blocks {
+        let mut l = plain[2 * blk];
+        let mut r = plain[2 * blk + 1];
+        for i in 0..16 {
+            l ^= p_tab[i];
+            r ^= f(l);
+            std::mem::swap(&mut l, &mut r);
+        }
+        std::mem::swap(&mut l, &mut r);
+        r ^= p_tab[16];
+        l ^= p_tab[17];
+        check ^= l.wrapping_add(r) & 0xffff_ffff;
+    }
+    let expected = check as i64;
+
+    let mut b = ProgramBuilder::new("blowfish");
+    let tp = b.data_u64(&p_tab);
+    let ts = b.data_u64(&s_tab);
+    let tplain = b.data_u64(&plain);
+
+    let (l, r, tmp) = (S0, S1, S2);
+
+    b.li(CHK, 0);
+    b.li(B0, tp as i64);
+    b.li(B1, ts as i64);
+    b.li(B2, tplain as i64);
+    b.li(MASK, M32);
+    b.li(N, blocks as i64);
+
+    // Emits tmp = F(x): four S-box lookups combined.
+    let emit_f = |b: &mut ProgramBuilder, x: Reg, out: Reg| {
+        b.srli(T0, x, 24);
+        b.andi(T0, T0, 255);
+        b.slli(T0, T0, 3);
+        b.add(T0, B1, T0);
+        b.ld(T1, T0, 0); // a
+        b.srli(T0, x, 16);
+        b.andi(T0, T0, 255);
+        b.slli(T0, T0, 3);
+        b.add(T0, B1, T0);
+        b.ld(T2, T0, 256 * 8); // b
+        b.add(T1, T1, T2);
+        b.and(T1, T1, MASK);
+        b.srli(T0, x, 8);
+        b.andi(T0, T0, 255);
+        b.slli(T0, T0, 3);
+        b.add(T0, B1, T0);
+        b.ld(T2, T0, 512 * 8); // c
+        b.xor(T1, T1, T2);
+        b.andi(T0, x, 255);
+        b.slli(T0, T0, 3);
+        b.add(T0, B1, T0);
+        b.ld(T2, T0, 768 * 8); // d
+        b.add(T1, T1, T2);
+        b.and(out, T1, MASK);
+    };
+
+    let top = loop_head(&mut b, I, 0);
+    {
+        b.slli(T3, I, 4);
+        b.add(T4, B2, T3);
+        b.ld(l, T4, 0);
+        b.ld(r, T4, 8);
+        // 16 unrolled Feistel rounds.
+        for round in 0..16i32 {
+            b.ld(T5, B0, round * 8);
+            b.xor(l, l, T5);
+            emit_f(&mut b, l, tmp);
+            b.xor(r, r, tmp);
+            // swap l, r
+            b.mv(T6, l);
+            b.mv(l, r);
+            b.mv(r, T6);
+        }
+        // undo last swap
+        b.mv(T6, l);
+        b.mv(l, r);
+        b.mv(r, T6);
+        b.ld(T5, B0, 16 * 8);
+        b.xor(r, r, T5);
+        b.ld(T5, B0, 17 * 8);
+        b.xor(l, l, T5);
+        b.add(T5, l, r);
+        b.and(T5, T5, MASK);
+        b.xor(CHK, CHK, T5);
+    }
+    loop_tail_lt(&mut b, top, I, 1, N);
+    b.halt();
+
+    KernelBuild { program: b.build(), expected }
+}
+
+/// The AES S-box, generated from the GF(2^8) multiplicative structure.
+fn aes_sbox() -> [u8; 256] {
+    let mut sbox = [0u8; 256];
+    sbox[0] = 0x63;
+    let (mut p, mut q) = (1u8, 1u8);
+    loop {
+        // p *= 3 in GF(2^8)
+        p = p ^ (p << 1) ^ if p & 0x80 != 0 { 0x1b } else { 0 };
+        // q /= 3
+        q ^= q << 1;
+        q ^= q << 2;
+        q ^= q << 4;
+        if q & 0x80 != 0 {
+            q ^= 0x09;
+        }
+        let x = q ^ q.rotate_left(1) ^ q.rotate_left(2) ^ q.rotate_left(3) ^ q.rotate_left(4);
+        sbox[p as usize] = x ^ 0x63;
+        if p == 1 {
+            break;
+        }
+    }
+    sbox
+}
+
+fn xtime(x: u8) -> u8 {
+    (x << 1) ^ if x & 0x80 != 0 { 0x1b } else { 0 }
+}
+
+/// `rijndael`: AES-128 T-table encryption (9 table rounds + S-box final
+/// round) over counter-mode-style plaintext blocks.
+pub(crate) fn rijndael(scale: Scale) -> KernelBuild {
+    let blocks = match scale {
+        Scale::Tiny => 130,
+        Scale::Small => 1700,
+    };
+    let sbox = aes_sbox();
+    // Te0[x] = (s2, s, s, s3) packed big-endian style into a u32.
+    let te0: Vec<u64> = (0..256)
+        .map(|i| {
+            let s = sbox[i];
+            let s2 = xtime(s);
+            let s3 = s2 ^ s;
+            (u32::from_be_bytes([s2, s, s, s3])) as u64
+        })
+        .collect();
+    let rot = |t: &[u64], r: u32| -> Vec<u64> {
+        t.iter().map(|&v| ((v as u32).rotate_right(8 * r)) as u64).collect()
+    };
+    let te1 = rot(&te0, 1);
+    let te2 = rot(&te0, 2);
+    let te3 = rot(&te0, 3);
+
+    // AES-128 key schedule.
+    let mut rng = SplitMix64::new(0xAE5);
+    let key: [u32; 4] = [
+        rng.next_u64() as u32,
+        rng.next_u64() as u32,
+        rng.next_u64() as u32,
+        rng.next_u64() as u32,
+    ];
+    let mut rk = [0u32; 44];
+    rk[..4].copy_from_slice(&key);
+    let mut rcon = 1u8;
+    for i in 4..44 {
+        let mut t = rk[i - 1];
+        if i % 4 == 0 {
+            t = t.rotate_left(8);
+            let b = t.to_be_bytes();
+            t = u32::from_be_bytes([sbox[b[0] as usize], sbox[b[1] as usize], sbox[b[2] as usize], sbox[b[3] as usize]]);
+            t ^= u32::from(rcon) << 24;
+            rcon = xtime(rcon);
+        }
+        rk[i] = rk[i - 4] ^ t;
+    }
+    let rk64: Vec<u64> = rk.iter().map(|&v| u64::from(v)).collect();
+    let plain: Vec<u64> = (0..4 * blocks).map(|_| rng.next_u64() & 0xffff_ffff).collect();
+
+    // Host reference encryption.
+    let lookup = |t: &[u64], v: u32, sh: u32| -> u32 { t[((v >> sh) & 0xff) as usize] as u32 };
+    let mut check = 0u64;
+    for blk in 0..blocks {
+        let mut a = [0u32; 4];
+        for j in 0..4 {
+            a[j] = plain[4 * blk + j] as u32 ^ rk[j];
+        }
+        for r in 1..10 {
+            let mut n = [0u32; 4];
+            for j in 0..4 {
+                n[j] = lookup(&te0, a[j], 24)
+                    ^ lookup(&te1, a[(j + 1) % 4], 16)
+                    ^ lookup(&te2, a[(j + 2) % 4], 8)
+                    ^ lookup(&te3, a[(j + 3) % 4], 0)
+                    ^ rk[4 * r + j];
+            }
+            a = n;
+        }
+        let mut c = [0u32; 4];
+        for j in 0..4 {
+            let b0 = sbox[((a[j] >> 24) & 0xff) as usize];
+            let b1 = sbox[((a[(j + 1) % 4] >> 16) & 0xff) as usize];
+            let b2 = sbox[((a[(j + 2) % 4] >> 8) & 0xff) as usize];
+            let b3 = sbox[(a[(j + 3) % 4] & 0xff) as usize];
+            c[j] = u32::from_be_bytes([b0, b1, b2, b3]) ^ rk[40 + j];
+            check ^= u64::from(c[j]);
+        }
+    }
+    let expected = check as i64;
+
+    let mut b = ProgramBuilder::new("rijndael");
+    let t0a = b.data_u64(&te0);
+    let t1a = b.data_u64(&te1);
+    let t2a = b.data_u64(&te2);
+    let t3a = b.data_u64(&te3);
+    let tsbox = b.data_bytes(&sbox);
+    let trk = b.data_u64(&rk64);
+    let tplain = b.data_u64(&plain);
+
+    let st = [S0, S1, S2, S3]; // state words a0..a3
+    let nw = [S4, S5, S6, S7]; // next state
+    let (rk_r, sb_r, pl_r) = (S8, S9, B0);
+
+    b.li(CHK, 0);
+    b.li(B0, tplain as i64);
+    b.li(B1, t0a as i64);
+    b.li(B2, t1a as i64);
+    b.li(B3, t2a as i64);
+    b.li(T7, t3a as i64); // careful: T7 reserved as te3 base inside block loop
+    b.li(rk_r, trk as i64);
+    b.li(sb_r, tsbox as i64);
+    b.li(MASK, M32);
+    b.li(N, blocks as i64);
+
+    // Emits out ^= table[(word >> sh) & 0xff] with table base register.
+    let emit_lookup =
+        |b: &mut ProgramBuilder, table: Reg, word: Reg, sh: i32, out: Reg, first: bool| {
+            if sh == 0 {
+                b.andi(T0, word, 255);
+            } else {
+                b.srli(T0, word, sh);
+                b.andi(T0, T0, 255);
+            }
+            b.slli(T0, T0, 3);
+            b.add(T0, table, T0);
+            b.ld(T1, T0, 0);
+            if first {
+                b.mv(out, T1);
+            } else {
+                b.xor(out, out, T1);
+            }
+        };
+
+    let top = loop_head(&mut b, I, 0);
+    {
+        // Load plaintext block, xor rk[0..4].
+        b.slli(T2, I, 5);
+        b.add(T3, pl_r, T2);
+        for j in 0..4usize {
+            b.ld(st[j], T3, (j as i32) * 8);
+            b.ld(T4, rk_r, (j as i32) * 8);
+            b.xor(st[j], st[j], T4);
+        }
+        // 9 T-table rounds, fully unrolled.
+        for r in 1..10i32 {
+            for j in 0..4usize {
+                emit_lookup(&mut b, B1, st[j], 24, nw[j], true);
+                emit_lookup(&mut b, B2, st[(j + 1) % 4], 16, nw[j], false);
+                emit_lookup(&mut b, B3, st[(j + 2) % 4], 8, nw[j], false);
+                emit_lookup(&mut b, T7, st[(j + 3) % 4], 0, nw[j], false);
+                b.ld(T4, rk_r, (4 * r + j as i32) * 8);
+                b.xor(nw[j], nw[j], T4);
+            }
+            for j in 0..4usize {
+                b.mv(st[j], nw[j]);
+            }
+        }
+        // Final round with the byte S-box.
+        for j in 0..4usize {
+            // b0..b3 assembled into nw[j]
+            b.srli(T0, st[j], 24);
+            b.andi(T0, T0, 255);
+            b.add(T0, sb_r, T0);
+            b.lb(T1, T0, 0);
+            b.slli(nw[j], T1, 24);
+            b.srli(T0, st[(j + 1) % 4], 16);
+            b.andi(T0, T0, 255);
+            b.add(T0, sb_r, T0);
+            b.lb(T1, T0, 0);
+            b.slli(T1, T1, 16);
+            b.or(nw[j], nw[j], T1);
+            b.srli(T0, st[(j + 2) % 4], 8);
+            b.andi(T0, T0, 255);
+            b.add(T0, sb_r, T0);
+            b.lb(T1, T0, 0);
+            b.slli(T1, T1, 8);
+            b.or(nw[j], nw[j], T1);
+            b.andi(T0, st[(j + 3) % 4], 255);
+            b.add(T0, sb_r, T0);
+            b.lb(T1, T0, 0);
+            b.or(nw[j], nw[j], T1);
+            b.ld(T4, rk_r, (40 + j as i32) * 8);
+            b.xor(nw[j], nw[j], T4);
+            b.xor(CHK, CHK, nw[j]);
+        }
+    }
+    loop_tail_lt(&mut b, top, I, 1, N);
+    b.halt();
+
+    KernelBuild { program: b.build(), expected }
+}
+
+/// `sha`: SHA-1 compression over a stream of 512-bit message blocks —
+/// shift/rotate/XOR dominated with a serial dependence chain.
+pub(crate) fn sha(scale: Scale) -> KernelBuild {
+    let blocks = match scale {
+        Scale::Tiny => 30,
+        Scale::Small => 420,
+    };
+    let mut rng = SplitMix64::new(0x5AA1);
+    let msg: Vec<u64> = (0..16 * blocks).map(|_| rng.next_u64() & 0xffff_ffff).collect();
+
+    // Host reference.
+    let mut h = [0x6745_2301u32, 0xefcd_ab89, 0x98ba_dcfe, 0x1032_5476, 0xc3d2_e1f0];
+    for blk in 0..blocks {
+        let mut w = [0u32; 80];
+        for t in 0..16 {
+            w[t] = msg[16 * blk + t] as u32;
+        }
+        for t in 16..80 {
+            w[t] = (w[t - 3] ^ w[t - 8] ^ w[t - 14] ^ w[t - 16]).rotate_left(1);
+        }
+        let (mut a, mut b2, mut c, mut d, mut e) = (h[0], h[1], h[2], h[3], h[4]);
+        for t in 0..80 {
+            let (f, k) = match t {
+                0..=19 => ((b2 & c) | (!b2 & d), 0x5a82_7999u32),
+                20..=39 => (b2 ^ c ^ d, 0x6ed9_eba1),
+                40..=59 => ((b2 & c) | (b2 & d) | (c & d), 0x8f1b_bcdc),
+                _ => (b2 ^ c ^ d, 0xca62_c1d6),
+            };
+            let tmp = a
+                .rotate_left(5)
+                .wrapping_add(f)
+                .wrapping_add(e)
+                .wrapping_add(k)
+                .wrapping_add(w[t]);
+            e = d;
+            d = c;
+            c = b2.rotate_left(30);
+            b2 = a;
+            a = tmp;
+        }
+        h[0] = h[0].wrapping_add(a);
+        h[1] = h[1].wrapping_add(b2);
+        h[2] = h[2].wrapping_add(c);
+        h[3] = h[3].wrapping_add(d);
+        h[4] = h[4].wrapping_add(e);
+    }
+    let expected = (h[0] ^ h[1] ^ h[2] ^ h[3] ^ h[4]) as i64;
+
+    let mut b = ProgramBuilder::new("sha");
+    let tmsg = b.data_u64(&msg);
+    let tw = b.alloc(80 * 8);
+    let th = b.data_u64(&[0x6745_2301, 0xefcd_ab89, 0x98ba_dcfe, 0x1032_5476, 0xc3d2_e1f0]);
+
+    let (va, vb, vc, vd, ve) = (S0, S1, S2, S3, S4);
+    let (w_r, h_r, msg_r) = (B1, B2, B0);
+    let fk = S5;
+    let ff = S6;
+
+    b.li(msg_r, tmsg as i64);
+    b.li(w_r, tw as i64);
+    b.li(h_r, th as i64);
+    b.li(MASK, M32);
+    b.li(N, blocks as i64);
+
+    // rotate-left helper on 32-bit values in 64-bit registers.
+    let emit_rotl = |b: &mut ProgramBuilder, dst: Reg, src: Reg, amt: i32| {
+        b.slli(T0, src, amt);
+        b.srli(T1, src, 32 - amt);
+        b.or(T0, T0, T1);
+        b.and(dst, T0, MASK);
+    };
+
+    let top = loop_head(&mut b, K, 0);
+    {
+        // w[0..16] = msg block
+        b.slli(T2, K, 7); // 16 words * 8 bytes
+        b.add(T3, msg_r, T2);
+        b.li(S7, 16);
+        let fill = loop_head(&mut b, I, 0);
+        {
+            b.slli(T0, I, 3);
+            b.add(T1, T3, T0);
+            b.ld(T2, T1, 0);
+            b.add(T1, w_r, T0);
+            b.sd(T2, T1, 0);
+        }
+        loop_tail_lt(&mut b, fill, I, 1, S7);
+        // expand w[16..80]
+        b.li(S7, 80);
+        let exp = loop_head(&mut b, I, 16);
+        {
+            b.slli(T2, I, 3);
+            b.add(T3, w_r, T2);
+            b.ld(T4, T3, -3 * 8);
+            b.ld(T5, T3, -8 * 8);
+            b.xor(T4, T4, T5);
+            b.ld(T5, T3, -14 * 8);
+            b.xor(T4, T4, T5);
+            b.ld(T5, T3, -16 * 8);
+            b.xor(T4, T4, T5);
+            emit_rotl(&mut b, T4, T4, 1);
+            b.sd(T4, T3, 0);
+        }
+        loop_tail_lt(&mut b, exp, I, 1, S7);
+        // load working vars
+        b.ld(va, h_r, 0);
+        b.ld(vb, h_r, 8);
+        b.ld(vc, h_r, 16);
+        b.ld(vd, h_r, 24);
+        b.ld(ve, h_r, 32);
+        // 80 rounds as 4 phase loops
+        for phase in 0..4 {
+            let (start, end, k): (i64, i64, i64) = match phase {
+                0 => (0, 20, 0x5a82_7999),
+                1 => (20, 40, 0x6ed9_eba1),
+                2 => (40, 60, 0x8f1b_bcdc),
+                _ => (60, 80, 0xca62_c1d6),
+            };
+            b.li(fk, k);
+            b.li(S7, end);
+            let round = loop_head(&mut b, I, start);
+            {
+                match phase {
+                    0 => {
+                        // f = (b & c) | (!b & d)
+                        b.and(T2, vb, vc);
+                        b.xor(T3, vb, MASK); // !b within 32 bits
+                        b.and(T3, T3, vd);
+                        b.or(ff, T2, T3);
+                    }
+                    2 => {
+                        // f = (b&c) | (b&d) | (c&d)
+                        b.and(T2, vb, vc);
+                        b.and(T3, vb, vd);
+                        b.or(T2, T2, T3);
+                        b.and(T3, vc, vd);
+                        b.or(ff, T2, T3);
+                    }
+                    _ => {
+                        b.xor(T2, vb, vc);
+                        b.xor(ff, T2, vd);
+                    }
+                }
+                // tmp = rotl(a,5) + f + e + k + w[t]
+                emit_rotl(&mut b, T4, va, 5);
+                b.add(T4, T4, ff);
+                b.add(T4, T4, ve);
+                b.add(T4, T4, fk);
+                b.slli(T5, I, 3);
+                b.add(T5, w_r, T5);
+                b.ld(T6, T5, 0);
+                b.add(T4, T4, T6);
+                b.and(T4, T4, MASK);
+                // rotate variables
+                b.mv(ve, vd);
+                b.mv(vd, vc);
+                emit_rotl(&mut b, vc, vb, 30);
+                b.mv(vb, va);
+                b.mv(va, T4);
+            }
+            loop_tail_lt(&mut b, round, I, 1, S7);
+        }
+        // h += working vars
+        for (i, v) in [va, vb, vc, vd, ve].iter().enumerate() {
+            b.ld(T2, h_r, (i as i32) * 8);
+            b.add(T2, T2, *v);
+            b.and(T2, T2, MASK);
+            b.sd(T2, h_r, (i as i32) * 8);
+        }
+    }
+    loop_tail_lt(&mut b, top, K, 1, N);
+
+    b.ld(CHK, h_r, 0);
+    b.ld(T2, h_r, 8);
+    b.xor(CHK, CHK, T2);
+    b.ld(T2, h_r, 16);
+    b.xor(CHK, CHK, T2);
+    b.ld(T2, h_r, 24);
+    b.xor(CHK, CHK, T2);
+    b.ld(T2, h_r, 32);
+    b.xor(CHK, CHK, T2);
+    b.halt();
+
+    KernelBuild { program: b.build(), expected }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests_support::check_kernel;
+
+    #[test]
+    fn aes_sbox_matches_known_values() {
+        let s = aes_sbox();
+        assert_eq!(s[0x00], 0x63);
+        assert_eq!(s[0x01], 0x7c);
+        assert_eq!(s[0x53], 0xed);
+        assert_eq!(s[0xff], 0x16);
+    }
+
+    #[test]
+    fn blowfish_checksum() {
+        check_kernel(blowfish(Scale::Tiny));
+    }
+
+    #[test]
+    fn rijndael_checksum() {
+        check_kernel(rijndael(Scale::Tiny));
+    }
+
+    #[test]
+    fn sha_checksum() {
+        check_kernel(sha(Scale::Tiny));
+    }
+}

@@ -1,0 +1,759 @@
+//! Telecom-domain kernels: `adpcm_enc`, `adpcm_dec`, `crc32`, `fft`, `gsm`.
+
+use perfclone_isa::{FReg, ProgramBuilder, Reg};
+
+use crate::util::regs::*;
+use crate::util::{loop_head, loop_tail_lt, SplitMix64};
+use crate::{KernelBuild, Scale};
+
+/// IMA ADPCM step-size table.
+const STEP_TABLE: [i64; 89] = [
+    7, 8, 9, 10, 11, 12, 13, 14, 16, 17, 19, 21, 23, 25, 28, 31, 34, 37, 41, 45, 50, 55, 60, 66,
+    73, 80, 88, 97, 107, 118, 130, 143, 157, 173, 190, 209, 230, 253, 279, 307, 337, 371, 408,
+    449, 494, 544, 598, 658, 724, 796, 876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066,
+    2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358, 5894, 6484, 7132, 7845, 8630,
+    9493, 10442, 11487, 12635, 13899, 15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794,
+    32767,
+];
+
+/// IMA ADPCM index-adjustment table.
+const INDEX_TABLE: [i64; 16] = [-1, -1, -1, -1, 2, 4, 6, 8, -1, -1, -1, -1, 2, 4, 6, 8];
+
+fn pcm_samples(n: usize, seed: u64) -> Vec<i64> {
+    let mut rng = SplitMix64::new(seed);
+    let mut s = 0i64;
+    (0..n)
+        .map(|_| {
+            s += rng.below(801) as i64 - 400;
+            s = s.clamp(-32768, 32767);
+            s
+        })
+        .collect()
+}
+
+/// Host-side IMA ADPCM encoder, the reference for both ADPCM kernels.
+fn adpcm_encode_host(samples: &[i64]) -> (Vec<i64>, i64) {
+    let mut pred = 0i64;
+    let mut index = 0i64;
+    let mut codes = Vec::with_capacity(samples.len());
+    let mut check = 0i64;
+    for &s in samples {
+        let step = STEP_TABLE[index as usize];
+        let mut diff = s - pred;
+        let sign = if diff < 0 {
+            diff = -diff;
+            8i64
+        } else {
+            0
+        };
+        let mut delta = 0i64;
+        let mut tempstep = step;
+        if diff >= tempstep {
+            delta = 4;
+            diff -= tempstep;
+        }
+        tempstep >>= 1;
+        if diff >= tempstep {
+            delta |= 2;
+            diff -= tempstep;
+        }
+        tempstep >>= 1;
+        if diff >= tempstep {
+            delta |= 1;
+        }
+        let code = delta | sign;
+        // Reconstruct.
+        let mut diffq = step >> 3;
+        if delta & 4 != 0 {
+            diffq += step;
+        }
+        if delta & 2 != 0 {
+            diffq += step >> 1;
+        }
+        if delta & 1 != 0 {
+            diffq += step >> 2;
+        }
+        if sign != 0 {
+            pred -= diffq;
+        } else {
+            pred += diffq;
+        }
+        pred = pred.clamp(-32768, 32767);
+        index = (index + INDEX_TABLE[code as usize]).clamp(0, 88);
+        codes.push(code);
+        check = check.wrapping_add(code);
+    }
+    check = check.wrapping_add(pred);
+    (codes, check)
+}
+
+/// Host-side IMA ADPCM decoder.
+fn adpcm_decode_host(codes: &[i64]) -> i64 {
+    let mut pred = 0i64;
+    let mut index = 0i64;
+    let mut check = 0i64;
+    for &code in codes {
+        let step = STEP_TABLE[index as usize];
+        let delta = code & 7;
+        let sign = code & 8;
+        let mut diffq = step >> 3;
+        if delta & 4 != 0 {
+            diffq += step;
+        }
+        if delta & 2 != 0 {
+            diffq += step >> 1;
+        }
+        if delta & 1 != 0 {
+            diffq += step >> 2;
+        }
+        if sign != 0 {
+            pred -= diffq;
+        } else {
+            pred += diffq;
+        }
+        pred = pred.clamp(-32768, 32767);
+        index = (index + INDEX_TABLE[code as usize]).clamp(0, 88);
+        check = check.wrapping_add(pred);
+    }
+    check
+}
+
+/// Emits the shared ADPCM reconstruction + clamp + index-update sequence.
+///
+/// Inputs: `code` (4-bit), `step`; state registers `pred` (S0), `index`
+/// (S1). Uses T4-T7 as scratch.
+fn emit_adpcm_update(b: &mut ProgramBuilder, code: Reg, step: Reg, pred: Reg, index: Reg) {
+    // diffq = step >> 3 (+ step if bit2, + step>>1 if bit1, + step>>2 if bit0)
+    b.srai(T4, step, 3);
+    let no4 = b.label();
+    b.andi(T5, code, 4);
+    b.beqz(T5, no4);
+    b.add(T4, T4, step);
+    b.bind(no4);
+    let no2 = b.label();
+    b.andi(T5, code, 2);
+    b.beqz(T5, no2);
+    b.srai(T6, step, 1);
+    b.add(T4, T4, T6);
+    b.bind(no2);
+    let no1 = b.label();
+    b.andi(T5, code, 1);
+    b.beqz(T5, no1);
+    b.srai(T6, step, 2);
+    b.add(T4, T4, T6);
+    b.bind(no1);
+    // pred +/- diffq
+    let minus = b.label();
+    let merged = b.label();
+    b.andi(T5, code, 8);
+    b.bnez(T5, minus);
+    b.add(pred, pred, T4);
+    b.j(merged);
+    b.bind(minus);
+    b.sub(pred, pred, T4);
+    b.bind(merged);
+    // clamp pred to [-32768, 32767]
+    let nolo = b.label();
+    let nohi = b.label();
+    b.li(T5, -32768);
+    b.bge(pred, T5, nolo);
+    b.mv(pred, T5);
+    b.bind(nolo);
+    b.li(T5, 32767);
+    b.ble(pred, T5, nohi);
+    b.mv(pred, T5);
+    b.bind(nohi);
+    // index += INDEX_TABLE[code]; clamp 0..88
+    b.slli(T5, code, 3);
+    b.add(T5, B1, T5);
+    b.ld(T6, T5, 0);
+    b.add(index, index, T6);
+    let inolo = b.label();
+    let inohi = b.label();
+    b.bge(index, Reg::ZERO, inolo);
+    b.li(index, 0);
+    b.bind(inolo);
+    b.li(T5, 88);
+    b.ble(index, T5, inohi);
+    b.li(index, 88);
+    b.bind(inohi);
+}
+
+/// `adpcm_enc`: IMA ADPCM speech encoder over a synthetic PCM random walk —
+/// heavily biased short branches and table lookups.
+pub(crate) fn adpcm_enc(scale: Scale) -> KernelBuild {
+    let n = match scale {
+        Scale::Tiny => 2500,
+        Scale::Small => 36_000,
+    };
+    let samples = pcm_samples(n, 0xADCE);
+    let (_, expected) = adpcm_encode_host(&samples);
+
+    let mut b = ProgramBuilder::new("adpcm_enc");
+    let tsamples = b.data_i64(&samples);
+    let tstep = b.data_i64(&STEP_TABLE);
+    let tindex = b.data_i64(&INDEX_TABLE);
+
+    let (pred, index) = (S0, S1);
+    let (step, diff, sign, delta, tempstep) = (S2, S3, S4, S5, S6);
+    let code = S7;
+
+    b.li(CHK, 0);
+    b.li(pred, 0);
+    b.li(index, 0);
+    b.li(B0, tstep as i64);
+    b.li(B1, tindex as i64);
+    b.li(B2, tsamples as i64);
+    b.li(N, n as i64);
+
+    let top = loop_head(&mut b, I, 0);
+    {
+        // step = STEP_TABLE[index]
+        b.slli(T0, index, 3);
+        b.add(T0, B0, T0);
+        b.ld(step, T0, 0);
+        // diff = sample - pred; extract sign
+        b.slli(T0, I, 3);
+        b.add(T0, B2, T0);
+        b.ld(T1, T0, 0);
+        b.sub(diff, T1, pred);
+        b.li(sign, 0);
+        let pos = b.label();
+        b.bge(diff, Reg::ZERO, pos);
+        b.li(sign, 8);
+        b.sub(diff, Reg::ZERO, diff);
+        b.bind(pos);
+        // quantize
+        b.li(delta, 0);
+        b.mv(tempstep, step);
+        let lt4 = b.label();
+        b.blt(diff, tempstep, lt4);
+        b.li(delta, 4);
+        b.sub(diff, diff, tempstep);
+        b.bind(lt4);
+        b.srai(tempstep, tempstep, 1);
+        let lt2 = b.label();
+        b.blt(diff, tempstep, lt2);
+        b.ori(delta, delta, 2);
+        b.sub(diff, diff, tempstep);
+        b.bind(lt2);
+        b.srai(tempstep, tempstep, 1);
+        let lt1 = b.label();
+        b.blt(diff, tempstep, lt1);
+        b.ori(delta, delta, 1);
+        b.bind(lt1);
+        b.or(code, delta, sign);
+        b.add(CHK, CHK, code);
+        emit_adpcm_update(&mut b, code, step, pred, index);
+    }
+    loop_tail_lt(&mut b, top, I, 1, N);
+    b.add(CHK, CHK, pred);
+    b.halt();
+
+    KernelBuild { program: b.build(), expected }
+}
+
+/// `adpcm_dec`: IMA ADPCM decoder over a code stream produced by the host
+/// encoder.
+pub(crate) fn adpcm_dec(scale: Scale) -> KernelBuild {
+    let n = match scale {
+        Scale::Tiny => 3000,
+        Scale::Small => 48_000,
+    };
+    let samples = pcm_samples(n, 0xADCD);
+    let (codes, _) = adpcm_encode_host(&samples);
+    let expected = adpcm_decode_host(&codes);
+
+    let mut b = ProgramBuilder::new("adpcm_dec");
+    let tcodes = b.data_i64(&codes);
+    let tstep = b.data_i64(&STEP_TABLE);
+    let tindex = b.data_i64(&INDEX_TABLE);
+
+    let (pred, index, step, code) = (S0, S1, S2, S7);
+
+    b.li(CHK, 0);
+    b.li(pred, 0);
+    b.li(index, 0);
+    b.li(B0, tstep as i64);
+    b.li(B1, tindex as i64);
+    b.li(B2, tcodes as i64);
+    b.li(N, n as i64);
+
+    let top = loop_head(&mut b, I, 0);
+    {
+        b.slli(T0, index, 3);
+        b.add(T0, B0, T0);
+        b.ld(step, T0, 0);
+        b.slli(T0, I, 3);
+        b.add(T0, B2, T0);
+        b.ld(code, T0, 0);
+        emit_adpcm_update(&mut b, code, step, pred, index);
+        b.add(CHK, CHK, pred);
+    }
+    loop_tail_lt(&mut b, top, I, 1, N);
+    b.halt();
+
+    KernelBuild { program: b.build(), expected }
+}
+
+/// `crc32`: table-driven CRC-32 (poly `0xEDB88320`) over a byte buffer —
+/// the archetypal tight streaming loop.
+pub(crate) fn crc32(scale: Scale) -> KernelBuild {
+    let n = match scale {
+        Scale::Tiny => 7_000,
+        Scale::Small => 140_000,
+    };
+    let mut rng = SplitMix64::new(0xC3C);
+    let buf = rng.byte_vec(n);
+
+    let mut lut = [0u32; 256];
+    for (i, e) in lut.iter_mut().enumerate() {
+        let mut c = i as u32;
+        for _ in 0..8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+        }
+        *e = c;
+    }
+    let mut crc = 0xffff_ffffu32;
+    for &byte in &buf {
+        crc = (crc >> 8) ^ lut[((crc ^ u32::from(byte)) & 0xff) as usize];
+    }
+    let expected = (crc ^ 0xffff_ffff) as i64;
+
+    let mut b = ProgramBuilder::new("crc32");
+    let tbuf = b.data_bytes(&buf);
+    let tlut = b.data_u32(&lut);
+
+    let crc_r = S0;
+    b.li(B0, tbuf as i64);
+    b.li(B1, tlut as i64);
+    b.li(crc_r, 0xffff_ffff);
+    b.li(N, n as i64);
+    b.li(MASK, 0xffff_ffff);
+
+    let top = loop_head(&mut b, I, 0);
+    {
+        b.add(T0, B0, I);
+        b.lb(T1, T0, 0);
+        b.xor(T2, crc_r, T1);
+        b.andi(T2, T2, 255);
+        b.slli(T2, T2, 2);
+        b.add(T2, B1, T2);
+        b.lw(T3, T2, 0);
+        b.and(T3, T3, MASK); // lw sign-extends; keep 32-bit domain
+        b.srli(crc_r, crc_r, 8);
+        b.xor(crc_r, crc_r, T3);
+    }
+    loop_tail_lt(&mut b, top, I, 1, N);
+    b.xor(CHK, crc_r, MASK);
+    b.halt();
+
+    KernelBuild { program: b.build(), expected }
+}
+
+/// `fft`: iterative radix-2 decimation-in-time complex FFT with a twiddle
+/// LUT, repeated over fresh copies of the signal — FP multiply/add bound
+/// with a bit-reversal shuffle.
+pub(crate) fn fft(scale: Scale) -> KernelBuild {
+    let (n, reps) = match scale {
+        Scale::Tiny => (256usize, 2usize),
+        Scale::Small => (1024, 7),
+    };
+    let bits = n.trailing_zeros();
+    let mut rng = SplitMix64::new(0xFF7);
+    let sig_re: Vec<f64> = (0..n).map(|_| 2.0 * rng.f64() - 1.0).collect();
+    let sig_im: Vec<f64> = (0..n).map(|_| 2.0 * rng.f64() - 1.0).collect();
+    let twid_re: Vec<f64> = (0..n / 2)
+        .map(|k| (-2.0 * std::f64::consts::PI * k as f64 / n as f64).cos())
+        .collect();
+    let twid_im: Vec<f64> = (0..n / 2)
+        .map(|k| (-2.0 * std::f64::consts::PI * k as f64 / n as f64).sin())
+        .collect();
+    let bitrev: Vec<u64> = (0..n as u64)
+        .map(|i| u64::from((i as u32).reverse_bits() >> (32 - bits)))
+        .collect();
+
+    // Host reference (op order mirrors the kernel exactly).
+    let mut acc = 0.0f64;
+    for _ in 0..reps {
+        let mut re: Vec<f64> = (0..n).map(|i| sig_re[bitrev[i] as usize]).collect();
+        let mut im: Vec<f64> = (0..n).map(|i| sig_im[bitrev[i] as usize]).collect();
+        let mut len = 2usize;
+        while len <= n {
+            let step = n / len;
+            let half = len / 2;
+            let mut base = 0usize;
+            while base < n {
+                for j in 0..half {
+                    let (wr, wi) = (twid_re[j * step], twid_im[j * step]);
+                    let (ur, ui) = (re[base + j], im[base + j]);
+                    let (vr, vi) = (re[base + j + half], im[base + j + half]);
+                    let tr = vr * wr - vi * wi;
+                    let ti = vr * wi + vi * wr;
+                    re[base + j] = ur + tr;
+                    im[base + j] = ui + ti;
+                    re[base + j + half] = ur - tr;
+                    im[base + j + half] = ui - ti;
+                }
+                base += len;
+            }
+            len <<= 1;
+        }
+        for i in 0..n {
+            acc += re[i] + im[i];
+        }
+    }
+    let expected = (acc * 4096.0) as i64;
+
+    let mut b = ProgramBuilder::new("fft");
+    let tsig_re = b.data_f64(&sig_re);
+    let tsig_im = b.data_f64(&sig_im);
+    let ttw_re = b.data_f64(&twid_re);
+    let ttw_im = b.data_f64(&twid_im);
+    let trev = b.data_u64(&bitrev);
+    let twork_re = b.alloc(n as u64 * 8);
+    let twork_im = b.alloc(n as u64 * 8);
+
+    let (len, half, step, base) = (S0, S1, S2, S3);
+    let (wre, wim) = (B2, B3);
+    let nn = N;
+    let (facc, fwr, fwi, fur, fui, fvr, fvi, ftr, fti, ft) = (
+        FReg::new(0),
+        FReg::new(1),
+        FReg::new(2),
+        FReg::new(3),
+        FReg::new(4),
+        FReg::new(5),
+        FReg::new(6),
+        FReg::new(7),
+        FReg::new(8),
+        FReg::new(9),
+    );
+
+    b.fli(facc, 0.0);
+    b.li(nn, n as i64);
+    b.li(S9, reps as i64);
+
+    let rep_top = loop_head(&mut b, K, 0);
+    {
+        // Bit-reversed copy into work arrays.
+        b.li(B0, trev as i64);
+        b.li(S4, tsig_re as i64);
+        b.li(S5, tsig_im as i64);
+        b.li(S6, twork_re as i64);
+        b.li(S7, twork_im as i64);
+        let cp = loop_head(&mut b, I, 0);
+        {
+            b.slli(T0, I, 3);
+            b.add(T1, B0, T0);
+            b.ld(T2, T1, 0); // rev index
+            b.slli(T2, T2, 3);
+            b.add(T3, S4, T2);
+            b.fld(ft, T3, 0);
+            b.add(T3, S6, T0);
+            b.fsd(ft, T3, 0);
+            b.add(T3, S5, T2);
+            b.fld(ft, T3, 0);
+            b.add(T3, S7, T0);
+            b.fsd(ft, T3, 0);
+        }
+        loop_tail_lt(&mut b, cp, I, 1, nn);
+
+        b.li(wre, ttw_re as i64);
+        b.li(wim, ttw_im as i64);
+        b.li(len, 2);
+        let stage = b.label();
+        let stages_done = b.label();
+        b.bind(stage);
+        b.bgt(len, nn, stages_done);
+        {
+            b.div(step, nn, len);
+            b.srai(half, len, 1);
+            b.li(base, 0);
+            let blk = b.label();
+            let blk_done = b.label();
+            b.bind(blk);
+            b.bge(base, nn, blk_done);
+            {
+                let bfly = loop_head(&mut b, J, 0);
+                {
+                    // twiddle = tw[j * step]
+                    b.mul(T0, J, step);
+                    b.slli(T0, T0, 3);
+                    b.add(T1, wre, T0);
+                    b.fld(fwr, T1, 0);
+                    b.add(T1, wim, T0);
+                    b.fld(fwi, T1, 0);
+                    // u = work[base+j]; v = work[base+j+half]
+                    b.add(T2, base, J);
+                    b.slli(T2, T2, 3);
+                    b.add(T3, S6, T2);
+                    b.fld(fur, T3, 0);
+                    b.add(T4, S7, T2);
+                    b.fld(fui, T4, 0);
+                    b.slli(T5, half, 3);
+                    b.add(T6, T3, T5);
+                    b.fld(fvr, T6, 0);
+                    b.add(T7, T4, T5);
+                    b.fld(fvi, T7, 0);
+                    // t = v * w
+                    b.fmul(ftr, fvr, fwr);
+                    b.fmul(ft, fvi, fwi);
+                    b.fsub(ftr, ftr, ft);
+                    b.fmul(fti, fvr, fwi);
+                    b.fmul(ft, fvi, fwr);
+                    b.fadd(fti, fti, ft);
+                    // butterflies
+                    b.fadd(ft, fur, ftr);
+                    b.fsd(ft, T3, 0);
+                    b.fadd(ft, fui, fti);
+                    b.fsd(ft, T4, 0);
+                    b.fsub(ft, fur, ftr);
+                    b.fsd(ft, T6, 0);
+                    b.fsub(ft, fui, fti);
+                    b.fsd(ft, T7, 0);
+                }
+                loop_tail_lt(&mut b, bfly, J, 1, half);
+                b.add(base, base, len);
+            }
+            b.j(blk);
+            b.bind(blk_done);
+            b.slli(len, len, 1);
+        }
+        b.j(stage);
+        b.bind(stages_done);
+
+        // acc += sum(re + im)
+        let sum = loop_head(&mut b, I, 0);
+        {
+            b.slli(T0, I, 3);
+            b.add(T1, S6, T0);
+            b.fld(ftr, T1, 0);
+            b.fadd(facc, facc, ftr);
+            b.add(T1, S7, T0);
+            b.fld(ftr, T1, 0);
+            b.fadd(facc, facc, ftr);
+        }
+        loop_tail_lt(&mut b, sum, I, 1, nn);
+    }
+    loop_tail_lt(&mut b, rep_top, K, 1, S9);
+
+    b.fli(ft, 4096.0);
+    b.fmul(facc, facc, ft);
+    b.cvt_f_i(CHK, facc);
+    b.halt();
+
+    KernelBuild { program: b.build(), expected }
+}
+
+/// `gsm`: fixed-point LPC front end — frame autocorrelation followed by a
+/// Schur-style reflection-coefficient recursion with saturation, as in the
+/// GSM 06.10 full-rate encoder.
+pub(crate) fn gsm(scale: Scale) -> KernelBuild {
+    let frames = match scale {
+        Scale::Tiny => 8,
+        Scale::Small => 72,
+    };
+    let frame_len = 160usize;
+    let samples = pcm_samples(frames * frame_len, 0x65A);
+
+    // Host reference.
+    let mut expected = 0i64;
+    for f in 0..frames {
+        let s = &samples[f * frame_len..(f + 1) * frame_len];
+        let mut acf = [0i64; 9];
+        for (k, a) in acf.iter_mut().enumerate() {
+            for i in k..frame_len {
+                *a += (s[i] >> 3) * (s[i - k] >> 3);
+            }
+        }
+        let mut rc = [0i64; 8];
+        if acf[0] != 0 {
+            let mut p = acf;
+            let mut kk = [0i64; 8];
+            kk.copy_from_slice(&acf[1..9]);
+            for j in 0..8usize {
+                if p[0] == 0 {
+                    break;
+                }
+                let mut r = -kk[0].wrapping_mul(32768).wrapping_div(p[0]);
+                r = r.clamp(-32767, 32767);
+                rc[j] = r;
+                for i in 0..7 - j {
+                    p[i] = p[i].wrapping_add((kk[i].wrapping_mul(r)) >> 15);
+                    kk[i] = kk[i + 1].wrapping_add((p[i + 1].wrapping_mul(r)) >> 15);
+                }
+            }
+        }
+        for r in rc {
+            expected = expected.wrapping_add(r);
+        }
+    }
+
+    let mut b = ProgramBuilder::new("gsm");
+    let tsamples = b.data_i64(&samples);
+    let tacf = b.alloc(9 * 8);
+    let tp = b.alloc(9 * 8);
+    let tk = b.alloc(8 * 8);
+
+    let (sframe, acf_r, p_r, k_r) = (B0, B1, B2, B3);
+    let (flen, lag) = (S0, S1);
+
+    b.li(CHK, 0);
+    b.li(acf_r, tacf as i64);
+    b.li(p_r, tp as i64);
+    b.li(k_r, tk as i64);
+    b.li(flen, frame_len as i64);
+    b.li(S9, frames as i64);
+
+    let f_top = loop_head(&mut b, K, 0);
+    {
+        // sframe = &samples[f * frame_len]
+        b.mul(T0, K, flen);
+        b.slli(T0, T0, 3);
+        b.li(T1, tsamples as i64);
+        b.add(sframe, T1, T0);
+
+        // Autocorrelation, 9 lags.
+        b.li(T7, 9);
+        let lag_top = loop_head(&mut b, lag, 0);
+        {
+            b.li(S2, 0); // acc
+            b.mv(I, lag);
+            let inner = b.label();
+            let inner_done = b.label();
+            b.bind(inner);
+            b.bge(I, flen, inner_done);
+            b.slli(T0, I, 3);
+            b.add(T1, sframe, T0);
+            b.ld(T2, T1, 0);
+            b.srai(T2, T2, 3);
+            b.sub(T3, I, lag);
+            b.slli(T3, T3, 3);
+            b.add(T4, sframe, T3);
+            b.ld(T5, T4, 0);
+            b.srai(T5, T5, 3);
+            b.mul(T2, T2, T5);
+            b.add(S2, S2, T2);
+            b.addi(I, I, 1);
+            b.j(inner);
+            b.bind(inner_done);
+            b.slli(T0, lag, 3);
+            b.add(T1, acf_r, T0);
+            b.sd(S2, T1, 0);
+        }
+        loop_tail_lt(&mut b, lag_top, lag, 1, T7);
+
+        // Schur recursion: rc summed straight into CHK.
+        let skip_frame = b.label();
+        b.ld(T0, acf_r, 0);
+        b.beqz(T0, skip_frame);
+        // p = acf (9), k = acf[1..9] (8)
+        b.li(T7, 9);
+        let cp = loop_head(&mut b, I, 0);
+        {
+            b.slli(T0, I, 3);
+            b.add(T1, acf_r, T0);
+            b.ld(T2, T1, 0);
+            b.add(T3, p_r, T0);
+            b.sd(T2, T3, 0);
+            let no_k = b.label();
+            b.beqz(I, no_k);
+            b.addi(T3, T0, -8);
+            b.add(T3, k_r, T3);
+            b.sd(T2, T3, 0);
+            b.bind(no_k);
+        }
+        loop_tail_lt(&mut b, cp, I, 1, T7);
+
+        b.li(T7, 8);
+        let j_top = loop_head(&mut b, J, 0);
+        {
+            let j_next = b.label();
+            b.ld(T0, p_r, 0);
+            b.beqz(T0, j_next);
+            // r = clamp(-(k[0] * 32768) / p[0], -32767, 32767)
+            b.ld(T1, k_r, 0);
+            b.slli(T1, T1, 15);
+            b.div(T1, T1, T0);
+            b.sub(S3, Reg::ZERO, T1); // r
+            let nolo = b.label();
+            let nohi = b.label();
+            b.li(T2, -32767);
+            b.bge(S3, T2, nolo);
+            b.mv(S3, T2);
+            b.bind(nolo);
+            b.li(T2, 32767);
+            b.ble(S3, T2, nohi);
+            b.mv(S3, T2);
+            b.bind(nohi);
+            b.add(CHK, CHK, S3);
+            // inner update: for i in 0 .. 7-j (skipped entirely when empty,
+            // since the loop helpers are do-while shaped)
+            b.li(T2, 7);
+            b.sub(S4, T2, J); // bound
+            b.ble(S4, Reg::ZERO, j_next);
+            let upd = loop_head(&mut b, I, 0);
+            {
+                b.slli(T0, I, 3);
+                // p[i] += (k[i] * r) >> 15
+                b.add(T1, k_r, T0);
+                b.ld(T2, T1, 0);
+                b.mul(T2, T2, S3);
+                b.srai(T2, T2, 15);
+                b.add(T3, p_r, T0);
+                b.ld(T4, T3, 0);
+                b.add(T4, T4, T2);
+                b.sd(T4, T3, 0);
+                // k[i] = k[i+1] + (p[i+1] * r) >> 15
+                b.add(T3, p_r, T0);
+                b.ld(T4, T3, 8);
+                b.mul(T4, T4, S3);
+                b.srai(T4, T4, 15);
+                b.add(T5, k_r, T0);
+                b.ld(T6, T5, 8);
+                b.add(T6, T6, T4);
+                b.sd(T6, T5, 0);
+            }
+            loop_tail_lt(&mut b, upd, I, 1, S4);
+            b.bind(j_next);
+        }
+        loop_tail_lt(&mut b, j_top, J, 1, T7);
+        b.bind(skip_frame);
+    }
+    loop_tail_lt(&mut b, f_top, K, 1, S9);
+    b.halt();
+
+    KernelBuild { program: b.build(), expected }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests_support::check_kernel;
+
+    #[test]
+    fn adpcm_enc_checksum() {
+        check_kernel(adpcm_enc(Scale::Tiny));
+    }
+
+    #[test]
+    fn adpcm_dec_checksum() {
+        check_kernel(adpcm_dec(Scale::Tiny));
+    }
+
+    #[test]
+    fn crc32_checksum() {
+        check_kernel(crc32(Scale::Tiny));
+    }
+
+    #[test]
+    fn fft_checksum() {
+        check_kernel(fft(Scale::Tiny));
+    }
+
+    #[test]
+    fn gsm_checksum() {
+        check_kernel(gsm(Scale::Tiny));
+    }
+}

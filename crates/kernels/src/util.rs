@@ -1,0 +1,186 @@
+//! Shared helpers for kernel construction: deterministic input generation
+//! and assembler idioms.
+
+use perfclone_isa::{Label, ProgramBuilder, Reg};
+
+/// A deterministic 64-bit PRNG (splitmix64) used to generate every kernel's
+/// synthetic input, independent of external crates so inputs never drift.
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..bound` (bound > 0).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+
+    /// A byte in `0..=255`.
+    pub fn byte(&mut self) -> u8 {
+        self.next_u64() as u8
+    }
+
+    /// Uniform f64 in `[0, 1)`.
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// A vector of raw 64-bit values.
+    pub fn u64_vec(&mut self, n: usize) -> Vec<u64> {
+        (0..n).map(|_| self.next_u64()).collect()
+    }
+
+    /// A vector of bytes.
+    pub fn byte_vec(&mut self, n: usize) -> Vec<u8> {
+        (0..n).map(|_| self.byte()).collect()
+    }
+}
+
+/// Emits the head of a counted loop: `idx = start`, binds and returns the
+/// top-of-loop label.
+pub fn loop_head(b: &mut ProgramBuilder, idx: Reg, start: i64) -> Label {
+    b.li(idx, start);
+    let top = b.label();
+    b.bind(top);
+    top
+}
+
+/// Emits the tail of a counted loop: `idx += step; if idx < limit goto top`.
+pub fn loop_tail_lt(b: &mut ProgramBuilder, top: Label, idx: Reg, step: i32, limit: Reg) {
+    b.addi(idx, idx, step);
+    b.blt(idx, limit, top);
+}
+
+/// Register aliases used consistently across kernels to keep the assembly
+/// readable: callee scratch space beyond the checksum register.
+pub mod regs {
+    use perfclone_isa::Reg;
+
+    /// Loop counters.
+    pub const I: Reg = Reg::new(1);
+    /// Secondary counter.
+    pub const J: Reg = Reg::new(2);
+    /// Tertiary counter.
+    pub const K: Reg = Reg::new(3);
+    /// Pointer.
+    pub const P: Reg = Reg::new(4);
+    /// Second pointer.
+    #[allow(dead_code)]
+    pub const Q: Reg = Reg::new(5);
+    /// Scratch.
+    pub const T0: Reg = Reg::new(6);
+    /// Scratch.
+    pub const T1: Reg = Reg::new(7);
+    /// Scratch.
+    pub const T2: Reg = Reg::new(8);
+    /// Scratch.
+    pub const T3: Reg = Reg::new(9);
+    /// Checksum accumulator (same as `perfclone_kernels::CHECK_REG`).
+    pub const CHK: Reg = Reg::new(10);
+    /// Loop limit.
+    pub const N: Reg = Reg::new(11);
+    /// Scratch / extended use.
+    pub const T4: Reg = Reg::new(12);
+    /// Scratch / extended use.
+    pub const T5: Reg = Reg::new(13);
+    /// Scratch / extended use.
+    pub const T6: Reg = Reg::new(14);
+    /// Scratch / extended use.
+    pub const T7: Reg = Reg::new(15);
+    /// Base address of first table.
+    pub const B0: Reg = Reg::new(16);
+    /// Base address of second table.
+    pub const B1: Reg = Reg::new(17);
+    /// Base address of third table.
+    pub const B2: Reg = Reg::new(18);
+    /// Base address of fourth table.
+    pub const B3: Reg = Reg::new(19);
+    /// Extra state.
+    pub const S0: Reg = Reg::new(20);
+    /// Extra state.
+    pub const S1: Reg = Reg::new(21);
+    /// Extra state.
+    pub const S2: Reg = Reg::new(22);
+    /// Extra state.
+    pub const S3: Reg = Reg::new(23);
+    /// Extra state.
+    pub const S4: Reg = Reg::new(24);
+    /// Extra state.
+    pub const S5: Reg = Reg::new(25);
+    /// 32-bit mask or other long-lived constant.
+    pub const MASK: Reg = Reg::new(26);
+    /// Extra state.
+    pub const S6: Reg = Reg::new(27);
+    /// Extra state.
+    pub const S7: Reg = Reg::new(28);
+    /// Extra state.
+    pub const S8: Reg = Reg::new(29);
+    /// Extra state.
+    pub const S9: Reg = Reg::new(30);
+    /// Link register for calls.
+    #[allow(dead_code)]
+    pub const RA: Reg = Reg::new(31);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn splitmix_below_respects_bound() {
+        let mut g = SplitMix64::new(7);
+        for _ in 0..1000 {
+            assert!(g.below(17) < 17);
+        }
+    }
+
+    #[test]
+    fn splitmix_f64_in_unit_interval() {
+        let mut g = SplitMix64::new(9);
+        for _ in 0..1000 {
+            let v = g.f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn loop_helpers_generate_counted_loop() {
+        use perfclone_sim::Simulator;
+        let mut b = ProgramBuilder::new("loop");
+        let (i, n, acc) = (regs::I, regs::N, regs::CHK);
+        b.li(n, 10);
+        b.li(acc, 0);
+        let top = loop_head(&mut b, i, 0);
+        b.addi(acc, acc, 2);
+        loop_tail_lt(&mut b, top, i, 1, n);
+        b.halt();
+        let p = b.build();
+        let mut sim = Simulator::new(&p);
+        sim.run(1_000).unwrap();
+        assert_eq!(sim.state().reg(acc), 20);
+    }
+}

@@ -1,0 +1,275 @@
+//! # perfclone-power
+//!
+//! An activity-based, Wattch-style architectural power model.
+//!
+//! Like Wattch, the model assigns each microarchitectural structure a
+//! per-access energy that scales with the structure's capacity (cache
+//! arrays with size and associativity, window structures with entry count,
+//! functional units with operation complexity), multiplies by the activity
+//! counts the pipeline collected, and adds a conditional-clock-gating
+//! residue: an idle structure still burns a fixed fraction of its active
+//! power each cycle. Absolute numbers are arbitrary units; the experiments
+//! only compare *relative* power across configurations and between a
+//! benchmark and its clone, exactly as the paper does.
+//!
+//! # Example
+//!
+//! ```
+//! use perfclone_isa::{ProgramBuilder, Reg};
+//! use perfclone_sim::Simulator;
+//! use perfclone_uarch::{base_config, Pipeline};
+//! use perfclone_power::estimate_power;
+//!
+//! let mut b = ProgramBuilder::new("p");
+//! b.li(Reg::new(1), 1);
+//! b.halt();
+//! let p = b.build();
+//! let report = Pipeline::new(base_config()).run(Simulator::trace(&p, u64::MAX));
+//! let power = estimate_power(&base_config(), &report);
+//! assert!(power.average_power > 0.0);
+//! ```
+
+use perfclone_uarch::{CacheConfig, MachineConfig, PipelineReport, PredictorKind};
+
+/// Fraction of a unit's active per-cycle power consumed while idle
+/// (conditional clock gating, Wattch's `cc3` style).
+const CLOCK_GATE_RESIDUE: f64 = 0.15;
+
+/// Named per-unit energy totals.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PowerBreakdown {
+    /// Fetch + decode logic.
+    pub frontend: f64,
+    /// Branch predictor arrays.
+    pub bpred: f64,
+    /// Reorder buffer / instruction window.
+    pub rob: f64,
+    /// Load/store queue.
+    pub lsq: f64,
+    /// Architectural register file.
+    pub regfile: f64,
+    /// Integer and FP functional units.
+    pub alus: f64,
+    /// L1 instruction cache.
+    pub l1i: f64,
+    /// L1 data cache.
+    pub l1d: f64,
+    /// Unified L2.
+    pub l2: f64,
+    /// Global clock network.
+    pub clock: f64,
+}
+
+impl PowerBreakdown {
+    /// Sum of every component.
+    pub fn total(&self) -> f64 {
+        self.frontend
+            + self.bpred
+            + self.rob
+            + self.lsq
+            + self.regfile
+            + self.alus
+            + self.l1i
+            + self.l1d
+            + self.l2
+            + self.clock
+    }
+}
+
+/// A power estimate for one pipeline run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PowerReport {
+    /// Total energy over the run (arbitrary units).
+    pub total_energy: f64,
+    /// Mean power (energy per cycle).
+    pub average_power: f64,
+    /// Energy per committed instruction.
+    pub energy_per_instr: f64,
+    /// Per-unit energy totals.
+    pub breakdown: PowerBreakdown,
+}
+
+/// Per-access energy of a cache array: decoder + wordline/bitline terms
+/// scaling with capacity and associativity, as in Wattch's array model.
+fn cache_access_energy(c: &CacheConfig) -> f64 {
+    0.4 + 0.00012 * (c.size_bytes as f64).sqrt() * (c.ways() as f64).sqrt()
+        + 0.02 * c.ways() as f64
+}
+
+fn bpred_access_energy(kind: PredictorKind) -> f64 {
+    let entries = match kind {
+        PredictorKind::NotTaken | PredictorKind::Taken => 0u64,
+        PredictorKind::Bimodal { table_bits } => 1 << table_bits,
+        PredictorKind::TwoLevelGAp { history_bits, addr_bits } => 1 << (history_bits + addr_bits),
+        PredictorKind::Gshare { history_bits } => 1 << history_bits,
+        PredictorKind::TwoLevelPAp { history_bits, addr_bits } => {
+            (1 << (history_bits + addr_bits)) + (1 << addr_bits)
+        }
+        PredictorKind::Tournament { history_bits, table_bits } => {
+            (1 << history_bits) + 2 * (1 << table_bits)
+        }
+    };
+    0.05 + 0.0004 * (entries as f64).sqrt()
+}
+
+/// CAM/RAM-style window structure: energy per access scales with entry
+/// count.
+fn window_access_energy(entries: u32) -> f64 {
+    0.2 + 0.03 * f64::from(entries).sqrt()
+}
+
+/// Estimates power for a finished pipeline run under `config` — the
+/// Wattch-equivalent step of the evaluation flow.
+pub fn estimate_power(config: &MachineConfig, report: &PipelineReport) -> PowerReport {
+    let a = &report.activity;
+    let cycles = report.cycles.max(1) as f64;
+
+    // Per-access energies.
+    let e_frontend = 0.3 + 0.15 * f64::from(config.fetch_width + config.decode_width);
+    let e_bpred = bpred_access_energy(config.predictor);
+    let e_rob = window_access_energy(config.rob_size);
+    let e_lsq = window_access_energy(config.lsq_size);
+    let e_regfile = 0.15;
+    let e_l1i = cache_access_energy(&config.l1i);
+    let e_l1d = cache_access_energy(&config.l1d);
+    let e_l2 = cache_access_energy(&config.l2);
+    let e_int_alu = 0.5;
+    let e_int_mul = 1.6;
+    let e_fp_alu = 1.1;
+    let e_fp_mul = 2.2;
+
+    // Active energy = accesses x per-access energy. ROB is touched at
+    // dispatch, issue (wakeup/select) and commit.
+    let active_frontend = (a.fetches + a.dispatches) as f64 * e_frontend;
+    let active_bpred = report.bpred.lookups as f64 * e_bpred;
+    let active_rob = (a.dispatches + a.issues + a.commits) as f64 * e_rob;
+    let lsq_ops = report.l1d.accesses as f64;
+    let active_lsq = lsq_ops * e_lsq;
+    let active_regfile = (a.regfile_reads as f64 + a.regfile_writes as f64) * e_regfile;
+    let active_alus = a.int_alu_ops as f64 * e_int_alu
+        + a.int_mul_ops as f64 * e_int_mul
+        + a.fp_alu_ops as f64 * e_fp_alu
+        + a.fp_mul_ops as f64 * e_fp_mul;
+    let active_l1i = report.l1i.accesses as f64 * e_l1i;
+    let active_l1d = report.l1d.accesses as f64 * e_l1d;
+    let active_l2 = report.l2.accesses as f64 * e_l2;
+
+    // Conditional clock gating: each unit burns a residue fraction of its
+    // peak per-cycle energy every cycle, whether used or not.
+    let unit_peaks = [
+        e_frontend * f64::from(config.fetch_width),
+        e_bpred,
+        e_rob * f64::from(config.issue_width),
+        e_lsq,
+        e_regfile * 3.0,
+        e_int_alu * f64::from(config.int_alu)
+            + e_int_mul * f64::from(config.int_mul)
+            + e_fp_alu * f64::from(config.fp_alu)
+            + e_fp_mul * f64::from(config.fp_mul),
+        e_l1i,
+        e_l1d,
+        e_l2,
+    ];
+    let idle_per_cycle: f64 = unit_peaks.iter().sum::<f64>() * CLOCK_GATE_RESIDUE;
+
+    // Clock network scales with total clocked capacity.
+    let capacity = unit_peaks.iter().sum::<f64>();
+    let clock_per_cycle = 0.25 * capacity;
+
+    let breakdown = PowerBreakdown {
+        frontend: active_frontend + idle_per_cycle * cycles * frac(unit_peaks[0], capacity),
+        bpred: active_bpred + idle_per_cycle * cycles * frac(unit_peaks[1], capacity),
+        rob: active_rob + idle_per_cycle * cycles * frac(unit_peaks[2], capacity),
+        lsq: active_lsq + idle_per_cycle * cycles * frac(unit_peaks[3], capacity),
+        regfile: active_regfile + idle_per_cycle * cycles * frac(unit_peaks[4], capacity),
+        alus: active_alus + idle_per_cycle * cycles * frac(unit_peaks[5], capacity),
+        l1i: active_l1i + idle_per_cycle * cycles * frac(unit_peaks[6], capacity),
+        l1d: active_l1d + idle_per_cycle * cycles * frac(unit_peaks[7], capacity),
+        l2: active_l2 + idle_per_cycle * cycles * frac(unit_peaks[8], capacity),
+        clock: clock_per_cycle * cycles,
+    };
+    let total_energy = breakdown.total();
+    PowerReport {
+        total_energy,
+        average_power: total_energy / cycles,
+        energy_per_instr: total_energy / report.instrs.max(1) as f64,
+        breakdown,
+    }
+}
+
+fn frac(part: f64, whole: f64) -> f64 {
+    if whole == 0.0 {
+        0.0
+    } else {
+        part / whole
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perfclone_isa::{ProgramBuilder, Reg};
+    use perfclone_sim::Simulator;
+    use perfclone_uarch::{base_config, design_changes, Pipeline};
+
+    fn busy_program(n: i64) -> perfclone_isa::Program {
+        let mut b = ProgramBuilder::new("busy");
+        let (i, lim) = (Reg::new(1), Reg::new(2));
+        b.li(i, 0);
+        b.li(lim, n);
+        let top = b.label();
+        b.bind(top);
+        b.mul(Reg::new(3), i, i);
+        b.addi(Reg::new(4), Reg::new(4), 7);
+        b.addi(i, i, 1);
+        b.blt(i, lim, top);
+        b.halt();
+        b.build()
+    }
+
+    fn power_of(config: perfclone_uarch::MachineConfig) -> f64 {
+        let p = busy_program(500);
+        let rep = Pipeline::new(config).run(Simulator::trace(&p, u64::MAX));
+        estimate_power(&config, &rep).average_power
+    }
+
+    #[test]
+    fn power_is_positive_and_breakdown_sums() {
+        let p = busy_program(100);
+        let cfg = base_config();
+        let rep = Pipeline::new(cfg).run(Simulator::trace(&p, u64::MAX));
+        let pow = estimate_power(&cfg, &rep);
+        assert!(pow.average_power > 0.0);
+        assert!((pow.breakdown.total() - pow.total_energy).abs() < 1e-9);
+        assert!(pow.energy_per_instr > 0.0);
+    }
+
+    #[test]
+    fn wider_machine_burns_more_power() {
+        let base = power_of(base_config());
+        let wide = power_of(perfclone_uarch::config::change_double_width());
+        assert!(wide > base, "wide {wide} <= base {base}");
+    }
+
+    #[test]
+    fn bigger_window_burns_more_power() {
+        let base = power_of(base_config());
+        let big = power_of(perfclone_uarch::config::change_double_window());
+        assert!(big > base, "big {big} <= base {base}");
+    }
+
+    #[test]
+    fn smaller_l1d_reduces_cache_energy_per_access() {
+        let small = cache_access_energy(&perfclone_uarch::config::change_half_l1d().l1d);
+        let base = cache_access_energy(&base_config().l1d);
+        assert!(small < base);
+    }
+
+    #[test]
+    fn all_design_changes_produce_finite_power() {
+        for cfg in design_changes() {
+            let p = power_of(cfg);
+            assert!(p.is_finite() && p > 0.0, "{}: {p}", cfg.name);
+        }
+    }
+}

@@ -1,0 +1,597 @@
+//! The online profile collector.
+
+use std::collections::HashMap;
+
+use perfclone_isa::{Instr, Program};
+use perfclone_sim::{DynInstr, Observer, Simulator};
+
+use crate::hist::DepHistogram;
+use crate::model::{
+    BlockProfile, BranchProfile, ContextProfile, EdgeProfile, StreamProfile, WorkloadProfile,
+};
+
+/// Cap on distinct strides tracked per static memory instruction; a real
+/// profiler bounds its tables the same way.
+const MAX_STRIDES: usize = 128;
+
+const ENTRY: u32 = u32::MAX;
+
+#[derive(Debug, Default)]
+struct NodeCollect {
+    start_pc: u32,
+    size: u32,
+    execs: u64,
+    class_counts: [u32; 10],
+    mem_ops: Vec<u32>,
+    branch: Option<u32>,
+    collecting: bool,
+}
+
+#[derive(Debug, Default)]
+struct CtxCollect {
+    count: u64,
+    reg_deps: DepHistogram,
+    mem_deps: DepHistogram,
+}
+
+#[derive(Debug)]
+struct StreamCollect {
+    pc: u32,
+    is_store: bool,
+    width: u8,
+    execs: u64,
+    last_addr: Option<u64>,
+    min_addr: u64,
+    max_addr: u64,
+    stride_counts: HashMap<i64, u64>,
+    overflow: u64,
+    cur_stride: Option<i64>,
+    cur_run: u64,
+    run_stats: HashMap<i64, (u64, u64)>,
+    fwd_breaks: u64,
+    back_breaks: u64,
+    back_jump_sum: u64,
+}
+
+impl StreamCollect {
+    fn new(pc: u32, is_store: bool, width: u8) -> StreamCollect {
+        StreamCollect {
+            pc,
+            is_store,
+            width,
+            execs: 0,
+            last_addr: None,
+            min_addr: u64::MAX,
+            max_addr: 0,
+            stride_counts: HashMap::new(),
+            overflow: 0,
+            cur_stride: None,
+            cur_run: 0,
+            run_stats: HashMap::new(),
+            fwd_breaks: 0,
+            back_breaks: 0,
+            back_jump_sum: 0,
+        }
+    }
+
+    fn access(&mut self, addr: u64) {
+        self.execs += 1;
+        self.min_addr = self.min_addr.min(addr);
+        self.max_addr = self.max_addr.max(addr);
+        if let Some(last) = self.last_addr {
+            let stride = addr.wrapping_sub(last) as i64;
+            if self.stride_counts.len() < MAX_STRIDES || self.stride_counts.contains_key(&stride)
+            {
+                *self.stride_counts.entry(stride).or_insert(0) += 1;
+            } else {
+                self.overflow += 1;
+            }
+            match self.cur_stride {
+                Some(s) if s == stride => self.cur_run += 1,
+                _ => {
+                    // A run break: classify the breaking jump's direction.
+                    // Singleton runs are excursions (e.g. the jump itself);
+                    // exiting one back onto the dominant stride is a resume,
+                    // not a structural break, so only multi-access runs
+                    // classify.
+                    if self.cur_stride.is_some() && self.cur_run > 1 {
+                        if stride < 0 {
+                            self.back_breaks += 1;
+                            self.back_jump_sum += stride.unsigned_abs();
+                        } else {
+                            self.fwd_breaks += 1;
+                        }
+                    }
+                    self.end_run();
+                    self.cur_stride = Some(stride);
+                    self.cur_run = 1;
+                }
+            }
+        }
+        self.last_addr = Some(addr);
+    }
+
+    fn end_run(&mut self) {
+        if let Some(s) = self.cur_stride.take() {
+            let e = self.run_stats.entry(s).or_insert((0, 0));
+            e.0 += 1;
+            e.1 += self.cur_run;
+            self.cur_run = 0;
+        }
+    }
+
+    fn finish(mut self) -> StreamProfile {
+        self.end_run();
+        // Total order: highest count, then smallest magnitude, then
+        // positive before negative — so profiles are deterministic even
+        // when stride counts tie (e.g. a length-2 ping-pong stream).
+        let (dominant_stride, dominant_count) = self
+            .stride_counts
+            .iter()
+            .max_by_key(|(s, c)| (**c, std::cmp::Reverse(s.unsigned_abs()), **s >= 0))
+            .map(|(s, c)| (*s, *c))
+            .unwrap_or((0, 0));
+        let mean_run_len = match self.run_stats.get(&dominant_stride) {
+            Some(&(runs, len_sum)) if runs > 0 => len_sum as f64 / runs as f64,
+            _ => 1.0,
+        };
+        StreamProfile {
+            pc: self.pc,
+            is_store: self.is_store,
+            execs: self.execs,
+            dominant_stride,
+            dominant_count,
+            mean_run_len,
+            distinct_strides: self.stride_counts.len() as u32,
+            width: self.width,
+            min_addr: if self.min_addr == u64::MAX { 0 } else { self.min_addr },
+            max_addr: self.max_addr,
+            fwd_breaks: self.fwd_breaks,
+            back_breaks: self.back_breaks,
+            mean_back_jump: if self.back_breaks > 0 {
+                self.back_jump_sum as f64 / self.back_breaks as f64
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+#[derive(Debug)]
+struct BranchCollect {
+    pc: u32,
+    execs: u64,
+    taken: u64,
+    transitions: u64,
+    last_dir: Option<bool>,
+    counters: Vec<u8>,
+    history_hits: u64,
+}
+
+impl Default for BranchCollect {
+    fn default() -> BranchCollect {
+        BranchCollect {
+            pc: 0,
+            execs: 0,
+            taken: 0,
+            transitions: 0,
+            last_dir: None,
+            counters: vec![1; 256],
+            history_hits: 0,
+        }
+    }
+}
+
+/// An [`Observer`] that builds a [`WorkloadProfile`] from the retired
+/// instruction stream — the paper's "workload profiler" box (Figure 1).
+#[derive(Debug)]
+pub struct Profiler {
+    name: String,
+    pos: u64,
+    node_ids: HashMap<u32, u32>,
+    nodes: Vec<NodeCollect>,
+    edges: HashMap<(u32, u32), u64>,
+    contexts: HashMap<(u32, u32), CtxCollect>,
+    cur_node: Option<u32>,
+    prev_node: u32,
+    cur_ctx: (u32, u32),
+    reg_writer: [u64; 64],
+    mem_writer: HashMap<u64, u64>,
+    stream_ids: HashMap<u32, u32>,
+    streams: Vec<StreamCollect>,
+    branch_ids: HashMap<u32, u32>,
+    branches: Vec<BranchCollect>,
+    global_history: u8,
+}
+
+impl Profiler {
+    /// Creates a profiler for a program with the given name.
+    pub fn new(name: impl Into<String>) -> Profiler {
+        Profiler {
+            name: name.into(),
+            pos: 0,
+            node_ids: HashMap::new(),
+            nodes: Vec::new(),
+            edges: HashMap::new(),
+            contexts: HashMap::new(),
+            cur_node: None,
+            prev_node: ENTRY,
+            cur_ctx: (ENTRY, ENTRY),
+            reg_writer: [0; 64],
+            mem_writer: HashMap::new(),
+            stream_ids: HashMap::new(),
+            streams: Vec::new(),
+            branch_ids: HashMap::new(),
+            branches: Vec::new(),
+            global_history: 0,
+        }
+    }
+
+    fn intern_node(&mut self, start_pc: u32) -> u32 {
+        if let Some(&id) = self.node_ids.get(&start_pc) {
+            return id;
+        }
+        let id = self.nodes.len() as u32;
+        self.node_ids.insert(start_pc, id);
+        self.nodes.push(NodeCollect { start_pc, collecting: true, ..NodeCollect::default() });
+        id
+    }
+
+    fn intern_stream(&mut self, pc: u32, is_store: bool, width: u8) -> u32 {
+        if let Some(&id) = self.stream_ids.get(&pc) {
+            return id;
+        }
+        let id = self.streams.len() as u32;
+        self.stream_ids.insert(pc, id);
+        self.streams.push(StreamCollect::new(pc, is_store, width));
+        id
+    }
+
+    fn intern_branch(&mut self, pc: u32) -> u32 {
+        if let Some(&id) = self.branch_ids.get(&pc) {
+            return id;
+        }
+        let id = self.branches.len() as u32;
+        self.branch_ids.insert(pc, id);
+        self.branches.push(BranchCollect { pc, ..BranchCollect::default() });
+        id
+    }
+
+    /// Finalizes collection into a [`WorkloadProfile`].
+    pub fn finish(self) -> WorkloadProfile {
+        let nodes = self
+            .nodes
+            .into_iter()
+            .map(|n| BlockProfile {
+                start_pc: n.start_pc,
+                size: n.size,
+                execs: n.execs,
+                class_counts: n.class_counts,
+                mem_ops: n.mem_ops,
+                branch: n.branch,
+            })
+            .collect();
+        let mut edges: Vec<EdgeProfile> = self
+            .edges
+            .into_iter()
+            .map(|((from, to), count)| EdgeProfile { from, to, count })
+            .collect();
+        edges.sort_by_key(|e| (e.from, e.to));
+        let mut contexts: Vec<ContextProfile> = self
+            .contexts
+            .into_iter()
+            .map(|((pred, node), c)| ContextProfile {
+                pred,
+                node,
+                count: c.count,
+                reg_deps: c.reg_deps,
+                mem_deps: c.mem_deps,
+            })
+            .collect();
+        contexts.sort_by_key(|c| (c.node, c.pred));
+        let streams = self.streams.into_iter().map(StreamCollect::finish).collect();
+        let branches = self
+            .branches
+            .into_iter()
+            .map(|b| BranchProfile {
+                pc: b.pc,
+                execs: b.execs,
+                taken: b.taken,
+                transitions: b.transitions,
+                history_hits: b.history_hits,
+            })
+            .collect();
+        WorkloadProfile {
+            name: self.name,
+            total_instrs: self.pos,
+            nodes,
+            edges,
+            contexts,
+            streams,
+            branches,
+        }
+    }
+}
+
+impl Observer for Profiler {
+    fn on_retire(&mut self, d: &DynInstr) {
+        // Block entry.
+        let node = match self.cur_node {
+            Some(n) => n,
+            None => {
+                let n = self.intern_node(d.pc);
+                self.cur_node = Some(n);
+                self.nodes[n as usize].execs += 1;
+                if self.prev_node != ENTRY {
+                    *self.edges.entry((self.prev_node, n)).or_insert(0) += 1;
+                }
+                self.cur_ctx = (self.prev_node, n);
+                self.contexts.entry(self.cur_ctx).or_default().count += 1;
+                n
+            }
+        };
+        let collecting = self.nodes[node as usize].collecting;
+
+        // Static block composition (first complete visit only).
+        let mut stream_id = None;
+        if let Some((_, width, is_store)) = d.instr.mem_ref() {
+            stream_id = Some(self.intern_stream(d.pc, is_store, width.bytes() as u8));
+        }
+        if collecting {
+            let n = &mut self.nodes[node as usize];
+            n.size += 1;
+            n.class_counts[d.instr.class().index()] += 1;
+            if let Some(sid) = stream_id {
+                n.mem_ops.push(sid);
+            }
+        }
+
+        // Dependency distances (per context).
+        let pos = self.pos + 1; // 1-based writer positions; 0 = none
+        {
+            let ctx = self.contexts.get_mut(&self.cur_ctx).expect("context interned at entry");
+            for u in d.instr.uses() {
+                let w = self.reg_writer[u.flat_index()];
+                if w != 0 {
+                    ctx.reg_deps.record(pos - w);
+                }
+            }
+            if let Some(m) = d.mem {
+                if !m.is_store {
+                    if let Some(&w) = self.mem_writer.get(&(m.addr >> 3)) {
+                        ctx.mem_deps.record(pos - w);
+                    }
+                }
+            }
+        }
+        for def in d.instr.defs() {
+            self.reg_writer[def.flat_index()] = pos;
+        }
+        if let Some(m) = d.mem {
+            if m.is_store {
+                let first = m.addr >> 3;
+                let last = (m.addr + u64::from(m.bytes) - 1) >> 3;
+                for chunk in first..=last {
+                    self.mem_writer.insert(chunk, pos);
+                }
+            }
+            // Stream stride tracking.
+            if let Some(sid) = stream_id {
+                self.streams[sid as usize].access(m.addr);
+            }
+        }
+
+        // Branch direction statistics.
+        if d.instr.is_cond_branch() {
+            let bid = self.intern_branch(d.pc);
+            if collecting {
+                self.nodes[node as usize].branch = Some(bid);
+            }
+            let b = &mut self.branches[bid as usize];
+            b.execs += 1;
+            if d.taken {
+                b.taken += 1;
+            }
+            if let Some(prev) = b.last_dir {
+                if prev != d.taken {
+                    b.transitions += 1;
+                }
+            }
+            b.last_dir = Some(d.taken);
+            // Global-history direction model (a sequence-structure
+            // attribute, not a hardware predictor): predict each branch
+            // from the last eight directions of *any* branch, capturing
+            // both self-structure and inter-branch correlation (the two
+            // predictability sources of paper 3.1.5); then update.
+            let idx = self.global_history as usize;
+            let predicted = b.counters[idx] >= 2;
+            if predicted == d.taken {
+                b.history_hits += 1;
+            }
+            let c = &mut b.counters[idx];
+            *c = if d.taken { (*c + 1).min(3) } else { c.saturating_sub(1) };
+            self.global_history = self.global_history.wrapping_shl(1) | u8::from(d.taken);
+        }
+
+        // Block end.
+        let ends = d.instr.is_control() || matches!(d.instr, Instr::Halt);
+        if ends {
+            self.nodes[node as usize].collecting = false;
+            self.prev_node = node;
+            self.cur_node = None;
+        }
+
+        self.pos += 1;
+    }
+}
+
+/// Profiles a program for up to `limit` retired instructions — the
+/// convenience entry point combining the functional simulator and the
+/// [`Profiler`].
+///
+/// # Panics
+///
+/// Panics if the program faults (escapes its text section); the benchmark
+/// kernels and synthesized clones never do.
+pub fn profile_program(program: &Program, limit: u64) -> WorkloadProfile {
+    let mut profiler = Profiler::new(program.name());
+    let mut sim = Simulator::new(program);
+    sim.run_with(limit, &mut profiler).expect("program faulted during profiling");
+    profiler.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perfclone_isa::{MemWidth, ProgramBuilder, Reg, StreamDesc};
+
+    fn r(i: u8) -> Reg {
+        Reg::new(i)
+    }
+
+    /// A loop with one strided load, one biased branch.
+    fn strided_loop(n: i64, stride: i64) -> Program {
+        let mut b = ProgramBuilder::new("strided");
+        let id = b.stream(StreamDesc { base: 0x8000, stride, length: 10_000 });
+        let (i, lim, x) = (r(1), r(2), r(3));
+        b.li(i, 0);
+        b.li(lim, n);
+        let top = b.label();
+        b.bind(top);
+        b.ld_stream(x, id, MemWidth::B8);
+        b.add(x, x, i);
+        b.addi(i, i, 1);
+        b.blt(i, lim, top);
+        b.halt();
+        b.build()
+    }
+
+    #[test]
+    fn sfg_structure_of_simple_loop() {
+        let p = strided_loop(100, 16);
+        let prof = profile_program(&p, 100_000);
+        // Nodes: entry block (li,li,ld,add,addi,blt), loop body (ld..blt),
+        // and the halt block.
+        assert_eq!(prof.nodes.len(), 3);
+        let body = prof
+            .nodes
+            .iter()
+            .find(|n| n.start_pc == 2)
+            .expect("loop body node");
+        assert_eq!(body.execs, 99);
+        assert_eq!(body.size, 4);
+        // Self-edge dominates.
+        let self_edge = prof.edges.iter().find(|e| {
+            prof.nodes[e.from as usize].start_pc == 2 && prof.nodes[e.to as usize].start_pc == 2
+        });
+        assert_eq!(self_edge.unwrap().count, 98);
+    }
+
+    #[test]
+    fn stride_detection() {
+        let p = strided_loop(200, 24);
+        let prof = profile_program(&p, 100_000);
+        assert_eq!(prof.streams.len(), 1);
+        let s = &prof.streams[0];
+        assert_eq!(s.dominant_stride, 24);
+        assert_eq!(s.execs, 200);
+        assert_eq!(s.dominant_count, 199);
+        assert!((prof.stride_coverage() - 1.0).abs() < 1e-12);
+        assert_eq!(s.distinct_strides, 1);
+    }
+
+    #[test]
+    fn branch_statistics() {
+        let p = strided_loop(100, 8);
+        let prof = profile_program(&p, 100_000);
+        assert_eq!(prof.branches.len(), 1);
+        let b = &prof.branches[0];
+        assert_eq!(b.execs, 100);
+        assert_eq!(b.taken, 99);
+        // Directions: 99 taken then 1 not-taken -> one transition.
+        assert_eq!(b.transitions, 1);
+        assert!(b.taken_rate() > 0.98);
+        assert!(b.transition_rate() < 0.02);
+    }
+
+    #[test]
+    fn alternating_branch_has_high_transition_rate() {
+        // Branch taken iff i is even.
+        let mut b = ProgramBuilder::new("alt");
+        let (i, lim, t) = (r(1), r(2), r(3));
+        b.li(i, 0);
+        b.li(lim, 100);
+        let top = b.label();
+        let skip = b.label();
+        b.bind(top);
+        b.andi(t, i, 1);
+        b.bnez(t, skip);
+        b.nop();
+        b.bind(skip);
+        b.addi(i, i, 1);
+        b.blt(i, lim, top);
+        b.halt();
+        let prof = profile_program(&b.build(), 100_000);
+        let alt = prof.branches.iter().find(|br| br.pc == 3).unwrap();
+        assert!(alt.transition_rate() > 0.95, "rate = {}", alt.transition_rate());
+        assert!((alt.taken_rate() - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn register_dependency_distances() {
+        // add consumes the value produced by the instruction 1 earlier.
+        let mut b = ProgramBuilder::new("dep");
+        b.li(r(1), 5);
+        b.addi(r(2), r(1), 1); // distance 1
+        b.nop();
+        b.nop();
+        b.add(r(3), r(2), r(1)); // distances 3 and 4
+        b.halt();
+        let prof = profile_program(&b.build(), 100);
+        let mut merged = DepHistogram::new();
+        for c in &prof.contexts {
+            merged.merge(&c.reg_deps);
+        }
+        assert_eq!(merged.total(), 3);
+        assert_eq!(merged.counts()[0], 1); // distance 1
+        assert_eq!(merged.counts()[2], 2); // distances 3, 4 in <=4 bucket
+    }
+
+    #[test]
+    fn memory_dependency_distances() {
+        let mut b = ProgramBuilder::new("memdep");
+        let a = b.alloc(8);
+        b.li(r(1), a as i64);
+        b.li(r(2), 42);
+        b.sd(r(2), r(1), 0);
+        b.nop();
+        b.ld(r(3), r(1), 0); // store->load distance 2
+        b.halt();
+        let prof = profile_program(&b.build(), 100);
+        let mut merged = DepHistogram::new();
+        for c in &prof.contexts {
+            merged.merge(&c.mem_deps);
+        }
+        assert_eq!(merged.total(), 1);
+        assert_eq!(merged.counts()[1], 1); // <=2 bucket
+    }
+
+    #[test]
+    fn profile_counts_all_instructions() {
+        let p = strided_loop(10, 8);
+        let prof = profile_program(&p, 100_000);
+        // 2 setup + 10 * 4 loop + halt
+        assert_eq!(prof.total_instrs, 2 + 40 + 1);
+        let execs_weighted: u64 =
+            prof.nodes.iter().map(|n| u64::from(n.size) * n.execs).sum();
+        assert_eq!(execs_weighted, prof.total_instrs);
+    }
+
+    #[test]
+    fn mean_block_size_is_weighted() {
+        let p = strided_loop(100, 8);
+        let prof = profile_program(&p, 100_000);
+        let m = prof.mean_block_size();
+        assert!(m > 3.0 && m < 7.0, "mean block size {m}");
+    }
+}

@@ -1,0 +1,157 @@
+//! Human-readable characterization reports — the §3.1 attributes rendered
+//! the way a workload-characterization study would present them.
+
+use std::fmt::Write as _;
+
+use perfclone_isa::InstrClass;
+
+use crate::model::WorkloadProfile;
+
+/// Renders a multi-section text report of a profile: run summary,
+/// instruction mix, basic-block statistics, dependency distances, stream
+/// table, and branch table.
+///
+/// # Example
+///
+/// ```
+/// use perfclone_isa::{ProgramBuilder, Reg};
+/// use perfclone_profile::{profile_program, render_report};
+///
+/// let mut b = ProgramBuilder::new("tiny");
+/// b.li(Reg::new(1), 1);
+/// b.halt();
+/// let report = render_report(&profile_program(&b.build(), 1_000));
+/// assert!(report.contains("instruction mix"));
+/// ```
+pub fn render_report(profile: &WorkloadProfile) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "workload profile: {}", profile.name);
+    let _ = writeln!(out, "  dynamic instructions : {}", profile.total_instrs);
+    let _ = writeln!(out, "  SFG nodes / edges    : {} / {}", profile.nodes.len(), profile.edges.len());
+    let _ = writeln!(out, "  contexts             : {}", profile.contexts.len());
+    let _ = writeln!(out, "  mean basic block     : {:.2} instructions", profile.mean_block_size());
+    let _ = writeln!(out, "  unique streams       : {}", profile.unique_streams());
+    let _ = writeln!(
+        out,
+        "  single-stride coverage (Fig. 3 metric): {:.1}%",
+        100.0 * profile.stride_coverage()
+    );
+
+    let _ = writeln!(out, "\ninstruction mix:");
+    let mix = profile.global_mix();
+    for class in InstrClass::ALL {
+        let share = mix[class.index()];
+        if share > 0.0005 {
+            let bar = "#".repeat((share * 60.0).round() as usize);
+            let _ = writeln!(out, "  {:8} {:5.1}%  {}", class.label(), 100.0 * share, bar);
+        }
+    }
+
+    let _ = writeln!(out, "\ndependency distances (register, dynamic-weighted):");
+    let mut merged = crate::hist::DepHistogram::new();
+    for c in &profile.contexts {
+        merged.merge(&c.reg_deps);
+    }
+    let probs = merged.probabilities();
+    let labels = ["=1", "<=2", "<=4", "<=6", "<=8", "<=16", "<=32", ">32"];
+    for (label, p) in labels.iter().zip(probs.iter()) {
+        let bar = "#".repeat((p * 60.0).round() as usize);
+        let _ = writeln!(out, "  {:4} {:5.1}%  {}", label, 100.0 * p, bar);
+    }
+
+    let _ = writeln!(out, "\ntop streams (by dynamic references):");
+    let mut streams: Vec<_> = profile.streams.iter().collect();
+    streams.sort_by_key(|s| std::cmp::Reverse(s.execs));
+    for s in streams.iter().take(12) {
+        let _ = writeln!(
+            out,
+            "  pc {:6} {:5} stride {:6} x{:<9} run {:8.1} footprint {:8} B",
+            s.pc,
+            if s.is_store { "store" } else { "load" },
+            s.dominant_stride,
+            s.execs,
+            s.mean_run_len,
+            s.max_addr - s.min_addr + u64::from(s.width)
+        );
+    }
+
+    let _ = writeln!(out, "\ntop branches (by executions):");
+    let mut branches: Vec<_> = profile.branches.iter().collect();
+    branches.sort_by_key(|b| std::cmp::Reverse(b.execs));
+    for b in branches.iter().take(12) {
+        let _ = writeln!(
+            out,
+            "  pc {:6} x{:<9} taken {:5.1}%  transition {:5.1}%  predictability {:5.1}%",
+            b.pc,
+            b.execs,
+            100.0 * b.taken_rate(),
+            100.0 * b.transition_rate(),
+            100.0 * b.predictability()
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collect::profile_program;
+    use perfclone_isa::{MemWidth, ProgramBuilder, Reg, StreamDesc};
+
+    #[test]
+    fn report_contains_all_sections() {
+        let mut b = ProgramBuilder::new("rpt");
+        let id = b.stream(StreamDesc { base: 0x1000, stride: 8, length: 64 });
+        let (i, n) = (Reg::new(1), Reg::new(2));
+        b.li(i, 0);
+        b.li(n, 50);
+        let top = b.label();
+        b.bind(top);
+        b.ld_stream(Reg::new(3), id, MemWidth::B8);
+        b.addi(i, i, 1);
+        b.blt(i, n, top);
+        b.halt();
+        let profile = profile_program(&b.build(), u64::MAX);
+        let text = render_report(&profile);
+        for needle in [
+            "workload profile: rpt",
+            "instruction mix",
+            "dependency distances",
+            "top streams",
+            "top branches",
+            "single-stride coverage",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in report");
+        }
+    }
+
+    #[test]
+    fn report_orders_streams_by_references() {
+        // Two loops with different trip counts: the hotter static load
+        // must be listed first.
+        let mut b = ProgramBuilder::new("two");
+        let hot = b.stream(StreamDesc { base: 0x1000, stride: 8, length: 16 });
+        let cold = b.stream(StreamDesc { base: 0x9000, stride: 8, length: 16 });
+        let (i, n) = (Reg::new(1), Reg::new(2));
+        b.li(i, 0);
+        b.li(n, 80);
+        let top1 = b.label();
+        b.bind(top1);
+        b.ld_stream(Reg::new(3), hot, MemWidth::B8);
+        b.addi(i, i, 1);
+        b.blt(i, n, top1);
+        b.li(i, 0);
+        b.li(n, 40);
+        let top2 = b.label();
+        b.bind(top2);
+        b.ld_stream(Reg::new(5), cold, MemWidth::B8);
+        b.addi(i, i, 1);
+        b.blt(i, n, top2);
+        b.halt();
+        let profile = profile_program(&b.build(), u64::MAX);
+        let text = render_report(&profile);
+        let hot_pos = text.find("x80").expect("hot stream listed");
+        let cold_pos = text.find("x40").expect("cold stream listed");
+        assert!(hot_pos < cold_pos, "hot stream should come first");
+    }
+}

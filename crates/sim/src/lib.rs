@@ -1,0 +1,41 @@
+//! # perfclone-sim
+//!
+//! Functional (instruction-accurate) simulator for the `perfclone-isa`
+//! instruction set, with instrumentation hooks.
+//!
+//! This crate plays the role SimpleScalar's `sim-safe` plus an ATOM/PIN-style
+//! instrumentation layer play in the original paper: it executes a
+//! [`Program`](perfclone_isa::Program) and surfaces every retired instruction
+//! as a [`DynInstr`] record to an [`Observer`] — the raw material from which
+//! `perfclone-profile` measures the microarchitecture-independent workload
+//! attributes and which `perfclone-uarch` replays through its timing model.
+//!
+//! # Example
+//!
+//! ```
+//! use perfclone_isa::{ProgramBuilder, Reg};
+//! use perfclone_sim::Simulator;
+//!
+//! let mut b = ProgramBuilder::new("answer");
+//! b.li(Reg::new(1), 6);
+//! b.li(Reg::new(2), 7);
+//! b.mul(Reg::new(3), Reg::new(1), Reg::new(2));
+//! b.halt();
+//! let program = b.build();
+//!
+//! let mut sim = Simulator::new(&program);
+//! let outcome = sim.run(1_000)?;
+//! assert!(outcome.halted);
+//! assert_eq!(sim.state().reg(Reg::new(3)), 42);
+//! # Ok::<(), perfclone_sim::SimError>(())
+//! ```
+
+mod exec;
+mod mem;
+mod state;
+mod trace;
+
+pub use exec::{RunOutcome, SimError, Simulator};
+pub use mem::Memory;
+pub use state::ArchState;
+pub use trace::{CountingObserver, DynInstr, MemAccess, NullObserver, Observer, Trace};

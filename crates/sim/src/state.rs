@@ -1,0 +1,107 @@
+//! Architectural register state.
+
+use perfclone_isa::{FReg, Reg};
+
+/// The architectural state of one hardware context: 32 integer registers,
+/// 32 floating-point registers, the program counter, and the per-stream
+/// access counters used by auto-stride addressing.
+///
+/// `r0` reads as zero and ignores writes.
+#[derive(Clone, Debug)]
+pub struct ArchState {
+    iregs: [i64; 32],
+    fregs: [f64; 32],
+    pc: u32,
+    stream_pos: Vec<u64>,
+}
+
+impl ArchState {
+    /// Creates a zeroed state with `num_streams` stream cursors, starting at
+    /// instruction index `entry`.
+    pub fn new(entry: u32, num_streams: usize) -> ArchState {
+        ArchState { iregs: [0; 32], fregs: [0.0; 32], pc: entry, stream_pos: vec![0; num_streams] }
+    }
+
+    /// Current program counter (instruction index).
+    #[inline]
+    pub fn pc(&self) -> u32 {
+        self.pc
+    }
+
+    /// Sets the program counter.
+    #[inline]
+    pub fn set_pc(&mut self, pc: u32) {
+        self.pc = pc;
+    }
+
+    /// Reads an integer register (`r0` reads as 0).
+    #[inline]
+    pub fn reg(&self, r: Reg) -> i64 {
+        self.iregs[r.index() as usize]
+    }
+
+    /// Writes an integer register (writes to `r0` are ignored).
+    #[inline]
+    pub fn set_reg(&mut self, r: Reg, value: i64) {
+        if !r.is_zero() {
+            self.iregs[r.index() as usize] = value;
+        }
+    }
+
+    /// Reads a floating-point register.
+    #[inline]
+    pub fn freg(&self, r: FReg) -> f64 {
+        self.fregs[r.index() as usize]
+    }
+
+    /// Writes a floating-point register.
+    #[inline]
+    pub fn set_freg(&mut self, r: FReg, value: f64) {
+        self.fregs[r.index() as usize] = value;
+    }
+
+    /// Returns the access counter of stream `idx` and advances it by one.
+    #[inline]
+    pub fn next_stream_pos(&mut self, idx: usize) -> u64 {
+        let pos = self.stream_pos[idx];
+        self.stream_pos[idx] += 1;
+        pos
+    }
+
+    /// Current access counter of stream `idx` without advancing.
+    #[inline]
+    pub fn stream_pos(&self, idx: usize) -> u64 {
+        self.stream_pos[idx]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_register_semantics() {
+        let mut s = ArchState::new(0, 0);
+        s.set_reg(Reg::ZERO, 99);
+        assert_eq!(s.reg(Reg::ZERO), 0);
+        s.set_reg(Reg::new(7), -5);
+        assert_eq!(s.reg(Reg::new(7)), -5);
+    }
+
+    #[test]
+    fn stream_cursors_advance_independently() {
+        let mut s = ArchState::new(0, 2);
+        assert_eq!(s.next_stream_pos(0), 0);
+        assert_eq!(s.next_stream_pos(0), 1);
+        assert_eq!(s.next_stream_pos(1), 0);
+        assert_eq!(s.stream_pos(0), 2);
+    }
+
+    #[test]
+    fn fp_registers_are_ordinary() {
+        let mut s = ArchState::new(3, 0);
+        assert_eq!(s.pc(), 3);
+        s.set_freg(FReg::new(0), 2.5);
+        assert_eq!(s.freg(FReg::new(0)), 2.5);
+    }
+}

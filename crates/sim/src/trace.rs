@@ -1,0 +1,136 @@
+//! Dynamic-instruction trace records and instrumentation hooks.
+
+use perfclone_isa::Instr;
+
+/// One dynamic memory access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MemAccess {
+    /// Effective byte address.
+    pub addr: u64,
+    /// Access size in bytes.
+    pub bytes: u8,
+    /// `true` for stores.
+    pub is_store: bool,
+}
+
+/// One retired dynamic instruction, as surfaced to [`Observer`]s and yielded
+/// by [`Trace`](crate::Trace).
+///
+/// This is the interchange record between the functional core, the workload
+/// profiler, and the timing simulator: it carries everything a trace-driven
+/// microarchitecture model needs (control-flow outcome and effective
+/// address) without exposing register *values*.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DynInstr {
+    /// Program counter of the instruction (instruction index).
+    pub pc: u32,
+    /// The static instruction.
+    pub instr: Instr,
+    /// Program counter of the next retired instruction.
+    pub next_pc: u32,
+    /// For conditional branches: whether the branch was taken.
+    pub taken: bool,
+    /// For loads/stores: the dynamic access.
+    pub mem: Option<MemAccess>,
+}
+
+impl DynInstr {
+    /// Returns `true` when control did not fall through to `pc + 1`.
+    #[inline]
+    pub fn redirected(&self) -> bool {
+        self.next_pc != self.pc.wrapping_add(1)
+    }
+}
+
+/// Instrumentation hook invoked once per retired instruction, in program
+/// order — the ATOM/PIN analysis-routine analogue (paper §3.1).
+pub trait Observer {
+    /// Called after `d` retires.
+    fn on_retire(&mut self, d: &DynInstr);
+}
+
+/// An [`Observer`] that ignores every event.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullObserver;
+
+impl Observer for NullObserver {
+    #[inline]
+    fn on_retire(&mut self, _d: &DynInstr) {}
+}
+
+/// An [`Observer`] that counts retired instructions by kind — handy in tests
+/// and as a usage example for custom observers.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CountingObserver {
+    /// Total retired instructions.
+    pub instrs: u64,
+    /// Retired loads.
+    pub loads: u64,
+    /// Retired stores.
+    pub stores: u64,
+    /// Retired conditional branches.
+    pub branches: u64,
+    /// Taken conditional branches.
+    pub taken_branches: u64,
+}
+
+impl Observer for CountingObserver {
+    fn on_retire(&mut self, d: &DynInstr) {
+        self.instrs += 1;
+        if let Some(m) = d.mem {
+            if m.is_store {
+                self.stores += 1;
+            } else {
+                self.loads += 1;
+            }
+        }
+        if d.instr.is_cond_branch() {
+            self.branches += 1;
+            if d.taken {
+                self.taken_branches += 1;
+            }
+        }
+    }
+}
+
+impl<O: Observer + ?Sized> Observer for &mut O {
+    #[inline]
+    fn on_retire(&mut self, d: &DynInstr) {
+        (**self).on_retire(d);
+    }
+}
+
+/// An iterator over the dynamic instruction stream of a program.
+///
+/// Wraps a [`Simulator`](crate::Simulator) and yields one [`DynInstr`] per
+/// retired instruction until the program halts, the instruction budget is
+/// exhausted, or the program faults.
+#[derive(Debug)]
+pub struct Trace<'p> {
+    sim: crate::Simulator<'p>,
+    remaining: u64,
+}
+
+impl<'p> Trace<'p> {
+    pub(crate) fn new(sim: crate::Simulator<'p>, limit: u64) -> Trace<'p> {
+        Trace { sim, remaining: limit }
+    }
+
+    /// Consumes the trace, returning the underlying simulator (for state
+    /// inspection after the walk).
+    pub fn into_inner(self) -> crate::Simulator<'p> {
+        self.sim
+    }
+}
+
+impl Iterator for Trace<'_> {
+    type Item = DynInstr;
+
+    fn next(&mut self) -> Option<DynInstr> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        self.sim.step().ok().flatten()
+    }
+}

@@ -1,0 +1,215 @@
+//! Machine configurations: the paper's Table-2 base machine, the five
+//! Table-3 design changes, and the 28-configuration cache sweep of
+//! Figures 4 and 5.
+
+use std::fmt;
+
+use crate::cache::{Assoc, CacheConfig};
+use crate::predictor::PredictorKind;
+
+/// Issue discipline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum IssuePolicy {
+    /// Out-of-order issue from the instruction window.
+    OutOfOrder,
+    /// In-order issue (stall at the first not-ready instruction).
+    InOrder,
+}
+
+/// A complete machine configuration for the timing simulator.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MachineConfig {
+    /// Human-readable configuration name.
+    pub name: &'static str,
+    /// Instructions fetched per cycle.
+    pub fetch_width: u32,
+    /// Instructions dispatched (decoded) per cycle.
+    pub decode_width: u32,
+    /// Instructions issued per cycle.
+    pub issue_width: u32,
+    /// Instructions committed per cycle.
+    pub commit_width: u32,
+    /// Fetch-queue capacity.
+    pub fetch_queue: u32,
+    /// Reorder-buffer entries.
+    pub rob_size: u32,
+    /// Load/store-queue entries.
+    pub lsq_size: u32,
+    /// Integer ALUs.
+    pub int_alu: u32,
+    /// Integer multiply/divide units.
+    pub int_mul: u32,
+    /// FP adders/ALUs.
+    pub fp_alu: u32,
+    /// FP multiply/divide units.
+    pub fp_mul: u32,
+    /// D-cache ports.
+    pub mem_ports: u32,
+    /// Issue discipline.
+    pub issue_policy: IssuePolicy,
+    /// Branch predictor.
+    pub predictor: PredictorKind,
+    /// L1 instruction cache.
+    pub l1i: CacheConfig,
+    /// L1 data cache.
+    pub l1d: CacheConfig,
+    /// Unified L2 cache.
+    pub l2: CacheConfig,
+    /// L1-miss-to-L2-hit latency (cycles).
+    pub l2_latency: u32,
+    /// L2-miss first-block memory latency (cycles).
+    pub mem_latency: u32,
+    /// Memory bus width (bytes per cycle for line transfer).
+    pub mem_bus_bytes: u32,
+}
+
+impl fmt::Display for MachineConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({}-wide {:?}, ROB {}, LSQ {}, L1D {}, {})",
+            self.name,
+            self.issue_width,
+            self.issue_policy,
+            self.rob_size,
+            self.lsq_size,
+            self.l1d,
+            self.predictor
+        )
+    }
+}
+
+/// The paper's Table-2 base configuration: 16 KB 2-way L1 caches, 64 KB
+/// 4-way unified L2, 1-wide out-of-order, 16-entry ROB, 8-entry LSQ, 2
+/// integer ALUs, 1 FP multiplier, 1 FP ALU, 2-level GAp predictor, 8-byte
+/// 40-cycle memory.
+pub fn base_config() -> MachineConfig {
+    MachineConfig {
+        name: "base",
+        fetch_width: 1,
+        decode_width: 1,
+        issue_width: 1,
+        commit_width: 1,
+        fetch_queue: 8,
+        rob_size: 16,
+        lsq_size: 8,
+        int_alu: 2,
+        int_mul: 1,
+        fp_alu: 1,
+        fp_mul: 1,
+        mem_ports: 1,
+        issue_policy: IssuePolicy::OutOfOrder,
+        predictor: PredictorKind::TwoLevelGAp { history_bits: 8, addr_bits: 4 },
+        l1i: CacheConfig::new(16 * 1024, Assoc::Ways(2), 32),
+        l1d: CacheConfig::new(16 * 1024, Assoc::Ways(2), 32),
+        l2: CacheConfig::new(64 * 1024, Assoc::Ways(4), 64),
+        l2_latency: 6,
+        mem_latency: 40,
+        mem_bus_bytes: 8,
+    }
+}
+
+/// Design change 1 (Table 3): double the ROB and LSQ.
+pub fn change_double_window() -> MachineConfig {
+    MachineConfig { name: "2x-rob-lsq", rob_size: 32, lsq_size: 16, ..base_config() }
+}
+
+/// Design change 2 (Table 3): halve the L1 D-cache (16 KB → 8 KB).
+pub fn change_half_l1d() -> MachineConfig {
+    MachineConfig {
+        name: "half-l1d",
+        l1d: CacheConfig::new(8 * 1024, Assoc::Ways(2), 32),
+        ..base_config()
+    }
+}
+
+/// Design change 3 (Table 3): double the fetch, decode, and issue width.
+pub fn change_double_width() -> MachineConfig {
+    MachineConfig {
+        name: "2x-width",
+        fetch_width: 2,
+        decode_width: 2,
+        issue_width: 2,
+        commit_width: 2,
+        ..base_config()
+    }
+}
+
+/// Design change 4 (Table 3): replace the 2-level GAp predictor with
+/// always-not-taken.
+pub fn change_not_taken_predictor() -> MachineConfig {
+    MachineConfig { name: "not-taken-bp", predictor: PredictorKind::NotTaken, ..base_config() }
+}
+
+/// Design change 5 (Table 3): switch instruction issue to in-order.
+pub fn change_in_order() -> MachineConfig {
+    MachineConfig { name: "in-order", issue_policy: IssuePolicy::InOrder, ..base_config() }
+}
+
+/// All five Table-3 design changes, in the paper's order.
+pub fn design_changes() -> [MachineConfig; 5] {
+    [
+        change_double_window(),
+        change_half_l1d(),
+        change_double_width(),
+        change_not_taken_predictor(),
+        change_in_order(),
+    ]
+}
+
+/// The 28 L1 D-cache configurations of Figures 4 and 5: sizes 256 B to
+/// 16 KB (powers of two) × {direct-mapped, 2-way, 4-way, fully
+/// associative}, 32 B lines, LRU.
+pub fn cache_sweep() -> Vec<CacheConfig> {
+    let mut out = Vec::new();
+    let mut size = 256u64;
+    while size <= 16 * 1024 {
+        for assoc in [Assoc::Ways(1), Assoc::Ways(2), Assoc::Ways(4), Assoc::Full] {
+            out.push(CacheConfig::new(size, assoc, 32));
+        }
+        size *= 2;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_has_28_configs_relative_to_smallest_dm() {
+        let sweep = cache_sweep();
+        assert_eq!(sweep.len(), 28);
+        assert_eq!(sweep[0], CacheConfig::new(256, Assoc::Ways(1), 32));
+        assert_eq!(*sweep.last().unwrap(), CacheConfig::new(16 * 1024, Assoc::Full, 32));
+    }
+
+    #[test]
+    fn base_matches_table_2() {
+        let c = base_config();
+        assert_eq!(c.rob_size, 16);
+        assert_eq!(c.lsq_size, 8);
+        assert_eq!(c.issue_width, 1);
+        assert_eq!(c.int_alu, 2);
+        assert_eq!(c.l1d.size_bytes, 16 * 1024);
+        assert_eq!(c.l2.size_bytes, 64 * 1024);
+        assert_eq!(c.mem_latency, 40);
+        assert_eq!(c.mem_bus_bytes, 8);
+        assert!(matches!(c.predictor, PredictorKind::TwoLevelGAp { .. }));
+    }
+
+    #[test]
+    fn design_changes_differ_from_base_in_one_axis() {
+        let base = base_config();
+        let changes = design_changes();
+        assert_eq!(changes.len(), 5);
+        assert_eq!(changes[0].rob_size, 2 * base.rob_size);
+        assert_eq!(changes[1].l1d.size_bytes, base.l1d.size_bytes / 2);
+        assert_eq!(changes[2].issue_width, 2 * base.issue_width);
+        assert_eq!(changes[3].predictor, PredictorKind::NotTaken);
+        assert_eq!(changes[4].issue_policy, IssuePolicy::InOrder);
+        for c in &changes {
+            assert_ne!(c.name, base.name);
+        }
+    }
+}

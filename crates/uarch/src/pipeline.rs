@@ -1,0 +1,713 @@
+//! Trace-driven superscalar pipeline timing model (the SimpleScalar
+//! `sim-outorder` analogue).
+//!
+//! The pipeline consumes the correct-path retired-instruction stream of the
+//! functional core ([`DynInstr`]) and models fetch (I-cache + branch
+//! prediction), dispatch into a ROB/LSQ, out-of-order or in-order issue over
+//! a functional-unit pool, execution latencies, a two-level data-cache
+//! hierarchy, and in-order commit. Branch mispredictions stall fetch from
+//! the mispredicted branch until it resolves, modelling the wrong-path
+//! bubble without executing wrong-path instructions.
+
+use std::collections::VecDeque;
+
+use perfclone_isa::InstrClass;
+use perfclone_sim::DynInstr;
+
+use crate::cache::{Cache, CacheStats};
+use crate::config::{IssuePolicy, MachineConfig};
+use crate::predictor::{BranchPredictor, PredictorStats};
+
+/// Execution latency (cycles) for an instruction class, excluding memory.
+fn exec_latency(class: InstrClass) -> u32 {
+    match class {
+        InstrClass::IntAlu | InstrClass::Branch | InstrClass::Jump => 1,
+        InstrClass::IntMul => 3,
+        InstrClass::IntDiv => 20,
+        InstrClass::FpAlu => 2,
+        InstrClass::FpMul => 4,
+        InstrClass::FpDiv => 12,
+        InstrClass::Load | InstrClass::Store => 1, // address generation
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum EntryState {
+    Waiting,
+    Executing { done_at: u64 },
+    Done,
+}
+
+#[derive(Clone, Debug)]
+struct RobEntry {
+    seq: u64,
+    class: InstrClass,
+    state: EntryState,
+    deps: Vec<u64>,
+    is_store: bool,
+    is_load: bool,
+    addr: u64,
+    bytes: u8,
+    mispredicted: bool,
+    num_uses: u8,
+    num_defs: u8,
+}
+
+impl RobEntry {
+    fn overlaps(&self, other: &RobEntry) -> bool {
+        let a0 = self.addr;
+        let a1 = self.addr + u64::from(self.bytes);
+        let b0 = other.addr;
+        let b1 = other.addr + u64::from(other.bytes);
+        a0 < b1 && b0 < a1
+    }
+}
+
+/// Per-structure activity counts for the power model.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Activity {
+    /// Instructions fetched.
+    pub fetches: u64,
+    /// Instructions dispatched into the window.
+    pub dispatches: u64,
+    /// Instructions issued to functional units.
+    pub issues: u64,
+    /// Instructions committed.
+    pub commits: u64,
+    /// Integer ALU operations executed (incl. branches).
+    pub int_alu_ops: u64,
+    /// Integer multiply/divide operations executed.
+    pub int_mul_ops: u64,
+    /// FP ALU operations executed.
+    pub fp_alu_ops: u64,
+    /// FP multiply/divide operations executed.
+    pub fp_mul_ops: u64,
+    /// Architectural register file reads.
+    pub regfile_reads: u64,
+    /// Architectural register file writes.
+    pub regfile_writes: u64,
+    /// Sum over cycles of ROB occupancy (for mean occupancy).
+    pub rob_occupancy_sum: u64,
+    /// Sum over cycles of LSQ occupancy.
+    pub lsq_occupancy_sum: u64,
+    /// Cycles the fetch stage was stalled on a branch misprediction.
+    pub mispredict_stall_cycles: u64,
+    /// Cycles the fetch stage was stalled on an I-cache miss.
+    pub icache_stall_cycles: u64,
+}
+
+/// Results of one pipeline run.
+#[derive(Clone, Copy, Debug)]
+pub struct PipelineReport {
+    /// Total simulation cycles.
+    pub cycles: u64,
+    /// Instructions committed.
+    pub instrs: u64,
+    /// L1 I-cache statistics.
+    pub l1i: CacheStats,
+    /// L1 D-cache statistics.
+    pub l1d: CacheStats,
+    /// Unified L2 statistics.
+    pub l2: CacheStats,
+    /// Branch predictor statistics.
+    pub bpred: PredictorStats,
+    /// Structure activity counts.
+    pub activity: Activity,
+}
+
+impl PipelineReport {
+    /// Committed instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instrs as f64 / self.cycles as f64
+        }
+    }
+
+    /// L1-D misses per committed instruction.
+    pub fn l1d_mpi(&self) -> f64 {
+        if self.instrs == 0 {
+            0.0
+        } else {
+            self.l1d.misses as f64 / self.instrs as f64
+        }
+    }
+}
+
+/// The pipeline simulator. Construct with a [`MachineConfig`], then feed a
+/// trace with [`run`](Pipeline::run).
+#[derive(Debug)]
+pub struct Pipeline {
+    config: MachineConfig,
+    l1i: Cache,
+    l1d: Cache,
+    l2: Cache,
+    bpred: BranchPredictor,
+    cycle: u64,
+    rob: VecDeque<RobEntry>,
+    lsq_count: u32,
+    fetch_queue: VecDeque<RobEntry>,
+    next_seq: u64,
+    fetch_blocked_on: Option<u64>,
+    icache_ready_at: u64,
+    last_fetch_line: u64,
+    int_div_busy_until: u64,
+    fp_div_busy_until: u64,
+    last_writer: [Option<u64>; 64],
+    activity: Activity,
+    committed: u64,
+}
+
+impl Pipeline {
+    /// Creates a pipeline with cold caches and predictor.
+    pub fn new(config: MachineConfig) -> Pipeline {
+        Pipeline {
+            config,
+            l1i: Cache::new(config.l1i),
+            l1d: Cache::new(config.l1d),
+            l2: Cache::new(config.l2),
+            bpred: BranchPredictor::new(config.predictor),
+            cycle: 0,
+            rob: VecDeque::new(),
+            lsq_count: 0,
+            fetch_queue: VecDeque::new(),
+            next_seq: 0,
+            fetch_blocked_on: None,
+            icache_ready_at: 0,
+            last_fetch_line: u64::MAX,
+            int_div_busy_until: 0,
+            fp_div_busy_until: 0,
+            last_writer: [None; 64],
+            activity: Activity::default(),
+            committed: 0,
+        }
+    }
+
+    /// Runs the pipeline over a correct-path trace until every instruction
+    /// has committed, returning the report.
+    pub fn run<I: IntoIterator<Item = DynInstr>>(mut self, trace: I) -> PipelineReport {
+        let mut trace = trace.into_iter().peekable();
+        loop {
+            let trace_empty = trace.peek().is_none();
+            if trace_empty && self.rob.is_empty() && self.fetch_queue.is_empty() {
+                break;
+            }
+            self.cycle += 1;
+            self.commit();
+            self.writeback();
+            self.issue();
+            self.dispatch();
+            self.fetch(&mut trace);
+            self.activity.rob_occupancy_sum += self.rob.len() as u64;
+            self.activity.lsq_occupancy_sum += u64::from(self.lsq_count);
+            // Defensive bound: a liveness bug would otherwise spin forever.
+            debug_assert!(
+                self.cycle < 1_000 + 2_000 * (self.committed + 100),
+                "pipeline livelock at cycle {}",
+                self.cycle
+            );
+        }
+        PipelineReport {
+            cycles: self.cycle,
+            instrs: self.committed,
+            l1i: self.l1i.stats(),
+            l1d: self.l1d.stats(),
+            l2: self.l2.stats(),
+            bpred: self.bpred.stats(),
+            activity: self.activity,
+        }
+    }
+
+    /// Walks the data hierarchy for one access, returning its latency.
+    fn data_latency(&mut self, addr: u64, is_write: bool) -> u32 {
+        let r1 = self.l1d.access(addr, is_write);
+        if r1.hit {
+            return 1;
+        }
+        let r2 = self.l2.access(addr, false);
+        if r1.writeback {
+            // L1 victim write-back consumes an L2 write access.
+            self.l2.access(addr, true);
+        }
+        if r2.hit {
+            1 + self.config.l2_latency
+        } else {
+            1 + self.config.l2_latency
+                + self.config.mem_latency
+                + self.config.l2.line_bytes / self.config.mem_bus_bytes
+        }
+    }
+
+    fn instr_latency(&mut self, e: &RobEntry) -> u32 {
+        if e.is_load {
+            // Forwarding from an older in-flight store was detected at
+            // issue-readiness time; if we got here with an overlapping Done
+            // store still in the ROB, forward in one cycle.
+            let fwd = self
+                .rob
+                .iter()
+                .take_while(|o| o.seq != e.seq)
+                .any(|o| o.is_store && o.overlaps(e));
+            if fwd {
+                2 // agen + forward
+            } else {
+                1 + self.data_latency(e.addr, false)
+            }
+        } else {
+            exec_latency(e.class)
+        }
+    }
+
+    fn commit(&mut self) {
+        for _ in 0..self.config.commit_width {
+            match self.rob.front() {
+                Some(e) if e.state == EntryState::Done => {}
+                _ => break,
+            }
+            let e = self.rob.pop_front().expect("checked front");
+            if e.is_store {
+                // Stores write the D-cache at commit; latency is absorbed
+                // by the write buffer.
+                let r1 = self.l1d.access(e.addr, true);
+                if !r1.hit {
+                    self.l2.access(e.addr, false);
+                    if r1.writeback {
+                        self.l2.access(e.addr, true);
+                    }
+                }
+            }
+            if e.is_store || e.is_load {
+                self.lsq_count -= 1;
+            }
+            self.activity.commits += 1;
+            self.activity.regfile_writes += u64::from(e.num_defs);
+            self.committed += 1;
+        }
+    }
+
+    fn writeback(&mut self) {
+        let cycle = self.cycle;
+        let mut finished: Vec<u64> = Vec::new();
+        for e in self.rob.iter_mut() {
+            if let EntryState::Executing { done_at } = e.state {
+                if done_at <= cycle {
+                    e.state = EntryState::Done;
+                    finished.push(e.seq);
+                    if e.mispredicted && self.fetch_blocked_on == Some(e.seq) {
+                        self.fetch_blocked_on = None;
+                    }
+                }
+            }
+        }
+        if !finished.is_empty() {
+            for e in self.rob.iter_mut() {
+                e.deps.retain(|d| !finished.contains(d));
+            }
+            for e in self.fetch_queue.iter_mut() {
+                e.deps.retain(|d| !finished.contains(d));
+            }
+        }
+    }
+
+    fn issue(&mut self) {
+        let mut budget = self.config.issue_width;
+        let mut int_alu_free = self.config.int_alu;
+        let mut int_mul_free = self.config.int_mul;
+        let mut fp_alu_free = self.config.fp_alu;
+        let mut fp_mul_free = self.config.fp_mul;
+        let mut mem_ports_free = self.config.mem_ports;
+        let cycle = self.cycle;
+
+        let mut idx = 0;
+        while idx < self.rob.len() && budget > 0 {
+            if self.rob[idx].state != EntryState::Waiting {
+                idx += 1;
+                continue;
+            }
+            let ready = self.rob[idx].deps.is_empty() && self.load_ready(idx);
+            let unit_ok = match self.rob[idx].class {
+                InstrClass::IntAlu | InstrClass::Branch | InstrClass::Jump => int_alu_free > 0,
+                InstrClass::IntMul => int_mul_free > 0 && self.int_div_busy_until <= cycle,
+                InstrClass::IntDiv => int_mul_free > 0 && self.int_div_busy_until <= cycle,
+                InstrClass::FpAlu => fp_alu_free > 0,
+                InstrClass::FpMul => fp_mul_free > 0 && self.fp_div_busy_until <= cycle,
+                InstrClass::FpDiv => fp_mul_free > 0 && self.fp_div_busy_until <= cycle,
+                InstrClass::Load | InstrClass::Store => mem_ports_free > 0,
+            };
+            if ready && unit_ok {
+                let lat = {
+                    let e = self.rob[idx].clone();
+                    self.instr_latency(&e)
+                };
+                let e = &mut self.rob[idx];
+                e.state = EntryState::Executing { done_at: cycle + u64::from(lat) };
+                budget -= 1;
+                self.activity.issues += 1;
+                self.activity.regfile_reads += u64::from(e.num_uses);
+                match e.class {
+                    InstrClass::IntAlu | InstrClass::Branch | InstrClass::Jump => {
+                        int_alu_free -= 1;
+                        self.activity.int_alu_ops += 1;
+                    }
+                    InstrClass::IntMul => {
+                        int_mul_free -= 1;
+                        self.activity.int_mul_ops += 1;
+                    }
+                    InstrClass::IntDiv => {
+                        int_mul_free -= 1;
+                        self.int_div_busy_until = cycle + u64::from(lat);
+                        self.activity.int_mul_ops += 1;
+                    }
+                    InstrClass::FpAlu => {
+                        fp_alu_free -= 1;
+                        self.activity.fp_alu_ops += 1;
+                    }
+                    InstrClass::FpMul => {
+                        fp_mul_free -= 1;
+                        self.activity.fp_mul_ops += 1;
+                    }
+                    InstrClass::FpDiv => {
+                        fp_mul_free -= 1;
+                        self.fp_div_busy_until = cycle + u64::from(lat);
+                        self.activity.fp_mul_ops += 1;
+                    }
+                    InstrClass::Load | InstrClass::Store => {
+                        mem_ports_free -= 1;
+                    }
+                }
+            } else if self.config.issue_policy == IssuePolicy::InOrder {
+                // In-order issue: stop at the first instruction that cannot
+                // issue this cycle.
+                break;
+            }
+            idx += 1;
+        }
+    }
+
+    /// Loads may not issue past an older overlapping store that has not
+    /// finished address generation/execution.
+    fn load_ready(&self, idx: usize) -> bool {
+        if !self.rob[idx].is_load {
+            return true;
+        }
+        let load = &self.rob[idx];
+        for older in self.rob.iter().take(idx) {
+            if older.is_store && older.overlaps(load) && older.state != EntryState::Done {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn dispatch(&mut self) {
+        for _ in 0..self.config.decode_width {
+            let Some(front) = self.fetch_queue.front() else { break };
+            if self.rob.len() >= self.config.rob_size as usize {
+                break;
+            }
+            let is_mem = front.is_load || front.is_store;
+            if is_mem && self.lsq_count >= self.config.lsq_size {
+                break;
+            }
+            let e = self.fetch_queue.pop_front().expect("checked front");
+            if is_mem {
+                self.lsq_count += 1;
+            }
+            self.activity.dispatches += 1;
+            self.rob.push_back(e);
+        }
+    }
+
+    fn fetch(&mut self, trace: &mut std::iter::Peekable<impl Iterator<Item = DynInstr>>) {
+        if let Some(seq) = self.fetch_blocked_on {
+            // Blocked until the mispredicted branch resolves; writeback
+            // clears the block.
+            let _ = seq;
+            self.activity.mispredict_stall_cycles += 1;
+            return;
+        }
+        if self.icache_ready_at > self.cycle {
+            self.activity.icache_stall_cycles += 1;
+            return;
+        }
+        let mut budget = self.config.fetch_width;
+        while budget > 0 && self.fetch_queue.len() < self.config.fetch_queue as usize {
+            let Some(d) = trace.peek().copied() else { break };
+            // I-cache access, one per new line.
+            let line_bytes = u64::from(self.config.l1i.line_bytes);
+            let line = perfclone_isa::Program::instr_addr(d.pc) / line_bytes;
+            if line != self.last_fetch_line {
+                let r = self.l1i.access(perfclone_isa::Program::instr_addr(d.pc), false);
+                self.last_fetch_line = line;
+                if !r.hit {
+                    let r2 = self.l2.access(perfclone_isa::Program::instr_addr(d.pc), false);
+                    let lat = if r2.hit {
+                        self.config.l2_latency
+                    } else {
+                        self.config.l2_latency
+                            + self.config.mem_latency
+                            + self.config.l2.line_bytes / self.config.mem_bus_bytes
+                    };
+                    self.icache_ready_at = self.cycle + u64::from(lat);
+                    return; // instruction fetched once the line arrives
+                }
+            }
+            let d = trace.next().expect("peeked");
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.activity.fetches += 1;
+
+            // Rename: record dependences on in-flight producers.
+            let mut deps = Vec::new();
+            for u in d.instr.uses() {
+                if let Some(w) = self.last_writer[u.flat_index()] {
+                    if let Some(dep) = self.inflight_dep(w) {
+                        if !deps.contains(&dep) {
+                            deps.push(dep);
+                        }
+                    }
+                }
+            }
+            let (is_load, is_store, addr, bytes) = match d.mem {
+                Some(m) => (!m.is_store, m.is_store, m.addr, m.bytes),
+                None => (false, false, 0, 0),
+            };
+            let entry = RobEntry {
+                seq,
+                class: d.instr.class(),
+                state: EntryState::Waiting,
+                deps,
+                is_store,
+                is_load,
+                addr,
+                bytes,
+                mispredicted: false,
+                num_uses: d.instr.uses().len() as u8,
+                num_defs: d.instr.defs().len() as u8,
+            };
+            // Record this instruction as the latest writer of its defs.
+            for def in d.instr.defs() {
+                self.last_writer[def.flat_index()] = Some(seq);
+            }
+            let mut entry = entry;
+            budget -= 1;
+
+            let mut stop = false;
+            if d.instr.is_cond_branch() {
+                let pred = self.bpred.predict_and_update(d.pc, d.taken);
+                if pred != d.taken {
+                    entry.mispredicted = true;
+                    self.fetch_blocked_on = Some(seq);
+                    stop = true;
+                } else if d.taken {
+                    stop = true; // taken-branch fetch break
+                }
+            } else if d.redirected() {
+                stop = true; // jumps break the fetch group
+            }
+            self.fetch_queue.push_back(entry);
+            if stop {
+                self.last_fetch_line = u64::MAX;
+                break;
+            }
+        }
+    }
+
+    /// Returns `Some(seq)` when the producer is still in flight (in the
+    /// ROB or fetch queue) and not yet done, i.e. a real wakeup dependence.
+    fn inflight_dep(&self, seq_w: u64) -> Option<u64> {
+        self.rob
+            .iter()
+            .chain(self.fetch_queue.iter())
+            .find(|e| e.seq == seq_w)
+            .and_then(|e| if e.state == EntryState::Done { None } else { Some(e.seq) })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::base_config;
+    use perfclone_isa::{ProgramBuilder, Reg};
+    use perfclone_sim::Simulator;
+
+    fn r(i: u8) -> Reg {
+        Reg::new(i)
+    }
+
+    fn run_program(p: &perfclone_isa::Program, config: MachineConfig) -> PipelineReport {
+        Pipeline::new(config).run(Simulator::trace(p, u64::MAX))
+    }
+
+    /// An independent-ALU-op loop: ILP limited only by width.
+    fn alu_loop(n: i64) -> perfclone_isa::Program {
+        let mut b = ProgramBuilder::new("alu");
+        let (i, lim) = (r(1), r(2));
+        b.li(i, 0);
+        b.li(lim, n);
+        let top = b.label();
+        b.bind(top);
+        b.addi(r(3), r(3), 1);
+        b.addi(r(4), r(4), 1);
+        b.addi(r(5), r(5), 1);
+        b.addi(r(6), r(6), 1);
+        b.addi(i, i, 1);
+        b.blt(i, lim, top);
+        b.halt();
+        b.build()
+    }
+
+    #[test]
+    fn commits_every_instruction() {
+        let p = alu_loop(100);
+        let rep = run_program(&p, base_config());
+        assert_eq!(rep.instrs, 2 + 600 + 1);
+        assert!(rep.cycles > 0);
+    }
+
+    #[test]
+    fn ipc_bounded_by_issue_width() {
+        let p = alu_loop(500);
+        let rep = run_program(&p, base_config());
+        assert!(rep.ipc() <= 1.0 + 1e-9, "ipc = {}", rep.ipc());
+        assert!(rep.ipc() > 0.5, "ipc = {}", rep.ipc());
+    }
+
+    #[test]
+    fn doubling_width_speeds_up_parallel_code() {
+        let p = alu_loop(500);
+        let base = run_program(&p, base_config());
+        let wide = run_program(&p, crate::config::change_double_width());
+        assert!(wide.ipc() > 1.2 * base.ipc(), "base {} wide {}", base.ipc(), wide.ipc());
+        assert!(wide.ipc() <= 2.0 + 1e-9);
+    }
+
+    #[test]
+    fn serial_dependence_chain_limits_ipc() {
+        // A chain of dependent multiplies: IPC ~ 1/3 (mul latency 3).
+        let mut b = ProgramBuilder::new("chain");
+        let (i, lim) = (r(1), r(2));
+        b.li(i, 0);
+        b.li(lim, 300);
+        b.li(r(3), 1);
+        let top = b.label();
+        b.bind(top);
+        b.mul(r(3), r(3), r(3));
+        b.mul(r(3), r(3), r(3));
+        b.mul(r(3), r(3), r(3));
+        b.addi(i, i, 1);
+        b.blt(i, lim, top);
+        b.halt();
+        let p = b.build();
+        let rep = run_program(&p, base_config());
+        assert!(rep.ipc() < 0.6, "ipc = {}", rep.ipc());
+    }
+
+    #[test]
+    fn mispredictions_cost_cycles() {
+        // A data-dependent unpredictable branch vs an always-taken one.
+        let build = |pattern_random: bool| {
+            let mut b = ProgramBuilder::new("br");
+            let (i, lim, x, t) = (r(1), r(2), r(3), r(4));
+            b.li(i, 0);
+            b.li(lim, 2_000);
+            b.li(x, 0x9e3779b9);
+            let top = b.label();
+            let skip = b.label();
+            b.bind(top);
+            if pattern_random {
+                // xorshift for a pseudo-random direction
+                b.srli(t, x, 13);
+                b.xor(x, x, t);
+                b.slli(t, x, 7);
+                b.xor(x, x, t);
+                b.andi(t, x, 1);
+            } else {
+                b.li(t, 0);
+            }
+            b.bnez(t, skip);
+            b.nop();
+            b.bind(skip);
+            b.addi(i, i, 1);
+            b.blt(i, lim, top);
+            b.halt();
+            b.build()
+        };
+        let predictable = run_program(&build(false), base_config());
+        let random = run_program(&build(true), base_config());
+        assert!(random.bpred.mispredict_rate() > 0.15);
+        assert!(predictable.bpred.mispredict_rate() < 0.05);
+        // Per-instruction cost must be visibly higher with random branches.
+        let cpi_p = 1.0 / predictable.ipc();
+        let cpi_r = 1.0 / random.ipc();
+        assert!(cpi_r > cpi_p, "cpi_r {cpi_r} cpi_p {cpi_p}");
+    }
+
+    #[test]
+    fn cache_misses_cost_cycles() {
+        // Stream far beyond L2 vs a tiny resident loop.
+        let build = |stride: i64, len: u32| {
+            let mut b = ProgramBuilder::new("mem");
+            let id = b.stream(perfclone_isa::StreamDesc { base: 0x10_0000, stride, length: len });
+            let (i, lim) = (r(1), r(2));
+            b.li(i, 0);
+            b.li(lim, 3_000);
+            let top = b.label();
+            b.bind(top);
+            b.ld_stream(r(3), id, perfclone_isa::MemWidth::B8);
+            b.addi(i, i, 1);
+            b.blt(i, lim, top);
+            b.halt();
+            b.build()
+        };
+        let resident = run_program(&build(8, 4), base_config());
+        let streaming = run_program(&build(64, 1 << 20), base_config());
+        assert!(streaming.l1d_mpi() > 0.2, "mpi {}", streaming.l1d_mpi());
+        assert!(resident.l1d_mpi() < 0.01, "mpi {}", resident.l1d_mpi());
+        assert!(streaming.ipc() < 0.5 * resident.ipc());
+    }
+
+    #[test]
+    fn in_order_is_not_faster_than_out_of_order() {
+        let p = alu_loop(400);
+        let ooo = run_program(&p, base_config());
+        let ino = run_program(&p, crate::config::change_in_order());
+        assert!(ino.ipc() <= ooo.ipc() + 1e-9);
+    }
+
+    #[test]
+    fn store_load_forwarding_preserves_order() {
+        // store then immediately load the same address, repeatedly.
+        let mut b = ProgramBuilder::new("fwd");
+        let a = b.alloc(8);
+        let (i, lim, p_r, v) = (r(1), r(2), r(3), r(4));
+        b.li(i, 0);
+        b.li(lim, 500);
+        b.li(p_r, a as i64);
+        let top = b.label();
+        b.bind(top);
+        b.sd(i, p_r, 0);
+        b.ld(v, p_r, 0);
+        b.add(v, v, i);
+        b.addi(i, i, 1);
+        b.blt(i, lim, top);
+        b.halt();
+        let p = b.build();
+        let rep = run_program(&p, base_config());
+        assert_eq!(rep.instrs, 3 + 500 * 5 + 1);
+        // Forwarded loads should not all miss in the cache.
+        assert!(rep.l1d_mpi() < 0.05);
+    }
+
+    #[test]
+    fn activity_counters_are_consistent() {
+        let p = alu_loop(100);
+        let rep = run_program(&p, base_config());
+        assert_eq!(rep.activity.commits, rep.instrs);
+        assert_eq!(rep.activity.fetches, rep.instrs);
+        assert_eq!(rep.activity.dispatches, rep.instrs);
+        assert_eq!(rep.activity.issues, rep.instrs);
+        assert!(rep.activity.rob_occupancy_sum > 0);
+    }
+}

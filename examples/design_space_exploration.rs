@@ -1,0 +1,66 @@
+//! Design-space exploration: pick the best microarchitecture for a
+//! telecom workload mix using only clones, optimizing IPC per unit of
+//! power — then validate the ranking against the real applications.
+//!
+//! ```sh
+//! cargo run --release --example design_space_exploration
+//! ```
+
+use perfclone_repro::prelude::*;
+use perfclone_uarch::design_changes;
+
+fn main() {
+    let names = ["adpcm_enc", "crc32", "fft", "gsm"];
+    let apps: Vec<_> = names
+        .iter()
+        .map(|n| {
+            perfclone_kernels::by_name(n)
+                .expect("kernel exists")
+                .build(perfclone_kernels::Scale::Small)
+                .program
+        })
+        .collect();
+    println!("cloning the telecom mix: {names:?} ...");
+    let clones: Vec<_> =
+        apps.iter().map(|a| Cloner::new().clone_program(a, u64::MAX).clone).collect();
+
+    let mut configs = vec![base_config()];
+    configs.extend(design_changes());
+
+    let efficiency = |programs: &[perfclone_isa::Program], cfg: &MachineConfig| -> f64 {
+        let mut sum = 0.0;
+        for p in programs {
+            let t = run_timing(p, cfg, u64::MAX);
+            sum += t.report.ipc() / t.power.average_power;
+        }
+        sum / programs.len() as f64
+    };
+
+    let mut t = Table::new(vec![
+        "config".into(),
+        "IPC/power (clone)".into(),
+        "IPC/power (real)".into(),
+    ]);
+    let mut clone_scores = Vec::new();
+    let mut real_scores = Vec::new();
+    for cfg in &configs {
+        let c = efficiency(&clones, cfg);
+        let r = efficiency(&apps, cfg);
+        clone_scores.push(c);
+        real_scores.push(r);
+        t.row(vec![cfg.name.to_string(), format!("{c:.4}"), format!("{r:.4}")]);
+    }
+    println!("\n{}", t.render());
+
+    let pick = |scores: &[f64]| {
+        scores
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| configs[i].name)
+            .expect("non-empty")
+    };
+    println!("clone-based pick: {}", pick(&clone_scores));
+    println!("real-app pick:    {}", pick(&real_scores));
+    println!("score ranking correlation: {:.3}", spearman(&clone_scores, &real_scores));
+}

@@ -1,0 +1,55 @@
+//! Quickstart: clone a "proprietary" application and check that the clone
+//! behaves like the original.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use perfclone_repro::prelude::*;
+
+fn main() {
+    // The proprietary application: one of the embedded kernels stands in
+    // for a customer workload the vendor will not share.
+    let app = perfclone_kernels::by_name("adpcm_enc")
+        .expect("kernel exists")
+        .build(perfclone_kernels::Scale::Small)
+        .program;
+
+    // Step 1 (vendor side): profile microarchitecture-independent
+    // characteristics and synthesize the clone.
+    let cloner = Cloner::new();
+    let outcome = cloner.clone_program(&app, u64::MAX);
+    let profile = &outcome.profile;
+    println!("profiled {} dynamic instructions", profile.total_instrs);
+    println!("  SFG nodes: {}", profile.nodes.len());
+    println!("  mean basic-block size: {:.1}", profile.mean_block_size());
+    println!("  unique streams: {}", profile.unique_streams());
+    println!("  single-stride coverage: {:.1}%", 100.0 * profile.stride_coverage());
+
+    // Step 2 (architect side): use the clone in place of the application.
+    let config = base_config();
+    let cmp = validate_pair(&app, &outcome.clone, &config, u64::MAX);
+    println!("\non the base machine (Table 2):");
+    println!(
+        "  IPC    real {:.3}  clone {:.3}  (error {:.1}%)",
+        cmp.real.report.ipc(),
+        cmp.synth.report.ipc(),
+        100.0 * cmp.ipc_error()
+    );
+    println!(
+        "  power  real {:.2}  clone {:.2}  (error {:.1}%)",
+        cmp.real.power.average_power,
+        cmp.synth.power.average_power,
+        100.0 * cmp.power_error()
+    );
+    println!(
+        "  L1D miss/instr  real {:.4}  clone {:.4}",
+        cmp.real.report.l1d_mpi(),
+        cmp.synth.report.l1d_mpi()
+    );
+    println!(
+        "  branch mispredict  real {:.3}  clone {:.3}",
+        cmp.real.report.bpred.mispredict_rate(),
+        cmp.synth.report.bpred.mispredict_rate()
+    );
+}

@@ -1,0 +1,22 @@
+//! Top-level crate of the performance-cloning reproduction repository.
+//!
+//! This crate exists to host the runnable [examples] and the cross-crate
+//! integration tests; the library surface simply re-exports the workspace
+//! crates so examples can `use perfclone_repro::prelude::*`.
+//!
+//! [examples]: https://doc.rust-lang.org/cargo/reference/cargo-targets.html#examples
+
+pub use perfclone;
+pub use perfclone_isa as isa;
+pub use perfclone_kernels as kernels;
+pub use perfclone_metrics as metrics;
+pub use perfclone_power as power;
+pub use perfclone_profile as profile;
+pub use perfclone_sim as sim;
+pub use perfclone_synth as synth;
+pub use perfclone_uarch as uarch;
+
+/// Convenience re-exports for examples and tests.
+pub mod prelude {
+    pub use perfclone::*;
+}

@@ -1,0 +1,139 @@
+//! Exhaustive coverage of the assembler DSL: every mnemonic must emit an
+//! instruction of the expected class and execute correctly in the
+//! functional simulator.
+
+use perfclone_isa::{FReg, InstrClass, MemWidth, ProgramBuilder, Reg, StreamDesc};
+use perfclone_sim::Simulator;
+
+fn r(i: u8) -> Reg {
+    Reg::new(i)
+}
+
+fn f(i: u8) -> FReg {
+    FReg::new(i)
+}
+
+#[test]
+fn every_mnemonic_emits_expected_class() {
+    let mut b = ProgramBuilder::new("cover");
+    let id = b.stream(StreamDesc { base: 0x1000, stride: 8, length: 4 });
+    let cases: Vec<(InstrClass, Box<dyn Fn(&mut ProgramBuilder)>)> = vec![
+        (InstrClass::IntAlu, Box::new(|b: &mut ProgramBuilder| b.add(r(1), r(2), r(3)))),
+        (InstrClass::IntAlu, Box::new(|b| b.sub(r(1), r(2), r(3)))),
+        (InstrClass::IntAlu, Box::new(|b| b.and(r(1), r(2), r(3)))),
+        (InstrClass::IntAlu, Box::new(|b| b.or(r(1), r(2), r(3)))),
+        (InstrClass::IntAlu, Box::new(|b| b.xor(r(1), r(2), r(3)))),
+        (InstrClass::IntAlu, Box::new(|b| b.sll(r(1), r(2), r(3)))),
+        (InstrClass::IntAlu, Box::new(|b| b.srl(r(1), r(2), r(3)))),
+        (InstrClass::IntAlu, Box::new(|b| b.sra(r(1), r(2), r(3)))),
+        (InstrClass::IntAlu, Box::new(|b| b.slt(r(1), r(2), r(3)))),
+        (InstrClass::IntAlu, Box::new(|b| b.li(r(1), 5))),
+        (InstrClass::IntAlu, Box::new(|b| b.addi(r(1), r(2), 1))),
+        (InstrClass::IntAlu, Box::new(|b| b.andi(r(1), r(2), 1))),
+        (InstrClass::IntAlu, Box::new(|b| b.xori(r(1), r(2), 1))),
+        (InstrClass::IntAlu, Box::new(|b| b.ori(r(1), r(2), 1))),
+        (InstrClass::IntAlu, Box::new(|b| b.slli(r(1), r(2), 1))),
+        (InstrClass::IntAlu, Box::new(|b| b.srli(r(1), r(2), 1))),
+        (InstrClass::IntAlu, Box::new(|b| b.srai(r(1), r(2), 1))),
+        (InstrClass::IntAlu, Box::new(|b| b.slti(r(1), r(2), 1))),
+        (InstrClass::IntAlu, Box::new(|b| b.mv(r(1), r(2)))),
+        (InstrClass::IntAlu, Box::new(|b| b.nop())),
+        (InstrClass::IntMul, Box::new(|b| b.mul(r(1), r(2), r(3)))),
+        (InstrClass::IntDiv, Box::new(|b| b.div(r(1), r(2), r(3)))),
+        (InstrClass::IntDiv, Box::new(|b| b.rem(r(1), r(2), r(3)))),
+        (InstrClass::FpAlu, Box::new(|b| b.fadd(f(1), f(2), f(3)))),
+        (InstrClass::FpAlu, Box::new(|b| b.fsub(f(1), f(2), f(3)))),
+        (InstrClass::FpMul, Box::new(|b| b.fmul(f(1), f(2), f(3)))),
+        (InstrClass::FpDiv, Box::new(|b| b.fdiv(f(1), f(2), f(3)))),
+        (InstrClass::FpDiv, Box::new(|b| b.fsqrt(f(1), f(2)))),
+        (InstrClass::FpAlu, Box::new(|b| b.fli(f(1), 2.0))),
+        (InstrClass::FpAlu, Box::new(|b| b.cvt_i_f(f(1), r(2)))),
+        (InstrClass::FpAlu, Box::new(|b| b.cvt_f_i(r(1), f(2)))),
+        (InstrClass::FpAlu, Box::new(|b| b.fcmp_lt(r(1), f(2), f(3)))),
+        (InstrClass::FpAlu, Box::new(|b| b.fmv(f(1), f(2)))),
+        (InstrClass::Load, Box::new(|b| b.ld(r(1), r(2), 0))),
+        (InstrClass::Load, Box::new(|b| b.lw(r(1), r(2), 0))),
+        (InstrClass::Load, Box::new(|b| b.lb(r(1), r(2), 0))),
+        (InstrClass::Store, Box::new(|b| b.sd(r(1), r(2), 0))),
+        (InstrClass::Store, Box::new(|b| b.sw(r(1), r(2), 0))),
+        (InstrClass::Store, Box::new(|b| b.sb(r(1), r(2), 0))),
+        (InstrClass::Load, Box::new(|b| b.fld(f(1), r(2), 0))),
+        (InstrClass::Store, Box::new(|b| b.fsd(f(1), r(2), 0))),
+        (InstrClass::Load, Box::new(move |b| b.ld_stream(r(1), id, MemWidth::B8))),
+        (InstrClass::Store, Box::new(move |b| b.sd_stream(r(1), id, MemWidth::B8))),
+        (InstrClass::Load, Box::new(move |b| b.fld_stream(f(1), id))),
+        (InstrClass::Store, Box::new(move |b| b.fsd_stream(f(1), id))),
+        (InstrClass::Jump, Box::new(|b| b.jr(r(31)))),
+        (InstrClass::Jump, Box::new(|b| b.halt())),
+    ];
+    let mut expected = Vec::new();
+    for (class, emit) in &cases {
+        emit(&mut b);
+        expected.push(*class);
+    }
+    let p = b.build();
+    assert_eq!(p.len(), expected.len());
+    for (i, class) in expected.iter().enumerate() {
+        assert_eq!(p.fetch(i as u32).class(), *class, "mnemonic #{i}");
+    }
+}
+
+#[test]
+fn arithmetic_mnemonics_compute_correctly() {
+    let mut b = ProgramBuilder::new("arith");
+    b.li(r(1), 100);
+    b.li(r(2), 7);
+    b.add(r(3), r(1), r(2)); // 107
+    b.sub(r(4), r(1), r(2)); // 93
+    b.mul(r(5), r(1), r(2)); // 700
+    b.div(r(6), r(1), r(2)); // 14
+    b.rem(r(7), r(1), r(2)); // 2
+    b.sll(r(8), r(2), r(2)); // 7 << 7 = 896
+    b.slt(r(9), r(2), r(1)); // 1
+    b.slti(r(11), r(1), 99); // 0
+    b.fli(f(0), 9.0);
+    b.fsqrt(f(1), f(0)); // 3.0
+    b.cvt_f_i(r(12), f(1)); // 3
+    b.halt();
+    let p = b.build();
+    let mut sim = Simulator::new(&p);
+    sim.run(100).expect("runs");
+    let s = sim.state();
+    assert_eq!(s.reg(r(3)), 107);
+    assert_eq!(s.reg(r(4)), 93);
+    assert_eq!(s.reg(r(5)), 700);
+    assert_eq!(s.reg(r(6)), 14);
+    assert_eq!(s.reg(r(7)), 2);
+    assert_eq!(s.reg(r(8)), 896);
+    assert_eq!(s.reg(r(9)), 1);
+    assert_eq!(s.reg(r(11)), 0);
+    assert_eq!(s.reg(r(12)), 3);
+}
+
+#[test]
+fn negative_shift_and_masking_semantics() {
+    let mut b = ProgramBuilder::new("shift");
+    b.li(r(1), -8);
+    b.srai(r(2), r(1), 1); // -4 arithmetic
+    b.srli(r(3), r(1), 60); // logical: high bits of two's complement
+    b.halt();
+    let p = b.build();
+    let mut sim = Simulator::new(&p);
+    sim.run(100).expect("runs");
+    assert_eq!(sim.state().reg(r(2)), -4);
+    assert_eq!(sim.state().reg(r(3)), 0xf);
+}
+
+#[test]
+fn trace_into_inner_exposes_final_state() {
+    let mut b = ProgramBuilder::new("t");
+    b.li(r(1), 41);
+    b.addi(r(1), r(1), 1);
+    b.halt();
+    let p = b.build();
+    let mut trace = Simulator::trace(&p, u64::MAX);
+    while trace.next().is_some() {}
+    let sim = trace.into_inner();
+    assert!(sim.is_halted());
+    assert_eq!(sim.state().reg(r(1)), 42);
+}

@@ -1,0 +1,115 @@
+//! Cross-crate integration tests: the full profile → synthesize → validate
+//! flow over real kernels, one per application domain.
+
+use perfclone_repro::prelude::*;
+use perfclone_kernels::{by_name, Scale, CHECK_REG};
+use perfclone_sim::Simulator;
+
+fn clone_of(name: &str) -> (perfclone_isa::Program, perfclone_isa::Program) {
+    let app = by_name(name).expect("kernel exists").build(Scale::Tiny).program;
+    let profile = profile_program(&app, u64::MAX);
+    let params = SynthesisParams {
+        target_dynamic: profile.total_instrs.clamp(50_000, 500_000),
+        ..SynthesisParams::default()
+    };
+    let clone = Cloner::with_params(params).clone_program_from(&profile);
+    (app, clone)
+}
+
+#[test]
+fn one_kernel_per_domain_clones_within_tolerance() {
+    // One representative per domain; thresholds are loose for Tiny inputs
+    // (the bench harness measures the real numbers at Small scale).
+    for name in ["bitcount", "dijkstra", "sha", "crc32", "stringsearch", "jpeg_dec", "epic"] {
+        let (app, clone) = clone_of(name);
+        let cmp = validate_pair(&app, &clone, &base_config(), u64::MAX);
+        assert!(
+            cmp.ipc_error() < 0.35,
+            "{name}: IPC error {:.3} (real {:.3} clone {:.3})",
+            cmp.ipc_error(),
+            cmp.real.report.ipc(),
+            cmp.synth.report.ipc()
+        );
+        assert!(cmp.power_error() < 0.35, "{name}: power error {:.3}", cmp.power_error());
+    }
+}
+
+#[test]
+fn clone_tracks_cache_sweep_for_regular_kernels() {
+    use perfclone::experiments::cache_sweep_pair;
+    for name in ["crc32", "susan"] {
+        let (app, clone) = clone_of(name);
+        let sweep = cache_sweep_pair(&app, &clone, &cache_sweep(), u64::MAX);
+        assert!(
+            sweep.correlation() > 0.6,
+            "{name}: cache correlation {:.3}",
+            sweep.correlation()
+        );
+    }
+}
+
+#[test]
+fn profile_round_trips_through_json() {
+    let app = by_name("gsm").expect("kernel exists").build(Scale::Tiny).program;
+    let profile = profile_program(&app, u64::MAX);
+    let json = profile.to_json().expect("serializes");
+    let back = WorkloadProfile::from_json(&json).expect("parses");
+    assert_eq!(back.total_instrs, profile.total_instrs);
+    assert_eq!(back.nodes.len(), profile.nodes.len());
+    assert_eq!(back.streams.len(), profile.streams.len());
+    assert_eq!(back.branches.len(), profile.branches.len());
+    // Synthesis from the round-tripped profile is identical.
+    let params = SynthesisParams::default();
+    let a = Cloner::with_params(params).clone_program_from(&profile);
+    let b = Cloner::with_params(params).clone_program_from(&back);
+    assert_eq!(a.instrs(), b.instrs());
+}
+
+#[test]
+fn clone_never_leaks_original_code() {
+    for name in ["blowfish", "fft", "qsort"] {
+        let (app, clone) = clone_of(name);
+        let window = 4;
+        for w_orig in app.instrs().windows(window) {
+            for w_clone in clone.instrs().windows(window) {
+                assert_ne!(w_orig, w_clone, "{name}: clone leaks a code window");
+            }
+        }
+    }
+}
+
+#[test]
+fn all_23_kernels_verify_and_clone_runs() {
+    // The whole population: kernels self-check, clones halt.
+    for kernel in perfclone_kernels::catalog() {
+        let build = kernel.build(Scale::Tiny);
+        let mut sim = Simulator::new(&build.program);
+        let out = sim.run(u64::MAX).expect("kernel runs");
+        assert!(out.halted, "{} did not halt", kernel.name());
+        assert_eq!(
+            sim.state().reg(CHECK_REG),
+            build.expected,
+            "{} checksum mismatch",
+            kernel.name()
+        );
+        let profile = profile_program(&build.program, u64::MAX);
+        let params =
+            SynthesisParams { target_dynamic: 30_000, ..SynthesisParams::default() };
+        let clone = Cloner::with_params(params).clone_program_from(&profile);
+        let mut csim = Simulator::new(&clone);
+        assert!(
+            csim.run(10_000_000).expect("clone runs").halted,
+            "{} clone did not halt",
+            kernel.name()
+        );
+    }
+}
+
+#[test]
+fn functional_and_pipeline_agree_on_instruction_count() {
+    let (app, _) = clone_of("adpcm_dec");
+    let mut sim = Simulator::new(&app);
+    let functional = sim.run(u64::MAX).expect("runs").retired;
+    let report = Pipeline::new(base_config()).run(Simulator::trace(&app, u64::MAX));
+    assert_eq!(report.instrs, functional);
+}

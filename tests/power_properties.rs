@@ -1,0 +1,108 @@
+//! Property-based and invariant tests of the power model: positivity,
+//! breakdown consistency, and the directional responses architects rely
+//! on when using the model for trade-offs.
+
+use perfclone_repro::prelude::*;
+use perfclone_isa::{ProgramBuilder, Reg};
+use perfclone_sim::Simulator;
+use perfclone_uarch::Pipeline;
+use proptest::prelude::*;
+
+fn mixed_program(alus: u8, muls: u8, loads: u8, iters: i64) -> perfclone_isa::Program {
+    let mut b = ProgramBuilder::new("mix");
+    let id = b.stream_alloc(8, 256);
+    let (i, n) = (Reg::new(1), Reg::new(2));
+    b.li(i, 0);
+    b.li(n, iters);
+    let top = b.label();
+    b.bind(top);
+    for k in 0..alus {
+        b.addi(Reg::new(3 + (k % 4)), Reg::new(3 + (k % 4)), 1);
+    }
+    for _ in 0..muls {
+        b.mul(Reg::new(7), Reg::new(7), Reg::new(7));
+    }
+    for _ in 0..loads {
+        b.ld_stream(Reg::new(8), id, perfclone_isa::MemWidth::B8);
+    }
+    b.addi(i, i, 1);
+    b.blt(i, n, top);
+    b.halt();
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Power is finite, positive, and the breakdown sums to the total for
+    /// arbitrary instruction mixes.
+    #[test]
+    fn power_invariants(alus in 1u8..8, muls in 0u8..4, loads in 0u8..4, iters in 20i64..300) {
+        let p = mixed_program(alus, muls, loads, iters);
+        let config = base_config();
+        let report = Pipeline::new(config).run(Simulator::trace(&p, u64::MAX));
+        let power = perfclone_power::estimate_power(&config, &report);
+        prop_assert!(power.average_power.is_finite() && power.average_power > 0.0);
+        prop_assert!(power.energy_per_instr > 0.0);
+        let b = &power.breakdown;
+        for part in [
+            b.frontend, b.bpred, b.rob, b.lsq, b.regfile, b.alus, b.l1i, b.l1d, b.l2, b.clock,
+        ] {
+            prop_assert!(part >= 0.0, "negative component");
+        }
+        prop_assert!((b.total() - power.total_energy).abs() < 1e-6);
+    }
+
+    /// More work per instruction (multiplies instead of idling) never
+    /// reduces energy per instruction.
+    #[test]
+    fn multiplies_cost_more_energy_than_adds(iters in 50i64..200) {
+        let config = base_config();
+        let cheap = mixed_program(4, 0, 0, iters);
+        let pricey = mixed_program(0, 4, 0, iters);
+        let e_cheap = {
+            let r = Pipeline::new(config).run(Simulator::trace(&cheap, u64::MAX));
+            perfclone_power::estimate_power(&config, &r).energy_per_instr
+        };
+        let e_pricey = {
+            let r = Pipeline::new(config).run(Simulator::trace(&pricey, u64::MAX));
+            perfclone_power::estimate_power(&config, &r).energy_per_instr
+        };
+        prop_assert!(e_pricey > e_cheap, "mul {e_pricey} <= add {e_cheap}");
+    }
+}
+
+#[test]
+fn memory_traffic_shows_up_in_cache_energy() {
+    let config = base_config();
+    let no_mem = mixed_program(4, 0, 0, 200);
+    let mem = mixed_program(4, 0, 3, 200);
+    let bd = |p: &perfclone_isa::Program| {
+        let r = Pipeline::new(config).run(Simulator::trace(p, u64::MAX));
+        let e = perfclone_power::estimate_power(&config, &r);
+        (e.breakdown.l1d / r.instrs as f64, e.breakdown.lsq / r.instrs as f64)
+    };
+    let (l1d_none, lsq_none) = bd(&no_mem);
+    let (l1d_mem, lsq_mem) = bd(&mem);
+    assert!(l1d_mem > l1d_none);
+    assert!(lsq_mem > lsq_none);
+}
+
+#[test]
+fn idle_machine_still_burns_clock_power() {
+    // A program of pure serial divides leaves most units idle most cycles;
+    // clock + idle residue must keep power well above zero.
+    let mut b = ProgramBuilder::new("serial");
+    b.li(Reg::new(1), 3);
+    for _ in 0..50 {
+        b.div(Reg::new(1), Reg::new(1), Reg::new(1));
+    }
+    b.halt();
+    let p = b.build();
+    let config = base_config();
+    let r = Pipeline::new(config).run(Simulator::trace(&p, u64::MAX));
+    let e = perfclone_power::estimate_power(&config, &r);
+    assert!(r.ipc() < 0.2, "divides should serialize");
+    assert!(e.breakdown.clock > 0.0);
+    assert!(e.average_power > 0.2 * e.breakdown.clock / r.cycles as f64);
+}

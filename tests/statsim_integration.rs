@@ -1,0 +1,90 @@
+//! Integration tests of the statistical-simulation path against the
+//! cloning path: both consume the same profiles; the trace must preserve
+//! profile attributes and be consumable by the timing pipeline.
+
+use perfclone_repro::prelude::*;
+use perfclone_isa::InstrClass;
+use perfclone_kernels::{by_name, Scale};
+use perfclone_statsim::{synth_trace, TraceParams};
+use perfclone_uarch::Pipeline;
+
+fn profile_of(name: &str) -> WorkloadProfile {
+    let p = by_name(name).expect("kernel exists").build(Scale::Tiny).program;
+    profile_program(&p, u64::MAX)
+}
+
+#[test]
+fn traces_preserve_mix_across_domains() {
+    for name in ["bitcount", "crc32", "lame", "dijkstra"] {
+        let profile = profile_of(name);
+        let trace = synth_trace(&profile, &TraceParams { length: 40_000, seed: 5 });
+        let mut counts = [0u64; 10];
+        for d in &trace {
+            counts[d.instr.class().index()] += 1;
+        }
+        let mix = profile.global_mix();
+        for class in [InstrClass::Load, InstrClass::Store, InstrClass::FpMul] {
+            let got = counts[class.index()] as f64 / trace.len() as f64;
+            let want = mix[class.index()];
+            assert!(
+                (got - want).abs() < 0.06,
+                "{name}/{class}: trace {got:.3} vs profile {want:.3}"
+            );
+        }
+    }
+}
+
+#[test]
+fn trace_addresses_come_from_stream_walkers() {
+    // Block bodies are reshuffled per visit, so pc-to-walker mapping is
+    // not stable; instead check the address *population*: every access
+    // lands in a walker region, and the dominant inter-access delta of
+    // the densest region matches a profiled stride.
+    let profile = profile_of("crc32");
+    let trace = synth_trace(&profile, &TraceParams { length: 60_000, seed: 6 });
+    use std::collections::HashMap;
+    // Walkers interleave in the trace; separate accesses by 8 KiB region
+    // (crc32's two walkers land in different regions) and check the
+    // busiest region advances by a profiled stride.
+    let mut per_region: HashMap<u64, Vec<u64>> = HashMap::new();
+    for d in &trace {
+        if let Some(m) = d.mem {
+            assert!(m.addr >= 0x4000_0000, "address outside walker space: {:#x}", m.addr);
+            per_region.entry(m.addr >> 13).or_default().push(m.addr);
+        }
+    }
+    let busiest = per_region.values().max_by_key(|v| v.len()).expect("has accesses");
+    assert!(busiest.len() > 500, "too few refs to judge");
+    let mut strides: HashMap<i64, u64> = HashMap::new();
+    for w in busiest.windows(2) {
+        *strides.entry(w[1].wrapping_sub(w[0]) as i64).or_default() += 1;
+    }
+    let (&dominant, _) = strides.iter().max_by_key(|(_, c)| **c).expect("has strides");
+    let profiled: Vec<i64> = profile.streams.iter().map(|s| s.dominant_stride).collect();
+    assert!(
+        profiled.contains(&dominant),
+        "dominant trace stride {dominant} not among profiled {profiled:?}"
+    );
+}
+
+#[test]
+fn statsim_tracks_a_design_change_direction() {
+    // The trace must at least get the *sign* of a design change right:
+    // not-taken on a strongly-taken-biased workload hurts both real and
+    // trace IPC. (qsort's patternless branches cannot distinguish the
+    // predictors, so use crc32's biased loop branches.)
+    let name = "crc32";
+    let program = by_name(name).expect("kernel exists").build(Scale::Tiny).program;
+    let profile = profile_program(&program, u64::MAX);
+    let trace = synth_trace(&profile, &TraceParams { length: 80_000, seed: 7 });
+    let base = base_config();
+    let nt = perfclone_uarch::config::change_not_taken_predictor();
+
+    let real_base = Pipeline::new(base).run(perfclone_sim::Simulator::trace(&program, u64::MAX));
+    let real_nt = Pipeline::new(nt).run(perfclone_sim::Simulator::trace(&program, u64::MAX));
+    let tr_base = Pipeline::new(base).run(trace.iter().copied());
+    let tr_nt = Pipeline::new(nt).run(trace.iter().copied());
+
+    assert!(real_nt.ipc() < real_base.ipc(), "real: not-taken should hurt");
+    assert!(tr_nt.ipc() < tr_base.ipc(), "trace: not-taken should hurt");
+}

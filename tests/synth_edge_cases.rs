@@ -1,0 +1,146 @@
+//! Edge-case tests of the synthesizer: degenerate profiles, extreme
+//! parameters, and the dissemination-grade invariants.
+
+use perfclone_repro::prelude::*;
+use perfclone_isa::{FReg, MemWidth, ProgramBuilder, Reg, StreamDesc};
+use perfclone_sim::Simulator;
+
+fn run_clone(profile: &WorkloadProfile, params: SynthesisParams) -> u64 {
+    let clone = Cloner::with_params(params).clone_program_from(profile);
+    let mut sim = Simulator::new(&clone);
+    let out = sim.run(50_000_000).expect("clone must not fault");
+    assert!(out.halted, "clone did not halt");
+    out.retired
+}
+
+#[test]
+fn straight_line_program_clones() {
+    // No loops, no branches — a single basic block ending in halt.
+    let mut b = ProgramBuilder::new("straight");
+    for i in 1..20 {
+        b.addi(Reg::new(1), Reg::new(1), i);
+    }
+    b.halt();
+    let profile = profile_program(&b.build(), u64::MAX);
+    let retired = run_clone(
+        &profile,
+        SynthesisParams { target_dynamic: 5_000, ..SynthesisParams::default() },
+    );
+    assert!(retired >= 1_000);
+}
+
+#[test]
+fn branch_only_program_clones() {
+    // A program that is almost entirely branches.
+    let mut b = ProgramBuilder::new("branchy");
+    let (i, n) = (Reg::new(1), Reg::new(2));
+    b.li(i, 0);
+    b.li(n, 200);
+    let top = b.label();
+    let l1 = b.label();
+    let l2 = b.label();
+    b.bind(top);
+    b.andi(Reg::new(3), i, 1);
+    b.bnez(Reg::new(3), l1);
+    b.bind(l1);
+    b.andi(Reg::new(3), i, 3);
+    b.beqz(Reg::new(3), l2);
+    b.bind(l2);
+    b.addi(i, i, 1);
+    b.blt(i, n, top);
+    b.halt();
+    let profile = profile_program(&b.build(), u64::MAX);
+    run_clone(&profile, SynthesisParams { target_dynamic: 10_000, ..Default::default() });
+}
+
+#[test]
+fn memory_only_program_clones() {
+    let mut b = ProgramBuilder::new("memonly");
+    let ld = b.stream(StreamDesc { base: 0x1000, stride: 4, length: 256 });
+    let st = b.stream(StreamDesc { base: 0x8000, stride: -8, length: 128 });
+    let (i, n) = (Reg::new(1), Reg::new(2));
+    b.li(i, 0);
+    b.li(n, 300);
+    let top = b.label();
+    b.bind(top);
+    b.ld_stream(Reg::new(3), ld, MemWidth::B4);
+    b.sd_stream(Reg::new(3), st, MemWidth::B8);
+    b.fld_stream(FReg::new(0), ld);
+    b.addi(i, i, 1);
+    b.blt(i, n, top);
+    b.halt();
+    let program = b.build();
+    let profile = profile_program(&program, u64::MAX);
+    // Negative-stride streams must survive into the clone's stream table.
+    let clone = Cloner::new().clone_program_from(&profile);
+    assert!(clone.streams().iter().any(|s| s.stride < 0), "negative stride lost");
+    run_clone(&profile, SynthesisParams { target_dynamic: 20_000, ..Default::default() });
+}
+
+#[test]
+fn tiny_dynamic_target_still_halts() {
+    let app = perfclone_kernels::by_name("bitcount")
+        .expect("kernel")
+        .build(perfclone_kernels::Scale::Tiny)
+        .program;
+    let profile = profile_program(&app, u64::MAX);
+    // target smaller than one loop iteration: must clamp to >= 1 iteration.
+    let retired = run_clone(
+        &profile,
+        SynthesisParams { target_dynamic: 10, ..SynthesisParams::default() },
+    );
+    assert!(retired > 0);
+}
+
+#[test]
+fn explicit_block_count_is_honored() {
+    let app = perfclone_kernels::by_name("crc32")
+        .expect("kernel")
+        .build(perfclone_kernels::Scale::Tiny)
+        .program;
+    let profile = profile_program(&app, u64::MAX);
+    let small = Cloner::with_params(SynthesisParams {
+        target_blocks: 10,
+        target_dynamic: 10_000,
+        ..Default::default()
+    })
+    .clone_program_from(&profile);
+    let large = Cloner::with_params(SynthesisParams {
+        target_blocks: 200,
+        target_dynamic: 10_000,
+        ..Default::default()
+    })
+    .clone_program_from(&profile);
+    assert!(large.len() > small.len(), "{} vs {}", large.len(), small.len());
+}
+
+#[test]
+fn seeds_change_code_but_not_semantics() {
+    let app = perfclone_kernels::by_name("susan")
+        .expect("kernel")
+        .build(perfclone_kernels::Scale::Tiny)
+        .program;
+    let profile = profile_program(&app, u64::MAX);
+    let a = Cloner::with_params(SynthesisParams { seed: 1, ..Default::default() })
+        .clone_program_from(&profile);
+    let b = Cloner::with_params(SynthesisParams { seed: 2, ..Default::default() })
+        .clone_program_from(&profile);
+    assert_ne!(a.instrs(), b.instrs(), "different seeds must differ");
+    for clone in [&a, &b] {
+        let mut sim = Simulator::new(clone);
+        assert!(sim.run(50_000_000).expect("runs").halted);
+    }
+}
+
+#[test]
+fn emitted_c_scales_with_program() {
+    let app = perfclone_kernels::by_name("fft")
+        .expect("kernel")
+        .build(perfclone_kernels::Scale::Tiny)
+        .program;
+    let outcome = Cloner::new().clone_program(&app, u64::MAX);
+    let c = emit_c(&outcome.clone);
+    // One asm line per non-halt instruction plus the malloc preamble.
+    assert!(c.matches("asm volatile").count() >= outcome.clone.len() - 1);
+    assert_eq!(c.matches("malloc").count(), outcome.clone.streams().len());
+}

@@ -1,0 +1,89 @@
+//! Property-based tests of the microarchitecture substrate: cache
+//! monotonicity/inclusion-style invariants, pipeline IPC bounds, and
+//! functional-vs-pipeline consistency over randomized programs.
+
+use perfclone_isa::{MemWidth, ProgramBuilder, Reg};
+use perfclone_sim::Simulator;
+use perfclone_uarch::{
+    base_config, simulate_dcache, Assoc, Cache, CacheConfig, Pipeline,
+};
+use proptest::prelude::*;
+
+fn random_access_program(addrs: Vec<u64>) -> perfclone_isa::Program {
+    let mut b = ProgramBuilder::new("mem");
+    let p = Reg::new(1);
+    for a in addrs {
+        b.li(p, (0x1_0000 + (a % (1 << 20))) as i64);
+        b.emit(perfclone_isa::Instr::Load {
+            rd: Reg::new(2),
+            mem: perfclone_isa::MemRef::Base { base: p, offset: 0 },
+            width: MemWidth::B8,
+        });
+    }
+    b.halt();
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Doubling associativity at fixed size never increases misses for an
+    /// LRU cache on our workloads' reference patterns... not true in
+    /// general (Belady anomalies need FIFO), but LRU set-assoc growth to
+    /// fully-associative at equal capacity obeys inclusion per set union;
+    /// we assert the weaker, always-true bound: a fully-associative LRU
+    /// cache of capacity >= N lines never misses on a working set of N
+    /// distinct lines after warmup.
+    #[test]
+    fn fa_cache_captures_small_working_sets(
+        lines in proptest::collection::vec(0u64..16, 1..200)
+    ) {
+        let mut c = Cache::new(CacheConfig::new(16 * 32, Assoc::Full, 32));
+        // Warmup pass.
+        for &l in &lines {
+            c.access(l * 32, false);
+        }
+        let warm = c.stats();
+        for &l in &lines {
+            c.access(l * 32, false);
+        }
+        let after = c.stats();
+        prop_assert_eq!(after.misses, warm.misses, "hits only after warmup");
+    }
+
+    /// Bigger LRU caches of equal associativity and line size never miss
+    /// more on the same trace (stack-distance inclusion holds per set when
+    /// the set count is a power of two multiple).
+    #[test]
+    fn lru_miss_count_monotone_in_size(
+        addrs in proptest::collection::vec(0u64..100_000, 50..400)
+    ) {
+        let p = random_access_program(addrs);
+        let small = simulate_dcache(&p, CacheConfig::new(1024, Assoc::Full, 32), u64::MAX);
+        let large = simulate_dcache(&p, CacheConfig::new(4096, Assoc::Full, 32), u64::MAX);
+        prop_assert!(large.misses <= small.misses,
+            "large {} > small {}", large.misses, small.misses);
+    }
+
+    /// IPC is bounded by the issue width and positive for any program.
+    #[test]
+    fn ipc_bounds(addrs in proptest::collection::vec(0u64..10_000, 10..100)) {
+        let p = random_access_program(addrs);
+        let cfg = base_config();
+        let rep = Pipeline::new(cfg).run(Simulator::trace(&p, u64::MAX));
+        prop_assert!(rep.ipc() > 0.0);
+        prop_assert!(rep.ipc() <= f64::from(cfg.issue_width) + 1e-9);
+    }
+
+    /// The pipeline commits exactly the instructions the functional core
+    /// retires, for arbitrary programs from the generator.
+    #[test]
+    fn pipeline_commits_all(addrs in proptest::collection::vec(0u64..10_000, 10..120)) {
+        let p = random_access_program(addrs);
+        let mut sim = Simulator::new(&p);
+        let functional = sim.run(u64::MAX).expect("runs").retired;
+        let rep = Pipeline::new(base_config()).run(Simulator::trace(&p, u64::MAX));
+        prop_assert_eq!(rep.instrs, functional);
+        prop_assert_eq!(rep.activity.commits, functional);
+    }
+}
