@@ -10,11 +10,8 @@ use perfclone_bench::{mean, prepare_all};
 
 fn main() {
     let base = base_config();
-    let mut table = Table::new(vec![
-        "benchmark".into(),
-        "IPC err (context)".into(),
-        "IPC err (merged)".into(),
-    ]);
+    let mut table =
+        Table::new(vec!["benchmark".into(), "IPC err (context)".into(), "IPC err (merged)".into()]);
     let mut ctx_errs = Vec::new();
     let mut merged_errs = Vec::new();
     for bench in prepare_all() {
@@ -23,8 +20,7 @@ fn main() {
             target_dynamic: bench.profile.total_instrs.clamp(100_000, 2_500_000),
             ..SynthesisParams::default()
         };
-        let merged_clone =
-            Cloner::with_params(merged_params).clone_program_from(&bench.profile);
+        let merged_clone = Cloner::with_params(merged_params).clone_program_from(&bench.profile);
 
         let real = run_timing(&bench.program, &base, u64::MAX).report.ipc();
         let ctx = run_timing(&bench.clone, &base, u64::MAX).report.ipc();

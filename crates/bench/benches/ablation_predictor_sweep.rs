@@ -40,38 +40,21 @@ fn mispredict_rate(program: &Program, kind: PredictorKind) -> f64 {
 
 fn main() {
     let kinds = predictors();
-    let mut table = Table::new(vec![
-        "benchmark".into(),
-        "pearson r".into(),
-        "mean |delta| mispredict".into(),
-    ]);
+    let mut table =
+        Table::new(vec!["benchmark".into(), "pearson r".into(), "mean |delta| mispredict".into()]);
     let mut rs = Vec::new();
     let mut deltas = Vec::new();
     for bench in prepare_all() {
-        let real: Vec<f64> =
-            kinds.iter().map(|k| mispredict_rate(&bench.program, *k)).collect();
-        let synth: Vec<f64> =
-            kinds.iter().map(|k| mispredict_rate(&bench.clone, *k)).collect();
+        let real: Vec<f64> = kinds.iter().map(|k| mispredict_rate(&bench.program, *k)).collect();
+        let synth: Vec<f64> = kinds.iter().map(|k| mispredict_rate(&bench.clone, *k)).collect();
         let r = pearson(&real, &synth);
-        let d = real
-            .iter()
-            .zip(&synth)
-            .map(|(a, b)| (a - b).abs())
-            .sum::<f64>()
-            / real.len() as f64;
+        let d =
+            real.iter().zip(&synth).map(|(a, b)| (a - b).abs()).sum::<f64>() / real.len() as f64;
         rs.push(r);
         deltas.push(d);
-        table.row(vec![
-            bench.kernel.name().into(),
-            format!("{r:.3}"),
-            format!("{d:.4}"),
-        ]);
+        table.row(vec![bench.kernel.name().into(), format!("{r:.3}"), format!("{d:.4}")]);
     }
-    table.row(vec![
-        "average".into(),
-        format!("{:.3}", mean(&rs)),
-        format!("{:.4}", mean(&deltas)),
-    ]);
+    table.row(vec!["average".into(), format!("{:.3}", mean(&rs)), format!("{:.4}", mean(&deltas))]);
     println!("\nAblation A5 — misprediction tracking across 10 branch predictor designs\n");
     println!("{}", table.render());
     println!("(the clone must track the original across predictors, §3.1.5)");

@@ -25,10 +25,8 @@ fn main() {
     let mut clone_sp_errs = Vec::new();
     let mut trace_sp_errs = Vec::new();
     for bench in prepare_all() {
-        let params = TraceParams {
-            length: bench.profile.total_instrs.clamp(100_000, 1_000_000),
-            seed: 11,
-        };
+        let params =
+            TraceParams { length: bench.profile.total_instrs.clamp(100_000, 1_000_000), seed: 11 };
         let trace = synth_trace(&bench.profile, &params);
 
         let real_b = run_timing(&bench.program, &base, u64::MAX).report.ipc();

@@ -10,8 +10,7 @@
 
 use perfclone::experiments::cache_sweep_pair;
 use perfclone::{
-    base_config, cache_sweep, run_timing, BranchModel, Cloner, MemoryModel, SynthesisParams,
-    Table,
+    base_config, cache_sweep, run_timing, BranchModel, Cloner, MemoryModel, SynthesisParams, Table,
 };
 use perfclone_bench::{mean, prepare_all};
 use perfclone_uarch::{simulate_dcache, CacheConfig};
@@ -55,10 +54,8 @@ fn main() {
         r_indep.push(sweep_i.correlation());
         r_dep.push(sweep_d.correlation());
 
-        let real_bp =
-            run_timing(&bench.program, &base, u64::MAX).report.bpred.mispredict_rate();
-        let indep_bp =
-            run_timing(&bench.clone, &base, u64::MAX).report.bpred.mispredict_rate();
+        let real_bp = run_timing(&bench.program, &base, u64::MAX).report.bpred.mispredict_rate();
+        let indep_bp = run_timing(&bench.clone, &base, u64::MAX).report.bpred.mispredict_rate();
         let dep_bp = run_timing(&dep_clone, &base, u64::MAX).report.bpred.mispredict_rate();
         bp_indep.push((indep_bp - real_bp).abs());
         bp_dep.push((dep_bp - real_bp).abs());

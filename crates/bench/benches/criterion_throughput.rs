@@ -27,9 +27,7 @@ fn bench_stack(c: &mut Criterion) {
             sim.run(u64::MAX).expect("runs")
         })
     });
-    group.bench_function("profiler", |b| {
-        b.iter(|| profile_program(&program, u64::MAX))
-    });
+    group.bench_function("profiler", |b| b.iter(|| profile_program(&program, u64::MAX)));
     group.bench_function("dcache_replay", |b| {
         let cfg = CacheConfig::new(16 * 1024, Assoc::Ways(2), 32);
         b.iter(|| simulate_dcache(&program, cfg, u64::MAX))

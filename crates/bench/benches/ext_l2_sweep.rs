@@ -23,11 +23,7 @@ fn l2_sweep() -> Vec<CacheConfig> {
 fn main() {
     let l1 = base_config().l1d;
     let configs = l2_sweep();
-    let mut table = Table::new(vec![
-        "benchmark".into(),
-        "pearson r".into(),
-        "sweep MAE".into(),
-    ]);
+    let mut table = Table::new(vec!["benchmark".into(), "pearson r".into(), "sweep MAE".into()]);
     let mut rs = Vec::new();
     for bench in prepare_all() {
         let real: Vec<f64> = configs
@@ -38,8 +34,7 @@ fn main() {
             .iter()
             .map(|c| simulate_hierarchy(&bench.clone, l1, *c, u64::MAX).l2_mpi())
             .collect();
-        let (lo, hi) =
-            real.iter().fold((f64::INFINITY, 0.0f64), |(l, h), &v| (l.min(v), h.max(v)));
+        let (lo, hi) = real.iter().fold((f64::INFINITY, 0.0f64), |(l, h), &v| (l.min(v), h.max(v)));
         let flat = hi <= 1e-9 || (hi - lo) / hi < 0.15;
         let mae: f64 =
             real.iter().zip(&synth).map(|(r, s)| (r - s).abs()).sum::<f64>() / real.len() as f64;

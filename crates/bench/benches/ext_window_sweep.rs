@@ -21,28 +21,16 @@ fn window_configs() -> Vec<MachineConfig> {
 
 fn main() {
     let configs = window_configs();
-    let mut table = Table::new(vec![
-        "benchmark".into(),
-        "pearson r".into(),
-        "max IPC err".into(),
-    ]);
+    let mut table = Table::new(vec!["benchmark".into(), "pearson r".into(), "max IPC err".into()]);
     let mut rs = Vec::new();
     let mut worst = Vec::new();
     for bench in prepare_all() {
-        let real: Vec<f64> = configs
-            .iter()
-            .map(|c| run_timing(&bench.program, c, u64::MAX).report.ipc())
-            .collect();
-        let synth: Vec<f64> = configs
-            .iter()
-            .map(|c| run_timing(&bench.clone, c, u64::MAX).report.ipc())
-            .collect();
+        let real: Vec<f64> =
+            configs.iter().map(|c| run_timing(&bench.program, c, u64::MAX).report.ipc()).collect();
+        let synth: Vec<f64> =
+            configs.iter().map(|c| run_timing(&bench.clone, c, u64::MAX).report.ipc()).collect();
         let r = pearson(&real, &synth);
-        let w = real
-            .iter()
-            .zip(&synth)
-            .map(|(a, b)| ((a - b) / a).abs())
-            .fold(0.0f64, f64::max);
+        let w = real.iter().zip(&synth).map(|(a, b)| ((a - b) / a).abs()).fold(0.0f64, f64::max);
         rs.push(r);
         worst.push(w);
         table.row(vec![

@@ -3,11 +3,12 @@
 //! configurations (256 B–16 KB × {DM, 2-way, 4-way, FA}, 32 B lines, LRU).
 //! The paper reports an average of 0.93 with a 0.80 worst case.
 
-use perfclone::experiments::cache_sweep_pair;
+use perfclone::experiments::cache_sweep_pair_par;
 use perfclone::{cache_sweep, Table};
-use perfclone_bench::{mean, prepare_all};
+use perfclone_bench::{init_parallelism, mean, prepare_all_par};
 
 fn main() {
+    init_parallelism();
     let configs = cache_sweep();
     let mut table = Table::new(vec![
         "benchmark".into(),
@@ -17,26 +18,20 @@ fn main() {
     ]);
     let mut rs = Vec::new();
     let mut maes = Vec::new();
-    for bench in prepare_all() {
-        let sweep = cache_sweep_pair(&bench.program, &bench.clone, &configs, u64::MAX);
+    for bench in prepare_all_par() {
+        let sweep = cache_sweep_pair_par(&bench.program, &bench.clone, &configs, u64::MAX);
         // A benchmark whose real MPI barely varies over the sweep (pure
         // streaming working sets) makes Pearson numerically meaningless;
         // mark those rows "flat" and judge them by the mean absolute MPI
         // error instead. The paper's population was chosen to be cache-
         // sensitive over this sweep, so every one of its points is the
         // correlated kind.
-        let (lo, hi) = sweep
-            .real_mpi
-            .iter()
-            .fold((f64::INFINITY, 0.0f64), |(l, h), &v| (l.min(v), h.max(v)));
+        let (lo, hi) =
+            sweep.real_mpi.iter().fold((f64::INFINITY, 0.0f64), |(l, h), &v| (l.min(v), h.max(v)));
         let flat = hi <= 1e-9 || (hi - lo) / hi < 0.15;
-        let mae: f64 = sweep
-            .real_mpi
-            .iter()
-            .zip(&sweep.synth_mpi)
-            .map(|(r, s)| (r - s).abs())
-            .sum::<f64>()
-            / sweep.real_mpi.len() as f64;
+        let mae: f64 =
+            sweep.real_mpi.iter().zip(&sweep.synth_mpi).map(|(r, s)| (r - s).abs()).sum::<f64>()
+                / sweep.real_mpi.len() as f64;
         maes.push(mae);
         let r_text = if flat {
             "flat".to_string()

@@ -3,18 +3,19 @@
 //! assigned by the real benchmarks vs by their synthetic clones. Perfect
 //! relative accuracy puts every point on the 45° line.
 
-use perfclone::experiments::cache_sweep_pair;
+use perfclone::experiments::cache_sweep_pair_par;
 use perfclone::{cache_sweep, rank, spearman, Table};
-use perfclone_bench::prepare_all;
+use perfclone_bench::{init_parallelism, prepare_all_par};
 
 fn main() {
+    init_parallelism();
     let configs = cache_sweep();
     let n = configs.len();
     let mut real_rank_sum = vec![0.0f64; n];
     let mut synth_rank_sum = vec![0.0f64; n];
     let mut benchmarks = 0usize;
-    for bench in prepare_all() {
-        let sweep = cache_sweep_pair(&bench.program, &bench.clone, &configs, u64::MAX);
+    for bench in prepare_all_par() {
+        let sweep = cache_sweep_pair_par(&bench.program, &bench.clone, &configs, u64::MAX);
         let (rr, rs) = sweep.rankings();
         for i in 0..n {
             real_rank_sum[i] += rr[i];

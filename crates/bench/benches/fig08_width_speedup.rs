@@ -2,25 +2,22 @@
 //! response to doubling the fetch, decode, and issue width — the design
 //! change with the largest average speedup (1.72× in the paper).
 
-use perfclone::{base_config, run_timing, Table};
-use perfclone_bench::{mean, prepare_all};
+use perfclone::{base_config, Table};
+use perfclone_bench::{grid_timing_par, init_parallelism, mean, prepare_all_par};
 use perfclone_uarch::config::change_double_width;
 
 fn main() {
+    init_parallelism();
     let base = base_config();
     let wide = change_double_width();
-    let mut table = Table::new(vec![
-        "benchmark".into(),
-        "speedup (real)".into(),
-        "speedup (clone)".into(),
-    ]);
+    let mut table =
+        Table::new(vec!["benchmark".into(), "speedup (real)".into(), "speedup (clone)".into()]);
     let mut real_sp = Vec::new();
     let mut synth_sp = Vec::new();
-    for bench in prepare_all() {
-        let rb = run_timing(&bench.program, &base, u64::MAX).report.ipc();
-        let rw = run_timing(&bench.program, &wide, u64::MAX).report.ipc();
-        let sb = run_timing(&bench.clone, &base, u64::MAX).report.ipc();
-        let sw = run_timing(&bench.clone, &wide, u64::MAX).report.ipc();
+    let benches = prepare_all_par();
+    for (bench, [rb, rw, sb, sw]) in benches.iter().zip(grid_timing_par(&benches, &base, &wide)) {
+        let (rb, rw) = (rb.report.ipc(), rw.report.ipc());
+        let (sb, sw) = (sb.report.ipc(), sw.report.ipc());
         real_sp.push(rw / rb);
         synth_sp.push(sw / sb);
         table.row(vec![

@@ -2,11 +2,12 @@
 //! benchmark and its clone in response to doubling the fetch, decode, and
 //! issue width.
 
-use perfclone::{base_config, run_timing, Table};
-use perfclone_bench::{mean, prepare_all};
+use perfclone::{base_config, Table};
+use perfclone_bench::{grid_timing_par, init_parallelism, mean, prepare_all_par};
 use perfclone_uarch::config::change_double_width;
 
 fn main() {
+    init_parallelism();
     let base = base_config();
     let wide = change_double_width();
     let mut table = Table::new(vec![
@@ -16,11 +17,12 @@ fn main() {
     ]);
     let mut real_inc = Vec::new();
     let mut synth_inc = Vec::new();
-    for bench in prepare_all() {
-        let rb = run_timing(&bench.program, &base, u64::MAX).power.average_power;
-        let rw = run_timing(&bench.program, &wide, u64::MAX).power.average_power;
-        let sb = run_timing(&bench.clone, &base, u64::MAX).power.average_power;
-        let sw = run_timing(&bench.clone, &wide, u64::MAX).power.average_power;
+    let benches = prepare_all_par();
+    for (bench, [rb, rw, sb, sw]) in benches.iter().zip(grid_timing_par(&benches, &base, &wide)) {
+        let rb = rb.power.average_power;
+        let rw = rw.power.average_power;
+        let sb = sb.power.average_power;
+        let sw = sw.power.average_power;
         let (ri, si) = (rw / rb - 1.0, sw / sb - 1.0);
         real_inc.push(ri);
         synth_inc.push(si);

@@ -7,19 +7,20 @@
 //! for IPC and 3.41/0.39/4.59/1.80/1.22 % for power, averaging 4.49 % IPC
 //! and 2.28 % power.
 
-use perfclone::experiments::design_change_sweep;
+use perfclone::experiments::design_change_sweep_par;
 use perfclone::{base_config, Table};
-use perfclone_bench::{mean, prepare_all};
+use perfclone_bench::{init_parallelism, mean, prepare_all_par};
 
 fn main() {
+    init_parallelism();
     let base = base_config();
-    let benches = prepare_all();
+    let benches = prepare_all_par();
     let mut ipc_errs = vec![Vec::new(); 5];
     let mut pow_errs = vec![Vec::new(); 5];
     let mut names = vec![String::new(); 5];
     for bench in &benches {
         eprintln!("  sweeping {} ...", bench.kernel.name());
-        let sweep = design_change_sweep(&bench.program, &bench.clone, &base, u64::MAX);
+        let sweep = design_change_sweep_par(&bench.program, &bench.clone, &base, u64::MAX);
         for i in 0..5 {
             ipc_errs[i].push(sweep.ipc_relative_error(i));
             pow_errs[i].push(sweep.power_relative_error(i));

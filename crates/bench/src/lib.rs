@@ -11,9 +11,16 @@
 //! * `PERFCLONE_SCALE` — `tiny` (fast smoke runs) or `small` (default; the
 //!   paper-scale inputs, ~0.5-2 M dynamic instructions per kernel),
 //! * `PERFCLONE_KERNELS` — comma-separated kernel names to restrict the
-//!   population (default: all 23).
+//!   population (default: all 23),
+//! * `PERFCLONE_JOBS` — worker threads for the parallel experiment paths
+//!   (default: all cores; results are identical at any thread count),
+//! * `PERFCLONE_SEED` — root seed from which each kernel's synthesis seed
+//!   is derived (default: the synthesizer's default seed).
 
-use perfclone::{Cloner, SynthesisParams, WorkloadProfile};
+use perfclone::{
+    derive_cell_seed, run_timing, Cloner, MachineConfig, SynthesisParams, TimingResult,
+    WorkloadProfile,
+};
 use perfclone_isa::Program;
 use perfclone_kernels::{catalog, Kernel, Scale};
 
@@ -38,6 +45,31 @@ pub fn scale_from_env() -> Scale {
     }
 }
 
+/// Reads the worker-thread count from `PERFCLONE_JOBS` (default: the
+/// machine's available parallelism).
+pub fn jobs_from_env() -> usize {
+    std::env::var("PERFCLONE_JOBS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+}
+
+/// Reads the experiments' root seed from `PERFCLONE_SEED` (default: the
+/// synthesizer's default seed). Per-kernel seeds are derived from it.
+pub fn root_seed_from_env() -> u64 {
+    std::env::var("PERFCLONE_SEED")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(SynthesisParams::default().seed)
+}
+
+/// Makes `PERFCLONE_JOBS` the ambient parallelism for the experiment run.
+/// Call once at the top of a bench `main`.
+pub fn init_parallelism() {
+    let _ = rayon::ThreadPoolBuilder::new().num_threads(jobs_from_env()).build_global();
+}
+
 /// The kernel population, optionally restricted via `PERFCLONE_KERNELS`.
 pub fn kernels_from_env() -> Vec<&'static Kernel> {
     match std::env::var("PERFCLONE_KERNELS") {
@@ -59,9 +91,11 @@ pub fn experiment_params(profile_len: u64) -> SynthesisParams {
 }
 
 /// Builds, profiles, and clones one kernel.
-pub fn prepare(kernel: &'static Kernel, scale: Scale, params_of: &dyn Fn(u64) -> SynthesisParams)
-    -> PreparedBench
-{
+pub fn prepare(
+    kernel: &'static Kernel,
+    scale: Scale,
+    params_of: &dyn Fn(u64) -> SynthesisParams,
+) -> PreparedBench {
     let program = kernel.build(scale).program;
     let profile = perfclone::profile_program(&program, u64::MAX);
     let params = params_of(profile.total_instrs);
@@ -79,6 +113,60 @@ pub fn prepare_all() -> Vec<PreparedBench> {
             eprintln!("  preparing {} ...", k.name());
             prepare(k, scale, &experiment_params)
         })
+        .collect()
+}
+
+/// Parallel [`prepare_all`]: kernels fan over the ambient thread pool
+/// (see [`init_parallelism`]), each profiled and synthesized with a seed
+/// derived from the root seed and the kernel's name. Per-kernel seeds
+/// depend only on the (root, kernel) cell, and results come back in
+/// catalog order, so the population is identical at any thread count.
+pub fn prepare_all_par() -> Vec<PreparedBench> {
+    use rayon::prelude::*;
+    let scale = scale_from_env();
+    let root = root_seed_from_env();
+    let kernels = kernels_from_env();
+    kernels
+        .par_iter()
+        .map(|k| {
+            eprintln!("  preparing {} ...", k.name());
+            prepare(k, scale, &|profile_len| SynthesisParams {
+                seed: derive_cell_seed(root, k.name(), 0),
+                ..experiment_params(profile_len)
+            })
+        })
+        .collect()
+}
+
+/// Times every (benchmark × configuration) cell of a two-configuration
+/// study in parallel. For each prepared benchmark the four cells are
+/// `[real@base, real@alt, clone@base, clone@alt]`; the flat cell list
+/// fans over the ambient thread pool and results reassemble in benchmark
+/// order, bit-identical at any thread count.
+pub fn grid_timing_par(
+    benches: &[PreparedBench],
+    base: &MachineConfig,
+    alt: &MachineConfig,
+) -> Vec<[TimingResult; 4]> {
+    use rayon::prelude::*;
+    let cells: Vec<(usize, usize)> =
+        (0..benches.len()).flat_map(|b| (0..4).map(move |c| (b, c))).collect();
+    let results: Vec<TimingResult> = cells
+        .par_iter()
+        .map(|&(b, c)| {
+            let bench = &benches[b];
+            let (program, config) = match c {
+                0 => (&bench.program, base),
+                1 => (&bench.program, alt),
+                2 => (&bench.clone, base),
+                _ => (&bench.clone, alt),
+            };
+            run_timing(program, config, u64::MAX)
+        })
+        .collect();
+    results
+        .chunks_exact(4)
+        .map(|c| [c[0].clone(), c[1].clone(), c[2].clone(), c[3].clone()])
         .collect()
 }
 
@@ -113,5 +201,25 @@ mod tests {
     fn mean_of_empty_is_zero() {
         assert_eq!(mean(&[]), 0.0);
         assert_eq!(mean(&[2.0, 4.0]), 3.0);
+    }
+
+    #[test]
+    fn parallel_knob_defaults() {
+        std::env::remove_var("PERFCLONE_JOBS");
+        std::env::remove_var("PERFCLONE_SEED");
+        assert!(jobs_from_env() >= 1);
+        assert_eq!(root_seed_from_env(), SynthesisParams::default().seed);
+    }
+
+    #[test]
+    fn seeded_prepare_is_deterministic() {
+        let k = catalog().iter().find(|k| k.name() == "crc32").expect("crc32 exists");
+        let params_of = |len: u64| SynthesisParams {
+            seed: derive_cell_seed(7, "crc32", 0),
+            ..experiment_params(len)
+        };
+        let a = prepare(k, Scale::Tiny, &params_of);
+        let b = prepare(k, Scale::Tiny, &params_of);
+        assert_eq!(format!("{:?}", a.clone), format!("{:?}", b.clone));
     }
 }

@@ -12,7 +12,8 @@ pub struct Parsed {
 
 /// Option keys that take a value; everything else starting with `-` is a
 /// bare flag.
-const VALUED: &[&str] = &["-o", "--out", "--asm", "--scale", "--seed", "--dynamic", "--config"];
+const VALUED: &[&str] =
+    &["-o", "--out", "--asm", "--scale", "--seed", "--dynamic", "--config", "-j", "--jobs"];
 
 /// Splits `argv` into positionals and options.
 ///
@@ -25,9 +26,7 @@ pub fn parse(argv: &[String]) -> Result<Parsed, String> {
     while let Some(a) = it.next() {
         if a.starts_with('-') {
             if VALUED.contains(&a.as_str()) {
-                let v = it
-                    .next()
-                    .ok_or_else(|| format!("option {a} requires a value"))?;
+                let v = it.next().ok_or_else(|| format!("option {a} requires a value"))?;
                 out.options.insert(a.clone(), v.clone());
             } else {
                 out.options.insert(a.clone(), String::new());
@@ -57,6 +56,22 @@ impl Parsed {
                 .parse::<u64>()
                 .map(Some)
                 .map_err(|_| format!("expected an integer for {}, got {v:?}", keys[0])),
+        }
+    }
+
+    /// Returns the worker-thread count selected by `-j`/`--jobs`
+    /// (default: the machine's available parallelism).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the value is not a positive integer.
+    pub fn jobs(&self) -> Result<usize, String> {
+        match self.opt(&["-j", "--jobs"]) {
+            None => Ok(std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)),
+            Some(v) => match v.parse::<usize>() {
+                Ok(n) if n >= 1 => Ok(n),
+                _ => Err(format!("expected a positive integer for --jobs, got {v:?}")),
+            },
         }
     }
 
@@ -104,6 +119,20 @@ mod tests {
         assert_eq!(q.scale().unwrap(), perfclone_kernels::Scale::Small);
         let r = parse(&argv(&["x", "--scale", "huge"])).unwrap();
         assert!(r.scale().is_err());
+    }
+
+    #[test]
+    fn jobs_option() {
+        let p = parse(&argv(&["sweep", "crc32", "--jobs", "3"])).unwrap();
+        assert_eq!(p.jobs().unwrap(), 3);
+        let q = parse(&argv(&["sweep", "crc32", "-j", "1"])).unwrap();
+        assert_eq!(q.jobs().unwrap(), 1);
+        let d = parse(&argv(&["sweep", "crc32"])).unwrap();
+        assert!(d.jobs().unwrap() >= 1);
+        let bad = parse(&argv(&["sweep", "crc32", "--jobs", "0"])).unwrap();
+        assert!(bad.jobs().is_err());
+        let worse = parse(&argv(&["sweep", "crc32", "--jobs", "many"])).unwrap();
+        assert!(worse.jobs().is_err());
     }
 
     #[test]

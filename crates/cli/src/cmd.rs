@@ -1,12 +1,12 @@
 //! Subcommand implementations.
 
+use perfclone::experiments::cache_sweep_pair_par;
 use perfclone::{
     base_config, cache_sweep, run_timing, validate_pair, Cloner, SynthesisParams, Table,
     WorkloadProfile,
 };
 use perfclone_isa::Program;
-use perfclone_kernels::Scale;
-use perfclone_uarch::{design_changes, simulate_dcache, MachineConfig};
+use perfclone_uarch::{design_changes, MachineConfig};
 
 use crate::args::{parse, Parsed};
 
@@ -31,6 +31,8 @@ OPTIONS:
   --seed N                synthesis seed
   --dynamic N             clone dynamic-instruction target
   --config NAME           machine config for validate (default base)
+  -j, --jobs N            worker threads for sweeps (default: all cores;
+                          results are identical at any thread count)
 ";
 
 /// Dispatches a parsed command line.
@@ -45,7 +47,13 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         return Ok(());
     };
     let rest = parse(&argv[1..])?;
-    match cmd {
+    // Make `--jobs` the ambient parallelism for whatever the subcommand
+    // fans out (currently the cache sweeps).
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(rest.jobs()?)
+        .build()
+        .map_err(|e| format!("building thread pool: {e}"))?;
+    pool.install(|| match cmd {
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -60,14 +68,11 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "report" => report(&rest),
         "statsim" => statsim(&rest),
         other => Err(format!("unknown command {other:?}")),
-    }
+    })
 }
 
 fn kernel_program(parsed: &Parsed, pos: usize) -> Result<(String, Program), String> {
-    let name = parsed
-        .positional
-        .get(pos)
-        .ok_or_else(|| "missing kernel name".to_string())?;
+    let name = parsed.positional.get(pos).ok_or_else(|| "missing kernel name".to_string())?;
     let kernel = perfclone_kernels::by_name(name)
         .ok_or_else(|| format!("unknown kernel {name:?} (see `perfclone list`)"))?;
     Ok((name.clone(), kernel.build(parsed.scale()?).program))
@@ -128,19 +133,15 @@ fn synth_params(parsed: &Parsed, profile: &WorkloadProfile) -> Result<SynthesisP
 }
 
 fn synth(parsed: &Parsed) -> Result<(), String> {
-    let path = parsed
-        .positional
-        .first()
-        .ok_or_else(|| "missing profile path".to_string())?;
+    let path = parsed.positional.first().ok_or_else(|| "missing profile path".to_string())?;
     let json = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
     let profile = WorkloadProfile::from_json(&json).map_err(|e| format!("parsing {path}: {e}"))?;
     let params = synth_params(parsed, &profile)?;
     let clone = Cloner::with_params(params).clone_program_from(&profile);
-    let c_out = parsed
-        .opt(&["-o", "--out"])
-        .map(str::to_string)
-        .unwrap_or(format!("{}.c", profile.name));
-    std::fs::write(&c_out, perfclone::emit_c(&clone)).map_err(|e| format!("writing {c_out}: {e}"))?;
+    let c_out =
+        parsed.opt(&["-o", "--out"]).map(str::to_string).unwrap_or(format!("{}.c", profile.name));
+    std::fs::write(&c_out, perfclone::emit_c(&clone))
+        .map_err(|e| format!("writing {c_out}: {e}"))?;
     println!(
         "synthesized {}: {} static instrs, {} streams -> {c_out}",
         clone.name(),
@@ -202,19 +203,15 @@ fn sweep(parsed: &Parsed) -> Result<(), String> {
     let profile = perfclone::profile_program(&program, u64::MAX);
     let params = synth_params(parsed, &profile)?;
     let clone = Cloner::with_params(params).clone_program_from(&profile);
-    let mut t =
-        Table::new(vec!["config".into(), "MPI (real)".into(), "MPI (clone)".into()]);
-    let mut real = Vec::new();
-    let mut synth = Vec::new();
-    for cfg in cache_sweep() {
-        let r = simulate_dcache(&program, cfg, u64::MAX).mpi();
-        let s = simulate_dcache(&clone, cfg, u64::MAX).mpi();
-        real.push(r);
-        synth.push(s);
+    let mut t = Table::new(vec!["config".into(), "MPI (real)".into(), "MPI (clone)".into()]);
+    // All 2 × 28 cells fan over the installed `--jobs` pool; the rows come
+    // back in configuration order regardless of the thread count.
+    let cmp = cache_sweep_pair_par(&program, &clone, &cache_sweep(), u64::MAX);
+    for ((cfg, r), s) in cmp.configs.iter().zip(&cmp.real_mpi).zip(&cmp.synth_mpi) {
         t.row(vec![cfg.to_string(), format!("{r:.5}"), format!("{s:.5}")]);
     }
     println!("{name} cache sweep:\n\n{}", t.render());
-    println!("pearson r = {:.3}", perfclone::pearson(&real, &synth));
+    println!("pearson r = {:.3}", perfclone::pearson(&cmp.real_mpi, &cmp.synth_mpi));
     Ok(())
 }
 
@@ -250,19 +247,19 @@ fn statsim(parsed: &Parsed) -> Result<(), String> {
     let real = run_timing(&program, &config, u64::MAX);
     let synth = perfclone_uarch::Pipeline::new(config).run(trace);
     let mut t = Table::new(vec!["metric".into(), "real".into(), "statsim trace".into()]);
-    t.row(vec![
-        "IPC".into(),
-        format!("{:.3}", real.report.ipc()),
-        format!("{:.3}", synth.ipc()),
-    ]);
+    t.row(vec!["IPC".into(), format!("{:.3}", real.report.ipc()), format!("{:.3}", synth.ipc())]);
     t.row(vec![
         "L1D miss/instr".into(),
         format!("{:.4}", real.report.l1d_mpi()),
         format!("{:.4}", synth.l1d_mpi()),
     ]);
-    println!("{name} statistical simulation ({} synthetic instrs):
+    println!(
+        "{name} statistical simulation ({} synthetic instrs):
 
-{}", tp.length, t.render());
+{}",
+        tp.length,
+        t.render()
+    );
     Ok(())
 }
 
@@ -294,15 +291,7 @@ mod tests {
         let json = dir.join("cli_test_profile.json");
         let c = dir.join("cli_test_clone.c");
         let asm = dir.join("cli_test_clone.s");
-        run(&[
-            "profile",
-            "crc32",
-            "--scale",
-            "tiny",
-            "-o",
-            json.to_str().unwrap(),
-        ])
-        .unwrap();
+        run(&["profile", "crc32", "--scale", "tiny", "-o", json.to_str().unwrap()]).unwrap();
         run(&[
             "synth",
             json.to_str().unwrap(),
@@ -326,6 +315,13 @@ mod tests {
     }
 
     #[test]
+    fn sweep_runs_with_explicit_jobs() {
+        run(&["sweep", "crc32", "--scale", "tiny", "--dynamic", "20000", "--jobs", "2"]).unwrap();
+        let e = run(&["sweep", "crc32", "--scale", "tiny", "--jobs", "0"]).unwrap_err();
+        assert!(e.contains("--jobs"));
+    }
+
+    #[test]
     fn report_and_statsim_run_on_tiny_kernels() {
         run(&["report", "susan", "--scale", "tiny"]).unwrap();
         run(&["statsim", "crc32", "--scale", "tiny", "--dynamic", "20000"]).unwrap();
@@ -339,8 +335,8 @@ mod tests {
 
     #[test]
     fn bad_config_name_is_reported() {
-        let e = run(&["validate", "crc32", "--scale", "tiny", "--config", "warp-drive"])
-            .unwrap_err();
+        let e =
+            run(&["validate", "crc32", "--scale", "tiny", "--config", "warp-drive"]).unwrap_err();
         assert!(e.contains("warp-drive"));
     }
 }

@@ -13,7 +13,11 @@ fn main() {
     let app = by_name(&which).unwrap().build(scale).program;
     let blocks: u32 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(0);
     let profile0 = profile_program(&app, u64::MAX);
-    let params = SynthesisParams { target_blocks: blocks, target_dynamic: profile0.total_instrs.clamp(100_000, 2_500_000), ..Default::default() };
+    let params = SynthesisParams {
+        target_blocks: blocks,
+        target_dynamic: profile0.total_instrs.clamp(100_000, 2_500_000),
+        ..Default::default()
+    };
     let out = Cloner::with_params(params).clone_program(&app, u64::MAX);
     let clone = &out.clone;
     let op = &out.profile;
@@ -24,7 +28,8 @@ fn main() {
     println!("static: orig {} clone {}", app.len(), clone.len());
     println!("orig mean bb {:.2} clone mean bb {:.2}", op.mean_block_size(), cp.mean_block_size());
     println!("mix (orig vs clone):");
-    let om = op.global_mix(); let cm = cp.global_mix();
+    let om = op.global_mix();
+    let cm = cp.global_mix();
     for c in perfclone_isa::InstrClass::ALL {
         println!("  {:8} {:.3} {:.3}", c.label(), om[c.index()], cm[c.index()]);
     }
@@ -32,7 +37,7 @@ fn main() {
         let e: u64 = p.branches.iter().map(|b| b.execs).sum();
         let t: u64 = p.branches.iter().map(|b| b.taken).sum();
         let tr: u64 = p.branches.iter().map(|b| b.transitions).sum();
-        (t as f64/e as f64, tr as f64/e as f64)
+        (t as f64 / e as f64, tr as f64 / e as f64)
     };
     println!("branch taken/trans: orig {:?} clone {:?}", wt(op), wt(&cp));
     println!("streams: orig {} clone {}", op.streams.len(), cp.streams.len());
@@ -43,18 +48,40 @@ fn main() {
     let s = run_timing(clone, &cfg, u64::MAX);
     println!("IPC: orig {:.3} clone {:.3}", r.report.ipc(), s.report.ipc());
     println!("L1D mpi: orig {:.4} clone {:.4}", r.report.l1d_mpi(), s.report.l1d_mpi());
-    println!("bpred mr: orig {:.4} clone {:.4}", r.report.bpred.mispredict_rate(), s.report.bpred.mispredict_rate());
+    println!(
+        "bpred mr: orig {:.4} clone {:.4}",
+        r.report.bpred.mispredict_rate(),
+        s.report.bpred.mispredict_rate()
+    );
     println!("L1I mr: orig {:.4} clone {:.4}", r.report.l1i.miss_rate(), s.report.l1i.miss_rate());
     println!("power: orig {:.2} clone {:.2}", r.power.average_power, s.power.average_power);
 
     println!("orig stream profiles (pc stride runlen execs cov span):");
     for s in &op.streams {
         let cov = if s.execs > 1 { s.dominant_count as f64 / (s.execs - 1) as f64 } else { 1.0 };
-        println!("  pc{:4} st{:6} rl{:8.1} ex{:7} cov{:.2} span{} fwd{} back{} bj{:.0}", s.pc, s.dominant_stride, s.mean_run_len, s.execs, cov, s.max_addr - s.min_addr, s.fwd_breaks, s.back_breaks, s.mean_back_jump);
+        println!(
+            "  pc{:4} st{:6} rl{:8.1} ex{:7} cov{:.2} span{} fwd{} back{} bj{:.0}",
+            s.pc,
+            s.dominant_stride,
+            s.mean_run_len,
+            s.execs,
+            cov,
+            s.max_addr - s.min_addr,
+            s.fwd_breaks,
+            s.back_breaks,
+            s.mean_back_jump
+        );
     }
     println!("orig branch profiles (pc execs taken trans pred):");
     for br in &op.branches {
-        println!("  pc{:4} ex{:8} t{:.2} r{:.3} p{:.3}", br.pc, br.execs, br.taken_rate(), br.transition_rate(), br.predictability());
+        println!(
+            "  pc{:4} ex{:8} t{:.2} r{:.3} p{:.3}",
+            br.pc,
+            br.execs,
+            br.taken_rate(),
+            br.transition_rate(),
+            br.predictability()
+        );
     }
     println!("clone stream descs (stride length footprint):");
     let mut fp = 0u64;
@@ -63,7 +90,7 @@ fn main() {
         println!("  st{:6} len{:8} fp{}", d.stride, d.length, d.footprint_bytes());
     }
     println!("total clone stream footprint {}", fp);
-    print!("sweep mpi pairs:\n");
+    println!("sweep mpi pairs:");
     for c in cache_sweep() {
         let a = simulate_dcache(&app, c, u64::MAX).mpi();
         let b = simulate_dcache(clone, c, u64::MAX).mpi();

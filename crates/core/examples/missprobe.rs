@@ -11,7 +11,10 @@ fn main() {
     let which = std::env::args().nth(1).unwrap_or("rijndael".into());
     let app = by_name(&which).unwrap().build(Scale::Small).program;
     let profile = profile_program(&app, u64::MAX);
-    let params = SynthesisParams { target_dynamic: profile.total_instrs.clamp(100_000, 2_500_000), ..Default::default() };
+    let params = SynthesisParams {
+        target_dynamic: profile.total_instrs.clamp(100_000, 2_500_000),
+        ..Default::default()
+    };
     let clone = Cloner::with_params(params).clone_program_from(&profile);
 
     for (name, prog) in [("orig", &app), ("clone", &clone)] {
@@ -22,7 +25,9 @@ fn main() {
                 let r = cache.access(m.addr, m.is_store);
                 let e = by_pc.entry(d.pc).or_default();
                 e.0 += 1;
-                if !r.hit { e.1 += 1; }
+                if !r.hit {
+                    e.1 += 1;
+                }
             }
         }
         let mut v: Vec<_> = by_pc.into_iter().collect();
@@ -31,7 +36,14 @@ fn main() {
         let total: u64 = v.iter().map(|(_, (_, m))| m).sum();
         println!("  total misses {total}");
         for (pc, (acc, miss)) in v.iter().take(30) {
-            println!("  pc{:6} acc{:9} miss{:8} ({:.3}) instr={:?}", pc, acc, miss, *miss as f64 / *acc as f64, prog.fetch(*pc));
+            println!(
+                "  pc{:6} acc{:9} miss{:8} ({:.3}) instr={:?}",
+                pc,
+                acc,
+                miss,
+                *miss as f64 / *acc as f64,
+                prog.fetch(*pc)
+            );
         }
     }
 }

@@ -10,14 +10,25 @@ fn main() {
     let which = std::env::args().nth(1).unwrap_or("sha".into());
     let app = by_name(&which).unwrap().build(Scale::Small).program;
     let profile = profile_program(&app, u64::MAX);
-    let params = SynthesisParams { target_dynamic: profile.total_instrs.clamp(100_000, 2_500_000), ..Default::default() };
+    let params = SynthesisParams {
+        target_dynamic: profile.total_instrs.clamp(100_000, 2_500_000),
+        ..Default::default()
+    };
     let clone = Cloner::with_params(params).clone_program_from(&profile);
     // count accesses per stream id
     let mut per_stream: HashMap<u32, u64> = HashMap::new();
     for d in Simulator::trace(&clone, u64::MAX) {
-        if let (Some(_), perfclone_isa::Instr::Load { mem: perfclone_isa::MemRef::Stream(id), .. }) = (d.mem, d.instr) {
+        if let (
+            Some(_),
+            perfclone_isa::Instr::Load { mem: perfclone_isa::MemRef::Stream(id), .. },
+        ) = (d.mem, d.instr)
+        {
             *per_stream.entry(id.index()).or_default() += 1;
-        } else if let (Some(_), perfclone_isa::Instr::Store { mem: perfclone_isa::MemRef::Stream(id), .. }) = (d.mem, d.instr) {
+        } else if let (
+            Some(_),
+            perfclone_isa::Instr::Store { mem: perfclone_isa::MemRef::Stream(id), .. },
+        ) = (d.mem, d.instr)
+        {
             *per_stream.entry(id.index()).or_default() += 1;
         }
     }
@@ -31,12 +42,19 @@ fn main() {
     let mut sr: Vec<_> = static_refs.into_iter().collect();
     sr.sort();
     println!("static refs: {:?}", sr);
-    println!("clone stream table: {} entries; static instrs {}", clone.streams().len(), clone.len());
+    println!(
+        "clone stream table: {} entries; static instrs {}",
+        clone.streams().len(),
+        clone.len()
+    );
     let mut v: Vec<_> = per_stream.into_iter().collect();
     v.sort();
     for (id, n) in v {
         let d = clone.stream(perfclone_isa::StreamId::new(id));
-        println!("stream {id}: {n} accesses, stride {}, len {}, base {:#x}", d.stride, d.length, d.base);
+        println!(
+            "stream {id}: {n} accesses, stride {}, len {}, base {:#x}",
+            d.stride, d.length, d.base
+        );
     }
 }
 // (appended)

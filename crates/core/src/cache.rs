@@ -1,0 +1,304 @@
+//! Shared workload cache for parallel experiments.
+//!
+//! A design-space sweep runs the same workload against many machine
+//! configurations. Profiling the workload, synthesizing its clone, and
+//! generating its statistical trace are configuration-independent, so
+//! repeating them per cell wastes most of the sweep's time. A
+//! [`WorkloadCache`] computes each artifact once — on whichever thread
+//! asks first — and hands every subsequent requester the same
+//! [`Arc`]-shared value.
+//!
+//! Concurrency: the key→slot map sits behind a [`Mutex`] held only long
+//! enough to find or insert a slot; the (expensive) computation itself
+//! runs inside the slot's [`OnceLock`], outside the map lock, so two
+//! threads asking for *different* workloads never serialize on each
+//! other, and two threads asking for the *same* workload compute it
+//! exactly once.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use perfclone_isa::Program;
+use perfclone_profile::{profile_program, WorkloadProfile};
+use perfclone_sim::DynInstr;
+use perfclone_statsim::{synth_trace, TraceParams};
+use perfclone_synth::{synthesize, MemoryModel, SynthesisParams};
+
+/// One memoization table: key → lazily-computed `Arc<V>`.
+struct Memo<K, V> {
+    map: Mutex<HashMap<K, Arc<OnceLock<Arc<V>>>>>,
+    lookups: AtomicU64,
+    computes: AtomicU64,
+}
+
+impl<K: Eq + Hash, V> Memo<K, V> {
+    fn new() -> Memo<K, V> {
+        Memo {
+            map: Mutex::new(HashMap::new()),
+            lookups: AtomicU64::new(0),
+            computes: AtomicU64::new(0),
+        }
+    }
+
+    fn get_or_compute(&self, key: K, compute: impl FnOnce() -> V) -> Arc<V> {
+        self.lookups.fetch_add(1, Ordering::Relaxed);
+        let slot = {
+            let mut map = self.map.lock().expect("workload cache poisoned");
+            map.entry(key).or_default().clone()
+        };
+        slot.get_or_init(|| {
+            self.computes.fetch_add(1, Ordering::Relaxed);
+            Arc::new(compute())
+        })
+        .clone()
+    }
+}
+
+/// A [`SynthesisParams`] image with `Eq + Hash` (the params struct holds
+/// an `f64` miss-rate target, hashed here by bit pattern).
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+struct ParamsKey {
+    seed: u64,
+    target_blocks: u32,
+    target_dynamic: u64,
+    memory_model: (u8, u64, u32),
+    branch_model: u8,
+    context_sensitive: bool,
+}
+
+impl ParamsKey {
+    fn of(p: &SynthesisParams) -> ParamsKey {
+        ParamsKey {
+            seed: p.seed,
+            target_blocks: p.target_blocks,
+            target_dynamic: p.target_dynamic,
+            memory_model: match p.memory_model {
+                MemoryModel::StrideStreams => (0, 0, 0),
+                MemoryModel::MissRateTarget { miss_rate, line_bytes } => {
+                    (1, miss_rate.to_bits(), line_bytes)
+                }
+            },
+            branch_model: p.branch_model as u8,
+            context_sensitive: p.context_sensitive,
+        }
+    }
+}
+
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct ProfileKey {
+    workload: String,
+    limit: u64,
+}
+
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct CloneKey {
+    workload: String,
+    limit: u64,
+    params: ParamsKey,
+}
+
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct TraceKey {
+    workload: String,
+    limit: u64,
+    length: u64,
+    seed: u64,
+}
+
+/// Hit/compute counters of a [`WorkloadCache`], for observability and
+/// tests.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WorkloadCacheStats {
+    /// Profile lookups served.
+    pub profile_lookups: u64,
+    /// Profiles actually computed (lookups − computes = hits).
+    pub profile_computes: u64,
+    /// Clone lookups served.
+    pub clone_lookups: u64,
+    /// Clones actually synthesized.
+    pub clone_computes: u64,
+    /// Statistical-trace lookups served.
+    pub trace_lookups: u64,
+    /// Statistical traces actually generated.
+    pub trace_computes: u64,
+}
+
+/// Memoizes the per-workload artifacts a sweep re-uses across cells: the
+/// microarchitecture-independent profile, the synthesized clone program,
+/// and the statistical-simulation trace.
+///
+/// Entries are keyed by a caller-chosen workload name plus every input
+/// that affects the artifact (profiling limit, synthesis parameters,
+/// trace parameters) — the caller must use distinct names for distinct
+/// programs. The cache is `Sync`; share one instance by reference across
+/// a sweep's worker threads.
+#[derive(Default)]
+pub struct WorkloadCache {
+    profiles: Memo<ProfileKey, WorkloadProfile>,
+    clones: Memo<CloneKey, Program>,
+    traces: Memo<TraceKey, Vec<DynInstr>>,
+}
+
+impl<K: Eq + Hash, V> Default for Memo<K, V> {
+    fn default() -> Memo<K, V> {
+        Memo::new()
+    }
+}
+
+impl WorkloadCache {
+    /// Creates an empty cache.
+    pub fn new() -> WorkloadCache {
+        WorkloadCache::default()
+    }
+
+    /// The profile of `program` (up to `limit` instructions), computed on
+    /// first request and shared thereafter.
+    pub fn profile(&self, workload: &str, program: &Program, limit: u64) -> Arc<WorkloadProfile> {
+        let key = ProfileKey { workload: workload.to_string(), limit };
+        self.profiles.get_or_compute(key, || profile_program(program, limit))
+    }
+
+    /// The synthesized clone of `program` under `params`, built from the
+    /// cached profile.
+    pub fn clone_program(
+        &self,
+        workload: &str,
+        program: &Program,
+        limit: u64,
+        params: &SynthesisParams,
+    ) -> Arc<Program> {
+        let key = CloneKey { workload: workload.to_string(), limit, params: ParamsKey::of(params) };
+        self.clones.get_or_compute(key, || {
+            let profile = self.profile(workload, program, limit);
+            synthesize(&profile, params)
+        })
+    }
+
+    /// The statistical-simulation trace of `program` under `trace_params`,
+    /// generated from the cached profile. Replay it with
+    /// `trace.iter().copied()`.
+    pub fn statsim_trace(
+        &self,
+        workload: &str,
+        program: &Program,
+        limit: u64,
+        trace_params: &TraceParams,
+    ) -> Arc<Vec<DynInstr>> {
+        let key = TraceKey {
+            workload: workload.to_string(),
+            limit,
+            length: trace_params.length,
+            seed: trace_params.seed,
+        };
+        self.traces.get_or_compute(key, || {
+            let profile = self.profile(workload, program, limit);
+            synth_trace(&profile, trace_params)
+        })
+    }
+
+    /// Current lookup/compute counters.
+    pub fn stats(&self) -> WorkloadCacheStats {
+        WorkloadCacheStats {
+            profile_lookups: self.profiles.lookups.load(Ordering::Relaxed),
+            profile_computes: self.profiles.computes.load(Ordering::Relaxed),
+            clone_lookups: self.clones.lookups.load(Ordering::Relaxed),
+            clone_computes: self.clones.computes.load(Ordering::Relaxed),
+            trace_lookups: self.traces.lookups.load(Ordering::Relaxed),
+            trace_computes: self.traces.computes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perfclone_kernels::{by_name, Scale};
+
+    fn program(name: &str) -> Program {
+        by_name(name).expect("kernel exists").build(Scale::Tiny).program
+    }
+
+    #[test]
+    fn profile_hits_return_the_same_arc() {
+        let cache = WorkloadCache::new();
+        let p = program("crc32");
+        let a = cache.profile("crc32", &p, 100_000);
+        let b = cache.profile("crc32", &p, 100_000);
+        assert!(Arc::ptr_eq(&a, &b));
+        let stats = cache.stats();
+        assert_eq!(stats.profile_lookups, 2);
+        assert_eq!(stats.profile_computes, 1);
+    }
+
+    #[test]
+    fn different_workloads_and_limits_miss() {
+        let cache = WorkloadCache::new();
+        let crc = program("crc32");
+        let bit = program("bitcount");
+        let a = cache.profile("crc32", &crc, 100_000);
+        let b = cache.profile("bitcount", &bit, 100_000);
+        let c = cache.profile("crc32", &crc, 50_000);
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(cache.stats().profile_computes, 3);
+    }
+
+    #[test]
+    fn cached_profile_equals_direct_profile() {
+        let cache = WorkloadCache::new();
+        let p = program("crc32");
+        let cached = cache.profile("crc32", &p, 100_000);
+        let direct = profile_program(&p, 100_000);
+        assert_eq!(
+            cached.to_json().unwrap(),
+            direct.to_json().unwrap(),
+            "cache must be transparent"
+        );
+    }
+
+    #[test]
+    fn clone_keyed_by_params() {
+        let cache = WorkloadCache::new();
+        let p = program("crc32");
+        let params = SynthesisParams { target_dynamic: 50_000, ..SynthesisParams::default() };
+        let a = cache.clone_program("crc32", &p, u64::MAX, &params);
+        let b = cache.clone_program("crc32", &p, u64::MAX, &params);
+        assert!(Arc::ptr_eq(&a, &b));
+        let reseeded = SynthesisParams { seed: 99, ..params };
+        let c = cache.clone_program("crc32", &p, u64::MAX, &reseeded);
+        assert!(!Arc::ptr_eq(&a, &c));
+        // Both clones share one underlying profile.
+        assert_eq!(cache.stats().profile_computes, 1);
+        assert_eq!(cache.stats().clone_computes, 2);
+    }
+
+    #[test]
+    fn trace_keyed_by_length_and_seed() {
+        let cache = WorkloadCache::new();
+        let p = program("crc32");
+        let tp = TraceParams { length: 20_000, seed: 7 };
+        let a = cache.statsim_trace("crc32", &p, u64::MAX, &tp);
+        let b = cache.statsim_trace("crc32", &p, u64::MAX, &tp);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(a.len() as u64, tp.length);
+        let c = cache.statsim_trace("crc32", &p, u64::MAX, &TraceParams { seed: 8, ..tp });
+        assert!(!Arc::ptr_eq(&a, &c));
+    }
+
+    #[test]
+    fn concurrent_requests_compute_once() {
+        let cache = WorkloadCache::new();
+        let p = program("crc32");
+        std::thread::scope(|scope| {
+            let handles: Vec<_> =
+                (0..8).map(|_| scope.spawn(|| cache.profile("crc32", &p, 100_000))).collect();
+            let arcs: Vec<_> = handles.into_iter().map(|h| h.join().expect("no panic")).collect();
+            for pair in arcs.windows(2) {
+                assert!(Arc::ptr_eq(&pair[0], &pair[1]));
+            }
+        });
+        assert_eq!(cache.stats().profile_computes, 1);
+    }
+}

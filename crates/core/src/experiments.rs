@@ -1,10 +1,17 @@
 //! Experiment drivers for the paper's evaluation (§5): the 28-configuration
 //! cache sweep (Figures 4 and 5), base-configuration comparison (Figures 6
 //! and 7), and the five design changes (Table 3, Figures 8 and 9).
+//!
+//! Every driver has a `_par` twin that fans its (program × configuration)
+//! cells over the ambient rayon parallelism. Each cell builds its own
+//! pipeline, caches, and predictor state, and results are collected in
+//! input order, so the parallel drivers return values bit-identical to
+//! their serial twins at any thread count.
 
 use perfclone_isa::Program;
 use perfclone_metrics::{pearson, rank, relative_error};
 use perfclone_uarch::{design_changes, simulate_dcache, CacheConfig, MachineConfig};
+use rayon::prelude::*;
 
 use crate::{run_timing, TimingResult};
 
@@ -43,11 +50,27 @@ pub fn cache_sweep_pair(
     configs: &[CacheConfig],
     limit: u64,
 ) -> CacheSweepComparison {
-    let real_mpi =
-        configs.iter().map(|c| simulate_dcache(real, *c, limit).mpi()).collect();
-    let synth_mpi =
-        configs.iter().map(|c| simulate_dcache(clone, *c, limit).mpi()).collect();
+    let real_mpi = configs.iter().map(|c| simulate_dcache(real, *c, limit).mpi()).collect();
+    let synth_mpi = configs.iter().map(|c| simulate_dcache(clone, *c, limit).mpi()).collect();
     CacheSweepComparison { configs: configs.to_vec(), real_mpi, synth_mpi }
+}
+
+/// Parallel [`cache_sweep_pair`]: all 2 × `configs.len()` cells fan over
+/// the ambient thread pool as one flat work list; the result is
+/// bit-identical to the serial driver's.
+pub fn cache_sweep_pair_par(
+    real: &Program,
+    clone: &Program,
+    configs: &[CacheConfig],
+    limit: u64,
+) -> CacheSweepComparison {
+    let programs = [real, clone];
+    let cells: Vec<(usize, CacheConfig)> =
+        (0..programs.len()).flat_map(|p| configs.iter().map(move |c| (p, *c))).collect();
+    let mut mpi: Vec<f64> =
+        cells.par_iter().map(|&(p, c)| simulate_dcache(programs[p], c, limit).mpi()).collect();
+    let synth_mpi = mpi.split_off(configs.len());
+    CacheSweepComparison { configs: configs.to_vec(), real_mpi: mpi, synth_mpi }
 }
 
 /// Results of one design-change experiment for one benchmark pair.
@@ -136,6 +159,43 @@ pub fn design_change_sweep(
     DesignChangeSweep { base_real, base_synth, changes }
 }
 
+/// Parallel [`design_change_sweep`]: the 2 × (1 + 5) (program ×
+/// configuration) timing cells fan over the ambient thread pool. Every
+/// cell constructs its own [`Pipeline`](crate::Pipeline) — caches,
+/// predictor, window state and all — so cells share nothing mutable, and
+/// the reassembled sweep is bit-identical to the serial driver's.
+pub fn design_change_sweep_par(
+    real: &Program,
+    clone: &Program,
+    base: &MachineConfig,
+    limit: u64,
+) -> DesignChangeSweep {
+    let mut configs = vec![*base];
+    configs.extend(design_changes());
+    let programs = [real, clone];
+    let cells: Vec<(usize, usize)> = configs
+        .iter()
+        .enumerate()
+        .flat_map(|(ci, _)| (0..programs.len()).map(move |p| (ci, p)))
+        .collect();
+    let mut results: Vec<TimingResult> =
+        cells.par_iter().map(|&(ci, p)| run_timing(programs[p], &configs[ci], limit)).collect();
+    // Cells were laid out [base×real, base×clone, change1×real, ...]:
+    // drain in that order.
+    let mut rest = results.split_off(2);
+    let base_synth = results.pop().expect("base clone cell");
+    let base_real = results.pop().expect("base real cell");
+    let changes = configs[1..]
+        .iter()
+        .map(|config| {
+            let real = rest.remove(0);
+            let synth = rest.remove(0);
+            DesignChangeResult { config: *config, real, synth }
+        })
+        .collect();
+    DesignChangeSweep { base_real, base_synth, changes }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -145,11 +205,8 @@ mod tests {
 
     fn small_pair() -> (Program, Program) {
         let app = by_name("susan").unwrap().build(Scale::Tiny).program;
-        let params = SynthesisParams {
-            target_blocks: 120,
-            target_dynamic: 120_000,
-            ..Default::default()
-        };
+        let params =
+            SynthesisParams { target_blocks: 120, target_dynamic: 120_000, ..Default::default() };
         let clone = Cloner::with_params(params).clone_program(&app, u64::MAX).clone;
         (app, clone)
     }
@@ -164,6 +221,43 @@ mod tests {
         let (rr, rs) = sweep.rankings();
         assert_eq!(rr.len(), 28);
         assert_eq!(rs.len(), 28);
+    }
+
+    #[test]
+    fn parallel_cache_sweep_is_bit_identical_to_serial() {
+        let (app, clone) = small_pair();
+        let configs = cache_sweep();
+        let serial = cache_sweep_pair(&app, &clone, &configs, u64::MAX);
+        for jobs in [1usize, 4] {
+            let pool = rayon::ThreadPoolBuilder::new().num_threads(jobs).build().expect("pool");
+            let par = pool.install(|| cache_sweep_pair_par(&app, &clone, &configs, u64::MAX));
+            assert_eq!(serial.real_mpi, par.real_mpi, "jobs = {jobs}");
+            assert_eq!(serial.synth_mpi, par.synth_mpi, "jobs = {jobs}");
+            assert_eq!(serial.configs, par.configs, "jobs = {jobs}");
+        }
+    }
+
+    #[test]
+    fn parallel_design_change_sweep_is_bit_identical_to_serial() {
+        let (app, clone) = small_pair();
+        let serial = design_change_sweep(&app, &clone, &base_config(), 150_000);
+        let par = design_change_sweep_par(&app, &clone, &base_config(), 150_000);
+        assert_eq!(serial.base_real.report.cycles, par.base_real.report.cycles);
+        assert_eq!(
+            serial.base_synth.power.average_power.to_bits(),
+            par.base_synth.power.average_power.to_bits()
+        );
+        assert_eq!(serial.changes.len(), par.changes.len());
+        for (s, p) in serial.changes.iter().zip(&par.changes) {
+            assert_eq!(s.config.name, p.config.name);
+            assert_eq!(s.real.report.cycles, p.real.report.cycles);
+            assert_eq!(s.synth.report.cycles, p.synth.report.cycles);
+            assert_eq!(s.real.report.ipc().to_bits(), p.real.report.ipc().to_bits());
+            assert_eq!(
+                s.synth.power.average_power.to_bits(),
+                p.synth.power.average_power.to_bits()
+            );
+        }
     }
 
     #[test]

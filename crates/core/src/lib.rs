@@ -38,16 +38,20 @@
 //! assert!(cmp.ipc_error() < 0.5);
 //! ```
 
+pub mod cache;
 pub mod experiments;
+pub mod seeds;
 pub mod suite;
+
+pub use cache::{WorkloadCache, WorkloadCacheStats};
+pub use seeds::derive_cell_seed;
 
 pub use perfclone_metrics::{mean_abs_pct_error, pearson, rank, relative_error, spearman, Table};
 pub use perfclone_power::{estimate_power, PowerReport};
 pub use perfclone_profile::{profile_program, WorkloadProfile};
 pub use perfclone_synth::{emit_c, synthesize, BranchModel, MemoryModel, SynthesisParams};
 pub use perfclone_uarch::{
-    base_config, cache_sweep, design_changes, CacheConfig, MachineConfig, Pipeline,
-    PipelineReport,
+    base_config, cache_sweep, design_changes, CacheConfig, MachineConfig, Pipeline, PipelineReport,
 };
 
 use perfclone_isa::Program;
@@ -174,11 +178,8 @@ mod tests {
 
     #[test]
     fn validate_pair_reports_errors() {
-        let params = SynthesisParams {
-            target_blocks: 100,
-            target_dynamic: 150_000,
-            ..Default::default()
-        };
+        let params =
+            SynthesisParams { target_blocks: 100, target_dynamic: 150_000, ..Default::default() };
         let app = by_name("crc32").unwrap().build(Scale::Tiny).program;
         let outcome = Cloner::with_params(params).clone_program(&app, u64::MAX);
         let cmp = validate_pair(&app, &outcome.clone, &base_config(), u64::MAX);

@@ -10,8 +10,9 @@
 
 use perfclone_isa::Program;
 use perfclone_uarch::MachineConfig;
+use rayon::prelude::*;
 
-use crate::{run_timing, Cloner};
+use crate::{derive_cell_seed, run_timing, Cloner, SynthesisParams};
 
 /// A named, weighted collection of programs.
 #[derive(Debug)]
@@ -66,6 +67,34 @@ impl Suite {
         }
         out
     }
+
+    /// Parallel suite cloning: members fan over the ambient thread pool,
+    /// each synthesized with a per-member seed derived from `root_seed`
+    /// and the member's (name, index) cell via
+    /// [`derive_cell_seed`]. Because the seed depends only on the cell —
+    /// never on which thread ran it — the cloned suite is identical at
+    /// any thread count, and two runs with the same root seed produce the
+    /// same clones.
+    pub fn clone_suite_par(&self, cloner: &Cloner, root_seed: u64) -> Suite {
+        let cells: Vec<(usize, &Program, f64)> =
+            self.entries.iter().enumerate().map(|(i, (p, w))| (i, p, *w)).collect();
+        let cloned: Vec<(Program, f64)> = cells
+            .par_iter()
+            .map(|&(i, program, weight)| {
+                let params = SynthesisParams {
+                    seed: derive_cell_seed(root_seed, program.name(), i as u64),
+                    ..*cloner.params()
+                };
+                let outcome = Cloner::with_params(params).clone_program(program, u64::MAX);
+                (outcome.clone, weight)
+            })
+            .collect();
+        let mut out = Suite::new(format!("{}-clone", self.name));
+        for (program, weight) in cloned {
+            out.push(program, weight);
+        }
+        out
+    }
 }
 
 /// A suite mark: weighted geometric mean of per-program IPC (the EEMBC
@@ -94,10 +123,35 @@ pub fn suite_mark(suite: &Suite, config: &MachineConfig, limit: u64) -> SuiteMar
         power_sum += weight * t.power.average_power;
         weight_sum += weight;
     }
-    SuiteMark {
-        ipc_mark: (log_sum / weight_sum).exp(),
-        power_mark: power_sum / weight_sum,
+    SuiteMark { ipc_mark: (log_sum / weight_sum).exp(), power_mark: power_sum / weight_sum }
+}
+
+/// Parallel [`suite_mark`]: per-member timing runs fan over the ambient
+/// thread pool; the weighted reduction happens serially in member order,
+/// so the mark is bit-identical to the serial one at any thread count.
+///
+/// # Panics
+///
+/// Panics if the suite is empty.
+pub fn suite_mark_par(suite: &Suite, config: &MachineConfig, limit: u64) -> SuiteMark {
+    assert!(!suite.is_empty(), "cannot mark an empty suite");
+    let cells: Vec<(&Program, f64)> = suite.entries().collect();
+    let timed: Vec<(f64, f64)> = cells
+        .par_iter()
+        .map(|&(program, weight)| {
+            let t = run_timing(program, config, limit);
+            (weight * t.report.ipc().ln(), weight * t.power.average_power)
+        })
+        .collect();
+    let mut log_sum = 0.0;
+    let mut power_sum = 0.0;
+    let mut weight_sum = 0.0;
+    for ((log_w, power_w), (_, weight)) in timed.iter().zip(&cells) {
+        log_sum += log_w;
+        power_sum += power_w;
+        weight_sum += weight;
     }
+    SuiteMark { ipc_mark: (log_sum / weight_sum).exp(), power_mark: power_sum / weight_sum }
 }
 
 #[cfg(test)]
@@ -136,6 +190,46 @@ mod tests {
         let synth = suite_mark(&clones, &base_config(), u64::MAX);
         let err = ((synth.ipc_mark - real.ipc_mark) / real.ipc_mark).abs();
         assert!(err < 0.3, "suite mark error {err:.3}");
+    }
+
+    #[test]
+    fn parallel_mark_is_bit_identical_to_serial() {
+        let mut s = Suite::new("auto");
+        s.push(program("bitcount"), 1.0);
+        s.push(program("qsort"), 2.5);
+        s.push(program("crc32"), 0.5);
+        let serial = suite_mark(&s, &base_config(), 60_000);
+        for jobs in [1usize, 4] {
+            let pool = rayon::ThreadPoolBuilder::new().num_threads(jobs).build().expect("pool");
+            let par = pool.install(|| suite_mark_par(&s, &base_config(), 60_000));
+            assert_eq!(serial.ipc_mark.to_bits(), par.ipc_mark.to_bits(), "jobs = {jobs}");
+            assert_eq!(serial.power_mark.to_bits(), par.power_mark.to_bits(), "jobs = {jobs}");
+        }
+    }
+
+    #[test]
+    fn parallel_cloning_is_deterministic_across_thread_counts() {
+        let mut s = Suite::new("telecom");
+        s.push(program("crc32"), 2.0);
+        s.push(program("adpcm_enc"), 1.0);
+        let cloner = Cloner::with_params(SynthesisParams {
+            target_dynamic: 40_000,
+            ..SynthesisParams::default()
+        });
+        let root = 0xFEED_F00D;
+        let render = |suite: &Suite| -> Vec<String> {
+            suite.entries().map(|(p, w)| format!("{w} {p:?}")).collect()
+        };
+        let narrow = rayon::ThreadPoolBuilder::new().num_threads(1).build().expect("pool");
+        let wide = rayon::ThreadPoolBuilder::new().num_threads(4).build().expect("pool");
+        let a = narrow.install(|| s.clone_suite_par(&cloner, root));
+        let b = wide.install(|| s.clone_suite_par(&cloner, root));
+        let c = wide.install(|| s.clone_suite_par(&cloner, root));
+        assert_eq!(render(&a), render(&b), "1 thread vs 4 threads");
+        assert_eq!(render(&b), render(&c), "same root seed, two runs");
+        // A different root seed must produce different clones.
+        let d = wide.install(|| s.clone_suite_par(&cloner, root + 1));
+        assert_ne!(render(&a), render(&d));
     }
 
     #[test]

@@ -483,7 +483,9 @@ impl ProgramBuilder {
             let pc = labels[label.0 as usize]
                 .unwrap_or_else(|| panic!("label {label} referenced but never bound"));
             match &mut instrs[idx] {
-                Instr::Branch { target, .. } | Instr::Jump { target } | Instr::Jal { target, .. } => {
+                Instr::Branch { target, .. }
+                | Instr::Jump { target }
+                | Instr::Jal { target, .. } => {
                     *target = pc;
                 }
                 other => unreachable!("fixup on non-control instruction {other:?}"),

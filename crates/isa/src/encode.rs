@@ -67,13 +67,7 @@ fn pack(op: u8, a: u8, b: u8, c: u8, imm: u32) -> u64 {
 }
 
 fn fields(word: u64) -> (u8, u8, u8, u8, u32) {
-    (
-        (word >> 56) as u8,
-        (word >> 48) as u8,
-        (word >> 40) as u8,
-        (word >> 32) as u8,
-        word as u32,
-    )
+    ((word >> 56) as u8, (word >> 48) as u8, (word >> 40) as u8, (word >> 32) as u8, word as u32)
 }
 
 fn alu_code(op: AluOp) -> u8 {
@@ -201,9 +195,7 @@ pub fn encode_instr(instr: &Instr) -> (u64, Option<u64>) {
         Instr::Fp { op, fd, fs1, fs2 } => {
             (pack(OP_FP, fp_code(op), fd.index(), fs1.index(), u32::from(fs2.index())), None)
         }
-        Instr::FLi { fd, imm } => {
-            (pack(OP_FLI, fd.index(), 0, 0, 0), Some(imm.to_bits()))
-        }
+        Instr::FLi { fd, imm } => (pack(OP_FLI, fd.index(), 0, 0, 0), Some(imm.to_bits())),
         Instr::CvtIf { fd, rs } => (pack(OP_CVT_IF, fd.index(), rs.index(), 0, 0), None),
         Instr::CvtFi { rd, fs } => (pack(OP_CVT_FI, rd.index(), fs.index(), 0, 0), None),
         Instr::FCmpLt { rd, fs1, fs2 } => {
@@ -326,18 +318,14 @@ pub fn decode_instr(word: u64, trailing: Option<u64>) -> Result<Instr, DecodeErr
             mem: MemRef::Stream(StreamId::new(imm)),
             width: width_from(c).ok_or_else(|| err("bad width"))?,
         },
-        OP_LOADF => Instr::LoadF {
-            fd: freg(a)?,
-            mem: MemRef::Base { base: reg(b)?, offset: imm as i32 },
-        },
-        OP_STOREF => Instr::StoreF {
-            fs: freg(a)?,
-            mem: MemRef::Base { base: reg(b)?, offset: imm as i32 },
-        },
-        OP_LOADF_STREAM => Instr::LoadF { fd: freg(a)?, mem: MemRef::Stream(StreamId::new(imm)) },
-        OP_STOREF_STREAM => {
-            Instr::StoreF { fs: freg(a)?, mem: MemRef::Stream(StreamId::new(imm)) }
+        OP_LOADF => {
+            Instr::LoadF { fd: freg(a)?, mem: MemRef::Base { base: reg(b)?, offset: imm as i32 } }
         }
+        OP_STOREF => {
+            Instr::StoreF { fs: freg(a)?, mem: MemRef::Base { base: reg(b)?, offset: imm as i32 } }
+        }
+        OP_LOADF_STREAM => Instr::LoadF { fd: freg(a)?, mem: MemRef::Stream(StreamId::new(imm)) },
+        OP_STOREF_STREAM => Instr::StoreF { fs: freg(a)?, mem: MemRef::Stream(StreamId::new(imm)) },
         OP_BRANCH => Instr::Branch {
             cond: cond_from(a).ok_or_else(|| err("bad condition"))?,
             rs1: reg(b)?,

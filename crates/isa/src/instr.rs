@@ -405,9 +405,10 @@ impl Instr {
                 FpOp::Div | FpOp::Sqrt => InstrClass::FpDiv,
                 _ => InstrClass::FpAlu,
             },
-            Instr::FLi { .. } | Instr::CvtIf { .. } | Instr::CvtFi { .. } | Instr::FCmpLt { .. } => {
-                InstrClass::FpAlu
-            }
+            Instr::FLi { .. }
+            | Instr::CvtIf { .. }
+            | Instr::CvtFi { .. }
+            | Instr::FCmpLt { .. } => InstrClass::FpAlu,
             Instr::Load { .. } | Instr::LoadF { .. } => InstrClass::Load,
             Instr::Store { .. } | Instr::StoreF { .. } => InstrClass::Store,
             Instr::Branch { .. } => InstrClass::Branch,
@@ -463,7 +464,9 @@ impl Instr {
             }
             Instr::AluImm { rs1, .. } => out.push(RegRef::Int(*rs1)),
             Instr::Li { .. } | Instr::FLi { .. } | Instr::Nop | Instr::Halt => {}
-            Instr::Mul { rs1, rs2, .. } | Instr::Div { rs1, rs2, .. } | Instr::Rem { rs1, rs2, .. } => {
+            Instr::Mul { rs1, rs2, .. }
+            | Instr::Div { rs1, rs2, .. }
+            | Instr::Rem { rs1, rs2, .. } => {
                 out.push(RegRef::Int(*rs1));
                 out.push(RegRef::Int(*rs2));
             }
@@ -536,10 +539,7 @@ mod tests {
     #[test]
     fn classes() {
         assert_eq!(Instr::Nop.class(), InstrClass::IntAlu);
-        assert_eq!(
-            Instr::Mul { rd: r(1), rs1: r(2), rs2: r(3) }.class(),
-            InstrClass::IntMul
-        );
+        assert_eq!(Instr::Mul { rd: r(1), rs1: r(2), rs2: r(3) }.class(), InstrClass::IntMul);
         assert_eq!(
             Instr::Fp { op: FpOp::Mul, fd: FReg::new(0), fs1: FReg::new(1), fs2: FReg::new(2) }
                 .class(),
@@ -564,10 +564,7 @@ mod tests {
     fn defs_and_uses() {
         let i = Instr::Alu { op: AluOp::Add, rd: r(1), rs1: r(2), rs2: r(3) };
         assert_eq!(i.defs().iter().collect::<Vec<_>>(), vec![RegRef::Int(r(1))]);
-        assert_eq!(
-            i.uses().iter().collect::<Vec<_>>(),
-            vec![RegRef::Int(r(2)), RegRef::Int(r(3))]
-        );
+        assert_eq!(i.uses().iter().collect::<Vec<_>>(), vec![RegRef::Int(r(2)), RegRef::Int(r(3))]);
     }
 
     #[test]
@@ -594,7 +591,8 @@ mod tests {
 
     #[test]
     fn stream_memref_has_no_register_uses() {
-        let i = Instr::Load { rd: r(1), mem: MemRef::Stream(StreamId::new(0)), width: MemWidth::B4 };
+        let i =
+            Instr::Load { rd: r(1), mem: MemRef::Stream(StreamId::new(0)), width: MemWidth::B4 };
         assert!(i.uses().is_empty());
     }
 
@@ -611,12 +609,8 @@ mod tests {
 
     #[test]
     fn sqrt_uses_single_source() {
-        let i = Instr::Fp {
-            op: FpOp::Sqrt,
-            fd: FReg::new(0),
-            fs1: FReg::new(1),
-            fs2: FReg::new(2),
-        };
+        let i =
+            Instr::Fp { op: FpOp::Sqrt, fd: FReg::new(0), fs1: FReg::new(1), fs2: FReg::new(2) };
         assert_eq!(i.uses().len(), 1);
     }
 

@@ -48,7 +48,7 @@ mod reg;
 pub use builder::{Label, ProgramBuilder};
 pub use disasm::{disasm, disasm_program};
 pub use encode::{decode_instr, decode_program, encode_instr, encode_program, DecodeError};
-pub use parse::{parse_instr, ParseInstrError};
 pub use instr::{AluOp, Cond, FpOp, Instr, InstrClass, MemRef, MemWidth, OperandList, RegRef};
+pub use parse::{parse_instr, ParseInstrError};
 pub use program::{DataSeg, Program, StreamDesc, StreamId, INSTR_BYTES};
 pub use reg::{FReg, Reg};

@@ -64,8 +64,7 @@ fn parse_mem(s: &str) -> Result<MemRef, String> {
     }
     let open = s.find('(').ok_or_else(|| format!("bad memory operand {s:?}"))?;
     let close = s.rfind(')').ok_or_else(|| format!("bad memory operand {s:?}"))?;
-    let offset: i32 =
-        s[..open].parse().map_err(|_| format!("bad offset in {s:?}"))?;
+    let offset: i32 = s[..open].parse().map_err(|_| format!("bad offset in {s:?}"))?;
     let base = parse_reg(&s[open + 1..close])?;
     Ok(MemRef::Base { base, offset })
 }
@@ -131,11 +130,8 @@ pub fn parse_instr(line: &str) -> Result<Instr, ParseInstrError> {
         Some((m, r)) => (m, r.trim()),
         None => (text, ""),
     };
-    let ops: Vec<&str> = if rest.is_empty() {
-        Vec::new()
-    } else {
-        rest.split(',').map(str::trim).collect()
-    };
+    let ops: Vec<&str> =
+        if rest.is_empty() { Vec::new() } else { rest.split(',').map(str::trim).collect() };
     let want = |n: usize| -> Result<(), ParseInstrError> {
         if ops.len() == n {
             Ok(())
@@ -351,8 +347,7 @@ mod tests {
                 .prop_map(|(op, rd, rs1, rs2)| Instr::Alu { op, rd, rs1, rs2 }),
             (alu, reg_strategy(), reg_strategy(), -1000i32..1000)
                 .prop_map(|(op, rd, rs1, imm)| Instr::AluImm { op, rd, rs1, imm }),
-            (reg_strategy(), -1_000_000i64..1_000_000)
-                .prop_map(|(rd, imm)| Instr::Li { rd, imm }),
+            (reg_strategy(), -1_000_000i64..1_000_000).prop_map(|(rd, imm)| Instr::Li { rd, imm }),
             (reg_strategy(), reg_strategy(), reg_strategy())
                 .prop_map(|(rd, rs1, rs2)| Instr::Mul { rd, rs1, rs2 }),
             (reg_strategy(), reg_strategy(), reg_strategy())
@@ -363,8 +358,11 @@ mod tests {
                 .prop_map(|(fd, fs1, fs2)| Instr::Fp { op: FpOp::Mul, fd, fs1, fs2 }),
             (reg_strategy(), mem_strategy(), widths.clone())
                 .prop_map(|(rd, mem, width)| Instr::Load { rd, mem, width }),
-            (reg_strategy(), mem_strategy(), widths)
-                .prop_map(|(rs, mem, width)| Instr::Store { rs, mem, width }),
+            (reg_strategy(), mem_strategy(), widths).prop_map(|(rs, mem, width)| Instr::Store {
+                rs,
+                mem,
+                width
+            }),
             (freg_strategy(), mem_strategy()).prop_map(|(fd, mem)| Instr::LoadF { fd, mem }),
             (freg_strategy(), mem_strategy()).prop_map(|(fs, mem)| Instr::StoreF { fs, mem }),
             (conds, reg_strategy(), reg_strategy(), 0u32..10_000)

@@ -411,11 +411,10 @@ pub(crate) fn susan(scale: Scale) -> KernelBuild {
         for x in 1..w - 1 {
             let c = i64::from(img[idx(x, y)]);
             let mut usan = 0i64;
-            for (dx, dy) in [(-1i64, -1i64), (0, -1), (1, -1), (-1, 0), (1, 0), (-1, 1), (0, 1), (1, 1)]
+            for (dx, dy) in
+                [(-1i64, -1i64), (0, -1), (1, -1), (-1, 0), (1, 0), (-1, 1), (0, 1), (1, 1)]
             {
-                let nb = i64::from(
-                    img[idx((x as i64 + dx) as usize, (y as i64 + dy) as usize)],
-                );
+                let nb = i64::from(img[idx((x as i64 + dx) as usize, (y as i64 + dy) as usize)]);
                 usan += i64::from(lut[(255 + c - nb) as usize]);
             }
             if usan < thresh {
@@ -454,7 +453,16 @@ pub(crate) fn susan(scale: Scale) -> KernelBuild {
             b.lb(c, T0, 0);
             b.li(usan, 0);
             // 8 neighbours, unrolled with static offsets from &img[y*w + x].
-            for off in [-(w as i32) - 1, -(w as i32), -(w as i32) + 1, -1, 1, w as i32 - 1, w as i32, w as i32 + 1] {
+            for off in [
+                -(w as i32) - 1,
+                -(w as i32),
+                -(w as i32) + 1,
+                -1,
+                1,
+                w as i32 - 1,
+                w as i32,
+                w as i32 + 1,
+            ] {
                 b.lb(T1, T0, off);
                 b.sub(T2, c, T1);
                 b.add(T3, xlut, T2);

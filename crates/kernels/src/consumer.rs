@@ -12,7 +12,8 @@ fn dct_table() -> Vec<i64> {
     for u in 0..8 {
         for x in 0..8 {
             let cu = if u == 0 { (0.5f64).sqrt() } else { 1.0 };
-            let v = 0.5 * cu * ((2.0 * x as f64 + 1.0) * u as f64 * std::f64::consts::PI / 16.0).cos();
+            let v =
+                0.5 * cu * ((2.0 * x as f64 + 1.0) * u as f64 * std::f64::consts::PI / 16.0).cos();
             t[u * 8 + x] = (v * 4096.0).round() as i64;
         }
     }
@@ -21,9 +22,9 @@ fn dct_table() -> Vec<i64> {
 
 /// JPEG luminance quantization table (Annex K).
 const QTAB: [i64; 64] = [
-    16, 11, 10, 16, 24, 40, 51, 61, 12, 12, 14, 19, 26, 58, 60, 55, 14, 13, 16, 24, 40, 57, 69,
-    56, 14, 17, 22, 29, 51, 87, 80, 62, 18, 22, 37, 56, 68, 109, 103, 77, 24, 35, 55, 64, 81,
-    104, 113, 92, 49, 64, 78, 87, 103, 121, 120, 101, 72, 92, 95, 98, 112, 100, 103, 99,
+    16, 11, 10, 16, 24, 40, 51, 61, 12, 12, 14, 19, 26, 58, 60, 55, 14, 13, 16, 24, 40, 57, 69, 56,
+    14, 17, 22, 29, 51, 87, 80, 62, 18, 22, 37, 56, 68, 109, 103, 77, 24, 35, 55, 64, 81, 104, 113,
+    92, 49, 64, 78, 87, 103, 121, 120, 101, 72, 92, 95, 98, 112, 100, 103, 99,
 ];
 
 /// Host-side forward DCT + quantization of one 8×8 block (level-shifted

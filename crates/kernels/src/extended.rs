@@ -59,7 +59,7 @@ pub(crate) fn sobel(scale: Scale) -> KernelBuild {
         let x_top = loop_head(&mut b, px, 1);
         {
             b.add(T0, rowp, px); // &img[y*w+x]
-            // gx = (r - l) column sums with Sobel weights.
+                                 // gx = (r - l) column sums with Sobel weights.
             b.lb(T1, T0, 1 - wi);
             b.lb(T2, T0, 1);
             b.slli(T2, T2, 1);
@@ -209,7 +209,7 @@ pub(crate) fn viterbi(scale: Scale) -> KernelBuild {
                 b.ld(T2, T1, 0); // o
                 b.add(T1, next_r, T0);
                 b.ld(T3, T1, 0); // ns
-                // m = |r0 - b0*7| + |r1 - b1*7|
+                                 // m = |r0 - b0*7| + |r1 - b1*7|
                 b.srli(T4, T2, 1);
                 b.andi(T4, T4, 1);
                 b.li(T5, 7);
@@ -227,7 +227,7 @@ pub(crate) fn viterbi(scale: Scale) -> KernelBuild {
                 b.sub(T2, Reg::ZERO, T2);
                 b.bind(p1);
                 b.add(T4, T4, T2); // m
-                // cand = pm[s] + m
+                                   // cand = pm[s] + m
                 b.slli(T0, s, 3);
                 b.add(T1, pm_r, T0);
                 b.ld(T2, T1, 0);
@@ -520,8 +520,7 @@ pub(crate) fn tiff_median(scale: Scale) -> KernelBuild {
             let mut k = 0;
             for dy in -1i64..=1 {
                 for dx in -1i64..=1 {
-                    v[k] =
-                        i64::from(img[((y as i64 + dy) * w as i64 + x as i64 + dx) as usize]);
+                    v[k] = i64::from(img[((y as i64 + dy) * w as i64 + x as i64 + dx) as usize]);
                     k += 1;
                 }
             }
@@ -564,9 +563,7 @@ pub(crate) fn tiff_median(scale: Scale) -> KernelBuild {
         {
             b.add(T0, rowp, px);
             // Gather the 3x3 window into v[0..9].
-            for (k, off) in [-wi - 1, -wi, -wi + 1, -1, 0, 1, wi - 1, wi, wi + 1]
-                .iter()
-                .enumerate()
+            for (k, off) in [-wi - 1, -wi, -wi + 1, -1, 0, 1, wi - 1, wi, wi + 1].iter().enumerate()
             {
                 b.lb(T1, T0, *off);
                 b.sd(T1, v_r, (k as i32) * 8);

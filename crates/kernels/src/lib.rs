@@ -242,8 +242,7 @@ mod tests {
 
     #[test]
     fn catalog_has_23_unique_kernels() {
-        let names: std::collections::HashSet<&str> =
-            catalog().iter().map(|k| k.name()).collect();
+        let names: std::collections::HashSet<&str> = catalog().iter().map(|k| k.name()).collect();
         assert_eq!(names.len(), 23);
         assert_eq!(catalog().len(), 23);
     }

@@ -250,7 +250,7 @@ pub(crate) fn g721_enc(scale: Scale) -> KernelBuild {
             b.slli(T0, I, 3);
             b.add(T1, dq_r, T0);
             b.ld(T2, T1, 0); // dqh[i]
-            // grad = +32 iff (dq<0)==(dqh<0) && dqh != 0
+                             // grad = +32 iff (dq<0)==(dqh<0) && dqh != 0
             b.beqz(T2, neg_grad);
             b.slt(T3, dq, Reg::ZERO);
             b.slt(T4, T2, Reg::ZERO);

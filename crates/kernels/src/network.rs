@@ -170,7 +170,13 @@ pub(crate) fn patricia(scale: Scale) -> KernelBuild {
     let mut rng = SplitMix64::new(0xAA7);
     let keys: Vec<i64> = (0..inserts).map(|_| rng.below(1 << 32) as i64).collect();
     let probes: Vec<i64> = (0..lookups)
-        .map(|i| if i % 2 == 0 { keys[rng.below(inserts as u64) as usize] } else { rng.below(1 << 32) as i64 })
+        .map(|i| {
+            if i % 2 == 0 {
+                keys[rng.below(inserts as u64) as usize]
+            } else {
+                rng.below(1 << 32) as i64
+            }
+        })
         .collect();
 
     // Host reference trie.

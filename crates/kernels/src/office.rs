@@ -214,7 +214,7 @@ pub(crate) fn ispell(scale: Scale) -> KernelBuild {
         while table[slot] != 0 {
             slot = (slot + 1) & mask as usize;
         }
-        table[slot] = (((wmeta[2 * wi] + 1) << 8) | wmeta[2 * wi + 1]) as i64;
+        table[slot] = ((wmeta[2 * wi] + 1) << 8) | wmeta[2 * wi + 1];
     }
     let mut found = 0i64;
     let mut probes = 0i64;

@@ -34,8 +34,8 @@ pub(crate) fn blowfish(scale: Scale) -> KernelBuild {
     for blk in 0..blocks {
         let mut l = plain[2 * blk];
         let mut r = plain[2 * blk + 1];
-        for i in 0..16 {
-            l ^= p_tab[i];
+        for &p in &p_tab[..16] {
+            l ^= p;
             r ^= f(l);
             std::mem::swap(&mut l, &mut r);
         }
@@ -191,7 +191,12 @@ pub(crate) fn rijndael(scale: Scale) -> KernelBuild {
         if i % 4 == 0 {
             t = t.rotate_left(8);
             let b = t.to_be_bytes();
-            t = u32::from_be_bytes([sbox[b[0] as usize], sbox[b[1] as usize], sbox[b[2] as usize], sbox[b[3] as usize]]);
+            t = u32::from_be_bytes([
+                sbox[b[0] as usize],
+                sbox[b[1] as usize],
+                sbox[b[2] as usize],
+                sbox[b[3] as usize],
+            ]);
             t ^= u32::from(rcon) << 24;
             rcon = xtime(rcon);
         }
@@ -279,10 +284,10 @@ pub(crate) fn rijndael(scale: Scale) -> KernelBuild {
         // Load plaintext block, xor rk[0..4].
         b.slli(T2, I, 5);
         b.add(T3, pl_r, T2);
-        for j in 0..4usize {
-            b.ld(st[j], T3, (j as i32) * 8);
+        for (j, &s) in st.iter().enumerate() {
+            b.ld(s, T3, (j as i32) * 8);
             b.ld(T4, rk_r, (j as i32) * 8);
-            b.xor(st[j], st[j], T4);
+            b.xor(s, s, T4);
         }
         // 9 T-table rounds, fully unrolled.
         for r in 1..10i32 {
@@ -350,23 +355,20 @@ pub(crate) fn sha(scale: Scale) -> KernelBuild {
         for t in 0..16 {
             w[t] = msg[16 * blk + t] as u32;
         }
+        #[allow(clippy::needless_range_loop)] // w[t] depends on earlier w entries
         for t in 16..80 {
             w[t] = (w[t - 3] ^ w[t - 8] ^ w[t - 14] ^ w[t - 16]).rotate_left(1);
         }
         let (mut a, mut b2, mut c, mut d, mut e) = (h[0], h[1], h[2], h[3], h[4]);
-        for t in 0..80 {
+        for (t, &wt) in w.iter().enumerate() {
             let (f, k) = match t {
                 0..=19 => ((b2 & c) | (!b2 & d), 0x5a82_7999u32),
                 20..=39 => (b2 ^ c ^ d, 0x6ed9_eba1),
                 40..=59 => ((b2 & c) | (b2 & d) | (c & d), 0x8f1b_bcdc),
                 _ => (b2 ^ c ^ d, 0xca62_c1d6),
             };
-            let tmp = a
-                .rotate_left(5)
-                .wrapping_add(f)
-                .wrapping_add(e)
-                .wrapping_add(k)
-                .wrapping_add(w[t]);
+            let tmp =
+                a.rotate_left(5).wrapping_add(f).wrapping_add(e).wrapping_add(k).wrapping_add(wt);
             e = d;
             d = c;
             c = b2.rotate_left(30);

@@ -9,11 +9,10 @@ use crate::{KernelBuild, Scale};
 /// IMA ADPCM step-size table.
 const STEP_TABLE: [i64; 89] = [
     7, 8, 9, 10, 11, 12, 13, 14, 16, 17, 19, 21, 23, 25, 28, 31, 34, 37, 41, 45, 50, 55, 60, 66,
-    73, 80, 88, 97, 107, 118, 130, 143, 157, 173, 190, 209, 230, 253, 279, 307, 337, 371, 408,
-    449, 494, 544, 598, 658, 724, 796, 876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066,
-    2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358, 5894, 6484, 7132, 7845, 8630,
-    9493, 10442, 11487, 12635, 13899, 15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794,
-    32767,
+    73, 80, 88, 97, 107, 118, 130, 143, 157, 173, 190, 209, 230, 253, 279, 307, 337, 371, 408, 449,
+    494, 544, 598, 658, 724, 796, 876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066, 2272,
+    2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358, 5894, 6484, 7132, 7845, 8630, 9493,
+    10442, 11487, 12635, 13899, 15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794, 32767,
 ];
 
 /// IMA ADPCM index-adjustment table.
@@ -363,15 +362,12 @@ pub(crate) fn fft(scale: Scale) -> KernelBuild {
     let mut rng = SplitMix64::new(0xFF7);
     let sig_re: Vec<f64> = (0..n).map(|_| 2.0 * rng.f64() - 1.0).collect();
     let sig_im: Vec<f64> = (0..n).map(|_| 2.0 * rng.f64() - 1.0).collect();
-    let twid_re: Vec<f64> = (0..n / 2)
-        .map(|k| (-2.0 * std::f64::consts::PI * k as f64 / n as f64).cos())
-        .collect();
-    let twid_im: Vec<f64> = (0..n / 2)
-        .map(|k| (-2.0 * std::f64::consts::PI * k as f64 / n as f64).sin())
-        .collect();
-    let bitrev: Vec<u64> = (0..n as u64)
-        .map(|i| u64::from((i as u32).reverse_bits() >> (32 - bits)))
-        .collect();
+    let twid_re: Vec<f64> =
+        (0..n / 2).map(|k| (-2.0 * std::f64::consts::PI * k as f64 / n as f64).cos()).collect();
+    let twid_im: Vec<f64> =
+        (0..n / 2).map(|k| (-2.0 * std::f64::consts::PI * k as f64 / n as f64).sin()).collect();
+    let bitrev: Vec<u64> =
+        (0..n as u64).map(|i| u64::from((i as u32).reverse_bits() >> (32 - bits))).collect();
 
     // Host reference (op order mirrors the kernel exactly).
     let mut acc = 0.0f64;
@@ -572,6 +568,7 @@ pub(crate) fn gsm(scale: Scale) -> KernelBuild {
             let mut p = acf;
             let mut kk = [0i64; 8];
             kk.copy_from_slice(&acf[1..9]);
+            #[allow(clippy::needless_range_loop)] // j bounds the inner recurrence too
             for j in 0..8usize {
                 if p[0] == 0 {
                     break;

@@ -92,8 +92,7 @@ pub struct PowerReport {
 /// Per-access energy of a cache array: decoder + wordline/bitline terms
 /// scaling with capacity and associativity, as in Wattch's array model.
 fn cache_access_energy(c: &CacheConfig) -> f64 {
-    0.4 + 0.00012 * (c.size_bytes as f64).sqrt() * (c.ways() as f64).sqrt()
-        + 0.02 * c.ways() as f64
+    0.4 + 0.00012 * (c.size_bytes as f64).sqrt() * (c.ways() as f64).sqrt() + 0.02 * c.ways() as f64
 }
 
 fn bpred_access_energy(kind: PredictorKind) -> f64 {

@@ -80,8 +80,7 @@ impl StreamCollect {
         self.max_addr = self.max_addr.max(addr);
         if let Some(last) = self.last_addr {
             let stride = addr.wrapping_sub(last) as i64;
-            if self.stride_counts.len() < MAX_STRIDES || self.stride_counts.contains_key(&stride)
-            {
+            if self.stride_counts.len() < MAX_STRIDES || self.stride_counts.contains_key(&stride) {
                 *self.stride_counts.entry(stride).or_insert(0) += 1;
             } else {
                 self.overflow += 1;
@@ -473,11 +472,7 @@ mod tests {
         // Nodes: entry block (li,li,ld,add,addi,blt), loop body (ld..blt),
         // and the halt block.
         assert_eq!(prof.nodes.len(), 3);
-        let body = prof
-            .nodes
-            .iter()
-            .find(|n| n.start_pc == 2)
-            .expect("loop body node");
+        let body = prof.nodes.iter().find(|n| n.start_pc == 2).expect("loop body node");
         assert_eq!(body.execs, 99);
         assert_eq!(body.size, 4);
         // Self-edge dominates.
@@ -582,8 +577,7 @@ mod tests {
         let prof = profile_program(&p, 100_000);
         // 2 setup + 10 * 4 loop + halt
         assert_eq!(prof.total_instrs, 2 + 40 + 1);
-        let execs_weighted: u64 =
-            prof.nodes.iter().map(|n| u64::from(n.size) * n.execs).sum();
+        let execs_weighted: u64 = prof.nodes.iter().map(|n| u64::from(n.size) * n.execs).sum();
         assert_eq!(execs_weighted, prof.total_instrs);
     }
 

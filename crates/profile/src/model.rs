@@ -262,8 +262,7 @@ impl WorkloadProfile {
 
     /// Outgoing edges of `node`, with transition probabilities.
     pub fn successors(&self, node: u32) -> Vec<(u32, f64)> {
-        let total: u64 =
-            self.edges.iter().filter(|e| e.from == node).map(|e| e.count).sum();
+        let total: u64 = self.edges.iter().filter(|e| e.from == node).map(|e| e.count).sum();
         if total == 0 {
             return Vec::new();
         }
@@ -283,21 +282,19 @@ mod tests {
         WorkloadProfile {
             name: "t".into(),
             total_instrs: 30,
-            nodes: vec![
-                BlockProfile {
-                    start_pc: 0,
-                    size: 3,
-                    execs: 10,
-                    class_counts: {
-                        let mut c = [0u32; 10];
-                        c[InstrClass::IntAlu.index()] = 2;
-                        c[InstrClass::Branch.index()] = 1;
-                        c
-                    },
-                    mem_ops: vec![],
-                    branch: Some(0),
+            nodes: vec![BlockProfile {
+                start_pc: 0,
+                size: 3,
+                execs: 10,
+                class_counts: {
+                    let mut c = [0u32; 10];
+                    c[InstrClass::IntAlu.index()] = 2;
+                    c[InstrClass::Branch.index()] = 1;
+                    c
                 },
-            ],
+                mem_ops: vec![],
+                branch: Some(0),
+            }],
             edges: vec![EdgeProfile { from: 0, to: 0, count: 9 }],
             contexts: vec![],
             streams: vec![StreamProfile {
@@ -315,7 +312,13 @@ mod tests {
                 back_breaks: 0,
                 mean_back_jump: 0.0,
             }],
-            branches: vec![BranchProfile { pc: 2, execs: 10, taken: 9, transitions: 2, history_hits: 8 }],
+            branches: vec![BranchProfile {
+                pc: 2,
+                execs: 10,
+                taken: 9,
+                transitions: 2,
+                history_hits: 8,
+            }],
         }
     }
 

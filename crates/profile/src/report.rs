@@ -27,7 +27,8 @@ pub fn render_report(profile: &WorkloadProfile) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "workload profile: {}", profile.name);
     let _ = writeln!(out, "  dynamic instructions : {}", profile.total_instrs);
-    let _ = writeln!(out, "  SFG nodes / edges    : {} / {}", profile.nodes.len(), profile.edges.len());
+    let _ =
+        writeln!(out, "  SFG nodes / edges    : {} / {}", profile.nodes.len(), profile.edges.len());
     let _ = writeln!(out, "  contexts             : {}", profile.contexts.len());
     let _ = writeln!(out, "  mean basic block     : {:.2} instructions", profile.mean_block_size());
     let _ = writeln!(out, "  unique streams       : {}", profile.unique_streams());

@@ -166,8 +166,7 @@ impl<'p> Simulator<'p> {
                     MemWidth::B8 => self.mem.read_u64(addr) as i64,
                 };
                 self.state.set_reg(rd, v);
-                mem_access =
-                    Some(MemAccess { addr, bytes: width.bytes() as u8, is_store: false });
+                mem_access = Some(MemAccess { addr, bytes: width.bytes() as u8, is_store: false });
             }
             Instr::Store { rs, mem, width } => {
                 let addr = self.effective_address(mem);
@@ -399,7 +398,7 @@ mod tests {
         b.nop(); // no halt: falls off the end
         let p = b.build();
         let mut sim = Simulator::new(&p);
-        assert_eq!(sim.step().unwrap().is_some(), true);
+        assert!(sim.step().unwrap().is_some());
         assert!(matches!(sim.step(), Err(SimError::PcOutOfRange { pc: 1, .. })));
         let err = SimError::PcOutOfRange { pc: 1, len: 1 };
         assert!(err.to_string().contains("outside program"));

@@ -38,7 +38,7 @@
 //! assert_eq!(trace.len(), 10_000);
 //! ```
 
-use perfclone_isa::{AluOp, Cond, FpOp, FReg, Instr, InstrClass, MemRef, MemWidth, Reg};
+use perfclone_isa::{AluOp, Cond, FReg, FpOp, Instr, InstrClass, MemRef, MemWidth, Reg};
 use perfclone_profile::{StreamProfile, WorkloadProfile};
 use perfclone_sim::{DynInstr, MemAccess};
 use rand::rngs::StdRng;
@@ -304,7 +304,11 @@ fn synth_instr(
             };
             (
                 instr,
-                Some(MemAccess { addr, bytes: width.bytes() as u8, is_store: is_store || class == InstrClass::Store }),
+                Some(MemAccess {
+                    addr,
+                    bytes: width.bytes() as u8,
+                    is_store: is_store || class == InstrClass::Store,
+                }),
             )
         }
     }
@@ -328,8 +332,7 @@ mod tests {
         let profile = profile_of("crc32");
         let trace = synth_trace(&profile, &TraceParams { length: 50_000, seed: 1 });
         assert_eq!(trace.len(), 50_000);
-        let loads =
-            trace.iter().filter(|d| d.instr.class() == InstrClass::Load).count() as f64;
+        let loads = trace.iter().filter(|d| d.instr.class() == InstrClass::Load).count() as f64;
         let expected = profile.global_mix()[InstrClass::Load.index()];
         assert!(
             (loads / 50_000.0 - expected).abs() < 0.05,

@@ -172,10 +172,7 @@ fn regular(s: &StreamProfile) -> bool {
 ///   sub-line-stride walk over the whole shared region, approximating the
 ///   irregular reuse the single-stride model cannot express. Fallback ops
 ///   of one region share a walker.
-fn plan_streams(
-    b: &mut ProgramBuilder,
-    profile: &WorkloadProfile,
-) -> Vec<perfclone_isa::StreamId> {
+fn plan_streams(b: &mut ProgramBuilder, profile: &WorkloadProfile) -> Vec<perfclone_isa::StreamId> {
     // Group ops by overlapping [min_addr, max_addr] footprints.
     let mut order: Vec<usize> = (0..profile.streams.len()).collect();
     order.sort_by_key(|&i| profile.streams[i].min_addr);
@@ -245,8 +242,7 @@ fn plan_streams(
                     .max(run)
                     .max(1)
                     .min(MAX_STREAM_FOOTPRINT / unit)
-                    .min(u64::from(MAX_STREAM_LEN))
-                    as u32;
+                    .min(u64::from(MAX_STREAM_LEN)) as u32;
                 let base = if streaming {
                     // A streaming walk must be free to run past the
                     // original footprint (the clone re-executes the op
@@ -316,7 +312,10 @@ pub fn synthesize(profile: &WorkloadProfile, params: &SynthesisParams) -> Progra
     };
     let instances = walk_sfg(profile, target_blocks, body_budget, &mut rng);
     if std::env::var("PERFCLONE_SYNTH_DEBUG").is_ok() {
-        eprintln!("synth debug: target_blocks={target_blocks} body_budget={body_budget} instances={}", instances.len());
+        eprintln!(
+            "synth debug: target_blocks={target_blocks} body_budget={body_budget} instances={}",
+            instances.len()
+        );
         let mut counts: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
         for inst in &instances {
             *counts.entry(inst.node).or_default() += 1;
@@ -325,8 +324,10 @@ pub fn synthesize(profile: &WorkloadProfile, params: &SynthesisParams) -> Progra
         v.sort();
         for (node, n) in v {
             let np = &profile.nodes[node as usize];
-            eprintln!("  node {node} (pc {} size {} execs {} mem_ops {:?} branch {:?}): {n} instances",
-                np.start_pc, np.size, np.execs, np.mem_ops, np.branch);
+            eprintln!(
+                "  node {node} (pc {} size {} execs {} mem_ops {:?} branch {:?}): {n} instances",
+                np.start_pc, np.size, np.execs, np.mem_ops, np.branch
+            );
         }
     }
 
@@ -402,13 +403,12 @@ pub fn synthesize(profile: &WorkloadProfile, params: &SynthesisParams) -> Progra
         let mut counts = node.class_counts;
         let branch_stats: Option<&BranchProfile> =
             node.branch.map(|bi| &profile.branches[bi as usize]);
-        let has_branch_term = branch_stats.is_some()
-            && counts[perfclone_isa::InstrClass::Branch.index()] > 0;
+        let has_branch_term =
+            branch_stats.is_some() && counts[perfclone_isa::InstrClass::Branch.index()] > 0;
         if has_branch_term {
             counts[perfclone_isa::InstrClass::Branch.index()] -= 1;
         }
-        let has_jump_term = !has_branch_term
-            && counts[perfclone_isa::InstrClass::Jump.index()] > 0;
+        let has_jump_term = !has_branch_term && counts[perfclone_isa::InstrClass::Jump.index()] > 0;
         if has_jump_term {
             counts[perfclone_isa::InstrClass::Jump.index()] -= 1;
         }
@@ -455,11 +455,8 @@ pub fn synthesize(profile: &WorkloadProfile, params: &SynthesisParams) -> Progra
                     let fs1 = asg.fp_source(sample_distance(&reg_deps, &mut rng));
                     let fs2 = asg.fp_source(sample_distance(&reg_deps, &mut rng));
                     let fd = asg.next_fp_dest();
-                    let op = if fp_toggle {
-                        perfclone_isa::FpOp::Add
-                    } else {
-                        perfclone_isa::FpOp::Sub
-                    };
+                    let op =
+                        if fp_toggle { perfclone_isa::FpOp::Add } else { perfclone_isa::FpOp::Sub };
                     fp_toggle = !fp_toggle;
                     b.emit(Instr::Fp { op, fd, fs1, fs2 });
                 }
@@ -484,9 +481,7 @@ pub fn synthesize(profile: &WorkloadProfile, params: &SynthesisParams) -> Progra
                             stream_plan[sp_idx.expect("sp implies sp_idx") as usize],
                             width_of(s.width),
                         ),
-                        (MemoryModel::StrideStreams, None) => {
-                            (b.stream_alloc(8, 64), MemWidth::B8)
-                        }
+                        (MemoryModel::StrideStreams, None) => (b.stream_alloc(8, 64), MemWidth::B8),
                         (MemoryModel::MissRateTarget { miss_rate, line_bytes }, s) => {
                             let width = s.map(|s| width_of(s.width)).unwrap_or(MemWidth::B8);
                             if rng.gen::<f64>() < miss_rate {
@@ -494,8 +489,14 @@ pub fn synthesize(profile: &WorkloadProfile, params: &SynthesisParams) -> Progra
                                 (b.stream_alloc(i64::from(line_bytes), MAX_STREAM_LEN), width)
                             } else {
                                 // Hot slot: always the same line.
-                                (b.stream(StreamDesc { base: 0x2000_0000, stride: 0, length: 1 }),
-                                 width)
+                                (
+                                    b.stream(StreamDesc {
+                                        base: 0x2000_0000,
+                                        stride: 0,
+                                        length: 1,
+                                    }),
+                                    width,
+                                )
                             }
                         }
                     };
@@ -721,10 +722,7 @@ mod tests {
         use perfclone_isa::InstrClass as C;
         for class in [C::Load, C::Store, C::FpMul] {
             let (o, c) = (orig_mix[class.index()], clone_mix[class.index()]);
-            assert!(
-                (o - c).abs() < 0.06,
-                "{class}: original {o:.3} clone {c:.3}"
-            );
+            assert!((o - c).abs() < 0.06, "{class}: original {o:.3} clone {c:.3}");
         }
     }
 

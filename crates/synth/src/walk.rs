@@ -33,17 +33,13 @@ pub(crate) fn walk_sfg(
     // frequency, with at least one instance, sized so the total body fits
     // the instruction budget.
     let total_execs: f64 = profile.nodes.iter().map(|n| n.execs as f64).sum();
-    let mean_size: f64 = profile
-        .nodes
-        .iter()
-        .map(|n| n.execs as f64 * f64::from(n.size.max(1)))
-        .sum::<f64>()
-        / total_execs.max(1.0);
+    let mean_size: f64 =
+        profile.nodes.iter().map(|n| n.execs as f64 * f64::from(n.size.max(1))).sum::<f64>()
+            / total_execs.max(1.0);
     let slots = if body_budget == u32::MAX {
         u64::from(target_blocks)
     } else {
-        ((f64::from(body_budget) / mean_size.max(1.0)) as u64)
-            .clamp(1, u64::from(target_blocks))
+        ((f64::from(body_budget) / mean_size.max(1.0)) as u64).clamp(1, u64::from(target_blocks))
     };
     let mut remaining: Vec<f64> = profile
         .nodes

@@ -41,10 +41,13 @@ impl CacheConfig {
     /// multiple of `line_bytes`, and the way count divides the line count.
     pub fn new(size_bytes: u64, assoc: Assoc, line_bytes: u32) -> CacheConfig {
         assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
-        assert!(size_bytes % u64::from(line_bytes) == 0, "size must be a multiple of line size");
+        assert!(
+            size_bytes.is_multiple_of(u64::from(line_bytes)),
+            "size must be a multiple of line size"
+        );
         let lines = size_bytes / u64::from(line_bytes);
         if let Assoc::Ways(w) = assoc {
-            assert!(w >= 1 && lines % u64::from(w) == 0, "ways must divide line count");
+            assert!(w >= 1 && lines.is_multiple_of(u64::from(w)), "ways must divide line count");
             assert!((lines / u64::from(w)).is_power_of_two(), "set count must be a power of two");
         }
         CacheConfig { size_bytes, assoc, line_bytes }

@@ -43,4 +43,7 @@ pub use cache::{AccessResult, Assoc, Cache, CacheConfig, CacheStats};
 pub use config::{base_config, cache_sweep, design_changes, IssuePolicy, MachineConfig};
 pub use pipeline::{Activity, Pipeline, PipelineReport};
 pub use predictor::{BranchPredictor, PredictorKind, PredictorStats};
-pub use sweep::{simulate_dcache, simulate_hierarchy, sweep_dcache, DcacheSweepPoint, HierarchyPoint};
+pub use sweep::{
+    run_par, simulate_dcache, simulate_hierarchy, sweep_dcache, sweep_dcache_par, DcacheSweepPoint,
+    HierarchyPoint,
+};

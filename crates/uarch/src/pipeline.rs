@@ -244,11 +244,8 @@ impl Pipeline {
             // Forwarding from an older in-flight store was detected at
             // issue-readiness time; if we got here with an overlapping Done
             // store still in the ROB, forward in one cycle.
-            let fwd = self
-                .rob
-                .iter()
-                .take_while(|o| o.seq != e.seq)
-                .any(|o| o.is_store && o.overlaps(e));
+            let fwd =
+                self.rob.iter().take_while(|o| o.seq != e.seq).any(|o| o.is_store && o.overlaps(e));
             if fwd {
                 2 // agen + forward
             } else {
@@ -517,11 +514,13 @@ impl Pipeline {
     /// Returns `Some(seq)` when the producer is still in flight (in the
     /// ROB or fetch queue) and not yet done, i.e. a real wakeup dependence.
     fn inflight_dep(&self, seq_w: u64) -> Option<u64> {
-        self.rob
-            .iter()
-            .chain(self.fetch_queue.iter())
-            .find(|e| e.seq == seq_w)
-            .and_then(|e| if e.state == EntryState::Done { None } else { Some(e.seq) })
+        self.rob.iter().chain(self.fetch_queue.iter()).find(|e| e.seq == seq_w).and_then(|e| {
+            if e.state == EntryState::Done {
+                None
+            } else {
+                Some(e.seq)
+            }
+        })
     }
 }
 

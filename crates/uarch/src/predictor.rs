@@ -122,7 +122,9 @@ impl BranchPredictor {
     /// Creates a predictor of the given kind with weakly-not-taken state.
     pub fn new(kind: PredictorKind) -> BranchPredictor {
         let (entries, entries2, choosers, locals, history_mask) = match kind {
-            PredictorKind::NotTaken | PredictorKind::Taken => (0usize, 0usize, 0usize, 0usize, 0u64),
+            PredictorKind::NotTaken | PredictorKind::Taken => {
+                (0usize, 0usize, 0usize, 0usize, 0u64)
+            }
             PredictorKind::Bimodal { table_bits } => (1usize << table_bits, 0, 0, 0, 0),
             PredictorKind::TwoLevelGAp { history_bits, addr_bits } => {
                 (1usize << (history_bits + addr_bits), 0, 0, 0, (1u64 << history_bits) - 1)
@@ -307,10 +309,8 @@ mod tests {
     fn tournament_beats_both_components_on_mixed_branches() {
         // One strongly biased branch (bimodal's bread and butter) and one
         // alternating branch (history's): the tournament must handle both.
-        let mut t = BranchPredictor::new(PredictorKind::Tournament {
-            history_bits: 10,
-            table_bits: 8,
-        });
+        let mut t =
+            BranchPredictor::new(PredictorKind::Tournament { history_bits: 10, table_bits: 8 });
         for i in 0..4000u32 {
             t.predict_and_update(1, true);
             t.predict_and_update(2, i % 2 == 0);

@@ -107,6 +107,39 @@ pub fn sweep_dcache(
     configs.iter().map(|c| simulate_dcache(program, *c, limit)).collect()
 }
 
+/// Runs [`simulate_dcache`] over a set of configurations, fanning the
+/// configurations over the ambient rayon parallelism. Each configuration
+/// gets its own [`Cache`](crate::cache::Cache) instance and its own
+/// functional replay, so cells share no mutable state; results come back
+/// in `configs` order and are bit-identical to [`sweep_dcache`]'s
+/// regardless of the thread count.
+pub fn sweep_dcache_par(
+    program: &Program,
+    configs: &[CacheConfig],
+    limit: u64,
+) -> Vec<DcacheSweepPoint> {
+    use rayon::prelude::*;
+    configs.par_iter().map(|c| simulate_dcache(program, *c, limit)).collect()
+}
+
+/// Runs the parallel sweep on a dedicated pool of `jobs` worker threads
+/// (`0` means the machine's available parallelism). This is the explicit
+/// entry point for callers that plumb a `--jobs` setting through; library
+/// code already inside an installed pool should call [`sweep_dcache_par`]
+/// directly.
+pub fn run_par(
+    program: &Program,
+    configs: &[CacheConfig],
+    limit: u64,
+    jobs: usize,
+) -> Vec<DcacheSweepPoint> {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(jobs)
+        .build()
+        .expect("thread pool construction cannot fail")
+        .install(|| sweep_dcache_par(program, configs, limit))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -132,10 +165,8 @@ mod tests {
     fn mpi_decreases_with_cache_size() {
         // Working set of 8 KB, cyclic.
         let p = streaming_program(32, 256, 4_000);
-        let small =
-            simulate_dcache(&p, CacheConfig::new(1024, Assoc::Ways(2), 32), u64::MAX);
-        let large =
-            simulate_dcache(&p, CacheConfig::new(16 * 1024, Assoc::Ways(2), 32), u64::MAX);
+        let small = simulate_dcache(&p, CacheConfig::new(1024, Assoc::Ways(2), 32), u64::MAX);
+        let large = simulate_dcache(&p, CacheConfig::new(16 * 1024, Assoc::Ways(2), 32), u64::MAX);
         assert!(small.mpi() > 10.0 * large.mpi(), "{} vs {}", small.mpi(), large.mpi());
     }
 
@@ -154,6 +185,17 @@ mod tests {
         // A 128 KB working set fits L2 after warmup but thrashes 1 KB L1.
         assert!(point.l1_stats.miss_rate() > 0.4);
         assert!(point.l2_stats.miss_rate() < point.l1_stats.miss_rate());
+    }
+
+    #[test]
+    fn parallel_sweep_matches_serial_at_any_width() {
+        let p = streaming_program(16, 128, 1_000);
+        let configs = crate::config::cache_sweep();
+        let serial = sweep_dcache(&p, &configs, u64::MAX);
+        for jobs in [1, 2, 7] {
+            let par = run_par(&p, &configs, u64::MAX, jobs);
+            assert_eq!(serial, par, "jobs = {jobs}");
+        }
     }
 
     #[test]

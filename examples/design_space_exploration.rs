@@ -36,11 +36,8 @@ fn main() {
         sum / programs.len() as f64
     };
 
-    let mut t = Table::new(vec![
-        "config".into(),
-        "IPC/power (clone)".into(),
-        "IPC/power (real)".into(),
-    ]);
+    let mut t =
+        Table::new(vec!["config".into(), "IPC/power (clone)".into(), "IPC/power (real)".into()]);
     let mut clone_scores = Vec::new();
     let mut real_scores = Vec::new();
     for cfg in &configs {

@@ -38,9 +38,10 @@ fn main() {
     // clone (the paper's dissemination guarantee — same performance,
     // different code).
     let window = 4;
-    let leaked = app.instrs().windows(window).any(|w_orig| {
-        clone.instrs().windows(window).any(|w_clone| w_orig == w_clone)
-    });
+    let leaked = app
+        .instrs()
+        .windows(window)
+        .any(|w_orig| clone.instrs().windows(window).any(|w_clone| w_orig == w_clone));
     println!(
         "code-hiding check: {}",
         if leaked { "LEAK — shared sequence found!" } else { "no shared 4-instruction sequence" }

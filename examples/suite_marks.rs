@@ -7,8 +7,8 @@
 //! cargo run --release --example suite_marks
 //! ```
 
-use perfclone_repro::prelude::*;
 use perfclone::suite::{suite_mark, Suite};
+use perfclone_repro::prelude::*;
 use perfclone_uarch::design_changes;
 
 fn main() {
@@ -49,9 +49,6 @@ fn main() {
         ]);
     }
     println!("\nweighted geometric-mean IPC marks:\n\n{}", table.render());
-    println!(
-        "machine ranking correlation: {:.3}",
-        spearman(&real_marks, &clone_marks)
-    );
+    println!("machine ranking correlation: {:.3}", spearman(&real_marks, &clone_marks));
     println!("(a purchase decision made from the cloned suite picks the same machine)");
 }

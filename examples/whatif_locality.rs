@@ -34,17 +34,11 @@ fn main() {
     big.name = format!("{}-bigws", big.name);
 
     let config = base_config();
-    let mut t = Table::new(vec![
-        "scenario".into(),
-        "IPC".into(),
-        "L1D miss/instr".into(),
-        "power".into(),
-    ]);
-    for (label, profile) in [
-        ("baseline clone", &baseline.profile),
-        ("2x strides", &sparse),
-        ("4x working set", &big),
-    ] {
+    let mut t =
+        Table::new(vec!["scenario".into(), "IPC".into(), "L1D miss/instr".into(), "power".into()]);
+    for (label, profile) in
+        [("baseline clone", &baseline.profile), ("2x strides", &sparse), ("4x working set", &big)]
+    {
         let clone = cloner.clone_program_from(profile);
         let r = run_timing(&clone, &config, u64::MAX);
         t.row(vec![

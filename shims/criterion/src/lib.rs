@@ -1,0 +1,196 @@
+//! Offline stand-in for the subset of `criterion` this workspace uses:
+//! `criterion_group!`/`criterion_main!`, `Criterion::bench_function`,
+//! benchmark groups with throughput annotations, and `black_box`.
+//!
+//! Measurement model: each benchmark runs a short warmup, then
+//! `sample_size` timed samples of one iteration batch each; the report
+//! prints the median, minimum, and throughput (when set) to stdout.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting the
+/// benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// The per-benchmark measurement driver.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, collecting the configured number of samples.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        // Warmup: one untimed run.
+        black_box(routine());
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn median(&self) -> Duration {
+        let mut v = self.samples.clone();
+        if v.is_empty() {
+            return Duration::ZERO;
+        }
+        v.sort();
+        v[v.len() / 2]
+    }
+
+    fn min(&self) -> Duration {
+        self.samples.iter().copied().min().unwrap_or(Duration::ZERO)
+    }
+}
+
+fn report(name: &str, b: &Bencher, throughput: Option<Throughput>) {
+    let med = b.median();
+    let min = b.min();
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if med > Duration::ZERO => {
+            format!("  {:>12.0} elem/s", n as f64 / med.as_secs_f64())
+        }
+        Some(Throughput::Bytes(n)) if med > Duration::ZERO => {
+            format!("  {:>12.0} B/s", n as f64 / med.as_secs_f64())
+        }
+        _ => String::new(),
+    };
+    println!("{name:<40} median {med:>12.3?}  min {min:>12.3?}{rate}");
+}
+
+/// A named collection of benchmarks sharing a throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the group's throughput annotation.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { samples: Vec::new(), sample_size: self.criterion.sample_size };
+        f(&mut b);
+        report(&format!("{}/{id}", self.name), &b, self.throughput);
+        self
+    }
+
+    /// Ends the group (printing is immediate; this is a no-op for API
+    /// compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark harness handle.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), throughput: None, criterion: self }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { samples: Vec::new(), sample_size: self.sample_size };
+        f(&mut b);
+        report(id, &b, None);
+        self
+    }
+}
+
+/// Declares a benchmark group: either the struct form with `name`,
+/// `config`, and `targets`, or the simple list of functions.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(c: &mut Criterion) {
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(100));
+        group.bench_function("add", |b| b.iter(|| black_box(2u64) + black_box(3u64)));
+        group.finish();
+        c.bench_function("standalone", |b| b.iter(|| black_box(1u32)));
+    }
+
+    criterion_group! {
+        name = benches;
+        config = Criterion::default().sample_size(3);
+        targets = quick
+    }
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}

@@ -1,0 +1,306 @@
+//! Offline stand-in for the subset of the `rayon` API this workspace
+//! uses: `slice.par_iter().map(f).collect::<Vec<_>>()`, thread-pool sizing
+//! via [`ThreadPoolBuilder`] + [`ThreadPool::install`], and
+//! [`current_num_threads`].
+//!
+//! The build environment has no access to crates.io, so the real `rayon`
+//! cannot be vendored. This implementation fans work items out over
+//! `std::thread::scope` workers that pull indices from a shared atomic
+//! counter (work-stealing at item granularity) and then reassembles the
+//! results **in input order**, so `par_iter().map(f).collect()` returns
+//! exactly what the serial `iter().map(f).collect()` would — the property
+//! the sweep engine's determinism guarantee rests on.
+//!
+//! Worker panics propagate to the caller, like rayon's.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+thread_local! {
+    /// Thread count installed by [`ThreadPool::install`] on this thread.
+    static INSTALLED_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Number of threads parallel iterators on this thread will use: the
+/// installed pool's size if inside [`ThreadPool::install`], otherwise the
+/// machine's available parallelism.
+pub fn current_num_threads() -> usize {
+    let installed = INSTALLED_THREADS.with(Cell::get);
+    if installed > 0 {
+        installed
+    } else {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    }
+}
+
+/// Error type for [`ThreadPoolBuilder::build`] (construction cannot
+/// actually fail here; the type exists for API compatibility).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a [`ThreadPool`].
+#[derive(Clone, Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with the default (machine) parallelism.
+    pub fn new() -> ThreadPoolBuilder {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Sets the number of worker threads (`0` means "machine default").
+    #[must_use]
+    pub fn num_threads(mut self, n: usize) -> ThreadPoolBuilder {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the pool.
+    ///
+    /// # Errors
+    ///
+    /// Never fails in this implementation; the `Result` mirrors rayon.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = if self.num_threads == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { num_threads: n })
+    }
+
+    /// Makes the configured width the ambient parallelism for the calling
+    /// thread (rayon's global-pool initialization).
+    ///
+    /// # Errors
+    ///
+    /// Never fails in this implementation; the `Result` mirrors rayon.
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        let pool = self.build()?;
+        INSTALLED_THREADS.with(|c| c.set(pool.num_threads));
+        Ok(())
+    }
+}
+
+/// A sized "pool". Threads are scoped per parallel call rather than kept
+/// alive, so the pool is just the configured width; `install` makes that
+/// width the ambient parallelism for the closure it runs.
+#[derive(Clone, Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// The pool's thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// Runs `op` with this pool's thread count as the ambient parallelism
+    /// for `par_iter` calls made inside it.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        let prev = INSTALLED_THREADS.with(|c| c.replace(self.num_threads));
+        struct Restore(usize);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                INSTALLED_THREADS.with(|c| c.set(self.0));
+            }
+        }
+        let _restore = Restore(prev);
+        op()
+    }
+}
+
+/// Maps `f` over `items` using `jobs` worker threads, returning results in
+/// input order. The core primitive behind the iterator facade; exposed for
+/// callers that want explicit control.
+pub fn par_map_slice<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    let jobs = jobs.max(1).min(n.max(1));
+    if jobs <= 1 || n <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..jobs)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(&items[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            // Propagate worker panics to the caller.
+            for (i, r) in h.join().expect("parallel worker panicked") {
+                slots[i] = Some(r);
+            }
+        }
+    });
+    slots.into_iter().map(|s| s.expect("every index produced")).collect()
+}
+
+/// Conversion into a borrowing parallel iterator.
+pub trait IntoParallelRefIterator<'a> {
+    /// The item type yielded by the iterator.
+    type Item: Sync + 'a;
+    /// Returns a parallel iterator over borrowed items.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+/// A parallel iterator over a slice.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Maps each item through `f` in parallel.
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+    {
+        ParMap { items: self.items, f }
+    }
+}
+
+/// The result of [`ParIter::map`]: a mapped parallel iterator awaiting
+/// collection.
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync, F> ParMap<'a, T, F> {
+    /// Runs the map over the ambient thread count and collects results in
+    /// input order.
+    pub fn collect<C, R>(self) -> C
+    where
+        F: Fn(&'a T) -> R + Sync,
+        R: Send,
+        C: From<Vec<R>>,
+    {
+        let jobs = current_num_threads();
+        let n = self.items.len();
+        let jobs = jobs.max(1).min(n.max(1));
+        if jobs <= 1 || n <= 1 {
+            return C::from(self.items.iter().map(&self.f).collect::<Vec<R>>());
+        }
+        let next = AtomicUsize::new(0);
+        let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
+        slots.resize_with(n, || None);
+        let f = &self.f;
+        let items = self.items;
+        let next = &next;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..jobs)
+                .map(|_| {
+                    scope.spawn(move || {
+                        let mut local: Vec<(usize, R)> = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= n {
+                                break;
+                            }
+                            local.push((i, f(&items[i])));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            for h in handles {
+                for (i, r) in h.join().expect("parallel worker panicked") {
+                    slots[i] = Some(r);
+                }
+            }
+        });
+        C::from(slots.into_iter().map(|s| s.expect("every index produced")).collect::<Vec<R>>())
+    }
+}
+
+pub mod prelude {
+    //! The customary glob import.
+    pub use crate::IntoParallelRefIterator;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordered_results_match_serial() {
+        let xs: Vec<u64> = (0..1000).collect();
+        let serial: Vec<u64> = xs.iter().map(|x| x * x).collect();
+        let par: Vec<u64> = xs.par_iter().map(|x| x * x).collect();
+        assert_eq!(serial, par);
+        let explicit = par_map_slice(&xs, 7, |x| x * x);
+        assert_eq!(serial, explicit);
+    }
+
+    #[test]
+    fn install_controls_width() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.current_num_threads(), 3);
+        let seen = pool.install(current_num_threads);
+        assert_eq!(seen, 3);
+        assert_ne!(current_num_threads(), 0);
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        let out: Vec<u32> = empty.par_iter().map(|x| x + 1).collect();
+        assert!(out.is_empty());
+        let one = [41u32];
+        let out: Vec<u32> = one.par_iter().map(|x| x + 1).collect();
+        assert_eq!(out, vec![42]);
+    }
+
+    #[test]
+    #[should_panic(expected = "worker panicked")]
+    fn worker_panic_propagates() {
+        let xs: Vec<u32> = (0..64).collect();
+        let _ = par_map_slice(&xs, 4, |x| {
+            assert!(*x != 13, "boom");
+            *x
+        });
+    }
+}

@@ -1,0 +1,150 @@
+//! Offline stand-in for serde's derive macros, targeting the serde shim's
+//! value-tree traits. Supports what this workspace declares: non-generic
+//! structs with named fields (doc comments and other attributes are
+//! skipped; `#[serde(...)]` field attributes are not supported).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parses the derive input far enough to extract the struct name and its
+/// named-field identifiers.
+fn parse_struct(input: TokenStream) -> Result<(String, Vec<String>), String> {
+    let mut iter = input.into_iter().peekable();
+    // Skip outer attributes and visibility until the `struct` keyword.
+    let mut name = None;
+    while let Some(tt) = iter.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                // Consume the attribute group.
+                match iter.next() {
+                    Some(TokenTree::Group(_)) => {}
+                    _ => return Err("malformed attribute".into()),
+                }
+            }
+            TokenTree::Ident(id) if id.to_string() == "struct" => match iter.next() {
+                Some(TokenTree::Ident(n)) => {
+                    name = Some(n.to_string());
+                    break;
+                }
+                _ => return Err("expected struct name".into()),
+            },
+            _ => {}
+        }
+    }
+    let name = name.ok_or_else(|| "expected a struct".to_string())?;
+    // Next significant token must be the brace group with the fields
+    // (generic structs and tuple structs are not supported).
+    let body = loop {
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g,
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                return Err("generic structs are not supported by the serde shim".into())
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                return Err("tuple structs are not supported by the serde shim".into())
+            }
+            Some(_) => {}
+            None => return Err("expected struct body".into()),
+        }
+    };
+
+    // Walk the fields: [attrs] [pub [(...)]] name ':' type ','
+    let mut fields = Vec::new();
+    let mut toks = body.stream().into_iter().peekable();
+    loop {
+        // Skip field attributes.
+        loop {
+            match toks.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    toks.next();
+                    match toks.next() {
+                        Some(TokenTree::Group(_)) => {}
+                        _ => return Err("malformed field attribute".into()),
+                    }
+                }
+                _ => break,
+            }
+        }
+        // Skip visibility.
+        if let Some(TokenTree::Ident(id)) = toks.peek() {
+            if id.to_string() == "pub" {
+                toks.next();
+                if let Some(TokenTree::Group(g)) = toks.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        toks.next();
+                    }
+                }
+            }
+        }
+        // Field name.
+        match toks.next() {
+            Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+            None => break,
+            Some(other) => return Err(format!("expected field name, got {other}")),
+        }
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            _ => return Err("expected ':' after field name".into()),
+        }
+        // Skip the type up to the next top-level comma (tracking angle
+        // depth; bracketed/parenthesized types arrive as single groups).
+        let mut angle = 0i32;
+        loop {
+            match toks.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => angle += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => angle -= 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && angle == 0 => break,
+                Some(_) => {}
+                None => break,
+            }
+        }
+    }
+    Ok((name, fields))
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().expect("valid error tokens")
+}
+
+/// Derives the serde shim's `Serialize` for a named-field struct.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, fields) = match parse_struct(input) {
+        Ok(x) => x,
+        Err(e) => return compile_error(&e),
+    };
+    let pairs: String = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from({f:?}), ::serde::Serialize::to_value(&self.{f})),"
+            )
+        })
+        .collect();
+    let out = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 ::serde::Value::Obj(::std::vec![{pairs}])\n\
+             }}\n\
+         }}"
+    );
+    out.parse().expect("generated impl parses")
+}
+
+/// Derives the serde shim's `Deserialize` for a named-field struct.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, fields) = match parse_struct(input) {
+        Ok(x) => x,
+        Err(e) => return compile_error(&e),
+    };
+    let inits: String =
+        fields.iter().map(|f| format!("{f}: ::serde::get_field(v, {f:?})?,")).collect();
+    let out = format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 ::std::result::Result::Ok({name} {{ {inits} }})\n\
+             }}\n\
+         }}"
+    );
+    out.parse().expect("generated impl parses")
+}

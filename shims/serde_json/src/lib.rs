@@ -1,0 +1,362 @@
+//! Offline stand-in for the subset of `serde_json` this workspace uses:
+//! [`to_string`] and [`from_str`] over the serde shim's [`Value`] tree.
+
+pub use serde::Error;
+use serde::{Deserialize, Serialize, Value};
+
+/// Serializes `value` to compact JSON.
+///
+/// # Errors
+///
+/// Never fails for the value trees this workspace produces; the `Result`
+/// mirrors the real API.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), &mut out);
+    Ok(out)
+}
+
+/// Deserializes a `T` from JSON text.
+///
+/// # Errors
+///
+/// Returns a message describing the first syntax or shape error.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let mut p = Parser { bytes: s.as_bytes(), pos: 0 };
+    p.skip_ws();
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::msg(format!("trailing characters at offset {}", p.pos)));
+    }
+    T::from_value(&v)
+}
+
+fn write_value(v: &Value, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::U64(u) => out.push_str(&u.to_string()),
+        Value::I64(i) => out.push_str(&i.to_string()),
+        Value::F64(x) => {
+            if x.is_finite() {
+                // `{:?}` prints the shortest representation that
+                // round-trips through f64 parsing.
+                out.push_str(&format!("{x:?}"));
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => write_string(s, out),
+        Value::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(item, out);
+            }
+            out.push(']');
+        }
+        Value::Obj(fields) => {
+            out.push('{');
+            for (i, (k, fv)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(k, out);
+                out.push(':');
+                write_value(fv, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::msg(format!("expected {:?} at offset {}", b as char, self.pos)))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        match self.peek() {
+            None => Err(Error::msg("unexpected end of input")),
+            Some(b'n') => {
+                if self.eat_literal("null") {
+                    Ok(Value::Null)
+                } else {
+                    Err(Error::msg(format!("invalid literal at offset {}", self.pos)))
+                }
+            }
+            Some(b't') => {
+                if self.eat_literal("true") {
+                    Ok(Value::Bool(true))
+                } else {
+                    Err(Error::msg(format!("invalid literal at offset {}", self.pos)))
+                }
+            }
+            Some(b'f') => {
+                if self.eat_literal("false") {
+                    Ok(Value::Bool(false))
+                } else {
+                    Err(Error::msg(format!("invalid literal at offset {}", self.pos)))
+                }
+            }
+            Some(b'"') => self.parse_string().map(Value::Str),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                loop {
+                    items.push(self.parse_value()?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => {
+                            self.pos += 1;
+                        }
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Value::Arr(items));
+                        }
+                        _ => {
+                            return Err(Error::msg(format!(
+                                "expected ',' or ']' at offset {}",
+                                self.pos
+                            )))
+                        }
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut fields = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Value::Obj(fields));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.parse_string()?;
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    let v = self.parse_value()?;
+                    fields.push((key, v));
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => {
+                            self.pos += 1;
+                        }
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Value::Obj(fields));
+                        }
+                        _ => {
+                            return Err(Error::msg(format!(
+                                "expected ',' or '}}' at offset {}",
+                                self.pos
+                            )))
+                        }
+                    }
+                }
+            }
+            Some(_) => self.parse_number(),
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(Error::msg("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| Error::msg("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex)
+                                    .map_err(|_| Error::msg("bad \\u escape"))?,
+                                16,
+                            )
+                            .map_err(|_| Error::msg("bad \\u escape"))?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error::msg("bad \\u code point"))?,
+                            );
+                            self.pos += 4;
+                        }
+                        _ => return Err(Error::msg("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 code point.
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest)
+                        .map_err(|_| Error::msg("invalid UTF-8 in string"))?;
+                    let c = s.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::msg("invalid number"))?;
+        if text.is_empty() || text == "-" {
+            return Err(Error::msg(format!("expected number at offset {start}")));
+        }
+        if !is_float {
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::U64(u));
+            }
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::I64(i));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::F64)
+            .map_err(|_| Error::msg(format!("invalid number {text:?}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_scalars() {
+        assert_eq!(to_string(&42u64).unwrap(), "42");
+        assert_eq!(from_str::<u64>("42").unwrap(), 42);
+        assert_eq!(to_string(&-7i64).unwrap(), "-7");
+        assert_eq!(from_str::<i64>("-7").unwrap(), -7);
+        assert_eq!(from_str::<f64>("2.5").unwrap(), 2.5);
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert!(!from_str::<bool>("false").unwrap());
+        assert_eq!(from_str::<Option<u32>>("null").unwrap(), None);
+        assert_eq!(from_str::<Option<u32>>("3").unwrap(), Some(3));
+    }
+
+    #[test]
+    fn round_trip_collections() {
+        let v = vec![1u32, 2, 3];
+        let s = to_string(&v).unwrap();
+        assert_eq!(s, "[1,2,3]");
+        assert_eq!(from_str::<Vec<u32>>(&s).unwrap(), v);
+        let a: [u64; 3] = [9, 8, 7];
+        let s = to_string(&a).unwrap();
+        assert_eq!(from_str::<[u64; 3]>(&s).unwrap(), a);
+    }
+
+    #[test]
+    fn strings_escape() {
+        let s = "a\"b\\c\nd\ttab\u{1}end";
+        let json = to_string(&s.to_string()).unwrap();
+        assert_eq!(from_str::<String>(&json).unwrap(), s);
+    }
+
+    #[test]
+    fn floats_round_trip_exactly() {
+        for x in [0.1f64, 1.0 / 3.0, 1e300, -2.5e-10, 0.0] {
+            let json = to_string(&x).unwrap();
+            assert_eq!(from_str::<f64>(&json).unwrap(), x);
+        }
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(from_str::<u64>("{").is_err());
+        assert!(from_str::<u64>("12 trailing").is_err());
+        assert!(from_str::<bool>("flase").is_err());
+        assert!(from_str::<String>("\"unterminated").is_err());
+    }
+}

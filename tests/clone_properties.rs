@@ -2,8 +2,8 @@
 //! "applications": for programs drawn from a generator, the clone must be
 //! well-formed, deterministic, and reproduce the profile-level attributes.
 
+use perfclone_isa::{MemWidth, Program, ProgramBuilder, Reg};
 use perfclone_repro::prelude::*;
-use perfclone_isa::{MemWidth, Program, ProgramBuilder, Reg, StreamDesc};
 use perfclone_sim::Simulator;
 use proptest::prelude::*;
 
@@ -52,7 +52,11 @@ fn build_program(spec: &LoopSpec) -> Program {
     b.ld_stream(t, id, MemWidth::B8);
     for k in 0..spec.alu_per_iter {
         if spec.use_fp && k % 3 == 2 {
-            b.fmul(perfclone_isa::FReg::new(0), perfclone_isa::FReg::new(0), perfclone_isa::FReg::new(0));
+            b.fmul(
+                perfclone_isa::FReg::new(0),
+                perfclone_isa::FReg::new(0),
+                perfclone_isa::FReg::new(0),
+            );
         } else {
             b.addi(t, t, i64::from(k) as i32);
         }
@@ -136,7 +140,6 @@ proptest! {
     }
 }
 
-
 #[test]
 fn constant_address_stream_clones_as_stride_zero() {
     // A length-1 stream is a constant address; its profiled dominant
@@ -151,11 +154,7 @@ fn constant_address_stream_clones_as_stride_zero() {
     };
     let p = build_program(&spec);
     let profile = profile_program(&p, u64::MAX);
-    let s = profile
-        .streams
-        .iter()
-        .find(|s| s.execs > 8)
-        .expect("the loop's load is profiled");
+    let s = profile.streams.iter().find(|s| s.execs > 8).expect("the loop's load is profiled");
     assert_eq!(s.dominant_stride, 0);
     assert_eq!(s.min_addr, s.max_addr);
     let clone = Cloner::new().clone_program_from(&profile);

@@ -13,11 +13,13 @@ fn f(i: u8) -> FReg {
     FReg::new(i)
 }
 
+type Emit = Box<dyn Fn(&mut ProgramBuilder)>;
+
 #[test]
 fn every_mnemonic_emits_expected_class() {
     let mut b = ProgramBuilder::new("cover");
     let id = b.stream(StreamDesc { base: 0x1000, stride: 8, length: 4 });
-    let cases: Vec<(InstrClass, Box<dyn Fn(&mut ProgramBuilder)>)> = vec![
+    let cases: Vec<(InstrClass, Emit)> = vec![
         (InstrClass::IntAlu, Box::new(|b: &mut ProgramBuilder| b.add(r(1), r(2), r(3)))),
         (InstrClass::IntAlu, Box::new(|b| b.sub(r(1), r(2), r(3)))),
         (InstrClass::IntAlu, Box::new(|b| b.and(r(1), r(2), r(3)))),

@@ -1,0 +1,156 @@
+//! Cross-crate integration tests for the parallel design-space sweep
+//! engine: the `_par` drivers must produce results bit-identical to their
+//! serial counterparts at every thread count, the shared [`WorkloadCache`]
+//! must hand out one `Arc` per workload no matter how many sweep cells ask
+//! for it, and everything that crosses a thread boundary must be
+//! `Send + Sync`.
+
+use std::sync::Arc;
+
+use perfclone::experiments::{
+    cache_sweep_pair, cache_sweep_pair_par, design_change_sweep, design_change_sweep_par,
+};
+use perfclone::suite::{suite_mark, suite_mark_par, Suite};
+use perfclone::{
+    base_config, cache_sweep, derive_cell_seed, CacheConfig, Cloner, MachineConfig,
+    SynthesisParams, TimingResult, WorkloadCache, WorkloadProfile,
+};
+use perfclone_isa::Program;
+use perfclone_kernels::{catalog, Scale};
+use perfclone_uarch::{run_par, sweep_dcache};
+use rayon::prelude::*;
+
+/// Everything handed to a rayon task must cross threads.
+#[test]
+fn sweep_inputs_and_outputs_are_send_and_sync() {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Program>();
+    assert_send_sync::<WorkloadProfile>();
+    assert_send_sync::<MachineConfig>();
+    assert_send_sync::<CacheConfig>();
+    assert_send_sync::<SynthesisParams>();
+    assert_send_sync::<Cloner>();
+    assert_send_sync::<WorkloadCache>();
+    assert_send_sync::<Suite>();
+    assert_send_sync::<TimingResult>();
+}
+
+fn tiny_program(index: usize) -> (&'static str, Program) {
+    let kernel = &catalog()[index % catalog().len()];
+    (kernel.name(), kernel.build(Scale::Tiny).program)
+}
+
+#[test]
+fn uarch_run_par_matches_serial_at_every_width() {
+    let (_, program) = tiny_program(0);
+    let configs = cache_sweep();
+    assert!(configs.len() >= 8, "acceptance requires a >=8-config sweep");
+    let serial = sweep_dcache(&program, &configs, u64::MAX);
+    for jobs in [1, 2, 4, 7] {
+        let par = run_par(&program, &configs, u64::MAX, jobs);
+        assert_eq!(serial, par, "jobs={jobs} diverged from serial");
+    }
+}
+
+#[test]
+fn core_parallel_drivers_are_bit_identical_to_serial() {
+    let (name, program) = tiny_program(1);
+    let clone = Cloner::new().clone_program(&program, u64::MAX).clone;
+    let configs = cache_sweep();
+
+    let serial = cache_sweep_pair(&program, &clone, &configs, u64::MAX);
+    let serial_design = design_change_sweep(&program, &clone, &base_config(), u64::MAX);
+    for jobs in [1, 4] {
+        let pool = rayon::ThreadPoolBuilder::new().num_threads(jobs).build().unwrap();
+        let par = pool.install(|| cache_sweep_pair_par(&program, &clone, &configs, u64::MAX));
+        assert_eq!(serial.real_mpi, par.real_mpi, "{name}: real MPI, jobs={jobs}");
+        assert_eq!(serial.synth_mpi, par.synth_mpi, "{name}: clone MPI, jobs={jobs}");
+
+        let par_design =
+            pool.install(|| design_change_sweep_par(&program, &clone, &base_config(), u64::MAX));
+        assert_eq!(serial_design.base_real.report.cycles, par_design.base_real.report.cycles);
+        for (s, p) in serial_design.changes.iter().zip(&par_design.changes) {
+            assert_eq!(s.real.report.cycles, p.real.report.cycles, "jobs={jobs}");
+            assert_eq!(s.synth.report.cycles, p.synth.report.cycles, "jobs={jobs}");
+            assert_eq!(
+                s.real.power.average_power.to_bits(),
+                p.real.power.average_power.to_bits(),
+                "jobs={jobs}"
+            );
+        }
+    }
+}
+
+/// The whole pipeline — seeded suite cloning plus the suite mark — must be a
+/// pure function of the root seed, independent of worker count, and stable
+/// across repeated runs.
+#[test]
+fn suite_pipeline_is_deterministic_across_thread_counts_and_runs() {
+    let mut suite = Suite::new("integration");
+    for (index, kernel) in catalog().iter().take(3).enumerate() {
+        suite.push(kernel.build(Scale::Tiny).program, 1.0 + index as f64);
+    }
+    let cloner = Cloner::new();
+    let root = 0xD15EA5E;
+
+    let render = |jobs: usize, root_seed: u64| {
+        let pool = rayon::ThreadPoolBuilder::new().num_threads(jobs).build().unwrap();
+        pool.install(|| {
+            let clones = suite.clone_suite_par(&cloner, root_seed);
+            let mark = suite_mark(&clones, &base_config(), u64::MAX);
+            let mark_par = suite_mark_par(&clones, &base_config(), u64::MAX);
+            assert_eq!(mark.ipc_mark.to_bits(), mark_par.ipc_mark.to_bits());
+            assert_eq!(mark.power_mark.to_bits(), mark_par.power_mark.to_bits());
+            let members: Vec<String> =
+                clones.entries().map(|(p, w)| format!("{w} {p:?}")).collect();
+            format!("{} {} {members:?}", mark.ipc_mark, mark.power_mark)
+        })
+    };
+
+    let one = render(1, root);
+    assert_eq!(one, render(4, root), "thread count changed the suite result");
+    assert_eq!(one, render(4, root), "repeat run with the same root seed diverged");
+    assert_ne!(one, render(4, root + 1), "a different root seed must perturb the clones");
+}
+
+/// Many parallel sweep cells over the same workload share one cached
+/// profile: every cell gets the same `Arc`, and the profiler runs once.
+#[test]
+fn workload_cache_is_shared_across_a_parallel_sweep() {
+    let (name, program) = tiny_program(2);
+    let cache = WorkloadCache::new();
+    let configs = cache_sweep();
+
+    let profiles: Vec<Arc<WorkloadProfile>> =
+        configs.par_iter().map(|_| cache.profile(name, &program, u64::MAX)).collect();
+    let first = &profiles[0];
+    assert!(profiles.iter().all(|p| Arc::ptr_eq(first, p)));
+
+    let stats = cache.stats();
+    assert_eq!(stats.profile_computes, 1, "profiler must run exactly once");
+    assert_eq!(stats.profile_lookups, configs.len() as u64);
+
+    // Clones drawn through the cache are keyed by their synthesis params:
+    // per-cell seeds derived from distinct cells yield distinct clones.
+    let base = SynthesisParams::default();
+    let a = cache.clone_program(
+        name,
+        &program,
+        u64::MAX,
+        &SynthesisParams { seed: derive_cell_seed(7, name, 0), ..base },
+    );
+    let b = cache.clone_program(
+        name,
+        &program,
+        u64::MAX,
+        &SynthesisParams { seed: derive_cell_seed(7, name, 1), ..base },
+    );
+    let a_again = cache.clone_program(
+        name,
+        &program,
+        u64::MAX,
+        &SynthesisParams { seed: derive_cell_seed(7, name, 0), ..base },
+    );
+    assert!(Arc::ptr_eq(&a, &a_again));
+    assert!(!Arc::ptr_eq(&a, &b));
+}

@@ -1,8 +1,8 @@
 //! Cross-crate integration tests: the full profile → synthesize → validate
 //! flow over real kernels, one per application domain.
 
-use perfclone_repro::prelude::*;
 use perfclone_kernels::{by_name, Scale, CHECK_REG};
+use perfclone_repro::prelude::*;
 use perfclone_sim::Simulator;
 
 fn clone_of(name: &str) -> (perfclone_isa::Program, perfclone_isa::Program) {
@@ -40,11 +40,7 @@ fn clone_tracks_cache_sweep_for_regular_kernels() {
     for name in ["crc32", "susan"] {
         let (app, clone) = clone_of(name);
         let sweep = cache_sweep_pair(&app, &clone, &cache_sweep(), u64::MAX);
-        assert!(
-            sweep.correlation() > 0.6,
-            "{name}: cache correlation {:.3}",
-            sweep.correlation()
-        );
+        assert!(sweep.correlation() > 0.6, "{name}: cache correlation {:.3}", sweep.correlation());
     }
 }
 
@@ -93,8 +89,7 @@ fn all_23_kernels_verify_and_clone_runs() {
             kernel.name()
         );
         let profile = profile_program(&build.program, u64::MAX);
-        let params =
-            SynthesisParams { target_dynamic: 30_000, ..SynthesisParams::default() };
+        let params = SynthesisParams { target_dynamic: 30_000, ..SynthesisParams::default() };
         let clone = Cloner::with_params(params).clone_program_from(&profile);
         let mut csim = Simulator::new(&clone);
         assert!(

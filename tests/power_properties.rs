@@ -2,8 +2,8 @@
 //! breakdown consistency, and the directional responses architects rely
 //! on when using the model for trade-offs.
 
-use perfclone_repro::prelude::*;
 use perfclone_isa::{ProgramBuilder, Reg};
+use perfclone_repro::prelude::*;
 use perfclone_sim::Simulator;
 use perfclone_uarch::Pipeline;
 use proptest::prelude::*;

@@ -2,9 +2,9 @@
 //! cloning path: both consume the same profiles; the trace must preserve
 //! profile attributes and be consumable by the timing pipeline.
 
-use perfclone_repro::prelude::*;
 use perfclone_isa::InstrClass;
 use perfclone_kernels::{by_name, Scale};
+use perfclone_repro::prelude::*;
 use perfclone_statsim::{synth_trace, TraceParams};
 use perfclone_uarch::Pipeline;
 

@@ -1,8 +1,8 @@
 //! Edge-case tests of the synthesizer: degenerate profiles, extreme
 //! parameters, and the dissemination-grade invariants.
 
-use perfclone_repro::prelude::*;
 use perfclone_isa::{FReg, MemWidth, ProgramBuilder, Reg, StreamDesc};
+use perfclone_repro::prelude::*;
 use perfclone_sim::Simulator;
 
 fn run_clone(profile: &WorkloadProfile, params: SynthesisParams) -> u64 {
@@ -85,10 +85,8 @@ fn tiny_dynamic_target_still_halts() {
         .program;
     let profile = profile_program(&app, u64::MAX);
     // target smaller than one loop iteration: must clamp to >= 1 iteration.
-    let retired = run_clone(
-        &profile,
-        SynthesisParams { target_dynamic: 10, ..SynthesisParams::default() },
-    );
+    let retired =
+        run_clone(&profile, SynthesisParams { target_dynamic: 10, ..SynthesisParams::default() });
     assert!(retired > 0);
 }
 

@@ -4,9 +4,7 @@
 
 use perfclone_isa::{MemWidth, ProgramBuilder, Reg};
 use perfclone_sim::Simulator;
-use perfclone_uarch::{
-    base_config, simulate_dcache, Assoc, Cache, CacheConfig, Pipeline,
-};
+use perfclone_uarch::{base_config, simulate_dcache, Assoc, Cache, CacheConfig, Pipeline};
 use proptest::prelude::*;
 
 fn random_access_program(addrs: Vec<u64>) -> perfclone_isa::Program {
