@@ -6,7 +6,7 @@
 
 use perfclone::{pearson, Table};
 use perfclone_bench::{mean, prepare_all};
-use perfclone_uarch::{base_config, simulate_hierarchy, Assoc, CacheConfig};
+use perfclone_uarch::{base_config, simulate_hierarchy_trace, AddressTrace, Assoc, CacheConfig};
 
 fn l2_sweep() -> Vec<CacheConfig> {
     let mut out = Vec::new();
@@ -26,13 +26,17 @@ fn main() {
     let mut table = Table::new(vec!["benchmark".into(), "pearson r".into(), "sweep MAE".into()]);
     let mut rs = Vec::new();
     for bench in prepare_all() {
+        // One functional simulation per program; every (L1, L2) pair
+        // replays the same extracted trace.
+        let real_trace = AddressTrace::extract(&bench.program, u64::MAX);
+        let synth_trace = AddressTrace::extract(&bench.clone, u64::MAX);
         let real: Vec<f64> = configs
             .iter()
-            .map(|c| simulate_hierarchy(&bench.program, l1, *c, u64::MAX).l2_mpi())
+            .map(|c| simulate_hierarchy_trace(&real_trace, l1, *c).l2_mpi())
             .collect();
         let synth: Vec<f64> = configs
             .iter()
-            .map(|c| simulate_hierarchy(&bench.clone, l1, *c, u64::MAX).l2_mpi())
+            .map(|c| simulate_hierarchy_trace(&synth_trace, l1, *c).l2_mpi())
             .collect();
         let (lo, hi) = real.iter().fold((f64::INFINITY, 0.0f64), |(l, h), &v| (l.min(v), h.max(v)));
         let flat = hi <= 1e-9 || (hi - lo) / hi < 0.15;

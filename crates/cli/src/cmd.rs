@@ -204,8 +204,10 @@ fn sweep(parsed: &Parsed) -> Result<(), String> {
     let params = synth_params(parsed, &profile)?;
     let clone = Cloner::with_params(params).clone_program_from(&profile);
     let mut t = Table::new(vec!["config".into(), "MPI (real)".into(), "MPI (clone)".into()]);
-    // All 2 × 28 cells fan over the installed `--jobs` pool; the rows come
-    // back in configuration order regardless of the thread count.
+    // Single-pass engine: each program's data trace is extracted once (the
+    // two extractions fan over the installed `--jobs` pool) and all 28
+    // configurations are evaluated by one stack-distance pass; the rows
+    // come back in configuration order regardless of the thread count.
     let cmp = cache_sweep_pair_par(&program, &clone, &cache_sweep(), u64::MAX);
     for ((cfg, r), s) in cmp.configs.iter().zip(&cmp.real_mpi).zip(&cmp.synth_mpi) {
         t.row(vec![cfg.to_string(), format!("{r:.5}"), format!("{s:.5}")]);

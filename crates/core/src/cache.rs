@@ -25,6 +25,7 @@ use perfclone_profile::{profile_program, WorkloadProfile};
 use perfclone_sim::DynInstr;
 use perfclone_statsim::{synth_trace, TraceParams};
 use perfclone_synth::{synthesize, MemoryModel, SynthesisParams};
+use perfclone_uarch::AddressTrace;
 
 /// One memoization table: key → lazily-computed `Arc<V>`.
 struct Memo<K, V> {
@@ -100,6 +101,12 @@ struct CloneKey {
 }
 
 #[derive(Clone, PartialEq, Eq, Hash)]
+struct AddrTraceKey {
+    workload: String,
+    limit: u64,
+}
+
+#[derive(Clone, PartialEq, Eq, Hash)]
 struct TraceKey {
     workload: String,
     limit: u64,
@@ -123,6 +130,10 @@ pub struct WorkloadCacheStats {
     pub trace_lookups: u64,
     /// Statistical traces actually generated.
     pub trace_computes: u64,
+    /// Address-trace (cache-sweep input) lookups served.
+    pub addr_trace_lookups: u64,
+    /// Address traces actually extracted.
+    pub addr_trace_computes: u64,
 }
 
 /// Memoizes the per-workload artifacts a sweep re-uses across cells: the
@@ -139,6 +150,7 @@ pub struct WorkloadCache {
     profiles: Memo<ProfileKey, WorkloadProfile>,
     clones: Memo<CloneKey, Program>,
     traces: Memo<TraceKey, Vec<DynInstr>>,
+    addr_traces: Memo<AddrTraceKey, AddressTrace>,
 }
 
 impl<K: Eq + Hash, V> Default for Memo<K, V> {
@@ -198,6 +210,21 @@ impl WorkloadCache {
         })
     }
 
+    /// The data-reference trace of `program` (up to `limit`
+    /// instructions) — the single-pass cache-sweep engine's input —
+    /// extracted on first request and shared thereafter, so a design-space
+    /// sweep pays one functional simulation per workload no matter how
+    /// many cache geometries (or hierarchy pairs) it evaluates.
+    pub fn address_trace(
+        &self,
+        workload: &str,
+        program: &Program,
+        limit: u64,
+    ) -> Arc<AddressTrace> {
+        let key = AddrTraceKey { workload: workload.to_string(), limit };
+        self.addr_traces.get_or_compute(key, || AddressTrace::extract(program, limit))
+    }
+
     /// Current lookup/compute counters.
     pub fn stats(&self) -> WorkloadCacheStats {
         WorkloadCacheStats {
@@ -207,6 +234,8 @@ impl WorkloadCache {
             clone_computes: self.clones.computes.load(Ordering::Relaxed),
             trace_lookups: self.traces.lookups.load(Ordering::Relaxed),
             trace_computes: self.traces.computes.load(Ordering::Relaxed),
+            addr_trace_lookups: self.addr_traces.lookups.load(Ordering::Relaxed),
+            addr_trace_computes: self.addr_traces.computes.load(Ordering::Relaxed),
         }
     }
 }
@@ -285,6 +314,22 @@ mod tests {
         assert_eq!(a.len() as u64, tp.length);
         let c = cache.statsim_trace("crc32", &p, u64::MAX, &TraceParams { seed: 8, ..tp });
         assert!(!Arc::ptr_eq(&a, &c));
+    }
+
+    #[test]
+    fn address_trace_entry_is_shared_transparent_and_keyed_by_limit() {
+        let cache = WorkloadCache::new();
+        let p = program("crc32");
+        let a = cache.address_trace("crc32", &p, 100_000);
+        let b = cache.address_trace("crc32", &p, 100_000);
+        assert!(Arc::ptr_eq(&a, &b));
+        let stats = cache.stats();
+        assert_eq!(stats.addr_trace_lookups, 2);
+        assert_eq!(stats.addr_trace_computes, 1);
+        assert_eq!(*a, AddressTrace::extract(&p, 100_000), "cache must be transparent");
+        let c = cache.address_trace("crc32", &p, 50_000);
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(cache.stats().addr_trace_computes, 2);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 
 use perfclone_isa::Program;
 use perfclone_metrics::{pearson, rank, relative_error};
-use perfclone_uarch::{design_changes, simulate_dcache, CacheConfig, MachineConfig};
+use perfclone_uarch::{design_changes, sweep_trace, AddressTrace, CacheConfig, MachineConfig};
 use rayon::prelude::*;
 
 use crate::{run_timing, TimingResult};
@@ -43,21 +43,32 @@ impl CacheSweepComparison {
     }
 }
 
+fn sweep_mpi(trace: &AddressTrace, configs: &[CacheConfig]) -> Vec<f64> {
+    sweep_trace(trace, configs).iter().map(|pt| pt.mpi()).collect()
+}
+
 /// Sweeps a (real, clone) pair over `configs` (Figure 4 / 5 experiment).
+///
+/// Each program's data-reference trace is extracted once and evaluated
+/// for all configurations by the single-pass stack-distance engine
+/// ([`sweep_trace`]) — two functional simulations total instead of
+/// 2 × `configs.len()`.
 pub fn cache_sweep_pair(
     real: &Program,
     clone: &Program,
     configs: &[CacheConfig],
     limit: u64,
 ) -> CacheSweepComparison {
-    let real_mpi = configs.iter().map(|c| simulate_dcache(real, *c, limit).mpi()).collect();
-    let synth_mpi = configs.iter().map(|c| simulate_dcache(clone, *c, limit).mpi()).collect();
+    let real_mpi = sweep_mpi(&AddressTrace::extract(real, limit), configs);
+    let synth_mpi = sweep_mpi(&AddressTrace::extract(clone, limit), configs);
     CacheSweepComparison { configs: configs.to_vec(), real_mpi, synth_mpi }
 }
 
-/// Parallel [`cache_sweep_pair`]: all 2 × `configs.len()` cells fan over
-/// the ambient thread pool as one flat work list; the result is
-/// bit-identical to the serial driver's.
+/// Parallel [`cache_sweep_pair`]: the two trace extractions (the dominant
+/// cost) fan over the ambient thread pool, and each trace then runs
+/// through the stack-distance engine. Miss counts are exact integers, so
+/// the result is bit-identical to the serial driver's at any thread
+/// count.
 pub fn cache_sweep_pair_par(
     real: &Program,
     clone: &Program,
@@ -65,12 +76,11 @@ pub fn cache_sweep_pair_par(
     limit: u64,
 ) -> CacheSweepComparison {
     let programs = [real, clone];
-    let cells: Vec<(usize, CacheConfig)> =
-        (0..programs.len()).flat_map(|p| configs.iter().map(move |c| (p, *c))).collect();
-    let mut mpi: Vec<f64> =
-        cells.par_iter().map(|&(p, c)| simulate_dcache(programs[p], c, limit).mpi()).collect();
-    let synth_mpi = mpi.split_off(configs.len());
-    CacheSweepComparison { configs: configs.to_vec(), real_mpi: mpi, synth_mpi }
+    let mut mpi: Vec<Vec<f64>> =
+        programs.par_iter().map(|p| sweep_mpi(&AddressTrace::extract(p, limit), configs)).collect();
+    let synth_mpi = mpi.pop().expect("clone sweep");
+    let real_mpi = mpi.pop().expect("real sweep");
+    CacheSweepComparison { configs: configs.to_vec(), real_mpi, synth_mpi }
 }
 
 /// Results of one design-change experiment for one benchmark pair.
@@ -221,6 +231,23 @@ mod tests {
         let (rr, rs) = sweep.rankings();
         assert_eq!(rr.len(), 28);
         assert_eq!(rs.len(), 28);
+    }
+
+    /// Acceptance: the single-pass engine behind the sweep drivers must
+    /// reproduce per-configuration `simulate_dcache` replay exactly, for
+    /// every configuration of the Figure-4/5 sweep set.
+    #[test]
+    fn engine_sweep_matches_per_config_replay_on_fig04_set() {
+        use perfclone_uarch::simulate_dcache;
+        let (app, clone) = small_pair();
+        let configs = cache_sweep();
+        let sweep = cache_sweep_pair(&app, &clone, &configs, u64::MAX);
+        for (i, config) in configs.iter().enumerate() {
+            let real = simulate_dcache(&app, *config, u64::MAX);
+            let synth = simulate_dcache(&clone, *config, u64::MAX);
+            assert_eq!(sweep.real_mpi[i].to_bits(), real.mpi().to_bits(), "{config}");
+            assert_eq!(sweep.synth_mpi[i].to_bits(), synth.mpi().to_bits(), "{config}");
+        }
     }
 
     #[test]

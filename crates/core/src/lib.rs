@@ -51,7 +51,8 @@ pub use perfclone_power::{estimate_power, PowerReport};
 pub use perfclone_profile::{profile_program, WorkloadProfile};
 pub use perfclone_synth::{emit_c, synthesize, BranchModel, MemoryModel, SynthesisParams};
 pub use perfclone_uarch::{
-    base_config, cache_sweep, design_changes, CacheConfig, MachineConfig, Pipeline, PipelineReport,
+    base_config, cache_sweep, design_changes, sweep_trace, AddressTrace, CacheConfig,
+    MachineConfig, Pipeline, PipelineReport,
 };
 
 use perfclone_isa::Program;

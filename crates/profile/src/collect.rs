@@ -1,6 +1,15 @@
 //! The online profile collector.
+//!
+//! Hot-path note: every per-retired-instruction table — the `(pred, cur)`
+//! context map, the edge map, the per-stream stride/run maps, and above
+//! all the store-chunk `mem_writer` table — is keyed by small integers
+//! the profiler itself produces, never by attacker-controlled data, so
+//! they use the deterministic multiply-rotate [`FxHashMap`] instead of
+//! `std`'s SipHash map. Profile output is unaffected: every map either
+//! has hash-independent insertion logic or is sorted (or reduced by a
+//! total order) before it reaches the [`WorkloadProfile`].
 
-use std::collections::HashMap;
+use rustc_hash::FxHashMap;
 
 use perfclone_isa::{Instr, Program};
 use perfclone_sim::{DynInstr, Observer, Simulator};
@@ -43,11 +52,11 @@ struct StreamCollect {
     last_addr: Option<u64>,
     min_addr: u64,
     max_addr: u64,
-    stride_counts: HashMap<i64, u64>,
+    stride_counts: FxHashMap<i64, u64>,
     overflow: u64,
     cur_stride: Option<i64>,
     cur_run: u64,
-    run_stats: HashMap<i64, (u64, u64)>,
+    run_stats: FxHashMap<i64, (u64, u64)>,
     fwd_breaks: u64,
     back_breaks: u64,
     back_jump_sum: u64,
@@ -63,11 +72,11 @@ impl StreamCollect {
             last_addr: None,
             min_addr: u64::MAX,
             max_addr: 0,
-            stride_counts: HashMap::new(),
+            stride_counts: FxHashMap::default(),
             overflow: 0,
             cur_stride: None,
             cur_run: 0,
-            run_stats: HashMap::new(),
+            run_stats: FxHashMap::default(),
             fwd_breaks: 0,
             back_breaks: 0,
             back_jump_sum: 0,
@@ -187,18 +196,18 @@ impl Default for BranchCollect {
 pub struct Profiler {
     name: String,
     pos: u64,
-    node_ids: HashMap<u32, u32>,
+    node_ids: FxHashMap<u32, u32>,
     nodes: Vec<NodeCollect>,
-    edges: HashMap<(u32, u32), u64>,
-    contexts: HashMap<(u32, u32), CtxCollect>,
+    edges: FxHashMap<(u32, u32), u64>,
+    contexts: FxHashMap<(u32, u32), CtxCollect>,
     cur_node: Option<u32>,
     prev_node: u32,
     cur_ctx: (u32, u32),
     reg_writer: [u64; 64],
-    mem_writer: HashMap<u64, u64>,
-    stream_ids: HashMap<u32, u32>,
+    mem_writer: FxHashMap<u64, u64>,
+    stream_ids: FxHashMap<u32, u32>,
     streams: Vec<StreamCollect>,
-    branch_ids: HashMap<u32, u32>,
+    branch_ids: FxHashMap<u32, u32>,
     branches: Vec<BranchCollect>,
     global_history: u8,
 }
@@ -209,18 +218,18 @@ impl Profiler {
         Profiler {
             name: name.into(),
             pos: 0,
-            node_ids: HashMap::new(),
+            node_ids: FxHashMap::default(),
             nodes: Vec::new(),
-            edges: HashMap::new(),
-            contexts: HashMap::new(),
+            edges: FxHashMap::default(),
+            contexts: FxHashMap::default(),
             cur_node: None,
             prev_node: ENTRY,
             cur_ctx: (ENTRY, ENTRY),
             reg_writer: [0; 64],
-            mem_writer: HashMap::new(),
-            stream_ids: HashMap::new(),
+            mem_writer: FxHashMap::default(),
+            stream_ids: FxHashMap::default(),
             streams: Vec::new(),
-            branch_ids: HashMap::new(),
+            branch_ids: FxHashMap::default(),
             branches: Vec::new(),
             global_history: 0,
         }

@@ -1,6 +1,6 @@
 //! Sparse, paged, little-endian byte-addressable memory.
 
-use std::collections::HashMap;
+use rustc_hash::FxHashMap;
 
 const PAGE_SHIFT: u32 = 12;
 const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
@@ -10,7 +10,9 @@ const PAGE_MASK: u64 = (PAGE_SIZE as u64) - 1;
 ///
 /// Pages are allocated on first write; reads of untouched memory return
 /// zero. All multi-byte accesses are little-endian and may straddle page
-/// boundaries.
+/// boundaries. The page table sits on the simulator's innermost loop and
+/// is keyed by page numbers the simulator computes itself, so it uses the
+/// deterministic fast [`FxHashMap`] rather than `std`'s SipHash map.
 ///
 /// # Example
 ///
@@ -23,7 +25,7 @@ const PAGE_MASK: u64 = (PAGE_SIZE as u64) - 1;
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct Memory {
-    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+    pages: FxHashMap<u64, Box<[u8; PAGE_SIZE]>>,
 }
 
 impl Memory {

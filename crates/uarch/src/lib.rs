@@ -33,6 +33,7 @@
 //! ```
 
 pub mod config;
+pub mod stackdist;
 
 mod cache;
 mod pipeline;
@@ -43,7 +44,8 @@ pub use cache::{AccessResult, Assoc, Cache, CacheConfig, CacheStats};
 pub use config::{base_config, cache_sweep, design_changes, IssuePolicy, MachineConfig};
 pub use pipeline::{Activity, Pipeline, PipelineReport};
 pub use predictor::{BranchPredictor, PredictorKind, PredictorStats};
+pub use stackdist::{sweep_trace, sweep_trace_par, AddressTrace, DataRef};
 pub use sweep::{
-    run_par, simulate_dcache, simulate_hierarchy, sweep_dcache, sweep_dcache_par, DcacheSweepPoint,
-    HierarchyPoint,
+    run_par, simulate_dcache, simulate_hierarchy, simulate_hierarchy_trace, sweep_dcache,
+    sweep_dcache_par, sweep_dcache_replay, DcacheSweepPoint, HierarchyPoint,
 };

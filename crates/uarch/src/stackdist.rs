@@ -1,0 +1,424 @@
+//! Single-pass multi-configuration cache evaluation: Mattson stack-distance
+//! histograms with Hill–Smith all-associativity simulation.
+//!
+//! The Figure-4/5 experiment replays one workload through 28 L1 D-cache
+//! configurations. Re-running the functional simulator per configuration
+//! repeats the expensive part — trace generation — 28 times for results
+//! that differ only in cache geometry. This module extracts the workload's
+//! data-reference trace **once** (see [`AddressTrace`]) and computes exact
+//! LRU miss counts for *every* configuration in a single pass per line
+//! size:
+//!
+//! * **Mattson et al. (1970), stack algorithms.** LRU obeys inclusion: at
+//!   any instant, the content of an `A`-way set is the `A` most recently
+//!   used lines mapping to it. An access therefore hits iff its *stack
+//!   distance* — the number of distinct lines that map to the same set and
+//!   were touched since the last access to this line — is `< A`. One
+//!   distance histogram yields the miss count of every associativity at
+//!   once.
+//! * **Hill & Smith (1989), all-associativity simulation.** With
+//!   bit-selection indexing and power-of-two set counts, a cache with `2S`
+//!   sets refines the sets of a cache with `S` sets (one more index bit).
+//!   Walking a single global LRU recency list once per access and counting,
+//!   per set-count level `2^j`, the lines whose low `j` index bits match
+//!   the accessed line's, produces the per-level stack distance for *all*
+//!   `(sets, ways)` geometries simultaneously.
+//!
+//! Grouping rule: one pass handles every configuration sharing a line
+//! size (the line size fixes the address→line mapping); configurations
+//! are grouped by `line_bytes` and each group costs one traversal of the
+//! trace. The paper's 28-configuration sweep uses 32-byte lines
+//! throughout, so the whole sweep is literally one pass.
+//!
+//! The counts are **bit-identical** to per-configuration [`Cache`]
+//! replay (`sweep_dcache_replay` keeps that path as the correctness
+//! oracle): the cache model is write-allocate with strict LRU victims, so
+//! hit/miss per access is a pure function of stack distance, and stores
+//! differ from loads only in dirty bookkeeping, which never affects
+//! recency order. Walks are bounded: a per-level saturation counter stops
+//! the recency-list traversal as soon as every level has seen its deepest
+//! distinguishable distance (the maximum ways of any configuration at
+//! that level), so the worst-case walk is `O(max ways)`, not the size of
+//! the touched-line set.
+//!
+//! [`Cache`]: crate::cache::Cache
+
+use perfclone_isa::Program;
+use perfclone_sim::Simulator;
+use rustc_hash::FxHashMap;
+
+use crate::cache::CacheConfig;
+use crate::sweep::DcacheSweepPoint;
+
+/// One dynamic data reference: effective address plus store flag.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DataRef {
+    /// Effective byte address.
+    pub addr: u64,
+    /// `true` for stores.
+    pub is_store: bool,
+}
+
+/// A workload's data-reference trace, extracted from the functional
+/// simulator exactly once and replayable through any number of cache
+/// geometries without re-executing the program.
+///
+/// # Example
+///
+/// ```
+/// use perfclone_isa::{ProgramBuilder, Reg};
+/// use perfclone_uarch::{cache_sweep, sweep_trace, AddressTrace};
+///
+/// let mut b = ProgramBuilder::new("tiny");
+/// let p = Reg::new(1);
+/// b.li(p, 0x1000);
+/// b.ld(Reg::new(2), p, 0);
+/// b.halt();
+/// let trace = AddressTrace::extract(&b.build(), u64::MAX);
+/// assert_eq!(trace.accesses(), 1);
+/// let sweep = sweep_trace(&trace, &cache_sweep());
+/// assert!(sweep.iter().all(|pt| pt.misses == 1)); // one cold miss each
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct AddressTrace {
+    instrs: u64,
+    refs: Vec<DataRef>,
+}
+
+impl AddressTrace {
+    /// Runs the functional simulator once (up to `limit` instructions) and
+    /// records every retired load/store.
+    pub fn extract(program: &Program, limit: u64) -> AddressTrace {
+        let mut instrs = 0u64;
+        let mut refs = Vec::new();
+        for d in Simulator::trace(program, limit) {
+            instrs += 1;
+            if let Some(m) = d.mem {
+                refs.push(DataRef { addr: m.addr, is_store: m.is_store });
+            }
+        }
+        AddressTrace { instrs, refs }
+    }
+
+    /// Wraps an already-materialized reference stream (tests, synthetic
+    /// traces).
+    pub fn from_refs(instrs: u64, refs: Vec<DataRef>) -> AddressTrace {
+        AddressTrace { instrs, refs }
+    }
+
+    /// Retired instructions behind this trace.
+    pub fn instrs(&self) -> u64 {
+        self.instrs
+    }
+
+    /// Number of data references.
+    pub fn accesses(&self) -> u64 {
+        self.refs.len() as u64
+    }
+
+    /// The references, in program order.
+    pub fn refs(&self) -> &[DataRef] {
+        &self.refs
+    }
+}
+
+const NIL: u32 = u32::MAX;
+
+/// One Hill–Smith pass: a global LRU recency list over touched lines plus
+/// per-set-count-level stack-distance histograms, serving every
+/// configuration of one line-size group.
+struct AllAssocPass {
+    line_shift: u32,
+    /// `caps[j]`: deepest distance any configuration with `2^j` sets
+    /// distinguishes (its maximum way count); `0` when no configuration
+    /// uses that set count.
+    caps: Vec<u32>,
+    /// `hists[j][d]` counts accesses at per-level stack distance `d`; the
+    /// final bucket aggregates `d >= caps[j]` (a miss at every tracked
+    /// associativity).
+    hists: Vec<Vec<u64>>,
+    /// line address → recency-list node.
+    map: FxHashMap<u64, u32>,
+    lines: Vec<u64>,
+    prev: Vec<u32>,
+    next: Vec<u32>,
+    head: u32,
+    /// Scratch per-level distance counters, reused across accesses.
+    dists: Vec<u32>,
+    accesses: u64,
+}
+
+impl AllAssocPass {
+    /// `geometries` are the `(sets, ways)` pairs of the group's configs.
+    fn new(line_bytes: u32, geometries: &[(u64, u64)]) -> AllAssocPass {
+        let levels = geometries
+            .iter()
+            .map(|&(sets, _)| sets.trailing_zeros() as usize + 1)
+            .max()
+            .expect("non-empty configuration group");
+        let mut caps = vec![0u32; levels];
+        for &(sets, ways) in geometries {
+            let j = sets.trailing_zeros() as usize;
+            caps[j] = caps[j].max(ways as u32);
+        }
+        let hists =
+            caps.iter().map(|&c| vec![0u64; if c == 0 { 0 } else { c as usize + 1 }]).collect();
+        AllAssocPass {
+            line_shift: line_bytes.trailing_zeros(),
+            caps,
+            hists,
+            map: FxHashMap::default(),
+            lines: Vec::new(),
+            prev: Vec::new(),
+            next: Vec::new(),
+            head: NIL,
+            dists: vec![0u32; levels],
+            accesses: 0,
+        }
+    }
+
+    fn access(&mut self, addr: u64) {
+        self.accesses += 1;
+        let line = addr >> self.line_shift;
+        let Some(&node) = self.map.get(&line) else {
+            // Cold: a miss at every geometry — recorded implicitly, since
+            // misses are computed as accesses − histogram hits.
+            let n = self.lines.len() as u32;
+            self.lines.push(line);
+            self.prev.push(NIL);
+            self.next.push(self.head);
+            if self.head != NIL {
+                self.prev[self.head as usize] = n;
+            }
+            self.head = n;
+            self.map.insert(line, n);
+            return;
+        };
+        if node == self.head {
+            // Re-access of the most recent line: distance 0 everywhere.
+            for (j, hist) in self.hists.iter_mut().enumerate() {
+                if self.caps[j] > 0 {
+                    hist[0] += 1;
+                }
+            }
+            return;
+        }
+        // Walk MRU→LRU counting, per level, predecessors that map to the
+        // same set: the low j index bits of the line address must match,
+        // i.e. trailing_zeros(other ^ line) >= j. Stop at the accessed
+        // node or once every level has reached its cap (deeper counts
+        // cannot change any hit/miss outcome).
+        let levels = self.caps.len();
+        self.dists.fill(0);
+        let mut unsaturated = self.caps.iter().filter(|&&c| c > 0).count();
+        let mut cur = self.head;
+        while cur != node && unsaturated > 0 {
+            let matching_bits = (self.lines[cur as usize] ^ line).trailing_zeros() as usize;
+            for j in 0..=matching_bits.min(levels - 1) {
+                self.dists[j] += 1;
+                if self.caps[j] > 0 && self.dists[j] == self.caps[j] {
+                    unsaturated -= 1;
+                }
+            }
+            cur = self.next[cur as usize];
+        }
+        for (j, hist) in self.hists.iter_mut().enumerate() {
+            let cap = self.caps[j];
+            if cap > 0 {
+                hist[self.dists[j].min(cap) as usize] += 1;
+            }
+        }
+        // Move the accessed node to the front of the recency list.
+        let (p, nx) = (self.prev[node as usize], self.next[node as usize]);
+        self.next[p as usize] = nx;
+        if nx != NIL {
+            self.prev[nx as usize] = p;
+        }
+        self.prev[node as usize] = NIL;
+        self.next[node as usize] = self.head;
+        self.prev[self.head as usize] = node;
+        self.head = node;
+    }
+
+    /// Exact LRU miss count of a `(sets, ways)` geometry.
+    fn misses(&self, sets: u64, ways: u64) -> u64 {
+        let j = sets.trailing_zeros() as usize;
+        let hits: u64 = self.hists[j][..ways as usize].iter().sum();
+        self.accesses - hits
+    }
+}
+
+/// Indices of `configs` grouped by line size, group order by first
+/// appearance.
+fn line_size_groups(configs: &[CacheConfig]) -> Vec<(u32, Vec<usize>)> {
+    let mut groups: Vec<(u32, Vec<usize>)> = Vec::new();
+    for (i, c) in configs.iter().enumerate() {
+        match groups.iter_mut().find(|(line, _)| *line == c.line_bytes) {
+            Some((_, idxs)) => idxs.push(i),
+            None => groups.push((c.line_bytes, vec![i])),
+        }
+    }
+    groups
+}
+
+fn run_group(trace: &AddressTrace, line_bytes: u32, geometries: &[(u64, u64)]) -> Vec<u64> {
+    let mut pass = AllAssocPass::new(line_bytes, geometries);
+    for r in trace.refs() {
+        pass.access(r.addr);
+    }
+    geometries.iter().map(|&(sets, ways)| pass.misses(sets, ways)).collect()
+}
+
+/// Computes [`DcacheSweepPoint`]s for every configuration from one
+/// pre-extracted trace: one stack-distance pass per line-size group,
+/// results in `configs` order and bit-identical to per-configuration
+/// [`simulate_dcache`](crate::sweep::simulate_dcache) replay.
+pub fn sweep_trace(trace: &AddressTrace, configs: &[CacheConfig]) -> Vec<DcacheSweepPoint> {
+    let mut out: Vec<DcacheSweepPoint> = configs
+        .iter()
+        .map(|&config| DcacheSweepPoint {
+            config,
+            instrs: trace.instrs(),
+            accesses: trace.accesses(),
+            misses: 0,
+        })
+        .collect();
+    for (line_bytes, idxs) in line_size_groups(configs) {
+        let geometries: Vec<(u64, u64)> =
+            idxs.iter().map(|&i| (configs[i].sets(), configs[i].ways())).collect();
+        for (&i, misses) in idxs.iter().zip(run_group(trace, line_bytes, &geometries)) {
+            out[i].misses = misses;
+        }
+    }
+    out
+}
+
+/// Parallel [`sweep_trace`]: line-size groups fan over the ambient rayon
+/// parallelism. Every group computes exact integer miss counts, so the
+/// result is bit-identical to the serial engine at any thread count (and
+/// to per-configuration replay).
+pub fn sweep_trace_par(trace: &AddressTrace, configs: &[CacheConfig]) -> Vec<DcacheSweepPoint> {
+    use rayon::prelude::*;
+    let groups = line_size_groups(configs);
+    let per_group: Vec<Vec<u64>> = groups
+        .par_iter()
+        .map(|(line_bytes, idxs)| {
+            let geometries: Vec<(u64, u64)> =
+                idxs.iter().map(|&i| (configs[i].sets(), configs[i].ways())).collect();
+            run_group(trace, *line_bytes, &geometries)
+        })
+        .collect();
+    let mut out: Vec<DcacheSweepPoint> = configs
+        .iter()
+        .map(|&config| DcacheSweepPoint {
+            config,
+            instrs: trace.instrs(),
+            accesses: trace.accesses(),
+            misses: 0,
+        })
+        .collect();
+    for ((_, idxs), misses) in groups.iter().zip(per_group) {
+        for (&i, m) in idxs.iter().zip(misses) {
+            out[i].misses = m;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::{Assoc, Cache};
+    use crate::config::cache_sweep;
+    use crate::sweep::sweep_dcache_replay;
+    use perfclone_isa::{MemWidth, ProgramBuilder, Reg, StreamDesc};
+
+    fn streaming_program(stride: i64, length: u32, n: i64) -> Program {
+        let mut b = ProgramBuilder::new("stream");
+        let id = b.stream(StreamDesc { base: 0x4_0000, stride, length });
+        let (i, lim) = (Reg::new(1), Reg::new(2));
+        b.li(i, 0);
+        b.li(lim, n);
+        let top = b.label();
+        b.bind(top);
+        b.ld_stream(Reg::new(3), id, MemWidth::B8);
+        b.addi(i, i, 1);
+        b.blt(i, lim, top);
+        b.halt();
+        b.build()
+    }
+
+    fn replay_misses(refs: &[DataRef], config: CacheConfig) -> u64 {
+        let mut c = Cache::new(config);
+        for r in refs {
+            c.access(r.addr, r.is_store);
+        }
+        c.stats().misses
+    }
+
+    #[test]
+    fn engine_matches_replay_on_the_paper_sweep() {
+        let p = streaming_program(48, 96, 3_000);
+        let configs = cache_sweep();
+        let engine = sweep_trace(&AddressTrace::extract(&p, u64::MAX), &configs);
+        let oracle = sweep_dcache_replay(&p, &configs, u64::MAX);
+        assert_eq!(engine, oracle);
+    }
+
+    #[test]
+    fn mixed_line_sizes_group_correctly() {
+        let refs: Vec<DataRef> = (0..4_000u64)
+            .map(|i| DataRef { addr: (i * 13) % 4096 * 8, is_store: i % 5 == 0 })
+            .collect();
+        let trace = AddressTrace::from_refs(4_000, refs.clone());
+        let configs = vec![
+            CacheConfig::new(512, Assoc::Ways(1), 16),
+            CacheConfig::new(1024, Assoc::Ways(2), 64),
+            CacheConfig::new(512, Assoc::Full, 16),
+            CacheConfig::new(2048, Assoc::Ways(4), 32),
+            CacheConfig::new(1024, Assoc::Ways(4), 64),
+        ];
+        let engine = sweep_trace(&trace, &configs);
+        for (pt, &config) in engine.iter().zip(&configs) {
+            assert_eq!(pt.misses, replay_misses(&refs, config), "{config}");
+            assert_eq!(pt.accesses, 4_000);
+        }
+        assert_eq!(sweep_trace_par(&trace, &configs), engine);
+    }
+
+    #[test]
+    fn distance_zero_and_cold_paths() {
+        // Same line twice (distance 0), then a distinct line (cold).
+        let refs = vec![
+            DataRef { addr: 0x100, is_store: false },
+            DataRef { addr: 0x108, is_store: true },
+            DataRef { addr: 0x900, is_store: false },
+        ];
+        let trace = AddressTrace::from_refs(3, refs);
+        let config = CacheConfig::new(256, Assoc::Ways(2), 32);
+        let pt = &sweep_trace(&trace, &[config])[0];
+        assert_eq!(pt.misses, 2);
+        assert_eq!(pt.accesses, 3);
+    }
+
+    #[test]
+    fn saturated_walks_still_reorder_the_recency_list() {
+        // Touch many lines, then re-touch the first: the walk saturates
+        // (every cap reached) long before finding it, yet the engine must
+        // still move it to the front so the *next* access hits.
+        let mut refs: Vec<DataRef> =
+            (0..64u64).map(|i| DataRef { addr: i * 32, is_store: false }).collect();
+        refs.push(DataRef { addr: 0, is_store: false });
+        refs.push(DataRef { addr: 0, is_store: false });
+        let trace = AddressTrace::from_refs(refs.len() as u64, refs.clone());
+        let config = CacheConfig::new(128, Assoc::Ways(2), 32);
+        assert_eq!(sweep_trace(&trace, &[config])[0].misses, replay_misses(&refs, config));
+    }
+
+    #[test]
+    fn empty_trace_yields_zero_counts() {
+        let trace = AddressTrace::from_refs(0, Vec::new());
+        let sweep = sweep_trace(&trace, &cache_sweep());
+        assert!(sweep.iter().all(|pt| pt.accesses == 0 && pt.misses == 0 && pt.mpi() == 0.0));
+    }
+}

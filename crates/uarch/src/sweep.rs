@@ -4,6 +4,7 @@ use perfclone_isa::Program;
 use perfclone_sim::Simulator;
 
 use crate::cache::{Cache, CacheConfig};
+use crate::stackdist::{sweep_trace, sweep_trace_par, AddressTrace};
 
 /// Result of replaying a program's data references through one cache.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -74,32 +75,61 @@ impl HierarchyPoint {
 /// Replays the program's loads and stores through an L1 + unified-L2
 /// hierarchy, functionally. L2 sees L1 misses (and L1 dirty evictions as
 /// writes), the usual exclusive-of-hits filtering.
+///
+/// Extracts the address trace and delegates to
+/// [`simulate_hierarchy_trace`]; callers evaluating many `(l1, l2)` pairs
+/// should extract an [`AddressTrace`] once and call the trace-based form
+/// per pair instead of paying one functional simulation each.
 pub fn simulate_hierarchy(
     program: &Program,
     l1: CacheConfig,
     l2: CacheConfig,
     limit: u64,
 ) -> HierarchyPoint {
+    simulate_hierarchy_trace(&AddressTrace::extract(program, limit), l1, l2)
+}
+
+/// Replays a pre-extracted data-reference trace through an L1 +
+/// unified-L2 hierarchy — [`simulate_hierarchy`] minus the per-pair
+/// functional simulation.
+pub fn simulate_hierarchy_trace(
+    trace: &AddressTrace,
+    l1: CacheConfig,
+    l2: CacheConfig,
+) -> HierarchyPoint {
     let mut c1 = Cache::new(l1);
     let mut c2 = Cache::new(l2);
-    let mut instrs = 0u64;
-    for d in Simulator::trace(program, limit) {
-        instrs += 1;
-        if let Some(m) = d.mem {
-            let r1 = c1.access(m.addr, m.is_store);
-            if !r1.hit {
-                c2.access(m.addr, false);
-                if r1.writeback {
-                    c2.access(m.addr, true);
-                }
+    for m in trace.refs() {
+        let r1 = c1.access(m.addr, m.is_store);
+        if !r1.hit {
+            c2.access(m.addr, false);
+            if r1.writeback {
+                c2.access(m.addr, true);
             }
         }
     }
-    HierarchyPoint { l1, l2, instrs, l1_stats: c1.stats(), l2_stats: c2.stats() }
+    HierarchyPoint { l1, l2, instrs: trace.instrs(), l1_stats: c1.stats(), l2_stats: c2.stats() }
 }
 
-/// Runs [`simulate_dcache`] over a set of configurations.
+/// Evaluates every configuration with the single-pass stack-distance
+/// engine: the program's data references are extracted once and one
+/// Mattson/Hill–Smith pass per line-size group produces exact LRU miss
+/// counts, bit-identical to per-configuration replay (see
+/// [`sweep_dcache_replay`], the correctness oracle, and the
+/// [`stackdist`](crate::stackdist) module docs for why).
 pub fn sweep_dcache(
+    program: &Program,
+    configs: &[CacheConfig],
+    limit: u64,
+) -> Vec<DcacheSweepPoint> {
+    sweep_trace(&AddressTrace::extract(program, limit), configs)
+}
+
+/// Runs [`simulate_dcache`] over a set of configurations — one full
+/// functional replay per configuration. This is the pre-engine path, kept
+/// as the correctness oracle the property tests and the
+/// `sweep_engine_compare` bench hold [`sweep_dcache`] against.
+pub fn sweep_dcache_replay(
     program: &Program,
     configs: &[CacheConfig],
     limit: u64,
@@ -107,19 +137,17 @@ pub fn sweep_dcache(
     configs.iter().map(|c| simulate_dcache(program, *c, limit)).collect()
 }
 
-/// Runs [`simulate_dcache`] over a set of configurations, fanning the
-/// configurations over the ambient rayon parallelism. Each configuration
-/// gets its own [`Cache`](crate::cache::Cache) instance and its own
-/// functional replay, so cells share no mutable state; results come back
-/// in `configs` order and are bit-identical to [`sweep_dcache`]'s
-/// regardless of the thread count.
+/// Parallel [`sweep_dcache`]: the trace is extracted once and the
+/// stack-distance passes (one per line-size group) fan over the ambient
+/// rayon parallelism. Counts are exact integers computed per group, so
+/// results come back in `configs` order and are bit-identical to
+/// [`sweep_dcache`]'s regardless of the thread count.
 pub fn sweep_dcache_par(
     program: &Program,
     configs: &[CacheConfig],
     limit: u64,
 ) -> Vec<DcacheSweepPoint> {
-    use rayon::prelude::*;
-    configs.par_iter().map(|c| simulate_dcache(program, *c, limit)).collect()
+    sweep_trace_par(&AddressTrace::extract(program, limit), configs)
 }
 
 /// Runs the parallel sweep on a dedicated pool of `jobs` worker threads
@@ -196,6 +224,30 @@ mod tests {
             let par = run_par(&p, &configs, u64::MAX, jobs);
             assert_eq!(serial, par, "jobs = {jobs}");
         }
+    }
+
+    #[test]
+    fn engine_sweep_equals_replay_oracle() {
+        let p = streaming_program(24, 512, 2_000);
+        let configs = crate::config::cache_sweep();
+        assert_eq!(
+            sweep_dcache(&p, &configs, u64::MAX),
+            sweep_dcache_replay(&p, &configs, u64::MAX)
+        );
+    }
+
+    #[test]
+    fn hierarchy_trace_form_matches_program_form() {
+        let p = streaming_program(32, 1024, 4_000);
+        let (l1, l2) = (
+            CacheConfig::new(1024, Assoc::Ways(2), 32),
+            CacheConfig::new(32 * 1024, Assoc::Ways(4), 64),
+        );
+        let trace = AddressTrace::extract(&p, u64::MAX);
+        assert_eq!(
+            simulate_hierarchy_trace(&trace, l1, l2),
+            simulate_hierarchy(&p, l1, l2, u64::MAX)
+        );
     }
 
     #[test]

@@ -1,0 +1,139 @@
+//! Offline stand-in for the subset of `rustc-hash` this workspace uses:
+//! [`FxHasher`], the [`FxHashMap`]/[`FxHashSet`] aliases, and
+//! [`FxBuildHasher`].
+//!
+//! The build environment has no access to crates.io, so the real crate
+//! cannot be vendored. This shim implements the same Fx algorithm (the
+//! Firefox/rustc multiply-rotate hash): per 8-byte word `w`, the state
+//! update is `h = (h.rotate_left(5) ^ w) * K`. It is a fast,
+//! **deterministic** (unkeyed) hasher — exactly what the simulation hot
+//! paths want in place of `std`'s DoS-resistant but slower SipHash — and
+//! like the real crate it must not be used on attacker-controlled keys.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// 64-bit Fx multiply constant (π's fractional bits, as in rustc-hash).
+const K: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A speed-over-DoS-resistance hasher with no random state: the same key
+/// hashes identically in every process and on every run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(K);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(tail));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, i: u128) {
+        self.add_to_hash(i as u64);
+        self.add_to_hash((i >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+}
+
+/// [`std::hash::BuildHasher`] producing [`FxHasher`]s.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A [`HashMap`] keyed by [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A [`HashSet`] keyed by [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(v: &T) -> u64 {
+        FxBuildHasher::default().hash_one(v)
+    }
+
+    #[test]
+    fn deterministic_across_hasher_instances() {
+        assert_eq!(hash_of(&0xdead_beefu64), hash_of(&0xdead_beefu64));
+        assert_eq!(hash_of(&(3u32, 7u32)), hash_of(&(3u32, 7u32)));
+        assert_eq!(hash_of(&"stride"), hash_of(&"stride"));
+    }
+
+    #[test]
+    fn distinct_keys_disperse() {
+        let hashes: FxHashSet<u64> = (0u64..1024).map(|k| hash_of(&k)).collect();
+        assert_eq!(hashes.len(), 1024, "no collisions on small consecutive keys");
+    }
+
+    #[test]
+    fn map_and_set_behave_like_std() {
+        let mut m: FxHashMap<i64, u64> = FxHashMap::default();
+        for s in [-8i64, 8, 16, -8, 8] {
+            *m.entry(s).or_insert(0) += 1;
+        }
+        assert_eq!(m.len(), 3);
+        assert_eq!(m[&-8], 2);
+        assert_eq!(m[&16], 1);
+    }
+
+    #[test]
+    fn byte_stream_and_word_writes_cover_tails() {
+        // Same logical bytes split differently must still be usable (no
+        // equality requirement across splits, only internal consistency).
+        let mut h = FxHasher::default();
+        h.write(&[1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        let a = h.finish();
+        let mut h2 = FxHasher::default();
+        h2.write(&[1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        assert_eq!(a, h2.finish());
+        assert_ne!(a, 0);
+    }
+}

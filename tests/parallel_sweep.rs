@@ -12,8 +12,8 @@ use perfclone::experiments::{
 };
 use perfclone::suite::{suite_mark, suite_mark_par, Suite};
 use perfclone::{
-    base_config, cache_sweep, derive_cell_seed, CacheConfig, Cloner, MachineConfig,
-    SynthesisParams, TimingResult, WorkloadCache, WorkloadProfile,
+    base_config, cache_sweep, derive_cell_seed, sweep_trace, AddressTrace, CacheConfig, Cloner,
+    MachineConfig, SynthesisParams, TimingResult, WorkloadCache, WorkloadProfile,
 };
 use perfclone_isa::Program;
 use perfclone_kernels::{catalog, Scale};
@@ -33,6 +33,7 @@ fn sweep_inputs_and_outputs_are_send_and_sync() {
     assert_send_sync::<WorkloadCache>();
     assert_send_sync::<Suite>();
     assert_send_sync::<TimingResult>();
+    assert_send_sync::<AddressTrace>();
 }
 
 fn tiny_program(index: usize) -> (&'static str, Program) {
@@ -153,4 +154,39 @@ fn workload_cache_is_shared_across_a_parallel_sweep() {
     );
     assert!(Arc::ptr_eq(&a, &a_again));
     assert!(!Arc::ptr_eq(&a, &b));
+}
+
+/// The address-trace entry feeding the single-pass cache engine behaves
+/// like the other cached artifacts: many parallel sweep cells asking for
+/// one workload's trace trigger exactly one functional simulation, every
+/// requester sees the same `Arc`, and the cached trace drives the engine
+/// to the same answer as a fresh extraction.
+#[test]
+fn address_trace_is_extracted_once_per_workload_across_a_sweep() {
+    let (name, program) = tiny_program(3);
+    let cache = WorkloadCache::new();
+    let configs = cache_sweep();
+
+    let traces: Vec<Arc<AddressTrace>> =
+        configs.par_iter().map(|_| cache.address_trace(name, &program, u64::MAX)).collect();
+    let first = &traces[0];
+    assert!(traces.iter().all(|t| Arc::ptr_eq(first, t)));
+
+    let stats = cache.stats();
+    assert_eq!(stats.addr_trace_computes, 1, "functional simulator must run exactly once");
+    assert_eq!(stats.addr_trace_lookups, configs.len() as u64);
+    // Address traces and profiles are independent entries: no profile was
+    // computed on this cache.
+    assert_eq!(stats.profile_computes, 0);
+
+    // A different limit is a different trace.
+    let truncated = cache.address_trace(name, &program, 1_000);
+    assert!(!Arc::ptr_eq(first, &truncated));
+    assert_eq!(cache.stats().addr_trace_computes, 2);
+
+    // The cached trace is transparent: the engine produces the same sweep
+    // from it as from a direct extraction.
+    let direct = AddressTrace::extract(&program, u64::MAX);
+    assert_eq!(**first, direct);
+    assert_eq!(sweep_trace(first, &configs), sweep_trace(&direct, &configs));
 }

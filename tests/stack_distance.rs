@@ -1,0 +1,116 @@
+//! Property tests of the single-pass multi-configuration cache engine:
+//! the Mattson/Hill–Smith stack-distance pass must reproduce direct
+//! per-configuration LRU [`Cache`] replay *exactly* — same miss count for
+//! every geometry, every line size, and both associativity kinds
+//! (`Assoc::Ways`, `Assoc::Full`) — and the parallel sweep path must be
+//! bit-identical at every thread count.
+
+use perfclone_kernels::{by_name, Scale};
+use perfclone_uarch::{
+    cache_sweep, run_par, sweep_dcache, sweep_dcache_replay, sweep_trace, sweep_trace_par,
+    AddressTrace, Assoc, Cache, CacheConfig, DataRef,
+};
+use proptest::prelude::*;
+
+/// A geometry matrix stressing every axis the engine groups or levels on:
+/// line sizes 16/32/64 B, set counts 1..=64, ways 1/2/4/8, and the
+/// fully-associative degenerate case at several capacities.
+fn config_matrix() -> Vec<CacheConfig> {
+    let mut out = Vec::new();
+    for line in [16u32, 32, 64] {
+        for size_lines in [4u64, 16, 64] {
+            let size = size_lines * u64::from(line);
+            for assoc in [Assoc::Ways(1), Assoc::Ways(2), Assoc::Ways(4), Assoc::Full] {
+                if let Assoc::Ways(w) = assoc {
+                    if u64::from(w) > size_lines {
+                        continue;
+                    }
+                }
+                out.push(CacheConfig::new(size, assoc, line));
+            }
+        }
+    }
+    out.push(CacheConfig::new(8 * 64, Assoc::Ways(8), 16));
+    out
+}
+
+fn replay_misses(refs: &[DataRef], config: CacheConfig) -> u64 {
+    let mut cache = Cache::new(config);
+    for r in refs {
+        cache.access(r.addr, r.is_store);
+    }
+    cache.stats().misses
+}
+
+/// Raw (address, is_store) streams with enough reuse to exercise hits,
+/// conflict misses, and LRU reordering at every geometry in the matrix.
+fn ref_stream() -> impl Strategy<Value = Vec<DataRef>> {
+    proptest::collection::vec(
+        (0u64..16_384, any::<bool>()).prop_map(|(addr, is_store)| DataRef { addr, is_store }),
+        1..600,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Exactness: single-pass miss counts equal direct LRU replay for
+    /// every configuration in the matrix, on arbitrary reference streams.
+    #[test]
+    fn engine_equals_direct_replay_everywhere(refs in ref_stream()) {
+        let trace = AddressTrace::from_refs(refs.len() as u64, refs.clone());
+        let configs = config_matrix();
+        let sweep = sweep_trace(&trace, &configs);
+        prop_assert_eq!(sweep.len(), configs.len());
+        for (point, &config) in sweep.iter().zip(&configs) {
+            prop_assert_eq!(
+                point.misses,
+                replay_misses(&refs, config),
+                "geometry {} diverged from direct replay",
+                config
+            );
+            prop_assert_eq!(point.accesses, refs.len() as u64);
+        }
+    }
+
+    /// The parallel engine (groups over threads) is bit-identical to the
+    /// serial engine on the same trace.
+    #[test]
+    fn parallel_engine_is_bit_identical(refs in ref_stream()) {
+        let trace = AddressTrace::from_refs(refs.len() as u64, refs);
+        let configs = config_matrix();
+        prop_assert_eq!(sweep_trace_par(&trace, &configs), sweep_trace(&trace, &configs));
+    }
+
+    /// Tight clustered streams drive deep stack distances and saturation
+    /// early-exit; the fully-associative configs (per-set stack = global
+    /// stack) must still match replay exactly.
+    #[test]
+    fn fully_associative_degenerate_case(lines in proptest::collection::vec(0u64..96, 1..400)) {
+        let refs: Vec<DataRef> =
+            lines.iter().map(|&l| DataRef { addr: l * 32, is_store: l % 3 == 0 }).collect();
+        let trace = AddressTrace::from_refs(refs.len() as u64, refs.clone());
+        for size_lines in [2u64, 8, 32, 128] {
+            let config = CacheConfig::new(size_lines * 32, Assoc::Full, 32);
+            let sweep = sweep_trace(&trace, &[config]);
+            prop_assert_eq!(sweep[0].misses, replay_misses(&refs, config), "{}", config);
+        }
+    }
+}
+
+/// Acceptance-criterion check on a real kernel: the engine-backed
+/// [`sweep_dcache`] equals per-configuration [`sweep_dcache_replay`] for
+/// every configuration of the paper's Figure-4/5 sweep set, and the
+/// parallel path reproduces both at every thread count.
+#[test]
+fn engine_matches_replay_on_fig04_sweep_and_all_thread_counts() {
+    let program = by_name("crc32").expect("kernel exists").build(Scale::Tiny).program;
+    let configs = cache_sweep();
+    assert_eq!(configs.len(), 28);
+    let engine = sweep_dcache(&program, &configs, u64::MAX);
+    let oracle = sweep_dcache_replay(&program, &configs, u64::MAX);
+    assert_eq!(engine, oracle, "single-pass engine diverged from per-config replay");
+    for jobs in [1usize, 2, 3, 8] {
+        assert_eq!(run_par(&program, &configs, u64::MAX, jobs), engine, "jobs={jobs}");
+    }
+}
