@@ -20,11 +20,13 @@ fn main() {
             target_dynamic: bench.profile.total_instrs.clamp(100_000, 2_500_000),
             ..SynthesisParams::default()
         };
-        let merged_clone = Cloner::with_params(merged_params).clone_program_from(&bench.profile);
+        let merged_clone = Cloner::with_params(merged_params)
+            .clone_program_from(&bench.profile)
+            .expect("synthesize");
 
-        let real = run_timing(&bench.program, &base, u64::MAX).report.ipc();
-        let ctx = run_timing(&bench.clone, &base, u64::MAX).report.ipc();
-        let merged = run_timing(&merged_clone, &base, u64::MAX).report.ipc();
+        let real = run_timing(&bench.program, &base, u64::MAX).expect("timing").report.ipc();
+        let ctx = run_timing(&bench.clone, &base, u64::MAX).expect("timing").report.ipc();
+        let merged = run_timing(&merged_clone, &base, u64::MAX).expect("timing").report.ipc();
         let ce = ((ctx - real) / real).abs();
         let me = ((merged - real) / real).abs();
         ctx_errs.push(ce);

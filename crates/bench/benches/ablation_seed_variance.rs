@@ -22,8 +22,8 @@ fn main() {
     for kernel in kernels_from_env() {
         eprintln!("  seeding {} ...", kernel.name());
         let program = kernel.build(scale_from_env()).program;
-        let profile = perfclone::profile_program(&program, u64::MAX);
-        let real = run_timing(&program, &base, u64::MAX).report.ipc();
+        let profile = perfclone::profile_program(&program, u64::MAX).expect("profile");
+        let real = run_timing(&program, &base, u64::MAX).expect("timing").report.ipc();
         let ipcs: Vec<f64> = seeds
             .iter()
             .map(|&seed| {
@@ -32,8 +32,9 @@ fn main() {
                     target_dynamic: profile.total_instrs.clamp(100_000, 1_000_000),
                     ..SynthesisParams::default()
                 };
-                let clone = Cloner::with_params(params).clone_program_from(&profile);
-                run_timing(&clone, &base, u64::MAX).report.ipc()
+                let clone =
+                    Cloner::with_params(params).clone_program_from(&profile).expect("synthesize");
+                run_timing(&clone, &base, u64::MAX).expect("timing").report.ipc()
             })
             .collect();
         let m = mean(&ipcs);

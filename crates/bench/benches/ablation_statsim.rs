@@ -27,12 +27,12 @@ fn main() {
     for bench in prepare_all() {
         let params =
             TraceParams { length: bench.profile.total_instrs.clamp(100_000, 1_000_000), seed: 11 };
-        let trace = synth_trace(&bench.profile, &params);
+        let trace = synth_trace(&bench.profile, &params).expect("trace");
 
-        let real_b = run_timing(&bench.program, &base, u64::MAX).report.ipc();
-        let real_w = run_timing(&bench.program, &wide, u64::MAX).report.ipc();
-        let clone_b = run_timing(&bench.clone, &base, u64::MAX).report.ipc();
-        let clone_w = run_timing(&bench.clone, &wide, u64::MAX).report.ipc();
+        let real_b = run_timing(&bench.program, &base, u64::MAX).expect("timing").report.ipc();
+        let real_w = run_timing(&bench.program, &wide, u64::MAX).expect("timing").report.ipc();
+        let clone_b = run_timing(&bench.clone, &base, u64::MAX).expect("timing").report.ipc();
+        let clone_w = run_timing(&bench.clone, &wide, u64::MAX).expect("timing").report.ipc();
         let trace_b = Pipeline::new(base).run(trace.iter().copied()).ipc();
         let trace_w = Pipeline::new(wide).run(trace.iter().copied()).ipc();
         let _ = Simulator::trace; // (explicit: programs vs raw traces)

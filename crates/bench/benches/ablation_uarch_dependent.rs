@@ -47,16 +47,26 @@ fn main() {
             target_dynamic: bench.profile.total_instrs.clamp(100_000, 2_500_000),
             ..SynthesisParams::default()
         };
-        let dep_clone = Cloner::with_params(dep_params).clone_program_from(&bench.profile);
+        let dep_clone =
+            Cloner::with_params(dep_params).clone_program_from(&bench.profile).expect("synthesize");
 
         let sweep_i = cache_sweep_pair(&bench.program, &bench.clone, &configs, u64::MAX);
         let sweep_d = cache_sweep_pair(&bench.program, &dep_clone, &configs, u64::MAX);
         r_indep.push(sweep_i.correlation());
         r_dep.push(sweep_d.correlation());
 
-        let real_bp = run_timing(&bench.program, &base, u64::MAX).report.bpred.mispredict_rate();
-        let indep_bp = run_timing(&bench.clone, &base, u64::MAX).report.bpred.mispredict_rate();
-        let dep_bp = run_timing(&dep_clone, &base, u64::MAX).report.bpred.mispredict_rate();
+        let real_bp = run_timing(&bench.program, &base, u64::MAX)
+            .expect("timing")
+            .report
+            .bpred
+            .mispredict_rate();
+        let indep_bp = run_timing(&bench.clone, &base, u64::MAX)
+            .expect("timing")
+            .report
+            .bpred
+            .mispredict_rate();
+        let dep_bp =
+            run_timing(&dep_clone, &base, u64::MAX).expect("timing").report.bpred.mispredict_rate();
         bp_indep.push((indep_bp - real_bp).abs());
         bp_dep.push((dep_bp - real_bp).abs());
 

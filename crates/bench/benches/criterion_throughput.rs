@@ -16,7 +16,7 @@ fn bench_stack(c: &mut Criterion) {
         let mut sim = Simulator::new(&program);
         sim.run(u64::MAX).expect("kernel runs").retired
     };
-    let profile = profile_program(&program, u64::MAX);
+    let profile = profile_program(&program, u64::MAX).expect("profile");
     let params = SynthesisParams { target_dynamic: 100_000, ..SynthesisParams::default() };
 
     let mut group = c.benchmark_group("stack");

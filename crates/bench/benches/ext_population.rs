@@ -24,14 +24,14 @@ fn main() {
     for kernel in extended {
         eprintln!("  cloning {} ...", kernel.name());
         let program = kernel.build(scale_from_env()).program;
-        let profile = perfclone::profile_program(&program, u64::MAX);
+        let profile = perfclone::profile_program(&program, u64::MAX).expect("profile");
         let params = SynthesisParams {
             target_dynamic: profile.total_instrs.clamp(100_000, 2_500_000),
             ..SynthesisParams::default()
         };
-        let clone = Cloner::with_params(params).clone_program_from(&profile);
-        let real = run_timing(&program, &base, u64::MAX);
-        let synth = run_timing(&clone, &base, u64::MAX);
+        let clone = Cloner::with_params(params).clone_program_from(&profile).expect("synthesize");
+        let real = run_timing(&program, &base, u64::MAX).expect("timing");
+        let synth = run_timing(&clone, &base, u64::MAX).expect("timing");
         let ie = ((synth.report.ipc() - real.report.ipc()) / real.report.ipc()).abs();
         let pe = ((synth.power.average_power - real.power.average_power)
             / real.power.average_power)

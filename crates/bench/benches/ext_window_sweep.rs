@@ -25,10 +25,14 @@ fn main() {
     let mut rs = Vec::new();
     let mut worst = Vec::new();
     for bench in prepare_all() {
-        let real: Vec<f64> =
-            configs.iter().map(|c| run_timing(&bench.program, c, u64::MAX).report.ipc()).collect();
-        let synth: Vec<f64> =
-            configs.iter().map(|c| run_timing(&bench.clone, c, u64::MAX).report.ipc()).collect();
+        let real: Vec<f64> = configs
+            .iter()
+            .map(|c| run_timing(&bench.program, c, u64::MAX).expect("timing").report.ipc())
+            .collect();
+        let synth: Vec<f64> = configs
+            .iter()
+            .map(|c| run_timing(&bench.clone, c, u64::MAX).expect("timing").report.ipc())
+            .collect();
         let r = pearson(&real, &synth);
         let w = real.iter().zip(&synth).map(|(a, b)| ((a - b) / a).abs()).fold(0.0f64, f64::max);
         rs.push(r);

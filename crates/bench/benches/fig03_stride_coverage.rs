@@ -20,7 +20,7 @@ fn main() {
     let mut streams = Vec::new();
     for kernel in kernels_from_env() {
         let program = kernel.build(scale).program;
-        let profile = profile_program(&program, u64::MAX);
+        let profile = profile_program(&program, u64::MAX).expect("profile");
         let cov = profile.stride_coverage();
         coverages.push(cov);
         streams.push(profile.unique_streams() as f64);

@@ -15,8 +15,8 @@ fn main() {
     ]);
     let mut errors = Vec::new();
     for bench in prepare_all() {
-        let real = run_timing(&bench.program, &config, u64::MAX);
-        let synth = run_timing(&bench.clone, &config, u64::MAX);
+        let real = run_timing(&bench.program, &config, u64::MAX).expect("timing");
+        let synth = run_timing(&bench.clone, &config, u64::MAX).expect("timing");
         let (ri, si) = (real.report.ipc(), synth.report.ipc());
         let err = ((si - ri) / ri).abs();
         errors.push(err);

@@ -16,8 +16,8 @@ fn main() {
     ]);
     let mut errors = Vec::new();
     for bench in prepare_all() {
-        let real = run_timing(&bench.program, &config, u64::MAX);
-        let synth = run_timing(&bench.clone, &config, u64::MAX);
+        let real = run_timing(&bench.program, &config, u64::MAX).expect("timing");
+        let synth = run_timing(&bench.clone, &config, u64::MAX).expect("timing");
         let (rp, sp) = (real.power.average_power, synth.power.average_power);
         let err = ((sp - rp) / rp).abs();
         errors.push(err);

@@ -20,7 +20,8 @@ fn main() {
     let mut names = vec![String::new(); 5];
     for bench in &benches {
         eprintln!("  sweeping {} ...", bench.kernel.name());
-        let sweep = design_change_sweep_par(&bench.program, &bench.clone, &base, u64::MAX);
+        let sweep =
+            design_change_sweep_par(&bench.program, &bench.clone, &base, u64::MAX).expect("timing");
         for i in 0..5 {
             ipc_errs[i].push(sweep.ipc_relative_error(i));
             pow_errs[i].push(sweep.power_relative_error(i));

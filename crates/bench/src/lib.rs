@@ -97,9 +97,12 @@ pub fn prepare(
     params_of: &dyn Fn(u64) -> SynthesisParams,
 ) -> PreparedBench {
     let program = kernel.build(scale).program;
-    let profile = perfclone::profile_program(&program, u64::MAX);
+    let profile =
+        perfclone::profile_program(&program, u64::MAX).expect("bundled kernels profile cleanly");
     let params = params_of(profile.total_instrs);
-    let clone = Cloner::with_params(params).clone_program_from(&profile);
+    let clone = Cloner::with_params(params)
+        .clone_program_from(&profile)
+        .expect("bundled kernel profiles synthesize cleanly");
     PreparedBench { kernel, program, profile, clone }
 }
 
@@ -161,7 +164,7 @@ pub fn grid_timing_par(
                 2 => (&bench.clone, base),
                 _ => (&bench.clone, alt),
             };
-            run_timing(program, config, u64::MAX)
+            run_timing(program, config, u64::MAX).expect("bundled kernels run cleanly")
         })
         .collect();
     results

@@ -75,6 +75,12 @@ impl Parsed {
         }
     }
 
+    /// Whether `--allow-degraded` was passed: fidelity-gate failures are
+    /// downgraded to warnings instead of aborting the command.
+    pub fn allow_degraded(&self) -> bool {
+        self.opt(&["--allow-degraded"]).is_some()
+    }
+
     /// Returns the input scale selected by `--scale` (default small).
     ///
     /// # Errors
@@ -133,6 +139,14 @@ mod tests {
         assert!(bad.jobs().is_err());
         let worse = parse(&argv(&["sweep", "crc32", "--jobs", "many"])).unwrap();
         assert!(worse.jobs().is_err());
+    }
+
+    #[test]
+    fn allow_degraded_flag() {
+        let p = parse(&argv(&["validate", "crc32", "--allow-degraded"])).unwrap();
+        assert!(p.allow_degraded());
+        let q = parse(&argv(&["validate", "crc32"])).unwrap();
+        assert!(!q.allow_degraded());
     }
 
     #[test]

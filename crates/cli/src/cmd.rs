@@ -2,8 +2,8 @@
 
 use perfclone::experiments::cache_sweep_pair_par;
 use perfclone::{
-    base_config, cache_sweep, run_timing, validate_pair, Cloner, SynthesisParams, Table,
-    WorkloadProfile,
+    base_config, cache_sweep, run_timing, validate_pair, Cloner, Fault, FaultPlan, Gate,
+    SynthesisParams, Table, Verdict, WorkloadProfile,
 };
 use perfclone_isa::Program;
 use perfclone_uarch::{design_changes, MachineConfig};
@@ -23,6 +23,7 @@ USAGE:
   perfclone disasm <kernel> [opts]                disassemble a kernel
   perfclone report <kernel> [opts]                characterization report
   perfclone statsim <kernel> [opts]               statistical-simulation IPC
+  perfclone selfcheck [kernel...] [opts]          fault-injection self-check
 
 OPTIONS:
   --scale tiny|small      input scale (default small)
@@ -31,6 +32,8 @@ OPTIONS:
   --seed N                synthesis seed
   --dynamic N             clone dynamic-instruction target
   --config NAME           machine config for validate (default base)
+  --allow-degraded        downgrade fidelity-gate failures to warnings
+                          (validate still prints the full report)
   -j, --jobs N            worker threads for sweeps (default: all cores;
                           results are identical at any thread count)
 ";
@@ -67,6 +70,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "disasm" => disasm(&rest),
         "report" => report(&rest),
         "statsim" => statsim(&rest),
+        "selfcheck" => selfcheck(&rest),
         other => Err(format!("unknown command {other:?}")),
     })
 }
@@ -104,7 +108,7 @@ fn configs() -> Result<(), String> {
 
 fn profile(parsed: &Parsed) -> Result<(), String> {
     let (name, program) = kernel_program(parsed, 0)?;
-    let profile = perfclone::profile_program(&program, u64::MAX);
+    let profile = perfclone::profile_program(&program, u64::MAX).map_err(|e| e.to_string())?;
     let json = profile.to_json().map_err(|e| e.to_string())?;
     let out = parsed.opt(&["-o", "--out"]).map(str::to_string).unwrap_or(format!("{name}.json"));
     std::fs::write(&out, &json).map_err(|e| format!("writing {out}: {e}"))?;
@@ -137,7 +141,8 @@ fn synth(parsed: &Parsed) -> Result<(), String> {
     let json = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
     let profile = WorkloadProfile::from_json(&json).map_err(|e| format!("parsing {path}: {e}"))?;
     let params = synth_params(parsed, &profile)?;
-    let clone = Cloner::with_params(params).clone_program_from(&profile);
+    let clone =
+        Cloner::with_params(params).clone_program_from(&profile).map_err(|e| e.to_string())?;
     let c_out =
         parsed.opt(&["-o", "--out"]).map(str::to_string).unwrap_or(format!("{}.c", profile.name));
     std::fs::write(&c_out, perfclone::emit_c(&clone))
@@ -165,10 +170,30 @@ fn validate(parsed: &Parsed) -> Result<(), String> {
             .find(|c| c.name == wanted)
             .ok_or_else(|| format!("unknown config {wanted:?} (see `perfclone configs`)"))?,
     };
-    let profile = perfclone::profile_program(&program, u64::MAX);
+    let profile = perfclone::profile_program(&program, u64::MAX).map_err(|e| e.to_string())?;
     let params = synth_params(parsed, &profile)?;
-    let clone = Cloner::with_params(params).clone_program_from(&profile);
-    let cmp = validate_pair(&program, &clone, &config, u64::MAX);
+    let clone =
+        Cloner::with_params(params).clone_program_from(&profile).map_err(|e| e.to_string())?;
+    // Fidelity gate first: re-profile the clone and compare the five
+    // attribute families before the (microarchitecture-dependent)
+    // side-by-side timing run.
+    let gate = Gate::default();
+    let report = gate.report(&profile, &clone).map_err(|e| e.to_string())?;
+    println!("{}", report.render());
+    if report.verdict() == Verdict::Fail {
+        if parsed.allow_degraded() {
+            eprintln!(
+                "perfclone: warning: {} (continuing: --allow-degraded)",
+                report.failure_summary()
+            );
+        } else {
+            return Err(format!(
+                "{} (rerun with --allow-degraded to continue)",
+                report.failure_summary()
+            ));
+        }
+    }
+    let cmp = validate_pair(&program, &clone, &config, u64::MAX).map_err(|e| e.to_string())?;
     let mut t = Table::new(vec!["metric".into(), "real".into(), "clone".into(), "error".into()]);
     t.row(vec![
         "IPC".into(),
@@ -200,9 +225,10 @@ fn validate(parsed: &Parsed) -> Result<(), String> {
 
 fn sweep(parsed: &Parsed) -> Result<(), String> {
     let (name, program) = kernel_program(parsed, 0)?;
-    let profile = perfclone::profile_program(&program, u64::MAX);
+    let profile = perfclone::profile_program(&program, u64::MAX).map_err(|e| e.to_string())?;
     let params = synth_params(parsed, &profile)?;
-    let clone = Cloner::with_params(params).clone_program_from(&profile);
+    let clone =
+        Cloner::with_params(params).clone_program_from(&profile).map_err(|e| e.to_string())?;
     let mut t = Table::new(vec!["config".into(), "MPI (real)".into(), "MPI (clone)".into()]);
     // Single-pass engine: each program's data trace is extracted once (the
     // two extractions fan over the installed `--jobs` pool) and all 28
@@ -225,7 +251,7 @@ fn disasm(parsed: &Parsed) -> Result<(), String> {
 
 fn report(parsed: &Parsed) -> Result<(), String> {
     let (_, program) = kernel_program(parsed, 0)?;
-    let profile = perfclone::profile_program(&program, u64::MAX);
+    let profile = perfclone::profile_program(&program, u64::MAX).map_err(|e| e.to_string())?;
     print!("{}", perfclone_profile::render_report(&profile));
     Ok(())
 }
@@ -233,7 +259,7 @@ fn report(parsed: &Parsed) -> Result<(), String> {
 fn statsim(parsed: &Parsed) -> Result<(), String> {
     use perfclone_statsim::{synth_trace, TraceParams};
     let (name, program) = kernel_program(parsed, 0)?;
-    let profile = perfclone::profile_program(&program, u64::MAX);
+    let profile = perfclone::profile_program(&program, u64::MAX).map_err(|e| e.to_string())?;
     let mut tp = TraceParams {
         length: profile.total_instrs.clamp(100_000, 1_000_000),
         ..TraceParams::default()
@@ -244,9 +270,9 @@ fn statsim(parsed: &Parsed) -> Result<(), String> {
     if let Some(s) = parsed.opt_u64(&["--seed"])? {
         tp.seed = s;
     }
-    let trace = synth_trace(&profile, &tp);
+    let trace = synth_trace(&profile, &tp).map_err(|e| e.to_string())?;
     let config = base_config();
-    let real = run_timing(&program, &config, u64::MAX);
+    let real = run_timing(&program, &config, u64::MAX).map_err(|e| e.to_string())?;
     let synth = perfclone_uarch::Pipeline::new(config).run(trace);
     let mut t = Table::new(vec!["metric".into(), "real".into(), "statsim trace".into()]);
     t.row(vec!["IPC".into(), format!("{:.3}", real.report.ipc()), format!("{:.3}", synth.ipc())]);
@@ -263,6 +289,61 @@ fn statsim(parsed: &Parsed) -> Result<(), String> {
         t.render()
     );
     Ok(())
+}
+
+/// Fault-injection self-check: for every kernel named on the command line
+/// (default `crc32`), applies each [`Fault`] to the kernel's profile and
+/// verifies the pipeline's contract — structure-breaking faults are
+/// rejected with a typed error, structure-preserving ones synthesize a
+/// clone whose fidelity-gate verdict against the pristine profile is
+/// reported. Exits nonzero if any fault violates the contract.
+fn selfcheck(parsed: &Parsed) -> Result<(), String> {
+    let names: Vec<String> = if parsed.positional.is_empty() {
+        vec!["crc32".to_string()]
+    } else {
+        parsed.positional.clone()
+    };
+    let seed = parsed.opt_u64(&["--seed"])?.unwrap_or(0xC10_5E1F);
+    let mut t = Table::new(vec!["kernel".into(), "fault".into(), "outcome".into()]);
+    let mut violations = Vec::new();
+    for name in &names {
+        let kernel = perfclone_kernels::by_name(name)
+            .ok_or_else(|| format!("unknown kernel {name:?} (see `perfclone list`)"))?;
+        let program = kernel.build(parsed.scale()?).program;
+        let profile = perfclone::profile_program(&program, u64::MAX).map_err(|e| e.to_string())?;
+        let params = synth_params(parsed, &profile)?;
+        let cloner = Cloner::with_params(params);
+        let gate = Gate::default();
+        for fault in Fault::ALL {
+            let perturbed = FaultPlan::single(seed, fault).apply(&profile);
+            let outcome = match cloner.clone_program_from(&perturbed) {
+                Err(e) if fault.breaks_structure() => format!("rejected: {e}"),
+                Err(e) => {
+                    violations.push(format!("{name}/{}: unexpected rejection: {e}", fault.label()));
+                    format!("UNEXPECTED rejection: {e}")
+                }
+                Ok(_) if fault.breaks_structure() => {
+                    violations.push(format!(
+                        "{name}/{}: structurally broken profile was accepted",
+                        fault.label()
+                    ));
+                    "ACCEPTED broken profile".to_string()
+                }
+                Ok(clone) => match gate.report(&profile, &clone) {
+                    Ok(report) => format!("clone gated: {}", report.verdict().label()),
+                    Err(e) => format!("clone gated: {e}"),
+                },
+            };
+            t.row(vec![name.clone(), fault.label().into(), outcome]);
+        }
+    }
+    println!("{}", t.render());
+    if violations.is_empty() {
+        println!("selfcheck passed: every fault handled without a panic");
+        Ok(())
+    } else {
+        Err(format!("selfcheck failed: {}", violations.join("; ")))
+    }
 }
 
 #[cfg(test)]
@@ -333,6 +414,12 @@ mod tests {
     fn extended_kernels_are_reachable() {
         run(&["validate", "viterbi", "--scale", "tiny", "--dynamic", "20000"]).unwrap();
         run(&["disasm", "sobel", "--scale", "tiny"]).unwrap();
+    }
+
+    #[test]
+    fn selfcheck_handles_every_fault() {
+        run(&["selfcheck", "crc32", "--scale", "tiny", "--dynamic", "20000"]).unwrap();
+        assert!(run(&["selfcheck", "not-a-kernel"]).is_err());
     }
 
     #[test]

@@ -21,8 +21,12 @@ fn main() -> ExitCode {
     match cmd::dispatch(&argv) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("perfclone: {e}");
-            eprintln!("run `perfclone help` for usage");
+            // Contract: every failure is exactly one stderr line (plus a
+            // nonzero exit), so scripts and CI can capture it verbatim.
+            eprintln!(
+                "perfclone: error: {} (run `perfclone help` for usage)",
+                e.replace('\n', " | ")
+            );
             ExitCode::FAILURE
         }
     }

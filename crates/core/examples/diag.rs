@@ -12,16 +12,16 @@ fn main() {
     let scale = if std::env::var("DIAG_SMALL").is_ok() { Scale::Small } else { Scale::Tiny };
     let app = by_name(&which).unwrap().build(scale).program;
     let blocks: u32 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(0);
-    let profile0 = profile_program(&app, u64::MAX);
+    let profile0 = profile_program(&app, u64::MAX).expect("profile");
     let params = SynthesisParams {
         target_blocks: blocks,
         target_dynamic: profile0.total_instrs.clamp(100_000, 2_500_000),
         ..Default::default()
     };
-    let out = Cloner::with_params(params).clone_program(&app, u64::MAX);
+    let out = Cloner::with_params(params).clone_program(&app, u64::MAX).expect("clone");
     let clone = &out.clone;
     let op = &out.profile;
-    let cp = profile_program(clone, u64::MAX);
+    let cp = profile_program(clone, u64::MAX).expect("profile clone");
 
     println!("== {} ==", which);
     println!("orig instrs {} clone instrs {}", op.total_instrs, cp.total_instrs);
@@ -44,8 +44,8 @@ fn main() {
     println!("stride cov: orig {:.3} clone {:.3}", op.stride_coverage(), cp.stride_coverage());
 
     let cfg = base_config();
-    let r = run_timing(&app, &cfg, u64::MAX);
-    let s = run_timing(clone, &cfg, u64::MAX);
+    let r = run_timing(&app, &cfg, u64::MAX).expect("timing orig");
+    let s = run_timing(clone, &cfg, u64::MAX).expect("timing clone");
     println!("IPC: orig {:.3} clone {:.3}", r.report.ipc(), s.report.ipc());
     println!("L1D mpi: orig {:.4} clone {:.4}", r.report.l1d_mpi(), s.report.l1d_mpi());
     println!(

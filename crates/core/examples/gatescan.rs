@@ -1,0 +1,33 @@
+//! Developer diagnostic: run every bundled kernel through the fidelity
+//! gate at Tiny scale and print the per-attribute verdicts, plus what the
+//! gate sees for a zero-stride-corrupted clone of the same kernel. Usage:
+//! `cargo run --release -p perfclone --example gatescan`
+use perfclone::*;
+use perfclone_kernels::{catalog, Scale};
+use perfclone_validate::{Fault, FaultPlan, Gate};
+
+fn main() {
+    let gate = Gate::default();
+    for k in catalog() {
+        let program = k.build(Scale::Tiny).program;
+        let profile = profile_program(&program, u64::MAX).expect("profile");
+        let clone = Cloner::new().clone_program_from(&profile).expect("synthesize");
+        let report = gate.report(&profile, &clone).expect("gate");
+        let deltas = report
+            .attributes
+            .iter()
+            .map(|a| format!("{:?}={:.2}", a.attribute, a.delta))
+            .collect::<Vec<_>>()
+            .join(" ");
+        println!("{:14} {:4} {}", k.name(), report.verdict().label(), deltas);
+
+        let perturbed = FaultPlan::single(1, Fault::ZeroStrideStreams).apply(&profile);
+        match Cloner::new().clone_program_from(&perturbed) {
+            Ok(fclone) => {
+                let freport = gate.report(&profile, &fclone).expect("gate");
+                println!("{:14} zero-stride clone gates as {}", "", freport.verdict().label());
+            }
+            Err(e) => println!("{:14} zero-stride clone rejected: {e}", ""),
+        }
+    }
+}

@@ -10,12 +10,12 @@ use std::collections::HashMap;
 fn main() {
     let which = std::env::args().nth(1).unwrap_or("rijndael".into());
     let app = by_name(&which).unwrap().build(Scale::Small).program;
-    let profile = profile_program(&app, u64::MAX);
+    let profile = profile_program(&app, u64::MAX).expect("profile");
     let params = SynthesisParams {
         target_dynamic: profile.total_instrs.clamp(100_000, 2_500_000),
         ..Default::default()
     };
-    let clone = Cloner::with_params(params).clone_program_from(&profile);
+    let clone = Cloner::with_params(params).clone_program_from(&profile).expect("synthesize");
 
     for (name, prog) in [("orig", &app), ("clone", &clone)] {
         let mut cache = Cache::new(CacheConfig::new(16 * 1024, Assoc::Ways(2), 32));

@@ -9,12 +9,12 @@ use std::collections::HashMap;
 fn main() {
     let which = std::env::args().nth(1).unwrap_or("sha".into());
     let app = by_name(&which).unwrap().build(Scale::Small).program;
-    let profile = profile_program(&app, u64::MAX);
+    let profile = profile_program(&app, u64::MAX).expect("profile");
     let params = SynthesisParams {
         target_dynamic: profile.total_instrs.clamp(100_000, 2_500_000),
         ..Default::default()
     };
-    let clone = Cloner::with_params(params).clone_program_from(&profile);
+    let clone = Cloner::with_params(params).clone_program_from(&profile).expect("synthesize");
     // count accesses per stream id
     let mut per_stream: HashMap<u32, u64> = HashMap::new();
     for d in Simulator::trace(&clone, u64::MAX) {

@@ -27,9 +27,17 @@ use perfclone_statsim::{synth_trace, TraceParams};
 use perfclone_synth::{synthesize, MemoryModel, SynthesisParams};
 use perfclone_uarch::AddressTrace;
 
-/// One memoization table: key → lazily-computed `Arc<V>`.
+use crate::Error;
+
+/// One memoization table: key → lazily-computed `Result<Arc<V>, Error>`.
+/// Failed computations are memoized too — a corrupt workload fails once
+/// and every later requester gets the same (cloned) error instead of
+/// re-running the doomed computation.
+/// A memoized computation slot: filled exactly once, then shared.
+type Slot<V> = Arc<OnceLock<Result<Arc<V>, Error>>>;
+
 struct Memo<K, V> {
-    map: Mutex<HashMap<K, Arc<OnceLock<Arc<V>>>>>,
+    map: Mutex<HashMap<K, Slot<V>>>,
     lookups: AtomicU64,
     computes: AtomicU64,
 }
@@ -43,15 +51,25 @@ impl<K: Eq + Hash, V> Memo<K, V> {
         }
     }
 
-    fn get_or_compute(&self, key: K, compute: impl FnOnce() -> V) -> Arc<V> {
+    fn get_or_compute(
+        &self,
+        key: K,
+        compute: impl FnOnce() -> Result<V, Error>,
+    ) -> Result<Arc<V>, Error> {
         self.lookups.fetch_add(1, Ordering::Relaxed);
         let slot = {
-            let mut map = self.map.lock().expect("workload cache poisoned");
+            // A thread that panicked while holding this lock only held it
+            // across HashMap::entry (computations run outside the lock),
+            // so the map itself is never left half-updated: recover it.
+            let mut map = match self.map.lock() {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
             map.entry(key).or_default().clone()
         };
         slot.get_or_init(|| {
             self.computes.fetch_add(1, Ordering::Relaxed);
-            Arc::new(compute())
+            compute().map(Arc::new)
         })
         .clone()
     }
@@ -167,37 +185,58 @@ impl WorkloadCache {
 
     /// The profile of `program` (up to `limit` instructions), computed on
     /// first request and shared thereafter.
-    pub fn profile(&self, workload: &str, program: &Program, limit: u64) -> Arc<WorkloadProfile> {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Sim`] / [`Error::Profile`] if profiling fails; the
+    /// failure is memoized like a success, so a corrupt workload is
+    /// profiled (and fails) exactly once.
+    pub fn profile(
+        &self,
+        workload: &str,
+        program: &Program,
+        limit: u64,
+    ) -> Result<Arc<WorkloadProfile>, Error> {
         let key = ProfileKey { workload: workload.to_string(), limit };
-        self.profiles.get_or_compute(key, || profile_program(program, limit))
+        self.profiles.get_or_compute(key, || Ok(profile_program(program, limit)?))
     }
 
     /// The synthesized clone of `program` under `params`, built from the
     /// cached profile.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`profile`](WorkloadCache::profile) returns, plus
+    /// [`Error::Synth`] if synthesis fails.
     pub fn clone_program(
         &self,
         workload: &str,
         program: &Program,
         limit: u64,
         params: &SynthesisParams,
-    ) -> Arc<Program> {
+    ) -> Result<Arc<Program>, Error> {
         let key = CloneKey { workload: workload.to_string(), limit, params: ParamsKey::of(params) };
         self.clones.get_or_compute(key, || {
-            let profile = self.profile(workload, program, limit);
-            synthesize(&profile, params)
+            let profile = self.profile(workload, program, limit)?;
+            Ok(synthesize(&profile, params)?)
         })
     }
 
     /// The statistical-simulation trace of `program` under `trace_params`,
     /// generated from the cached profile. Replay it with
     /// `trace.iter().copied()`.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`profile`](WorkloadCache::profile) returns, plus
+    /// [`Error::Trace`] if trace generation fails.
     pub fn statsim_trace(
         &self,
         workload: &str,
         program: &Program,
         limit: u64,
         trace_params: &TraceParams,
-    ) -> Arc<Vec<DynInstr>> {
+    ) -> Result<Arc<Vec<DynInstr>>, Error> {
         let key = TraceKey {
             workload: workload.to_string(),
             limit,
@@ -205,8 +244,8 @@ impl WorkloadCache {
             seed: trace_params.seed,
         };
         self.traces.get_or_compute(key, || {
-            let profile = self.profile(workload, program, limit);
-            synth_trace(&profile, trace_params)
+            let profile = self.profile(workload, program, limit)?;
+            Ok(synth_trace(&profile, trace_params)?)
         })
     }
 
@@ -222,7 +261,11 @@ impl WorkloadCache {
         limit: u64,
     ) -> Arc<AddressTrace> {
         let key = AddrTraceKey { workload: workload.to_string(), limit };
-        self.addr_traces.get_or_compute(key, || AddressTrace::extract(program, limit))
+        self.addr_traces
+            .get_or_compute(key, || Ok(AddressTrace::extract(program, limit)))
+            // Extraction is infallible, so the Err arm is unreachable;
+            // recomputing (uncached) keeps this API infallible too.
+            .unwrap_or_else(|_| Arc::new(AddressTrace::extract(program, limit)))
     }
 
     /// Current lookup/compute counters.
@@ -253,8 +296,8 @@ mod tests {
     fn profile_hits_return_the_same_arc() {
         let cache = WorkloadCache::new();
         let p = program("crc32");
-        let a = cache.profile("crc32", &p, 100_000);
-        let b = cache.profile("crc32", &p, 100_000);
+        let a = cache.profile("crc32", &p, 100_000).unwrap();
+        let b = cache.profile("crc32", &p, 100_000).unwrap();
         assert!(Arc::ptr_eq(&a, &b));
         let stats = cache.stats();
         assert_eq!(stats.profile_lookups, 2);
@@ -266,9 +309,9 @@ mod tests {
         let cache = WorkloadCache::new();
         let crc = program("crc32");
         let bit = program("bitcount");
-        let a = cache.profile("crc32", &crc, 100_000);
-        let b = cache.profile("bitcount", &bit, 100_000);
-        let c = cache.profile("crc32", &crc, 50_000);
+        let a = cache.profile("crc32", &crc, 100_000).unwrap();
+        let b = cache.profile("bitcount", &bit, 100_000).unwrap();
+        let c = cache.profile("crc32", &crc, 50_000).unwrap();
         assert!(!Arc::ptr_eq(&a, &b));
         assert!(!Arc::ptr_eq(&a, &c));
         assert_eq!(cache.stats().profile_computes, 3);
@@ -278,8 +321,8 @@ mod tests {
     fn cached_profile_equals_direct_profile() {
         let cache = WorkloadCache::new();
         let p = program("crc32");
-        let cached = cache.profile("crc32", &p, 100_000);
-        let direct = profile_program(&p, 100_000);
+        let cached = cache.profile("crc32", &p, 100_000).unwrap();
+        let direct = profile_program(&p, 100_000).unwrap();
         assert_eq!(
             cached.to_json().unwrap(),
             direct.to_json().unwrap(),
@@ -292,11 +335,11 @@ mod tests {
         let cache = WorkloadCache::new();
         let p = program("crc32");
         let params = SynthesisParams { target_dynamic: 50_000, ..SynthesisParams::default() };
-        let a = cache.clone_program("crc32", &p, u64::MAX, &params);
-        let b = cache.clone_program("crc32", &p, u64::MAX, &params);
+        let a = cache.clone_program("crc32", &p, u64::MAX, &params).unwrap();
+        let b = cache.clone_program("crc32", &p, u64::MAX, &params).unwrap();
         assert!(Arc::ptr_eq(&a, &b));
         let reseeded = SynthesisParams { seed: 99, ..params };
-        let c = cache.clone_program("crc32", &p, u64::MAX, &reseeded);
+        let c = cache.clone_program("crc32", &p, u64::MAX, &reseeded).unwrap();
         assert!(!Arc::ptr_eq(&a, &c));
         // Both clones share one underlying profile.
         assert_eq!(cache.stats().profile_computes, 1);
@@ -308,11 +351,11 @@ mod tests {
         let cache = WorkloadCache::new();
         let p = program("crc32");
         let tp = TraceParams { length: 20_000, seed: 7 };
-        let a = cache.statsim_trace("crc32", &p, u64::MAX, &tp);
-        let b = cache.statsim_trace("crc32", &p, u64::MAX, &tp);
+        let a = cache.statsim_trace("crc32", &p, u64::MAX, &tp).unwrap();
+        let b = cache.statsim_trace("crc32", &p, u64::MAX, &tp).unwrap();
         assert!(Arc::ptr_eq(&a, &b));
         assert_eq!(a.len() as u64, tp.length);
-        let c = cache.statsim_trace("crc32", &p, u64::MAX, &TraceParams { seed: 8, ..tp });
+        let c = cache.statsim_trace("crc32", &p, u64::MAX, &TraceParams { seed: 8, ..tp }).unwrap();
         assert!(!Arc::ptr_eq(&a, &c));
     }
 
@@ -337,8 +380,9 @@ mod tests {
         let cache = WorkloadCache::new();
         let p = program("crc32");
         std::thread::scope(|scope| {
-            let handles: Vec<_> =
-                (0..8).map(|_| scope.spawn(|| cache.profile("crc32", &p, 100_000))).collect();
+            let handles: Vec<_> = (0..8)
+                .map(|_| scope.spawn(|| cache.profile("crc32", &p, 100_000).unwrap()))
+                .collect();
             let arcs: Vec<_> = handles.into_iter().map(|h| h.join().expect("no panic")).collect();
             for pair in arcs.windows(2) {
                 assert!(Arc::ptr_eq(&pair[0], &pair[1]));

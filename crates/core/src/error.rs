@@ -1,0 +1,148 @@
+//! The unified error taxonomy for the cloning pipeline.
+//!
+//! Every fallible stage — functional simulation, profiling, synthesis,
+//! statistical trace generation, the fidelity gate — has its own typed
+//! error; [`Error`] folds them into one enum so facade-level APIs
+//! ([`Cloner`](crate::Cloner), [`run_timing`](crate::run_timing), the
+//! suite and experiment drivers) return a single error type. Runaway
+//! guards from any layer fold into [`Error::BudgetExhausted`], so "this
+//! did not terminate within its budget" looks the same to a caller no
+//! matter which stage tripped it.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+use perfclone_profile::ProfileError;
+use perfclone_sim::SimError;
+use perfclone_statsim::TraceError;
+use perfclone_synth::SynthError;
+use perfclone_uarch::PipelineError;
+use perfclone_validate::ValidateError;
+
+/// Any error the cloning pipeline can surface.
+#[derive(Clone, Debug)]
+pub enum Error {
+    /// The functional simulator faulted (escaped its text section,
+    /// divided by zero, ...).
+    Sim(SimError),
+    /// Profiling failed, or a profile failed structural validation.
+    Profile(ProfileError),
+    /// Clone synthesis failed.
+    Synth(SynthError),
+    /// Statistical trace generation failed.
+    Trace(TraceError),
+    /// The fidelity gate rejected a clone (or could not evaluate it).
+    Validate(ValidateError),
+    /// A stage's runaway guard tripped: the named stage did not terminate
+    /// within its instruction/cycle/instance budget.
+    BudgetExhausted {
+        /// Which stage exhausted its budget (`"sim"`, `"synth"`,
+        /// `"pipeline"`, `"validate"`).
+        stage: &'static str,
+        /// The budget that was exhausted (instructions, cycles, or
+        /// instances, per stage).
+        budget: u64,
+    },
+    /// A suite operation needs at least one member.
+    EmptySuite {
+        /// The suite's name.
+        name: String,
+    },
+    /// A suite member's weight must be positive.
+    NonPositiveWeight {
+        /// The offending program's name.
+        name: String,
+        /// The rejected weight.
+        weight: f64,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Sim(e) => write!(f, "simulation failed: {e}"),
+            Error::Profile(e) => write!(f, "profiling failed: {e}"),
+            Error::Synth(e) => write!(f, "synthesis failed: {e}"),
+            Error::Trace(e) => write!(f, "trace generation failed: {e}"),
+            Error::Validate(e) => write!(f, "validation failed: {e}"),
+            Error::BudgetExhausted { stage, budget } => {
+                write!(f, "{stage} stage did not terminate within its budget of {budget}")
+            }
+            Error::EmptySuite { name } => write!(f, "suite '{name}' has no members"),
+            Error::NonPositiveWeight { name, weight } => {
+                write!(f, "suite member '{name}' has non-positive weight {weight}")
+            }
+        }
+    }
+}
+
+impl StdError for Error {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            Error::Sim(e) => Some(e),
+            Error::Profile(e) => Some(e),
+            Error::Synth(e) => Some(e),
+            Error::Trace(e) => Some(e),
+            Error::Validate(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SimError> for Error {
+    fn from(e: SimError) -> Error {
+        match e {
+            SimError::BudgetExhausted { budget } => Error::BudgetExhausted { stage: "sim", budget },
+            other => Error::Sim(other),
+        }
+    }
+}
+
+impl From<ProfileError> for Error {
+    fn from(e: ProfileError) -> Error {
+        match e {
+            ProfileError::Fault(SimError::BudgetExhausted { budget }) => {
+                Error::BudgetExhausted { stage: "sim", budget }
+            }
+            other => Error::Profile(other),
+        }
+    }
+}
+
+impl From<SynthError> for Error {
+    fn from(e: SynthError) -> Error {
+        match e {
+            SynthError::WalkBudgetExhausted { budget, .. } => {
+                Error::BudgetExhausted { stage: "synth", budget: budget as u64 }
+            }
+            other => Error::Synth(other),
+        }
+    }
+}
+
+impl From<TraceError> for Error {
+    fn from(e: TraceError) -> Error {
+        Error::Trace(e)
+    }
+}
+
+impl From<ValidateError> for Error {
+    fn from(e: ValidateError) -> Error {
+        match e {
+            ValidateError::BudgetExhausted { budget } => {
+                Error::BudgetExhausted { stage: "validate", budget }
+            }
+            other => Error::Validate(other),
+        }
+    }
+}
+
+impl From<PipelineError> for Error {
+    fn from(e: PipelineError) -> Error {
+        match e {
+            PipelineError::BudgetExhausted { max_cycles, .. } => {
+                Error::BudgetExhausted { stage: "pipeline", budget: max_cycles }
+            }
+        }
+    }
+}

@@ -13,7 +13,7 @@ use perfclone_metrics::{pearson, rank, relative_error};
 use perfclone_uarch::{design_changes, sweep_trace, AddressTrace, CacheConfig, MachineConfig};
 use rayon::prelude::*;
 
-use crate::{run_timing, TimingResult};
+use crate::{run_timing, Error, TimingResult};
 
 /// Result of sweeping real program and clone over the same cache
 /// configurations.
@@ -78,8 +78,9 @@ pub fn cache_sweep_pair_par(
     let programs = [real, clone];
     let mut mpi: Vec<Vec<f64>> =
         programs.par_iter().map(|p| sweep_mpi(&AddressTrace::extract(p, limit), configs)).collect();
-    let synth_mpi = mpi.pop().expect("clone sweep");
-    let real_mpi = mpi.pop().expect("real sweep");
+    // Two inputs in, two sweeps out; the defaults are unreachable.
+    let synth_mpi = mpi.pop().unwrap_or_default();
+    let real_mpi = mpi.pop().unwrap_or_default();
     CacheSweepComparison { configs: configs.to_vec(), real_mpi, synth_mpi }
 }
 
@@ -150,23 +151,27 @@ impl DesignChangeSweep {
 
 /// Runs the full Table-3 sweep for one (real, clone) pair: base plus the
 /// five design changes.
+///
+/// # Errors
+///
+/// Returns [`Error::Sim`] if either program faults on any configuration.
 pub fn design_change_sweep(
     real: &Program,
     clone: &Program,
     base: &MachineConfig,
     limit: u64,
-) -> DesignChangeSweep {
-    let base_real = run_timing(real, base, limit);
-    let base_synth = run_timing(clone, base, limit);
-    let changes = design_changes()
-        .into_iter()
-        .map(|config| DesignChangeResult {
+) -> Result<DesignChangeSweep, Error> {
+    let base_real = run_timing(real, base, limit)?;
+    let base_synth = run_timing(clone, base, limit)?;
+    let mut changes = Vec::new();
+    for config in design_changes() {
+        changes.push(DesignChangeResult {
             config,
-            real: run_timing(real, &config, limit),
-            synth: run_timing(clone, &config, limit),
-        })
-        .collect();
-    DesignChangeSweep { base_real, base_synth, changes }
+            real: run_timing(real, &config, limit)?,
+            synth: run_timing(clone, &config, limit)?,
+        });
+    }
+    Ok(DesignChangeSweep { base_real, base_synth, changes })
 }
 
 /// Parallel [`design_change_sweep`]: the 2 × (1 + 5) (program ×
@@ -174,12 +179,18 @@ pub fn design_change_sweep(
 /// cell constructs its own [`Pipeline`](crate::Pipeline) — caches,
 /// predictor, window state and all — so cells share nothing mutable, and
 /// the reassembled sweep is bit-identical to the serial driver's.
+///
+/// # Errors
+///
+/// Same as [`design_change_sweep`]; when several cells fault, the
+/// reported error is the first in cell order (independent of thread
+/// schedule).
 pub fn design_change_sweep_par(
     real: &Program,
     clone: &Program,
     base: &MachineConfig,
     limit: u64,
-) -> DesignChangeSweep {
+) -> Result<DesignChangeSweep, Error> {
     let mut configs = vec![*base];
     configs.extend(design_changes());
     let programs = [real, clone];
@@ -188,22 +199,24 @@ pub fn design_change_sweep_par(
         .enumerate()
         .flat_map(|(ci, _)| (0..programs.len()).map(move |p| (ci, p)))
         .collect();
-    let mut results: Vec<TimingResult> =
+    let results: Vec<Result<TimingResult, Error>> =
         cells.par_iter().map(|&(ci, p)| run_timing(programs[p], &configs[ci], limit)).collect();
-    // Cells were laid out [base×real, base×clone, change1×real, ...]:
-    // drain in that order.
-    let mut rest = results.split_off(2);
-    let base_synth = results.pop().expect("base clone cell");
-    let base_real = results.pop().expect("base real cell");
+    let results: Vec<TimingResult> = results.into_iter().collect::<Result<_, _>>()?;
+    // Cells were laid out [base×real, base×clone, change1×real, ...] and
+    // collect preserves cell order, so results.len() == 2 × configs.len()
+    // and index arithmetic recovers the layout.
     let changes = configs[1..]
         .iter()
-        .map(|config| {
-            let real = rest.remove(0);
-            let synth = rest.remove(0);
-            DesignChangeResult { config: *config, real, synth }
+        .enumerate()
+        .map(|(i, config)| DesignChangeResult {
+            config: *config,
+            real: results[2 + 2 * i].clone(),
+            synth: results[3 + 2 * i].clone(),
         })
         .collect();
-    DesignChangeSweep { base_real, base_synth, changes }
+    let base_real = results[0].clone();
+    let base_synth = results[1].clone();
+    Ok(DesignChangeSweep { base_real, base_synth, changes })
 }
 
 #[cfg(test)]
@@ -217,7 +230,7 @@ mod tests {
         let app = by_name("susan").unwrap().build(Scale::Tiny).program;
         let params =
             SynthesisParams { target_blocks: 120, target_dynamic: 120_000, ..Default::default() };
-        let clone = Cloner::with_params(params).clone_program(&app, u64::MAX).clone;
+        let clone = Cloner::with_params(params).clone_program(&app, u64::MAX).unwrap().clone;
         (app, clone)
     }
 
@@ -267,8 +280,8 @@ mod tests {
     #[test]
     fn parallel_design_change_sweep_is_bit_identical_to_serial() {
         let (app, clone) = small_pair();
-        let serial = design_change_sweep(&app, &clone, &base_config(), 150_000);
-        let par = design_change_sweep_par(&app, &clone, &base_config(), 150_000);
+        let serial = design_change_sweep(&app, &clone, &base_config(), 150_000).unwrap();
+        let par = design_change_sweep_par(&app, &clone, &base_config(), 150_000).unwrap();
         assert_eq!(serial.base_real.report.cycles, par.base_real.report.cycles);
         assert_eq!(
             serial.base_synth.power.average_power.to_bits(),
@@ -290,7 +303,7 @@ mod tests {
     #[test]
     fn design_change_sweep_produces_all_points() {
         let (app, clone) = small_pair();
-        let sweep = design_change_sweep(&app, &clone, &base_config(), 150_000);
+        let sweep = design_change_sweep(&app, &clone, &base_config(), 150_000).unwrap();
         assert_eq!(sweep.changes.len(), 5);
         for i in 0..5 {
             assert!(sweep.ipc_relative_error(i).is_finite());

@@ -31,28 +31,40 @@
 //! // Clone it: profile + synthesize. Only microarchitecture-independent
 //! // attributes flow into the clone.
 //! let cloner = Cloner::new();
-//! let outcome = cloner.clone_program(&app, 1_000_000);
+//! let outcome = cloner.clone_program(&app, 1_000_000)?;
 //!
 //! // Validate: run both through the same machine; IPCs should be close.
-//! let cmp = validate_pair(&app, &outcome.clone, &base_config(), 1_000_000);
+//! let cmp = validate_pair(&app, &outcome.clone, &base_config(), 1_000_000)?;
 //! assert!(cmp.ipc_error() < 0.5);
+//! # Ok::<(), perfclone::Error>(())
 //! ```
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod cache;
+mod error;
 pub mod experiments;
-pub mod seeds;
 pub mod suite;
 
 pub use cache::{WorkloadCache, WorkloadCacheStats};
+pub use error::Error;
+pub use perfclone_validate::seeds;
 pub use seeds::derive_cell_seed;
 
 pub use perfclone_metrics::{mean_abs_pct_error, pearson, rank, relative_error, spearman, Table};
 pub use perfclone_power::{estimate_power, PowerReport};
-pub use perfclone_profile::{profile_program, WorkloadProfile};
-pub use perfclone_synth::{emit_c, synthesize, BranchModel, MemoryModel, SynthesisParams};
+pub use perfclone_profile::{profile_program, ProfileError, WorkloadProfile};
+pub use perfclone_sim::SimError;
+pub use perfclone_synth::{
+    emit_c, synthesize, BranchModel, MemoryModel, SynthError, SynthesisParams,
+};
 pub use perfclone_uarch::{
     base_config, cache_sweep, design_changes, sweep_trace, AddressTrace, CacheConfig,
-    MachineConfig, Pipeline, PipelineReport,
+    MachineConfig, Pipeline, PipelineError, PipelineReport,
+};
+pub use perfclone_validate::{
+    Attribute, AttributeCheck, Fault, FaultPlan, Gate, Tolerance, Tolerances, ValidateError,
+    ValidationReport, Verdict,
 };
 
 use perfclone_isa::Program;
@@ -96,16 +108,49 @@ impl Cloner {
 
     /// Profiles `program` for up to `limit` instructions and synthesizes
     /// its clone — the full Figure-1 flow.
-    pub fn clone_program(&self, program: &Program, limit: u64) -> CloneOutcome {
-        let profile = profile_program(program, limit);
-        let clone = synthesize(&profile, &self.params);
-        CloneOutcome { profile, clone }
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Profile`] / [`Error::Sim`] if profiling fails and
+    /// [`Error::Synth`] if the profile cannot be synthesized from.
+    pub fn clone_program(&self, program: &Program, limit: u64) -> Result<CloneOutcome, Error> {
+        let profile = profile_program(program, limit)?;
+        let clone = synthesize(&profile, &self.params)?;
+        Ok(CloneOutcome { profile, clone })
     }
 
     /// Synthesizes a clone from an already-collected profile — the step a
     /// third party performs after receiving the disseminated profile.
-    pub fn clone_program_from(&self, profile: &WorkloadProfile) -> Program {
-        synthesize(profile, &self.params)
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Synth`] when the profile fails structural
+    /// validation (a corrupted or truncated dissemination artifact).
+    pub fn clone_program_from(&self, profile: &WorkloadProfile) -> Result<Program, Error> {
+        Ok(synthesize(profile, &self.params)?)
+    }
+
+    /// [`clone_program`](Cloner::clone_program) followed by the fidelity
+    /// gate: the clone is re-profiled and compared against the source
+    /// profile attribute by attribute, and only a clone whose report has
+    /// no failing attribute is returned.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`clone_program`](Cloner::clone_program) returns, plus
+    /// [`Error::Validate`] with
+    /// [`ValidateError::GateFailed`] (carrying the report that names every
+    /// violated attribute) when the clone drifts past `gate`'s failure
+    /// tolerances.
+    pub fn clone_validated(
+        &self,
+        program: &Program,
+        limit: u64,
+        gate: &Gate,
+    ) -> Result<(CloneOutcome, ValidationReport), Error> {
+        let outcome = self.clone_program(program, limit)?;
+        let report = gate.accept(&outcome.profile, &outcome.clone)?;
+        Ok((outcome, report))
     }
 }
 
@@ -120,10 +165,25 @@ pub struct TimingResult {
 
 /// Runs `program` (up to `limit` instructions) through the timing pipeline
 /// under `config` and estimates power.
-pub fn run_timing(program: &Program, config: &MachineConfig, limit: u64) -> TimingResult {
-    let report = Pipeline::new(*config).run(Simulator::trace(program, limit));
+///
+/// # Errors
+///
+/// Returns [`Error::Sim`] if the program faults while the pipeline is
+/// consuming its dynamic trace (the fault is captured mid-stream by
+/// [`Simulator::trace`] and surfaced here instead of silently truncating
+/// the run).
+pub fn run_timing(
+    program: &Program,
+    config: &MachineConfig,
+    limit: u64,
+) -> Result<TimingResult, Error> {
+    let mut trace = Simulator::trace(program, limit);
+    let report = Pipeline::new(*config).run(&mut trace);
+    if let Some(f) = trace.fault() {
+        return Err(Error::Sim(f.clone()));
+    }
     let power = estimate_power(config, &report);
-    TimingResult { report, power }
+    Ok(TimingResult { report, power })
 }
 
 /// Side-by-side comparison of a real program and its clone on one machine.
@@ -151,16 +211,20 @@ impl PairComparison {
 
 /// Runs the real program and its clone through the same machine and
 /// returns the side-by-side result (the validation half of Figure 1).
+///
+/// # Errors
+///
+/// Returns [`Error::Sim`] if either program faults during its timing run.
 pub fn validate_pair(
     real: &Program,
     clone: &Program,
     config: &MachineConfig,
     limit: u64,
-) -> PairComparison {
-    PairComparison {
-        real: run_timing(real, config, limit),
-        synth: run_timing(clone, config, limit),
-    }
+) -> Result<PairComparison, Error> {
+    Ok(PairComparison {
+        real: run_timing(real, config, limit)?,
+        synth: run_timing(clone, config, limit)?,
+    })
 }
 
 #[cfg(test)]
@@ -171,7 +235,7 @@ mod tests {
     #[test]
     fn cloner_produces_runnable_clone() {
         let app = by_name("crc32").unwrap().build(Scale::Tiny).program;
-        let outcome = Cloner::new().clone_program(&app, 200_000);
+        let outcome = Cloner::new().clone_program(&app, 200_000).unwrap();
         let mut sim = Simulator::new(&outcome.clone);
         assert!(sim.run(20_000_000).unwrap().halted);
         assert!(outcome.profile.total_instrs > 0);
@@ -182,8 +246,8 @@ mod tests {
         let params =
             SynthesisParams { target_blocks: 100, target_dynamic: 150_000, ..Default::default() };
         let app = by_name("crc32").unwrap().build(Scale::Tiny).program;
-        let outcome = Cloner::with_params(params).clone_program(&app, u64::MAX);
-        let cmp = validate_pair(&app, &outcome.clone, &base_config(), u64::MAX);
+        let outcome = Cloner::with_params(params).clone_program(&app, u64::MAX).unwrap();
+        let cmp = validate_pair(&app, &outcome.clone, &base_config(), u64::MAX).unwrap();
         assert!(cmp.real.report.ipc() > 0.0);
         assert!(cmp.synth.report.ipc() > 0.0);
         // Tight loops clone very well; allow generous slack in the unit

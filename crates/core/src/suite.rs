@@ -10,9 +10,10 @@
 
 use perfclone_isa::Program;
 use perfclone_uarch::MachineConfig;
+use perfclone_validate::Gate;
 use rayon::prelude::*;
 
-use crate::{derive_cell_seed, run_timing, Cloner, SynthesisParams};
+use crate::{derive_cell_seed, run_timing, Cloner, Error, SynthesisParams};
 
 /// A named, weighted collection of programs.
 #[derive(Debug)]
@@ -34,12 +35,17 @@ impl Suite {
 
     /// Adds a program with the given weight (weights need not sum to 1).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `weight` is not positive.
-    pub fn push(&mut self, program: Program, weight: f64) {
-        assert!(weight > 0.0, "suite weights must be positive");
+    /// Returns [`Error::NonPositiveWeight`] if `weight` is zero, negative,
+    /// or NaN; the suite is left unchanged.
+    pub fn push(&mut self, program: Program, weight: f64) -> Result<(), Error> {
+        // partial_cmp: NaN is incomparable (None), so it is rejected too.
+        if !matches!(weight.partial_cmp(&0.0), Some(std::cmp::Ordering::Greater)) {
+            return Err(Error::NonPositiveWeight { name: program.name().to_string(), weight });
+        }
         self.entries.push((program, weight));
+        Ok(())
     }
 
     /// Number of programs.
@@ -58,14 +64,27 @@ impl Suite {
     }
 
     /// Builds the suite of clones: every member profiled and synthesized
-    /// with `cloner`, weights preserved.
-    pub fn clone_suite(&self, cloner: &Cloner) -> Suite {
+    /// with `cloner`, weights preserved. Each clone must pass the default
+    /// fidelity [`Gate`] before it is admitted to the cloned suite.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Cloner::clone_program`] returns, plus
+    /// [`Error::Validate`] when a member's clone fails the gate (the
+    /// wrapped report names every violated attribute).
+    pub fn clone_suite(&self, cloner: &Cloner) -> Result<Suite, Error> {
+        self.clone_suite_with(cloner, &Gate::default())
+    }
+
+    /// [`clone_suite`](Suite::clone_suite) under an explicit fidelity
+    /// gate (e.g. loosened tolerances for deliberately degraded clones).
+    pub fn clone_suite_with(&self, cloner: &Cloner, gate: &Gate) -> Result<Suite, Error> {
         let mut out = Suite::new(format!("{}-clone", self.name));
         for (program, weight) in self.entries() {
-            let outcome = cloner.clone_program(program, u64::MAX);
-            out.push(outcome.clone, weight);
+            let (outcome, _report) = cloner.clone_validated(program, u64::MAX, gate)?;
+            out.push(outcome.clone, weight)?;
         }
-        out
+        Ok(out)
     }
 
     /// Parallel suite cloning: members fan over the ambient thread pool,
@@ -74,26 +93,39 @@ impl Suite {
     /// [`derive_cell_seed`]. Because the seed depends only on the cell —
     /// never on which thread ran it — the cloned suite is identical at
     /// any thread count, and two runs with the same root seed produce the
-    /// same clones.
-    pub fn clone_suite_par(&self, cloner: &Cloner, root_seed: u64) -> Suite {
+    /// same clones. Every clone must pass `gate`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`clone_suite`](Suite::clone_suite); when several members
+    /// fail, the reported error is the first in member order (independent
+    /// of thread schedule).
+    pub fn clone_suite_par(
+        &self,
+        cloner: &Cloner,
+        root_seed: u64,
+        gate: &Gate,
+    ) -> Result<Suite, Error> {
         let cells: Vec<(usize, &Program, f64)> =
             self.entries.iter().enumerate().map(|(i, (p, w))| (i, p, *w)).collect();
-        let cloned: Vec<(Program, f64)> = cells
+        let cloned: Vec<Result<(Program, f64), Error>> = cells
             .par_iter()
             .map(|&(i, program, weight)| {
                 let params = SynthesisParams {
                     seed: derive_cell_seed(root_seed, program.name(), i as u64),
                     ..*cloner.params()
                 };
-                let outcome = Cloner::with_params(params).clone_program(program, u64::MAX);
-                (outcome.clone, weight)
+                let (outcome, _report) =
+                    Cloner::with_params(params).clone_validated(program, u64::MAX, gate)?;
+                Ok((outcome.clone, weight))
             })
             .collect();
         let mut out = Suite::new(format!("{}-clone", self.name));
-        for (program, weight) in cloned {
-            out.push(program, weight);
+        for entry in cloned {
+            let (program, weight) = entry?;
+            out.push(program, weight)?;
         }
-        out
+        Ok(out)
     }
 }
 
@@ -109,49 +141,60 @@ pub struct SuiteMark {
 
 /// Computes the suite mark of `suite` on `config`.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the suite is empty.
-pub fn suite_mark(suite: &Suite, config: &MachineConfig, limit: u64) -> SuiteMark {
-    assert!(!suite.is_empty(), "cannot mark an empty suite");
+/// Returns [`Error::EmptySuite`] for an empty suite and [`Error::Sim`] if
+/// a member faults during its timing run.
+pub fn suite_mark(suite: &Suite, config: &MachineConfig, limit: u64) -> Result<SuiteMark, Error> {
+    if suite.is_empty() {
+        return Err(Error::EmptySuite { name: suite.name().to_string() });
+    }
     let mut log_sum = 0.0;
     let mut weight_sum = 0.0;
     let mut power_sum = 0.0;
     for (program, weight) in suite.entries() {
-        let t = run_timing(program, config, limit);
+        let t = run_timing(program, config, limit)?;
         log_sum += weight * t.report.ipc().ln();
         power_sum += weight * t.power.average_power;
         weight_sum += weight;
     }
-    SuiteMark { ipc_mark: (log_sum / weight_sum).exp(), power_mark: power_sum / weight_sum }
+    Ok(SuiteMark { ipc_mark: (log_sum / weight_sum).exp(), power_mark: power_sum / weight_sum })
 }
 
 /// Parallel [`suite_mark`]: per-member timing runs fan over the ambient
 /// thread pool; the weighted reduction happens serially in member order,
 /// so the mark is bit-identical to the serial one at any thread count.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the suite is empty.
-pub fn suite_mark_par(suite: &Suite, config: &MachineConfig, limit: u64) -> SuiteMark {
-    assert!(!suite.is_empty(), "cannot mark an empty suite");
+/// Same as [`suite_mark`]; when several members fault, the reported error
+/// is the first in member order (independent of thread schedule).
+pub fn suite_mark_par(
+    suite: &Suite,
+    config: &MachineConfig,
+    limit: u64,
+) -> Result<SuiteMark, Error> {
+    if suite.is_empty() {
+        return Err(Error::EmptySuite { name: suite.name().to_string() });
+    }
     let cells: Vec<(&Program, f64)> = suite.entries().collect();
-    let timed: Vec<(f64, f64)> = cells
+    let timed: Vec<Result<(f64, f64), Error>> = cells
         .par_iter()
         .map(|&(program, weight)| {
-            let t = run_timing(program, config, limit);
-            (weight * t.report.ipc().ln(), weight * t.power.average_power)
+            let t = run_timing(program, config, limit)?;
+            Ok((weight * t.report.ipc().ln(), weight * t.power.average_power))
         })
         .collect();
     let mut log_sum = 0.0;
     let mut power_sum = 0.0;
     let mut weight_sum = 0.0;
-    for ((log_w, power_w), (_, weight)) in timed.iter().zip(&cells) {
+    for (cell, (_, weight)) in timed.into_iter().zip(&cells) {
+        let (log_w, power_w) = cell?;
         log_sum += log_w;
         power_sum += power_w;
         weight_sum += weight;
     }
-    SuiteMark { ipc_mark: (log_sum / weight_sum).exp(), power_mark: power_sum / weight_sum }
+    Ok(SuiteMark { ipc_mark: (log_sum / weight_sum).exp(), power_mark: power_sum / weight_sum })
 }
 
 #[cfg(test)]
@@ -167,9 +210,9 @@ mod tests {
     #[test]
     fn suite_mark_is_between_member_ipcs() {
         let mut s = Suite::new("auto");
-        s.push(program("bitcount"), 1.0);
-        s.push(program("qsort"), 1.0);
-        let mark = suite_mark(&s, &base_config(), u64::MAX);
+        s.push(program("bitcount"), 1.0).unwrap();
+        s.push(program("qsort"), 1.0).unwrap();
+        let mark = suite_mark(&s, &base_config(), u64::MAX).unwrap();
         assert!(mark.ipc_mark > 0.3 && mark.ipc_mark <= 1.0);
         assert!(mark.power_mark > 0.0);
     }
@@ -177,17 +220,17 @@ mod tests {
     #[test]
     fn cloned_suite_mark_tracks_real_mark() {
         let mut s = Suite::new("telecom");
-        s.push(program("crc32"), 2.0);
-        s.push(program("adpcm_enc"), 1.0);
+        s.push(program("crc32"), 2.0).unwrap();
+        s.push(program("adpcm_enc"), 1.0).unwrap();
         let cloner = Cloner::with_params(SynthesisParams {
             target_dynamic: 60_000,
             ..SynthesisParams::default()
         });
-        let clones = s.clone_suite(&cloner);
+        let clones = s.clone_suite(&cloner).unwrap();
         assert_eq!(clones.len(), s.len());
         assert_eq!(clones.name(), "telecom-clone");
-        let real = suite_mark(&s, &base_config(), u64::MAX);
-        let synth = suite_mark(&clones, &base_config(), u64::MAX);
+        let real = suite_mark(&s, &base_config(), u64::MAX).unwrap();
+        let synth = suite_mark(&clones, &base_config(), u64::MAX).unwrap();
         let err = ((synth.ipc_mark - real.ipc_mark) / real.ipc_mark).abs();
         assert!(err < 0.3, "suite mark error {err:.3}");
     }
@@ -195,13 +238,13 @@ mod tests {
     #[test]
     fn parallel_mark_is_bit_identical_to_serial() {
         let mut s = Suite::new("auto");
-        s.push(program("bitcount"), 1.0);
-        s.push(program("qsort"), 2.5);
-        s.push(program("crc32"), 0.5);
-        let serial = suite_mark(&s, &base_config(), 60_000);
+        s.push(program("bitcount"), 1.0).unwrap();
+        s.push(program("qsort"), 2.5).unwrap();
+        s.push(program("crc32"), 0.5).unwrap();
+        let serial = suite_mark(&s, &base_config(), 60_000).unwrap();
         for jobs in [1usize, 4] {
             let pool = rayon::ThreadPoolBuilder::new().num_threads(jobs).build().expect("pool");
-            let par = pool.install(|| suite_mark_par(&s, &base_config(), 60_000));
+            let par = pool.install(|| suite_mark_par(&s, &base_config(), 60_000)).unwrap();
             assert_eq!(serial.ipc_mark.to_bits(), par.ipc_mark.to_bits(), "jobs = {jobs}");
             assert_eq!(serial.power_mark.to_bits(), par.power_mark.to_bits(), "jobs = {jobs}");
         }
@@ -210,39 +253,46 @@ mod tests {
     #[test]
     fn parallel_cloning_is_deterministic_across_thread_counts() {
         let mut s = Suite::new("telecom");
-        s.push(program("crc32"), 2.0);
-        s.push(program("adpcm_enc"), 1.0);
+        s.push(program("crc32"), 2.0).unwrap();
+        s.push(program("adpcm_enc"), 1.0).unwrap();
         let cloner = Cloner::with_params(SynthesisParams {
             target_dynamic: 40_000,
             ..SynthesisParams::default()
         });
+        let gate = Gate::default();
         let root = 0xFEED_F00D;
         let render = |suite: &Suite| -> Vec<String> {
             suite.entries().map(|(p, w)| format!("{w} {p:?}")).collect()
         };
         let narrow = rayon::ThreadPoolBuilder::new().num_threads(1).build().expect("pool");
         let wide = rayon::ThreadPoolBuilder::new().num_threads(4).build().expect("pool");
-        let a = narrow.install(|| s.clone_suite_par(&cloner, root));
-        let b = wide.install(|| s.clone_suite_par(&cloner, root));
-        let c = wide.install(|| s.clone_suite_par(&cloner, root));
+        let a = narrow.install(|| s.clone_suite_par(&cloner, root, &gate)).unwrap();
+        let b = wide.install(|| s.clone_suite_par(&cloner, root, &gate)).unwrap();
+        let c = wide.install(|| s.clone_suite_par(&cloner, root, &gate)).unwrap();
         assert_eq!(render(&a), render(&b), "1 thread vs 4 threads");
         assert_eq!(render(&b), render(&c), "same root seed, two runs");
         // A different root seed must produce different clones.
-        let d = wide.install(|| s.clone_suite_par(&cloner, root + 1));
+        let d = wide.install(|| s.clone_suite_par(&cloner, root + 1, &gate)).unwrap();
         assert_ne!(render(&a), render(&d));
     }
 
     #[test]
-    #[should_panic(expected = "positive")]
     fn zero_weight_rejected() {
         let mut s = Suite::new("bad");
-        s.push(program("crc32"), 0.0);
+        let err = s.push(program("crc32"), 0.0).unwrap_err();
+        assert!(
+            matches!(err, Error::NonPositiveWeight { ref name, weight } if name == "crc32" && weight == 0.0)
+        );
+        assert!(s.is_empty(), "rejected member must not be added");
+        assert!(s.push(program("crc32"), -1.0).is_err());
+        assert!(s.push(program("crc32"), f64::NAN).is_err());
     }
 
     #[test]
-    #[should_panic(expected = "empty")]
     fn empty_suite_rejected() {
         let s = Suite::new("none");
-        let _ = suite_mark(&s, &base_config(), 1000);
+        let err = suite_mark(&s, &base_config(), 1000).unwrap_err();
+        assert!(matches!(err, Error::EmptySuite { ref name } if name == "none"));
+        assert!(suite_mark_par(&s, &base_config(), 1000).is_err());
     }
 }

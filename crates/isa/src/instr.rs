@@ -378,7 +378,7 @@ impl OperandList {
 
     /// Iterates over the operands.
     pub fn iter(&self) -> impl Iterator<Item = RegRef> + '_ {
-        self.items.iter().take(self.len as usize).map(|o| o.unwrap())
+        self.items.iter().take(self.len as usize).filter_map(|o| *o)
     }
 }
 

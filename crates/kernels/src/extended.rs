@@ -152,7 +152,7 @@ pub(crate) fn viterbi(scale: Scale) -> KernelBuild {
             }
         }
         // Normalize to avoid unbounded growth.
-        let min = *npm.iter().min().expect("4 states");
+        let min = npm.iter().min().copied().unwrap_or(0);
         for (p, v) in pm.iter_mut().zip(npm.iter()) {
             *p = v - min;
         }

@@ -26,6 +26,8 @@
 //! # Ok::<(), perfclone_sim::SimError>(())
 //! ```
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 mod automotive;
 mod consumer;
 mod extended;

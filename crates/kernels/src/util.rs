@@ -25,9 +25,10 @@ impl SplitMix64 {
         z ^ (z >> 31)
     }
 
-    /// Uniform value in `0..bound` (bound > 0).
+    /// Uniform value in `0..bound`; `0` for a zero bound (rather than a
+    /// divide-by-zero panic).
     pub fn below(&mut self, bound: u64) -> u64 {
-        self.next_u64() % bound
+        self.next_u64().checked_rem(bound).unwrap_or(0)
     }
 
     /// A byte in `0..=255`.
@@ -156,6 +157,7 @@ mod tests {
         for _ in 0..1000 {
             assert!(g.below(17) < 17);
         }
+        assert_eq!(g.below(0), 0);
     }
 
     #[test]

@@ -14,6 +14,7 @@ use rustc_hash::FxHashMap;
 use perfclone_isa::{Instr, Program};
 use perfclone_sim::{DynInstr, Observer, Simulator};
 
+use crate::error::ProfileError;
 use crate::hist::DepHistogram;
 use crate::model::{
     BlockProfile, BranchProfile, ContextProfile, EdgeProfile, StreamProfile, WorkloadProfile,
@@ -354,10 +355,11 @@ impl Observer for Profiler {
             }
         }
 
-        // Dependency distances (per context).
+        // Dependency distances (per context). The context was interned at
+        // block entry; `or_default` keeps this total without an `expect`.
         let pos = self.pos + 1; // 1-based writer positions; 0 = none
         {
-            let ctx = self.contexts.get_mut(&self.cur_ctx).expect("context interned at entry");
+            let ctx = self.contexts.entry(self.cur_ctx).or_default();
             for u in d.instr.uses() {
                 let w = self.reg_writer[u.flat_index()];
                 if w != 0 {
@@ -437,15 +439,21 @@ impl Observer for Profiler {
 /// convenience entry point combining the functional simulator and the
 /// [`Profiler`].
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the program faults (escapes its text section); the benchmark
-/// kernels and synthesized clones never do.
-pub fn profile_program(program: &Program, limit: u64) -> WorkloadProfile {
+/// Returns [`ProfileError::Fault`] if the program faults (escapes its text
+/// section) and [`ProfileError::Empty`] if nothing retired (e.g. a zero
+/// `limit` or an empty program), so no stage downstream ever sees a profile
+/// without SFG nodes.
+pub fn profile_program(program: &Program, limit: u64) -> Result<WorkloadProfile, ProfileError> {
     let mut profiler = Profiler::new(program.name());
     let mut sim = Simulator::new(program);
-    sim.run_with(limit, &mut profiler).expect("program faulted during profiling");
-    profiler.finish()
+    sim.run_with(limit, &mut profiler)?;
+    let profile = profiler.finish();
+    if profile.nodes.is_empty() {
+        return Err(ProfileError::Empty { name: profile.name });
+    }
+    Ok(profile)
 }
 
 #[cfg(test)]
@@ -477,7 +485,7 @@ mod tests {
     #[test]
     fn sfg_structure_of_simple_loop() {
         let p = strided_loop(100, 16);
-        let prof = profile_program(&p, 100_000);
+        let prof = profile_program(&p, 100_000).unwrap();
         // Nodes: entry block (li,li,ld,add,addi,blt), loop body (ld..blt),
         // and the halt block.
         assert_eq!(prof.nodes.len(), 3);
@@ -494,7 +502,7 @@ mod tests {
     #[test]
     fn stride_detection() {
         let p = strided_loop(200, 24);
-        let prof = profile_program(&p, 100_000);
+        let prof = profile_program(&p, 100_000).unwrap();
         assert_eq!(prof.streams.len(), 1);
         let s = &prof.streams[0];
         assert_eq!(s.dominant_stride, 24);
@@ -507,7 +515,7 @@ mod tests {
     #[test]
     fn branch_statistics() {
         let p = strided_loop(100, 8);
-        let prof = profile_program(&p, 100_000);
+        let prof = profile_program(&p, 100_000).unwrap();
         assert_eq!(prof.branches.len(), 1);
         let b = &prof.branches[0];
         assert_eq!(b.execs, 100);
@@ -535,7 +543,7 @@ mod tests {
         b.addi(i, i, 1);
         b.blt(i, lim, top);
         b.halt();
-        let prof = profile_program(&b.build(), 100_000);
+        let prof = profile_program(&b.build(), 100_000).unwrap();
         let alt = prof.branches.iter().find(|br| br.pc == 3).unwrap();
         assert!(alt.transition_rate() > 0.95, "rate = {}", alt.transition_rate());
         assert!((alt.taken_rate() - 0.5).abs() < 0.02);
@@ -551,7 +559,7 @@ mod tests {
         b.nop();
         b.add(r(3), r(2), r(1)); // distances 3 and 4
         b.halt();
-        let prof = profile_program(&b.build(), 100);
+        let prof = profile_program(&b.build(), 100).unwrap();
         let mut merged = DepHistogram::new();
         for c in &prof.contexts {
             merged.merge(&c.reg_deps);
@@ -571,7 +579,7 @@ mod tests {
         b.nop();
         b.ld(r(3), r(1), 0); // store->load distance 2
         b.halt();
-        let prof = profile_program(&b.build(), 100);
+        let prof = profile_program(&b.build(), 100).unwrap();
         let mut merged = DepHistogram::new();
         for c in &prof.contexts {
             merged.merge(&c.mem_deps);
@@ -583,7 +591,7 @@ mod tests {
     #[test]
     fn profile_counts_all_instructions() {
         let p = strided_loop(10, 8);
-        let prof = profile_program(&p, 100_000);
+        let prof = profile_program(&p, 100_000).unwrap();
         // 2 setup + 10 * 4 loop + halt
         assert_eq!(prof.total_instrs, 2 + 40 + 1);
         let execs_weighted: u64 = prof.nodes.iter().map(|n| u64::from(n.size) * n.execs).sum();
@@ -591,9 +599,24 @@ mod tests {
     }
 
     #[test]
+    fn zero_limit_yields_typed_error() {
+        let p = strided_loop(10, 8);
+        assert!(matches!(profile_program(&p, 0), Err(ProfileError::Empty { .. })));
+    }
+
+    #[test]
+    fn faulting_program_yields_typed_error() {
+        let mut b = ProgramBuilder::new("fall");
+        b.nop(); // no halt: falls off the end
+        let err = profile_program(&b.build(), 100).unwrap_err();
+        assert!(matches!(err, ProfileError::Fault(_)));
+        assert!(err.to_string().contains("faulted"));
+    }
+
+    #[test]
     fn mean_block_size_is_weighted() {
         let p = strided_loop(100, 8);
-        let prof = profile_program(&p, 100_000);
+        let prof = profile_program(&p, 100_000).unwrap();
         let m = prof.mean_block_size();
         assert!(m > 3.0 && m < 7.0, "mean block size {m}");
     }

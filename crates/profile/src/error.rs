@@ -1,0 +1,119 @@
+//! Typed errors for profile collection and structural validation.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+use perfclone_sim::SimError;
+
+/// Errors surfaced by profile collection ([`profile_program`]) and by
+/// structural validation ([`WorkloadProfile::check`]).
+///
+/// The structural variants exist so that a corrupted, truncated, or
+/// hand-edited profile is rejected with a description of the first broken
+/// cross-reference instead of panicking on an out-of-bounds index somewhere
+/// downstream in the synthesizer.
+///
+/// [`profile_program`]: crate::profile_program
+/// [`WorkloadProfile::check`]: crate::WorkloadProfile::check
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProfileError {
+    /// The profiled program faulted during execution.
+    Fault(SimError),
+    /// The run retired no instructions, so the profile has no SFG nodes.
+    Empty {
+        /// Name of the profiled program.
+        name: String,
+    },
+    /// An SFG edge references a node index outside `nodes`.
+    EdgeNodeOutOfRange {
+        /// Index of the offending edge.
+        edge: usize,
+        /// The dangling node index.
+        node: u32,
+        /// Number of nodes in the profile.
+        nodes: usize,
+    },
+    /// A dependency context references a node index outside `nodes`.
+    ContextNodeOutOfRange {
+        /// Index of the offending context.
+        context: usize,
+        /// The dangling node index.
+        node: u32,
+        /// Number of nodes in the profile.
+        nodes: usize,
+    },
+    /// A block's `mem_ops` entry references a stream outside `streams`.
+    StreamIndexOutOfRange {
+        /// Index of the offending node.
+        node: usize,
+        /// The dangling stream index.
+        index: u32,
+        /// Number of streams in the profile.
+        streams: usize,
+    },
+    /// A block's `branch` field references a branch outside `branches`.
+    BranchIndexOutOfRange {
+        /// Index of the offending node.
+        node: usize,
+        /// The dangling branch index.
+        index: u32,
+        /// Number of branches in the profile.
+        branches: usize,
+    },
+    /// A branch's `taken`/`transitions`/`history_hits` counts exceed its
+    /// execution count.
+    BranchCountsInconsistent {
+        /// Index of the offending branch.
+        branch: usize,
+    },
+    /// A stream's address bounds are inverted or its statistics are
+    /// non-finite.
+    StreamStatsInvalid {
+        /// Index of the offending stream.
+        stream: usize,
+    },
+}
+
+impl fmt::Display for ProfileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProfileError::Fault(e) => write!(f, "program faulted during profiling: {e}"),
+            ProfileError::Empty { name } => {
+                write!(f, "profile of {name:?} is empty (no instructions retired)")
+            }
+            ProfileError::EdgeNodeOutOfRange { edge, node, nodes } => {
+                write!(f, "SFG edge {edge} references node {node} of {nodes}")
+            }
+            ProfileError::ContextNodeOutOfRange { context, node, nodes } => {
+                write!(f, "dependency context {context} references node {node} of {nodes}")
+            }
+            ProfileError::StreamIndexOutOfRange { node, index, streams } => {
+                write!(f, "node {node} references stream {index} of {streams}")
+            }
+            ProfileError::BranchIndexOutOfRange { node, index, branches } => {
+                write!(f, "node {node} references branch {index} of {branches}")
+            }
+            ProfileError::BranchCountsInconsistent { branch } => {
+                write!(f, "branch {branch} has direction counts exceeding its executions")
+            }
+            ProfileError::StreamStatsInvalid { stream } => {
+                write!(f, "stream {stream} has inverted bounds or non-finite statistics")
+            }
+        }
+    }
+}
+
+impl StdError for ProfileError {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            ProfileError::Fault(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SimError> for ProfileError {
+    fn from(e: SimError) -> ProfileError {
+        ProfileError::Fault(e)
+    }
+}

@@ -36,6 +36,12 @@ impl DepHistogram {
         DepHistogram::default()
     }
 
+    /// Builds a histogram directly from bucket counts — for deserialized,
+    /// synthetic, or fault-injected data.
+    pub fn from_counts(counts: [u64; NUM_DEP_BUCKETS]) -> DepHistogram {
+        DepHistogram { counts }
+    }
+
     /// Bucket index for a dependency distance (`distance >= 1`).
     #[inline]
     pub fn bucket(distance: u64) -> usize {
@@ -56,15 +62,16 @@ impl DepHistogram {
         &self.counts
     }
 
-    /// Total recorded dependencies.
+    /// Total recorded dependencies. Saturates instead of overflowing so
+    /// corrupted (absurdly large) bucket counts stay panic-free.
     pub fn total(&self) -> u64 {
-        self.counts.iter().sum()
+        self.counts.iter().fold(0u64, |acc, c| acc.saturating_add(*c))
     }
 
-    /// Merges another histogram into this one.
+    /// Merges another histogram into this one, saturating on overflow.
     pub fn merge(&mut self, other: &DepHistogram) {
         for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
-            *a += b;
+            *a = a.saturating_add(*b);
         }
     }
 

@@ -38,17 +38,22 @@
 //! b.halt();
 //! let p = b.build();
 //!
-//! let profile = profile_program(&p, 10_000);
+//! let profile = profile_program(&p, 10_000)?;
 //! assert_eq!(profile.total_instrs, 2 + 200 + 1);
 //! assert!(!profile.nodes.is_empty());
+//! # Ok::<(), perfclone_profile::ProfileError>(())
 //! ```
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 mod collect;
+mod error;
 mod hist;
 mod model;
 mod report;
 
 pub use collect::{profile_program, Profiler};
+pub use error::ProfileError;
 pub use hist::{DepHistogram, DEP_BUCKET_EDGES, NUM_DEP_BUCKETS};
 pub use model::{
     BlockProfile, BranchProfile, ContextProfile, EdgeProfile, StreamProfile, WorkloadProfile,

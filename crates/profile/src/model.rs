@@ -5,6 +5,7 @@
 use perfclone_isa::InstrClass;
 use serde::{Deserialize, Serialize};
 
+use crate::error::ProfileError;
 use crate::hist::DepHistogram;
 
 /// Profile of one node (dynamic basic block) of the statistical flow graph.
@@ -260,6 +261,81 @@ impl WorkloadProfile {
         serde_json::from_str(s)
     }
 
+    /// Structurally validates the profile's cross-references and statistics.
+    ///
+    /// Synthesis stages call this before indexing `streams`, `branches`, or
+    /// `nodes`, so a corrupted, truncated, or hand-edited profile surfaces a
+    /// typed [`ProfileError`] naming the first broken invariant instead of
+    /// panicking on an out-of-bounds index downstream.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first structural violation found: an empty node list,
+    /// dangling edge/context/stream/branch references, direction counts
+    /// exceeding executions, or non-finite stream statistics.
+    pub fn check(&self) -> Result<(), ProfileError> {
+        if self.nodes.is_empty() {
+            return Err(ProfileError::Empty { name: self.name.clone() });
+        }
+        let nodes = self.nodes.len();
+        for (i, e) in self.edges.iter().enumerate() {
+            for node in [e.from, e.to] {
+                if node as usize >= nodes {
+                    return Err(ProfileError::EdgeNodeOutOfRange { edge: i, node, nodes });
+                }
+            }
+        }
+        for (i, c) in self.contexts.iter().enumerate() {
+            if c.node as usize >= nodes {
+                return Err(ProfileError::ContextNodeOutOfRange {
+                    context: i,
+                    node: c.node,
+                    nodes,
+                });
+            }
+            // `u32::MAX` is the entry-context sentinel, not a node index.
+            if c.pred != u32::MAX && c.pred as usize >= nodes {
+                return Err(ProfileError::ContextNodeOutOfRange {
+                    context: i,
+                    node: c.pred,
+                    nodes,
+                });
+            }
+        }
+        for (ni, n) in self.nodes.iter().enumerate() {
+            for &sid in &n.mem_ops {
+                if sid as usize >= self.streams.len() {
+                    return Err(ProfileError::StreamIndexOutOfRange {
+                        node: ni,
+                        index: sid,
+                        streams: self.streams.len(),
+                    });
+                }
+            }
+            if let Some(bi) = n.branch {
+                if bi as usize >= self.branches.len() {
+                    return Err(ProfileError::BranchIndexOutOfRange {
+                        node: ni,
+                        index: bi,
+                        branches: self.branches.len(),
+                    });
+                }
+            }
+        }
+        for (i, b) in self.branches.iter().enumerate() {
+            if b.taken > b.execs || b.transitions > b.execs || b.history_hits > b.execs {
+                return Err(ProfileError::BranchCountsInconsistent { branch: i });
+            }
+        }
+        for (i, s) in self.streams.iter().enumerate() {
+            let finite = s.mean_run_len.is_finite() && s.mean_back_jump.is_finite();
+            if s.min_addr > s.max_addr || !finite || s.mean_run_len < 0.0 {
+                return Err(ProfileError::StreamStatsInvalid { stream: i });
+            }
+        }
+        Ok(())
+    }
+
     /// Outgoing edges of `node`, with transition probabilities.
     pub fn successors(&self, node: u32) -> Vec<(u32, f64)> {
         let total: u64 = self.edges.iter().filter(|e| e.from == node).map(|e| e.count).sum();
@@ -352,6 +428,27 @@ mod tests {
         assert_eq!(q.name, "t");
         assert_eq!(q.nodes.len(), 1);
         assert_eq!(q.streams[0].dominant_stride, 8);
+    }
+
+    #[test]
+    fn check_accepts_valid_and_names_violations() {
+        let p = tiny_profile();
+        assert!(p.check().is_ok());
+        let mut q = p.clone();
+        q.nodes[0].mem_ops = vec![7];
+        assert!(matches!(q.check(), Err(ProfileError::StreamIndexOutOfRange { index: 7, .. })));
+        let mut q = p.clone();
+        q.edges[0].to = 9;
+        assert!(matches!(q.check(), Err(ProfileError::EdgeNodeOutOfRange { node: 9, .. })));
+        let mut q = p.clone();
+        q.branches[0].taken = 99;
+        assert!(matches!(q.check(), Err(ProfileError::BranchCountsInconsistent { .. })));
+        let mut q = p.clone();
+        q.streams[0].min_addr = q.streams[0].max_addr + 1;
+        assert!(matches!(q.check(), Err(ProfileError::StreamStatsInvalid { stream: 0 })));
+        let mut q = p;
+        q.nodes.clear();
+        assert!(matches!(q.check(), Err(ProfileError::Empty { .. })));
     }
 
     #[test]

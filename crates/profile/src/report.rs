@@ -20,8 +20,9 @@ use crate::model::WorkloadProfile;
 /// let mut b = ProgramBuilder::new("tiny");
 /// b.li(Reg::new(1), 1);
 /// b.halt();
-/// let report = render_report(&profile_program(&b.build(), 1_000));
+/// let report = render_report(&profile_program(&b.build(), 1_000)?);
 /// assert!(report.contains("instruction mix"));
+/// # Ok::<(), perfclone_profile::ProfileError>(())
 /// ```
 pub fn render_report(profile: &WorkloadProfile) -> String {
     let mut out = String::new();
@@ -112,7 +113,7 @@ mod tests {
         b.addi(i, i, 1);
         b.blt(i, n, top);
         b.halt();
-        let profile = profile_program(&b.build(), u64::MAX);
+        let profile = profile_program(&b.build(), u64::MAX).unwrap();
         let text = render_report(&profile);
         for needle in [
             "workload profile: rpt",
@@ -149,7 +150,7 @@ mod tests {
         b.addi(i, i, 1);
         b.blt(i, n, top2);
         b.halt();
-        let profile = profile_program(&b.build(), u64::MAX);
+        let profile = profile_program(&b.build(), u64::MAX).unwrap();
         let text = render_report(&profile);
         let hot_pos = text.find("x80").expect("hot stream listed");
         let cold_pos = text.find("x40").expect("cold stream listed");

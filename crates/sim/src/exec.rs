@@ -19,6 +19,13 @@ pub enum SimError {
         /// Number of instructions in the program.
         len: usize,
     },
+    /// A [`run_budget`](Simulator::run_budget) call retired its whole
+    /// instruction budget without the program halting — the runaway guard for
+    /// pathological (non-terminating) synthetic programs.
+    BudgetExhausted {
+        /// The instruction budget that was exhausted.
+        budget: u64,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -26,6 +33,9 @@ impl fmt::Display for SimError {
         match self {
             SimError::PcOutOfRange { pc, len } => {
                 write!(f, "program counter {pc} outside program of {len} instructions")
+            }
+            SimError::BudgetExhausted { budget } => {
+                write!(f, "program did not halt within the {budget}-instruction budget")
             }
         }
     }
@@ -245,6 +255,38 @@ impl<'p> Simulator<'p> {
         Ok(RunOutcome { retired, halted: self.halted })
     }
 
+    /// Runs like [`run`](Simulator::run) but treats an exhausted budget as an
+    /// error: the program must execute `halt` within `budget` instructions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::BudgetExhausted`] when `budget` instructions retire
+    /// without the program halting, in addition to the faults surfaced by
+    /// [`step`](Simulator::step).
+    pub fn run_budget(&mut self, budget: u64) -> Result<RunOutcome, SimError> {
+        self.run_budget_with(budget, &mut crate::trace::NullObserver)
+    }
+
+    /// Runs like [`run_budget`](Simulator::run_budget), invoking `observer`
+    /// for every retired instruction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::BudgetExhausted`] when `budget` instructions retire
+    /// without the program halting, in addition to the faults surfaced by
+    /// [`step`](Simulator::step).
+    pub fn run_budget_with<O: Observer>(
+        &mut self,
+        budget: u64,
+        observer: &mut O,
+    ) -> Result<RunOutcome, SimError> {
+        let out = self.run_with(budget, observer)?;
+        if !out.halted && out.retired >= budget {
+            return Err(SimError::BudgetExhausted { budget });
+        }
+        Ok(out)
+    }
+
     fn effective_address(&mut self, mem: MemRef) -> u64 {
         match mem {
             MemRef::Base { base, offset } => {
@@ -415,6 +457,48 @@ mod tests {
         let out = sim.run(17).unwrap();
         assert_eq!(out.retired, 17);
         assert!(!out.halted);
+    }
+
+    #[test]
+    fn run_budget_errors_on_nonhalting_program() {
+        let mut b = ProgramBuilder::new("spin");
+        let top = b.label();
+        b.bind(top);
+        b.j(top);
+        let p = b.build();
+        let mut sim = Simulator::new(&p);
+        let err = sim.run_budget(1_000).unwrap_err();
+        assert_eq!(err, SimError::BudgetExhausted { budget: 1_000 });
+        assert!(err.to_string().contains("budget"));
+    }
+
+    #[test]
+    fn run_budget_accepts_halting_program() {
+        let mut b = ProgramBuilder::new("h");
+        b.nop();
+        b.halt();
+        let p = b.build();
+        let mut sim = Simulator::new(&p);
+        let out = sim.run_budget(2).unwrap();
+        assert!(out.halted);
+        assert_eq!(out.retired, 2);
+    }
+
+    #[test]
+    fn trace_records_fault_on_early_stop() {
+        let mut b = ProgramBuilder::new("fall");
+        b.nop(); // no halt: falls off the end
+        let p = b.build();
+        let mut trace = Simulator::trace(&p, 100);
+        assert_eq!(trace.by_ref().count(), 1);
+        assert!(matches!(trace.fault(), Some(SimError::PcOutOfRange { pc: 1, .. })));
+        // A clean halt leaves no fault behind.
+        let mut b = ProgramBuilder::new("h");
+        b.halt();
+        let p = b.build();
+        let mut trace = Simulator::trace(&p, 100);
+        assert_eq!(trace.by_ref().count(), 1);
+        assert!(trace.fault().is_none());
     }
 
     #[test]

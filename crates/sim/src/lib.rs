@@ -30,6 +30,8 @@
 //! # Ok::<(), perfclone_sim::SimError>(())
 //! ```
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 mod exec;
 mod mem;
 mod state;

@@ -109,11 +109,19 @@ impl<O: Observer + ?Sized> Observer for &mut O {
 pub struct Trace<'p> {
     sim: crate::Simulator<'p>,
     remaining: u64,
+    fault: Option<crate::SimError>,
 }
 
 impl<'p> Trace<'p> {
     pub(crate) fn new(sim: crate::Simulator<'p>, limit: u64) -> Trace<'p> {
-        Trace { sim, remaining: limit }
+        Trace { sim, remaining: limit, fault: None }
+    }
+
+    /// The fault that ended the trace early, if any. A faulting program
+    /// truncates the iterator; callers that must distinguish a clean stop
+    /// from a crash check this after exhausting the iterator.
+    pub fn fault(&self) -> Option<&crate::SimError> {
+        self.fault.as_ref()
     }
 
     /// Consumes the trace, returning the underlying simulator (for state
@@ -127,10 +135,16 @@ impl Iterator for Trace<'_> {
     type Item = DynInstr;
 
     fn next(&mut self) -> Option<DynInstr> {
-        if self.remaining == 0 {
+        if self.remaining == 0 || self.fault.is_some() {
             return None;
         }
         self.remaining -= 1;
-        self.sim.step().ok().flatten()
+        match self.sim.step() {
+            Ok(d) => d,
+            Err(e) => {
+                self.fault = Some(e);
+                None
+            }
+        }
     }
 }

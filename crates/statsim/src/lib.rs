@@ -32,17 +32,56 @@
 //! b.addi(Reg::new(1), Reg::new(1), 1);
 //! b.blt(Reg::new(1), Reg::new(2), top);
 //! b.halt();
-//! let profile = profile_program(&b.build(), u64::MAX);
+//! let profile = profile_program(&b.build(), u64::MAX)?;
 //!
-//! let trace = synth_trace(&profile, &TraceParams { length: 10_000, seed: 7 });
+//! let trace = synth_trace(&profile, &TraceParams { length: 10_000, seed: 7 })?;
 //! assert_eq!(trace.len(), 10_000);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+use std::error::Error as StdError;
+use std::fmt;
+
 use perfclone_isa::{AluOp, Cond, FReg, FpOp, Instr, InstrClass, MemRef, MemWidth, Reg};
-use perfclone_profile::{StreamProfile, WorkloadProfile};
+use perfclone_profile::{ProfileError, StreamProfile, WorkloadProfile};
 use perfclone_sim::{DynInstr, MemAccess};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// Errors surfaced by synthetic trace generation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceError {
+    /// The profile failed structural validation
+    /// ([`WorkloadProfile::check`]); generating from it would index out of
+    /// bounds.
+    InvalidProfile(ProfileError),
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::InvalidProfile(e) => {
+                write!(f, "cannot generate a trace from profile: {e}")
+            }
+        }
+    }
+}
+
+impl StdError for TraceError {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            TraceError::InvalidProfile(e) => Some(e),
+        }
+    }
+}
+
+impl From<ProfileError> for TraceError {
+    fn from(e: ProfileError) -> TraceError {
+        TraceError::InvalidProfile(e)
+    }
+}
 
 /// Parameters of synthetic trace generation.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -93,11 +132,18 @@ impl Walker {
 /// from the block's transition statistics, and an effective address from
 /// the per-op stream walkers.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the profile has no nodes.
-pub fn synth_trace(profile: &WorkloadProfile, params: &TraceParams) -> Vec<DynInstr> {
-    assert!(!profile.nodes.is_empty(), "cannot generate a trace from an empty profile");
+/// Returns [`TraceError::InvalidProfile`] when the profile fails
+/// structural validation ([`WorkloadProfile::check`]) — empty, dangling
+/// cross-references, inconsistent counts.
+pub fn synth_trace(
+    profile: &WorkloadProfile,
+    params: &TraceParams,
+) -> Result<Vec<DynInstr>, TraceError> {
+    // All indexing below (branches, mem_ops into walkers) relies on the
+    // cross-references this validates.
+    profile.check()?;
     let mut rng = StdRng::seed_from_u64(params.seed);
 
     // Synthetic code layout: each node gets a pc range in discovery order.
@@ -137,8 +183,8 @@ pub fn synth_trace(profile: &WorkloadProfile, params: &TraceParams) -> Vec<DynIn
         // Expand the node's class counts into a body; the terminating
         // branch (if any) goes last.
         let mut counts = node.class_counts;
-        let has_branch = node.branch.is_some() && counts[InstrClass::Branch.index()] > 0;
-        if has_branch {
+        let term_branch = if counts[InstrClass::Branch.index()] > 0 { node.branch } else { None };
+        if term_branch.is_some() {
             counts[InstrClass::Branch.index()] -= 1;
         }
         let mut body: Vec<InstrClass> = Vec::with_capacity(node.size as usize);
@@ -170,8 +216,8 @@ pub fn synth_trace(profile: &WorkloadProfile, params: &TraceParams) -> Vec<DynIn
         };
         let next_node_pc = pc_base[next_node as usize];
         let term_pc = base + body.len() as u32;
-        if has_branch {
-            let bidx = node.branch.expect("has_branch") as usize;
+        if let Some(bi) = term_branch {
+            let bidx = bi as usize;
             let stats = &profile.branches[bidx];
             let taken = realize_direction(stats, &mut branch_counters[bidx], &mut rng);
             let next = if taken { next_node_pc } else { term_pc + 1 };
@@ -204,7 +250,7 @@ pub fn synth_trace(profile: &WorkloadProfile, params: &TraceParams) -> Vec<DynIn
         cur = Some(next_node);
     }
     out.truncate(params.length as usize);
-    out
+    Ok(out)
 }
 
 fn sample_weighted(weights: &[f64], rng: &mut StdRng) -> u32 {
@@ -226,7 +272,9 @@ fn sample_succ(succs: &[(u32, f64)], rng: &mut StdRng) -> u32 {
             return *to;
         }
     }
-    succs.last().expect("non-empty").0
+    // Callers only reach here with a non-empty successor list; node 0 is
+    // the harmless reseed target should that ever change.
+    succs.last().map(|s| s.0).unwrap_or(0)
 }
 
 /// Realizes a branch direction from taken/transition statistics with a
@@ -324,13 +372,13 @@ mod tests {
 
     fn profile_of(name: &str) -> WorkloadProfile {
         let p = by_name(name).expect("kernel exists").build(Scale::Tiny).program;
-        profile_program(&p, u64::MAX)
+        profile_program(&p, u64::MAX).expect("kernel profiles cleanly")
     }
 
     #[test]
     fn trace_has_requested_length_and_mix() {
         let profile = profile_of("crc32");
-        let trace = synth_trace(&profile, &TraceParams { length: 50_000, seed: 1 });
+        let trace = synth_trace(&profile, &TraceParams { length: 50_000, seed: 1 }).unwrap();
         assert_eq!(trace.len(), 50_000);
         let loads = trace.iter().filter(|d| d.instr.class() == InstrClass::Load).count() as f64;
         let expected = profile.global_mix()[InstrClass::Load.index()];
@@ -345,7 +393,7 @@ mod tests {
     #[test]
     fn trace_runs_through_the_pipeline() {
         let profile = profile_of("susan");
-        let trace = synth_trace(&profile, &TraceParams { length: 30_000, seed: 2 });
+        let trace = synth_trace(&profile, &TraceParams { length: 30_000, seed: 2 }).unwrap();
         let report = Pipeline::new(base_config()).run(trace);
         assert_eq!(report.instrs, 30_000);
         assert!(report.ipc() > 0.1 && report.ipc() <= 1.0);
@@ -355,9 +403,9 @@ mod tests {
     fn trace_ipc_approximates_program_ipc() {
         let name = "adpcm_dec";
         let program = by_name(name).expect("kernel exists").build(Scale::Tiny).program;
-        let profile = profile_program(&program, u64::MAX);
+        let profile = profile_program(&program, u64::MAX).unwrap();
         let real = Pipeline::new(base_config()).run(Simulator::trace(&program, u64::MAX));
-        let trace = synth_trace(&profile, &TraceParams { length: 100_000, seed: 3 });
+        let trace = synth_trace(&profile, &TraceParams { length: 100_000, seed: 3 }).unwrap();
         let synth = Pipeline::new(base_config()).run(trace);
         let err = (synth.ipc() - real.ipc()).abs() / real.ipc();
         assert!(err < 0.35, "statsim IPC err {err:.3} (real {} synth {})", real.ipc(), synth.ipc());
@@ -366,15 +414,29 @@ mod tests {
     #[test]
     fn trace_is_deterministic() {
         let profile = profile_of("bitcount");
-        let a = synth_trace(&profile, &TraceParams { length: 5_000, seed: 9 });
-        let b = synth_trace(&profile, &TraceParams { length: 5_000, seed: 9 });
+        let a = synth_trace(&profile, &TraceParams { length: 5_000, seed: 9 }).unwrap();
+        let b = synth_trace(&profile, &TraceParams { length: 5_000, seed: 9 }).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn corrupted_profile_yields_typed_error() {
+        let mut profile = profile_of("crc32");
+        profile.nodes.truncate(1);
+        let err = synth_trace(&profile, &TraceParams::default()).unwrap_err();
+        assert!(matches!(err, TraceError::InvalidProfile(_)), "got {err:?}");
+
+        profile.nodes.clear();
+        profile.edges.clear();
+        profile.contexts.clear();
+        let err = synth_trace(&profile, &TraceParams::default()).unwrap_err();
+        assert!(matches!(err, TraceError::InvalidProfile(ProfileError::Empty { .. })));
     }
 
     #[test]
     fn branch_outcomes_follow_taken_rate() {
         let profile = profile_of("crc32");
-        let trace = synth_trace(&profile, &TraceParams { length: 80_000, seed: 4 });
+        let trace = synth_trace(&profile, &TraceParams { length: 80_000, seed: 4 }).unwrap();
         let (mut taken, mut total) = (0u64, 0u64);
         for d in &trace {
             if d.instr.is_cond_branch() {

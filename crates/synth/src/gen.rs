@@ -8,7 +8,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::walk::walk_sfg;
-use crate::{BranchModel, MemoryModel, SynthesisParams};
+use crate::{BranchModel, MemoryModel, SynthError, SynthesisParams};
 
 /// Loop iteration counter.
 const ITER: Reg = Reg::new(1);
@@ -278,16 +278,31 @@ fn plan_streams(b: &mut ProgramBuilder, profile: &WorkloadProfile) -> Vec<perfcl
             plan[i] = Some(id);
         }
     }
-    plan.into_iter().map(|p| p.expect("every stream planned")).collect()
+    // The grouping above covers every stream index; the degenerate
+    // single-slot stream is the harmless total fallback should that
+    // invariant ever break.
+    plan.into_iter()
+        .map(|p| p.unwrap_or_else(|| b.stream(StreamDesc { base: 0x1000, stride: 0, length: 1 })))
+        .collect()
 }
 
 /// Generates the synthetic benchmark clone from a workload profile —
 /// the paper's §3.2 algorithm.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the profile has no nodes (an empty program cannot be cloned).
-pub fn synthesize(profile: &WorkloadProfile, params: &SynthesisParams) -> Program {
+/// Returns [`SynthError::InvalidProfile`] when the profile fails structural
+/// validation ([`WorkloadProfile::check`]) — empty, dangling
+/// cross-references, inconsistent counts — and
+/// [`SynthError::WalkBudgetExhausted`] if the SFG walk outruns its
+/// instance budget.
+pub fn synthesize(
+    profile: &WorkloadProfile,
+    params: &SynthesisParams,
+) -> Result<Program, SynthError> {
+    // All indexing below (streams, branches, nodes) relies on the
+    // cross-references this validates.
+    profile.check()?;
     let mut rng = StdRng::seed_from_u64(params.seed);
     let (target_blocks, body_budget) = if params.target_blocks == 0 {
         // Static-footprint parity: the clone's body should occupy about as
@@ -310,7 +325,7 @@ pub fn synthesize(profile: &WorkloadProfile, params: &SynthesisParams) -> Progra
     } else {
         (params.target_blocks, u32::MAX)
     };
-    let instances = walk_sfg(profile, target_blocks, body_budget, &mut rng);
+    let instances = walk_sfg(profile, target_blocks, body_budget, &mut rng)?;
     if std::env::var("PERFCLONE_SYNTH_DEBUG").is_ok() {
         eprintln!(
             "synth debug: target_blocks={target_blocks} body_budget={body_budget} instances={}",
@@ -474,16 +489,15 @@ pub fn synthesize(profile: &WorkloadProfile, params: &SynthesisParams) -> Progra
                 }
                 C::Load | C::Store => {
                     let sp_idx = node.mem_ops.get(mem_idx % node.mem_ops.len().max(1)).copied();
-                    let sp = sp_idx.map(|i| &profile.streams[i as usize]);
+                    let sp = sp_idx.map(|i| (i, &profile.streams[i as usize]));
                     mem_idx += 1;
                     let (id, width) = match (params.memory_model, sp) {
-                        (MemoryModel::StrideStreams, Some(s)) => (
-                            stream_plan[sp_idx.expect("sp implies sp_idx") as usize],
-                            width_of(s.width),
-                        ),
+                        (MemoryModel::StrideStreams, Some((i, s))) => {
+                            (stream_plan[i as usize], width_of(s.width))
+                        }
                         (MemoryModel::StrideStreams, None) => (b.stream_alloc(8, 64), MemWidth::B8),
                         (MemoryModel::MissRateTarget { miss_rate, line_bytes }, s) => {
-                            let width = s.map(|s| width_of(s.width)).unwrap_or(MemWidth::B8);
+                            let width = s.map(|(_, s)| width_of(s.width)).unwrap_or(MemWidth::B8);
                             if rng.gen::<f64>() < miss_rate {
                                 // Streaming region: a new line every access.
                                 (b.stream_alloc(i64::from(line_bytes), MAX_STREAM_LEN), width)
@@ -514,12 +528,14 @@ pub fn synthesize(profile: &WorkloadProfile, params: &SynthesisParams) -> Progra
 
         // ---- step 5: terminator realizing the branch statistics --------
         let next = labels[idx + 1];
-        if has_branch_term {
-            let stats = branch_stats.expect("has_branch_term implies stats");
-            emit_branch(&mut b, &mut asg, stats, params.branch_model, next, &mut rng);
-        } else {
-            b.j(next);
-            asg.pos += 1;
+        match branch_stats {
+            Some(stats) if has_branch_term => {
+                emit_branch(&mut b, &mut asg, stats, params.branch_model, next, &mut rng);
+            }
+            _ => {
+                b.j(next);
+                asg.pos += 1;
+            }
         }
     }
     b.bind(labels[instances.len()]);
@@ -533,7 +549,7 @@ pub fn synthesize(profile: &WorkloadProfile, params: &SynthesisParams) -> Progra
     let iterations = (params.target_dynamic / body_len.max(1)).max(1);
     let mut program = b.build();
     patch_bound(&mut program, bound_patch_at, iterations as i64);
-    program
+    Ok(program)
 }
 
 /// Realizes one conditional branch's direction statistics (step 5).
@@ -682,8 +698,8 @@ mod tests {
 
     fn make_clone(params: &SynthesisParams) -> (Program, perfclone_profile::WorkloadProfile) {
         let orig = original_program();
-        let profile = profile_program(&orig, u64::MAX);
-        (synthesize(&profile, params), profile)
+        let profile = profile_program(&orig, u64::MAX).unwrap();
+        (synthesize(&profile, params).unwrap(), profile)
     }
 
     #[test]
@@ -716,7 +732,7 @@ mod tests {
         let params =
             SynthesisParams { target_blocks: 150, target_dynamic: 200_000, ..Default::default() };
         let (clone, orig_profile) = make_clone(&params);
-        let clone_profile = profile_program(&clone, u64::MAX);
+        let clone_profile = profile_program(&clone, u64::MAX).unwrap();
         let orig_mix = orig_profile.global_mix();
         let clone_mix = clone_profile.global_mix();
         use perfclone_isa::InstrClass as C;
@@ -749,7 +765,7 @@ mod tests {
         let params =
             SynthesisParams { target_blocks: 150, target_dynamic: 200_000, ..Default::default() };
         let (clone, orig_profile) = make_clone(&params);
-        let clone_profile = profile_program(&clone, u64::MAX);
+        let clone_profile = profile_program(&clone, u64::MAX).unwrap();
         // Dynamic-weighted mean taken rate and transition rate must be
         // close.
         let weighted = |p: &perfclone_profile::WorkloadProfile| -> (f64, f64) {
@@ -795,6 +811,17 @@ mod tests {
         let mut sim = Simulator::new(&clone);
         let out = sim.run(10_000_000).unwrap();
         assert!(out.halted);
+    }
+
+    #[test]
+    fn corrupted_profile_yields_typed_error() {
+        let orig = original_program();
+        let mut profile = profile_program(&orig, u64::MAX).unwrap();
+        // Truncating the node table leaves edges/contexts dangling — the
+        // shape a truncated trace produces.
+        profile.nodes.truncate(1);
+        let err = synthesize(&profile, &SynthesisParams::default()).unwrap_err();
+        assert!(matches!(err, SynthError::InvalidProfile(_)), "got {err:?}");
     }
 
     #[test]

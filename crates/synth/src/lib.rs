@@ -36,11 +36,19 @@
 //! b.halt();
 //! let original = b.build();
 //!
-//! let profile = profile_program(&original, u64::MAX);
-//! let clone = synthesize(&profile, &SynthesisParams::default());
+//! let profile = profile_program(&original, u64::MAX)?;
+//! let clone = synthesize(&profile, &SynthesisParams::default())?;
 //! assert!(clone.name().contains("clone"));
 //! assert!(!clone.is_empty());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+use std::error::Error as StdError;
+use std::fmt;
+
+use perfclone_profile::ProfileError;
 
 mod emit;
 mod gen;
@@ -48,6 +56,52 @@ mod walk;
 
 pub use emit::emit_c;
 pub use gen::synthesize;
+
+/// Errors surfaced by clone synthesis.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SynthError {
+    /// The input profile failed structural validation
+    /// ([`WorkloadProfile::check`](perfclone_profile::WorkloadProfile::check));
+    /// synthesizing from it would index out of bounds.
+    InvalidProfile(ProfileError),
+    /// The SFG walk exceeded its instance budget without consuming its
+    /// node quotas — the runaway guard for degenerate flow graphs.
+    WalkBudgetExhausted {
+        /// Instances produced when the budget tripped.
+        instances: usize,
+        /// The instance budget.
+        budget: usize,
+    },
+}
+
+impl fmt::Display for SynthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SynthError::InvalidProfile(e) => write!(f, "cannot synthesize from profile: {e}"),
+            SynthError::WalkBudgetExhausted { instances, budget } => {
+                write!(
+                    f,
+                    "SFG walk produced {instances} instances, exceeding its budget of {budget}"
+                )
+            }
+        }
+    }
+}
+
+impl StdError for SynthError {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            SynthError::InvalidProfile(e) => Some(e),
+            SynthError::WalkBudgetExhausted { .. } => None,
+        }
+    }
+}
+
+impl From<ProfileError> for SynthError {
+    fn from(e: ProfileError) -> SynthError {
+        SynthError::InvalidProfile(e)
+    }
+}
 
 /// How the clone models data locality.
 #[derive(Clone, Copy, Debug, PartialEq)]

@@ -1,8 +1,10 @@
 //! The statistical-flow-graph walk (paper §3.2 steps 1, 6, 8, 9).
 
-use perfclone_profile::WorkloadProfile;
+use perfclone_profile::{ProfileError, WorkloadProfile};
 use rand::rngs::StdRng;
 use rand::Rng;
+
+use crate::SynthError;
 
 /// One basic-block instance produced by the walk: which SFG node to
 /// instantiate and which node preceded it (for context-sensitive
@@ -20,13 +22,21 @@ pub(crate) struct BlockInstance {
 /// follow outgoing-edge probabilities (step 8), decrement occurrences
 /// (step 6), and reseed whenever a node has no successors (step 8), until
 /// `target_blocks` instances exist (step 9).
+///
+/// # Errors
+///
+/// Returns [`SynthError::InvalidProfile`] for an empty profile and
+/// [`SynthError::WalkBudgetExhausted`] if the walk somehow outruns its
+/// instance budget (the runaway guard for degenerate flow graphs).
 pub(crate) fn walk_sfg(
     profile: &WorkloadProfile,
     target_blocks: u32,
     body_budget: u32,
     rng: &mut StdRng,
-) -> Vec<BlockInstance> {
-    assert!(!profile.nodes.is_empty(), "cannot synthesize from an empty profile");
+) -> Result<Vec<BlockInstance>, SynthError> {
+    if profile.nodes.is_empty() {
+        return Err(SynthError::InvalidProfile(ProfileError::Empty { name: profile.name.clone() }));
+    }
     // Scale each node's occurrence count to the clone's size (step 6 only
     // works if the counts are commensurate with the number of blocks being
     // generated): node i gets a quota proportional to its execution
@@ -50,10 +60,22 @@ pub(crate) fn walk_sfg(
     let succs: Vec<Vec<(u32, f64)>> =
         (0..profile.nodes.len()).map(|i| profile.successors(i as u32)).collect();
 
+    // Every iteration consumes one unit of some node's quota, so the
+    // instance count is bounded by the quota total. The explicit budget is
+    // the runaway backstop should that invariant ever break (e.g. a future
+    // edit that forgets to decrement) — better a typed error than a hang.
+    let instance_budget = (remaining.iter().map(|&r| r as usize).sum::<usize>()).saturating_add(16);
+
     let mut out = Vec::new();
     let mut body = 0u32;
     let mut cur: Option<(u32, u32)> = None; // (node, pred)
     loop {
+        if out.len() >= instance_budget {
+            return Err(SynthError::WalkBudgetExhausted {
+                instances: out.len(),
+                budget: instance_budget,
+            });
+        }
         let (node, pred) = match cur.take() {
             Some(np) if remaining[np.0 as usize] > 0.0 => np,
             _ => {
@@ -84,7 +106,7 @@ pub(crate) fn walk_sfg(
         let next = sample_edges(outgoing, rng);
         cur = Some((next, node));
     }
-    out
+    Ok(out)
 }
 
 fn sample_cdf(weights: &[f64], rng: &mut StdRng) -> u32 {
@@ -111,7 +133,9 @@ fn sample_edges(edges: &[(u32, f64)], rng: &mut StdRng) -> u32 {
             return *to;
         }
     }
-    edges.last().expect("non-empty edges").0
+    // Callers only reach here with a non-empty edge list; node 0 is the
+    // harmless reseed target should that ever change.
+    edges.last().map(|e| e.0).unwrap_or(0)
 }
 
 #[cfg(test)]
@@ -148,7 +172,7 @@ mod tests {
     fn walk_produces_requested_count() {
         let p = two_node_profile(900);
         let mut rng = StdRng::seed_from_u64(1);
-        let w = walk_sfg(&p, 200, u32::MAX, &mut rng);
+        let w = walk_sfg(&p, 200, u32::MAX, &mut rng).unwrap();
         // Quota rounding may move the count by a node or two.
         assert!((195..=205).contains(&w.len()), "got {} instances", w.len());
     }
@@ -157,7 +181,7 @@ mod tests {
     fn walk_respects_frequencies() {
         let p = two_node_profile(900);
         let mut rng = StdRng::seed_from_u64(2);
-        let w = walk_sfg(&p, 500, u32::MAX, &mut rng);
+        let w = walk_sfg(&p, 500, u32::MAX, &mut rng).unwrap();
         let hot = w.iter().filter(|b| b.node == 0).count();
         // Node 0 executes 9x more often; the walk should reflect that.
         assert!(hot > 300, "hot node visited only {hot}/500 times");
@@ -167,7 +191,7 @@ mod tests {
     fn predecessors_follow_edges() {
         let p = two_node_profile(900);
         let mut rng = StdRng::seed_from_u64(3);
-        let w = walk_sfg(&p, 300, u32::MAX, &mut rng);
+        let w = walk_sfg(&p, 300, u32::MAX, &mut rng).unwrap();
         for pair in w.windows(2) {
             if pair[1].pred != u32::MAX {
                 assert_eq!(pair[1].pred, pair[0].node);
@@ -178,8 +202,16 @@ mod tests {
     #[test]
     fn walk_is_deterministic_per_seed() {
         let p = two_node_profile(900);
-        let a = walk_sfg(&p, 100, u32::MAX, &mut StdRng::seed_from_u64(7));
-        let b = walk_sfg(&p, 100, u32::MAX, &mut StdRng::seed_from_u64(7));
+        let a = walk_sfg(&p, 100, u32::MAX, &mut StdRng::seed_from_u64(7)).unwrap();
+        let b = walk_sfg(&p, 100, u32::MAX, &mut StdRng::seed_from_u64(7)).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_profile_yields_typed_error() {
+        let mut p = two_node_profile(900);
+        p.nodes.clear();
+        let err = walk_sfg(&p, 100, u32::MAX, &mut StdRng::seed_from_u64(8)).unwrap_err();
+        assert!(matches!(err, SynthError::InvalidProfile(_)), "got {err:?}");
     }
 }

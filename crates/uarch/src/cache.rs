@@ -192,9 +192,7 @@ impl Cache {
         let victim = match set.iter().position(|l| !l.valid) {
             Some(i) => i,
             None => {
-                let (i, _) =
-                    set.iter().enumerate().min_by_key(|(_, l)| l.stamp).expect("non-empty set");
-                i
+                set.iter().enumerate().min_by_key(|(_, l)| l.stamp).map(|(i, _)| i).unwrap_or(0)
             }
         };
         let writeback = set[victim].valid && set[victim].dirty;

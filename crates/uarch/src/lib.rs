@@ -32,6 +32,8 @@
 //! assert!(report.ipc() > 0.0);
 //! ```
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod config;
 pub mod stackdist;
 
@@ -42,7 +44,7 @@ mod sweep;
 
 pub use cache::{AccessResult, Assoc, Cache, CacheConfig, CacheStats};
 pub use config::{base_config, cache_sweep, design_changes, IssuePolicy, MachineConfig};
-pub use pipeline::{Activity, Pipeline, PipelineReport};
+pub use pipeline::{Activity, Pipeline, PipelineError, PipelineReport};
 pub use predictor::{BranchPredictor, PredictorKind, PredictorStats};
 pub use stackdist::{sweep_trace, sweep_trace_par, AddressTrace, DataRef};
 pub use sweep::{

@@ -10,6 +10,8 @@
 //! bubble without executing wrong-path instructions.
 
 use std::collections::VecDeque;
+use std::error::Error as StdError;
+use std::fmt;
 
 use perfclone_isa::InstrClass;
 use perfclone_sim::DynInstr;
@@ -135,6 +137,36 @@ impl PipelineReport {
     }
 }
 
+/// Errors surfaced by a budgeted pipeline run.
+#[derive(Clone, Debug)]
+pub enum PipelineError {
+    /// The run reached its cycle budget before the trace drained — the
+    /// runaway guard for pathological inputs. Carries the partial report
+    /// accumulated up to the budget, so callers can still inspect how far
+    /// the run got.
+    BudgetExhausted {
+        /// The cycle budget that was exhausted.
+        max_cycles: u64,
+        /// Statistics accumulated before the budget tripped.
+        report: Box<PipelineReport>,
+    },
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::BudgetExhausted { max_cycles, report } => write!(
+                f,
+                "pipeline did not drain within the {max_cycles}-cycle budget \
+                 ({} instructions committed)",
+                report.instrs
+            ),
+        }
+    }
+}
+
+impl StdError for PipelineError {}
+
 /// The pipeline simulator. Construct with a [`MachineConfig`], then feed a
 /// trace with [`run`](Pipeline::run).
 #[derive(Debug)]
@@ -186,11 +218,45 @@ impl Pipeline {
 
     /// Runs the pipeline over a correct-path trace until every instruction
     /// has committed, returning the report.
-    pub fn run<I: IntoIterator<Item = DynInstr>>(mut self, trace: I) -> PipelineReport {
-        let mut trace = trace.into_iter().peekable();
+    pub fn run<I: IntoIterator<Item = DynInstr>>(self, trace: I) -> PipelineReport {
+        self.run_inner(trace.into_iter(), u64::MAX).0
+    }
+
+    /// [`run`](Pipeline::run) with a cycle budget: if the trace has not
+    /// drained within `max_cycles`, returns
+    /// [`PipelineError::BudgetExhausted`] carrying the partial report —
+    /// the runaway guard for pathological (e.g. synthesized) inputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::BudgetExhausted`] when the budget trips.
+    pub fn run_budgeted<I: IntoIterator<Item = DynInstr>>(
+        self,
+        trace: I,
+        max_cycles: u64,
+    ) -> Result<PipelineReport, PipelineError> {
+        let (report, exhausted) = self.run_inner(trace.into_iter(), max_cycles);
+        if exhausted {
+            Err(PipelineError::BudgetExhausted { max_cycles, report: Box::new(report) })
+        } else {
+            Ok(report)
+        }
+    }
+
+    fn run_inner(
+        mut self,
+        trace: impl Iterator<Item = DynInstr>,
+        max_cycles: u64,
+    ) -> (PipelineReport, bool) {
+        let mut trace = trace.peekable();
+        let mut exhausted = false;
         loop {
             let trace_empty = trace.peek().is_none();
             if trace_empty && self.rob.is_empty() && self.fetch_queue.is_empty() {
+                break;
+            }
+            if self.cycle >= max_cycles {
+                exhausted = true;
                 break;
             }
             self.cycle += 1;
@@ -208,7 +274,7 @@ impl Pipeline {
                 self.cycle
             );
         }
-        PipelineReport {
+        let report = PipelineReport {
             cycles: self.cycle,
             instrs: self.committed,
             l1i: self.l1i.stats(),
@@ -216,7 +282,8 @@ impl Pipeline {
             l2: self.l2.stats(),
             bpred: self.bpred.stats(),
             activity: self.activity,
-        }
+        };
+        (report, exhausted)
     }
 
     /// Walks the data hierarchy for one access, returning its latency.
@@ -262,7 +329,7 @@ impl Pipeline {
                 Some(e) if e.state == EntryState::Done => {}
                 _ => break,
             }
-            let e = self.rob.pop_front().expect("checked front");
+            let Some(e) = self.rob.pop_front() else { break };
             if e.is_store {
                 // Stores write the D-cache at commit; latency is absorbed
                 // by the write buffer.
@@ -407,7 +474,7 @@ impl Pipeline {
             if is_mem && self.lsq_count >= self.config.lsq_size {
                 break;
             }
-            let e = self.fetch_queue.pop_front().expect("checked front");
+            let Some(e) = self.fetch_queue.pop_front() else { break };
             if is_mem {
                 self.lsq_count += 1;
             }
@@ -450,7 +517,7 @@ impl Pipeline {
                     return; // instruction fetched once the line arrives
                 }
             }
-            let d = trace.next().expect("peeked");
+            let Some(d) = trace.next() else { break };
             let seq = self.next_seq;
             self.next_seq += 1;
             self.activity.fetches += 1;
@@ -697,6 +764,29 @@ mod tests {
         assert_eq!(rep.instrs, 3 + 500 * 5 + 1);
         // Forwarded loads should not all miss in the cache.
         assert!(rep.l1d_mpi() < 0.05);
+    }
+
+    #[test]
+    fn budgeted_run_errors_with_partial_report() {
+        let p = alu_loop(500);
+        let err = Pipeline::new(base_config())
+            .run_budgeted(Simulator::trace(&p, u64::MAX), 50)
+            .unwrap_err();
+        let PipelineError::BudgetExhausted { max_cycles, report } = err;
+        assert_eq!(max_cycles, 50);
+        assert!(report.cycles <= 50);
+        assert!(report.instrs < 2 + 3000 + 1);
+    }
+
+    #[test]
+    fn budgeted_run_matches_unbudgeted_when_budget_suffices() {
+        let p = alu_loop(100);
+        let full = run_program(&p, base_config());
+        let budgeted = Pipeline::new(base_config())
+            .run_budgeted(Simulator::trace(&p, u64::MAX), u64::MAX)
+            .unwrap();
+        assert_eq!(budgeted.instrs, full.instrs);
+        assert_eq!(budgeted.cycles, full.cycles);
     }
 
     #[test]

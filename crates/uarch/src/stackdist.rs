@@ -155,7 +155,7 @@ impl AllAssocPass {
             .iter()
             .map(|&(sets, _)| sets.trailing_zeros() as usize + 1)
             .max()
-            .expect("non-empty configuration group");
+            .unwrap_or(1);
         let mut caps = vec![0u32; levels];
         for &(sets, ways) in geometries {
             let j = sets.trailing_zeros() as usize;

@@ -161,11 +161,12 @@ pub fn run_par(
     limit: u64,
     jobs: usize,
 ) -> Vec<DcacheSweepPoint> {
-    rayon::ThreadPoolBuilder::new()
-        .num_threads(jobs)
-        .build()
-        .expect("thread pool construction cannot fail")
-        .install(|| sweep_dcache_par(program, configs, limit))
+    match rayon::ThreadPoolBuilder::new().num_threads(jobs).build() {
+        Ok(pool) => pool.install(|| sweep_dcache_par(program, configs, limit)),
+        // Pool construction failing (thread-spawn exhaustion) degrades to
+        // the ambient pool rather than aborting the sweep.
+        Err(_) => sweep_dcache_par(program, configs, limit),
+    }
 }
 
 #[cfg(test)]

@@ -14,7 +14,7 @@ fn main() {
         .expect("kernel exists")
         .build(perfclone_kernels::Scale::Small)
         .program;
-    let clone = Cloner::new().clone_program(&app, u64::MAX).clone;
+    let clone = Cloner::new().clone_program(&app, u64::MAX).expect("clone").clone;
 
     let configs = cache_sweep();
     println!("sweeping {} cache configurations with the CLONE only ...", configs.len());

@@ -21,8 +21,10 @@ fn main() {
         })
         .collect();
     println!("cloning the telecom mix: {names:?} ...");
-    let clones: Vec<_> =
-        apps.iter().map(|a| Cloner::new().clone_program(a, u64::MAX).clone).collect();
+    let clones: Vec<_> = apps
+        .iter()
+        .map(|a| Cloner::new().clone_program(a, u64::MAX).expect("clone").clone)
+        .collect();
 
     let mut configs = vec![base_config()];
     configs.extend(design_changes());
@@ -30,7 +32,7 @@ fn main() {
     let efficiency = |programs: &[perfclone_isa::Program], cfg: &MachineConfig| -> f64 {
         let mut sum = 0.0;
         for p in programs {
-            let t = run_timing(p, cfg, u64::MAX);
+            let t = run_timing(p, cfg, u64::MAX).expect("timing");
             sum += t.report.ipc() / t.power.average_power;
         }
         sum / programs.len() as f64

@@ -20,13 +20,13 @@ fn main() {
 
     // Vendor side: profile and serialize. Only this JSON leaves the
     // building — never the application.
-    let outcome = Cloner::new().clone_program(&app, u64::MAX);
+    let outcome = Cloner::new().clone_program(&app, u64::MAX).expect("clone");
     let json = outcome.profile.to_json().expect("profile serializes");
     println!("disseminated profile: {} bytes of JSON", json.len());
 
     // Architect side: rebuild the clone from the received profile.
     let received = WorkloadProfile::from_json(&json).expect("profile parses");
-    let clone = Cloner::new().clone_program_from(&received);
+    let clone = Cloner::new().clone_program_from(&received).expect("synthesize");
 
     // Packaging: the clone as compilable C with asm statements.
     let c_source = emit_c(&clone);
@@ -48,7 +48,7 @@ fn main() {
     );
 
     // And the performance check that makes the clone useful at all.
-    let cmp = validate_pair(&app, &clone, &base_config(), u64::MAX);
+    let cmp = validate_pair(&app, &clone, &base_config(), u64::MAX).expect("validate");
     println!(
         "IPC real {:.3} vs clone {:.3} ({:.1}% error) — same behaviour, different code",
         cmp.real.report.ipc(),

@@ -18,7 +18,7 @@ fn main() {
     // Step 1 (vendor side): profile microarchitecture-independent
     // characteristics and synthesize the clone.
     let cloner = Cloner::new();
-    let outcome = cloner.clone_program(&app, u64::MAX);
+    let outcome = cloner.clone_program(&app, u64::MAX).expect("clone");
     let profile = &outcome.profile;
     println!("profiled {} dynamic instructions", profile.total_instrs);
     println!("  SFG nodes: {}", profile.nodes.len());
@@ -28,7 +28,7 @@ fn main() {
 
     // Step 2 (architect side): use the clone in place of the application.
     let config = base_config();
-    let cmp = validate_pair(&app, &outcome.clone, &config, u64::MAX);
+    let cmp = validate_pair(&app, &outcome.clone, &config, u64::MAX).expect("validate");
     println!("\non the base machine (Table 2):");
     println!(
         "  IPC    real {:.3}  clone {:.3}  (error {:.1}%)",

@@ -19,11 +19,11 @@ fn main() {
             .expect("kernel exists")
             .build(perfclone_kernels::Scale::Small)
             .program;
-        real.push(program, weight);
+        real.push(program, weight).expect("positive weight");
     }
 
     println!("cloning the {}-member suite ...", real.len());
-    let clones = real.clone_suite(&Cloner::new());
+    let clones = real.clone_suite(&Cloner::new()).expect("clones pass the fidelity gate");
 
     let mut configs = vec![base_config()];
     configs.extend(design_changes());
@@ -37,8 +37,8 @@ fn main() {
     let mut real_marks = Vec::new();
     let mut clone_marks = Vec::new();
     for config in &configs {
-        let r = suite_mark(&real, config, u64::MAX);
-        let c = suite_mark(&clones, config, u64::MAX);
+        let r = suite_mark(&real, config, u64::MAX).expect("mark");
+        let c = suite_mark(&clones, config, u64::MAX).expect("mark");
         real_marks.push(r.ipc_mark);
         clone_marks.push(c.ipc_mark);
         table.row(vec![

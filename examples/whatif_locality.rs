@@ -15,7 +15,7 @@ fn main() {
         .build(perfclone_kernels::Scale::Small)
         .program;
     let cloner = Cloner::new();
-    let baseline = cloner.clone_program(&app, u64::MAX);
+    let baseline = cloner.clone_program(&app, u64::MAX).expect("clone");
 
     // What-if A: strides doubled (sparser traversal, same objects).
     let mut sparse = baseline.profile.clone();
@@ -39,8 +39,8 @@ fn main() {
     for (label, profile) in
         [("baseline clone", &baseline.profile), ("2x strides", &sparse), ("4x working set", &big)]
     {
-        let clone = cloner.clone_program_from(profile);
-        let r = run_timing(&clone, &config, u64::MAX);
+        let clone = cloner.clone_program_from(profile).expect("synthesize");
+        let r = run_timing(&clone, &config, u64::MAX).expect("timing");
         t.row(vec![
             label.into(),
             format!("{:.3}", r.report.ipc()),

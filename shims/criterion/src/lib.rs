@@ -6,6 +6,8 @@
 //! `sample_size` timed samples of one iteration batch each; the report
 //! prints the median, minimum, and throughput (when set) to stdout.
 
+// Vendored stand-in: exempt from the workspace's no-panic lint walls.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use std::hint;
 use std::time::{Duration, Instant};
 

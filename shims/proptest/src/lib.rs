@@ -9,6 +9,8 @@
 //! (the FNV hash of the test name), and failing inputs are reported but
 //! **not shrunk**.
 
+// Vendored stand-in: exempt from the workspace's no-panic lint walls.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use rand::rngs::StdRng;
 use rand::{Rng, SampleRange, SeedableRng, Standard};
 

@@ -13,6 +13,8 @@
 //!
 //! Worker panics propagate to the caller, like rayon's.
 
+// Vendored stand-in: exempt from the workspace's no-panic lint walls.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 

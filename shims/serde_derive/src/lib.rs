@@ -3,6 +3,8 @@
 //! structs with named fields (doc comments and other attributes are
 //! skipped; `#[serde(...)]` field attributes are not supported).
 
+// Vendored stand-in: exempt from the workspace's no-panic lint walls.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 /// Parses the derive input far enough to extract the struct name and its

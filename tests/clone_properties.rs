@@ -79,12 +79,12 @@ proptest! {
     #[test]
     fn clone_halts_and_hits_length_target(spec in loop_spec()) {
         let p = build_program(&spec);
-        let profile = profile_program(&p, u64::MAX);
+        let profile = profile_program(&p, u64::MAX).unwrap();
         let params = SynthesisParams {
             target_dynamic: 20_000,
             ..SynthesisParams::default()
         };
-        let clone = Cloner::with_params(params).clone_program_from(&profile);
+        let clone = Cloner::with_params(params).clone_program_from(&profile).unwrap();
         let mut sim = Simulator::new(&clone);
         let out = sim.run(5_000_000).expect("clone must not fault");
         prop_assert!(out.halted, "clone did not halt");
@@ -95,10 +95,10 @@ proptest! {
     #[test]
     fn clone_mix_matches_profile(spec in loop_spec()) {
         let p = build_program(&spec);
-        let profile = profile_program(&p, u64::MAX);
+        let profile = profile_program(&p, u64::MAX).unwrap();
         let params = SynthesisParams { target_dynamic: 60_000, ..SynthesisParams::default() };
-        let clone = Cloner::with_params(params).clone_program_from(&profile);
-        let clone_profile = profile_program(&clone, u64::MAX);
+        let clone = Cloner::with_params(params).clone_program_from(&profile).unwrap();
+        let clone_profile = profile_program(&clone, u64::MAX).unwrap();
         let (om, cm) = (profile.global_mix(), clone_profile.global_mix());
         // Loads and FP-mul fractions must track; branch-realization overhead
         // perturbs the int-alu fraction, so allow more slack there.
@@ -118,9 +118,9 @@ proptest! {
         // observed stride 0 — covered by the deterministic test below.)
         prop_assume!(spec.stream_len >= 4 && spec.iters as u32 > spec.stream_len);
         let p = build_program(&spec);
-        let profile = profile_program(&p, u64::MAX);
+        let profile = profile_program(&p, u64::MAX).unwrap();
         prop_assume!(profile.streams.iter().any(|s| s.execs > 8));
-        let clone = Cloner::new().clone_program_from(&profile);
+        let clone = Cloner::new().clone_program_from(&profile).unwrap();
         let strides: std::collections::HashSet<i64> =
             clone.streams().iter().map(|d| d.stride).collect();
         // The generated program's single regular stream must survive.
@@ -131,10 +131,10 @@ proptest! {
     #[test]
     fn synthesis_is_deterministic(spec in loop_spec(), seed in 0u64..1000) {
         let p = build_program(&spec);
-        let profile = profile_program(&p, u64::MAX);
+        let profile = profile_program(&p, u64::MAX).unwrap();
         let params = SynthesisParams { seed, ..SynthesisParams::default() };
-        let a = Cloner::with_params(params).clone_program_from(&profile);
-        let b = Cloner::with_params(params).clone_program_from(&profile);
+        let a = Cloner::with_params(params).clone_program_from(&profile).unwrap();
+        let b = Cloner::with_params(params).clone_program_from(&profile).unwrap();
         prop_assert_eq!(a.instrs(), b.instrs());
         prop_assert_eq!(a.streams(), b.streams());
     }
@@ -153,10 +153,10 @@ fn constant_address_stream_clones_as_stride_zero() {
         branch_mod: 2,
     };
     let p = build_program(&spec);
-    let profile = profile_program(&p, u64::MAX);
+    let profile = profile_program(&p, u64::MAX).unwrap();
     let s = profile.streams.iter().find(|s| s.execs > 8).expect("the loop's load is profiled");
     assert_eq!(s.dominant_stride, 0);
     assert_eq!(s.min_addr, s.max_addr);
-    let clone = Cloner::new().clone_program_from(&profile);
+    let clone = Cloner::new().clone_program_from(&profile).unwrap();
     assert!(clone.streams().iter().any(|d| d.stride == 0), "constant walker missing");
 }

@@ -13,7 +13,7 @@ use perfclone::experiments::{
 use perfclone::suite::{suite_mark, suite_mark_par, Suite};
 use perfclone::{
     base_config, cache_sweep, derive_cell_seed, sweep_trace, AddressTrace, CacheConfig, Cloner,
-    MachineConfig, SynthesisParams, TimingResult, WorkloadCache, WorkloadProfile,
+    Gate, MachineConfig, SynthesisParams, TimingResult, WorkloadCache, WorkloadProfile,
 };
 use perfclone_isa::Program;
 use perfclone_kernels::{catalog, Scale};
@@ -56,19 +56,20 @@ fn uarch_run_par_matches_serial_at_every_width() {
 #[test]
 fn core_parallel_drivers_are_bit_identical_to_serial() {
     let (name, program) = tiny_program(1);
-    let clone = Cloner::new().clone_program(&program, u64::MAX).clone;
+    let clone = Cloner::new().clone_program(&program, u64::MAX).expect("clone").clone;
     let configs = cache_sweep();
 
     let serial = cache_sweep_pair(&program, &clone, &configs, u64::MAX);
-    let serial_design = design_change_sweep(&program, &clone, &base_config(), u64::MAX);
+    let serial_design = design_change_sweep(&program, &clone, &base_config(), u64::MAX).unwrap();
     for jobs in [1, 4] {
         let pool = rayon::ThreadPoolBuilder::new().num_threads(jobs).build().unwrap();
         let par = pool.install(|| cache_sweep_pair_par(&program, &clone, &configs, u64::MAX));
         assert_eq!(serial.real_mpi, par.real_mpi, "{name}: real MPI, jobs={jobs}");
         assert_eq!(serial.synth_mpi, par.synth_mpi, "{name}: clone MPI, jobs={jobs}");
 
-        let par_design =
-            pool.install(|| design_change_sweep_par(&program, &clone, &base_config(), u64::MAX));
+        let par_design = pool
+            .install(|| design_change_sweep_par(&program, &clone, &base_config(), u64::MAX))
+            .unwrap();
         assert_eq!(serial_design.base_real.report.cycles, par_design.base_real.report.cycles);
         for (s, p) in serial_design.changes.iter().zip(&par_design.changes) {
             assert_eq!(s.real.report.cycles, p.real.report.cycles, "jobs={jobs}");
@@ -89,7 +90,7 @@ fn core_parallel_drivers_are_bit_identical_to_serial() {
 fn suite_pipeline_is_deterministic_across_thread_counts_and_runs() {
     let mut suite = Suite::new("integration");
     for (index, kernel) in catalog().iter().take(3).enumerate() {
-        suite.push(kernel.build(Scale::Tiny).program, 1.0 + index as f64);
+        suite.push(kernel.build(Scale::Tiny).program, 1.0 + index as f64).unwrap();
     }
     let cloner = Cloner::new();
     let root = 0xD15EA5E;
@@ -97,9 +98,9 @@ fn suite_pipeline_is_deterministic_across_thread_counts_and_runs() {
     let render = |jobs: usize, root_seed: u64| {
         let pool = rayon::ThreadPoolBuilder::new().num_threads(jobs).build().unwrap();
         pool.install(|| {
-            let clones = suite.clone_suite_par(&cloner, root_seed);
-            let mark = suite_mark(&clones, &base_config(), u64::MAX);
-            let mark_par = suite_mark_par(&clones, &base_config(), u64::MAX);
+            let clones = suite.clone_suite_par(&cloner, root_seed, &Gate::default()).unwrap();
+            let mark = suite_mark(&clones, &base_config(), u64::MAX).unwrap();
+            let mark_par = suite_mark_par(&clones, &base_config(), u64::MAX).unwrap();
             assert_eq!(mark.ipc_mark.to_bits(), mark_par.ipc_mark.to_bits());
             assert_eq!(mark.power_mark.to_bits(), mark_par.power_mark.to_bits());
             let members: Vec<String> =
@@ -123,7 +124,7 @@ fn workload_cache_is_shared_across_a_parallel_sweep() {
     let configs = cache_sweep();
 
     let profiles: Vec<Arc<WorkloadProfile>> =
-        configs.par_iter().map(|_| cache.profile(name, &program, u64::MAX)).collect();
+        configs.par_iter().map(|_| cache.profile(name, &program, u64::MAX).unwrap()).collect();
     let first = &profiles[0];
     assert!(profiles.iter().all(|p| Arc::ptr_eq(first, p)));
 
@@ -134,24 +135,30 @@ fn workload_cache_is_shared_across_a_parallel_sweep() {
     // Clones drawn through the cache are keyed by their synthesis params:
     // per-cell seeds derived from distinct cells yield distinct clones.
     let base = SynthesisParams::default();
-    let a = cache.clone_program(
-        name,
-        &program,
-        u64::MAX,
-        &SynthesisParams { seed: derive_cell_seed(7, name, 0), ..base },
-    );
-    let b = cache.clone_program(
-        name,
-        &program,
-        u64::MAX,
-        &SynthesisParams { seed: derive_cell_seed(7, name, 1), ..base },
-    );
-    let a_again = cache.clone_program(
-        name,
-        &program,
-        u64::MAX,
-        &SynthesisParams { seed: derive_cell_seed(7, name, 0), ..base },
-    );
+    let a = cache
+        .clone_program(
+            name,
+            &program,
+            u64::MAX,
+            &SynthesisParams { seed: derive_cell_seed(7, name, 0), ..base },
+        )
+        .unwrap();
+    let b = cache
+        .clone_program(
+            name,
+            &program,
+            u64::MAX,
+            &SynthesisParams { seed: derive_cell_seed(7, name, 1), ..base },
+        )
+        .unwrap();
+    let a_again = cache
+        .clone_program(
+            name,
+            &program,
+            u64::MAX,
+            &SynthesisParams { seed: derive_cell_seed(7, name, 0), ..base },
+        )
+        .unwrap();
     assert!(Arc::ptr_eq(&a, &a_again));
     assert!(!Arc::ptr_eq(&a, &b));
 }

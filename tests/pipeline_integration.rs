@@ -7,12 +7,12 @@ use perfclone_sim::Simulator;
 
 fn clone_of(name: &str) -> (perfclone_isa::Program, perfclone_isa::Program) {
     let app = by_name(name).expect("kernel exists").build(Scale::Tiny).program;
-    let profile = profile_program(&app, u64::MAX);
+    let profile = profile_program(&app, u64::MAX).expect("profile");
     let params = SynthesisParams {
         target_dynamic: profile.total_instrs.clamp(50_000, 500_000),
         ..SynthesisParams::default()
     };
-    let clone = Cloner::with_params(params).clone_program_from(&profile);
+    let clone = Cloner::with_params(params).clone_program_from(&profile).expect("synthesize");
     (app, clone)
 }
 
@@ -22,7 +22,7 @@ fn one_kernel_per_domain_clones_within_tolerance() {
     // (the bench harness measures the real numbers at Small scale).
     for name in ["bitcount", "dijkstra", "sha", "crc32", "stringsearch", "jpeg_dec", "epic"] {
         let (app, clone) = clone_of(name);
-        let cmp = validate_pair(&app, &clone, &base_config(), u64::MAX);
+        let cmp = validate_pair(&app, &clone, &base_config(), u64::MAX).expect("validate");
         assert!(
             cmp.ipc_error() < 0.35,
             "{name}: IPC error {:.3} (real {:.3} clone {:.3})",
@@ -47,7 +47,7 @@ fn clone_tracks_cache_sweep_for_regular_kernels() {
 #[test]
 fn profile_round_trips_through_json() {
     let app = by_name("gsm").expect("kernel exists").build(Scale::Tiny).program;
-    let profile = profile_program(&app, u64::MAX);
+    let profile = profile_program(&app, u64::MAX).expect("profile");
     let json = profile.to_json().expect("serializes");
     let back = WorkloadProfile::from_json(&json).expect("parses");
     assert_eq!(back.total_instrs, profile.total_instrs);
@@ -56,8 +56,8 @@ fn profile_round_trips_through_json() {
     assert_eq!(back.branches.len(), profile.branches.len());
     // Synthesis from the round-tripped profile is identical.
     let params = SynthesisParams::default();
-    let a = Cloner::with_params(params).clone_program_from(&profile);
-    let b = Cloner::with_params(params).clone_program_from(&back);
+    let a = Cloner::with_params(params).clone_program_from(&profile).expect("synthesize");
+    let b = Cloner::with_params(params).clone_program_from(&back).expect("synthesize");
     assert_eq!(a.instrs(), b.instrs());
 }
 
@@ -88,9 +88,9 @@ fn all_23_kernels_verify_and_clone_runs() {
             "{} checksum mismatch",
             kernel.name()
         );
-        let profile = profile_program(&build.program, u64::MAX);
+        let profile = profile_program(&build.program, u64::MAX).expect("profile");
         let params = SynthesisParams { target_dynamic: 30_000, ..SynthesisParams::default() };
-        let clone = Cloner::with_params(params).clone_program_from(&profile);
+        let clone = Cloner::with_params(params).clone_program_from(&profile).expect("synthesize");
         let mut csim = Simulator::new(&clone);
         assert!(
             csim.run(10_000_000).expect("clone runs").halted,

@@ -10,14 +10,14 @@ use perfclone_uarch::Pipeline;
 
 fn profile_of(name: &str) -> WorkloadProfile {
     let p = by_name(name).expect("kernel exists").build(Scale::Tiny).program;
-    profile_program(&p, u64::MAX)
+    profile_program(&p, u64::MAX).expect("profile")
 }
 
 #[test]
 fn traces_preserve_mix_across_domains() {
     for name in ["bitcount", "crc32", "lame", "dijkstra"] {
         let profile = profile_of(name);
-        let trace = synth_trace(&profile, &TraceParams { length: 40_000, seed: 5 });
+        let trace = synth_trace(&profile, &TraceParams { length: 40_000, seed: 5 }).expect("trace");
         let mut counts = [0u64; 10];
         for d in &trace {
             counts[d.instr.class().index()] += 1;
@@ -41,7 +41,7 @@ fn trace_addresses_come_from_stream_walkers() {
     // lands in a walker region, and the dominant inter-access delta of
     // the densest region matches a profiled stride.
     let profile = profile_of("crc32");
-    let trace = synth_trace(&profile, &TraceParams { length: 60_000, seed: 6 });
+    let trace = synth_trace(&profile, &TraceParams { length: 60_000, seed: 6 }).expect("trace");
     use std::collections::HashMap;
     // Walkers interleave in the trace; separate accesses by 8 KiB region
     // (crc32's two walkers land in different regions) and check the
@@ -75,8 +75,8 @@ fn statsim_tracks_a_design_change_direction() {
     // predictors, so use crc32's biased loop branches.)
     let name = "crc32";
     let program = by_name(name).expect("kernel exists").build(Scale::Tiny).program;
-    let profile = profile_program(&program, u64::MAX);
-    let trace = synth_trace(&profile, &TraceParams { length: 80_000, seed: 7 });
+    let profile = profile_program(&program, u64::MAX).expect("profile");
+    let trace = synth_trace(&profile, &TraceParams { length: 80_000, seed: 7 }).expect("trace");
     let base = base_config();
     let nt = perfclone_uarch::config::change_not_taken_predictor();
 

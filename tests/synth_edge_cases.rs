@@ -6,7 +6,7 @@ use perfclone_repro::prelude::*;
 use perfclone_sim::Simulator;
 
 fn run_clone(profile: &WorkloadProfile, params: SynthesisParams) -> u64 {
-    let clone = Cloner::with_params(params).clone_program_from(profile);
+    let clone = Cloner::with_params(params).clone_program_from(profile).expect("synthesize");
     let mut sim = Simulator::new(&clone);
     let out = sim.run(50_000_000).expect("clone must not fault");
     assert!(out.halted, "clone did not halt");
@@ -21,7 +21,7 @@ fn straight_line_program_clones() {
         b.addi(Reg::new(1), Reg::new(1), i);
     }
     b.halt();
-    let profile = profile_program(&b.build(), u64::MAX);
+    let profile = profile_program(&b.build(), u64::MAX).expect("profile");
     let retired = run_clone(
         &profile,
         SynthesisParams { target_dynamic: 5_000, ..SynthesisParams::default() },
@@ -49,7 +49,7 @@ fn branch_only_program_clones() {
     b.addi(i, i, 1);
     b.blt(i, n, top);
     b.halt();
-    let profile = profile_program(&b.build(), u64::MAX);
+    let profile = profile_program(&b.build(), u64::MAX).expect("profile");
     run_clone(&profile, SynthesisParams { target_dynamic: 10_000, ..Default::default() });
 }
 
@@ -70,9 +70,9 @@ fn memory_only_program_clones() {
     b.blt(i, n, top);
     b.halt();
     let program = b.build();
-    let profile = profile_program(&program, u64::MAX);
+    let profile = profile_program(&program, u64::MAX).expect("profile");
     // Negative-stride streams must survive into the clone's stream table.
-    let clone = Cloner::new().clone_program_from(&profile);
+    let clone = Cloner::new().clone_program_from(&profile).expect("synthesize");
     assert!(clone.streams().iter().any(|s| s.stride < 0), "negative stride lost");
     run_clone(&profile, SynthesisParams { target_dynamic: 20_000, ..Default::default() });
 }
@@ -83,7 +83,7 @@ fn tiny_dynamic_target_still_halts() {
         .expect("kernel")
         .build(perfclone_kernels::Scale::Tiny)
         .program;
-    let profile = profile_program(&app, u64::MAX);
+    let profile = profile_program(&app, u64::MAX).expect("profile");
     // target smaller than one loop iteration: must clamp to >= 1 iteration.
     let retired =
         run_clone(&profile, SynthesisParams { target_dynamic: 10, ..SynthesisParams::default() });
@@ -96,19 +96,21 @@ fn explicit_block_count_is_honored() {
         .expect("kernel")
         .build(perfclone_kernels::Scale::Tiny)
         .program;
-    let profile = profile_program(&app, u64::MAX);
+    let profile = profile_program(&app, u64::MAX).expect("profile");
     let small = Cloner::with_params(SynthesisParams {
         target_blocks: 10,
         target_dynamic: 10_000,
         ..Default::default()
     })
-    .clone_program_from(&profile);
+    .clone_program_from(&profile)
+    .expect("synthesize");
     let large = Cloner::with_params(SynthesisParams {
         target_blocks: 200,
         target_dynamic: 10_000,
         ..Default::default()
     })
-    .clone_program_from(&profile);
+    .clone_program_from(&profile)
+    .expect("synthesize");
     assert!(large.len() > small.len(), "{} vs {}", large.len(), small.len());
 }
 
@@ -118,11 +120,13 @@ fn seeds_change_code_but_not_semantics() {
         .expect("kernel")
         .build(perfclone_kernels::Scale::Tiny)
         .program;
-    let profile = profile_program(&app, u64::MAX);
+    let profile = profile_program(&app, u64::MAX).expect("profile");
     let a = Cloner::with_params(SynthesisParams { seed: 1, ..Default::default() })
-        .clone_program_from(&profile);
+        .clone_program_from(&profile)
+        .expect("synthesize");
     let b = Cloner::with_params(SynthesisParams { seed: 2, ..Default::default() })
-        .clone_program_from(&profile);
+        .clone_program_from(&profile)
+        .expect("synthesize");
     assert_ne!(a.instrs(), b.instrs(), "different seeds must differ");
     for clone in [&a, &b] {
         let mut sim = Simulator::new(clone);
@@ -136,7 +140,7 @@ fn emitted_c_scales_with_program() {
         .expect("kernel")
         .build(perfclone_kernels::Scale::Tiny)
         .program;
-    let outcome = Cloner::new().clone_program(&app, u64::MAX);
+    let outcome = Cloner::new().clone_program(&app, u64::MAX).expect("clone");
     let c = emit_c(&outcome.clone);
     // One asm line per non-halt instruction plus the malloc preamble.
     assert!(c.matches("asm volatile").count() >= outcome.clone.len() - 1);
