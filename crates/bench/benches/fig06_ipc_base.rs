@@ -3,7 +3,7 @@
 //! absolute IPC error of 8.73 %.
 
 use perfclone::{base_config, run_timing, Table};
-use perfclone_bench::{mean, prepare_all};
+use perfclone_bench::{emit_run_report, mean, prepare_all};
 
 fn main() {
     let config = base_config();
@@ -14,12 +14,14 @@ fn main() {
         "abs error".into(),
     ]);
     let mut errors = Vec::new();
+    let mut metrics = Vec::new();
     for bench in prepare_all() {
         let real = run_timing(&bench.program, &config, u64::MAX).expect("timing");
         let synth = run_timing(&bench.clone, &config, u64::MAX).expect("timing");
         let (ri, si) = (real.report.ipc(), synth.report.ipc());
         let err = ((si - ri) / ri).abs();
         errors.push(err);
+        metrics.push((format!("fig06.ipc.err.{}", bench.kernel.name()), err));
         table.row(vec![
             bench.kernel.name().into(),
             format!("{ri:.3}"),
@@ -36,4 +38,6 @@ fn main() {
     println!("\nFigure 6 — IPC on the base configuration, real vs synthetic clone\n");
     println!("{}", table.render());
     println!("(paper: average absolute IPC error 8.73%)");
+    metrics.push(("fig06.ipc.err.mean".into(), mean(&errors)));
+    emit_run_report("bench.fig06", "suite", &metrics);
 }

@@ -4,7 +4,7 @@
 //! 6.44 %.
 
 use perfclone::{base_config, run_timing, Table};
-use perfclone_bench::{mean, prepare_all};
+use perfclone_bench::{emit_run_report, mean, prepare_all};
 
 fn main() {
     let config = base_config();
@@ -15,12 +15,14 @@ fn main() {
         "abs error".into(),
     ]);
     let mut errors = Vec::new();
+    let mut metrics = Vec::new();
     for bench in prepare_all() {
         let real = run_timing(&bench.program, &config, u64::MAX).expect("timing");
         let synth = run_timing(&bench.clone, &config, u64::MAX).expect("timing");
         let (rp, sp) = (real.power.average_power, synth.power.average_power);
         let err = ((sp - rp) / rp).abs();
         errors.push(err);
+        metrics.push((format!("fig07.power.err.{}", bench.kernel.name()), err));
         table.row(vec![
             bench.kernel.name().into(),
             format!("{rp:.2}"),
@@ -37,4 +39,6 @@ fn main() {
     println!("\nFigure 7 — power on the base configuration, real vs synthetic clone\n");
     println!("{}", table.render());
     println!("(paper: average absolute power error 6.44%)");
+    metrics.push(("fig07.power.err.mean".into(), mean(&errors)));
+    emit_run_report("bench.fig07", "suite", &metrics);
 }

@@ -1,0 +1,66 @@
+//! Telemetry overhead gate: the susan 28-config L1 D-cache sweep (the
+//! hottest instrumented path — trace extraction plus the single-pass
+//! stack-distance engine) timed with the registry enabled versus disabled
+//! at runtime. The instrumentation batches its publishes once per stage,
+//! so the acceptance bound is < 3 % overhead; the measured numbers are
+//! recorded in EXPERIMENTS.md ("Telemetry overhead").
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use perfclone_kernels::{by_name, Scale};
+use perfclone_uarch::{cache_sweep, sweep_dcache};
+
+const KERNEL: &str = "susan";
+
+fn bench_enabled_vs_disabled(c: &mut Criterion) {
+    let program = by_name(KERNEL).expect("kernel exists").build(Scale::Small).program;
+    let configs = cache_sweep();
+
+    perfclone_obs::set_enabled(true);
+    let on = sweep_dcache(&program, &configs, u64::MAX);
+    perfclone_obs::set_enabled(false);
+    let off = sweep_dcache(&program, &configs, u64::MAX);
+    assert_eq!(on, off, "telemetry must not change sweep results");
+    perfclone_obs::set_enabled(true);
+
+    let mut group = c.benchmark_group(format!("obs_overhead/{KERNEL}"));
+    group.sample_size(10);
+    group.bench_function("sweep28_telemetry_on", |b| {
+        perfclone_obs::set_enabled(true);
+        b.iter(|| sweep_dcache(&program, &configs, u64::MAX))
+    });
+    group.bench_function("sweep28_telemetry_off", |b| {
+        perfclone_obs::set_enabled(false);
+        b.iter(|| sweep_dcache(&program, &configs, u64::MAX))
+    });
+    group.finish();
+
+    // Headline number: best-of-3 each way, printed for EXPERIMENTS.md and
+    // CI logs. Best-of damps scheduler noise on shared runners.
+    let time_best = |enabled: bool| -> f64 {
+        perfclone_obs::set_enabled(enabled);
+        (0..3)
+            .map(|_| {
+                let t = Instant::now();
+                let _ = sweep_dcache(&program, &configs, u64::MAX);
+                t.elapsed().as_secs_f64()
+            })
+            .fold(f64::INFINITY, f64::min)
+    };
+    let on_s = time_best(true);
+    let off_s = time_best(false);
+    perfclone_obs::set_enabled(true);
+    let overhead = (on_s - off_s) / off_s * 100.0;
+    println!(
+        "\n{KERNEL}: 28-config sweep  telemetry-on {on_s:.3}s  telemetry-off {off_s:.3}s  \
+         overhead {overhead:+.2}%  (acceptance: < 3%)"
+    );
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_enabled_vs_disabled
+}
+criterion_main!(benches);

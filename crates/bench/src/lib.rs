@@ -15,7 +15,9 @@
 //! * `PERFCLONE_JOBS` — worker threads for the parallel experiment paths
 //!   (default: all cores; results are identical at any thread count),
 //! * `PERFCLONE_SEED` — root seed from which each kernel's synthesis seed
-//!   is derived (default: the synthesizer's default seed).
+//!   is derived (default: the synthesizer's default seed),
+//! * `PERFCLONE_REPORT` — destination for a machine-readable [`RunReport`]
+//!   of the experiment (`-` = stdout); same schema as the CLI's `--report`.
 
 use perfclone::{
     derive_cell_seed, run_timing, Cloner, MachineConfig, SynthesisParams, TimingResult,
@@ -23,6 +25,7 @@ use perfclone::{
 };
 use perfclone_isa::Program;
 use perfclone_kernels::{catalog, Kernel, Scale};
+use perfclone_obs::{Metric, RunReport};
 
 /// One prepared benchmark: the original program, its profile, and its
 /// synthesized clone.
@@ -171,6 +174,30 @@ pub fn grid_timing_par(
         .chunks_exact(4)
         .map(|c| [c[0].clone(), c[1].clone(), c[2].clone(), c[3].clone()])
         .collect()
+}
+
+/// Emits this experiment's [`RunReport`] when `PERFCLONE_REPORT` names a
+/// destination (`-` = stdout): the current telemetry snapshot plus the
+/// experiment's headline numbers as metric rows. Benches and the CLI
+/// share one schema, so the same tooling consumes both. A missing or
+/// empty variable is a no-op; write failures are reported to stderr
+/// rather than failing the experiment.
+pub fn emit_run_report(command: &str, workload: &str, metrics: &[(String, f64)]) {
+    let dest = match std::env::var("PERFCLONE_REPORT") {
+        Ok(d) if !d.trim().is_empty() => d,
+        _ => return,
+    };
+    let mut report = RunReport::from_snapshot(command, workload, perfclone_obs::snapshot());
+    report.metrics =
+        metrics.iter().map(|(name, value)| Metric { name: name.clone(), value: *value }).collect();
+    match report.to_json() {
+        Ok(json) if dest == "-" => println!("{json}"),
+        Ok(json) => match std::fs::write(&dest, &json) {
+            Ok(()) => eprintln!("run report -> {dest}"),
+            Err(e) => eprintln!("perfclone-bench: cannot write {dest}: {e}"),
+        },
+        Err(e) => eprintln!("perfclone-bench: cannot serialize run report: {e}"),
+    }
 }
 
 /// Geometric-free arithmetic mean helper.

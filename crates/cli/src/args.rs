@@ -12,8 +12,18 @@ pub struct Parsed {
 
 /// Option keys that take a value; everything else starting with `-` is a
 /// bare flag.
-const VALUED: &[&str] =
-    &["-o", "--out", "--asm", "--scale", "--seed", "--dynamic", "--config", "-j", "--jobs"];
+const VALUED: &[&str] = &[
+    "-o",
+    "--out",
+    "--asm",
+    "--scale",
+    "--seed",
+    "--dynamic",
+    "--config",
+    "-j",
+    "--jobs",
+    "--report",
+];
 
 /// Splits `argv` into positionals and options.
 ///
@@ -79,6 +89,13 @@ impl Parsed {
     /// downgraded to warnings instead of aborting the command.
     pub fn allow_degraded(&self) -> bool {
         self.opt(&["--allow-degraded"]).is_some()
+    }
+
+    /// Destination of the machine-readable run report selected by
+    /// `--report` (`-` streams the JSON to stdout), or `None` when no
+    /// report was requested.
+    pub fn report_dest(&self) -> Option<&str> {
+        self.opt(&["--report"])
     }
 
     /// Returns the input scale selected by `--scale` (default small).
@@ -147,6 +164,17 @@ mod tests {
         assert!(p.allow_degraded());
         let q = parse(&argv(&["validate", "crc32"])).unwrap();
         assert!(!q.allow_degraded());
+    }
+
+    #[test]
+    fn report_destination() {
+        let p = parse(&argv(&["clone", "crc32", "--report", "out.json"])).unwrap();
+        assert_eq!(p.report_dest(), Some("out.json"));
+        let q = parse(&argv(&["clone", "crc32", "--report", "-"])).unwrap();
+        assert_eq!(q.report_dest(), Some("-"));
+        let r = parse(&argv(&["clone", "crc32"])).unwrap();
+        assert_eq!(r.report_dest(), None);
+        assert!(parse(&argv(&["clone", "crc32", "--report"])).is_err());
     }
 
     #[test]

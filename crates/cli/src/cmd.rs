@@ -1,11 +1,15 @@
 //! Subcommand implementations.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
 use perfclone::experiments::cache_sweep_pair_par;
 use perfclone::{
     base_config, cache_sweep, run_timing, validate_pair, Cloner, Fault, FaultPlan, Gate,
-    SynthesisParams, Table, Verdict, WorkloadProfile,
+    SynthesisParams, Table, ValidationReport, Verdict, WorkloadCache, WorkloadProfile,
 };
 use perfclone_isa::Program;
+use perfclone_obs::{GateAttribute, Metric, RunReport, SweepStats};
 use perfclone_uarch::{design_changes, MachineConfig};
 
 use crate::args::{parse, Parsed};
@@ -18,10 +22,12 @@ USAGE:
   perfclone configs                               list machine configurations
   perfclone profile <kernel> [opts]               profile to JSON
   perfclone synth <profile.json> [opts]           synthesize a clone
+  perfclone clone <kernel> [opts]                 profile + synth + gate
   perfclone validate <kernel> [opts]              clone + side-by-side timing
   perfclone sweep <kernel> [opts]                 28-config cache sweep
   perfclone disasm <kernel> [opts]                disassemble a kernel
-  perfclone report <kernel> [opts]                characterization report
+  perfclone report <kernel|report.json> [opts]    characterization report, or
+                                                  pretty-print a saved run report
   perfclone statsim <kernel> [opts]               statistical-simulation IPC
   perfclone selfcheck [kernel...] [opts]          fault-injection self-check
 
@@ -34,9 +40,109 @@ OPTIONS:
   --config NAME           machine config for validate (default base)
   --allow-degraded        downgrade fidelity-gate failures to warnings
                           (validate still prints the full report)
+  --report FILE|-         write a machine-readable run report (stage
+                          timings, cache hit rates, gate distances) as
+                          JSON; `-` streams it to stdout and moves the
+                          human output to stderr
   -j, --jobs N            worker threads for sweeps (default: all cores;
                           results are identical at any thread count)
 ";
+
+/// When set, human-readable output goes to stderr so `--report -` can own
+/// stdout for the JSON document.
+static HUMAN_TO_STDERR: AtomicBool = AtomicBool::new(false);
+
+/// Prints human-readable command output — to stdout normally, to stderr
+/// while `--report -` owns stdout.
+macro_rules! say {
+    ($($t:tt)*) => {{
+        if HUMAN_TO_STDERR.load(Ordering::Relaxed) {
+            eprintln!($($t)*);
+        } else {
+            println!($($t)*);
+        }
+    }};
+}
+
+/// Structured results the subcommands contribute to a pending `--report`
+/// document: rows the telemetry registry cannot derive on its own.
+#[derive(Default)]
+struct ReportExtras {
+    workload: Option<String>,
+    gate: Vec<GateAttribute>,
+    sweep: Option<SweepStats>,
+    metrics: Vec<Metric>,
+}
+
+/// Pending report extras; `Some` only while a `--report` run is active.
+static EXTRAS: Mutex<Option<ReportExtras>> = Mutex::new(None);
+
+fn extras_lock() -> std::sync::MutexGuard<'static, Option<ReportExtras>> {
+    match EXTRAS.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+fn note_workload(name: &str) {
+    if let Some(e) = extras_lock().as_mut() {
+        e.workload = Some(name.to_string());
+    }
+}
+
+fn note_gate(report: &ValidationReport) {
+    if let Some(e) = extras_lock().as_mut() {
+        e.gate = report
+            .attributes
+            .iter()
+            .map(|a| GateAttribute {
+                attribute: a.attribute.label().to_string(),
+                delta: a.delta,
+                warn_at: a.warn_at,
+                fail_at: a.fail_at,
+                verdict: a.verdict.label().to_string(),
+            })
+            .collect();
+    }
+}
+
+fn note_sweep(configs: u64, wall_ns: u64, instrs: u64) {
+    if let Some(e) = extras_lock().as_mut() {
+        let secs = (wall_ns as f64 / 1e9).max(1e-9);
+        e.sweep = Some(SweepStats {
+            configs,
+            wall_ns,
+            configs_per_sec: configs as f64 / secs,
+            instrs,
+            instrs_per_sec: instrs as f64 / secs,
+        });
+    }
+}
+
+fn note_metric(name: &str, value: f64) {
+    if let Some(e) = extras_lock().as_mut() {
+        e.metrics.push(Metric { name: name.to_string(), value });
+    }
+}
+
+/// Assembles the run report from the telemetry snapshot plus whatever the
+/// subcommand contributed, and writes it to `dest` (`-` = stdout).
+fn write_report(cmd: &str, dest: &str) -> Result<(), String> {
+    let extras = extras_lock().take().unwrap_or_default();
+    let workload = extras.workload.unwrap_or_else(|| "-".to_string());
+    let mut report = RunReport::from_snapshot(cmd, &workload, perfclone_obs::snapshot());
+    report.gate = extras.gate;
+    report.sweep = extras.sweep;
+    report.metrics = extras.metrics;
+    let json = report.to_json().map_err(|e| format!("serializing report: {e}"))?;
+    if dest == "-" {
+        println!("{json}");
+    } else {
+        std::fs::write(dest, &json).map_err(|e| format!("writing {dest}: {e}"))?;
+        say!("run report -> {dest}");
+    }
+    Ok(())
+}
 
 /// Dispatches a parsed command line.
 ///
@@ -50,21 +156,30 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         return Ok(());
     };
     let rest = parse(&argv[1..])?;
+    let report_dest = rest.report_dest().map(str::to_string);
+    if report_dest.is_some() {
+        // Start the report from a clean registry so the document covers
+        // exactly this command.
+        perfclone_obs::reset();
+        *extras_lock() = Some(ReportExtras::default());
+        HUMAN_TO_STDERR.store(report_dest.as_deref() == Some("-"), Ordering::Relaxed);
+    }
     // Make `--jobs` the ambient parallelism for whatever the subcommand
     // fans out (currently the cache sweeps).
     let pool = rayon::ThreadPoolBuilder::new()
         .num_threads(rest.jobs()?)
         .build()
         .map_err(|e| format!("building thread pool: {e}"))?;
-    pool.install(|| match cmd {
+    let result = pool.install(|| match cmd {
         "help" | "--help" | "-h" => {
-            println!("{USAGE}");
+            say!("{USAGE}");
             Ok(())
         }
         "list" => list(),
         "configs" => configs(),
         "profile" => profile(&rest),
         "synth" => synth(&rest),
+        "clone" => clone_kernel(&rest),
         "validate" => validate(&rest),
         "sweep" => sweep(&rest),
         "disasm" => disasm(&rest),
@@ -72,14 +187,45 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "statsim" => statsim(&rest),
         "selfcheck" => selfcheck(&rest),
         other => Err(format!("unknown command {other:?}")),
-    })
+    });
+    if let Some(dest) = report_dest {
+        let write_result = result.and_then(|()| write_report(cmd, &dest));
+        HUMAN_TO_STDERR.store(false, Ordering::Relaxed);
+        *extras_lock() = None;
+        return write_result;
+    }
+    result
 }
 
 fn kernel_program(parsed: &Parsed, pos: usize) -> Result<(String, Program), String> {
     let name = parsed.positional.get(pos).ok_or_else(|| "missing kernel name".to_string())?;
     let kernel = perfclone_kernels::by_name(name)
         .ok_or_else(|| format!("unknown kernel {name:?} (see `perfclone list`)"))?;
+    note_workload(name);
     Ok((name.clone(), kernel.build(parsed.scale()?).program))
+}
+
+/// Renders the per-stage wall-time footer `validate` / `selfcheck` /
+/// `clone` print: every duration comes from the span registry, so a
+/// `--jobs N` run reports the same stages (with pool fan-out folded into
+/// the driving span) at any thread count.
+fn stage_footer() -> Option<String> {
+    let snap = perfclone_obs::snapshot();
+    if snap.spans.is_empty() {
+        return None;
+    }
+    let stages = RunReport::from_snapshot("", "", snap).stages;
+    let parts: Vec<String> = stages
+        .iter()
+        .map(|s| {
+            if s.calls == 1 {
+                format!("{} {}", s.name, perfclone_obs::fmt_ns(s.total_ns))
+            } else {
+                format!("{} {} ({} calls)", s.name, perfclone_obs::fmt_ns(s.total_ns), s.calls)
+            }
+        })
+        .collect();
+    Some(format!("stage timings: {}", parts.join(" · ")))
 }
 
 fn list() -> Result<(), String> {
@@ -89,7 +235,7 @@ fn list() -> Result<(), String> {
         let tag = if i < paper { "paper (Table 1)" } else { "extended" };
         t.row(vec![k.name().into(), k.domain().to_string(), tag.into()]);
     }
-    println!("{}", t.render());
+    say!("{}", t.render());
     Ok(())
 }
 
@@ -101,7 +247,7 @@ fn all_configs() -> Vec<MachineConfig> {
 
 fn configs() -> Result<(), String> {
     for c in all_configs() {
-        println!("{c}");
+        say!("{c}");
     }
     Ok(())
 }
@@ -112,7 +258,7 @@ fn profile(parsed: &Parsed) -> Result<(), String> {
     let json = profile.to_json().map_err(|e| e.to_string())?;
     let out = parsed.opt(&["-o", "--out"]).map(str::to_string).unwrap_or(format!("{name}.json"));
     std::fs::write(&out, &json).map_err(|e| format!("writing {out}: {e}"))?;
-    println!(
+    say!(
         "profiled {name}: {} instrs, {} SFG nodes, {} streams, {} branches -> {out}",
         profile.total_instrs,
         profile.nodes.len(),
@@ -147,7 +293,7 @@ fn synth(parsed: &Parsed) -> Result<(), String> {
         parsed.opt(&["-o", "--out"]).map(str::to_string).unwrap_or(format!("{}.c", profile.name));
     std::fs::write(&c_out, perfclone::emit_c(&clone))
         .map_err(|e| format!("writing {c_out}: {e}"))?;
-    println!(
+    say!(
         "synthesized {}: {} static instrs, {} streams -> {c_out}",
         clone.name(),
         clone.len(),
@@ -156,12 +302,13 @@ fn synth(parsed: &Parsed) -> Result<(), String> {
     if let Some(asm) = parsed.opt(&["--asm"]) {
         std::fs::write(asm, perfclone_isa::disasm_program(&clone))
             .map_err(|e| format!("writing {asm}: {e}"))?;
-        println!("assembly listing -> {asm}");
+        say!("assembly listing -> {asm}");
     }
     Ok(())
 }
 
 fn validate(parsed: &Parsed) -> Result<(), String> {
+    let span = perfclone_obs::span!("cli.validate");
     let (name, program) = kernel_program(parsed, 0)?;
     let config = match parsed.opt(&["--config"]) {
         None => base_config(),
@@ -179,7 +326,8 @@ fn validate(parsed: &Parsed) -> Result<(), String> {
     // side-by-side timing run.
     let gate = Gate::default();
     let report = gate.report(&profile, &clone).map_err(|e| e.to_string())?;
-    println!("{}", report.render());
+    note_gate(&report);
+    say!("{}", report.render());
     if report.verdict() == Verdict::Fail {
         if parsed.allow_degraded() {
             eprintln!(
@@ -219,7 +367,13 @@ fn validate(parsed: &Parsed) -> Result<(), String> {
         format!("{:.3}", cmp.synth.report.bpred.mispredict_rate()),
         "-".into(),
     ]);
-    println!("{name} on {} :\n\n{}", config.name, t.render());
+    say!("{name} on {} :\n\n{}", config.name, t.render());
+    // Durations come from the span registry (satisfying the same clock as
+    // `--report`), so a `--jobs N` run prints consistent stage times.
+    drop(span);
+    if let Some(footer) = stage_footer() {
+        say!("{footer}");
+    }
     Ok(())
 }
 
@@ -227,6 +381,7 @@ fn sweep(parsed: &Parsed) -> Result<(), String> {
     let (name, program) = kernel_program(parsed, 0)?;
     let profile = perfclone::profile_program(&program, u64::MAX).map_err(|e| e.to_string())?;
     let params = synth_params(parsed, &profile)?;
+    let target_dynamic = params.target_dynamic;
     let clone =
         Cloner::with_params(params).clone_program_from(&profile).map_err(|e| e.to_string())?;
     let mut t = Table::new(vec!["config".into(), "MPI (real)".into(), "MPI (clone)".into()]);
@@ -234,25 +389,81 @@ fn sweep(parsed: &Parsed) -> Result<(), String> {
     // two extractions fan over the installed `--jobs` pool) and all 28
     // configurations are evaluated by one stack-distance pass; the rows
     // come back in configuration order regardless of the thread count.
+    let sweep_span = perfclone_obs::span!("cli.sweep");
+    let start = std::time::Instant::now();
     let cmp = cache_sweep_pair_par(&program, &clone, &cache_sweep(), u64::MAX);
+    let wall_ns = start.elapsed().as_nanos() as u64;
+    drop(sweep_span);
+    let configs = cmp.configs.len() as u64;
+    // Each config re-evaluates both programs' reference streams, so the
+    // sweep "represents" (real + clone) dynamic instructions per config.
+    note_sweep(configs, wall_ns, (profile.total_instrs + target_dynamic) * configs);
     for ((cfg, r), s) in cmp.configs.iter().zip(&cmp.real_mpi).zip(&cmp.synth_mpi) {
         t.row(vec![cfg.to_string(), format!("{r:.5}"), format!("{s:.5}")]);
     }
-    println!("{name} cache sweep:\n\n{}", t.render());
-    println!("pearson r = {:.3}", perfclone::pearson(&cmp.real_mpi, &cmp.synth_mpi));
+    let pearson = perfclone::pearson(&cmp.real_mpi, &cmp.synth_mpi);
+    note_metric("sweep.mpi.pearson", pearson);
+    say!("{name} cache sweep:\n\n{}", t.render());
+    say!("pearson r = {pearson:.3}");
     Ok(())
 }
 
 fn disasm(parsed: &Parsed) -> Result<(), String> {
     let (_, program) = kernel_program(parsed, 0)?;
-    print!("{}", perfclone_isa::disasm_program(&program));
+    say!("{}", perfclone_isa::disasm_program(&program));
     Ok(())
 }
 
 fn report(parsed: &Parsed) -> Result<(), String> {
+    // File-path positional: pretty-print a saved `--report` document.
+    // Kernel name: the workload characterization report, as before.
+    if let Some(arg) = parsed.positional.first() {
+        if std::path::Path::new(arg).is_file() {
+            let json = std::fs::read_to_string(arg).map_err(|e| format!("reading {arg}: {e}"))?;
+            let run = RunReport::from_json(&json).map_err(|e| format!("parsing {arg}: {e}"))?;
+            say!("{}", run.render());
+            return Ok(());
+        }
+    }
     let (_, program) = kernel_program(parsed, 0)?;
     let profile = perfclone::profile_program(&program, u64::MAX).map_err(|e| e.to_string())?;
-    print!("{}", perfclone_profile::render_report(&profile));
+    say!("{}", perfclone_profile::render_report(&profile));
+    Ok(())
+}
+
+/// `perfclone clone <kernel>`: the dissemination flow end-to-end through
+/// the shared [`WorkloadCache`] — profile, synthesize, and judge the clone
+/// with the fidelity gate — optionally emitting the clone as C (`-o`) and
+/// the run report (`--report`).
+fn clone_kernel(parsed: &Parsed) -> Result<(), String> {
+    let span = perfclone_obs::span!("cli.clone");
+    let (name, program) = kernel_program(parsed, 0)?;
+    let cache = WorkloadCache::new();
+    let profile = cache.profile(&name, &program, u64::MAX).map_err(|e| e.to_string())?;
+    let params = synth_params(parsed, &profile)?;
+    // Routes through the cache's clone memo (which re-requests the profile
+    // internally), so `--report` documents real hit rates.
+    let clone =
+        cache.clone_program(&name, &program, u64::MAX, &params).map_err(|e| e.to_string())?;
+    let gate = Gate::default();
+    let report = gate.report(&profile, &clone).map_err(|e| e.to_string())?;
+    note_gate(&report);
+    say!("{}", report.render());
+    if let Some(out) = parsed.opt(&["-o", "--out"]) {
+        std::fs::write(out, perfclone::emit_c(&clone))
+            .map_err(|e| format!("writing {out}: {e}"))?;
+        say!("clone C source -> {out}");
+    }
+    if report.verdict() == Verdict::Fail && !parsed.allow_degraded() {
+        return Err(format!(
+            "{} (rerun with --allow-degraded to continue)",
+            report.failure_summary()
+        ));
+    }
+    drop(span);
+    if let Some(footer) = stage_footer() {
+        say!("{footer}");
+    }
     Ok(())
 }
 
@@ -281,7 +492,7 @@ fn statsim(parsed: &Parsed) -> Result<(), String> {
         format!("{:.4}", real.report.l1d_mpi()),
         format!("{:.4}", synth.l1d_mpi()),
     ]);
-    println!(
+    say!(
         "{name} statistical simulation ({} synthetic instrs):
 
 {}",
@@ -298,6 +509,7 @@ fn statsim(parsed: &Parsed) -> Result<(), String> {
 /// clone whose fidelity-gate verdict against the pristine profile is
 /// reported. Exits nonzero if any fault violates the contract.
 fn selfcheck(parsed: &Parsed) -> Result<(), String> {
+    let span = perfclone_obs::span!("cli.selfcheck");
     let names: Vec<String> = if parsed.positional.is_empty() {
         vec!["crc32".to_string()]
     } else {
@@ -337,9 +549,13 @@ fn selfcheck(parsed: &Parsed) -> Result<(), String> {
             t.row(vec![name.clone(), fault.label().into(), outcome]);
         }
     }
-    println!("{}", t.render());
+    say!("{}", t.render());
+    drop(span);
+    if let Some(footer) = stage_footer() {
+        say!("{footer}");
+    }
     if violations.is_empty() {
-        println!("selfcheck passed: every fault handled without a panic");
+        say!("selfcheck passed: every fault handled without a panic");
         Ok(())
     } else {
         Err(format!("selfcheck failed: {}", violations.join("; ")))
@@ -414,6 +630,74 @@ mod tests {
     fn extended_kernels_are_reachable() {
         run(&["validate", "viterbi", "--scale", "tiny", "--dynamic", "20000"]).unwrap();
         run(&["disasm", "sobel", "--scale", "tiny"]).unwrap();
+    }
+
+    /// `--report` runs reset the process-global telemetry registry and
+    /// share the extras slot, so they serialize on this lock.
+    fn report_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::OnceLock<Mutex<()>> = std::sync::OnceLock::new();
+        match LOCK.get_or_init(|| Mutex::new(())).lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    #[test]
+    fn clone_writes_a_parseable_run_report() {
+        let _g = report_lock();
+        let path = std::env::temp_dir().join("cli_test_clone_report.json");
+        run(&[
+            "clone",
+            "crc32",
+            "--scale",
+            "tiny",
+            "--dynamic",
+            "20000",
+            "--report",
+            path.to_str().unwrap(),
+        ])
+        .unwrap();
+        let json = std::fs::read_to_string(&path).unwrap();
+        let report = RunReport::from_json(&json).unwrap();
+        assert_eq!(report.command, "clone");
+        assert_eq!(report.workload, "crc32");
+        let stage = |n: &str| report.stages.iter().any(|s| s.name == n);
+        assert!(stage("profile.collect"), "stages: {:?}", report.stages);
+        assert!(stage("synth.gen"));
+        assert!(stage("validate.gate"));
+        // The clone memo re-requests the profile, so the profile cache
+        // sees a hit.
+        let profile_cache = report.caches.iter().find(|c| c.name == "profile").unwrap();
+        assert!(profile_cache.lookups > profile_cache.computes);
+        assert_eq!(report.gate.len(), 5, "gate: {:?}", report.gate);
+        assert!(report.gate.iter().all(|a| a.delta.is_finite()));
+        // And the saved document pretty-prints through `perfclone report`.
+        run(&["report", path.to_str().unwrap()]).unwrap();
+    }
+
+    #[test]
+    fn report_to_stdout_and_sweep_stats() {
+        let _g = report_lock();
+        run(&["clone", "crc32", "--scale", "tiny", "--dynamic", "20000", "--report", "-"]).unwrap();
+        let path = std::env::temp_dir().join("cli_test_sweep_report.json");
+        run(&[
+            "sweep",
+            "crc32",
+            "--scale",
+            "tiny",
+            "--dynamic",
+            "20000",
+            "--jobs",
+            "2",
+            "--report",
+            path.to_str().unwrap(),
+        ])
+        .unwrap();
+        let report = RunReport::from_json(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        let sweep = report.sweep.expect("sweep stats populated");
+        assert_eq!(sweep.configs, 28);
+        assert!(sweep.configs_per_sec > 0.0);
+        assert!(report.metrics.iter().any(|m| m.name == "sweep.mpi.pearson"));
     }
 
     #[test]

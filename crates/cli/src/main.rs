@@ -5,11 +5,16 @@
 //! perfclone list
 //! perfclone profile  <kernel> [--scale tiny|small] [-o profile.json]
 //! perfclone synth    <profile.json> [-o clone.c] [--asm clone.s] [--seed N] [--dynamic N]
+//! perfclone clone    <kernel> [--scale tiny|small] [-o clone.c] [--report out.json|-]
 //! perfclone validate <kernel> [--scale tiny|small] [--config NAME]
 //! perfclone sweep    <kernel> [--scale tiny|small]
 //! perfclone disasm   <kernel> [--scale tiny|small]
+//! perfclone report   <kernel|report.json> [--scale tiny|small]
 //! perfclone configs
 //! ```
+//!
+//! Any command accepts `--report FILE|-` to emit a machine-readable
+//! [`RunReport`](perfclone_obs::RunReport) of the run.
 
 use std::process::ExitCode;
 

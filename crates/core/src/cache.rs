@@ -40,14 +40,22 @@ struct Memo<K, V> {
     map: Mutex<HashMap<K, Slot<V>>>,
     lookups: AtomicU64,
     computes: AtomicU64,
+    /// Global registry mirrors (`cache.<name>.lookups` / `.computes`),
+    /// resolved once at construction. The per-instance atomics above stay
+    /// authoritative for [`WorkloadCache::snapshot`]; the mirrors feed
+    /// run reports, which aggregate across every cache in the process.
+    g_lookups: &'static perfclone_obs::Counter,
+    g_computes: &'static perfclone_obs::Counter,
 }
 
 impl<K: Eq + Hash, V> Memo<K, V> {
-    fn new() -> Memo<K, V> {
+    fn new(name: &str) -> Memo<K, V> {
         Memo {
             map: Mutex::new(HashMap::new()),
             lookups: AtomicU64::new(0),
             computes: AtomicU64::new(0),
+            g_lookups: perfclone_obs::counter(&format!("cache.{name}.lookups")),
+            g_computes: perfclone_obs::counter(&format!("cache.{name}.computes")),
         }
     }
 
@@ -57,6 +65,7 @@ impl<K: Eq + Hash, V> Memo<K, V> {
         compute: impl FnOnce() -> Result<V, Error>,
     ) -> Result<Arc<V>, Error> {
         self.lookups.fetch_add(1, Ordering::Relaxed);
+        self.g_lookups.incr();
         let slot = {
             // A thread that panicked while holding this lock only held it
             // across HashMap::entry (computations run outside the lock),
@@ -69,6 +78,7 @@ impl<K: Eq + Hash, V> Memo<K, V> {
         };
         slot.get_or_init(|| {
             self.computes.fetch_add(1, Ordering::Relaxed);
+            self.g_computes.incr();
             compute().map(Arc::new)
         })
         .clone()
@@ -163,7 +173,6 @@ pub struct WorkloadCacheStats {
 /// trace parameters) — the caller must use distinct names for distinct
 /// programs. The cache is `Sync`; share one instance by reference across
 /// a sweep's worker threads.
-#[derive(Default)]
 pub struct WorkloadCache {
     profiles: Memo<ProfileKey, WorkloadProfile>,
     clones: Memo<CloneKey, Program>,
@@ -171,9 +180,14 @@ pub struct WorkloadCache {
     addr_traces: Memo<AddrTraceKey, AddressTrace>,
 }
 
-impl<K: Eq + Hash, V> Default for Memo<K, V> {
-    fn default() -> Memo<K, V> {
-        Memo::new()
+impl Default for WorkloadCache {
+    fn default() -> WorkloadCache {
+        WorkloadCache {
+            profiles: Memo::new("profile"),
+            clones: Memo::new("clone"),
+            traces: Memo::new("trace"),
+            addr_traces: Memo::new("addr_trace"),
+        }
     }
 }
 
@@ -268,8 +282,19 @@ impl WorkloadCache {
             .unwrap_or_else(|_| Arc::new(AddressTrace::extract(program, limit)))
     }
 
-    /// Current lookup/compute counters.
-    pub fn stats(&self) -> WorkloadCacheStats {
+    /// A point-in-time copy of all lookup/compute counters, read once
+    /// each with `Ordering::Relaxed`.
+    ///
+    /// Torn-read semantics: the eight loads are not a single atomic
+    /// transaction, so a snapshot taken while workers are mid-flight may
+    /// pair a `lookups` value with a `computes` value from a slightly
+    /// later instant (e.g. `computes > lookups − hits` transiently).
+    /// This is benign — each individual counter is exact, and snapshots
+    /// taken at a quiescent point (after a sweep joins, as the CLI and
+    /// tests do) are globally consistent. The same counters are mirrored
+    /// into the telemetry registry as `cache.<memo>.lookups` /
+    /// `cache.<memo>.computes` for run reports.
+    pub fn snapshot(&self) -> WorkloadCacheStats {
         WorkloadCacheStats {
             profile_lookups: self.profiles.lookups.load(Ordering::Relaxed),
             profile_computes: self.profiles.computes.load(Ordering::Relaxed),
@@ -299,7 +324,7 @@ mod tests {
         let a = cache.profile("crc32", &p, 100_000).unwrap();
         let b = cache.profile("crc32", &p, 100_000).unwrap();
         assert!(Arc::ptr_eq(&a, &b));
-        let stats = cache.stats();
+        let stats = cache.snapshot();
         assert_eq!(stats.profile_lookups, 2);
         assert_eq!(stats.profile_computes, 1);
     }
@@ -314,7 +339,7 @@ mod tests {
         let c = cache.profile("crc32", &crc, 50_000).unwrap();
         assert!(!Arc::ptr_eq(&a, &b));
         assert!(!Arc::ptr_eq(&a, &c));
-        assert_eq!(cache.stats().profile_computes, 3);
+        assert_eq!(cache.snapshot().profile_computes, 3);
     }
 
     #[test]
@@ -342,8 +367,8 @@ mod tests {
         let c = cache.clone_program("crc32", &p, u64::MAX, &reseeded).unwrap();
         assert!(!Arc::ptr_eq(&a, &c));
         // Both clones share one underlying profile.
-        assert_eq!(cache.stats().profile_computes, 1);
-        assert_eq!(cache.stats().clone_computes, 2);
+        assert_eq!(cache.snapshot().profile_computes, 1);
+        assert_eq!(cache.snapshot().clone_computes, 2);
     }
 
     #[test]
@@ -366,13 +391,13 @@ mod tests {
         let a = cache.address_trace("crc32", &p, 100_000);
         let b = cache.address_trace("crc32", &p, 100_000);
         assert!(Arc::ptr_eq(&a, &b));
-        let stats = cache.stats();
+        let stats = cache.snapshot();
         assert_eq!(stats.addr_trace_lookups, 2);
         assert_eq!(stats.addr_trace_computes, 1);
         assert_eq!(*a, AddressTrace::extract(&p, 100_000), "cache must be transparent");
         let c = cache.address_trace("crc32", &p, 50_000);
         assert!(!Arc::ptr_eq(&a, &c));
-        assert_eq!(cache.stats().addr_trace_computes, 2);
+        assert_eq!(cache.snapshot().addr_trace_computes, 2);
     }
 
     #[test]
@@ -388,6 +413,6 @@ mod tests {
                 assert!(Arc::ptr_eq(&pair[0], &pair[1]));
             }
         });
-        assert_eq!(cache.stats().profile_computes, 1);
+        assert_eq!(cache.snapshot().profile_computes, 1);
     }
 }

@@ -177,11 +177,14 @@ pub fn run_timing(
     config: &MachineConfig,
     limit: u64,
 ) -> Result<TimingResult, Error> {
+    let _span = perfclone_obs::span!("uarch.pipeline.run");
     let mut trace = Simulator::trace(program, limit);
     let report = Pipeline::new(*config).run(&mut trace);
     if let Some(f) = trace.fault() {
         return Err(Error::Sim(f.clone()));
     }
+    perfclone_obs::count!("uarch.pipeline.runs", 1);
+    perfclone_obs::count!("uarch.pipeline.instrs", report.instrs);
     let power = estimate_power(config, &report);
     Ok(TimingResult { report, power })
 }

@@ -1,0 +1,482 @@
+//! Snapshot and run-report types: the machine-readable schema shared by
+//! the CLI's `--report` flag and the bench binaries.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use serde::{Deserialize, Serialize};
+
+/// Version of the [`RunReport`] JSON schema. Bumped whenever a field is
+/// added, removed, or changes meaning; consumers should check it before
+/// interpreting the rest of the document.
+pub const REPORT_VERSION: u32 = 1;
+
+/// A named counter total.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CounterEntry {
+    /// Dotted counter name, e.g. `synth.walk.steps`.
+    pub name: String,
+    /// Total at snapshot time.
+    pub value: u64,
+}
+
+/// A named gauge value.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GaugeEntry {
+    /// Dotted gauge name, e.g. `synth.walk.budget`.
+    pub name: String,
+    /// Last value written.
+    pub value: u64,
+}
+
+/// One non-empty log2 bucket of a histogram.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramBucket {
+    /// Inclusive lower bound of the bucket.
+    pub lo: u64,
+    /// Inclusive upper bound of the bucket.
+    pub hi: u64,
+    /// Samples that landed in `[lo, hi]`.
+    pub count: u64,
+}
+
+/// A named histogram: total sample count plus its non-empty buckets.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramEntry {
+    /// Dotted histogram name, e.g. `profile.block_size`.
+    pub name: String,
+    /// Total samples across all buckets.
+    pub count: u64,
+    /// Non-empty buckets in ascending order.
+    pub buckets: Vec<HistogramBucket>,
+}
+
+/// One completed span.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpanEntry {
+    /// Unique id within the run (never 0).
+    pub id: u64,
+    /// Id of the enclosing span, or 0 for a root span.
+    pub parent: u64,
+    /// Stage name, e.g. `synth.gen`.
+    pub name: String,
+    /// Open time in nanoseconds since the registry epoch.
+    pub start_ns: u64,
+    /// Wall time from open to drop, in nanoseconds.
+    pub duration_ns: u64,
+}
+
+/// A point-in-time copy of the whole registry.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TelemetrySnapshot {
+    /// All counters, sorted by name.
+    pub counters: Vec<CounterEntry>,
+    /// All gauges, sorted by name.
+    pub gauges: Vec<GaugeEntry>,
+    /// All histograms, sorted by name.
+    pub histograms: Vec<HistogramEntry>,
+    /// All completed spans, in completion order.
+    pub spans: Vec<SpanEntry>,
+}
+
+impl TelemetrySnapshot {
+    /// The schedule-independent view: drops spans and the `span.*.ns`
+    /// latency histograms they feed. What remains is a pure function of
+    /// the work performed — identical across `PERFCLONE_JOBS` settings
+    /// for the same seed (the contract `tests/observability.rs` checks).
+    #[must_use]
+    pub fn deterministic(mut self) -> TelemetrySnapshot {
+        self.spans.clear();
+        self.histograms.retain(|h| !h.name.starts_with("span."));
+        self
+    }
+}
+
+/// Aggregate wall time of one pipeline stage (all spans sharing a name).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StageSummary {
+    /// Span name, e.g. `profile.collect`.
+    pub name: String,
+    /// Number of spans recorded under this name.
+    pub calls: u64,
+    /// Summed wall time across those spans, in nanoseconds. Nested spans
+    /// each count their own wall time; sibling stages do not sum to the
+    /// parent.
+    pub total_ns: u64,
+}
+
+/// Hit statistics of one [`WorkloadCache`] memo, derived from its
+/// `cache.<name>.lookups` / `cache.<name>.computes` counters.
+///
+/// [`WorkloadCache`]: https://docs.rs/perfclone
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CacheRates {
+    /// Memo name, e.g. `profile` or `addr_trace`.
+    pub name: String,
+    /// Total lookups.
+    pub lookups: u64,
+    /// Lookups that had to run the compute closure.
+    pub computes: u64,
+    /// Lookups served from an already-computed slot.
+    pub hits: u64,
+    /// `hits / lookups`, or 0 when there were no lookups.
+    pub hit_rate: f64,
+}
+
+/// One fidelity-gate attribute judgement.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct GateAttribute {
+    /// Attribute family label, e.g. `instruction mix`.
+    pub attribute: String,
+    /// Measured distance between original and clone.
+    pub delta: f64,
+    /// Warn threshold the gate applied.
+    pub warn_at: f64,
+    /// Fail threshold the gate applied.
+    pub fail_at: f64,
+    /// `pass`, `warn`, or `fail`.
+    pub verdict: String,
+}
+
+/// Throughput of a design-space sweep.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SweepStats {
+    /// Cache configurations simulated.
+    pub configs: u64,
+    /// Wall time of the sweep stage, in nanoseconds.
+    pub wall_ns: u64,
+    /// `configs / wall seconds`.
+    pub configs_per_sec: f64,
+    /// Instructions represented across all simulated configs.
+    pub instrs: u64,
+    /// `instrs / wall seconds`.
+    pub instrs_per_sec: f64,
+}
+
+/// A named scalar result (bench errors, IPC deltas, miss rates).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Metric {
+    /// Dotted metric name, e.g. `fig06.ipc.err.crc32`.
+    pub name: String,
+    /// The value.
+    pub value: f64,
+}
+
+/// The versioned, machine-readable record of one pipeline run: what the
+/// CLI writes for `--report out.json` and the bench binaries emit so both
+/// share one schema. Derived summaries (stages, cache rates) ride next to
+/// the raw snapshot so consumers can recompute anything.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Schema version; see [`REPORT_VERSION`].
+    pub report_version: u32,
+    /// The command that produced the report, e.g. `clone` or `bench.fig06`.
+    pub command: String,
+    /// Workload (kernel) name, or a comma list / `suite` for multi-kernel
+    /// runs.
+    pub workload: String,
+    /// Per-stage wall-time aggregates, sorted by name.
+    pub stages: Vec<StageSummary>,
+    /// Per-memo cache hit rates, sorted by name.
+    pub caches: Vec<CacheRates>,
+    /// Fidelity-gate attribute distances (empty when no gate ran).
+    pub gate: Vec<GateAttribute>,
+    /// Sweep throughput (null when no sweep ran).
+    pub sweep: Option<SweepStats>,
+    /// Free-form scalar results.
+    pub metrics: Vec<Metric>,
+    /// Raw counter totals.
+    pub counters: Vec<CounterEntry>,
+    /// Raw gauge values.
+    pub gauges: Vec<GaugeEntry>,
+    /// Raw histograms.
+    pub histograms: Vec<HistogramEntry>,
+    /// Raw span log.
+    pub spans: Vec<SpanEntry>,
+}
+
+/// Derives [`StageSummary`] rows by aggregating spans that share a name.
+fn stages_from(spans: &[SpanEntry]) -> Vec<StageSummary> {
+    let mut agg: BTreeMap<&str, (u64, u64)> = BTreeMap::new();
+    for s in spans {
+        let e = agg.entry(s.name.as_str()).or_insert((0, 0));
+        e.0 += 1;
+        e.1 += s.duration_ns;
+    }
+    agg.into_iter()
+        .map(|(name, (calls, total_ns))| StageSummary { name: name.to_string(), calls, total_ns })
+        .collect()
+}
+
+/// Derives [`CacheRates`] rows from `cache.<name>.lookups` /
+/// `cache.<name>.computes` counter pairs.
+fn caches_from(counters: &[CounterEntry]) -> Vec<CacheRates> {
+    let mut lookups: BTreeMap<&str, u64> = BTreeMap::new();
+    let mut computes: BTreeMap<&str, u64> = BTreeMap::new();
+    for c in counters {
+        if let Some(rest) = c.name.strip_prefix("cache.") {
+            if let Some(memo) = rest.strip_suffix(".lookups") {
+                lookups.insert(memo, c.value);
+            } else if let Some(memo) = rest.strip_suffix(".computes") {
+                computes.insert(memo, c.value);
+            }
+        }
+    }
+    lookups
+        .into_iter()
+        .map(|(name, l)| {
+            let c = computes.get(name).copied().unwrap_or(0);
+            let hits = l.saturating_sub(c);
+            let hit_rate = if l == 0 { 0.0 } else { hits as f64 / l as f64 };
+            CacheRates { name: name.to_string(), lookups: l, computes: c, hits, hit_rate }
+        })
+        .collect()
+}
+
+impl RunReport {
+    /// Builds a report from a snapshot, deriving the stage and cache-rate
+    /// summaries. Gate, sweep, and metric rows start empty; the caller
+    /// fills them from stage results it holds.
+    pub fn from_snapshot(command: &str, workload: &str, snap: TelemetrySnapshot) -> RunReport {
+        RunReport {
+            report_version: REPORT_VERSION,
+            command: command.to_string(),
+            workload: workload.to_string(),
+            stages: stages_from(&snap.spans),
+            caches: caches_from(&snap.counters),
+            gate: Vec::new(),
+            sweep: None,
+            metrics: Vec::new(),
+            counters: snap.counters,
+            gauges: snap.gauges,
+            histograms: snap.histograms,
+            spans: snap.spans,
+        }
+    }
+
+    /// Serializes to compact JSON.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for reports this crate builds; the `Result` mirrors
+    /// the serializer API.
+    pub fn to_json(&self) -> Result<String, serde::Error> {
+        serde_json::to_string(self)
+    }
+
+    /// Parses a report back from JSON, checking the schema version.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first syntax or shape mismatch, or a version error
+    /// when `report_version` is newer than this build understands.
+    pub fn from_json(s: &str) -> Result<RunReport, serde::Error> {
+        let report: RunReport = serde_json::from_str(s)?;
+        if report.report_version > REPORT_VERSION {
+            return Err(serde::Error::msg(format!(
+                "report_version {} is newer than supported version {REPORT_VERSION}",
+                report.report_version
+            )));
+        }
+        Ok(report)
+    }
+
+    /// Renders the human-readable summary `perfclone report` prints.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "run report v{} · command: {} · workload: {}",
+            self.report_version, self.command, self.workload
+        );
+        if !self.stages.is_empty() {
+            let _ = writeln!(out, "\nstages:");
+            let width = self.stages.iter().map(|s| s.name.len()).max().unwrap_or(0);
+            for s in &self.stages {
+                let _ = writeln!(
+                    out,
+                    "  {:width$}  {:>5} call{}  {:>12}",
+                    s.name,
+                    s.calls,
+                    if s.calls == 1 { " " } else { "s" },
+                    fmt_ns(s.total_ns),
+                );
+            }
+        }
+        if !self.caches.is_empty() {
+            let _ = writeln!(out, "\ncaches:");
+            for c in &self.caches {
+                let _ = writeln!(
+                    out,
+                    "  {:12}  {} lookups, {} computes, {} hits ({:.1}%)",
+                    c.name,
+                    c.lookups,
+                    c.computes,
+                    c.hits,
+                    c.hit_rate * 100.0
+                );
+            }
+        }
+        if !self.gate.is_empty() {
+            let _ = writeln!(out, "\ngate:");
+            for a in &self.gate {
+                let _ = writeln!(
+                    out,
+                    "  {:24}  delta {:.4}  (warn {:.4} / fail {:.4})  {}",
+                    a.attribute, a.delta, a.warn_at, a.fail_at, a.verdict
+                );
+            }
+        }
+        if let Some(sw) = &self.sweep {
+            let _ = writeln!(out, "\nsweep:");
+            let _ = writeln!(
+                out,
+                "  {} configs in {} · {:.1} configs/s · {:.3e} instrs/s",
+                sw.configs,
+                fmt_ns(sw.wall_ns),
+                sw.configs_per_sec,
+                sw.instrs_per_sec
+            );
+        }
+        if !self.metrics.is_empty() {
+            let _ = writeln!(out, "\nmetrics:");
+            for m in &self.metrics {
+                let _ = writeln!(out, "  {:32}  {:.6}", m.name, m.value);
+            }
+        }
+        let _ = writeln!(
+            out,
+            "\n{} counters · {} gauges · {} histograms · {} spans",
+            self.counters.len(),
+            self.gauges.len(),
+            self.histograms.len(),
+            self.spans.len()
+        );
+        out
+    }
+}
+
+/// Formats nanoseconds with a readable unit (`1.234 ms`, `2.5 s`, …).
+pub fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_snapshot() -> TelemetrySnapshot {
+        TelemetrySnapshot {
+            counters: vec![
+                CounterEntry { name: "cache.profile.computes".into(), value: 1 },
+                CounterEntry { name: "cache.profile.lookups".into(), value: 4 },
+                CounterEntry { name: "synth.walk.steps".into(), value: 123 },
+            ],
+            gauges: vec![GaugeEntry { name: "synth.walk.budget".into(), value: 9000 }],
+            histograms: vec![
+                HistogramEntry {
+                    name: "profile.block_size".into(),
+                    count: 2,
+                    buckets: vec![HistogramBucket { lo: 4, hi: 7, count: 2 }],
+                },
+                HistogramEntry {
+                    name: "span.profile.collect.ns".into(),
+                    count: 1,
+                    buckets: vec![HistogramBucket { lo: 1024, hi: 2047, count: 1 }],
+                },
+            ],
+            spans: vec![
+                SpanEntry {
+                    id: 1,
+                    parent: 0,
+                    name: "profile.collect".into(),
+                    start_ns: 10,
+                    duration_ns: 1500,
+                },
+                SpanEntry {
+                    id: 2,
+                    parent: 1,
+                    name: "synth.gen".into(),
+                    start_ns: 200,
+                    duration_ns: 700,
+                },
+                SpanEntry {
+                    id: 3,
+                    parent: 0,
+                    name: "synth.gen".into(),
+                    start_ns: 2000,
+                    duration_ns: 300,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn from_snapshot_derives_stages_and_caches() {
+        let report = RunReport::from_snapshot("clone", "crc32", sample_snapshot());
+        assert_eq!(report.report_version, REPORT_VERSION);
+        assert_eq!(
+            report.stages,
+            vec![
+                StageSummary { name: "profile.collect".into(), calls: 1, total_ns: 1500 },
+                StageSummary { name: "synth.gen".into(), calls: 2, total_ns: 1000 },
+            ]
+        );
+        assert_eq!(report.caches.len(), 1);
+        let c = &report.caches[0];
+        assert_eq!((c.name.as_str(), c.lookups, c.computes, c.hits), ("profile", 4, 1, 3));
+        assert!((c.hit_rate - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn json_round_trip_preserves_everything() {
+        let mut report = RunReport::from_snapshot("clone", "crc32", sample_snapshot());
+        report.gate.push(GateAttribute {
+            attribute: "instruction mix".into(),
+            delta: 0.013,
+            warn_at: 0.05,
+            fail_at: 0.1,
+            verdict: "pass".into(),
+        });
+        report.sweep = Some(SweepStats {
+            configs: 28,
+            wall_ns: 2_000_000,
+            configs_per_sec: 14_000.0,
+            instrs: 1_000_000,
+            instrs_per_sec: 5e8,
+        });
+        report.metrics.push(Metric { name: "gate.worst_delta".into(), value: 0.013 });
+        let json = report.to_json().unwrap();
+        let back = RunReport::from_json(&json).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn newer_schema_versions_are_rejected() {
+        let mut report = RunReport::from_snapshot("clone", "crc32", sample_snapshot());
+        report.report_version = REPORT_VERSION + 1;
+        let json = report.to_json().unwrap();
+        let err = RunReport::from_json(&json).unwrap_err();
+        assert!(err.to_string().contains("newer"), "{err}");
+    }
+
+    #[test]
+    fn render_mentions_the_major_sections() {
+        let report = RunReport::from_snapshot("clone", "crc32", sample_snapshot());
+        let text = report.render();
+        assert!(text.contains("run report v1"));
+        assert!(text.contains("stages:"));
+        assert!(text.contains("profile.collect"));
+        assert!(text.contains("caches:"));
+        assert!(text.contains("profile"));
+    }
+}

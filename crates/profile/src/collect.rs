@@ -446,12 +446,25 @@ impl Observer for Profiler {
 /// `limit` or an empty program), so no stage downstream ever sees a profile
 /// without SFG nodes.
 pub fn profile_program(program: &Program, limit: u64) -> Result<WorkloadProfile, ProfileError> {
+    let _span = perfclone_obs::span!("profile.collect");
     let mut profiler = Profiler::new(program.name());
     let mut sim = Simulator::new(program);
     sim.run_with(limit, &mut profiler)?;
     let profile = profiler.finish();
     if profile.nodes.is_empty() {
         return Err(ProfileError::Empty { name: profile.name });
+    }
+    // Telemetry is published once per profile, never per retired
+    // instruction, to keep the collector loop clean.
+    perfclone_obs::count!("profile.instrs", profile.total_instrs);
+    perfclone_obs::count!("profile.blocks", profile.nodes.len() as u64);
+    perfclone_obs::count!("profile.edges", profile.edges.len() as u64);
+    perfclone_obs::count!("profile.streams", profile.streams.len() as u64);
+    perfclone_obs::count!("profile.branches", profile.branches.len() as u64);
+    if perfclone_obs::enabled() {
+        for n in &profile.nodes {
+            perfclone_obs::record!("profile.block_size", u64::from(n.size));
+        }
     }
     Ok(profile)
 }

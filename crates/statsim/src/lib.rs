@@ -141,6 +141,7 @@ pub fn synth_trace(
     profile: &WorkloadProfile,
     params: &TraceParams,
 ) -> Result<Vec<DynInstr>, TraceError> {
+    let _span = perfclone_obs::span!("statsim.gen");
     // All indexing below (branches, mem_ops into walkers) relies on the
     // cross-references this validates.
     profile.check()?;
@@ -250,6 +251,8 @@ pub fn synth_trace(
         cur = Some(next_node);
     }
     out.truncate(params.length as usize);
+    perfclone_obs::count!("statsim.traces", 1);
+    perfclone_obs::count!("statsim.instrs", out.len() as u64);
     Ok(out)
 }
 

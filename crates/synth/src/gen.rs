@@ -203,6 +203,8 @@ fn plan_streams(b: &mut ProgramBuilder, profile: &WorkloadProfile) -> Vec<perfcl
     let cluster_base = raw + (global_min.wrapping_sub(raw) & 4095);
 
     let mut plan: Vec<Option<perfclone_isa::StreamId>> = vec![None; profile.streams.len()];
+    let mut regular_ops = 0u64;
+    let mut fallback_ops = 0u64;
     for (gmin, gmax, members) in groups {
         let gspan = (gmax - gmin + 8).clamp(8, MAX_STREAM_FOOTPRINT);
         let gbase = cluster_base + (gmin - global_min).min(cluster_span - 1);
@@ -213,7 +215,13 @@ fn plan_streams(b: &mut ProgramBuilder, profile: &WorkloadProfile) -> Vec<perfcl
         let mut streaming_base: Option<u64> = None;
         for i in members {
             let s = &profile.streams[i];
-            let id = if regular(s) {
+            let is_regular = regular(s);
+            if is_regular {
+                regular_ops += 1;
+            } else {
+                fallback_ops += 1;
+            }
+            let id = if is_regular {
                 let stride = s.dominant_stride;
                 let unit = stride.unsigned_abs().max(1);
                 // Stream length controls the wrap point and therefore the
@@ -278,6 +286,8 @@ fn plan_streams(b: &mut ProgramBuilder, profile: &WorkloadProfile) -> Vec<perfcl
             plan[i] = Some(id);
         }
     }
+    perfclone_obs::count!("synth.streams.regular", regular_ops);
+    perfclone_obs::count!("synth.streams.fallback", fallback_ops);
     // The grouping above covers every stream index; the degenerate
     // single-slot stream is the harmless total fallback should that
     // invariant ever break.
@@ -300,6 +310,7 @@ pub fn synthesize(
     profile: &WorkloadProfile,
     params: &SynthesisParams,
 ) -> Result<Program, SynthError> {
+    let _span = perfclone_obs::span!("synth.gen");
     // All indexing below (streams, branches, nodes) relies on the
     // cross-references this validates.
     profile.check()?;
@@ -549,6 +560,10 @@ pub fn synthesize(
     let iterations = (params.target_dynamic / body_len.max(1)).max(1);
     let mut program = b.build();
     patch_bound(&mut program, bound_patch_at, iterations as i64);
+    perfclone_obs::count!("synth.clones", 1);
+    perfclone_obs::count!("synth.instances", instances.len() as u64);
+    perfclone_obs::gauge!("synth.target_dynamic", params.target_dynamic);
+    perfclone_obs::record!("synth.static_instrs", program.instrs().len() as u64);
     Ok(program)
 }
 

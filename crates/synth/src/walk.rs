@@ -68,6 +68,7 @@ pub(crate) fn walk_sfg(
 
     let mut out = Vec::new();
     let mut body = 0u32;
+    let mut reseeds = 0u64;
     let mut cur: Option<(u32, u32)> = None; // (node, pred)
     loop {
         if out.len() >= instance_budget {
@@ -82,6 +83,7 @@ pub(crate) fn walk_sfg(
                 if remaining.iter().all(|&r| r <= 0.0) {
                     break;
                 }
+                reseeds += 1;
                 (sample_cdf(&remaining, rng), u32::MAX)
             }
         };
@@ -106,6 +108,11 @@ pub(crate) fn walk_sfg(
         let next = sample_edges(outgoing, rng);
         cur = Some((next, node));
     }
+    // Published once per walk (the loop itself stays telemetry-free).
+    perfclone_obs::count!("synth.walk.steps", out.len() as u64);
+    perfclone_obs::count!("synth.walk.reseeds", reseeds);
+    perfclone_obs::count!("synth.walk.body_instrs", u64::from(body));
+    perfclone_obs::gauge!("synth.walk.instance_budget", instance_budget as u64);
     Ok(out)
 }
 

@@ -89,6 +89,7 @@ impl AddressTrace {
     /// Runs the functional simulator once (up to `limit` instructions) and
     /// records every retired load/store.
     pub fn extract(program: &Program, limit: u64) -> AddressTrace {
+        let _span = perfclone_obs::span!("uarch.trace.extract");
         let mut instrs = 0u64;
         let mut refs = Vec::new();
         for d in Simulator::trace(program, limit) {
@@ -97,6 +98,9 @@ impl AddressTrace {
                 refs.push(DataRef { addr: m.addr, is_store: m.is_store });
             }
         }
+        // Batched publish: the retire loop above stays telemetry-free.
+        perfclone_obs::count!("uarch.trace.instrs", instrs);
+        perfclone_obs::count!("uarch.trace.refs", refs.len() as u64);
         AddressTrace { instrs, refs }
     }
 
@@ -261,11 +265,22 @@ fn line_size_groups(configs: &[CacheConfig]) -> Vec<(u32, Vec<usize>)> {
     groups
 }
 
-fn run_group(trace: &AddressTrace, line_bytes: u32, geometries: &[(u64, u64)]) -> Vec<u64> {
+/// `parent` is the enclosing sweep's span id: group passes may run on
+/// rayon workers, whose threads start with no span context, so the sweep
+/// entry points capture [`perfclone_obs::current`] before fanning out and
+/// each group's span nests under it explicitly.
+fn run_group(
+    trace: &AddressTrace,
+    line_bytes: u32,
+    geometries: &[(u64, u64)],
+    parent: Option<perfclone_obs::SpanId>,
+) -> Vec<u64> {
+    let _span = perfclone_obs::Span::child_of(parent, "sweep.group");
     let mut pass = AllAssocPass::new(line_bytes, geometries);
     for r in trace.refs() {
         pass.access(r.addr);
     }
+    perfclone_obs::count!("sweep.group_accesses", pass.accesses);
     geometries.iter().map(|&(sets, ways)| pass.misses(sets, ways)).collect()
 }
 
@@ -274,6 +289,9 @@ fn run_group(trace: &AddressTrace, line_bytes: u32, geometries: &[(u64, u64)]) -
 /// results in `configs` order and bit-identical to per-configuration
 /// [`simulate_dcache`](crate::sweep::simulate_dcache) replay.
 pub fn sweep_trace(trace: &AddressTrace, configs: &[CacheConfig]) -> Vec<DcacheSweepPoint> {
+    let span = perfclone_obs::span!("sweep.pass");
+    let parent = span.id();
+    perfclone_obs::count!("sweep.configs", configs.len() as u64);
     let mut out: Vec<DcacheSweepPoint> = configs
         .iter()
         .map(|&config| DcacheSweepPoint {
@@ -286,7 +304,7 @@ pub fn sweep_trace(trace: &AddressTrace, configs: &[CacheConfig]) -> Vec<DcacheS
     for (line_bytes, idxs) in line_size_groups(configs) {
         let geometries: Vec<(u64, u64)> =
             idxs.iter().map(|&i| (configs[i].sets(), configs[i].ways())).collect();
-        for (&i, misses) in idxs.iter().zip(run_group(trace, line_bytes, &geometries)) {
+        for (&i, misses) in idxs.iter().zip(run_group(trace, line_bytes, &geometries, parent)) {
             out[i].misses = misses;
         }
     }
@@ -299,13 +317,18 @@ pub fn sweep_trace(trace: &AddressTrace, configs: &[CacheConfig]) -> Vec<DcacheS
 /// to per-configuration replay).
 pub fn sweep_trace_par(trace: &AddressTrace, configs: &[CacheConfig]) -> Vec<DcacheSweepPoint> {
     use rayon::prelude::*;
+    let span = perfclone_obs::span!("sweep.pass");
+    // Rayon workers are fresh threads with no span context: carry the
+    // sweep's id into each group explicitly.
+    let parent = span.id();
+    perfclone_obs::count!("sweep.configs", configs.len() as u64);
     let groups = line_size_groups(configs);
     let per_group: Vec<Vec<u64>> = groups
         .par_iter()
         .map(|(line_bytes, idxs)| {
             let geometries: Vec<(u64, u64)> =
                 idxs.iter().map(|&i| (configs[i].sets(), configs[i].ways())).collect();
-            run_group(trace, *line_bytes, &geometries)
+            run_group(trace, *line_bytes, &geometries, parent)
         })
         .collect();
     let mut out: Vec<DcacheSweepPoint> = configs

@@ -270,25 +270,43 @@ impl Gate {
         source: &WorkloadProfile,
         clone: &Program,
     ) -> Result<ValidationReport, ValidateError> {
+        let _gate_span = perfclone_obs::span!("validate.gate");
         source.check().map_err(ValidateError::Source)?;
         let mut profiler = Profiler::new(clone.name());
         let mut sim = Simulator::new(clone);
-        let outcome = match sim.run_budget_with(self.profile_budget, &mut profiler) {
-            Ok(out) => out,
-            Err(SimError::BudgetExhausted { budget }) => {
-                return Err(ValidateError::BudgetExhausted { budget })
+        let outcome = {
+            let _s = perfclone_obs::span!("validate.reprofile");
+            match sim.run_budget_with(self.profile_budget, &mut profiler) {
+                Ok(out) => out,
+                Err(SimError::BudgetExhausted { budget }) => {
+                    return Err(ValidateError::BudgetExhausted { budget })
+                }
+                Err(e) => return Err(ValidateError::CloneFaulted(e)),
             }
-            Err(e) => return Err(ValidateError::CloneFaulted(e)),
         };
         let cp = profiler.finish();
         let t = &self.tolerances;
+        // Each family judged under its own span, so reports break out
+        // per-attribute judge time next to the verdict counters.
         let attributes = vec![
-            check_mix(source, &cp, t.mix),
-            check_deps(source, &cp, t.deps),
-            check_streams(source, &cp, t.streams),
-            check_taken(source, &cp, t.taken),
-            check_transition(source, &cp, t.transition),
+            judged(perfclone_obs::span!("validate.attr.mix"), check_mix(source, &cp, t.mix)),
+            judged(perfclone_obs::span!("validate.attr.deps"), check_deps(source, &cp, t.deps)),
+            judged(
+                perfclone_obs::span!("validate.attr.streams"),
+                check_streams(source, &cp, t.streams),
+            ),
+            judged(perfclone_obs::span!("validate.attr.taken"), check_taken(source, &cp, t.taken)),
+            judged(
+                perfclone_obs::span!("validate.attr.transition"),
+                check_transition(source, &cp, t.transition),
+            ),
         ];
+        perfclone_obs::count!("validate.gates", 1);
+        match attributes.iter().map(|a| a.verdict).max().unwrap_or(Verdict::Pass) {
+            Verdict::Pass => perfclone_obs::count!("validate.verdict.pass", 1),
+            Verdict::Warn => perfclone_obs::count!("validate.verdict.warn", 1),
+            Verdict::Fail => perfclone_obs::count!("validate.verdict.fail", 1),
+        }
         Ok(ValidationReport {
             name: source.name.clone(),
             clone_instrs: outcome.retired,
@@ -311,6 +329,14 @@ impl Gate {
     ) -> Result<ValidationReport, ValidateError> {
         self.report(source, clone)?.into_result()
     }
+}
+
+/// Closes a span opened just before its paired check expression was
+/// evaluated (Rust evaluates arguments left to right), so the span's
+/// wall time covers exactly that attribute's judging.
+fn judged(span: perfclone_obs::Span, check: AttributeCheck) -> AttributeCheck {
+    drop(span);
+    check
 }
 
 fn check(attribute: Attribute, delta: f64, tol: Tolerance, detail: String) -> AttributeCheck {

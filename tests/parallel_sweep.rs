@@ -128,7 +128,7 @@ fn workload_cache_is_shared_across_a_parallel_sweep() {
     let first = &profiles[0];
     assert!(profiles.iter().all(|p| Arc::ptr_eq(first, p)));
 
-    let stats = cache.stats();
+    let stats = cache.snapshot();
     assert_eq!(stats.profile_computes, 1, "profiler must run exactly once");
     assert_eq!(stats.profile_lookups, configs.len() as u64);
 
@@ -179,7 +179,7 @@ fn address_trace_is_extracted_once_per_workload_across_a_sweep() {
     let first = &traces[0];
     assert!(traces.iter().all(|t| Arc::ptr_eq(first, t)));
 
-    let stats = cache.stats();
+    let stats = cache.snapshot();
     assert_eq!(stats.addr_trace_computes, 1, "functional simulator must run exactly once");
     assert_eq!(stats.addr_trace_lookups, configs.len() as u64);
     // Address traces and profiles are independent entries: no profile was
@@ -189,7 +189,7 @@ fn address_trace_is_extracted_once_per_workload_across_a_sweep() {
     // A different limit is a different trace.
     let truncated = cache.address_trace(name, &program, 1_000);
     assert!(!Arc::ptr_eq(first, &truncated));
-    assert_eq!(cache.stats().addr_trace_computes, 2);
+    assert_eq!(cache.snapshot().addr_trace_computes, 2);
 
     // The cached trace is transparent: the engine produces the same sweep
     // from it as from a direct extraction.
