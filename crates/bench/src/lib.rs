@@ -20,8 +20,8 @@
 //!   of the experiment (`-` = stdout); same schema as the CLI's `--report`.
 
 use perfclone::{
-    derive_cell_seed, run_timing, Cloner, MachineConfig, SynthesisParams, TimingResult,
-    WorkloadProfile,
+    derive_cell_seed, run_timing_trace, Cloner, MachineConfig, SynthesisParams, TimingResult,
+    WorkloadCache, WorkloadProfile,
 };
 use perfclone_isa::Program;
 use perfclone_kernels::{catalog, Kernel, Scale};
@@ -148,26 +148,33 @@ pub fn prepare_all_par() -> Vec<PreparedBench> {
 /// study in parallel. For each prepared benchmark the four cells are
 /// `[real@base, real@alt, clone@base, clone@alt]`; the flat cell list
 /// fans over the ambient thread pool and results reassemble in benchmark
-/// order, bit-identical at any thread count.
+/// order, bit-identical at any thread count. Each program's retired
+/// stream is captured once as a packed trace through a shared
+/// [`WorkloadCache`] and replayed by both configurations' cells
+/// (re-interpreting instead when a capture would exceed
+/// `PERFCLONE_TRACE_CAP` — same results either way).
 pub fn grid_timing_par(
     benches: &[PreparedBench],
     base: &MachineConfig,
     alt: &MachineConfig,
 ) -> Vec<[TimingResult; 4]> {
     use rayon::prelude::*;
+    let cache = WorkloadCache::new();
     let cells: Vec<(usize, usize)> =
         (0..benches.len()).flat_map(|b| (0..4).map(move |c| (b, c))).collect();
     let results: Vec<TimingResult> = cells
         .par_iter()
         .map(|&(b, c)| {
             let bench = &benches[b];
-            let (program, config) = match c {
-                0 => (&bench.program, base),
-                1 => (&bench.program, alt),
-                2 => (&bench.clone, base),
-                _ => (&bench.clone, alt),
+            let name = bench.kernel.name();
+            let (key, program, config) = match c {
+                0 => (name.to_string(), &bench.program, base),
+                1 => (name.to_string(), &bench.program, alt),
+                2 => (format!("{name}.clone"), &bench.clone, base),
+                _ => (format!("{name}.clone"), &bench.clone, alt),
             };
-            run_timing(program, config, u64::MAX).expect("bundled kernels run cleanly")
+            run_timing_trace(&key, program, config, u64::MAX, &cache)
+                .expect("bundled kernels run cleanly")
         })
         .collect();
     results

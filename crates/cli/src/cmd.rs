@@ -3,10 +3,11 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
 
-use perfclone::experiments::cache_sweep_pair_par;
+use perfclone::experiments::{cache_sweep_pair_par, design_change_sweep_par};
 use perfclone::{
-    base_config, cache_sweep, run_timing, validate_pair, Cloner, Fault, FaultPlan, Gate,
-    SynthesisParams, Table, ValidationReport, Verdict, WorkloadCache, WorkloadProfile,
+    base_config, cache_sweep, run_timing, run_timing_replay, run_timing_trace, Cloner, Error,
+    Fault, FaultPlan, Gate, PairComparison, SynthesisParams, Table, ValidationReport, Verdict,
+    WorkloadCache, WorkloadProfile,
 };
 use perfclone_isa::Program;
 use perfclone_obs::{GateAttribute, Metric, RunReport, SweepStats};
@@ -25,6 +26,8 @@ USAGE:
   perfclone clone <kernel> [opts]                 profile + synth + gate
   perfclone validate <kernel> [opts]              clone + side-by-side timing
   perfclone sweep <kernel> [opts]                 28-config cache sweep
+  perfclone dsweep <kernel> [opts]                Table-3 design-change timing
+                                                  sweep (record-once/replay-many)
   perfclone disasm <kernel> [opts]                disassemble a kernel
   perfclone report <kernel|report.json> [opts]    characterization report, or
                                                   pretty-print a saved run report
@@ -46,6 +49,11 @@ OPTIONS:
                           human output to stderr
   -j, --jobs N            worker threads for sweeps (default: all cores;
                           results are identical at any thread count)
+
+ENVIRONMENT:
+  PERFCLONE_TRACE_CAP     byte budget for packed dynamic traces (default
+                          1 GiB); over-cap workloads fall back to per-config
+                          re-interpretation with identical results
 ";
 
 /// When set, human-readable output goes to stderr so `--report -` can own
@@ -182,6 +190,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "clone" => clone_kernel(&rest),
         "validate" => validate(&rest),
         "sweep" => sweep(&rest),
+        "dsweep" => dsweep(&rest),
         "disasm" => disasm(&rest),
         "report" => report(&rest),
         "statsim" => statsim(&rest),
@@ -317,15 +326,36 @@ fn validate(parsed: &Parsed) -> Result<(), String> {
             .find(|c| c.name == wanted)
             .ok_or_else(|| format!("unknown config {wanted:?} (see `perfclone configs`)"))?,
     };
-    let profile = perfclone::profile_program(&program, u64::MAX).map_err(|e| e.to_string())?;
+    let cache = WorkloadCache::new();
+    let profile = cache.profile(&name, &program, u64::MAX).map_err(|e| e.to_string())?;
     let params = synth_params(parsed, &profile)?;
     let clone =
         Cloner::with_params(params).clone_program_from(&profile).map_err(|e| e.to_string())?;
     // Fidelity gate first: re-profile the clone and compare the five
     // attribute families before the (microarchitecture-dependent)
-    // side-by-side timing run.
+    // side-by-side timing run. The clone's retired stream is captured once
+    // as a packed trace; the gate re-profiles by replaying it, and — when
+    // the capture completed (halted within budget) — the same trace drives
+    // the timing run below. Over-cap workloads fall back to the direct
+    // interpreter path with identical results.
     let gate = Gate::default();
-    let report = gate.report(&profile, &clone).map_err(|e| e.to_string())?;
+    let clone_key = format!("{name}.clone");
+    let gate_trace = match cache.packed_trace(&clone_key, &clone, gate.profile_budget) {
+        Ok(trace) => Some(trace),
+        Err(Error::TraceCapExceeded { cap, at_instrs }) => {
+            eprintln!(
+                "perfclone: packed-trace cap of {cap} B exceeded at {at_instrs} instrs; \
+                 gating via direct re-profiling"
+            );
+            None
+        }
+        Err(e) => return Err(e.to_string()),
+    };
+    let report = match &gate_trace {
+        Some(trace) => gate.report_replay(&profile, &clone, trace),
+        None => gate.report(&profile, &clone),
+    }
+    .map_err(|e| e.to_string())?;
     note_gate(&report);
     say!("{}", report.render());
     if report.verdict() == Verdict::Fail {
@@ -341,19 +371,33 @@ fn validate(parsed: &Parsed) -> Result<(), String> {
             ));
         }
     }
-    let cmp = validate_pair(&program, &clone, &config, u64::MAX).map_err(|e| e.to_string())?;
+    // Side-by-side timing: the real program's trace goes through the
+    // shared cache (captured once, replayed for whatever config was
+    // picked); a completed gate trace is replayed directly for the clone.
+    let real =
+        run_timing_trace(&name, &program, &config, u64::MAX, &cache).map_err(|e| e.to_string())?;
+    let synth = match gate_trace.as_ref().filter(|t| t.halted()) {
+        Some(trace) => run_timing_replay(&clone, trace, &config),
+        None => run_timing_trace(&clone_key, &clone, &config, u64::MAX, &cache),
+    }
+    .map_err(|e| e.to_string())?;
+    let cmp = PairComparison { real, synth };
+    let fmt_rel = |e: Option<f64>| match e {
+        Some(v) => format!("{:.1}%", 100.0 * v),
+        None => "n/a (degenerate baseline)".to_string(),
+    };
     let mut t = Table::new(vec!["metric".into(), "real".into(), "clone".into(), "error".into()]);
     t.row(vec![
         "IPC".into(),
         format!("{:.3}", cmp.real.report.ipc()),
         format!("{:.3}", cmp.synth.report.ipc()),
-        format!("{:.1}%", 100.0 * cmp.ipc_error()),
+        fmt_rel(cmp.ipc_error_checked()),
     ]);
     t.row(vec![
         "power".into(),
         format!("{:.2}", cmp.real.power.average_power),
         format!("{:.2}", cmp.synth.power.average_power),
-        format!("{:.1}%", 100.0 * cmp.power_error()),
+        fmt_rel(cmp.power_error_checked()),
     ]);
     t.row(vec![
         "L1D miss/instr".into(),
@@ -405,6 +449,58 @@ fn sweep(parsed: &Parsed) -> Result<(), String> {
     note_metric("sweep.mpi.pearson", pearson);
     say!("{name} cache sweep:\n\n{}", t.render());
     say!("pearson r = {pearson:.3}");
+    Ok(())
+}
+
+/// `perfclone dsweep <kernel>`: the Table-3 design-change timing sweep —
+/// real program vs clone on the base machine and every single-parameter
+/// design change. Both retired streams are captured once as packed traces
+/// and replayed per configuration over the `--jobs` pool; when a capture
+/// exceeds `PERFCLONE_TRACE_CAP` the engine re-interprets per config with
+/// bit-identical results (the CI fallback smoke runs this command under a
+/// deliberately tiny cap).
+fn dsweep(parsed: &Parsed) -> Result<(), String> {
+    let (name, program) = kernel_program(parsed, 0)?;
+    let profile = perfclone::profile_program(&program, u64::MAX).map_err(|e| e.to_string())?;
+    let params = synth_params(parsed, &profile)?;
+    let target_dynamic = params.target_dynamic;
+    let clone =
+        Cloner::with_params(params).clone_program_from(&profile).map_err(|e| e.to_string())?;
+    let sweep_span = perfclone_obs::span!("cli.dsweep");
+    let start = std::time::Instant::now();
+    let sweep = design_change_sweep_par(&program, &clone, &base_config(), u64::MAX)
+        .map_err(|e| e.to_string())?;
+    let wall_ns = start.elapsed().as_nanos() as u64;
+    drop(sweep_span);
+    let configs = 1 + sweep.changes.len() as u64;
+    note_sweep(configs, wall_ns, (profile.total_instrs + target_dynamic) * configs);
+    let fmt_rel = |e: Option<f64>| match e {
+        Some(v) => format!("{:.1}%", 100.0 * v),
+        None => "n/a".to_string(),
+    };
+    let mut t = Table::new(vec![
+        "config".into(),
+        "IPC (real)".into(),
+        "IPC (clone)".into(),
+        "IPC err".into(),
+        "power err".into(),
+    ]);
+    let mut rows = vec![(base_config(), &sweep.base_real, &sweep.base_synth)];
+    rows.extend(sweep.changes.iter().map(|c| (c.config, &c.real, &c.synth)));
+    for (config, real, synth) in rows {
+        let cmp = PairComparison { real: real.clone(), synth: synth.clone() };
+        t.row(vec![
+            config.name.into(),
+            format!("{:.3}", cmp.real.report.ipc()),
+            format!("{:.3}", cmp.synth.report.ipc()),
+            fmt_rel(cmp.ipc_error_checked()),
+            fmt_rel(cmp.power_error_checked()),
+        ]);
+    }
+    say!("{name} design-change sweep ({configs} configs):\n\n{}", t.render());
+    if let Some(footer) = stage_footer() {
+        say!("{footer}");
+    }
     Ok(())
 }
 
@@ -611,6 +707,12 @@ mod tests {
     #[test]
     fn validate_runs_on_tiny_kernel() {
         run(&["validate", "bitcount", "--scale", "tiny", "--dynamic", "20000"]).unwrap();
+    }
+
+    #[test]
+    fn dsweep_runs_on_tiny_kernel() {
+        run(&["dsweep", "crc32", "--scale", "tiny", "--dynamic", "20000", "--jobs", "2"]).unwrap();
+        assert!(run(&["dsweep", "not-a-kernel"]).is_err());
     }
 
     #[test]

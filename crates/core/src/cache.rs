@@ -1,12 +1,16 @@
 //! Shared workload cache for parallel experiments.
 //!
 //! A design-space sweep runs the same workload against many machine
-//! configurations. Profiling the workload, synthesizing its clone, and
-//! generating its statistical trace are configuration-independent, so
-//! repeating them per cell wastes most of the sweep's time. A
-//! [`WorkloadCache`] computes each artifact once — on whichever thread
-//! asks first — and hands every subsequent requester the same
-//! [`Arc`]-shared value.
+//! configurations. Profiling the workload, synthesizing its clone,
+//! generating its statistical trace, and capturing its packed dynamic
+//! trace (the [`PackedTrace`] record-once/replay-many artifact that
+//! `run_timing_trace` replays per configuration) are
+//! configuration-independent, so repeating them per cell wastes most of
+//! the sweep's time. A [`WorkloadCache`] computes each artifact once — on
+//! whichever thread asks first — and hands every subsequent requester the
+//! same [`Arc`]-shared value. Each memo reports `cache.<memo>.lookups` /
+//! `cache.<memo>.computes` counters (`profile`, `clone`, `statsim`,
+//! `trace`, ...) so run reports show real hit rates.
 //!
 //! Concurrency: the key→slot map sits behind a [`Mutex`] held only long
 //! enough to find or insert a slot; the (expensive) computation itself
@@ -17,17 +21,83 @@
 
 use std::collections::HashMap;
 use std::hash::Hash;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 use perfclone_isa::Program;
 use perfclone_profile::{profile_program, WorkloadProfile};
-use perfclone_sim::DynInstr;
+use perfclone_sim::{DynInstr, PackedRecorder, PackedTrace, Simulator};
 use perfclone_statsim::{synth_trace, TraceParams};
 use perfclone_synth::{synthesize, MemoryModel, SynthesisParams};
 use perfclone_uarch::AddressTrace;
 
 use crate::Error;
+
+/// Default `PERFCLONE_TRACE_CAP`: 1 GiB of packed trace per capture. The
+/// bundled kernels pack to a few MB, so the cap only bites on
+/// multi-hundred-million-instruction captures.
+pub const DEFAULT_TRACE_CAP: usize = 1 << 30;
+
+/// The process-wide packed-trace byte budget: `PERFCLONE_TRACE_CAP` parsed
+/// once (unset or unparsable falls back to [`DEFAULT_TRACE_CAP`]; `0`
+/// disables packing, forcing every timing run onto the interpreter path).
+pub fn trace_cap() -> usize {
+    static CAP: OnceLock<usize> = OnceLock::new();
+    *CAP.get_or_init(|| {
+        std::env::var("PERFCLONE_TRACE_CAP")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .unwrap_or(DEFAULT_TRACE_CAP)
+    })
+}
+
+/// Total packed bytes held by every capture in the process, mirrored into
+/// the `trace.bytes` gauge for run reports.
+static PACKED_BYTES_TOTAL: AtomicUsize = AtomicUsize::new(0);
+
+/// Captures the packed trace of `program` under `cap_bytes`, publishing
+/// the `trace.bytes` gauge on success and the `trace.fallbacks` counter
+/// (plus a stderr note — the cap must never *silently* degrade a run)
+/// when the cap is exceeded.
+///
+/// This is the one capture choke point: the [`WorkloadCache`] memo and the
+/// capture-per-call experiment drivers both route through it.
+///
+/// # Errors
+///
+/// Returns [`Error::TraceCapExceeded`] when the packed encoding outgrows
+/// `cap_bytes`; the trace is abandoned whole, never truncated.
+pub(crate) fn capture_packed(
+    program: &Program,
+    limit: u64,
+    cap_bytes: usize,
+) -> Result<PackedTrace, Error> {
+    let _span = perfclone_obs::span!("sim.trace.capture");
+    let mut rec = PackedRecorder::new();
+    let mut trace = Simulator::trace(program, limit);
+    for d in &mut trace {
+        rec.push(&d);
+        if rec.packed_bytes() > cap_bytes {
+            perfclone_obs::count!("trace.fallbacks", 1);
+            eprintln!(
+                "perfclone: packed trace of '{}' exceeded PERFCLONE_TRACE_CAP ({cap_bytes} B) \
+                 after {} instructions; falling back to direct interpretation",
+                program.name(),
+                rec.len()
+            );
+            return Err(Error::TraceCapExceeded { cap: cap_bytes, at_instrs: rec.len() });
+        }
+    }
+    let fault = trace.fault().cloned();
+    let halted = trace.into_inner().is_halted();
+    let packed = rec.finish(program, halted, fault);
+    let total = PACKED_BYTES_TOTAL.fetch_add(packed.packed_bytes(), Ordering::Relaxed)
+        + packed.packed_bytes();
+    perfclone_obs::gauge!("trace.bytes", total);
+    perfclone_obs::count!("trace.captures", 1);
+    perfclone_obs::count!("trace.capture.instrs", packed.len());
+    Ok(packed)
+}
 
 /// One memoization table: key → lazily-computed `Result<Arc<V>, Error>`.
 /// Failed computations are memoized too — a corrupt workload fails once
@@ -142,6 +212,12 @@ struct TraceKey {
     seed: u64,
 }
 
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct PackedKey {
+    workload: String,
+    limit: u64,
+}
+
 /// Hit/compute counters of a [`WorkloadCache`], for observability and
 /// tests.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -162,6 +238,12 @@ pub struct WorkloadCacheStats {
     pub addr_trace_lookups: u64,
     /// Address traces actually extracted.
     pub addr_trace_computes: u64,
+    /// Packed dynamic-trace (timing-replay input) lookups served.
+    pub packed_trace_lookups: u64,
+    /// Packed dynamic traces actually captured (cap-exceeded attempts
+    /// count too: the outcome — including the fallback signal — is
+    /// memoized).
+    pub packed_trace_computes: u64,
 }
 
 /// Memoizes the per-workload artifacts a sweep re-uses across cells: the
@@ -178,6 +260,7 @@ pub struct WorkloadCache {
     clones: Memo<CloneKey, Program>,
     traces: Memo<TraceKey, Vec<DynInstr>>,
     addr_traces: Memo<AddrTraceKey, AddressTrace>,
+    packed_traces: Memo<PackedKey, PackedTrace>,
 }
 
 impl Default for WorkloadCache {
@@ -185,8 +268,9 @@ impl Default for WorkloadCache {
         WorkloadCache {
             profiles: Memo::new("profile"),
             clones: Memo::new("clone"),
-            traces: Memo::new("trace"),
+            traces: Memo::new("statsim"),
             addr_traces: Memo::new("addr_trace"),
+            packed_traces: Memo::new("trace"),
         }
     }
 }
@@ -282,6 +366,48 @@ impl WorkloadCache {
             .unwrap_or_else(|_| Arc::new(AddressTrace::extract(program, limit)))
     }
 
+    /// The packed dynamic trace of `program` (up to `limit` instructions)
+    /// — the record-once/replay-many input of
+    /// [`run_timing_trace`](crate::run_timing_trace) — captured on first
+    /// request under the process-wide [`trace_cap`] and shared thereafter,
+    /// so a timing sweep pays one functional execution per
+    /// `(workload, limit)` no matter how many machine configurations (or
+    /// rayon workers) consume it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::TraceCapExceeded`] when the packed encoding would
+    /// outgrow the cap; the outcome is memoized either way, so an
+    /// over-cap workload is probed exactly once and every later requester
+    /// immediately falls back to direct interpretation.
+    pub fn packed_trace(
+        &self,
+        workload: &str,
+        program: &Program,
+        limit: u64,
+    ) -> Result<Arc<PackedTrace>, Error> {
+        self.packed_trace_capped(workload, program, limit, trace_cap())
+    }
+
+    /// [`packed_trace`](WorkloadCache::packed_trace) with an explicit byte
+    /// cap instead of the process-wide `PERFCLONE_TRACE_CAP`. The memo is
+    /// keyed by `(workload, limit)` only, so callers must keep the cap
+    /// constant per cache instance (the first capture's outcome wins).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`packed_trace`](WorkloadCache::packed_trace).
+    pub fn packed_trace_capped(
+        &self,
+        workload: &str,
+        program: &Program,
+        limit: u64,
+        cap_bytes: usize,
+    ) -> Result<Arc<PackedTrace>, Error> {
+        let key = PackedKey { workload: workload.to_string(), limit };
+        self.packed_traces.get_or_compute(key, || capture_packed(program, limit, cap_bytes))
+    }
+
     /// A point-in-time copy of all lookup/compute counters, read once
     /// each with `Ordering::Relaxed`.
     ///
@@ -304,6 +430,8 @@ impl WorkloadCache {
             trace_computes: self.traces.computes.load(Ordering::Relaxed),
             addr_trace_lookups: self.addr_traces.lookups.load(Ordering::Relaxed),
             addr_trace_computes: self.addr_traces.computes.load(Ordering::Relaxed),
+            packed_trace_lookups: self.packed_traces.lookups.load(Ordering::Relaxed),
+            packed_trace_computes: self.packed_traces.computes.load(Ordering::Relaxed),
         }
     }
 }

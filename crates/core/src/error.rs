@@ -43,6 +43,15 @@ pub enum Error {
         /// instances, per stage).
         budget: u64,
     },
+    /// A packed-trace capture would exceed the `PERFCLONE_TRACE_CAP` byte
+    /// budget. Callers (the timing drivers) treat this as a signal to fall
+    /// back to direct interpretation; it never silently truncates a trace.
+    TraceCapExceeded {
+        /// The byte budget that would have been exceeded.
+        cap: usize,
+        /// Instructions recorded when the capture was abandoned.
+        at_instrs: u64,
+    },
     /// A suite operation needs at least one member.
     EmptySuite {
         /// The suite's name.
@@ -67,6 +76,13 @@ impl fmt::Display for Error {
             Error::Validate(e) => write!(f, "validation failed: {e}"),
             Error::BudgetExhausted { stage, budget } => {
                 write!(f, "{stage} stage did not terminate within its budget of {budget}")
+            }
+            Error::TraceCapExceeded { cap, at_instrs } => {
+                write!(
+                    f,
+                    "packed trace would exceed the {cap}-byte cap \
+                     (abandoned after {at_instrs} instructions)"
+                )
             }
             Error::EmptySuite { name } => write!(f, "suite '{name}' has no members"),
             Error::NonPositiveWeight { name, weight } => {

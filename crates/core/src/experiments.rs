@@ -10,10 +10,34 @@
 
 use perfclone_isa::Program;
 use perfclone_metrics::{pearson, rank, relative_error};
+use perfclone_sim::PackedTrace;
 use perfclone_uarch::{design_changes, sweep_trace, AddressTrace, CacheConfig, MachineConfig};
 use rayon::prelude::*;
 
-use crate::{run_timing, Error, TimingResult};
+use crate::cache::{capture_packed, trace_cap};
+use crate::{run_timing, run_timing_replay, Error, TimingResult};
+
+/// Captures a packed trace for a sweep-local replay, or `None` when the
+/// capture outgrew `PERFCLONE_TRACE_CAP` (already logged and counted by
+/// the capture choke point) and the sweep must re-interpret per cell.
+fn packed_or_fallback(program: &Program, limit: u64) -> Option<PackedTrace> {
+    capture_packed(program, limit, trace_cap()).ok()
+}
+
+/// One timing cell: replay the shared capture when there is one, fall
+/// back to the direct interpreter path otherwise. Both produce
+/// bit-identical results.
+fn timed(
+    program: &Program,
+    trace: Option<&PackedTrace>,
+    config: &MachineConfig,
+    limit: u64,
+) -> Result<TimingResult, Error> {
+    match trace {
+        Some(t) => run_timing_replay(program, t, config),
+        None => run_timing(program, config, limit),
+    }
+}
 
 /// Result of sweeping real program and clone over the same cache
 /// configurations.
@@ -152,6 +176,12 @@ impl DesignChangeSweep {
 /// Runs the full Table-3 sweep for one (real, clone) pair: base plus the
 /// five design changes.
 ///
+/// Each program's dynamic trace is captured once ([`PackedTrace`]) and
+/// replayed through every configuration — two functional executions total
+/// instead of 2 × (1 + 5) — falling back to per-cell interpretation when
+/// a capture exceeds `PERFCLONE_TRACE_CAP`. Either path yields
+/// bit-identical results.
+///
 /// # Errors
 ///
 /// Returns [`Error::Sim`] if either program faults on any configuration.
@@ -161,24 +191,28 @@ pub fn design_change_sweep(
     base: &MachineConfig,
     limit: u64,
 ) -> Result<DesignChangeSweep, Error> {
-    let base_real = run_timing(real, base, limit)?;
-    let base_synth = run_timing(clone, base, limit)?;
+    let real_trace = packed_or_fallback(real, limit);
+    let synth_trace = packed_or_fallback(clone, limit);
+    let base_real = timed(real, real_trace.as_ref(), base, limit)?;
+    let base_synth = timed(clone, synth_trace.as_ref(), base, limit)?;
     let mut changes = Vec::new();
     for config in design_changes() {
         changes.push(DesignChangeResult {
             config,
-            real: run_timing(real, &config, limit)?,
-            synth: run_timing(clone, &config, limit)?,
+            real: timed(real, real_trace.as_ref(), &config, limit)?,
+            synth: timed(clone, synth_trace.as_ref(), &config, limit)?,
         });
     }
     Ok(DesignChangeSweep { base_real, base_synth, changes })
 }
 
-/// Parallel [`design_change_sweep`]: the 2 × (1 + 5) (program ×
-/// configuration) timing cells fan over the ambient thread pool. Every
-/// cell constructs its own [`Pipeline`](crate::Pipeline) — caches,
-/// predictor, window state and all — so cells share nothing mutable, and
-/// the reassembled sweep is bit-identical to the serial driver's.
+/// Parallel [`design_change_sweep`]: the two trace captures and then the
+/// 2 × (1 + 5) (program × configuration) timing cells fan over the
+/// ambient thread pool. Every cell constructs its own
+/// [`Pipeline`](crate::Pipeline) — caches, predictor, window state and
+/// all — and replays its program's shared immutable [`PackedTrace`], so
+/// cells share nothing mutable, and the reassembled sweep is
+/// bit-identical to the serial driver's.
 ///
 /// # Errors
 ///
@@ -194,13 +228,20 @@ pub fn design_change_sweep_par(
     let mut configs = vec![*base];
     configs.extend(design_changes());
     let programs = [real, clone];
+    // Two captures fan over the pool first, then every (program × config)
+    // cell replays its program's shared capture — the workers share the
+    // immutable packed traces by reference, nothing else.
+    let traces: Vec<Option<PackedTrace>> =
+        programs.par_iter().map(|p| packed_or_fallback(p, limit)).collect();
     let cells: Vec<(usize, usize)> = configs
         .iter()
         .enumerate()
         .flat_map(|(ci, _)| (0..programs.len()).map(move |p| (ci, p)))
         .collect();
-    let results: Vec<Result<TimingResult, Error>> =
-        cells.par_iter().map(|&(ci, p)| run_timing(programs[p], &configs[ci], limit)).collect();
+    let results: Vec<Result<TimingResult, Error>> = cells
+        .par_iter()
+        .map(|&(ci, p)| timed(programs[p], traces[p].as_ref(), &configs[ci], limit))
+        .collect();
     let results: Vec<TimingResult> = results.into_iter().collect::<Result<_, _>>()?;
     // Cells were laid out [base×real, base×clone, change1×real, ...] and
     // collect preserves cell order, so results.len() == 2 × configs.len()

@@ -46,7 +46,7 @@ mod error;
 pub mod experiments;
 pub mod suite;
 
-pub use cache::{WorkloadCache, WorkloadCacheStats};
+pub use cache::{trace_cap, WorkloadCache, WorkloadCacheStats, DEFAULT_TRACE_CAP};
 pub use error::Error;
 pub use perfclone_validate::seeds;
 pub use seeds::derive_cell_seed;
@@ -54,7 +54,7 @@ pub use seeds::derive_cell_seed;
 pub use perfclone_metrics::{mean_abs_pct_error, pearson, rank, relative_error, spearman, Table};
 pub use perfclone_power::{estimate_power, PowerReport};
 pub use perfclone_profile::{profile_program, ProfileError, WorkloadProfile};
-pub use perfclone_sim::SimError;
+pub use perfclone_sim::{PackedRecorder, PackedReplay, PackedTrace, SimError};
 pub use perfclone_synth::{
     emit_c, synthesize, BranchModel, MemoryModel, SynthError, SynthesisParams,
 };
@@ -189,6 +189,66 @@ pub fn run_timing(
     Ok(TimingResult { report, power })
 }
 
+/// Runs a previously captured [`PackedTrace`] through the timing pipeline
+/// under `config` — the replay half of record-once/replay-many. The
+/// pipeline consumes the reconstructed [`DynInstr`](perfclone_sim::DynInstr)
+/// stream exactly as it would the live interpreter's, so the result is
+/// bit-identical to [`run_timing`] at the trace's capture limit.
+///
+/// # Errors
+///
+/// Returns [`Error::Sim`] carrying the fault recorded at capture time, if
+/// any — a fault replays as the same typed error the interpreter path
+/// surfaces.
+///
+/// # Panics
+///
+/// Panics if `program` is not the program the trace was captured from
+/// (see [`PackedTrace::replay`]).
+pub fn run_timing_replay(
+    program: &Program,
+    trace: &PackedTrace,
+    config: &MachineConfig,
+) -> Result<TimingResult, Error> {
+    let _span = perfclone_obs::span!("uarch.pipeline.run");
+    let mut replay = trace.replay(program);
+    let report = Pipeline::new(*config).run(&mut replay);
+    if let Some(f) = trace.fault() {
+        return Err(Error::Sim(f.clone()));
+    }
+    perfclone_obs::count!("uarch.pipeline.runs", 1);
+    perfclone_obs::count!("uarch.pipeline.instrs", report.instrs);
+    perfclone_obs::count!("trace.replays", 1);
+    let power = estimate_power(config, &report);
+    Ok(TimingResult { report, power })
+}
+
+/// [`run_timing`] through the shared [`WorkloadCache`]: the workload's
+/// dynamic trace is captured once per `(workload, limit)` and replayed for
+/// this and every subsequent configuration, so an N-configuration sweep
+/// pays one functional execution instead of N. When the capture would
+/// exceed `PERFCLONE_TRACE_CAP` (see [`trace_cap`]) this falls back to the
+/// direct interpreter path — logged and counted, never silently truncated
+/// — and still returns the identical result.
+///
+/// # Errors
+///
+/// Same as [`run_timing`]: the interpreter path's errors, or the capture
+/// fault replayed as [`Error::Sim`].
+pub fn run_timing_trace(
+    workload: &str,
+    program: &Program,
+    config: &MachineConfig,
+    limit: u64,
+    cache: &WorkloadCache,
+) -> Result<TimingResult, Error> {
+    match cache.packed_trace(workload, program, limit) {
+        Ok(trace) => run_timing_replay(program, &trace, config),
+        Err(Error::TraceCapExceeded { .. }) => run_timing(program, config, limit),
+        Err(e) => Err(e),
+    }
+}
+
 /// Side-by-side comparison of a real program and its clone on one machine.
 #[derive(Clone, Debug)]
 pub struct PairComparison {
@@ -198,17 +258,49 @@ pub struct PairComparison {
     pub synth: TimingResult,
 }
 
+/// Relative absolute error `|s − r| / r`, guarded: `None` when the real
+/// baseline `r` is zero or either value is non-finite — the degenerate
+/// cases where the ratio would be `NaN`/`inf` and silently poison a sweep
+/// summary.
+fn guarded_rel_error(r: f64, s: f64) -> Option<f64> {
+    if r == 0.0 || !r.is_finite() || !s.is_finite() {
+        return None;
+    }
+    Some(((s - r) / r).abs())
+}
+
 impl PairComparison {
     /// `|IPC_synth − IPC_real| / IPC_real` — Figure 6's metric.
+    ///
+    /// Returns the documented sentinel [`f64::INFINITY`] when the real
+    /// baseline is zero or non-finite (e.g. a zero-instruction run), so a
+    /// degenerate baseline fails loudly against any tolerance instead of
+    /// propagating `NaN` (which passes *no* comparison and vanishes from
+    /// summaries). Use [`ipc_error_checked`](PairComparison::ipc_error_checked)
+    /// to branch on the degenerate case instead.
     pub fn ipc_error(&self) -> f64 {
-        let (r, s) = (self.real.report.ipc(), self.synth.report.ipc());
-        ((s - r) / r).abs()
+        self.ipc_error_checked().unwrap_or(f64::INFINITY)
+    }
+
+    /// [`ipc_error`](PairComparison::ipc_error) as a typed outcome: `None`
+    /// when the real baseline is zero/non-finite instead of the sentinel.
+    pub fn ipc_error_checked(&self) -> Option<f64> {
+        guarded_rel_error(self.real.report.ipc(), self.synth.report.ipc())
     }
 
     /// `|P_synth − P_real| / P_real` — Figure 7's metric.
+    ///
+    /// Guarded like [`ipc_error`](PairComparison::ipc_error): a zero or
+    /// non-finite real power baseline yields [`f64::INFINITY`], never
+    /// `NaN`.
     pub fn power_error(&self) -> f64 {
-        let (r, s) = (self.real.power.average_power, self.synth.power.average_power);
-        ((s - r) / r).abs()
+        self.power_error_checked().unwrap_or(f64::INFINITY)
+    }
+
+    /// [`power_error`](PairComparison::power_error) as a typed outcome:
+    /// `None` when the real baseline is zero/non-finite.
+    pub fn power_error_checked(&self) -> Option<f64> {
+        guarded_rel_error(self.real.power.average_power, self.synth.power.average_power)
     }
 }
 
@@ -227,6 +319,30 @@ pub fn validate_pair(
     Ok(PairComparison {
         real: run_timing(real, config, limit)?,
         synth: run_timing(clone, config, limit)?,
+    })
+}
+
+/// [`validate_pair`] through the shared [`WorkloadCache`]: both programs'
+/// dynamic traces are captured once per `(workload, limit)` and replayed
+/// here and by every other configuration that validates the same pair.
+/// `real_key`/`clone_key` are the cache's workload names — callers must
+/// keep them distinct per program, as with every cache entry.
+///
+/// # Errors
+///
+/// Same as [`validate_pair`].
+pub fn validate_pair_trace(
+    real_key: &str,
+    clone_key: &str,
+    real: &Program,
+    clone: &Program,
+    config: &MachineConfig,
+    limit: u64,
+    cache: &WorkloadCache,
+) -> Result<PairComparison, Error> {
+    Ok(PairComparison {
+        real: run_timing_trace(real_key, real, config, limit, cache)?,
+        synth: run_timing_trace(clone_key, clone, config, limit, cache)?,
     })
 }
 

@@ -185,9 +185,16 @@ pub struct RunReport {
     pub sweep: Option<SweepStats>,
     /// Free-form scalar results.
     pub metrics: Vec<Metric>,
-    /// Raw counter totals.
+    /// Raw counter totals. Notable names: `cache.trace.lookups` /
+    /// `cache.trace.computes` (packed-trace memo traffic, also surfaced in
+    /// [`RunReport::caches`]), `trace.captures` / `trace.replays` (packed
+    /// captures and zero-allocation replays), and `trace.fallbacks`
+    /// (captures abandoned at `PERFCLONE_TRACE_CAP`, each re-interpreted
+    /// instead — never silently truncated).
     pub counters: Vec<CounterEntry>,
-    /// Raw gauge values.
+    /// Raw gauge values. Notable names: `trace.bytes` (total packed-trace
+    /// bytes resident in the process) and `statsim.trace.bytes` (resident
+    /// footprint of the latest statistical trace, which cannot be packed).
     pub gauges: Vec<GaugeEntry>,
     /// Raw histograms.
     pub histograms: Vec<HistogramEntry>,

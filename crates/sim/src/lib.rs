@@ -34,10 +34,12 @@
 
 mod exec;
 mod mem;
+mod packed;
 mod state;
 mod trace;
 
 pub use exec::{RunOutcome, SimError, Simulator};
 pub use mem::Memory;
+pub use packed::{PackedRecorder, PackedReplay, PackedTrace};
 pub use state::ArchState;
 pub use trace::{CountingObserver, DynInstr, MemAccess, NullObserver, Observer, Trace};

@@ -1,0 +1,539 @@
+//! Record-once/replay-many packed dynamic traces.
+//!
+//! A design-space sweep replays the *same* retired-instruction stream
+//! through many timing configurations, yet [`Simulator::trace`] regenerates
+//! it with a full functional execution per run. [`PackedTrace`] records the
+//! stream once, in a compact structure-of-arrays encoding, and
+//! [`PackedTrace::replay`] reconstructs it as [`DynInstr`] records with a
+//! zero-allocation iterator — the record-once/replay-many discipline of
+//! trace-driven simulators (SimpleScalar's `sim-outorder` trace mode).
+//!
+//! # Encoding
+//!
+//! The functional core retires a *contiguous* correct-path stream: record
+//! `i + 1` always starts at record `i`'s `next_pc`, and `halt` ends the
+//! stream. Only deviations from fall-through need storing, so per record
+//! the trace keeps:
+//!
+//! * one *redirect* bit — set when `next_pc != pc + 1`;
+//! * one *taken* bit — conditional-branch outcome (a taken branch whose
+//!   target is `pc + 1` is taken but not redirected, so this cannot be
+//!   derived from the redirect bit);
+//! * for redirected records only, the signed pc delta `next_pc − pc`,
+//!   zigzag + LEB128 varint encoded (loop back-edges are 1–2 bytes);
+//! * for memory records only, the effective address (SoA `u64` array) and
+//!   the access size with the store flag folded into the top bit.
+//!
+//! The static [`Instr`] is *not* copied per dynamic record: replay resolves
+//! it by pc from the owning [`Program`], which also decides whether a
+//! record carries a memory access. Bundled kernels pack to ~2–3 bytes per
+//! dynamic instruction versus the 64 of a materialized `Vec<DynInstr>`.
+//!
+//! # Fault carry-through
+//!
+//! A program that faults mid-capture produces a trace holding every record
+//! retired *before* the fault plus the typed [`SimError`]; replay yields
+//! the same truncated stream and surfaces the same fault from
+//! [`PackedTrace::fault`], mirroring [`Trace::fault`](crate::Trace::fault).
+//! [`PackedTrace::halted`] distinguishes a clean `halt` from a capture that
+//! stopped at its instruction limit.
+
+use perfclone_isa::{Instr, Program};
+
+use crate::exec::{SimError, Simulator};
+use crate::trace::{DynInstr, MemAccess, Observer};
+
+/// A compact recording of one program's retired-instruction stream,
+/// replayable any number of times without re-running the functional
+/// interpreter. See the [module docs](self) for the encoding.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PackedTrace {
+    program_name: String,
+    program_len: usize,
+    start_pc: u32,
+    len: u64,
+    /// Bit `i`: record `i` did not fall through (`next_pc != pc + 1`).
+    redirect_bits: Vec<u64>,
+    /// Bit `i`: record `i` is a taken conditional branch.
+    taken_bits: Vec<u64>,
+    /// Zigzag-LEB128 `next_pc − pc` deltas, one per redirected record,
+    /// in stream order.
+    targets: Vec<u8>,
+    /// Effective addresses of memory records, in stream order.
+    mem_addrs: Vec<u64>,
+    /// Access sizes of memory records; bit 7 carries the store flag.
+    mem_sizes: Vec<u8>,
+    halted: bool,
+    fault: Option<SimError>,
+}
+
+impl PackedTrace {
+    /// Captures the dynamic stream of `program` (at most `limit`
+    /// instructions) in one functional execution.
+    ///
+    /// A mid-stream fault is carried through: the returned trace holds the
+    /// records retired before the fault and reports it from
+    /// [`fault`](PackedTrace::fault). Like [`Simulator::trace`], a
+    /// non-halting program with `limit == u64::MAX` does not terminate.
+    pub fn capture(program: &Program, limit: u64) -> PackedTrace {
+        let mut rec = PackedRecorder::new();
+        let mut trace = Simulator::trace(program, limit);
+        for d in &mut trace {
+            rec.push(&d);
+        }
+        let fault = trace.fault().cloned();
+        let halted = trace.into_inner().is_halted();
+        rec.finish(program, halted, fault)
+    }
+
+    /// Like [`capture`](PackedTrace::capture), but aborts — returning
+    /// `None`, never a silently truncated trace — as soon as the packed
+    /// encoding would exceed `cap_bytes`. Callers fall back to direct
+    /// interpretation when capped out.
+    pub fn capture_capped(program: &Program, limit: u64, cap_bytes: usize) -> Option<PackedTrace> {
+        let mut rec = PackedRecorder::new();
+        let mut trace = Simulator::trace(program, limit);
+        for d in &mut trace {
+            rec.push(&d);
+            if rec.packed_bytes() > cap_bytes {
+                return None;
+            }
+        }
+        let fault = trace.fault().cloned();
+        let halted = trace.into_inner().is_halted();
+        Some(rec.finish(program, halted, fault))
+    }
+
+    /// Number of retired instructions recorded.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// `true` when no instructions were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// `true` when the capture ended with the program executing `halt`
+    /// (as opposed to hitting its instruction limit or faulting) — the
+    /// recorded stream is the program's *complete* execution.
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    /// The fault that ended the capture early, if any. Replay yields the
+    /// records retired before the fault; callers that must distinguish a
+    /// clean stop from a crash check this after exhausting the iterator,
+    /// exactly as with [`Trace::fault`](crate::Trace::fault).
+    pub fn fault(&self) -> Option<&SimError> {
+        self.fault.as_ref()
+    }
+
+    /// Name of the program this trace was captured from.
+    pub fn program_name(&self) -> &str {
+        &self.program_name
+    }
+
+    /// Approximate heap footprint of the packed encoding, in bytes.
+    pub fn packed_bytes(&self) -> usize {
+        std::mem::size_of::<PackedTrace>()
+            + self.program_name.len()
+            + (self.redirect_bits.len() + self.taken_bits.len() + self.mem_addrs.len()) * 8
+            + self.targets.len()
+            + self.mem_sizes.len()
+    }
+
+    /// A zero-allocation iterator reconstructing the recorded
+    /// [`DynInstr`] stream, resolving each static [`Instr`] from
+    /// `program`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `program` is not the program the trace was captured from
+    /// (checked by name and text length) — replaying against different
+    /// code would silently decode garbage.
+    pub fn replay<'a>(&'a self, program: &'a Program) -> PackedReplay<'a> {
+        assert!(
+            program.name() == self.program_name && program.len() == self.program_len,
+            "packed trace of {:?} ({} instrs) replayed against {:?} ({} instrs)",
+            self.program_name,
+            self.program_len,
+            program.name(),
+            program.len(),
+        );
+        PackedReplay {
+            trace: self,
+            code: program.instrs(),
+            idx: 0,
+            pc: self.start_pc,
+            target_cursor: 0,
+            mem_cursor: 0,
+        }
+    }
+}
+
+/// Incremental builder for a [`PackedTrace`] — an [`Observer`] that packs
+/// each retired instruction as it streams past, so capture can be fused
+/// with profiling or any other single-pass analysis.
+///
+/// The pushed records must form one contiguous correct-path stream (each
+/// record's `pc` equal to its predecessor's `next_pc`), which is what any
+/// [`Simulator`]-driven run produces; this is debug-asserted.
+#[derive(Clone, Debug, Default)]
+pub struct PackedRecorder {
+    start_pc: u32,
+    expect_pc: u32,
+    len: u64,
+    redirect_bits: Vec<u64>,
+    taken_bits: Vec<u64>,
+    targets: Vec<u8>,
+    mem_addrs: Vec<u64>,
+    mem_sizes: Vec<u8>,
+}
+
+impl PackedRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> PackedRecorder {
+        PackedRecorder::default()
+    }
+
+    /// Number of records packed so far.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// `true` when nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Current packed size in bytes (the [`PackedTrace::packed_bytes`] of
+    /// the trace [`finish`](PackedRecorder::finish) would build now,
+    /// excluding the program-name string).
+    pub fn packed_bytes(&self) -> usize {
+        std::mem::size_of::<PackedTrace>()
+            + (self.redirect_bits.len() + self.taken_bits.len() + self.mem_addrs.len()) * 8
+            + self.targets.len()
+            + self.mem_sizes.len()
+    }
+
+    /// Packs one retired instruction.
+    pub fn push(&mut self, d: &DynInstr) {
+        if self.len == 0 {
+            self.start_pc = d.pc;
+        } else {
+            debug_assert_eq!(
+                d.pc, self.expect_pc,
+                "packed capture requires a contiguous retired stream"
+            );
+        }
+        if self.len.is_multiple_of(64) {
+            self.redirect_bits.push(0);
+            self.taken_bits.push(0);
+        }
+        let bit = 1u64 << (self.len % 64);
+        if let (Some(r), Some(t)) = (self.redirect_bits.last_mut(), self.taken_bits.last_mut()) {
+            if d.redirected() {
+                *r |= bit;
+                let delta = i64::from(d.next_pc) - i64::from(d.pc);
+                encode_zigzag(delta, &mut self.targets);
+            }
+            if d.taken {
+                *t |= bit;
+            }
+        }
+        if let Some(m) = d.mem {
+            self.mem_addrs.push(m.addr);
+            self.mem_sizes.push(m.bytes | if m.is_store { 0x80 } else { 0 });
+        }
+        self.expect_pc = d.next_pc;
+        self.len += 1;
+    }
+
+    /// Seals the recording into a [`PackedTrace`] owned by `program`'s
+    /// stream, with the run's end state: whether the program halted and
+    /// the fault (if any) that cut the stream short.
+    pub fn finish(self, program: &Program, halted: bool, fault: Option<SimError>) -> PackedTrace {
+        PackedTrace {
+            program_name: program.name().to_string(),
+            program_len: program.len(),
+            start_pc: self.start_pc,
+            len: self.len,
+            redirect_bits: self.redirect_bits,
+            taken_bits: self.taken_bits,
+            targets: self.targets,
+            mem_addrs: self.mem_addrs,
+            mem_sizes: self.mem_sizes,
+            halted,
+            fault,
+        }
+    }
+}
+
+impl Observer for PackedRecorder {
+    #[inline]
+    fn on_retire(&mut self, d: &DynInstr) {
+        self.push(d);
+    }
+}
+
+/// Iterator over a [`PackedTrace`], yielding the recorded [`DynInstr`]
+/// stream without allocating. Created by [`PackedTrace::replay`].
+#[derive(Clone, Debug)]
+pub struct PackedReplay<'a> {
+    trace: &'a PackedTrace,
+    code: &'a [Instr],
+    idx: u64,
+    pc: u32,
+    target_cursor: usize,
+    mem_cursor: usize,
+}
+
+impl PackedReplay<'_> {
+    /// The fault recorded at capture time, if any — the replay analogue of
+    /// [`Trace::fault`](crate::Trace::fault): the iterator ends after the
+    /// last cleanly retired record and this names what stopped it.
+    pub fn fault(&self) -> Option<&SimError> {
+        self.trace.fault()
+    }
+}
+
+impl Iterator for PackedReplay<'_> {
+    type Item = DynInstr;
+
+    #[inline]
+    fn next(&mut self) -> Option<DynInstr> {
+        if self.idx == self.trace.len {
+            return None;
+        }
+        let pc = self.pc;
+        let instr = self.code[pc as usize];
+        let word = (self.idx / 64) as usize;
+        let bit = 1u64 << (self.idx % 64);
+        let taken = self.trace.taken_bits[word] & bit != 0;
+        let next_pc = if self.trace.redirect_bits[word] & bit != 0 {
+            let delta = decode_zigzag(&self.trace.targets, &mut self.target_cursor);
+            i64::from(pc).wrapping_add(delta) as u32
+        } else {
+            pc.wrapping_add(1)
+        };
+        // The program decides whether this record carries a memory access;
+        // the SoA arrays only hold the dynamic half (address, size, store).
+        let mem = if instr.mem_ref().is_some() {
+            let addr = self.trace.mem_addrs[self.mem_cursor];
+            let sz = self.trace.mem_sizes[self.mem_cursor];
+            self.mem_cursor += 1;
+            Some(MemAccess { addr, bytes: sz & 0x7f, is_store: sz & 0x80 != 0 })
+        } else {
+            None
+        };
+        self.idx += 1;
+        self.pc = next_pc;
+        Some(DynInstr { pc, instr, next_pc, taken, mem })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = usize::try_from(self.trace.len - self.idx).unwrap_or(usize::MAX);
+        (left, Some(left))
+    }
+}
+
+/// Appends `v` as a zigzag-mapped LEB128 varint.
+fn encode_zigzag(v: i64, out: &mut Vec<u8>) {
+    let mut zz = ((v << 1) ^ (v >> 63)) as u64;
+    loop {
+        let byte = (zz & 0x7f) as u8;
+        zz >>= 7;
+        if zz == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Reads one zigzag-mapped LEB128 varint starting at `*cursor`, advancing
+/// the cursor past it.
+#[inline]
+fn decode_zigzag(bytes: &[u8], cursor: &mut usize) -> i64 {
+    let mut zz = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let byte = bytes[*cursor];
+        *cursor += 1;
+        zz |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            break;
+        }
+        shift += 7;
+    }
+    ((zz >> 1) as i64) ^ -((zz & 1) as i64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perfclone_isa::{MemWidth, ProgramBuilder, Reg, StreamDesc};
+
+    fn r(i: u8) -> Reg {
+        Reg::new(i)
+    }
+
+    /// A kernel-shaped program: loop with a conditional back-edge, loads,
+    /// stores, a call/return pair, and a halt.
+    fn busy_program() -> perfclone_isa::Program {
+        let mut b = ProgramBuilder::new("busy");
+        let table = b.data_u64(&[1, 2, 3, 4]);
+        let id = b.stream(StreamDesc { base: 0x4000, stride: 16, length: 8 });
+        let (i, n, acc, ptr, ra) = (r(1), r(2), r(3), r(4), r(31));
+        b.li(i, 0);
+        b.li(n, 25);
+        b.li(ptr, table as i64);
+        let func = b.label();
+        let top = b.label();
+        let done = b.label();
+        b.j(top);
+        b.bind(func);
+        b.ld(acc, ptr, 8);
+        b.jr(ra);
+        b.bind(top);
+        b.ld_stream(acc, id, MemWidth::B8);
+        b.sb(acc, ptr, 16);
+        b.jal(ra, func);
+        b.addi(i, i, 1);
+        b.blt(i, n, top);
+        b.bind(done);
+        b.halt();
+        b.build()
+    }
+
+    fn assert_replay_equals_trace(p: &perfclone_isa::Program, limit: u64) {
+        let direct: Vec<DynInstr> = Simulator::trace(p, limit).collect();
+        let packed = PackedTrace::capture(p, limit);
+        let replayed: Vec<DynInstr> = packed.replay(p).collect();
+        assert_eq!(direct, replayed);
+        let mut direct_trace = Simulator::trace(p, limit);
+        let n = direct_trace.by_ref().count();
+        assert_eq!(packed.len(), n as u64);
+        assert_eq!(packed.fault(), direct_trace.fault());
+    }
+
+    #[test]
+    fn replay_reproduces_the_interpreter_stream() {
+        let p = busy_program();
+        for limit in [0, 1, 7, 64, 65, 1_000, u64::MAX] {
+            assert_replay_equals_trace(&p, limit);
+        }
+    }
+
+    #[test]
+    fn faulting_program_carries_its_fault_through() {
+        let mut b = ProgramBuilder::new("fall");
+        b.nop(); // no halt: falls off the end
+        let p = b.build();
+        let packed = PackedTrace::capture(&p, 100);
+        assert_eq!(packed.len(), 1);
+        assert!(!packed.halted());
+        assert!(matches!(packed.fault(), Some(SimError::PcOutOfRange { pc: 1, .. })));
+        assert_replay_equals_trace(&p, 100);
+    }
+
+    #[test]
+    fn halted_flag_distinguishes_clean_stop_from_limit() {
+        let p = busy_program();
+        assert!(PackedTrace::capture(&p, u64::MAX).halted());
+        let truncated = PackedTrace::capture(&p, 5);
+        assert!(!truncated.halted());
+        assert!(truncated.fault().is_none());
+        assert_eq!(truncated.len(), 5);
+    }
+
+    #[test]
+    fn taken_branch_to_fallthrough_is_preserved() {
+        // A taken conditional branch whose target *is* pc + 1: taken must
+        // round-trip independently of the redirect bit.
+        let mut b = ProgramBuilder::new("tft");
+        let (x,) = (r(1),);
+        b.li(x, 1);
+        let next = b.label();
+        b.bgt(x, r(0), next); // taken, target == pc + 1
+        b.bind(next);
+        b.halt();
+        let p = b.build();
+        let direct: Vec<DynInstr> = Simulator::trace(&p, 100).collect();
+        assert!(direct.iter().any(|d| d.taken && !d.redirected()));
+        assert_replay_equals_trace(&p, 100);
+    }
+
+    #[test]
+    fn recorder_is_an_observer() {
+        let p = busy_program();
+        let mut rec = PackedRecorder::new();
+        let mut sim = Simulator::new(&p);
+        let out = sim.run_with(u64::MAX, &mut rec).unwrap();
+        let packed = rec.finish(&p, out.halted, None);
+        let direct: Vec<DynInstr> = Simulator::trace(&p, u64::MAX).collect();
+        let replayed: Vec<DynInstr> = packed.replay(&p).collect();
+        assert_eq!(direct, replayed);
+        assert!(packed.halted());
+    }
+
+    #[test]
+    fn cap_aborts_instead_of_truncating() {
+        let p = busy_program();
+        let full = PackedTrace::capture(&p, u64::MAX);
+        assert!(PackedTrace::capture_capped(&p, u64::MAX, full.packed_bytes()).is_some());
+        assert_eq!(PackedTrace::capture_capped(&p, u64::MAX, 64), None);
+        let generous = PackedTrace::capture_capped(&p, u64::MAX, usize::MAX);
+        assert_eq!(generous.as_ref(), Some(&full));
+    }
+
+    #[test]
+    fn packing_is_compact() {
+        let p = busy_program();
+        let packed = PackedTrace::capture(&p, u64::MAX);
+        let materialized = packed.len() as usize * std::mem::size_of::<DynInstr>();
+        assert!(
+            packed.packed_bytes() * 4 < materialized,
+            "packed {} B vs materialized {} B over {} instrs",
+            packed.packed_bytes(),
+            materialized,
+            packed.len()
+        );
+    }
+
+    #[test]
+    fn zigzag_round_trips() {
+        let mut buf = Vec::new();
+        let values = [0i64, 1, -1, 2, -2, 63, -64, 8_191, -8_192, i64::from(u32::MAX), -(1 << 31)];
+        for v in values {
+            encode_zigzag(v, &mut buf);
+        }
+        let mut cursor = 0;
+        for v in values {
+            assert_eq!(decode_zigzag(&buf, &mut cursor), v);
+        }
+        assert_eq!(cursor, buf.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "replayed against")]
+    fn replay_against_wrong_program_panics() {
+        let p = busy_program();
+        let packed = PackedTrace::capture(&p, 100);
+        let mut b = ProgramBuilder::new("other");
+        b.halt();
+        let other = b.build();
+        let _ = packed.replay(&other).count();
+    }
+
+    #[test]
+    fn empty_capture_is_well_formed() {
+        let p = busy_program();
+        let packed = PackedTrace::capture(&p, 0);
+        assert!(packed.is_empty());
+        assert!(!packed.halted());
+        assert!(packed.fault().is_none());
+        assert_eq!(packed.replay(&p).count(), 0);
+    }
+}

@@ -15,7 +15,15 @@
 //! `ablation_statsim` bench).
 //!
 //! The generated trace is a stream of [`DynInstr`] records, directly
-//! consumable by `perfclone_uarch::Pipeline::run`.
+//! consumable by `perfclone_uarch::Pipeline::run`. Unlike interpreter
+//! traces, statistical traces **cannot** be stored as a
+//! `perfclone_sim::PackedTrace`: the packed format resolves each record's
+//! static [`Instr`] from its pc at replay time, but statsim shuffles every
+//! block body per dynamic execution, so the same synthetic pc maps to
+//! different instructions across visits. Sharing across configurations
+//! happens through the `statsim` memo of `perfclone::WorkloadCache`
+//! instead, and the resident footprint is reported by the
+//! `statsim.trace.bytes` gauge.
 //!
 //! # Example
 //!
@@ -253,6 +261,16 @@ pub fn synth_trace(
     out.truncate(params.length as usize);
     perfclone_obs::count!("statsim.traces", 1);
     perfclone_obs::count!("statsim.instrs", out.len() as u64);
+    // Statistical traces stay as full `DynInstr` records: the block bodies
+    // are RNG-shuffled per dynamic execution, so the same pc maps to
+    // different instructions across visits and the pc→instr indirection a
+    // `PackedTrace` relies on does not hold. Memoization (the `statsim`
+    // cache memo) is the sharing mechanism here; this gauge makes the
+    // resident cost visible next to `trace.bytes` in run reports.
+    perfclone_obs::gauge!(
+        "statsim.trace.bytes",
+        (out.len() * core::mem::size_of::<DynInstr>()) as u64
+    );
     Ok(out)
 }
 

@@ -40,12 +40,43 @@ enum EntryState {
     Done,
 }
 
-#[derive(Clone, Debug)]
+/// Fixed-capacity producer list. An instruction reads at most three
+/// registers ([`perfclone_isa::Instr::uses`] caps its `OperandList` at 3),
+/// so the sequence numbers of its producers always fit inline — keeping
+/// [`RobEntry`] `Copy` and the rename/issue paths free of heap traffic.
+/// Readiness is checked lazily at issue time ([`Pipeline::producer_done`])
+/// instead of by broadcasting wakeups through the window, so the list is
+/// immutable once built.
+#[derive(Clone, Copy, Debug, Default)]
+struct DepList {
+    seqs: [u64; 3],
+    len: u8,
+}
+
+impl DepList {
+    #[inline]
+    fn contains(&self, seq: u64) -> bool {
+        self.seqs[..usize::from(self.len)].contains(&seq)
+    }
+
+    #[inline]
+    fn push(&mut self, seq: u64) {
+        self.seqs[usize::from(self.len)] = seq;
+        self.len += 1;
+    }
+
+    #[inline]
+    fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        self.seqs[..usize::from(self.len)].iter().copied()
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
 struct RobEntry {
     seq: u64,
     class: InstrClass,
     state: EntryState,
-    deps: Vec<u64>,
+    deps: DepList,
     is_store: bool,
     is_load: bool,
     addr: u64,
@@ -98,8 +129,9 @@ pub struct Activity {
     pub icache_stall_cycles: u64,
 }
 
-/// Results of one pipeline run.
-#[derive(Clone, Copy, Debug)]
+/// Results of one pipeline run. Every field is an exact integer count,
+/// so `==` is the bit-identity the replay-equivalence tests rely on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct PipelineReport {
     /// Total simulation cycles.
     pub cycles: u64,
@@ -189,6 +221,14 @@ pub struct Pipeline {
     last_writer: [Option<u64>; 64],
     activity: Activity,
     committed: u64,
+    /// Earliest `done_at` among Executing entries (`u64::MAX` when none):
+    /// lets [`writeback`](Pipeline::writeback) skip the ROB scan on cycles
+    /// where nothing can possibly finish.
+    next_done_at: u64,
+    /// Every entry with a sequence number below this is known not to be
+    /// Waiting (entries never revert to Waiting), so the issue scan can
+    /// start past the already-issued prefix of the window.
+    waiting_head_seq: u64,
 }
 
 impl Pipeline {
@@ -213,6 +253,8 @@ impl Pipeline {
             last_writer: [None; 64],
             activity: Activity::default(),
             committed: 0,
+            next_done_at: u64::MAX,
+            waiting_head_seq: 0,
         }
     }
 
@@ -352,26 +394,55 @@ impl Pipeline {
 
     fn writeback(&mut self) {
         let cycle = self.cycle;
-        let mut finished: Vec<u64> = Vec::new();
+        if self.next_done_at > cycle {
+            return; // nothing can finish this cycle
+        }
+        let mut next = u64::MAX;
         for e in self.rob.iter_mut() {
             if let EntryState::Executing { done_at } = e.state {
                 if done_at <= cycle {
                     e.state = EntryState::Done;
-                    finished.push(e.seq);
                     if e.mispredicted && self.fetch_blocked_on == Some(e.seq) {
                         self.fetch_blocked_on = None;
                     }
+                } else if done_at < next {
+                    next = done_at;
                 }
             }
         }
-        if !finished.is_empty() {
-            for e in self.rob.iter_mut() {
-                e.deps.retain(|d| !finished.contains(d));
-            }
-            for e in self.fetch_queue.iter_mut() {
-                e.deps.retain(|d| !finished.contains(d));
-            }
+        self.next_done_at = next;
+    }
+
+    /// `true` when the producer with sequence number `w` has finished
+    /// execution (or already committed). O(1): the ROB followed by the
+    /// fetch queue holds the contiguous in-flight range
+    /// `[oldest, next_seq)`, so a sequence number below the ROB head has
+    /// committed, one inside the ROB is found by direct indexing, and one
+    /// beyond the ROB tail is still in the fetch queue (never executed).
+    #[inline]
+    fn producer_done(&self, w: u64) -> bool {
+        let Some(front) = self.rob.front() else {
+            return match self.fetch_queue.front() {
+                Some(fq) => w < fq.seq,
+                None => true,
+            };
+        };
+        if w < front.seq {
+            return true;
         }
+        match self.rob.get((w - front.seq) as usize) {
+            Some(p) => {
+                debug_assert_eq!(p.seq, w, "ROB seq range must be contiguous");
+                p.state == EntryState::Done
+            }
+            None => false,
+        }
+    }
+
+    /// `true` when every producer of ROB entry `idx` has finished.
+    #[inline]
+    fn deps_satisfied(&self, idx: usize) -> bool {
+        self.rob[idx].deps.iter().all(|w| self.producer_done(w))
     }
 
     fn issue(&mut self) {
@@ -383,14 +454,21 @@ impl Pipeline {
         let mut mem_ports_free = self.config.mem_ports;
         let cycle = self.cycle;
 
-        let mut idx = 0;
+        let Some(front_seq) = self.rob.front().map(|e| e.seq) else { return };
+        // Entries below the waiting-head hint are known issued; start past
+        // them. The hint is re-established from this scan's outcome below.
+        let mut idx = (self.waiting_head_seq.saturating_sub(front_seq)) as usize;
+        let mut first_still_waiting: Option<u64> = None;
         while idx < self.rob.len() && budget > 0 {
-            if self.rob[idx].state != EntryState::Waiting {
+            let (state, class) = {
+                let e = &self.rob[idx];
+                (e.state, e.class)
+            };
+            if state != EntryState::Waiting {
                 idx += 1;
                 continue;
             }
-            let ready = self.rob[idx].deps.is_empty() && self.load_ready(idx);
-            let unit_ok = match self.rob[idx].class {
+            let unit_ok = match class {
                 InstrClass::IntAlu | InstrClass::Branch | InstrClass::Jump => int_alu_free > 0,
                 InstrClass::IntMul => int_mul_free > 0 && self.int_div_busy_until <= cycle,
                 InstrClass::IntDiv => int_mul_free > 0 && self.int_div_busy_until <= cycle,
@@ -399,13 +477,16 @@ impl Pipeline {
                 InstrClass::FpDiv => fp_mul_free > 0 && self.fp_div_busy_until <= cycle,
                 InstrClass::Load | InstrClass::Store => mem_ports_free > 0,
             };
-            if ready && unit_ok {
+            let ready = unit_ok && self.deps_satisfied(idx) && self.load_ready(idx);
+            if ready {
                 let lat = {
-                    let e = self.rob[idx].clone();
+                    let e = self.rob[idx];
                     self.instr_latency(&e)
                 };
+                let done_at = cycle + u64::from(lat);
+                self.next_done_at = self.next_done_at.min(done_at);
                 let e = &mut self.rob[idx];
-                e.state = EntryState::Executing { done_at: cycle + u64::from(lat) };
+                e.state = EntryState::Executing { done_at };
                 budget -= 1;
                 self.activity.issues += 1;
                 self.activity.regfile_reads += u64::from(e.num_uses);
@@ -440,13 +521,21 @@ impl Pipeline {
                         mem_ports_free -= 1;
                     }
                 }
-            } else if self.config.issue_policy == IssuePolicy::InOrder {
-                // In-order issue: stop at the first instruction that cannot
-                // issue this cycle.
-                break;
+            } else {
+                if first_still_waiting.is_none() {
+                    first_still_waiting = Some(front_seq + idx as u64);
+                }
+                if self.config.issue_policy == IssuePolicy::InOrder {
+                    // In-order issue: stop at the first instruction that
+                    // cannot issue this cycle.
+                    break;
+                }
             }
             idx += 1;
         }
+        // Everything scanned before the first still-Waiting entry issued;
+        // if the scan ran dry, everything up to the scan end is non-Waiting.
+        self.waiting_head_seq = first_still_waiting.unwrap_or(front_seq + idx as u64);
     }
 
     /// Loads may not issue past an older overlapping store that has not
@@ -522,14 +611,16 @@ impl Pipeline {
             self.next_seq += 1;
             self.activity.fetches += 1;
 
-            // Rename: record dependences on in-flight producers.
-            let mut deps = Vec::new();
-            for u in d.instr.uses() {
+            // Rename: record the last writer of each source register.
+            // Whether that producer is still in flight is resolved lazily
+            // at issue time ([`producer_done`](Pipeline::producer_done)).
+            let uses = d.instr.uses();
+            let defs = d.instr.defs();
+            let mut deps = DepList::default();
+            for u in uses.iter() {
                 if let Some(w) = self.last_writer[u.flat_index()] {
-                    if let Some(dep) = self.inflight_dep(w) {
-                        if !deps.contains(&dep) {
-                            deps.push(dep);
-                        }
+                    if !deps.contains(w) {
+                        deps.push(w);
                     }
                 }
             }
@@ -537,7 +628,7 @@ impl Pipeline {
                 Some(m) => (!m.is_store, m.is_store, m.addr, m.bytes),
                 None => (false, false, 0, 0),
             };
-            let entry = RobEntry {
+            let mut entry = RobEntry {
                 seq,
                 class: d.instr.class(),
                 state: EntryState::Waiting,
@@ -547,14 +638,13 @@ impl Pipeline {
                 addr,
                 bytes,
                 mispredicted: false,
-                num_uses: d.instr.uses().len() as u8,
-                num_defs: d.instr.defs().len() as u8,
+                num_uses: uses.len() as u8,
+                num_defs: defs.len() as u8,
             };
             // Record this instruction as the latest writer of its defs.
-            for def in d.instr.defs() {
+            for def in defs.iter() {
                 self.last_writer[def.flat_index()] = Some(seq);
             }
-            let mut entry = entry;
             budget -= 1;
 
             let mut stop = false;
@@ -576,18 +666,6 @@ impl Pipeline {
                 break;
             }
         }
-    }
-
-    /// Returns `Some(seq)` when the producer is still in flight (in the
-    /// ROB or fetch queue) and not yet done, i.e. a real wakeup dependence.
-    fn inflight_dep(&self, seq_w: u64) -> Option<u64> {
-        self.rob.iter().chain(self.fetch_queue.iter()).find(|e| e.seq == seq_w).and_then(|e| {
-            if e.state == EntryState::Done {
-                None
-            } else {
-                Some(e.seq)
-            }
-        })
     }
 }
 

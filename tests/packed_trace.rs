@@ -1,0 +1,261 @@
+//! Acceptance tests for record-once/replay-many packed dynamic traces:
+//! replay must reproduce the interpreter's stream record-for-record
+//! (mid-stream faults included), timing results obtained through the
+//! shared trace cache must be bit-identical to the direct interpreter
+//! path across machine configurations and rayon thread counts, and the
+//! fidelity gate's replay path must return the identical report.
+
+use perfclone::experiments::{design_change_sweep, design_change_sweep_par};
+use perfclone_isa::{MemWidth, Program, ProgramBuilder, Reg, StreamDesc};
+use perfclone_kernels::{by_name, Scale};
+use perfclone_repro::prelude::*;
+use perfclone_sim::Simulator;
+use proptest::prelude::*;
+
+fn susan_tiny() -> Program {
+    by_name("susan").expect("bundled kernel").build(Scale::Tiny).program
+}
+
+/// A deterministic program built from a random opcode stream: ALU chains,
+/// multiplies, stream loads, base-register loads/stores, xorshift-driven
+/// conditional branches, and jumps — with an optional missing `halt`, so
+/// the stream ends in a `PcOutOfRange` fault. Covers every packed-record
+/// shape: fall-through, taken branch, redirect, memory access, fault.
+fn random_program(ops: &[u8], halt: bool) -> Program {
+    let mut b = ProgramBuilder::new("rand");
+    let r = Reg::new;
+    let buf = b.alloc(256);
+    let id = b.stream(StreamDesc { base: 0x10_0000, stride: 24, length: 1 << 10 });
+    b.li(r(5), buf as i64);
+    b.li(r(7), 0x9e37_79b9);
+    for (i, op) in ops.iter().enumerate() {
+        match op % 8 {
+            0 => b.addi(r(3), r(3), 1),
+            1 => b.mul(r(4), r(4), r(3)),
+            2 => b.ld_stream(r(6), id, MemWidth::B8),
+            3 => b.sd(r(3), r(5), ((i % 8) * 8) as i32),
+            4 => b.ld(r(9), r(5), 0),
+            5 => {
+                // xorshift step: keeps later branch directions varied.
+                b.srli(r(8), r(7), 13);
+                b.xor(r(7), r(7), r(8));
+            }
+            6 => {
+                // Data-dependent forward branch over a nop.
+                let skip = b.label();
+                b.andi(r(8), r(7), 1);
+                b.bnez(r(8), skip);
+                b.nop();
+                b.bind(skip);
+            }
+            _ => {
+                // Unconditional jump over a nop: a redirect that is not a
+                // taken conditional branch.
+                let over = b.label();
+                b.j(over);
+                b.nop();
+                b.bind(over);
+            }
+        }
+    }
+    if halt {
+        b.halt();
+    }
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Replay reproduces `Simulator::trace` record-for-record — every
+    /// `DynInstr` field — and carries the same fault, for random programs
+    /// (halting and faulting) across capture limits.
+    #[test]
+    fn replay_reproduces_interpreter_stream(
+        ops in proptest::collection::vec(any::<u8>(), 1..160),
+        halt in any::<bool>(),
+        limit in prop_oneof![Just(u64::MAX), 1u64..400],
+    ) {
+        let p = random_program(&ops, halt);
+        let packed = PackedTrace::capture(&p, limit);
+        let mut itrace = Simulator::trace(&p, limit);
+        let mut replay = packed.replay(&p);
+        loop {
+            let a = itrace.next();
+            let b = replay.next();
+            prop_assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+        prop_assert_eq!(itrace.fault(), packed.fault());
+        prop_assert_eq!(replay.fault(), packed.fault());
+    }
+}
+
+/// `run_timing_trace` (one capture through the shared cache, replayed per
+/// configuration) is bit-identical to `run_timing` (one functional
+/// execution per configuration) for the base machine and every Table-3
+/// design change.
+#[test]
+fn run_timing_trace_is_bit_identical_across_configs() {
+    let program = susan_tiny();
+    let cache = WorkloadCache::new();
+    let mut configs = vec![base_config()];
+    configs.extend(design_changes());
+    for c in &configs {
+        let direct = run_timing(&program, c, u64::MAX).expect("direct path");
+        let replay =
+            run_timing_trace("susan-tiny", &program, c, u64::MAX, &cache).expect("replay path");
+        assert_eq!(
+            direct.report, replay.report,
+            "{}: PipelineReport must be bit-identical",
+            c.name
+        );
+        assert_eq!(direct.power.total_energy.to_bits(), replay.power.total_energy.to_bits());
+        assert_eq!(direct.power.average_power.to_bits(), replay.power.average_power.to_bits());
+        assert_eq!(
+            direct.power.energy_per_instr.to_bits(),
+            replay.power.energy_per_instr.to_bits()
+        );
+    }
+    let stats = cache.snapshot();
+    assert_eq!(stats.packed_trace_computes, 1, "one capture must serve every configuration");
+    assert_eq!(stats.packed_trace_lookups, configs.len() as u64);
+}
+
+/// The parallel design sweep (which fans replay cells across rayon
+/// workers) returns bit-identical results for 1 and 4 worker threads.
+#[test]
+fn parallel_sweep_replay_is_thread_count_invariant() {
+    let program = susan_tiny();
+    let clone = Cloner::new().clone_program(&program, u64::MAX).expect("clone").clone;
+    let base = base_config();
+    let run =
+        |threads: usize| {
+            rayon::ThreadPoolBuilder::new().num_threads(threads).build().expect("pool").install(
+                || design_change_sweep_par(&program, &clone, &base, u64::MAX).expect("sweep"),
+            )
+        };
+    let serial = design_change_sweep(&program, &clone, &base, u64::MAX).expect("sweep");
+    for par in [run(1), run(4)] {
+        assert_eq!(serial.base_real.report, par.base_real.report);
+        assert_eq!(serial.base_synth.report, par.base_synth.report);
+        assert_eq!(serial.changes.len(), par.changes.len());
+        for (s, p) in serial.changes.iter().zip(&par.changes) {
+            assert_eq!(s.real.report, p.real.report);
+            assert_eq!(s.synth.report, p.synth.report);
+            assert_eq!(s.real.power.average_power.to_bits(), p.real.power.average_power.to_bits());
+            assert_eq!(
+                s.synth.power.average_power.to_bits(),
+                p.synth.power.average_power.to_bits()
+            );
+        }
+    }
+}
+
+/// A mid-stream fault replays as the same typed error the interpreter
+/// path surfaces.
+#[test]
+fn faulting_program_replays_as_the_same_error() {
+    let mut b = ProgramBuilder::new("fall");
+    b.nop(); // no halt: execution falls off the end of the text section
+    let p = b.build();
+    let cache = WorkloadCache::new();
+    let direct = run_timing(&p, &base_config(), u64::MAX).expect_err("must fault");
+    let replay =
+        run_timing_trace("fall", &p, &base_config(), u64::MAX, &cache).expect_err("must fault");
+    assert!(matches!(&replay, Error::Sim(SimError::PcOutOfRange { .. })), "got {replay}");
+    assert_eq!(direct.to_string(), replay.to_string());
+}
+
+/// An over-cap workload is probed exactly once: the capture abandons (it
+/// never truncates) and the outcome is memoized as a typed error so every
+/// later requester immediately falls back to the interpreter.
+#[test]
+fn capped_capture_is_memoized_as_error() {
+    let program = susan_tiny();
+    let cache = WorkloadCache::new();
+    for _ in 0..3 {
+        let err = cache
+            .packed_trace_capped("susan-tiny", &program, u64::MAX, 64)
+            .expect_err("64 bytes cannot hold the trace");
+        assert!(matches!(err, Error::TraceCapExceeded { cap: 64, .. }), "got {err}");
+    }
+    let stats = cache.snapshot();
+    assert_eq!(stats.packed_trace_computes, 1, "over-cap probe must be memoized");
+    assert_eq!(stats.packed_trace_lookups, 3);
+}
+
+/// A zero-cycle (or otherwise degenerate) baseline cannot anchor a
+/// relative error: the checked accessors return `None` and the legacy
+/// accessors the documented infinity sentinel instead of NaN.
+#[test]
+fn pair_comparison_guards_degenerate_baselines() {
+    let program = susan_tiny();
+    let empty = run_timing(&program, &base_config(), 0).expect("empty run");
+    let full = run_timing(&program, &base_config(), u64::MAX).expect("full run");
+    assert_eq!(empty.report.cycles, 0);
+
+    let cmp = PairComparison { real: empty, synth: full.clone() };
+    assert_eq!(cmp.ipc_error_checked(), None);
+    assert!(cmp.ipc_error().is_infinite());
+
+    // A baseline whose power model degenerated to zero (or NaN) likewise
+    // cannot anchor a relative power error.
+    let mut degenerate = full.clone();
+    degenerate.power.average_power = 0.0;
+    let cmp = PairComparison { real: degenerate.clone(), synth: full.clone() };
+    assert_eq!(cmp.power_error_checked(), None);
+    assert!(cmp.power_error().is_infinite());
+    degenerate.power.average_power = f64::NAN;
+    let cmp = PairComparison { real: degenerate, synth: full.clone() };
+    assert_eq!(cmp.power_error_checked(), None);
+    assert!(cmp.power_error().is_infinite());
+
+    // A healthy baseline still yields finite checked errors.
+    let healthy = PairComparison { real: full.clone(), synth: full };
+    assert_eq!(healthy.ipc_error_checked(), Some(0.0));
+    assert_eq!(healthy.ipc_error(), 0.0);
+}
+
+/// The fidelity gate's replay path returns the identical report to direct
+/// re-profiling for a passing clone, and reproduces the direct path's
+/// typed errors for non-halting and faulting clones.
+#[test]
+fn gate_replay_matches_direct_path() {
+    let program = susan_tiny();
+    let gate = Gate::default();
+    let (outcome, direct) =
+        Cloner::new().clone_validated(&program, u64::MAX, &gate).expect("clone validates");
+    let trace = PackedTrace::capture(&outcome.clone, gate.profile_budget);
+    let replayed =
+        gate.report_replay(&outcome.profile, &outcome.clone, &trace).expect("replay gate");
+    assert_eq!(direct, replayed, "gate replay must reproduce the direct report");
+
+    // Non-halting clone: both paths exhaust the budget.
+    let tight = Gate { profile_budget: 1_000, ..gate };
+    let mut b = ProgramBuilder::new("spin");
+    let top = b.label();
+    b.bind(top);
+    b.j(top);
+    let spin = b.build();
+    let direct_err = tight.report(&outcome.profile, &spin).expect_err("spins");
+    let spin_trace = PackedTrace::capture(&spin, tight.profile_budget);
+    let replay_err = tight.report_replay(&outcome.profile, &spin, &spin_trace).expect_err("spins");
+    assert!(matches!(direct_err, ValidateError::BudgetExhausted { budget: 1_000 }));
+    assert!(matches!(replay_err, ValidateError::BudgetExhausted { budget: 1_000 }));
+
+    // Faulting clone: both paths surface the fault as CloneFaulted.
+    let mut b = ProgramBuilder::new("fall");
+    b.nop();
+    let fall = b.build();
+    let direct_err = tight.report(&outcome.profile, &fall).expect_err("faults");
+    let fall_trace = PackedTrace::capture(&fall, tight.profile_budget);
+    let replay_err = tight.report_replay(&outcome.profile, &fall, &fall_trace).expect_err("faults");
+    let (ValidateError::CloneFaulted(a), ValidateError::CloneFaulted(b)) = (direct_err, replay_err)
+    else {
+        panic!("both paths must report CloneFaulted");
+    };
+    assert_eq!(a, b);
+}
