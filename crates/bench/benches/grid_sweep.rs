@@ -1,0 +1,82 @@
+//! Out-of-core design-space sweep at scale: a 10 240-cell grid
+//! (`GridAxes::dense`) swept shard-by-shard through `run_grid`, timing
+//! wall clock and recording peak RSS (`VmHWM`) to demonstrate that the
+//! sweep's memory footprint stays flat when the packed trace spills to
+//! disk. Writes the headline numbers to `BENCH_grid.json` at the
+//! workspace root so the trajectory is checked in per PR.
+//!
+//! Run with `PERFCLONE_TRACE_CAP=4096` to force the out-of-core path
+//! (`trace_spilled: true` in the emitted JSON); without a cap the trace
+//! stays in memory and the sweep measures the in-core baseline.
+
+use std::path::Path;
+use std::time::Instant;
+
+use perfclone::{pareto_frontier, run_grid, GridAxes, GridSpec, WorkloadCache};
+use perfclone_kernels::{by_name, Scale};
+
+const KERNEL: &str = "crc32";
+const LIMIT: u64 = 20_000;
+const SHARD: u64 = 64;
+
+/// Peak resident set size in KiB, from `/proc/self/status` (`VmHWM`);
+/// `None` off Linux.
+fn peak_rss_kib() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+fn main() {
+    let program = by_name(KERNEL).expect("kernel exists").build(Scale::Tiny).program;
+    let spec = GridSpec {
+        workload: KERNEL.into(),
+        scale: "tiny".into(),
+        limit: LIMIT,
+        axes: GridAxes::dense(),
+        max_cells: u64::MAX,
+        shard_size: SHARD,
+    };
+    let journal = std::env::temp_dir().join(format!("perfclone-bench-grid-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&journal);
+
+    let cache = WorkloadCache::new();
+    let t0 = Instant::now();
+    let outcome = run_grid(&program, &spec, &journal, &cache, |_| {}).expect("sweep succeeds");
+    let elapsed = t0.elapsed().as_secs_f64();
+    let _ = std::fs::remove_dir_all(&journal);
+
+    assert_eq!(outcome.rows.len() as u64, spec.cells(), "every cell must produce a row");
+    let pareto = pareto_frontier(&outcome.rows);
+    let rss_kib = peak_rss_kib().unwrap_or(0);
+    let cells = spec.cells();
+
+    println!(
+        "\n{KERNEL}: {cells}-cell grid sweep ({} shards of {SHARD})  {elapsed:.2}s  \
+         {:.0} cells/s  peak RSS {:.1} MiB  trace {}  pareto {} points",
+        spec.shard_count(),
+        cells as f64 / elapsed,
+        rss_kib as f64 / 1024.0,
+        if outcome.spilled_trace { "spilled to disk" } else { "in memory" },
+        pareto.len()
+    );
+
+    // Hand-rolled JSON keeps the bench crate dependency-free; every value
+    // is a number, bool, or fixed string.
+    let json = format!(
+        "{{\n  \"bench\": \"grid_sweep\",\n  \"workload\": \"{KERNEL}\",\n  \
+         \"scale\": \"tiny\",\n  \"limit\": {LIMIT},\n  \"cells\": {cells},\n  \
+         \"shard_size\": {SHARD},\n  \"shards\": {},\n  \"trace_spilled\": {},\n  \
+         \"elapsed_s\": {elapsed:.3},\n  \"cells_per_s\": {:.1},\n  \
+         \"peak_rss_kib\": {rss_kib},\n  \"pareto_points\": {}\n}}\n",
+        spec.shard_count(),
+        outcome.spilled_trace,
+        cells as f64 / elapsed,
+        pareto.len()
+    );
+    let dest = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_grid.json");
+    match std::fs::write(&dest, &json) {
+        Ok(()) => println!("bench record -> {}", dest.display()),
+        Err(e) => eprintln!("perfclone-bench: cannot write {}: {e}", dest.display()),
+    }
+}

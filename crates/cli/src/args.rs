@@ -23,6 +23,11 @@ const VALUED: &[&str] = &[
     "-j",
     "--jobs",
     "--report",
+    "--grid",
+    "--cells",
+    "--shard",
+    "--journal",
+    "--limit",
 ];
 
 /// Splits `argv` into positionals and options.

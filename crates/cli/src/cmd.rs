@@ -5,9 +5,9 @@ use std::sync::Mutex;
 
 use perfclone::experiments::{cache_sweep_pair_par, design_change_sweep_par};
 use perfclone::{
-    base_config, cache_sweep, run_timing, run_timing_replay, run_timing_trace, Cloner, Error,
-    Fault, FaultPlan, Gate, PairComparison, SynthesisParams, Table, ValidationReport, Verdict,
-    WorkloadCache, WorkloadProfile,
+    base_config, cache_sweep, pareto_frontier, run_grid, run_timing, run_timing_store,
+    run_timing_trace, CellRow, Cloner, Fault, FaultPlan, Gate, GridAxes, GridSpec, PairComparison,
+    SynthesisParams, Table, ValidationReport, Verdict, WorkloadCache, WorkloadProfile,
 };
 use perfclone_isa::Program;
 use perfclone_obs::{GateAttribute, Metric, RunReport, SweepStats};
@@ -28,6 +28,9 @@ USAGE:
   perfclone sweep <kernel> [opts]                 28-config cache sweep
   perfclone dsweep <kernel> [opts]                Table-3 design-change timing
                                                   sweep (record-once/replay-many)
+  perfclone grid <kernel> [opts]                  sharded, resumable design-space
+                                                  sweep with journaled shards and
+                                                  an IPC-vs-power Pareto frontier
   perfclone disasm <kernel> [opts]                disassemble a kernel
   perfclone report <kernel|report.json> [opts]    characterization report, or
                                                   pretty-print a saved run report
@@ -49,11 +52,25 @@ OPTIONS:
                           human output to stderr
   -j, --jobs N            worker threads for sweeps (default: all cores;
                           results are identical at any thread count)
+  --grid small|dense      grid axes preset (default small: 32 cells;
+                          dense: 10240 cells)
+  --cells N               truncate the grid to its first N cells
+  --shard N               cells per journaled shard (default 8)
+  --limit N               instruction limit per grid cell (default all)
+  --journal DIR           journal directory for grid sweeps (default
+                          <tmp>/perfclone-grid-<kernel>); rerunning with
+                          the same journal resumes, skipping completed
+                          shards bit-identically
+  --stream                stream grid rows as JSON lines to stdout as
+                          shards complete (human output moves to stderr)
 
 ENVIRONMENT:
-  PERFCLONE_TRACE_CAP     byte budget for packed dynamic traces (default
-                          1 GiB); over-cap workloads fall back to per-config
-                          re-interpretation with identical results
+  PERFCLONE_TRACE_CAP     byte budget for in-memory packed dynamic traces
+                          (default 1 GiB); over-cap captures spill to disk
+                          and replay via mmap with identical results
+  PERFCLONE_SPILL         set to 0 to disable spilling (over-cap workloads
+                          then fall back to per-config re-interpretation)
+  PERFCLONE_SPILL_DIR     directory for spilled traces (default: tmp)
 ";
 
 /// When set, human-readable output goes to stderr so `--report -` can own
@@ -191,6 +208,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "validate" => validate(&rest),
         "sweep" => sweep(&rest),
         "dsweep" => dsweep(&rest),
+        "grid" => grid(&rest),
         "disasm" => disasm(&rest),
         "report" => report(&rest),
         "statsim" => statsim(&rest),
@@ -334,25 +352,23 @@ fn validate(parsed: &Parsed) -> Result<(), String> {
     // Fidelity gate first: re-profile the clone and compare the five
     // attribute families before the (microarchitecture-dependent)
     // side-by-side timing run. The clone's retired stream is captured once
-    // as a packed trace; the gate re-profiles by replaying it, and — when
-    // the capture completed (halted within budget) — the same trace drives
-    // the timing run below. Over-cap workloads fall back to the direct
-    // interpreter path with identical results.
+    // as a packed trace (spilled to disk and mmapped back when over-cap);
+    // the gate re-profiles by replaying it, and — when the capture
+    // completed (halted within budget) — the same trace drives the timing
+    // run below. Only a disabled or failed spill falls back to the direct
+    // interpreter path, with identical results.
     let gate = Gate::default();
     let clone_key = format!("{name}.clone");
     let gate_trace = match cache.packed_trace(&clone_key, &clone, gate.profile_budget) {
-        Ok(trace) => Some(trace),
-        Err(Error::TraceCapExceeded { cap, at_instrs }) => {
-            eprintln!(
-                "perfclone: packed-trace cap of {cap} B exceeded at {at_instrs} instrs; \
-                 gating via direct re-profiling"
-            );
+        Ok(store) => Some(store),
+        Err(e) if e.is_trace_fallback() => {
+            eprintln!("perfclone: {e}; gating via direct re-profiling");
             None
         }
         Err(e) => return Err(e.to_string()),
     };
     let report = match &gate_trace {
-        Some(trace) => gate.report_replay(&profile, &clone, trace),
+        Some(store) => gate.report_store(&profile, &clone, store),
         None => gate.report(&profile, &clone),
     }
     .map_err(|e| e.to_string())?;
@@ -377,7 +393,7 @@ fn validate(parsed: &Parsed) -> Result<(), String> {
     let real =
         run_timing_trace(&name, &program, &config, u64::MAX, &cache).map_err(|e| e.to_string())?;
     let synth = match gate_trace.as_ref().filter(|t| t.halted()) {
-        Some(trace) => run_timing_replay(&clone, trace, &config),
+        Some(store) => run_timing_store(&clone, store, &config),
         None => run_timing_trace(&clone_key, &clone, &config, u64::MAX, &cache),
     }
     .map_err(|e| e.to_string())?;
@@ -498,6 +514,131 @@ fn dsweep(parsed: &Parsed) -> Result<(), String> {
         ]);
     }
     say!("{name} design-change sweep ({configs} configs):\n\n{}", t.render());
+    if let Some(footer) = stage_footer() {
+        say!("{footer}");
+    }
+    Ok(())
+}
+
+/// Restores the prior `HUMAN_TO_STDERR` value on drop (so `--stream`'s
+/// stdout takeover never leaks past the subcommand).
+struct HumanToStderrGuard(bool);
+
+impl Drop for HumanToStderrGuard {
+    fn drop(&mut self) {
+        HUMAN_TO_STDERR.store(self.0, Ordering::Relaxed);
+    }
+}
+
+/// `perfclone grid <kernel>`: the sharded, resumable design-space sweep.
+/// Cells of the `--grid` axes product are timed by replaying the
+/// workload's packed trace (spilled to disk and mmapped back when it
+/// outgrows `PERFCLONE_TRACE_CAP`), shards are journaled atomically in
+/// `--journal` as they complete, and rerunning with the same journal
+/// resumes bit-identically, re-executing only incomplete shards. Rows
+/// stream to stdout as JSON lines under `--stream`; the IPC-vs-power
+/// Pareto frontier is updated per shard and printed at the end.
+fn grid(parsed: &Parsed) -> Result<(), String> {
+    use std::io::Write as _;
+    let span = perfclone_obs::span!("cli.grid");
+    let (name, program) = kernel_program(parsed, 0)?;
+    let axes = match parsed.opt(&["--grid"]) {
+        None | Some("small") => GridAxes::small(),
+        Some("dense") => GridAxes::dense(),
+        Some(other) => return Err(format!("unknown grid {other:?} (use small or dense)")),
+    };
+    let scale = match parsed.scale()? {
+        perfclone_kernels::Scale::Tiny => "tiny",
+        perfclone_kernels::Scale::Small => "small",
+    };
+    let spec = GridSpec {
+        workload: name.clone(),
+        scale: scale.to_string(),
+        limit: parsed.opt_u64(&["--limit"])?.unwrap_or(u64::MAX),
+        axes,
+        max_cells: parsed.opt_u64(&["--cells"])?.unwrap_or(u64::MAX),
+        shard_size: parsed.opt_u64(&["--shard"])?.unwrap_or(8),
+    };
+    let journal_dir = match parsed.opt(&["--journal"]) {
+        Some(dir) => std::path::PathBuf::from(dir),
+        None => std::env::temp_dir().join(format!("perfclone-grid-{name}")),
+    };
+    let stream = parsed.opt(&["--stream"]).is_some();
+    let _stdout_guard =
+        stream.then(|| HumanToStderrGuard(HUMAN_TO_STDERR.swap(true, Ordering::Relaxed)));
+    let total_shards = spec.shard_count();
+    say!(
+        "{name} grid sweep: {} cells / {total_shards} shards (spec g{:016x}, journal {})",
+        spec.cells(),
+        spec.spec_hash(),
+        journal_dir.display()
+    );
+    let cache = WorkloadCache::new();
+    // (shards seen, rows so far) for progress lines and the running
+    // frontier; shards land in arbitrary order, the merge is ordered.
+    let progress = Mutex::new((0u64, Vec::<CellRow>::new()));
+    let start = std::time::Instant::now();
+    let outcome = run_grid(&program, &spec, &journal_dir, &cache, |ev| {
+        if stream {
+            let mut out = std::io::stdout().lock();
+            for row in ev.rows {
+                if let Ok(json) = serde_json::to_string(row) {
+                    let _ = writeln!(out, "{json}");
+                }
+            }
+        }
+        let mut g = match progress.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        g.0 += 1;
+        g.1.extend_from_slice(ev.rows);
+        let frontier = pareto_frontier(&g.1);
+        let tag = if ev.resumed { "resumed" } else { "done" };
+        say!(
+            "shard {:>3}/{total_shards} {tag} (cells {}..{}); running pareto: {} points",
+            g.0,
+            ev.start,
+            ev.end,
+            frontier.len()
+        );
+    })
+    .map_err(|e| e.to_string())?;
+    let wall_ns = start.elapsed().as_nanos() as u64;
+    note_sweep(outcome.cells, wall_ns, outcome.rows.iter().map(|r| r.instrs).sum());
+    note_metric("grid.shards.executed", outcome.executed_shards as f64);
+    note_metric("grid.shards.skipped", outcome.skipped_shards as f64);
+    note_metric("grid.pareto.points", outcome.pareto.len() as f64);
+    note_metric("grid.trace.spilled", if outcome.spilled_trace { 1.0 } else { 0.0 });
+    if let Some(out) = parsed.opt(&["-o", "--out"]) {
+        let mut text = String::new();
+        for row in &outcome.rows {
+            text.push_str(&serde_json::to_string(row).map_err(|e| e.to_string())?);
+            text.push('\n');
+        }
+        std::fs::write(out, &text).map_err(|e| format!("writing {out}: {e}"))?;
+        say!("merged rows -> {out}");
+    }
+    let mut t = Table::new(vec!["cell".into(), "id".into(), "IPC".into(), "power (W)".into()]);
+    for p in &outcome.pareto {
+        t.row(vec![
+            p.cell.to_string(),
+            p.id.clone(),
+            format!("{:.3}", p.ipc),
+            format!("{:.2}", p.power),
+        ]);
+    }
+    say!(
+        "{name} grid: {} cells ({} shards executed, {} resumed from journal{}).\n\n\
+         IPC-vs-power Pareto frontier ({} points):\n\n{}",
+        outcome.cells,
+        outcome.executed_shards,
+        outcome.skipped_shards,
+        if outcome.spilled_trace { "; trace spilled to disk, replayed via mmap" } else { "" },
+        outcome.pareto.len(),
+        t.render()
+    );
+    drop(span);
     if let Some(footer) = stage_footer() {
         say!("{footer}");
     }
@@ -800,6 +941,47 @@ mod tests {
         assert_eq!(sweep.configs, 28);
         assert!(sweep.configs_per_sec > 0.0);
         assert!(report.metrics.iter().any(|m| m.name == "sweep.mpi.pearson"));
+    }
+
+    #[test]
+    fn grid_sweeps_and_resumes_bit_identically() {
+        let pid = std::process::id();
+        let journal = std::env::temp_dir().join(format!("cli_test_grid_journal-{pid}"));
+        let _ = std::fs::remove_dir_all(&journal);
+        let out1 = std::env::temp_dir().join(format!("cli_test_grid_rows1-{pid}.jsonl"));
+        let out2 = std::env::temp_dir().join(format!("cli_test_grid_rows2-{pid}.jsonl"));
+        let args = |out: &std::path::Path| {
+            vec![
+                "grid".to_string(),
+                "crc32".to_string(),
+                "--scale".into(),
+                "tiny".into(),
+                "--limit".into(),
+                "20000".into(),
+                "--cells".into(),
+                "8".into(),
+                "--shard".into(),
+                "3".into(),
+                "--jobs".into(),
+                "2".into(),
+                "--journal".into(),
+                journal.to_str().unwrap().into(),
+                "-o".into(),
+                out.to_str().unwrap().into(),
+            ]
+        };
+        dispatch(&args(&out1)).unwrap();
+        // Second run resumes from the full journal: every shard skipped,
+        // merged rows byte-identical.
+        dispatch(&args(&out2)).unwrap();
+        let a = std::fs::read(&out1).unwrap();
+        let b = std::fs::read(&out2).unwrap();
+        assert!(!a.is_empty());
+        assert_eq!(a, b, "resumed rows must be bit-identical");
+        assert_eq!(a.iter().filter(|&&c| c == b'\n').count(), 8, "one JSONL row per cell");
+        let _ = std::fs::remove_dir_all(&journal);
+        let _ = std::fs::remove_file(&out1);
+        let _ = std::fs::remove_file(&out2);
     }
 
     #[test]

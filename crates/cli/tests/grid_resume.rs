@@ -1,0 +1,126 @@
+//! Crash/kill harness for the sharded sweep engine: a `perfclone grid`
+//! child process is SIGKILLed mid-sweep, then resumed against the same
+//! journal, and the merged results must be byte-identical to an
+//! uninterrupted run — with only the incomplete shards re-executed.
+
+#![cfg(unix)]
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+const BIN: &str = env!("CARGO_BIN_EXE_perfclone");
+
+/// 16 cells / shard 2 = 8 shards: enough granularity that a mid-sweep
+/// kill reliably leaves some shards journaled and some not.
+const SHARDS: usize = 8;
+
+fn grid_cmd(journal: &Path, out: &Path) -> Command {
+    let mut cmd = Command::new(BIN);
+    cmd.args([
+        "grid", "crc32", "--scale", "tiny", "--limit", "20000", "--cells", "16", "--shard", "2",
+        "--jobs", "1",
+    ]);
+    cmd.arg("--journal").arg(journal);
+    cmd.arg("-o").arg(out);
+    cmd.stdout(Stdio::piped()).stderr(Stdio::piped());
+    cmd
+}
+
+fn shard_files(journal: &Path) -> Vec<String> {
+    let Ok(entries) = std::fs::read_dir(journal) else { return Vec::new() };
+    let mut names: Vec<String> = entries
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|n| n.starts_with("shard-") && n.ends_with(".json"))
+        .collect();
+    names.sort();
+    names
+}
+
+fn temp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("perfclone-grid-resume-{}-{name}", std::process::id()))
+}
+
+#[test]
+fn killed_sweep_resumes_bit_identically() {
+    let ref_journal = temp("ref-journal");
+    let crash_journal = temp("crash-journal");
+    let ref_out = temp("ref.jsonl");
+    let resumed_out = temp("resumed.jsonl");
+    let _ = std::fs::remove_dir_all(&ref_journal);
+    let _ = std::fs::remove_dir_all(&crash_journal);
+
+    // Uninterrupted reference run.
+    let output = grid_cmd(&ref_journal, &ref_out).output().expect("run reference sweep");
+    assert!(output.status.success(), "reference sweep failed: {output:?}");
+    let reference = std::fs::read(&ref_out).expect("reference rows exist");
+    assert_eq!(shard_files(&ref_journal).len(), SHARDS);
+
+    // Crash run: stretch each shard so the kill lands mid-sweep, wait for
+    // at least two journaled shards, then SIGKILL the child.
+    let mut child = grid_cmd(&crash_journal, &temp("crash.jsonl"))
+        .env("PERFCLONE_GRID_SHARD_DELAY_MS", "300")
+        .spawn()
+        .expect("spawn crash sweep");
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while shard_files(&crash_journal).len() < 2 {
+        assert!(Instant::now() < deadline, "no shards journaled before deadline");
+        if let Some(status) = child.try_wait().expect("poll child") {
+            panic!("sweep finished before it could be killed: {status:?}");
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    child.kill().expect("SIGKILL the sweep");
+    let status = child.wait().expect("reap the sweep");
+    assert!(!status.success(), "killed sweep must not exit cleanly");
+    let journaled = shard_files(&crash_journal).len();
+    assert!(
+        (2..SHARDS).contains(&journaled),
+        "kill must land mid-sweep: {journaled}/{SHARDS} shards journaled"
+    );
+
+    // Resume against the half-written journal (no delay this time).
+    let output = grid_cmd(&crash_journal, &resumed_out).output().expect("run resumed sweep");
+    assert!(output.status.success(), "resumed sweep failed: {output:?}");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        stdout.contains("resumed"),
+        "resume must report journal-skipped shards, got:\n{stdout}"
+    );
+    assert_eq!(shard_files(&crash_journal).len(), SHARDS);
+
+    let resumed = std::fs::read(&resumed_out).expect("resumed rows exist");
+    assert!(!reference.is_empty());
+    assert_eq!(reference, resumed, "resumed merge must be bit-identical to the uninterrupted run");
+
+    let _ = std::fs::remove_dir_all(&ref_journal);
+    let _ = std::fs::remove_dir_all(&crash_journal);
+    let _ = std::fs::remove_file(&ref_out);
+    let _ = std::fs::remove_file(&resumed_out);
+    let _ = std::fs::remove_file(temp("crash.jsonl"));
+}
+
+/// A journal written by one grid spec must refuse to resume another.
+#[test]
+fn journal_refuses_a_different_spec() {
+    let journal = temp("mismatch-journal");
+    let _ = std::fs::remove_dir_all(&journal);
+    let out = temp("mismatch.jsonl");
+    let output = grid_cmd(&journal, &out).output().expect("seed the journal");
+    assert!(output.status.success(), "seed sweep failed: {output:?}");
+
+    // Same journal, different limit → different spec hash.
+    let mut cmd = Command::new(BIN);
+    cmd.args([
+        "grid", "crc32", "--scale", "tiny", "--limit", "10000", "--cells", "16", "--shard", "2",
+    ]);
+    cmd.arg("--journal").arg(&journal);
+    let output = cmd.output().expect("run mismatched sweep");
+    assert!(!output.status.success(), "mismatched spec must be rejected");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("grid spec"), "typed mismatch error expected, got:\n{stderr}");
+
+    let _ = std::fs::remove_dir_all(&journal);
+    let _ = std::fs::remove_file(&out);
+}

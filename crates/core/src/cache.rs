@@ -24,9 +24,11 @@ use std::hash::Hash;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
+use std::path::PathBuf;
+
 use perfclone_isa::Program;
 use perfclone_profile::{profile_program, WorkloadProfile};
-use perfclone_sim::{DynInstr, PackedRecorder, PackedTrace, Simulator};
+use perfclone_sim::{DynInstr, PackedRecorder, Simulator, SpillingRecorder, TraceStore};
 use perfclone_statsim::{synth_trace, TraceParams};
 use perfclone_synth::{synthesize, MemoryModel, SynthesisParams};
 use perfclone_uarch::AddressTrace;
@@ -55,48 +57,158 @@ pub fn trace_cap() -> usize {
 /// the `trace.bytes` gauge for run reports.
 static PACKED_BYTES_TOTAL: AtomicUsize = AtomicUsize::new(0);
 
-/// Captures the packed trace of `program` under `cap_bytes`, publishing
-/// the `trace.bytes` gauge on success and the `trace.fallbacks` counter
-/// (plus a stderr note — the cap must never *silently* degrade a run)
-/// when the cap is exceeded.
+/// Total bytes of spilled trace files produced by this process, mirrored
+/// into the `trace.spill.bytes` gauge.
+static SPILL_BYTES_TOTAL: AtomicU64 = AtomicU64::new(0);
+
+/// Distinguishes spill stems across captures within one process.
+static SPILL_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Where over-cap captures spill, or `None` when spilling is disabled.
+///
+/// `PERFCLONE_SPILL=0` (or `off`/`false`) disables spilling, restoring the
+/// interpreter-fallback behavior of [`Error::TraceCapExceeded`];
+/// `PERFCLONE_SPILL_DIR` overrides the directory (default: the system
+/// temp dir). Parsed once per process.
+pub(crate) fn spill_dir() -> Option<&'static PathBuf> {
+    static DIR: OnceLock<Option<PathBuf>> = OnceLock::new();
+    DIR.get_or_init(|| {
+        if let Ok(v) = std::env::var("PERFCLONE_SPILL") {
+            let v = v.trim().to_ascii_lowercase();
+            if v == "0" || v == "off" || v == "false" {
+                return None;
+            }
+        }
+        Some(match std::env::var("PERFCLONE_SPILL_DIR") {
+            Ok(dir) if !dir.trim().is_empty() => PathBuf::from(dir),
+            _ => std::env::temp_dir(),
+        })
+    })
+    .as_ref()
+}
+
+/// A filesystem-safe stem for one capture's spill file, unique within the
+/// process.
+fn spill_stem(program: &Program) -> String {
+    let name: String = program
+        .name()
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '-' || c == '_' { c } else { '_' })
+        .collect();
+    format!("perfclone-{name}-{}-{}", std::process::id(), SPILL_SEQ.fetch_add(1, Ordering::Relaxed))
+}
+
+/// Captures the packed trace of `program` under the `cap_bytes` memory
+/// budget, publishing the `trace.bytes` gauge on success.
+///
+/// An over-cap capture spills to disk and is replayed via mmap
+/// (`trace.spills` counter, `trace.spill.bytes` gauge, plus a stderr
+/// note); when spilling is disabled (`PERFCLONE_SPILL=0`) or the spill
+/// itself fails, the capture is abandoned whole — never truncated — with
+/// the `trace.fallbacks` counter and a stderr note, and callers fall back
+/// to direct interpretation.
 ///
 /// This is the one capture choke point: the [`WorkloadCache`] memo and the
 /// capture-per-call experiment drivers both route through it.
 ///
 /// # Errors
 ///
-/// Returns [`Error::TraceCapExceeded`] when the packed encoding outgrows
-/// `cap_bytes`; the trace is abandoned whole, never truncated.
+/// Returns [`Error::TraceCapExceeded`] when the encoding outgrows
+/// `cap_bytes` with spilling disabled, or [`Error::Spill`] when the spill
+/// path fails; both satisfy [`Error::is_trace_fallback`].
 pub(crate) fn capture_packed(
     program: &Program,
     limit: u64,
     cap_bytes: usize,
-) -> Result<PackedTrace, Error> {
+) -> Result<TraceStore, Error> {
     let _span = perfclone_obs::span!("sim.trace.capture");
-    let mut rec = PackedRecorder::new();
-    let mut trace = Simulator::trace(program, limit);
-    for d in &mut trace {
-        rec.push(&d);
-        if rec.packed_bytes() > cap_bytes {
-            perfclone_obs::count!("trace.fallbacks", 1);
-            eprintln!(
-                "perfclone: packed trace of '{}' exceeded PERFCLONE_TRACE_CAP ({cap_bytes} B) \
-                 after {} instructions; falling back to direct interpretation",
-                program.name(),
-                rec.len()
-            );
-            return Err(Error::TraceCapExceeded { cap: cap_bytes, at_instrs: rec.len() });
+    match spill_dir() {
+        Some(dir) => {
+            let stem = spill_stem(program);
+            let mut rec = SpillingRecorder::new(cap_bytes, dir, &stem);
+            let mut trace = Simulator::trace(program, limit);
+            let mut result = Ok(());
+            for d in &mut trace {
+                if let Err(e) = rec.push(&d) {
+                    result = Err(e);
+                    break;
+                }
+            }
+            let store = result.and_then(|()| {
+                let fault = trace.fault().cloned();
+                let halted = trace.into_inner().is_halted();
+                rec.finish(program, halted, fault)
+            });
+            match store {
+                Ok(store) => {
+                    publish_capture(program, &store, cap_bytes);
+                    Ok(store)
+                }
+                Err(e) => {
+                    perfclone_obs::count!("trace.fallbacks", 1);
+                    eprintln!(
+                        "perfclone: spilling over-cap packed trace of '{}' failed ({e}); \
+                         falling back to direct interpretation",
+                        program.name()
+                    );
+                    Err(Error::Spill(e))
+                }
+            }
+        }
+        None => {
+            // Spilling disabled: the capture aborts at the cap and the
+            // caller re-interprets, the pre-spill contract.
+            let mut rec = PackedRecorder::new();
+            let mut trace = Simulator::trace(program, limit);
+            for d in &mut trace {
+                rec.push(&d);
+                if rec.packed_bytes() > cap_bytes {
+                    perfclone_obs::count!("trace.fallbacks", 1);
+                    eprintln!(
+                        "perfclone: packed trace of '{}' exceeded PERFCLONE_TRACE_CAP \
+                         ({cap_bytes} B) after {} instructions; falling back to direct \
+                         interpretation (spill disabled)",
+                        program.name(),
+                        rec.len()
+                    );
+                    return Err(Error::TraceCapExceeded { cap: cap_bytes, at_instrs: rec.len() });
+                }
+            }
+            let fault = trace.fault().cloned();
+            let halted = trace.into_inner().is_halted();
+            let store = TraceStore::Mem(rec.finish(program, halted, fault));
+            publish_capture(program, &store, cap_bytes);
+            Ok(store)
         }
     }
-    let fault = trace.fault().cloned();
-    let halted = trace.into_inner().is_halted();
-    let packed = rec.finish(program, halted, fault);
-    let total = PACKED_BYTES_TOTAL.fetch_add(packed.packed_bytes(), Ordering::Relaxed)
-        + packed.packed_bytes();
-    perfclone_obs::gauge!("trace.bytes", total);
+}
+
+/// Publishes a successful capture's counters/gauges and, for spills, the
+/// stderr announcement (the cap must never *silently* change a run's
+/// storage class).
+fn publish_capture(program: &Program, store: &TraceStore, cap_bytes: usize) {
     perfclone_obs::count!("trace.captures", 1);
-    perfclone_obs::count!("trace.capture.instrs", packed.len());
-    Ok(packed)
+    perfclone_obs::count!("trace.capture.instrs", store.len());
+    match store {
+        TraceStore::Mem(packed) => {
+            let total = PACKED_BYTES_TOTAL.fetch_add(packed.packed_bytes(), Ordering::Relaxed)
+                + packed.packed_bytes();
+            perfclone_obs::gauge!("trace.bytes", total);
+        }
+        TraceStore::Spilled(spilled) => {
+            perfclone_obs::count!("trace.spills", 1);
+            let total = SPILL_BYTES_TOTAL.fetch_add(spilled.file_bytes(), Ordering::Relaxed)
+                + spilled.file_bytes();
+            perfclone_obs::gauge!("trace.spill.bytes", total);
+            eprintln!(
+                "perfclone: packed trace of '{}' exceeded PERFCLONE_TRACE_CAP ({cap_bytes} B); \
+                 spilled {} B to '{}' and replaying via mmap",
+                program.name(),
+                spilled.file_bytes(),
+                spilled.path().display()
+            );
+        }
+    }
 }
 
 /// One memoization table: key → lazily-computed `Result<Arc<V>, Error>`.
@@ -260,7 +372,7 @@ pub struct WorkloadCache {
     clones: Memo<CloneKey, Program>,
     traces: Memo<TraceKey, Vec<DynInstr>>,
     addr_traces: Memo<AddrTraceKey, AddressTrace>,
-    packed_traces: Memo<PackedKey, PackedTrace>,
+    packed_traces: Memo<PackedKey, TraceStore>,
 }
 
 impl Default for WorkloadCache {
@@ -369,23 +481,25 @@ impl WorkloadCache {
     /// The packed dynamic trace of `program` (up to `limit` instructions)
     /// — the record-once/replay-many input of
     /// [`run_timing_trace`](crate::run_timing_trace) — captured on first
-    /// request under the process-wide [`trace_cap`] and shared thereafter,
-    /// so a timing sweep pays one functional execution per
-    /// `(workload, limit)` no matter how many machine configurations (or
-    /// rayon workers) consume it.
+    /// request under the process-wide [`trace_cap`] memory budget and
+    /// shared thereafter, so a timing sweep pays one functional execution
+    /// per `(workload, limit)` no matter how many machine configurations
+    /// (or rayon workers) consume it. An over-cap capture comes back as
+    /// [`TraceStore::Spilled`]: on disk, replayed via mmap.
     ///
     /// # Errors
     ///
-    /// Returns [`Error::TraceCapExceeded`] when the packed encoding would
-    /// outgrow the cap; the outcome is memoized either way, so an
-    /// over-cap workload is probed exactly once and every later requester
-    /// immediately falls back to direct interpretation.
+    /// Returns [`Error::TraceCapExceeded`] (cap hit with spilling
+    /// disabled) or [`Error::Spill`] (spill I/O failed); the outcome is
+    /// memoized either way, so an unstorable workload is probed exactly
+    /// once and every later requester immediately falls back to direct
+    /// interpretation.
     pub fn packed_trace(
         &self,
         workload: &str,
         program: &Program,
         limit: u64,
-    ) -> Result<Arc<PackedTrace>, Error> {
+    ) -> Result<Arc<TraceStore>, Error> {
         self.packed_trace_capped(workload, program, limit, trace_cap())
     }
 
@@ -403,7 +517,7 @@ impl WorkloadCache {
         program: &Program,
         limit: u64,
         cap_bytes: usize,
-    ) -> Result<Arc<PackedTrace>, Error> {
+    ) -> Result<Arc<TraceStore>, Error> {
         let key = PackedKey { workload: workload.to_string(), limit };
         self.packed_traces.get_or_compute(key, || capture_packed(program, limit, cap_bytes))
     }

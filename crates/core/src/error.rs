@@ -14,10 +14,13 @@ use std::fmt;
 
 use perfclone_profile::ProfileError;
 use perfclone_sim::SimError;
+use perfclone_sim::TraceError as SpillError;
 use perfclone_statsim::TraceError;
 use perfclone_synth::SynthError;
 use perfclone_uarch::PipelineError;
 use perfclone_validate::ValidateError;
+
+use crate::journal::JournalError;
 
 /// Any error the cloning pipeline can surface.
 #[derive(Clone, Debug)]
@@ -64,6 +67,27 @@ pub enum Error {
         /// The rejected weight.
         weight: f64,
     },
+    /// Spilling an over-cap packed trace to disk (or reading it back)
+    /// failed. Like [`Error::TraceCapExceeded`], the timing drivers treat
+    /// this as a signal to fall back to direct interpretation.
+    Spill(SpillError),
+    /// A sweep journal could not be opened, read, or appended to.
+    Journal(JournalError),
+    /// A design-space grid has no cells (an empty axis, or `max_cells`
+    /// of zero).
+    EmptyGrid {
+        /// The workload the grid was built for.
+        workload: String,
+    },
+}
+
+impl Error {
+    /// `true` for the errors the timing drivers answer by falling back to
+    /// direct interpretation: the packed capture was abandoned at its cap
+    /// with spill disabled, or the spill path itself failed.
+    pub fn is_trace_fallback(&self) -> bool {
+        matches!(self, Error::TraceCapExceeded { .. } | Error::Spill(_))
+    }
 }
 
 impl fmt::Display for Error {
@@ -88,6 +112,11 @@ impl fmt::Display for Error {
             Error::NonPositiveWeight { name, weight } => {
                 write!(f, "suite member '{name}' has non-positive weight {weight}")
             }
+            Error::Spill(e) => write!(f, "trace spill failed: {e}"),
+            Error::Journal(e) => write!(f, "sweep journal failed: {e}"),
+            Error::EmptyGrid { workload } => {
+                write!(f, "design-space grid for '{workload}' has no cells")
+            }
         }
     }
 }
@@ -100,6 +129,8 @@ impl StdError for Error {
             Error::Synth(e) => Some(e),
             Error::Trace(e) => Some(e),
             Error::Validate(e) => Some(e),
+            Error::Spill(e) => Some(e),
+            Error::Journal(e) => Some(e),
             _ => None,
         }
     }
@@ -139,6 +170,18 @@ impl From<SynthError> for Error {
 impl From<TraceError> for Error {
     fn from(e: TraceError) -> Error {
         Error::Trace(e)
+    }
+}
+
+impl From<SpillError> for Error {
+    fn from(e: SpillError) -> Error {
+        Error::Spill(e)
+    }
+}
+
+impl From<JournalError> for Error {
+    fn from(e: JournalError) -> Error {
+        Error::Journal(e)
     }
 }
 

@@ -10,17 +10,18 @@
 
 use perfclone_isa::Program;
 use perfclone_metrics::{pearson, rank, relative_error};
-use perfclone_sim::PackedTrace;
+use perfclone_sim::TraceStore;
 use perfclone_uarch::{design_changes, sweep_trace, AddressTrace, CacheConfig, MachineConfig};
 use rayon::prelude::*;
 
 use crate::cache::{capture_packed, trace_cap};
-use crate::{run_timing, run_timing_replay, Error, TimingResult};
+use crate::{run_timing, run_timing_store, Error, TimingResult};
 
-/// Captures a packed trace for a sweep-local replay, or `None` when the
-/// capture outgrew `PERFCLONE_TRACE_CAP` (already logged and counted by
-/// the capture choke point) and the sweep must re-interpret per cell.
-fn packed_or_fallback(program: &Program, limit: u64) -> Option<PackedTrace> {
+/// Captures a packed trace for a sweep-local replay — possibly spilled to
+/// disk when over-cap — or `None` when the capture fell back (already
+/// logged and counted by the capture choke point) and the sweep must
+/// re-interpret per cell.
+fn packed_or_fallback(program: &Program, limit: u64) -> Option<TraceStore> {
     capture_packed(program, limit, trace_cap()).ok()
 }
 
@@ -29,12 +30,12 @@ fn packed_or_fallback(program: &Program, limit: u64) -> Option<PackedTrace> {
 /// bit-identical results.
 fn timed(
     program: &Program,
-    trace: Option<&PackedTrace>,
+    trace: Option<&TraceStore>,
     config: &MachineConfig,
     limit: u64,
 ) -> Result<TimingResult, Error> {
     match trace {
-        Some(t) => run_timing_replay(program, t, config),
+        Some(t) => run_timing_store(program, t, config),
         None => run_timing(program, config, limit),
     }
 }
@@ -231,7 +232,7 @@ pub fn design_change_sweep_par(
     // Two captures fan over the pool first, then every (program × config)
     // cell replays its program's shared capture — the workers share the
     // immutable packed traces by reference, nothing else.
-    let traces: Vec<Option<PackedTrace>> =
+    let traces: Vec<Option<TraceStore>> =
         programs.par_iter().map(|p| packed_or_fallback(p, limit)).collect();
     let cells: Vec<(usize, usize)> = configs
         .iter()

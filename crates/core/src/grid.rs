@@ -1,0 +1,438 @@
+//! Sharded, resumable design-space sweeps over a [`GridAxes`] product.
+//!
+//! A [`GridSpec`] names a workload, an instruction limit, and the axes of
+//! a design-space grid; [`run_grid`] enumerates the grid's cells in
+//! shards, times each cell by replaying the workload's packed trace
+//! (spilled to disk and mmapped back when over-cap), journals every
+//! completed shard, and streams rows to the caller as shards finish.
+//!
+//! # Cell-ID stability contract
+//!
+//! A cell's identity is `g<spec-hash>-c<index>`, where the spec hash
+//! covers the workload name, scale label, instruction limit, and the
+//! [canonical](GridAxes::canonical) axes encoding — and deliberately
+//! *excludes* `shard_size` and `max_cells`. Re-sharding a sweep or
+//! truncating it with `--cells` therefore never renames the cells both
+//! runs share; only changing what a cell *measures* (workload, limit,
+//! axes) changes its ID. The journal separately refuses to resume across
+//! a `shard_size` or cell-count change (see
+//! [`Journal::open`](crate::journal::Journal::open)), because shard
+//! records are keyed by shard index.
+
+use std::fmt;
+use std::path::Path;
+use std::sync::OnceLock;
+
+use perfclone_isa::Program;
+use perfclone_uarch::GridAxes;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use crate::cache::WorkloadCache;
+use crate::journal::Journal;
+use crate::{run_timing, run_timing_store, Error, TimingResult};
+
+/// One design-space sweep: a workload, an instruction limit, the grid
+/// axes, and the sharding geometry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GridSpec {
+    /// Cache/journal key naming the workload (must be unique per
+    /// program, as with every [`WorkloadCache`] entry).
+    pub workload: String,
+    /// Human-readable scale label (recorded in the journal spec; part of
+    /// the cell-ID hash so differently-scaled sweeps never collide).
+    pub scale: String,
+    /// Instruction limit per timing run.
+    pub limit: u64,
+    /// The design-space axes.
+    pub axes: GridAxes,
+    /// Enumerate at most this many cells (truncates the grid; use
+    /// `u64::MAX` for the full product). Not part of the cell-ID hash.
+    pub max_cells: u64,
+    /// Cells per shard (clamped to at least 1). Not part of the cell-ID
+    /// hash, but a journal is bound to one value.
+    pub shard_size: u64,
+}
+
+impl GridSpec {
+    /// Number of cells this sweep enumerates: the axes product, truncated
+    /// to `max_cells`.
+    pub fn cells(&self) -> u64 {
+        self.axes.cells().min(self.max_cells)
+    }
+
+    /// Cells per shard, clamped to at least 1.
+    pub fn shard_cells(&self) -> u64 {
+        self.shard_size.max(1)
+    }
+
+    /// Number of shards ([`cells`](GridSpec::cells) divided into
+    /// [`shard_cells`](GridSpec::shard_cells)-sized work units).
+    pub fn shard_count(&self) -> u64 {
+        self.cells().div_ceil(self.shard_cells())
+    }
+
+    /// The half-open cell range `[start, end)` of shard `shard`, or
+    /// `None` when the shard index is out of range.
+    pub fn shard_range(&self, shard: u64) -> Option<(u64, u64)> {
+        if shard >= self.shard_count() {
+            return None;
+        }
+        let start = shard * self.shard_cells();
+        let end = (start + self.shard_cells()).min(self.cells());
+        Some((start, end))
+    }
+
+    /// FNV-1a hash of the spec's identity: workload, scale, limit, and
+    /// canonical axes — *not* `shard_size` or `max_cells` (see the
+    /// module docs for the stability contract).
+    pub fn spec_hash(&self) -> u64 {
+        fnv1a(
+            format!(
+                "workload={};scale={};limit={};axes={}",
+                self.workload,
+                self.scale,
+                self.limit,
+                self.axes.canonical()
+            )
+            .as_bytes(),
+        )
+    }
+
+    /// The stable identity of cell `index` under this spec.
+    pub fn cell_id(&self, index: u64) -> CellId {
+        CellId { spec: self.spec_hash(), index }
+    }
+}
+
+/// A cell's stable identity: grid-spec hash plus linear cell index,
+/// rendered `g<hash>-c<index>`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct CellId {
+    /// The owning spec's [`GridSpec::spec_hash`].
+    pub spec: u64,
+    /// The cell's linear index in enumeration order.
+    pub index: u64,
+}
+
+impl fmt::Display for CellId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g{:016x}-c{}", self.spec, self.index)
+    }
+}
+
+/// One cell's journaled metrics row (the RunReport-schema unit the `grid`
+/// CLI verb streams).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CellRow {
+    /// Linear cell index.
+    pub cell: u64,
+    /// Stable cell ID (`g<spec-hash>-c<index>`).
+    pub id: String,
+    /// Pipeline cycles.
+    pub cycles: u64,
+    /// Instructions committed.
+    pub instrs: u64,
+    /// Instructions per cycle.
+    pub ipc: f64,
+    /// Average power (Watts, Wattch-style model).
+    pub power: f64,
+    /// L1-D misses per committed instruction.
+    pub l1d_mpi: f64,
+}
+
+impl CellRow {
+    fn of(spec: &GridSpec, cell: u64, timing: &TimingResult) -> CellRow {
+        CellRow {
+            cell,
+            id: spec.cell_id(cell).to_string(),
+            cycles: timing.report.cycles,
+            instrs: timing.report.instrs,
+            ipc: timing.report.ipc(),
+            power: timing.power.average_power,
+            l1d_mpi: timing.report.l1d_mpi(),
+        }
+    }
+}
+
+/// One point on the IPC-vs-power Pareto frontier.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ParetoPoint {
+    /// The cell's linear index.
+    pub cell: u64,
+    /// The cell's stable ID.
+    pub id: String,
+    /// The cell's IPC (maximized).
+    pub ipc: f64,
+    /// The cell's average power (minimized).
+    pub power: f64,
+}
+
+/// The IPC-vs-power Pareto frontier of `rows`: every cell no other cell
+/// dominates (higher-or-equal IPC *and* lower-or-equal power, with at
+/// least one strict). Deterministic for a given row set regardless of
+/// input order — ties collapse to the lowest cell index — and returned
+/// sorted by cell index. Non-finite rows are excluded.
+pub fn pareto_frontier(rows: &[CellRow]) -> Vec<ParetoPoint> {
+    let mut pts: Vec<&CellRow> =
+        rows.iter().filter(|r| r.ipc.is_finite() && r.power.is_finite()).collect();
+    pts.sort_by(|a, b| {
+        b.ipc.total_cmp(&a.ipc).then(a.power.total_cmp(&b.power)).then(a.cell.cmp(&b.cell))
+    });
+    let mut frontier = Vec::new();
+    let mut best_power = f64::INFINITY;
+    for r in pts {
+        if r.power < best_power {
+            frontier.push(ParetoPoint {
+                cell: r.cell,
+                id: r.id.clone(),
+                ipc: r.ipc,
+                power: r.power,
+            });
+            best_power = r.power;
+        }
+    }
+    frontier.sort_by_key(|p| p.cell);
+    frontier
+}
+
+/// One shard's completion, streamed to [`run_grid`]'s callback.
+#[derive(Clone, Copy, Debug)]
+pub struct ShardEvent<'a> {
+    /// The shard index.
+    pub shard: u64,
+    /// First cell of the shard.
+    pub start: u64,
+    /// One past the last cell of the shard.
+    pub end: u64,
+    /// `true` when the shard's rows came from the journal (a resumed
+    /// sweep skipping completed work) rather than fresh execution.
+    pub resumed: bool,
+    /// The shard's metric rows, in cell order.
+    pub rows: &'a [CellRow],
+}
+
+/// A completed sweep's merged results.
+#[derive(Clone, Debug)]
+pub struct GridOutcome {
+    /// Every cell's row, in cell order (journaled and fresh merged).
+    pub rows: Vec<CellRow>,
+    /// Cells enumerated ([`GridSpec::cells`]).
+    pub cells: u64,
+    /// Shards executed by this run.
+    pub executed_shards: u64,
+    /// Shards skipped because the journal already held them.
+    pub skipped_shards: u64,
+    /// `true` when the workload's packed trace lives on disk (spilled
+    /// over `PERFCLONE_TRACE_CAP` and replayed via mmap).
+    pub spilled_trace: bool,
+    /// The IPC-vs-power Pareto frontier of [`rows`](GridOutcome::rows).
+    pub pareto: Vec<ParetoPoint>,
+}
+
+/// Per-shard artificial delay (`PERFCLONE_GRID_SHARD_DELAY_MS`), parsed
+/// once. Exists for the crash/kill harness: stretching shard execution
+/// makes "killed mid-sweep" reproducible.
+fn shard_delay() -> Option<std::time::Duration> {
+    static DELAY: OnceLock<Option<std::time::Duration>> = OnceLock::new();
+    *DELAY.get_or_init(|| {
+        std::env::var("PERFCLONE_GRID_SHARD_DELAY_MS")
+            .ok()
+            .and_then(|v| v.trim().parse::<u64>().ok())
+            .filter(|&ms| ms > 0)
+            .map(std::time::Duration::from_millis)
+    })
+}
+
+/// Runs (or resumes) the sharded design-space sweep `spec` describes.
+///
+/// The workload's packed dynamic trace is captured once through `cache`
+/// — spilling to disk and replaying via mmap when it outgrows
+/// `PERFCLONE_TRACE_CAP` — and every cell replays it under that cell's
+/// decoded configuration. Shards fan over the ambient rayon pool; each
+/// completed shard is journaled atomically in `journal_dir` and streamed
+/// to `on_shard` as it lands (journaled shards of a resumed sweep are
+/// streamed first, in shard order, with `resumed = true`). The merged
+/// row set is assembled in cell order, so a resumed sweep returns rows
+/// bit-identical to an uninterrupted one.
+///
+/// # Errors
+///
+/// [`Error::EmptyGrid`] when the spec enumerates no cells,
+/// [`Error::Journal`] when the journal cannot be opened (including
+/// [`JournalError::SpecMismatch`](crate::journal::JournalError) — the
+/// directory belongs to a different sweep) or appended to, plus
+/// everything the timing path returns ([`Error::Sim`] for faulting
+/// cells). Trace-capture fallbacks ([`Error::is_trace_fallback`]) are
+/// handled internally by re-interpreting per cell.
+pub fn run_grid(
+    program: &Program,
+    spec: &GridSpec,
+    journal_dir: &Path,
+    cache: &WorkloadCache,
+    on_shard: impl Fn(ShardEvent<'_>) + Sync,
+) -> Result<GridOutcome, Error> {
+    let _span = perfclone_obs::span!("grid.sweep");
+    if spec.cells() == 0 {
+        return Err(Error::EmptyGrid { workload: spec.workload.clone() });
+    }
+    perfclone_obs::gauge!("grid.cells", spec.cells());
+
+    // One capture for the whole sweep; a fallback (cap hit with spill
+    // disabled, or spill failure) re-interprets per cell instead.
+    let trace = match cache.packed_trace(&spec.workload, program, spec.limit) {
+        Ok(store) => Some(store),
+        Err(e) if e.is_trace_fallback() => None,
+        Err(e) => return Err(e),
+    };
+    let spilled_trace = trace.as_deref().is_some_and(|t| t.is_spilled());
+
+    let (journal, done) = Journal::open(journal_dir, spec)?;
+    let skipped_shards = done.len() as u64;
+    for (&shard, rows) in &done {
+        // Journal::open validated the range; a missing range here would
+        // mean the spec changed underneath us mid-call.
+        let Some((start, end)) = spec.shard_range(shard) else { continue };
+        perfclone_obs::count!("grid.shards.skipped", 1);
+        on_shard(ShardEvent { shard, start, end, resumed: true, rows });
+    }
+
+    let pending: Vec<u64> = (0..spec.shard_count()).filter(|s| !done.contains_key(s)).collect();
+    let executed_shards = pending.len() as u64;
+    let fresh: Vec<Result<(u64, Vec<CellRow>), Error>> = pending
+        .par_iter()
+        .map(|&shard| {
+            // In range by construction: shard < shard_count().
+            let (start, end) = spec
+                .shard_range(shard)
+                .ok_or_else(|| Error::EmptyGrid { workload: spec.workload.clone() })?;
+            if let Some(delay) = shard_delay() {
+                std::thread::sleep(delay);
+            }
+            let mut rows = Vec::with_capacity((end - start) as usize);
+            for cell in start..end {
+                // In range by construction: cell < cells() ≤ axes.cells().
+                let config = spec
+                    .axes
+                    .config(cell)
+                    .ok_or_else(|| Error::EmptyGrid { workload: spec.workload.clone() })?;
+                let timing = match trace.as_deref() {
+                    Some(store) => run_timing_store(program, store, &config)?,
+                    None => run_timing(program, &config, spec.limit)?,
+                };
+                rows.push(CellRow::of(spec, cell, &timing));
+            }
+            journal.record_shard(shard, start, end, &rows)?;
+            perfclone_obs::count!("grid.shards.executed", 1);
+            on_shard(ShardEvent { shard, start, end, resumed: false, rows: &rows });
+            Ok((shard, rows))
+        })
+        .collect();
+
+    let mut merged = done;
+    for result in fresh {
+        let (shard, rows) = result?;
+        merged.insert(shard, rows);
+    }
+    let mut rows = Vec::with_capacity(spec.cells() as usize);
+    for shard_rows in merged.into_values() {
+        rows.extend(shard_rows);
+    }
+    let pareto = pareto_frontier(&rows);
+    Ok(GridOutcome {
+        rows,
+        cells: spec.cells(),
+        executed_shards,
+        skipped_shards,
+        spilled_trace,
+        pareto,
+    })
+}
+
+/// FNV-1a over `bytes` (the same construction the spill codec and seed
+/// derivation use; duplicated because it is four lines and keeping the
+/// grid hash self-contained makes the stability contract auditable).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> GridSpec {
+        GridSpec {
+            workload: "crc32".into(),
+            scale: "tiny".into(),
+            limit: 100_000,
+            axes: GridAxes::small(),
+            max_cells: u64::MAX,
+            shard_size: 5,
+        }
+    }
+
+    #[test]
+    fn shards_tile_the_grid_exactly() {
+        let s = spec();
+        assert_eq!(s.cells(), 32);
+        assert_eq!(s.shard_count(), 7);
+        let mut next = 0;
+        for shard in 0..s.shard_count() {
+            let (start, end) = s.shard_range(shard).unwrap();
+            assert_eq!(start, next, "shard {shard} must start where the last ended");
+            assert!(end > start);
+            next = end;
+        }
+        assert_eq!(next, s.cells());
+        assert_eq!(s.shard_range(s.shard_count()), None);
+    }
+
+    #[test]
+    fn spec_hash_ignores_sharding_but_not_identity() {
+        let a = spec();
+        let resharded = GridSpec { shard_size: 11, max_cells: 10, ..a.clone() };
+        assert_eq!(a.spec_hash(), resharded.spec_hash());
+        assert_ne!(a.spec_hash(), GridSpec { limit: 1, ..a.clone() }.spec_hash());
+        assert_ne!(a.spec_hash(), GridSpec { workload: "x".into(), ..a.clone() }.spec_hash());
+        assert_ne!(a.spec_hash(), GridSpec { axes: GridAxes::dense(), ..a.clone() }.spec_hash());
+    }
+
+    #[test]
+    fn cell_ids_render_hash_and_index() {
+        let s = spec();
+        let id = s.cell_id(7);
+        assert_eq!(id.to_string(), format!("g{:016x}-c7", s.spec_hash()));
+    }
+
+    #[test]
+    fn pareto_keeps_only_undominated_cells() {
+        let row = |cell, ipc, power| CellRow {
+            cell,
+            id: format!("c{cell}"),
+            cycles: 1,
+            instrs: 1,
+            ipc,
+            power,
+            l1d_mpi: 0.0,
+        };
+        let rows = vec![
+            row(0, 1.0, 5.0),      // frontier: cheapest
+            row(1, 2.0, 7.0),      // frontier
+            row(2, 1.5, 8.0),      // dominated by 1 (less IPC, more power)
+            row(3, 2.0, 9.0),      // dominated by 1 (same IPC, more power)
+            row(4, 3.0, 12.0),     // frontier: fastest
+            row(5, f64::NAN, 1.0), // non-finite: excluded
+        ];
+        let frontier = pareto_frontier(&rows);
+        let cells: Vec<u64> = frontier.iter().map(|p| p.cell).collect();
+        assert_eq!(cells, vec![0, 1, 4]);
+        let mut shuffled = rows.clone();
+        shuffled.reverse();
+        assert_eq!(pareto_frontier(&shuffled), frontier, "input order must not matter");
+    }
+}

@@ -1,0 +1,348 @@
+//! Append-only on-disk journal for sharded sweeps.
+//!
+//! A journal is a directory holding one `spec.json` (the grid's identity:
+//! spec hash, cell count, shard size) plus one `shard-NNNNNN.json` per
+//! completed shard, each carrying that shard's metric rows. A killed
+//! sweep resumes by reloading the directory: shards with a record on disk
+//! are *skipped* and their journaled rows merged verbatim, which is what
+//! makes resume bit-identical — the resumed run never recomputes (and so
+//! can never perturb) a completed shard.
+//!
+//! # Crash safety
+//!
+//! Every file is written to a `<name>.tmp-<pid>` sibling and `rename`d
+//! into place, so a shard record either exists whole or not at all; a
+//! `SIGKILL` mid-write leaves only a stray temp file, which
+//! [`Journal::open`] reaps on the next resume. Records are additionally
+//! validated on load (spec hash, shard range, row count and order, metric
+//! finiteness) and rejected with a typed [`JournalError`] rather than
+//! poisoning the merged result set.
+//!
+//! # Bit-identical resume and floats
+//!
+//! Metric rows hold `f64`s, serialized with the shortest representation
+//! that round-trips exactly for finite values. Non-finite metrics would
+//! *not* round-trip (JSON has no NaN/Inf), so
+//! [`Journal::record_shard`] refuses them with
+//! [`JournalError::NonFinite`] instead of silently breaking the
+//! resume-equals-rerun contract.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+
+use crate::grid::{CellRow, GridSpec};
+
+/// Current journal format version (recorded in `spec.json`).
+pub const JOURNAL_VERSION: u32 = 1;
+
+/// Typed error for journal I/O and validation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JournalError {
+    /// A filesystem operation failed.
+    Io {
+        /// The path the operation targeted.
+        path: PathBuf,
+        /// The OS error text.
+        detail: String,
+    },
+    /// The journal directory belongs to a different grid spec — resuming
+    /// would merge rows from a different design space.
+    SpecMismatch {
+        /// The journal's `spec.json`.
+        path: PathBuf,
+        /// The running sweep's spec hash.
+        expected: u64,
+        /// The spec hash found on disk.
+        found: u64,
+    },
+    /// A journal file failed structural validation.
+    Corrupt {
+        /// The offending file.
+        path: PathBuf,
+        /// What failed to validate.
+        detail: String,
+    },
+    /// A metric row holds a non-finite value, which cannot round-trip
+    /// through the journal bit-identically.
+    NonFinite {
+        /// The cell whose row was rejected.
+        cell: u64,
+        /// The offending metric.
+        metric: &'static str,
+    },
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JournalError::Io { path, detail } => {
+                write!(f, "journal I/O on '{}' failed: {detail}", path.display())
+            }
+            JournalError::SpecMismatch { path, expected, found } => write!(
+                f,
+                "journal '{}' was written for grid spec {found:#018x}, \
+                 but this sweep is grid spec {expected:#018x}",
+                path.display()
+            ),
+            JournalError::Corrupt { path, detail } => {
+                write!(f, "journal file '{}' is corrupt: {detail}", path.display())
+            }
+            JournalError::NonFinite { cell, metric } => {
+                write!(f, "cell {cell} produced a non-finite {metric}; refusing to journal it")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+fn io_err(path: &Path, e: &io::Error) -> JournalError {
+    JournalError::Io { path: path.to_path_buf(), detail: e.to_string() }
+}
+
+fn corrupt(path: &Path, detail: impl Into<String>) -> JournalError {
+    JournalError::Corrupt { path: path.to_path_buf(), detail: detail.into() }
+}
+
+/// `spec.json`: the journal directory's identity record.
+#[derive(Serialize, Deserialize)]
+struct SpecDoc {
+    version: u32,
+    spec_hash: u64,
+    workload: String,
+    scale: String,
+    limit: u64,
+    cells: u64,
+    shard_size: u64,
+    axes: String,
+}
+
+/// One completed shard's on-disk record.
+#[derive(Serialize, Deserialize)]
+struct ShardRecord {
+    spec_hash: u64,
+    shard: u64,
+    start: u64,
+    end: u64,
+    rows: Vec<CellRow>,
+}
+
+/// Removes `path` on drop unless disarmed.
+struct TempGuard {
+    path: PathBuf,
+    armed: bool,
+}
+
+impl TempGuard {
+    fn disarm(mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for TempGuard {
+    fn drop(&mut self) {
+        if self.armed {
+            let _ = fs::remove_file(&self.path);
+        }
+    }
+}
+
+/// Atomically writes `text` to `path` (temp sibling + rename); the temp
+/// file is removed if anything fails before the rename.
+fn write_atomic(path: &Path, text: &str) -> Result<(), JournalError> {
+    let mut name = path.file_name().map(|n| n.to_os_string()).unwrap_or_default();
+    name.push(format!(".tmp-{}", std::process::id()));
+    let tmp = path.with_file_name(name);
+    fs::write(&tmp, text).map_err(|e| io_err(&tmp, &e))?;
+    let guard = TempGuard { path: tmp.clone(), armed: true };
+    fs::rename(&tmp, path).map_err(|e| io_err(path, &e))?;
+    guard.disarm();
+    Ok(())
+}
+
+fn check_finite(rows: &[CellRow]) -> Result<(), JournalError> {
+    for row in rows {
+        for (metric, value) in [("ipc", row.ipc), ("power", row.power), ("l1d_mpi", row.l1d_mpi)] {
+            if !value.is_finite() {
+                return Err(JournalError::NonFinite { cell: row.cell, metric });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// An open journal directory bound to one grid spec. Created by
+/// [`Journal::open`], which also returns the rows already journaled.
+pub struct Journal {
+    dir: PathBuf,
+    spec_hash: u64,
+}
+
+impl Journal {
+    /// Opens (creating if necessary) the journal at `dir` for `spec`,
+    /// reaping stray temp files and loading every valid shard record.
+    ///
+    /// Returns the journal handle plus the completed shards' rows, keyed
+    /// by shard index.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::SpecMismatch`] when the directory belongs to a
+    /// different grid, [`JournalError::Corrupt`] when a record fails
+    /// validation, [`JournalError::Io`] on filesystem failure.
+    pub fn open(
+        dir: &Path,
+        spec: &GridSpec,
+    ) -> Result<(Journal, BTreeMap<u64, Vec<CellRow>>), JournalError> {
+        fs::create_dir_all(dir).map_err(|e| io_err(dir, &e))?;
+        let spec_hash = spec.spec_hash();
+        let spec_path = dir.join("spec.json");
+        if spec_path.exists() {
+            let text = fs::read_to_string(&spec_path).map_err(|e| io_err(&spec_path, &e))?;
+            let doc: SpecDoc =
+                serde_json::from_str(&text).map_err(|e| corrupt(&spec_path, e.to_string()))?;
+            if doc.version != JOURNAL_VERSION {
+                return Err(corrupt(
+                    &spec_path,
+                    format!("journal version {} (expected {JOURNAL_VERSION})", doc.version),
+                ));
+            }
+            if doc.spec_hash != spec_hash
+                || doc.cells != spec.cells()
+                || doc.shard_size != spec.shard_size
+            {
+                return Err(JournalError::SpecMismatch {
+                    path: spec_path,
+                    expected: spec_hash,
+                    found: doc.spec_hash,
+                });
+            }
+        } else {
+            let doc = SpecDoc {
+                version: JOURNAL_VERSION,
+                spec_hash,
+                workload: spec.workload.clone(),
+                scale: spec.scale.clone(),
+                limit: spec.limit,
+                cells: spec.cells(),
+                shard_size: spec.shard_size,
+                axes: spec.axes.canonical(),
+            };
+            let text =
+                serde_json::to_string(&doc).map_err(|e| corrupt(&spec_path, e.to_string()))?;
+            write_atomic(&spec_path, &text)?;
+        }
+
+        let mut done = BTreeMap::new();
+        let entries = fs::read_dir(dir).map_err(|e| io_err(dir, &e))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| io_err(dir, &e))?;
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if name.contains(".tmp-") {
+                // A writer died mid-write (or pre-rename); the record was
+                // never published, so the stray is safe to reap.
+                let _ = fs::remove_file(entry.path());
+                continue;
+            }
+            let Some(num) = name.strip_prefix("shard-").and_then(|s| s.strip_suffix(".json"))
+            else {
+                continue;
+            };
+            let path = entry.path();
+            let shard: u64 = num
+                .parse()
+                .map_err(|_| corrupt(&path, format!("unparsable shard number '{num}'")))?;
+            let rows = Self::load_shard(&path, spec, spec_hash, shard)?;
+            done.insert(shard, rows);
+        }
+        Ok((Journal { dir: dir.to_path_buf(), spec_hash }, done))
+    }
+
+    /// Loads and validates one shard record.
+    fn load_shard(
+        path: &Path,
+        spec: &GridSpec,
+        spec_hash: u64,
+        shard: u64,
+    ) -> Result<Vec<CellRow>, JournalError> {
+        let text = fs::read_to_string(path).map_err(|e| io_err(path, &e))?;
+        let rec: ShardRecord =
+            serde_json::from_str(&text).map_err(|e| corrupt(path, e.to_string()))?;
+        if rec.spec_hash != spec_hash {
+            return Err(JournalError::SpecMismatch {
+                path: path.to_path_buf(),
+                expected: spec_hash,
+                found: rec.spec_hash,
+            });
+        }
+        if rec.shard != shard {
+            return Err(corrupt(
+                path,
+                format!("file names shard {shard} but records shard {}", rec.shard),
+            ));
+        }
+        let Some((start, end)) = spec.shard_range(shard) else {
+            return Err(corrupt(path, format!("shard {shard} out of range")));
+        };
+        if (rec.start, rec.end) != (start, end) {
+            return Err(corrupt(
+                path,
+                format!(
+                    "shard {shard} covers cells {}..{} but the spec says {start}..{end}",
+                    rec.start, rec.end
+                ),
+            ));
+        }
+        if rec.rows.len() as u64 != end - start {
+            return Err(corrupt(
+                path,
+                format!("shard {shard} has {} rows, expected {}", rec.rows.len(), end - start),
+            ));
+        }
+        for (i, row) in rec.rows.iter().enumerate() {
+            if row.cell != start + i as u64 {
+                return Err(corrupt(
+                    path,
+                    format!(
+                        "row {i} of shard {shard} is cell {}, expected {}",
+                        row.cell,
+                        start + i as u64
+                    ),
+                ));
+            }
+        }
+        check_finite(&rec.rows)
+            .map_err(|e| corrupt(path, format!("journaled row is non-finite: {e}")))?;
+        Ok(rec.rows)
+    }
+
+    /// Atomically publishes one completed shard's rows.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::NonFinite`] when a row cannot round-trip,
+    /// [`JournalError::Io`] on filesystem failure.
+    pub fn record_shard(
+        &self,
+        shard: u64,
+        start: u64,
+        end: u64,
+        rows: &[CellRow],
+    ) -> Result<(), JournalError> {
+        check_finite(rows)?;
+        let rec = ShardRecord { spec_hash: self.spec_hash, shard, start, end, rows: rows.to_vec() };
+        let path = self.dir.join(format!("shard-{shard:06}.json"));
+        let text = serde_json::to_string(&rec).map_err(|e| corrupt(&path, e.to_string()))?;
+        write_atomic(&path, &text)
+    }
+
+    /// The journal directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+}

@@ -44,22 +44,31 @@
 pub mod cache;
 mod error;
 pub mod experiments;
+pub mod grid;
+pub mod journal;
 pub mod suite;
 
 pub use cache::{trace_cap, WorkloadCache, WorkloadCacheStats, DEFAULT_TRACE_CAP};
 pub use error::Error;
+pub use grid::{
+    pareto_frontier, run_grid, CellId, CellRow, GridOutcome, GridSpec, ParetoPoint, ShardEvent,
+};
+pub use journal::{Journal, JournalError};
 pub use perfclone_validate::seeds;
 pub use seeds::derive_cell_seed;
 
 pub use perfclone_metrics::{mean_abs_pct_error, pearson, rank, relative_error, spearman, Table};
 pub use perfclone_power::{estimate_power, PowerReport};
 pub use perfclone_profile::{profile_program, ProfileError, WorkloadProfile};
-pub use perfclone_sim::{PackedRecorder, PackedReplay, PackedTrace, SimError};
+pub use perfclone_sim::{
+    PackedRecorder, PackedReplay, PackedTrace, SimError, SpilledTrace,
+    TraceError as SpillTraceError, TraceStore,
+};
 pub use perfclone_synth::{
     emit_c, synthesize, BranchModel, MemoryModel, SynthError, SynthesisParams,
 };
 pub use perfclone_uarch::{
-    base_config, cache_sweep, design_changes, sweep_trace, AddressTrace, CacheConfig,
+    base_config, cache_sweep, design_changes, sweep_trace, AddressTrace, CacheConfig, GridAxes,
     MachineConfig, Pipeline, PipelineError, PipelineReport,
 };
 pub use perfclone_validate::{
@@ -189,6 +198,39 @@ pub fn run_timing(
     Ok(TimingResult { report, power })
 }
 
+/// Runs a previously captured [`TraceStore`] — in-memory or spilled to
+/// disk and mmapped back — through the timing pipeline under `config`.
+/// Both storage classes decode through the same replay machinery, so the
+/// result is bit-identical to [`run_timing_replay`] on the in-memory
+/// trace (and to [`run_timing`] at the capture limit).
+///
+/// # Errors
+///
+/// Returns [`Error::Sim`] carrying the fault recorded at capture time,
+/// if any.
+///
+/// # Panics
+///
+/// Panics if `program` is not the program the trace was captured from
+/// (see [`PackedTrace::replay`]).
+pub fn run_timing_store(
+    program: &Program,
+    store: &TraceStore,
+    config: &MachineConfig,
+) -> Result<TimingResult, Error> {
+    let _span = perfclone_obs::span!("uarch.pipeline.run");
+    let mut replay = store.replay(program);
+    let report = Pipeline::new(*config).run(&mut replay);
+    if let Some(f) = store.fault() {
+        return Err(Error::Sim(f.clone()));
+    }
+    perfclone_obs::count!("uarch.pipeline.runs", 1);
+    perfclone_obs::count!("uarch.pipeline.instrs", report.instrs);
+    perfclone_obs::count!("trace.replays", 1);
+    let power = estimate_power(config, &report);
+    Ok(TimingResult { report, power })
+}
+
 /// Runs a previously captured [`PackedTrace`] through the timing pipeline
 /// under `config` — the replay half of record-once/replay-many. The
 /// pipeline consumes the reconstructed [`DynInstr`](perfclone_sim::DynInstr)
@@ -226,10 +268,12 @@ pub fn run_timing_replay(
 /// [`run_timing`] through the shared [`WorkloadCache`]: the workload's
 /// dynamic trace is captured once per `(workload, limit)` and replayed for
 /// this and every subsequent configuration, so an N-configuration sweep
-/// pays one functional execution instead of N. When the capture would
-/// exceed `PERFCLONE_TRACE_CAP` (see [`trace_cap`]) this falls back to the
-/// direct interpreter path — logged and counted, never silently truncated
-/// — and still returns the identical result.
+/// pays one functional execution instead of N. A capture that outgrows
+/// `PERFCLONE_TRACE_CAP` (see [`trace_cap`]) spills to disk and replays
+/// via mmap; only when spilling is disabled (`PERFCLONE_SPILL=0`) or the
+/// spill itself fails does this fall back to the direct interpreter path
+/// — logged and counted, never silently truncated — and either way it
+/// returns the identical result.
 ///
 /// # Errors
 ///
@@ -243,8 +287,8 @@ pub fn run_timing_trace(
     cache: &WorkloadCache,
 ) -> Result<TimingResult, Error> {
     match cache.packed_trace(workload, program, limit) {
-        Ok(trace) => run_timing_replay(program, &trace, config),
-        Err(Error::TraceCapExceeded { .. }) => run_timing(program, config, limit),
+        Ok(store) => run_timing_store(program, &store, config),
+        Err(e) if e.is_trace_fallback() => run_timing(program, config, limit),
         Err(e) => Err(e),
     }
 }

@@ -188,13 +188,18 @@ pub struct RunReport {
     /// Raw counter totals. Notable names: `cache.trace.lookups` /
     /// `cache.trace.computes` (packed-trace memo traffic, also surfaced in
     /// [`RunReport::caches`]), `trace.captures` / `trace.replays` (packed
-    /// captures and zero-allocation replays), and `trace.fallbacks`
-    /// (captures abandoned at `PERFCLONE_TRACE_CAP`, each re-interpreted
-    /// instead — never silently truncated).
+    /// captures and zero-allocation replays), `trace.spills` (over-cap
+    /// captures spilled to disk and replayed via mmap), `trace.fallbacks`
+    /// (captures abandoned — spill disabled or failed — each
+    /// re-interpreted instead, never silently truncated), and
+    /// `grid.shards.executed` / `grid.shards.skipped` (sharded-sweep
+    /// progress: fresh work vs. journal resume).
     pub counters: Vec<CounterEntry>,
     /// Raw gauge values. Notable names: `trace.bytes` (total packed-trace
-    /// bytes resident in the process) and `statsim.trace.bytes` (resident
-    /// footprint of the latest statistical trace, which cannot be packed).
+    /// bytes resident in the process), `trace.spill.bytes` (total bytes of
+    /// spilled trace files), `grid.cells` (cells the latest grid sweep
+    /// enumerates), and `statsim.trace.bytes` (resident footprint of the
+    /// latest statistical trace, which cannot be packed).
     pub gauges: Vec<GaugeEntry>,
     /// Raw histograms.
     pub histograms: Vec<HistogramEntry>,
@@ -351,6 +356,32 @@ impl RunReport {
             for m in &self.metrics {
                 let _ = writeln!(out, "  {:32}  {:.6}", m.name, m.value);
             }
+        }
+        let counter = |name: &str| {
+            self.counters.iter().find(|c| c.name == name).map(|c| c.value).unwrap_or(0)
+        };
+        let gauge =
+            |name: &str| self.gauges.iter().find(|g| g.name == name).map(|g| g.value).unwrap_or(0);
+        if counter("trace.captures") > 0 {
+            let _ = writeln!(
+                out,
+                "\ntrace storage:\n  {} captures · {} in-memory bytes · {} spills \
+                 ({} spilled bytes) · {} fallbacks",
+                counter("trace.captures"),
+                gauge("trace.bytes"),
+                counter("trace.spills"),
+                gauge("trace.spill.bytes"),
+                counter("trace.fallbacks"),
+            );
+        }
+        if counter("grid.shards.executed") + counter("grid.shards.skipped") > 0 {
+            let _ = writeln!(
+                out,
+                "\ngrid:\n  {} cells · {} shards executed · {} shards resumed from journal",
+                gauge("grid.cells"),
+                counter("grid.shards.executed"),
+                counter("grid.shards.skipped"),
+            );
         }
         let _ = writeln!(
             out,

@@ -35,11 +35,13 @@
 mod exec;
 mod mem;
 mod packed;
+mod spill;
 mod state;
 mod trace;
 
 pub use exec::{RunOutcome, SimError, Simulator};
 pub use mem::Memory;
 pub use packed::{PackedRecorder, PackedReplay, PackedTrace};
+pub use spill::{SpilledTrace, SpillingRecorder, TraceError, TraceStore};
 pub use state::ArchState;
 pub use trace::{CountingObserver, DynInstr, MemAccess, NullObserver, Observer, Trace};

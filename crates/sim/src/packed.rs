@@ -48,23 +48,23 @@ use crate::trace::{DynInstr, MemAccess, Observer};
 /// interpreter. See the [module docs](self) for the encoding.
 #[derive(Clone, Debug, PartialEq)]
 pub struct PackedTrace {
-    program_name: String,
-    program_len: usize,
-    start_pc: u32,
-    len: u64,
+    pub(crate) program_name: String,
+    pub(crate) program_len: usize,
+    pub(crate) start_pc: u32,
+    pub(crate) len: u64,
     /// Bit `i`: record `i` did not fall through (`next_pc != pc + 1`).
-    redirect_bits: Vec<u64>,
+    pub(crate) redirect_bits: Vec<u64>,
     /// Bit `i`: record `i` is a taken conditional branch.
-    taken_bits: Vec<u64>,
+    pub(crate) taken_bits: Vec<u64>,
     /// Zigzag-LEB128 `next_pc − pc` deltas, one per redirected record,
     /// in stream order.
-    targets: Vec<u8>,
+    pub(crate) targets: Vec<u8>,
     /// Effective addresses of memory records, in stream order.
-    mem_addrs: Vec<u64>,
+    pub(crate) mem_addrs: Vec<u64>,
     /// Access sizes of memory records; bit 7 carries the store flag.
-    mem_sizes: Vec<u8>,
-    halted: bool,
-    fault: Option<SimError>,
+    pub(crate) mem_sizes: Vec<u8>,
+    pub(crate) halted: bool,
+    pub(crate) fault: Option<SimError>,
 }
 
 impl PackedTrace {
@@ -153,22 +153,65 @@ impl PackedTrace {
     /// (checked by name and text length) — replaying against different
     /// code would silently decode garbage.
     pub fn replay<'a>(&'a self, program: &'a Program) -> PackedReplay<'a> {
-        assert!(
-            program.name() == self.program_name && program.len() == self.program_len,
-            "packed trace of {:?} ({} instrs) replayed against {:?} ({} instrs)",
-            self.program_name,
-            self.program_len,
-            program.name(),
-            program.len(),
-        );
-        PackedReplay {
-            trace: self,
-            code: program.instrs(),
-            idx: 0,
-            pc: self.start_pc,
-            target_cursor: 0,
-            mem_cursor: 0,
-        }
+        replay_parts(
+            TraceParts {
+                program_name: &self.program_name,
+                program_len: self.program_len,
+                start_pc: self.start_pc,
+                len: self.len,
+                redirect_bits: &self.redirect_bits,
+                taken_bits: &self.taken_bits,
+                targets: &self.targets,
+                mem_addrs: &self.mem_addrs,
+                mem_sizes: &self.mem_sizes,
+                fault: self.fault.as_ref(),
+            },
+            program,
+        )
+    }
+}
+
+/// Borrowed view of a packed trace's raw encoding — the common currency
+/// between an in-memory [`PackedTrace`] and a memory-mapped spill file
+/// (see [`crate::spill`]); both replay through the same iterator.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct TraceParts<'a> {
+    pub program_name: &'a str,
+    pub program_len: usize,
+    pub start_pc: u32,
+    pub len: u64,
+    pub redirect_bits: &'a [u64],
+    pub taken_bits: &'a [u64],
+    pub targets: &'a [u8],
+    pub mem_addrs: &'a [u64],
+    pub mem_sizes: &'a [u8],
+    pub fault: Option<&'a SimError>,
+}
+
+/// Builds the replay iterator for a raw trace encoding, asserting the
+/// program identity (name and text length) matches the capture.
+pub(crate) fn replay_parts<'a>(parts: TraceParts<'a>, program: &'a Program) -> PackedReplay<'a> {
+    assert!(
+        program.name() == parts.program_name && program.len() == parts.program_len,
+        "packed trace of {:?} ({} instrs) replayed against {:?} ({} instrs)",
+        parts.program_name,
+        parts.program_len,
+        program.name(),
+        program.len(),
+    );
+    PackedReplay {
+        len: parts.len,
+        redirect_bits: parts.redirect_bits,
+        taken_bits: parts.taken_bits,
+        targets: parts.targets,
+        mem_addrs: parts.mem_addrs,
+        mem_sizes: parts.mem_sizes,
+        fault: parts.fault,
+        code: program.instrs(),
+        idx: 0,
+        pc: parts.start_pc,
+        target_cursor: 0,
+        mem_cursor: 0,
     }
 }
 
@@ -181,14 +224,14 @@ impl PackedTrace {
 /// [`Simulator`]-driven run produces; this is debug-asserted.
 #[derive(Clone, Debug, Default)]
 pub struct PackedRecorder {
-    start_pc: u32,
+    pub(crate) start_pc: u32,
     expect_pc: u32,
-    len: u64,
-    redirect_bits: Vec<u64>,
-    taken_bits: Vec<u64>,
-    targets: Vec<u8>,
-    mem_addrs: Vec<u64>,
-    mem_sizes: Vec<u8>,
+    pub(crate) len: u64,
+    pub(crate) redirect_bits: Vec<u64>,
+    pub(crate) taken_bits: Vec<u64>,
+    pub(crate) targets: Vec<u8>,
+    pub(crate) mem_addrs: Vec<u64>,
+    pub(crate) mem_sizes: Vec<u8>,
 }
 
 impl PackedRecorder {
@@ -277,11 +320,21 @@ impl Observer for PackedRecorder {
     }
 }
 
-/// Iterator over a [`PackedTrace`], yielding the recorded [`DynInstr`]
-/// stream without allocating. Created by [`PackedTrace::replay`].
+/// Iterator over a packed trace's encoding, yielding the recorded
+/// [`DynInstr`] stream without allocating. Created by
+/// [`PackedTrace::replay`] (in-memory) or
+/// [`SpilledTrace::replay`](crate::SpilledTrace::replay) (memory-mapped);
+/// both feed it the same raw slices, so the two backings decode
+/// identically by construction.
 #[derive(Clone, Debug)]
 pub struct PackedReplay<'a> {
-    trace: &'a PackedTrace,
+    len: u64,
+    redirect_bits: &'a [u64],
+    taken_bits: &'a [u64],
+    targets: &'a [u8],
+    mem_addrs: &'a [u64],
+    mem_sizes: &'a [u8],
+    fault: Option<&'a SimError>,
     code: &'a [Instr],
     idx: u64,
     pc: u32,
@@ -294,7 +347,7 @@ impl PackedReplay<'_> {
     /// [`Trace::fault`](crate::Trace::fault): the iterator ends after the
     /// last cleanly retired record and this names what stopped it.
     pub fn fault(&self) -> Option<&SimError> {
-        self.trace.fault()
+        self.fault
     }
 }
 
@@ -303,16 +356,16 @@ impl Iterator for PackedReplay<'_> {
 
     #[inline]
     fn next(&mut self) -> Option<DynInstr> {
-        if self.idx == self.trace.len {
+        if self.idx == self.len {
             return None;
         }
         let pc = self.pc;
         let instr = self.code[pc as usize];
         let word = (self.idx / 64) as usize;
         let bit = 1u64 << (self.idx % 64);
-        let taken = self.trace.taken_bits[word] & bit != 0;
-        let next_pc = if self.trace.redirect_bits[word] & bit != 0 {
-            let delta = decode_zigzag(&self.trace.targets, &mut self.target_cursor);
+        let taken = self.taken_bits[word] & bit != 0;
+        let next_pc = if self.redirect_bits[word] & bit != 0 {
+            let delta = decode_zigzag(self.targets, &mut self.target_cursor);
             i64::from(pc).wrapping_add(delta) as u32
         } else {
             pc.wrapping_add(1)
@@ -320,8 +373,8 @@ impl Iterator for PackedReplay<'_> {
         // The program decides whether this record carries a memory access;
         // the SoA arrays only hold the dynamic half (address, size, store).
         let mem = if instr.mem_ref().is_some() {
-            let addr = self.trace.mem_addrs[self.mem_cursor];
-            let sz = self.trace.mem_sizes[self.mem_cursor];
+            let addr = self.mem_addrs[self.mem_cursor];
+            let sz = self.mem_sizes[self.mem_cursor];
             self.mem_cursor += 1;
             Some(MemAccess { addr, bytes: sz & 0x7f, is_store: sz & 0x80 != 0 })
         } else {
@@ -333,7 +386,7 @@ impl Iterator for PackedReplay<'_> {
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
-        let left = usize::try_from(self.trace.len - self.idx).unwrap_or(usize::MAX);
+        let left = usize::try_from(self.len - self.idx).unwrap_or(usize::MAX);
         (left, Some(left))
     }
 }

@@ -1,0 +1,212 @@
+//! Design-space grid axes: the cartesian product of cache geometry,
+//! pipeline widths, and latency tables that the sharded sweep engine
+//! enumerates.
+//!
+//! A [`GridAxes`] is a small set of per-axis value lists. Cells are
+//! addressed by a single linear index decoded odometer-style (the last
+//! axis varies fastest), so any cell's [`MachineConfig`] is materialized
+//! in O(axes) without ever holding the full product in memory — the
+//! property that lets 10⁴–10⁶-cell sweeps run out-of-core.
+//!
+//! The enumeration order and the [`canonical`](GridAxes::canonical)
+//! encoding are stability contracts: cell `i` of a given axes value must
+//! decode to the same configuration in every process, on every thread
+//! count, forever — resumable journals and stable cell IDs depend on it.
+
+use crate::config::{base_config, MachineConfig};
+use crate::{Assoc, CacheConfig};
+
+/// Per-axis value lists for a design-space grid.
+///
+/// The grid is the cartesian product of the six axes, enumerated with
+/// `l2_latencies` varying fastest and `l1d_bytes` slowest.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GridAxes {
+    /// L1 D-cache total sizes in bytes (must keep the 32 B line geometry
+    /// valid: power-of-two sizes ≥ `ways * 32`).
+    pub l1d_bytes: Vec<u32>,
+    /// L1 D-cache associativities (powers of two).
+    pub l1d_ways: Vec<u32>,
+    /// Machine widths applied to fetch/decode/issue/commit.
+    pub widths: Vec<u32>,
+    /// Reorder-buffer sizes; the LSQ scales as `max(rob / 2, 1)`.
+    pub rob_sizes: Vec<u32>,
+    /// Main-memory latencies in cycles.
+    pub mem_latencies: Vec<u32>,
+    /// Unified-L2 hit latencies in cycles.
+    pub l2_latencies: Vec<u32>,
+}
+
+impl GridAxes {
+    /// A small smoke-test grid (32 cells) for CI and examples.
+    pub fn small() -> GridAxes {
+        GridAxes {
+            l1d_bytes: vec![4 * 1024, 16 * 1024],
+            l1d_ways: vec![1, 2],
+            widths: vec![1, 2],
+            rob_sizes: vec![16, 32],
+            mem_latencies: vec![40],
+            l2_latencies: vec![6, 12],
+        }
+    }
+
+    /// A dense exploration grid (10 240 cells) exercising cache size,
+    /// associativity, width, window size, and both latency tables.
+    pub fn dense() -> GridAxes {
+        GridAxes {
+            l1d_bytes: vec![
+                1024,
+                2 * 1024,
+                4 * 1024,
+                8 * 1024,
+                16 * 1024,
+                32 * 1024,
+                64 * 1024,
+                128 * 1024,
+            ],
+            l1d_ways: vec![1, 2, 4, 8],
+            widths: vec![1, 2, 4, 8],
+            rob_sizes: vec![16, 32, 64, 128],
+            mem_latencies: vec![20, 40, 80, 160, 320],
+            l2_latencies: vec![4, 6, 12, 24],
+        }
+    }
+
+    /// Number of cells in the grid (product of axis lengths), saturating
+    /// at `u64::MAX`.
+    pub fn cells(&self) -> u64 {
+        [
+            self.l1d_bytes.len(),
+            self.l1d_ways.len(),
+            self.widths.len(),
+            self.rob_sizes.len(),
+            self.mem_latencies.len(),
+            self.l2_latencies.len(),
+        ]
+        .iter()
+        .try_fold(1u64, |acc, &n| acc.checked_mul(n as u64))
+        .unwrap_or(u64::MAX)
+    }
+
+    /// Decodes cell `index` into a concrete machine configuration, or
+    /// `None` when the index is out of range.
+    ///
+    /// Decoding is odometer-style over [`base_config`]: the last axis
+    /// (`l2_latencies`) varies fastest. This order is a stability
+    /// contract — see the module docs.
+    pub fn config(&self, index: u64) -> Option<MachineConfig> {
+        if index >= self.cells() || self.cells() == 0 {
+            return None;
+        }
+        let mut i = index;
+        let mut pick = |axis: &[u32]| -> u32 {
+            let n = axis.len() as u64;
+            let k = (i % n) as usize;
+            i /= n;
+            axis[k]
+        };
+        let l2_latency = pick(&self.l2_latencies);
+        let mem_latency = pick(&self.mem_latencies);
+        let rob = pick(&self.rob_sizes);
+        let width = pick(&self.widths);
+        let ways = pick(&self.l1d_ways);
+        let l1d_bytes = pick(&self.l1d_bytes);
+
+        let base = base_config();
+        Some(MachineConfig {
+            name: "grid",
+            fetch_width: width,
+            decode_width: width,
+            issue_width: width,
+            commit_width: width,
+            rob_size: rob,
+            lsq_size: (rob / 2).max(1),
+            l1d: CacheConfig::new(u64::from(l1d_bytes), Assoc::Ways(ways), base.l1d.line_bytes),
+            l2_latency,
+            mem_latency,
+            ..base
+        })
+    }
+
+    /// Canonical text encoding of the axes — the stable input to the grid
+    /// spec hash. Two axes values are the same grid iff their canonical
+    /// encodings are byte-identical.
+    pub fn canonical(&self) -> String {
+        fn join(v: &[u32]) -> String {
+            v.iter().map(ToString::to_string).collect::<Vec<_>>().join(",")
+        }
+        format!(
+            "l1d={};ways={};width={};rob={};mem={};l2={}",
+            join(&self.l1d_bytes),
+            join(&self.l1d_ways),
+            join(&self.widths),
+            join(&self.rob_sizes),
+            join(&self.mem_latencies),
+            join(&self.l2_latencies),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preset_cell_counts() {
+        assert_eq!(GridAxes::small().cells(), 32);
+        assert_eq!(GridAxes::dense().cells(), 10_240);
+    }
+
+    #[test]
+    fn decode_covers_every_cell_uniquely() {
+        let axes = GridAxes::small();
+        let mut seen = Vec::new();
+        for i in 0..axes.cells() {
+            let c = axes.config(i).expect("in range");
+            let key = (
+                c.l1d.size_bytes,
+                c.l1d.ways(),
+                c.issue_width,
+                c.rob_size,
+                c.mem_latency,
+                c.l2_latency,
+            );
+            assert!(!seen.contains(&key), "cell {i} duplicates an earlier cell");
+            seen.push(key);
+        }
+        assert_eq!(seen.len() as u64, axes.cells());
+        assert!(axes.config(axes.cells()).is_none());
+    }
+
+    #[test]
+    fn last_axis_varies_fastest() {
+        let axes = GridAxes::small();
+        let c0 = axes.config(0).expect("cell 0");
+        let c1 = axes.config(1).expect("cell 1");
+        assert_eq!(c0.l2_latency, axes.l2_latencies[0]);
+        assert_eq!(c1.l2_latency, axes.l2_latencies[1]);
+        assert_eq!(c0.l1d.size_bytes, c1.l1d.size_bytes);
+    }
+
+    #[test]
+    fn dense_grid_cells_build_valid_cache_geometry() {
+        let axes = GridAxes::dense();
+        // CacheConfig::new asserts geometry; touching first/last/strided
+        // cells exercises every axis value at least once.
+        for i in (0..axes.cells()).step_by(257) {
+            let c = axes.config(i).expect("in range");
+            assert_eq!(c.fetch_width, c.commit_width);
+            assert_eq!(c.lsq_size, (c.rob_size / 2).max(1));
+        }
+    }
+
+    #[test]
+    fn canonical_is_stable_and_discriminating() {
+        let a = GridAxes::small();
+        let b = GridAxes::small();
+        assert_eq!(a.canonical(), b.canonical());
+        let mut c = GridAxes::small();
+        c.rob_sizes.push(64);
+        assert_ne!(a.canonical(), c.canonical());
+    }
+}

@@ -35,6 +35,7 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod config;
+pub mod grid;
 pub mod stackdist;
 
 mod cache;
@@ -44,6 +45,7 @@ mod sweep;
 
 pub use cache::{AccessResult, Assoc, Cache, CacheConfig, CacheStats};
 pub use config::{base_config, cache_sweep, design_changes, IssuePolicy, MachineConfig};
+pub use grid::GridAxes;
 pub use pipeline::{Activity, Pipeline, PipelineError, PipelineReport};
 pub use predictor::{BranchPredictor, PredictorKind, PredictorStats};
 pub use stackdist::{sweep_trace, sweep_trace_par, AddressTrace, DataRef};

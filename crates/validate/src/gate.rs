@@ -13,7 +13,7 @@ use std::fmt::Write as _;
 
 use perfclone_isa::{InstrClass, Program};
 use perfclone_profile::{DepHistogram, Profiler, WorkloadProfile};
-use perfclone_sim::{Observer as _, PackedTrace, SimError, Simulator};
+use perfclone_sim::{Observer as _, PackedReplay, PackedTrace, SimError, Simulator, TraceStore};
 
 use crate::error::ValidateError;
 
@@ -314,26 +314,71 @@ impl Gate {
         clone: &Program,
         trace: &PackedTrace,
     ) -> Result<ValidationReport, ValidateError> {
+        self.report_replayed(
+            source,
+            clone,
+            trace.len(),
+            trace.halted(),
+            trace.fault(),
+            trace.replay(clone),
+        )
+    }
+
+    /// [`report_replay`](Gate::report_replay) over either storage class
+    /// of a capture — in-memory or spilled to disk and mmapped back. Both
+    /// decode through the same replay machinery, so the verdicts are
+    /// identical to the in-memory path's.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`report_replay`](Gate::report_replay).
+    pub fn report_store(
+        &self,
+        source: &WorkloadProfile,
+        clone: &Program,
+        store: &TraceStore,
+    ) -> Result<ValidationReport, ValidateError> {
+        self.report_replayed(
+            source,
+            clone,
+            store.len(),
+            store.halted(),
+            store.fault(),
+            store.replay(clone),
+        )
+    }
+
+    /// Shared tail of [`report_replay`](Gate::report_replay) and
+    /// [`report_store`](Gate::report_store): judge a capture by its
+    /// carried length/halt/fault, then re-profile from the replay stream.
+    fn report_replayed(
+        &self,
+        source: &WorkloadProfile,
+        clone: &Program,
+        len: u64,
+        halted: bool,
+        fault: Option<&SimError>,
+        replay: PackedReplay<'_>,
+    ) -> Result<ValidationReport, ValidateError> {
         let _gate_span = perfclone_obs::span!("validate.gate");
         source.check().map_err(ValidateError::Source)?;
-        let len = trace.len();
-        if len > self.profile_budget || (len == self.profile_budget && !trace.halted()) {
+        if len > self.profile_budget || (len == self.profile_budget && !halted) {
             // The direct path stops at the budget before reaching any
             // fault beyond it, so exhaustion wins over a carried fault.
             return Err(ValidateError::BudgetExhausted { budget: self.profile_budget });
         }
         if len < self.profile_budget {
-            if let Some(f) = trace.fault() {
+            if let Some(f) = fault {
                 return Err(ValidateError::CloneFaulted(f.clone()));
             }
-            if !trace.halted() {
+            if !halted {
                 return Err(ValidateError::BudgetExhausted { budget: len });
             }
         }
         let mut profiler = Profiler::new(clone.name());
         {
             let _s = perfclone_obs::span!("validate.reprofile");
-            for d in trace.replay(clone) {
+            for d in replay {
                 profiler.on_retire(&d);
             }
         }
@@ -356,6 +401,23 @@ impl Gate {
         trace: &PackedTrace,
     ) -> Result<ValidationReport, ValidateError> {
         self.report_replay(source, clone, trace)?.into_result()
+    }
+
+    /// Like [`accept`](Gate::accept) over a [`TraceStore`]: everything
+    /// [`report_store`](Gate::report_store) returns, with a failing
+    /// report converted to [`ValidateError::GateFailed`].
+    ///
+    /// # Errors
+    ///
+    /// Everything [`report_store`](Gate::report_store) returns, plus
+    /// [`ValidateError::GateFailed`] carrying the report.
+    pub fn accept_store(
+        &self,
+        source: &WorkloadProfile,
+        clone: &Program,
+        store: &TraceStore,
+    ) -> Result<ValidationReport, ValidateError> {
+        self.report_store(source, clone, store)?.into_result()
     }
 
     /// Judges the five attribute families of a re-profiled clone against

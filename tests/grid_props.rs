@@ -1,0 +1,214 @@
+//! Property tests for the design-space grid generator and shard planner:
+//! cell IDs are unique and stable, shards tile the grid exactly once, the
+//! enumeration is deterministic at any thread count, and the journal
+//! resumes by skipping completed shards.
+
+use std::collections::HashSet;
+use std::path::PathBuf;
+
+use perfclone::{run_grid, Error, GridAxes, GridSpec, JournalError, WorkloadCache};
+use perfclone_kernels::{by_name, Scale};
+use proptest::prelude::*;
+
+fn tiny_program() -> perfclone_isa::Program {
+    by_name("crc32").expect("kernel exists").build(Scale::Tiny).program
+}
+
+fn spec_with(axes: GridAxes, max_cells: u64, shard_size: u64) -> GridSpec {
+    GridSpec {
+        workload: "crc32".into(),
+        scale: "tiny".into(),
+        limit: 20_000,
+        axes,
+        max_cells,
+        shard_size,
+    }
+}
+
+fn temp_journal(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("perfclone-grid-props-{}-{tag}", std::process::id()))
+}
+
+/// An axes strategy with axis lengths drawn independently: each axis is
+/// a random-length prefix of a preset value list (values are powers of
+/// two to satisfy the cache-geometry asserts).
+fn axes_strategy() -> impl Strategy<Value = GridAxes> {
+    (1usize..=4, 1usize..=3, 1usize..=3, 1usize..=3, 1usize..=2, 1usize..=3).prop_map(
+        |(n_size, n_ways, n_width, n_rob, n_mem, n_l2)| GridAxes {
+            l1d_bytes: [1024u32, 4 * 1024, 16 * 1024, 64 * 1024][..n_size].to_vec(),
+            l1d_ways: [1u32, 2, 4][..n_ways].to_vec(),
+            widths: [1u32, 2, 4][..n_width].to_vec(),
+            rob_sizes: [16u32, 32, 64][..n_rob].to_vec(),
+            mem_latencies: [40u32, 160][..n_mem].to_vec(),
+            l2_latencies: [6u32, 12, 24][..n_l2].to_vec(),
+        },
+    )
+}
+
+proptest! {
+    /// Every cell decodes to a configuration, every cell ID is unique,
+    /// and out-of-range indices decode to `None`.
+    #[test]
+    fn cell_ids_unique_and_every_cell_decodes(axes in axes_strategy()) {
+        let spec = spec_with(axes, u64::MAX, 7);
+        let cells = spec.cells();
+        prop_assert!(cells > 0);
+        let mut seen = HashSet::new();
+        for i in 0..cells {
+            prop_assert!(spec.axes.config(i).is_some(), "cell {i} must decode");
+            prop_assert!(seen.insert(spec.cell_id(i).to_string()), "cell {i} id collides");
+        }
+        prop_assert!(spec.axes.config(cells).is_none());
+    }
+
+    /// Shards tile `[0, cells)` exactly: every cell covered once, no
+    /// overlap, no gap — for arbitrary shard sizes and truncations.
+    #[test]
+    fn shards_cover_exactly_once(
+        axes in axes_strategy(),
+        shard_size in 1u64..20,
+        truncate in 0u64..64,
+    ) {
+        // truncate == 0 means "no truncation".
+        let max_cells = if truncate == 0 { u64::MAX } else { truncate };
+        let spec = spec_with(axes, max_cells, shard_size);
+        let mut covered = vec![0u32; spec.cells() as usize];
+        for shard in 0..spec.shard_count() {
+            let (start, end) = spec.shard_range(shard).expect("in-range shard");
+            prop_assert!(start < end, "shard {shard} must be non-empty");
+            for cell in start..end {
+                covered[cell as usize] += 1;
+            }
+        }
+        prop_assert!(covered.iter().all(|&c| c == 1), "cover counts: {covered:?}");
+        prop_assert!(spec.shard_range(spec.shard_count()).is_none());
+    }
+
+    /// The spec hash (hence every cell ID) is invariant under re-sharding
+    /// and truncation, and sensitive to identity changes.
+    #[test]
+    fn cell_ids_stable_under_resharding(
+        axes in axes_strategy(),
+        shard_a in 1u64..20,
+        shard_b in 1u64..20,
+    ) {
+        let a = spec_with(axes.clone(), u64::MAX, shard_a);
+        let b = spec_with(axes.clone(), 5, shard_b);
+        prop_assert_eq!(a.cell_id(3).to_string(), b.cell_id(3).to_string());
+        let other = GridSpec { limit: a.limit + 1, ..a.clone() };
+        prop_assert_ne!(a.cell_id(3).to_string(), other.cell_id(3).to_string());
+    }
+}
+
+/// The same sweep run at different thread counts — and resumed from a
+/// completed journal — produces bit-identical row sets.
+#[test]
+fn enumeration_is_deterministic_across_thread_counts() {
+    let program = tiny_program();
+    let spec = spec_with(GridAxes::small(), 12, 5);
+    let mut row_sets = Vec::new();
+    for (i, jobs) in [1usize, 4].into_iter().enumerate() {
+        let journal = temp_journal(&format!("threads-{i}"));
+        let _ = std::fs::remove_dir_all(&journal);
+        let pool = rayon::ThreadPoolBuilder::new().num_threads(jobs).build().expect("pool");
+        let cache = WorkloadCache::new();
+        let outcome = pool
+            .install(|| run_grid(&program, &spec, &journal, &cache, |_| {}))
+            .expect("sweep succeeds");
+        assert_eq!(outcome.rows.len() as u64, spec.cells());
+        row_sets.push(outcome.rows);
+        let _ = std::fs::remove_dir_all(&journal);
+    }
+    assert_eq!(row_sets[0], row_sets[1], "rows must not depend on thread count");
+}
+
+/// A second run over a completed journal executes nothing, skips every
+/// shard, and returns bit-identical rows; the journaled cell order is
+/// preserved through the merge.
+#[test]
+fn resume_skips_completed_shards() {
+    let program = tiny_program();
+    let spec = spec_with(GridAxes::small(), 10, 3);
+    let journal = temp_journal("resume");
+    let _ = std::fs::remove_dir_all(&journal);
+    let cache = WorkloadCache::new();
+    let first = run_grid(&program, &spec, &journal, &cache, |_| {}).expect("first sweep");
+    assert_eq!(first.executed_shards, spec.shard_count());
+    assert_eq!(first.skipped_shards, 0);
+
+    let resumed_events = std::sync::atomic::AtomicU64::new(0);
+    let second = run_grid(&program, &spec, &journal, &cache, |ev| {
+        assert!(ev.resumed, "no fresh execution expected on resume");
+        resumed_events.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    })
+    .expect("resumed sweep");
+    let resumed_events = resumed_events.into_inner();
+    assert_eq!(second.executed_shards, 0);
+    assert_eq!(second.skipped_shards, spec.shard_count());
+    assert_eq!(resumed_events, spec.shard_count());
+    assert_eq!(first.rows, second.rows, "resume must be bit-identical");
+    assert_eq!(first.pareto, second.pareto);
+    let cells: Vec<u64> = second.rows.iter().map(|r| r.cell).collect();
+    assert_eq!(cells, (0..spec.cells()).collect::<Vec<_>>(), "rows merge in cell order");
+    let _ = std::fs::remove_dir_all(&journal);
+}
+
+/// Resuming a journal with a different grid spec fails with the typed
+/// mismatch error instead of merging rows from a different design space.
+#[test]
+fn journal_spec_mismatch_is_typed() {
+    let program = tiny_program();
+    let spec = spec_with(GridAxes::small(), 6, 3);
+    let journal = temp_journal("mismatch");
+    let _ = std::fs::remove_dir_all(&journal);
+    let cache = WorkloadCache::new();
+    run_grid(&program, &spec, &journal, &cache, |_| {}).expect("seed journal");
+
+    let other = GridSpec { limit: spec.limit + 1, ..spec.clone() };
+    match run_grid(&program, &other, &journal, &cache, |_| {}) {
+        Err(Error::Journal(JournalError::SpecMismatch { expected, found, .. })) => {
+            assert_eq!(expected, other.spec_hash());
+            assert_eq!(found, spec.spec_hash());
+        }
+        other => panic!("expected SpecMismatch, got {other:?}"),
+    }
+    // Re-sharding is also refused (shard records are keyed by shard
+    // index), even though cell IDs are shared.
+    let resharded = GridSpec { shard_size: 4, ..spec.clone() };
+    assert!(matches!(
+        run_grid(&program, &resharded, &journal, &cache, |_| {}),
+        Err(Error::Journal(JournalError::SpecMismatch { .. }))
+    ));
+    let _ = std::fs::remove_dir_all(&journal);
+}
+
+/// Stray temp files (a writer killed pre-rename) are reaped on resume
+/// and never parsed as shard records.
+#[test]
+fn stray_temp_files_are_reaped_on_resume() {
+    let program = tiny_program();
+    let spec = spec_with(GridAxes::small(), 6, 3);
+    let journal = temp_journal("stray");
+    let _ = std::fs::remove_dir_all(&journal);
+    let cache = WorkloadCache::new();
+    let first = run_grid(&program, &spec, &journal, &cache, |_| {}).expect("seed journal");
+    let stray = journal.join("shard-000099.json.tmp-12345");
+    std::fs::write(&stray, b"{ truncated garbage").expect("plant stray");
+    let second = run_grid(&program, &spec, &journal, &cache, |_| {}).expect("resume with stray");
+    assert_eq!(first.rows, second.rows);
+    assert!(!stray.exists(), "stray temp file must be reaped");
+    let _ = std::fs::remove_dir_all(&journal);
+}
+
+/// A grid with no cells is a typed error, not a silent no-op.
+#[test]
+fn empty_grid_is_typed() {
+    let program = tiny_program();
+    let spec = spec_with(GridAxes::small(), 0, 3);
+    let journal = temp_journal("empty");
+    let cache = WorkloadCache::new();
+    assert!(matches!(
+        run_grid(&program, &spec, &journal, &cache, |_| {}),
+        Err(Error::EmptyGrid { .. })
+    ));
+}

@@ -169,21 +169,25 @@ fn faulting_program_replays_as_the_same_error() {
     assert_eq!(direct.to_string(), replay.to_string());
 }
 
-/// An over-cap workload is probed exactly once: the capture abandons (it
-/// never truncates) and the outcome is memoized as a typed error so every
-/// later requester immediately falls back to the interpreter.
+/// An over-cap workload is captured exactly once: the capture spills to
+/// disk (it never truncates) and the spilled store is memoized, so every
+/// later requester shares the same on-disk trace. (With spilling
+/// disabled — `PERFCLONE_SPILL=0`, exercised by the sim unit tests and
+/// the CI fallback smoke — the outcome is instead a memoized typed
+/// `TraceCapExceeded`.)
 #[test]
-fn capped_capture_is_memoized_as_error() {
+fn capped_capture_is_memoized_as_spill() {
     let program = susan_tiny();
     let cache = WorkloadCache::new();
     for _ in 0..3 {
-        let err = cache
-            .packed_trace_capped("susan-tiny", &program, u64::MAX, 64)
-            .expect_err("64 bytes cannot hold the trace");
-        assert!(matches!(err, Error::TraceCapExceeded { cap: 64, .. }), "got {err}");
+        let store = cache
+            .packed_trace_capped("susan-tiny", &program, 50_000, 64)
+            .expect("64 bytes cannot hold the trace resident, so it must spill");
+        assert!(store.is_spilled(), "an over-cap capture must be on disk");
+        assert!(store.halted(), "the full stream (not a truncation) must be on disk");
     }
     let stats = cache.snapshot();
-    assert_eq!(stats.packed_trace_computes, 1, "over-cap probe must be memoized");
+    assert_eq!(stats.packed_trace_computes, 1, "over-cap capture must be memoized");
     assert_eq!(stats.packed_trace_lookups, 3);
 }
 

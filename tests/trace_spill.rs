@@ -1,0 +1,246 @@
+//! Acceptance tests for the out-of-core trace spill path: a packed trace
+//! spilled to disk and replayed through the memory mapping must match the
+//! in-memory replay record-for-record (mid-stream faults and missing
+//! halts included), corrupted or truncated spill files must surface typed
+//! [`TraceError`]s — never panics — and timing results driven through a
+//! spilled [`TraceStore`] obtained from the shared cache under a tiny
+//! byte cap must be bit-identical to the direct interpreter path.
+
+use std::path::PathBuf;
+
+use perfclone::{base_config, run_timing, run_timing_store, Error, WorkloadCache};
+use perfclone_isa::{MemWidth, Program, ProgramBuilder, Reg, StreamDesc};
+use perfclone_kernels::{by_name, Scale};
+use perfclone_sim::{PackedTrace, SpilledTrace, TraceError, TraceStore};
+use proptest::prelude::*;
+
+/// A deterministic program built from a random opcode stream — the same
+/// shape mix as the packed-trace acceptance tests (ALU chains, stream and
+/// base-register memory traffic, xorshift-fed conditional branches,
+/// jumps), with an optional missing `halt` so the stream ends in a
+/// `PcOutOfRange` fault.
+fn random_program(ops: &[u8], halt: bool) -> Program {
+    let mut b = ProgramBuilder::new("rand");
+    let r = Reg::new;
+    let buf = b.alloc(256);
+    let id = b.stream(StreamDesc { base: 0x10_0000, stride: 24, length: 1 << 10 });
+    b.li(r(5), buf as i64);
+    b.li(r(7), 0x9e37_79b9);
+    for (i, op) in ops.iter().enumerate() {
+        match op % 8 {
+            0 => b.addi(r(3), r(3), 1),
+            1 => b.mul(r(4), r(4), r(3)),
+            2 => b.ld_stream(r(6), id, MemWidth::B8),
+            3 => b.sd(r(3), r(5), ((i % 8) * 8) as i32),
+            4 => b.ld(r(9), r(5), 0),
+            5 => {
+                b.srli(r(8), r(7), 13);
+                b.xor(r(7), r(7), r(8));
+            }
+            6 => {
+                let skip = b.label();
+                b.andi(r(8), r(7), 1);
+                b.bnez(r(8), skip);
+                b.nop();
+                b.bind(skip);
+            }
+            _ => {
+                let over = b.label();
+                b.j(over);
+                b.nop();
+                b.bind(over);
+            }
+        }
+    }
+    if halt {
+        b.halt();
+    }
+    b.build()
+}
+
+fn temp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("perfclone-trace-spill-{}-{name}", std::process::id()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Spill → open → replay equals the in-memory replay record for
+    /// record, and the trace metadata (length, halt, fault, program
+    /// name) survives the round trip — for halting and faulting programs
+    /// across capture limits.
+    #[test]
+    fn spilled_replay_matches_in_memory(
+        ops in proptest::collection::vec(any::<u8>(), 1..160),
+        halt in any::<bool>(),
+        limit in prop_oneof![Just(u64::MAX), 1u64..400],
+        case in 0u64..u64::MAX,
+    ) {
+        let p = random_program(&ops, halt);
+        let packed = PackedTrace::capture(&p, limit);
+        let path = temp(&format!("roundtrip-{case:x}.spill"));
+        packed.spill_to(&path).expect("spill to disk");
+        let mut spilled = SpilledTrace::open(&path).expect("open spill file");
+        spilled.delete_on_drop(true);
+
+        prop_assert_eq!(spilled.len(), packed.len());
+        prop_assert_eq!(spilled.halted(), packed.halted());
+        prop_assert_eq!(spilled.fault(), packed.fault());
+        prop_assert_eq!(spilled.program_name(), packed.program_name());
+
+        let mut mem = packed.replay(&p);
+        let mut disk = spilled.replay(&p);
+        loop {
+            let a = mem.next();
+            let b = disk.next();
+            prop_assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+        prop_assert_eq!(mem.fault(), disk.fault());
+    }
+
+    /// Flipping any single byte of the payload (or of the stored
+    /// checksum itself) in a valid spill file is caught by the FNV-1a
+    /// validation as a typed error — never a panic, never a silently
+    /// different replay. (Header fields ahead of the checksum are
+    /// guarded by the magic/version/geometry checks instead.)
+    #[test]
+    fn any_flipped_payload_byte_is_detected(
+        ops in proptest::collection::vec(any::<u8>(), 1..64),
+        flip in any::<u64>(),
+    ) {
+        let p = random_program(&ops, true);
+        let packed = PackedTrace::capture(&p, u64::MAX);
+        let path = temp("fliptarget.spill");
+        packed.spill_to(&path).expect("spill to disk");
+        let mut bytes = std::fs::read(&path).expect("read spill file");
+        // Byte 72 is where the checksum field starts; everything from
+        // there on participates in (or is) the checksum.
+        let at = 72 + (flip as usize % (bytes.len() - 72));
+        bytes[at] ^= 0x01;
+        let flipped = temp("flipped.spill");
+        std::fs::write(&flipped, &bytes).expect("write corrupted copy");
+        let result = SpilledTrace::open(&flipped);
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&flipped);
+        match result {
+            Err(
+                TraceError::Corrupt { .. }
+                | TraceError::BadVersion { .. }
+                | TraceError::BadMagic { .. },
+            ) => {}
+            other => {
+                return Err(TestCaseError::fail(format!(
+                    "byte {at} flip must be detected, got {other:?}"
+                )));
+            }
+        }
+    }
+}
+
+/// Structural corruptions each map to their specific typed error:
+/// wrong magic, unsupported version, truncation, and a missing file.
+#[test]
+fn corruption_errors_are_typed() {
+    let p = by_name("crc32").expect("bundled kernel").build(Scale::Tiny).program;
+    let packed = PackedTrace::capture(&p, 2_000);
+    let path = temp("typed.spill");
+    packed.spill_to(&path).expect("spill to disk");
+    let good = std::fs::read(&path).expect("read spill file");
+
+    let write = |name: &str, bytes: &[u8]| {
+        let p = temp(name);
+        std::fs::write(&p, bytes).expect("write corrupted copy");
+        p
+    };
+
+    let mut bad_magic = good.clone();
+    bad_magic[0] ^= 0xff;
+    let f = write("badmagic.spill", &bad_magic);
+    assert!(matches!(SpilledTrace::open(&f), Err(TraceError::BadMagic { .. })));
+    let _ = std::fs::remove_file(&f);
+
+    let mut bad_version = good.clone();
+    bad_version[8..12].copy_from_slice(&99u32.to_le_bytes());
+    let f = write("badversion.spill", &bad_version);
+    assert!(matches!(SpilledTrace::open(&f), Err(TraceError::BadVersion { version: 99, .. })));
+    let _ = std::fs::remove_file(&f);
+
+    for cut in [0, 7, 40, good.len() - 1] {
+        let f = write("truncated.spill", &good[..cut]);
+        assert!(
+            matches!(
+                SpilledTrace::open(&f),
+                Err(TraceError::Corrupt { .. } | TraceError::BadMagic { .. })
+            ),
+            "truncation to {cut} bytes must be detected"
+        );
+        let _ = std::fs::remove_file(&f);
+    }
+
+    let missing = temp("never-written.spill");
+    assert!(matches!(SpilledTrace::open(&missing), Err(TraceError::Io { .. })));
+
+    let _ = std::fs::remove_file(&path);
+}
+
+/// A capture forced over a tiny byte cap through the shared cache comes
+/// back as `TraceStore::Spilled`, and timing results replayed from it are
+/// bit-identical to both the in-memory store and the direct interpreter
+/// path.
+#[test]
+fn capped_capture_spills_and_times_bit_identically() {
+    let built = by_name("crc32").expect("bundled kernel").build(Scale::Tiny);
+    let program = built.program;
+    let limit = 20_000;
+    let config = base_config();
+
+    let mem_cache = WorkloadCache::new();
+    let mem = mem_cache
+        .packed_trace_capped("crc32", &program, limit, usize::MAX)
+        .expect("uncapped capture");
+    assert!(!mem.is_spilled(), "an uncapped capture must stay in memory");
+
+    let spill_cache = WorkloadCache::new();
+    let spilled = spill_cache
+        .packed_trace_capped("crc32", &program, limit, 1024)
+        .expect("capped capture must spill, not fail");
+    assert!(spilled.is_spilled(), "a 1 KiB cap must force a spill");
+    assert!(matches!(*spilled, TraceStore::Spilled(_)));
+    assert_eq!(spilled.len(), mem.len());
+    assert_eq!(spilled.halted(), mem.halted());
+
+    let direct = run_timing(&program, &config, limit).expect("direct timing");
+    let via_mem = run_timing_store(&program, &mem, &config).expect("in-memory replay timing");
+    let via_disk = run_timing_store(&program, &spilled, &config).expect("spilled replay timing");
+    assert_eq!(direct.report, via_mem.report);
+    assert_eq!(direct.report, via_disk.report, "spilled replay must be bit-identical");
+    assert_eq!(direct.power, via_mem.power);
+    assert_eq!(direct.power, via_disk.power);
+}
+
+/// A faulting program's fault survives the spill round trip, and a
+/// timing run over the spilled store surfaces it as `Error::Sim` exactly
+/// like the in-memory store does.
+#[test]
+fn faulted_trace_carries_through_spill() {
+    let p = random_program(&[0, 1, 3, 4, 6, 7], false); // no halt → PcOutOfRange
+    let packed = PackedTrace::capture(&p, u64::MAX);
+    assert!(packed.fault().is_some(), "missing halt must fault");
+
+    let path = temp("faulted.spill");
+    packed.spill_to(&path).expect("spill to disk");
+    let mut spilled = SpilledTrace::open(&path).expect("open spill file");
+    spilled.delete_on_drop(true);
+    assert_eq!(spilled.fault(), packed.fault());
+
+    let config = base_config();
+    let mem_err = run_timing_store(&p, &TraceStore::Mem(packed), &config);
+    let disk_err = run_timing_store(&p, &TraceStore::Spilled(spilled), &config);
+    match (mem_err, disk_err) {
+        (Err(Error::Sim(a)), Err(Error::Sim(b))) => assert_eq!(a, b),
+        other => panic!("both stores must surface the fault, got {other:?}"),
+    }
+}
