@@ -28,6 +28,8 @@ const VALUED: &[&str] = &[
     "--shard",
     "--journal",
     "--limit",
+    "--max-retries",
+    "--cell-deadline",
 ];
 
 /// Splits `argv` into positionals and options.
@@ -94,6 +96,13 @@ impl Parsed {
     /// downgraded to warnings instead of aborting the command.
     pub fn allow_degraded(&self) -> bool {
         self.opt(&["--allow-degraded"]).is_some()
+    }
+
+    /// Whether `--keep-going` was passed: permanently-failing sweep cells
+    /// are quarantined (with typed records in the journal) instead of
+    /// aborting the sweep.
+    pub fn keep_going(&self) -> bool {
+        self.opt(&["--keep-going"]).is_some()
     }
 
     /// Destination of the machine-readable run report selected by
@@ -180,6 +189,26 @@ mod tests {
         let r = parse(&argv(&["clone", "crc32"])).unwrap();
         assert_eq!(r.report_dest(), None);
         assert!(parse(&argv(&["clone", "crc32", "--report"])).is_err());
+    }
+
+    #[test]
+    fn supervision_options() {
+        let p = parse(&argv(&[
+            "grid",
+            "crc32",
+            "--keep-going",
+            "--max-retries",
+            "4",
+            "--cell-deadline",
+            "500000",
+        ]))
+        .unwrap();
+        assert!(p.keep_going());
+        assert_eq!(p.opt_u64(&["--max-retries"]).unwrap(), Some(4));
+        assert_eq!(p.opt_u64(&["--cell-deadline"]).unwrap(), Some(500_000));
+        let q = parse(&argv(&["grid", "crc32"])).unwrap();
+        assert!(!q.keep_going());
+        assert_eq!(q.opt_u64(&["--max-retries"]).unwrap(), None);
     }
 
     #[test]

@@ -5,12 +5,15 @@ use std::sync::Mutex;
 
 use perfclone::experiments::{cache_sweep_pair_par, design_change_sweep_par};
 use perfclone::{
-    base_config, cache_sweep, pareto_frontier, run_grid, run_timing, run_timing_store,
-    run_timing_trace, CellRow, Cloner, Fault, FaultPlan, Gate, GridAxes, GridSpec, PairComparison,
+    base_config, cache_sweep, env_fault_injector, faultfs, pareto_frontier, parse_fault_injector,
+    run_grid, run_grid_with, run_timing, run_timing_store, run_timing_trace, CellRow, Cloner,
+    Error, Fault, FaultPlan, Gate, GridAxes, GridOutcome, GridPolicy, GridSpec, PairComparison,
     SynthesisParams, Table, ValidationReport, Verdict, WorkloadCache, WorkloadProfile,
 };
 use perfclone_isa::Program;
-use perfclone_obs::{GateAttribute, Metric, RunReport, SweepStats};
+use perfclone_obs::{
+    DegradedCoverage, GateAttribute, Metric, QuarantinedCell, RunReport, SweepStats,
+};
 use perfclone_uarch::{design_changes, MachineConfig};
 
 use crate::args::{parse, Parsed};
@@ -36,6 +39,11 @@ USAGE:
                                                   pretty-print a saved run report
   perfclone statsim <kernel> [opts]               statistical-simulation IPC
   perfclone selfcheck [kernel...] [opts]          fault-injection self-check
+  perfclone chaos [kernel] [opts]                 resilience self-check: runs a
+                                                  --keep-going grid sweep under
+                                                  injected cell faults and filesystem
+                                                  chaos, asserting retry, quarantine,
+                                                  and recovery invariants
 
 OPTIONS:
   --scale tiny|small      input scale (default small)
@@ -63,6 +71,14 @@ OPTIONS:
                           shards bit-identically
   --stream                stream grid rows as JSON lines to stdout as
                           shards complete (human output moves to stderr)
+  --max-retries N         transient-failure retries per grid cell
+                          (default 2; backoff is seeded and exponential)
+  --cell-deadline N       pipeline cycle budget per grid cell; a cell over
+                          budget fails permanently (default: unbounded)
+  --keep-going            quarantine permanently-failing grid cells (typed
+                          quarantine-*.json records in the journal) and
+                          complete the sweep with degraded coverage
+                          instead of aborting on the first failure
 
 ENVIRONMENT:
   PERFCLONE_TRACE_CAP     byte budget for in-memory packed dynamic traces
@@ -71,6 +87,13 @@ ENVIRONMENT:
   PERFCLONE_SPILL         set to 0 to disable spilling (over-cap workloads
                           then fall back to per-config re-interpretation)
   PERFCLONE_SPILL_DIR     directory for spilled traces (default: tmp)
+  PERFCLONE_FAULTFS       arm the deterministic I/O chaos shim, e.g.
+                          `seed=7,enospc=13,short=19,torn=11,corrupt=17,
+                          scope=grid-journal` (rates are 1-in-N per
+                          operation; scope is a path substring filter)
+  PERFCLONE_GRID_FAULTS   inject deterministic grid cell faults, e.g.
+                          `5=perm,9=trans:2` (cell 5 always fails, cell 9
+                          fails its first two attempts)
 ";
 
 /// When set, human-readable output goes to stderr so `--report -` can own
@@ -96,6 +119,7 @@ struct ReportExtras {
     workload: Option<String>,
     gate: Vec<GateAttribute>,
     sweep: Option<SweepStats>,
+    degraded: Option<DegradedCoverage>,
     metrics: Vec<Metric>,
 }
 
@@ -150,6 +174,32 @@ fn note_metric(name: &str, value: f64) {
     }
 }
 
+/// Maps a sweep's quarantine records into the report's degraded-coverage
+/// section (a no-op for healthy sweeps).
+fn note_degraded(outcome: &GridOutcome) {
+    if outcome.quarantined.is_empty() {
+        return;
+    }
+    if let Some(e) = extras_lock().as_mut() {
+        e.degraded = Some(DegradedCoverage {
+            total_cells: outcome.cells,
+            covered_cells: outcome.rows.len() as u64,
+            retries: outcome.retries,
+            quarantined: outcome
+                .quarantined
+                .iter()
+                .map(|q| QuarantinedCell {
+                    cell: q.cell,
+                    id: q.id.clone(),
+                    kind: q.kind.clone(),
+                    reason: q.reason.clone(),
+                    attempts: q.attempts,
+                })
+                .collect(),
+        });
+    }
+}
+
 /// Assembles the run report from the telemetry snapshot plus whatever the
 /// subcommand contributed, and writes it to `dest` (`-` = stdout).
 fn write_report(cmd: &str, dest: &str) -> Result<(), String> {
@@ -158,6 +208,7 @@ fn write_report(cmd: &str, dest: &str) -> Result<(), String> {
     let mut report = RunReport::from_snapshot(cmd, &workload, perfclone_obs::snapshot());
     report.gate = extras.gate;
     report.sweep = extras.sweep;
+    report.degraded = extras.degraded;
     report.metrics = extras.metrics;
     let json = report.to_json().map_err(|e| format!("serializing report: {e}"))?;
     if dest == "-" {
@@ -213,6 +264,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "report" => report(&rest),
         "statsim" => statsim(&rest),
         "selfcheck" => selfcheck(&rest),
+        "chaos" => chaos(&rest),
         other => Err(format!("unknown command {other:?}")),
     });
     if let Some(dest) = report_dest {
@@ -563,6 +615,19 @@ fn grid(parsed: &Parsed) -> Result<(), String> {
         Some(dir) => std::path::PathBuf::from(dir),
         None => std::env::temp_dir().join(format!("perfclone-grid-{name}")),
     };
+    let mut policy = GridPolicy {
+        keep_going: parsed.keep_going(),
+        cell_deadline: parsed.opt_u64(&["--cell-deadline"])?,
+        seed: parsed.opt_u64(&["--seed"])?.unwrap_or(0),
+        ..GridPolicy::default()
+    };
+    if let Some(retries) = parsed.opt_u64(&["--max-retries"])? {
+        policy.max_retries =
+            u32::try_from(retries).map_err(|_| "--max-retries is too large".to_string())?;
+    }
+    // The chaos harness's hook: deterministic per-cell faults from the
+    // environment, None in ordinary runs.
+    let injector = env_fault_injector();
     let stream = parsed.opt(&["--stream"]).is_some();
     let _stdout_guard =
         stream.then(|| HumanToStderrGuard(HUMAN_TO_STDERR.swap(true, Ordering::Relaxed)));
@@ -578,38 +643,43 @@ fn grid(parsed: &Parsed) -> Result<(), String> {
     // frontier; shards land in arbitrary order, the merge is ordered.
     let progress = Mutex::new((0u64, Vec::<CellRow>::new()));
     let start = std::time::Instant::now();
-    let outcome = run_grid(&program, &spec, &journal_dir, &cache, |ev| {
-        if stream {
-            let mut out = std::io::stdout().lock();
-            for row in ev.rows {
-                if let Ok(json) = serde_json::to_string(row) {
-                    let _ = writeln!(out, "{json}");
+    let outcome =
+        run_grid_with(&program, &spec, &journal_dir, &cache, &policy, injector.as_deref(), |ev| {
+            if stream {
+                let mut out = std::io::stdout().lock();
+                for row in ev.rows {
+                    if let Ok(json) = serde_json::to_string(row) {
+                        let _ = writeln!(out, "{json}");
+                    }
                 }
             }
-        }
-        let mut g = match progress.lock() {
-            Ok(g) => g,
-            Err(poisoned) => poisoned.into_inner(),
-        };
-        g.0 += 1;
-        g.1.extend_from_slice(ev.rows);
-        let frontier = pareto_frontier(&g.1);
-        let tag = if ev.resumed { "resumed" } else { "done" };
-        say!(
-            "shard {:>3}/{total_shards} {tag} (cells {}..{}); running pareto: {} points",
-            g.0,
-            ev.start,
-            ev.end,
-            frontier.len()
-        );
-    })
-    .map_err(|e| e.to_string())?;
+            let mut g = match progress.lock() {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            g.0 += 1;
+            g.1.extend_from_slice(ev.rows);
+            let frontier = pareto_frontier(&g.1);
+            let tag = if ev.resumed { "resumed" } else { "done" };
+            say!(
+                "shard {:>3}/{total_shards} {tag} (cells {}..{}); running pareto: {} points",
+                g.0,
+                ev.start,
+                ev.end,
+                frontier.len()
+            );
+        })
+        .map_err(|e| e.to_string())?;
     let wall_ns = start.elapsed().as_nanos() as u64;
     note_sweep(outcome.cells, wall_ns, outcome.rows.iter().map(|r| r.instrs).sum());
     note_metric("grid.shards.executed", outcome.executed_shards as f64);
     note_metric("grid.shards.skipped", outcome.skipped_shards as f64);
     note_metric("grid.pareto.points", outcome.pareto.len() as f64);
     note_metric("grid.trace.spilled", if outcome.spilled_trace { 1.0 } else { 0.0 });
+    note_metric("grid.retries", outcome.retries as f64);
+    note_metric("grid.quarantined", outcome.quarantined.len() as f64);
+    note_metric("grid.shards.recovered", outcome.recovered_shards as f64);
+    note_degraded(&outcome);
     if let Some(out) = parsed.opt(&["-o", "--out"]) {
         let mut text = String::new();
         for row in &outcome.rows {
@@ -638,6 +708,40 @@ fn grid(parsed: &Parsed) -> Result<(), String> {
         outcome.pareto.len(),
         t.render()
     );
+    if outcome.retries > 0 || outcome.recovered_shards > 0 {
+        say!(
+            "resilience: {} transient retr{} · {} journal record(s) recovered",
+            outcome.retries,
+            if outcome.retries == 1 { "y" } else { "ies" },
+            outcome.recovered_shards
+        );
+    }
+    if !outcome.quarantined.is_empty() {
+        let mut q = Table::new(vec![
+            "cell".into(),
+            "id".into(),
+            "kind".into(),
+            "attempts".into(),
+            "reason".into(),
+        ]);
+        for rec in &outcome.quarantined {
+            q.row(vec![
+                rec.cell.to_string(),
+                rec.id.clone(),
+                rec.kind.clone(),
+                rec.attempts.to_string(),
+                rec.reason.clone(),
+            ]);
+        }
+        say!(
+            "degraded coverage: {}/{} cells have rows; {} quarantined \
+             (delete the journal's quarantine-*.json records to retry):\n\n{}",
+            outcome.rows.len(),
+            outcome.cells,
+            outcome.quarantined.len(),
+            q.render()
+        );
+    }
     drop(span);
     if let Some(footer) = stage_footer() {
         say!("{footer}");
@@ -796,6 +900,234 @@ fn selfcheck(parsed: &Parsed) -> Result<(), String> {
         Ok(())
     } else {
         Err(format!("selfcheck failed: {}", violations.join("; ")))
+    }
+}
+
+/// Resilience self-check (`perfclone chaos [kernel]`): drives the sweep
+/// supervisor and the journal durability layer through every failure path
+/// — transient retry, permanent quarantine, degraded resume, typed abort
+/// without `--keep-going`, truncated-record recovery, and row identity
+/// against a fault-free run — under a deterministic injected cell-fault
+/// schedule, with the seeded FaultFs chaos shim armed against the sweep's
+/// own journal directory. Exits nonzero if any invariant is violated.
+fn chaos(parsed: &Parsed) -> Result<(), String> {
+    let span = perfclone_obs::span!("cli.chaos");
+    let name = parsed.positional.first().cloned().unwrap_or_else(|| "crc32".to_string());
+    let kernel = perfclone_kernels::by_name(&name)
+        .ok_or_else(|| format!("unknown kernel {name:?} (see `perfclone list`)"))?;
+    note_workload(&name);
+    let program = kernel.build(parsed.scale()?).program;
+    let seed = parsed.opt_u64(&["--seed"])?.unwrap_or(0xC7A0_5EED);
+    let pid = std::process::id();
+    let faulty_tag = format!("perfclone-chaos-faulty-{name}-{pid}");
+    let faulty_dir = std::env::temp_dir().join(&faulty_tag);
+    let clean_dir = std::env::temp_dir().join(format!("perfclone-chaos-clean-{name}-{pid}"));
+    let _ = std::fs::remove_dir_all(&faulty_dir);
+    let _ = std::fs::remove_dir_all(&clean_dir);
+
+    // Arm the I/O chaos shim against the faulty journal only. Install is
+    // process-global and first-wins: an ambient PERFCLONE_FAULTFS plan
+    // keeps precedence, and the supervisor invariants below hold either
+    // way (the shim exercises *extra* recovery paths, never different
+    // results).
+    let installed = faultfs::install(faultfs::FaultFsPlan {
+        seed,
+        enospc: 11,
+        short: 13,
+        torn: 7,
+        corrupt: 9,
+        scope: Some(faulty_tag.clone()),
+    });
+    if !installed && faultfs::active() {
+        eprintln!("perfclone: chaos: a FaultFs plan is already installed; using it");
+    }
+
+    let scale = match parsed.scale()? {
+        perfclone_kernels::Scale::Tiny => "tiny",
+        perfclone_kernels::Scale::Small => "small",
+    };
+    let spec = GridSpec {
+        workload: name.clone(),
+        scale: scale.to_string(),
+        limit: parsed.opt_u64(&["--limit"])?.unwrap_or(20_000),
+        axes: GridAxes::small(),
+        max_cells: parsed.opt_u64(&["--cells"])?.unwrap_or(12),
+        shard_size: parsed.opt_u64(&["--shard"])?.unwrap_or(4),
+    };
+    // Deterministic cell-fault schedule: cells 2 and 9 fail permanently,
+    // cell 5 needs two retries, cell 11 one — so the sweep must retry
+    // exactly 3 times and quarantine exactly 2 cells.
+    let schedule = "2=perm,5=trans:2,9=perm,11=trans";
+    let injector =
+        parse_fault_injector(schedule).ok_or("internal: chaos fault schedule did not parse")?;
+    let expected_quarantined: Vec<u64> = vec![2, 9];
+    let expected_retries = 3;
+    // Extra retry headroom absorbs injected ENOSPC bursts on journal
+    // writes; 1 ms backoff keeps the check fast while still sleeping.
+    let policy = GridPolicy {
+        keep_going: true,
+        max_retries: 5,
+        backoff_base_ms: 1,
+        seed,
+        ..GridPolicy::default()
+    };
+    let cache = WorkloadCache::new();
+    let sweep = |dir: &std::path::Path, inject: bool| {
+        run_grid_with(
+            &program,
+            &spec,
+            dir,
+            &cache,
+            &policy,
+            inject.then_some(injector.as_ref()),
+            |_| {},
+        )
+    };
+    let quarantined_cells =
+        |o: &GridOutcome| o.quarantined.iter().map(|q| q.cell).collect::<Vec<u64>>();
+
+    let mut checks: Vec<(&str, bool, String)> = Vec::new();
+
+    // 1. A fresh keep-going sweep under faults completes with degraded
+    //    coverage: every healthy cell has a row, every permanent failure
+    //    a typed quarantine record, every transient fault a retry.
+    let first = sweep(&faulty_dir, true).map_err(|e| format!("chaos sweep aborted: {e}"))?;
+    checks.push((
+        "keep-going completes with degraded coverage",
+        first.rows.len() as u64 == spec.cells() - expected_quarantined.len() as u64,
+        format!("{}/{} rows", first.rows.len(), spec.cells()),
+    ));
+    checks.push((
+        "permanent faults quarantined with typed reasons",
+        quarantined_cells(&first) == expected_quarantined
+            && first.quarantined.iter().all(|q| q.kind == "injected" && q.attempts == 1),
+        format!(
+            "cells {:?}, kinds {:?}",
+            quarantined_cells(&first),
+            first.quarantined.iter().map(|q| q.kind.as_str()).collect::<Vec<_>>()
+        ),
+    ));
+    checks.push((
+        "transient faults retried to success",
+        first.retries == expected_retries,
+        format!("{} retries (expected {expected_retries})", first.retries),
+    ));
+    // 2. Resuming the degraded journal honours the quarantine records and
+    //    reproduces the merged rows bit-identically (records the chaos
+    //    shim tore or corrupted are demoted and re-executed en route).
+    let resumed = sweep(&faulty_dir, true).map_err(|e| format!("chaos resume aborted: {e}"))?;
+    checks.push((
+        "degraded resume is bit-identical",
+        resumed.rows == first.rows && quarantined_cells(&resumed) == expected_quarantined,
+        format!(
+            "{} rows, {} re-executed, {} recovered",
+            resumed.rows.len(),
+            resumed.executed_shards,
+            resumed.recovered_shards
+        ),
+    ));
+
+    // 3. Quarantine records converge to durable journal files. A torn
+    //    rename may eat a freshly published record, but every supervised
+    //    resume re-executes the affected shard and re-publishes it, so a
+    //    handful of resumes must leave both records on disk.
+    let records_persisted = |dir: &std::path::Path| {
+        expected_quarantined.iter().all(|c| dir.join(format!("quarantine-{c:06}.json")).is_file())
+    };
+    let mut persist_resumes = 0u32;
+    while !records_persisted(&faulty_dir) && persist_resumes < 6 {
+        sweep(&faulty_dir, true).map_err(|e| format!("chaos republish aborted: {e}"))?;
+        persist_resumes += 1;
+    }
+    checks.push((
+        "quarantine records published to the journal",
+        records_persisted(&faulty_dir),
+        format!("durable after {persist_resumes} extra resume(s)"),
+    ));
+
+    // 4. Without --keep-going, a quarantined journal is a typed abort,
+    //    not a silent partial result.
+    let strict = run_grid(&program, &spec, &faulty_dir, &cache, |_| {});
+    checks.push((
+        "quarantined journal without --keep-going aborts typed",
+        matches!(strict, Err(Error::DegradedJournal { .. })),
+        match &strict {
+            Err(e) => format!("error kind: {}", e.kind()),
+            Ok(_) => "unexpectedly succeeded".to_string(),
+        },
+    ));
+
+    // 5. A truncated shard record (torn rename, bit rot) demotes to
+    //    pending and re-executes instead of poisoning the journal. When
+    //    the chaos shim already tore the record away entirely, plant a
+    //    half-written one so the demotion path always runs.
+    let victim = faulty_dir.join("shard-000000.json");
+    let torn_bytes = match std::fs::read(&victim) {
+        Ok(bytes) => bytes[..bytes.len() / 2].to_vec(),
+        Err(_) => b"{\"spec_hash\":".to_vec(),
+    };
+    std::fs::write(&victim, &torn_bytes)
+        .map_err(|e| format!("truncating {}: {e}", victim.display()))?;
+    let recovered_run =
+        sweep(&faulty_dir, true).map_err(|e| format!("chaos recovery aborted: {e}"))?;
+    checks.push((
+        "truncated record demoted and re-executed",
+        recovered_run.recovered_shards >= 1 && recovered_run.rows == first.rows,
+        format!("{} record(s) recovered", recovered_run.recovered_shards),
+    ));
+
+    // 6. The degraded sweep's surviving rows match a fault-free sweep
+    //    exactly: supervision never perturbs what it does not quarantine.
+    let clean = sweep(&clean_dir, false).map_err(|e| format!("clean sweep aborted: {e}"))?;
+    let clean_subset: Vec<CellRow> =
+        clean.rows.iter().filter(|r| !expected_quarantined.contains(&r.cell)).cloned().collect();
+    checks.push((
+        "non-quarantined rows match a fault-free sweep",
+        clean.quarantined.is_empty() && clean_subset == first.rows,
+        format!("{} clean rows compared", clean_subset.len()),
+    ));
+
+    let mut t = Table::new(vec!["invariant".into(), "verdict".into(), "detail".into()]);
+    let mut violations = Vec::new();
+    for (label, pass, detail) in &checks {
+        t.row(vec![
+            (*label).to_string(),
+            if *pass { "ok".into() } else { "VIOLATED".into() },
+            detail.clone(),
+        ]);
+        if !pass {
+            violations.push(format!("{label} ({detail})"));
+        }
+    }
+    let counts = faultfs::injected();
+    say!("{name} chaos self-check:\n\n{}", t.render());
+    say!(
+        "faultfs: {} · {} enospc, {} short writes, {} torn renames, {} corruptions injected",
+        if faultfs::active() { "armed" } else { "inert" },
+        counts.enospc,
+        counts.short,
+        counts.torn,
+        counts.corrupt
+    );
+    note_degraded(&first);
+    note_metric("chaos.retries", first.retries as f64);
+    note_metric("chaos.quarantined", first.quarantined.len() as f64);
+    note_metric("chaos.violations", violations.len() as f64);
+    drop(span);
+    if let Some(footer) = stage_footer() {
+        say!("{footer}");
+    }
+    if violations.is_empty() {
+        let _ = std::fs::remove_dir_all(&faulty_dir);
+        let _ = std::fs::remove_dir_all(&clean_dir);
+        say!("chaos passed: every resilience invariant held");
+        Ok(())
+    } else {
+        Err(format!(
+            "chaos failed: {} (journal kept at {})",
+            violations.join("; "),
+            faulty_dir.display()
+        ))
     }
 }
 
@@ -982,6 +1314,17 @@ mod tests {
         let _ = std::fs::remove_dir_all(&journal);
         let _ = std::fs::remove_file(&out1);
         let _ = std::fs::remove_file(&out2);
+    }
+
+    #[test]
+    fn chaos_selfcheck_passes() {
+        // The chaos verb's supervisor invariants are deterministic even
+        // when another test in this process already claimed the global
+        // FaultFs plan slot (install is first-wins), so this holds at any
+        // test interleaving.
+        let _g = report_lock();
+        run(&["chaos", "crc32", "--scale", "tiny"]).unwrap();
+        assert!(run(&["chaos", "not-a-kernel"]).is_err());
     }
 
     #[test]

@@ -79,10 +79,22 @@ pub(crate) fn spill_dir() -> Option<&'static PathBuf> {
                 return None;
             }
         }
-        Some(match std::env::var("PERFCLONE_SPILL_DIR") {
+        let dir = match std::env::var("PERFCLONE_SPILL_DIR") {
             Ok(dir) if !dir.trim().is_empty() => PathBuf::from(dir),
             _ => std::env::temp_dir(),
-        })
+        };
+        // Reap spill files orphaned by dead processes (a SIGKILL
+        // mid-capture leaves both sealed spills and `.tmp-<pid>` segment
+        // temps behind; Drop never ran). Once per process, on first use.
+        let reaped = perfclone_sim::reap_stray_spills(&dir);
+        if reaped > 0 {
+            perfclone_obs::count!("trace.spill.reaped", reaped);
+            eprintln!(
+                "perfclone: reaped {reaped} stray spill file(s) from dead processes in '{}'",
+                dir.display()
+            );
+        }
+        Some(dir)
     })
     .as_ref()
 }

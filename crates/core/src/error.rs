@@ -79,6 +79,42 @@ pub enum Error {
         /// The workload the grid was built for.
         workload: String,
     },
+    /// A sweep journal holds quarantined cells, but the resuming run did
+    /// not opt into degraded coverage (`--keep-going`).
+    DegradedJournal {
+        /// The workload the journal belongs to.
+        workload: String,
+        /// How many cells the journal quarantines.
+        quarantined: u64,
+    },
+    /// A deterministically injected fault from the chaos harness (the
+    /// grid fault injector / `PERFCLONE_GRID_FAULTS`). Classified by its
+    /// `transient` flag; never produced outside fault-injection runs.
+    Injected {
+        /// The grid cell the fault was injected into.
+        cell: u64,
+        /// The per-cell attempt the fault failed (0 = first try).
+        attempt: u32,
+        /// `true` when the injection models a transient fault.
+        transient: bool,
+    },
+}
+
+/// Whether an [`Error`] is worth retrying.
+///
+/// The per-cell sweep supervisor consults this for every failure: a
+/// `Transient` error is retried with seeded exponential backoff, a
+/// `Permanent` one aborts the sweep (or quarantines the cell under
+/// `--keep-going`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorClass {
+    /// Environmental and likely to pass on retry: I/O failures from the
+    /// journal or spill layers, and injected faults flagged transient.
+    Transient,
+    /// Deterministic for the cell's inputs: retrying re-derives the same
+    /// failure (simulator faults, budget exhaustion, validation, corrupt
+    /// records, spec mismatches, …).
+    Permanent,
 }
 
 impl Error {
@@ -87,6 +123,53 @@ impl Error {
     /// with spill disabled, or the spill path itself failed.
     pub fn is_trace_fallback(&self) -> bool {
         matches!(self, Error::TraceCapExceeded { .. } | Error::Spill(_))
+    }
+
+    /// Classifies the error for the retry supervisor (see [`ErrorClass`]).
+    ///
+    /// Only operating-system I/O failures — which depend on the machine's
+    /// state, not the cell's inputs — and transient-flagged injected
+    /// faults classify as [`ErrorClass::Transient`]. Corruption and
+    /// validation failures are deliberately `Permanent` even when they
+    /// arrived via the filesystem: re-reading the same corrupt bytes
+    /// cannot succeed, and the journal layer has its own recovery path
+    /// (demote and re-execute) for them.
+    pub fn classify(&self) -> ErrorClass {
+        match self {
+            Error::Journal(JournalError::Io { .. }) | Error::Spill(SpillError::Io { .. }) => {
+                ErrorClass::Transient
+            }
+            Error::Injected { transient, .. } => {
+                if *transient {
+                    ErrorClass::Transient
+                } else {
+                    ErrorClass::Permanent
+                }
+            }
+            _ => ErrorClass::Permanent,
+        }
+    }
+
+    /// A short, stable tag naming the error's variant — the `kind` field
+    /// of quarantine records, so degraded-coverage reports can be grouped
+    /// without parsing prose.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Error::Sim(_) => "sim",
+            Error::Profile(_) => "profile",
+            Error::Synth(_) => "synth",
+            Error::Trace(_) => "trace",
+            Error::Validate(_) => "validate",
+            Error::BudgetExhausted { .. } => "budget-exhausted",
+            Error::TraceCapExceeded { .. } => "trace-cap",
+            Error::EmptySuite { .. } => "empty-suite",
+            Error::NonPositiveWeight { .. } => "non-positive-weight",
+            Error::Spill(_) => "spill",
+            Error::Journal(_) => "journal",
+            Error::EmptyGrid { .. } => "empty-grid",
+            Error::DegradedJournal { .. } => "degraded-journal",
+            Error::Injected { .. } => "injected",
+        }
     }
 }
 
@@ -117,6 +200,17 @@ impl fmt::Display for Error {
             Error::EmptyGrid { workload } => {
                 write!(f, "design-space grid for '{workload}' has no cells")
             }
+            Error::DegradedJournal { workload, quarantined } => write!(
+                f,
+                "the sweep journal for '{workload}' quarantines {quarantined} cell(s); \
+                 resume with --keep-going to accept degraded coverage, or delete the \
+                 quarantine-*.json records to retry those cells"
+            ),
+            Error::Injected { cell, attempt, transient } => write!(
+                f,
+                "injected {} fault at cell {cell} (attempt {attempt})",
+                if *transient { "transient" } else { "permanent" }
+            ),
         }
     }
 }

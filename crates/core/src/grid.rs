@@ -1,10 +1,31 @@
-//! Sharded, resumable design-space sweeps over a [`GridAxes`] product.
+//! Sharded, resumable, fault-tolerant design-space sweeps over a
+//! [`GridAxes`] product.
 //!
 //! A [`GridSpec`] names a workload, an instruction limit, and the axes of
 //! a design-space grid; [`run_grid`] enumerates the grid's cells in
 //! shards, times each cell by replaying the workload's packed trace
 //! (spilled to disk and mmapped back when over-cap), journals every
 //! completed shard, and streams rows to the caller as shards finish.
+//!
+//! # Per-cell supervision
+//!
+//! [`run_grid_with`] wraps every cell execution in a supervisor governed
+//! by a [`GridPolicy`]: failures classified
+//! [`Transient`](crate::ErrorClass::Transient) (operating-system I/O, not
+//! the cell's own physics) are retried up to `max_retries` times with
+//! seeded exponential backoff — the jitter derives from
+//! [`derive_cell_seed`], so a retry schedule is a pure function of
+//! `(seed, workload, cell, attempt)` and reproducible across thread
+//! counts. [`Permanent`](crate::ErrorClass::Permanent) failures abort the
+//! sweep, or — under `keep_going` — quarantine the cell: a typed
+//! `quarantine-NNNNNN.json` record lands in the journal, the shard's row
+//! set legitimately omits that cell, and the sweep completes with
+//! degraded coverage reported in [`GridOutcome::quarantined`]. A resumed
+//! sweep honours existing quarantine records instead of re-deriving the
+//! same failure; delete the records to force a retry. An optional
+//! [`FaultInjector`] (or `PERFCLONE_GRID_FAULTS`, see
+//! [`env_fault_injector`]) injects deterministic per-cell faults for
+//! chaos testing the supervisor itself.
 //!
 //! # Cell-ID stability contract
 //!
@@ -19,18 +40,26 @@
 //! [`Journal::open`](crate::journal::Journal::open)), because shard
 //! records are keyed by shard index.
 
+use std::collections::BTreeMap;
 use std::fmt;
 use std::path::Path;
 use std::sync::OnceLock;
+use std::time::Duration;
 
 use perfclone_isa::Program;
-use perfclone_uarch::GridAxes;
+use perfclone_sim::TraceStore;
+use perfclone_uarch::{GridAxes, MachineConfig};
+use perfclone_validate::derive_cell_seed;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use crate::cache::WorkloadCache;
-use crate::journal::Journal;
-use crate::{run_timing, run_timing_store, Error, TimingResult};
+use crate::error::ErrorClass;
+use crate::journal::{Journal, JournalError, QuarantineRecord};
+use crate::{
+    run_timing, run_timing_budgeted, run_timing_store, run_timing_store_budgeted, Error,
+    TimingResult,
+};
 
 /// One design-space sweep: a workload, an instruction limit, the grid
 /// axes, and the sharding geometry.
@@ -208,14 +237,19 @@ pub struct ShardEvent<'a> {
     /// `true` when the shard's rows came from the journal (a resumed
     /// sweep skipping completed work) rather than fresh execution.
     pub resumed: bool,
-    /// The shard's metric rows, in cell order.
+    /// The shard's metric rows, in cell order (cells quarantined under
+    /// `keep_going` are omitted here and listed in
+    /// [`quarantined`](ShardEvent::quarantined)).
     pub rows: &'a [CellRow],
+    /// Cells of this shard quarantined under `keep_going`, in cell order.
+    pub quarantined: &'a [QuarantineRecord],
 }
 
 /// A completed sweep's merged results.
 #[derive(Clone, Debug)]
 pub struct GridOutcome {
-    /// Every cell's row, in cell order (journaled and fresh merged).
+    /// Every non-quarantined cell's row, in cell order (journaled and
+    /// fresh merged).
     pub rows: Vec<CellRow>,
     /// Cells enumerated ([`GridSpec::cells`]).
     pub cells: u64,
@@ -228,48 +262,275 @@ pub struct GridOutcome {
     pub spilled_trace: bool,
     /// The IPC-vs-power Pareto frontier of [`rows`](GridOutcome::rows).
     pub pareto: Vec<ParetoPoint>,
+    /// Cells quarantined under `keep_going` (this run's and prior runs'
+    /// merged), in cell order. Empty on a fully healthy sweep.
+    pub quarantined: Vec<QuarantineRecord>,
+    /// Transient-failure retries the supervisor performed this run.
+    pub retries: u64,
+    /// Journal records demoted to pending (truncated/corrupt) and
+    /// re-executed by this run.
+    pub recovered_shards: u64,
+}
+
+impl GridOutcome {
+    /// `true` when every enumerated cell has a row (nothing quarantined).
+    pub fn full_coverage(&self) -> bool {
+        self.quarantined.is_empty()
+    }
+}
+
+/// Supervision policy for per-cell execution: retry budget, backoff
+/// shape, per-cell deadline, and whether permanent failures quarantine
+/// (`keep_going`) or abort.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GridPolicy {
+    /// Transient-failure retries per cell (0 = fail fast).
+    pub max_retries: u32,
+    /// Backoff base in milliseconds; attempt `n` sleeps
+    /// `min(cap, base·2ⁿ + jitter)` where `jitter < base`. 0 disables
+    /// sleeping entirely (tests).
+    pub backoff_base_ms: u64,
+    /// Backoff ceiling in milliseconds.
+    pub backoff_cap_ms: u64,
+    /// Per-cell pipeline cycle budget: a cell that exceeds it fails with
+    /// [`Error::BudgetExhausted`] (permanent). `None` = unbounded.
+    pub cell_deadline: Option<u64>,
+    /// `true`: quarantine permanently-failing cells and complete the
+    /// sweep with degraded coverage. `false` (default): abort on the
+    /// first permanent failure.
+    pub keep_going: bool,
+    /// Root seed for backoff jitter (derive with the sweep's seed so
+    /// retry schedules are reproducible).
+    pub seed: u64,
+}
+
+impl Default for GridPolicy {
+    fn default() -> GridPolicy {
+        GridPolicy {
+            max_retries: 2,
+            backoff_base_ms: 25,
+            backoff_cap_ms: 1_000,
+            cell_deadline: None,
+            keep_going: false,
+            seed: 0,
+        }
+    }
+}
+
+impl GridPolicy {
+    /// The backoff before retry `attempt` of `cell`: exponential in the
+    /// attempt, capped at `backoff_cap_ms`, with deterministic jitter
+    /// derived via [`derive_cell_seed`] from `(seed, workload, cell,
+    /// attempt)` — a pure function, so retry schedules are bit-identical
+    /// across thread counts and resumed runs.
+    pub fn backoff(&self, workload: &str, cell: u64, attempt: u32) -> Duration {
+        if self.backoff_base_ms == 0 {
+            return Duration::ZERO;
+        }
+        let exp =
+            self.backoff_base_ms.saturating_mul(1u64 << attempt.min(16)).min(self.backoff_cap_ms);
+        let cell_seed = derive_cell_seed(self.seed, workload, cell);
+        let jitter =
+            derive_cell_seed(cell_seed, "retry-backoff", u64::from(attempt)) % self.backoff_base_ms;
+        Duration::from_millis(exp.saturating_add(jitter).min(self.backoff_cap_ms))
+    }
+}
+
+/// A deterministic per-cell fault source for chaos testing: called before
+/// every execution attempt with `(cell, attempt)`; returning `Some(err)`
+/// makes that attempt fail with `err` instead of running the cell.
+pub type FaultInjector = dyn Fn(u64, u32) -> Option<Error> + Sync;
+
+/// Parses a fault schedule into a [`FaultInjector`]. The spec is
+/// comma-separated `CELL=KIND` entries where `KIND` is `perm` (every
+/// attempt fails permanently) or `trans[:K]` (attempts `0..K` fail
+/// transiently, then the cell succeeds; bare `trans` means `K = 1`).
+/// Malformed entries are ignored; returns `None` when nothing parses.
+///
+/// Example: `"5=perm,9=trans:2"` — cell 5 always fails, cell 9 fails its
+/// first two attempts.
+pub fn parse_fault_injector(spec: &str) -> Option<Box<FaultInjector>> {
+    let mut plan: BTreeMap<u64, (bool, u32)> = BTreeMap::new();
+    for entry in spec.split(',') {
+        let Some((cell, kind)) = entry.trim().split_once('=') else { continue };
+        let Ok(cell) = cell.trim().parse::<u64>() else { continue };
+        match kind.trim() {
+            "perm" => {
+                plan.insert(cell, (false, u32::MAX));
+            }
+            "trans" => {
+                plan.insert(cell, (true, 1));
+            }
+            k => {
+                if let Some(n) = k.strip_prefix("trans:").and_then(|n| n.parse::<u32>().ok()) {
+                    plan.insert(cell, (true, n.max(1)));
+                }
+            }
+        }
+    }
+    if plan.is_empty() {
+        return None;
+    }
+    Some(Box::new(move |cell, attempt| {
+        let &(transient, failing) = plan.get(&cell)?;
+        (attempt < failing).then_some(Error::Injected { cell, attempt, transient })
+    }))
+}
+
+/// [`parse_fault_injector`] over the `PERFCLONE_GRID_FAULTS` environment
+/// variable — the chaos harness's hook for injecting cell faults into an
+/// otherwise ordinary `perfclone grid` invocation.
+pub fn env_fault_injector() -> Option<Box<FaultInjector>> {
+    parse_fault_injector(&std::env::var("PERFCLONE_GRID_FAULTS").ok()?)
 }
 
 /// Per-shard artificial delay (`PERFCLONE_GRID_SHARD_DELAY_MS`), parsed
 /// once. Exists for the crash/kill harness: stretching shard execution
 /// makes "killed mid-sweep" reproducible.
-fn shard_delay() -> Option<std::time::Duration> {
-    static DELAY: OnceLock<Option<std::time::Duration>> = OnceLock::new();
+fn shard_delay() -> Option<Duration> {
+    static DELAY: OnceLock<Option<Duration>> = OnceLock::new();
     *DELAY.get_or_init(|| {
         std::env::var("PERFCLONE_GRID_SHARD_DELAY_MS")
             .ok()
             .and_then(|v| v.trim().parse::<u64>().ok())
             .filter(|&ms| ms > 0)
-            .map(std::time::Duration::from_millis)
+            .map(Duration::from_millis)
     })
 }
 
-/// Runs (or resumes) the sharded design-space sweep `spec` describes.
+/// Times one cell, honouring the policy's per-cell deadline.
+fn time_cell(
+    program: &Program,
+    trace: Option<&TraceStore>,
+    config: &MachineConfig,
+    limit: u64,
+    deadline: Option<u64>,
+) -> Result<TimingResult, Error> {
+    match (trace, deadline) {
+        (Some(store), Some(cycles)) => run_timing_store_budgeted(program, store, config, cycles),
+        (Some(store), None) => run_timing_store(program, store, config),
+        (None, Some(cycles)) => run_timing_budgeted(program, config, limit, cycles),
+        (None, None) => run_timing(program, config, limit),
+    }
+}
+
+/// Executes one cell under supervision: transient failures (see
+/// [`Error::classify`]) are retried with seeded backoff up to the
+/// policy's budget. Returns the timing plus the retries spent, or the
+/// final error plus the attempts made (≥ 1).
+fn supervise_cell(
+    program: &Program,
+    trace: Option<&TraceStore>,
+    spec: &GridSpec,
+    policy: &GridPolicy,
+    injector: Option<&FaultInjector>,
+    cell: u64,
+    config: &MachineConfig,
+) -> Result<(TimingResult, u64), (Error, u32)> {
+    let mut attempt: u32 = 0;
+    loop {
+        let outcome = match injector.and_then(|inject| inject(cell, attempt)) {
+            Some(err) => Err(err),
+            None => time_cell(program, trace, config, spec.limit, policy.cell_deadline),
+        };
+        match outcome {
+            Ok(timing) => return Ok((timing, u64::from(attempt))),
+            Err(err) => {
+                if err.classify() == ErrorClass::Transient && attempt < policy.max_retries {
+                    perfclone_obs::count!("grid.retries", 1);
+                    eprintln!(
+                        "perfclone: cell {cell} failed transiently ({err}); \
+                         retry {}/{}",
+                        attempt + 1,
+                        policy.max_retries
+                    );
+                    std::thread::sleep(policy.backoff(&spec.workload, cell, attempt));
+                    attempt += 1;
+                } else {
+                    return Err((err, attempt + 1));
+                }
+            }
+        }
+    }
+}
+
+/// Runs `op` (a journal write), retrying transient I/O failures with the
+/// policy's backoff (keyed on `cell` so concurrent shards don't sleep in
+/// lockstep). Non-I/O journal errors propagate immediately.
+fn retry_journal<T>(
+    policy: &GridPolicy,
+    workload: &str,
+    cell: u64,
+    mut op: impl FnMut() -> Result<T, JournalError>,
+) -> Result<T, Error> {
+    let mut attempt: u32 = 0;
+    loop {
+        match op() {
+            Ok(v) => return Ok(v),
+            Err(e @ JournalError::Io { .. }) if attempt < policy.max_retries => {
+                perfclone_obs::count!("grid.journal.retries", 1);
+                eprintln!("perfclone: journal write failed transiently ({e}); retrying");
+                std::thread::sleep(policy.backoff(workload, cell, attempt));
+                attempt += 1;
+            }
+            Err(e) => return Err(Error::Journal(e)),
+        }
+    }
+}
+
+/// Runs (or resumes) the sharded design-space sweep `spec` describes,
+/// under the default [`GridPolicy`] (fail-fast, 2 transient retries) and
+/// no fault injection. See [`run_grid_with`].
+///
+/// # Errors
+///
+/// As [`run_grid_with`].
+pub fn run_grid(
+    program: &Program,
+    spec: &GridSpec,
+    journal_dir: &Path,
+    cache: &WorkloadCache,
+    on_shard: impl Fn(ShardEvent<'_>) + Sync,
+) -> Result<GridOutcome, Error> {
+    run_grid_with(program, spec, journal_dir, cache, &GridPolicy::default(), None, on_shard)
+}
+
+/// Runs (or resumes) the sharded design-space sweep `spec` describes,
+/// with per-cell supervision.
 ///
 /// The workload's packed dynamic trace is captured once through `cache`
 /// — spilling to disk and replaying via mmap when it outgrows
 /// `PERFCLONE_TRACE_CAP` — and every cell replays it under that cell's
-/// decoded configuration. Shards fan over the ambient rayon pool; each
-/// completed shard is journaled atomically in `journal_dir` and streamed
-/// to `on_shard` as it lands (journaled shards of a resumed sweep are
-/// streamed first, in shard order, with `resumed = true`). The merged
-/// row set is assembled in cell order, so a resumed sweep returns rows
-/// bit-identical to an uninterrupted one.
+/// decoded configuration, wrapped in the retry supervisor `policy`
+/// configures (see the module docs). Shards fan over the ambient rayon
+/// pool; each completed shard is journaled atomically in `journal_dir`
+/// and streamed to `on_shard` as it lands (journaled shards of a resumed
+/// sweep are streamed first, in shard order, with `resumed = true`). The
+/// merged row set is assembled in cell order, so a resumed sweep returns
+/// rows bit-identical to an uninterrupted one.
+///
+/// `injector`, when given, is consulted before every execution attempt
+/// and can fail cells deterministically — the chaos harness's hook.
 ///
 /// # Errors
 ///
 /// [`Error::EmptyGrid`] when the spec enumerates no cells,
 /// [`Error::Journal`] when the journal cannot be opened (including
 /// [`JournalError::SpecMismatch`](crate::journal::JournalError) — the
-/// directory belongs to a different sweep) or appended to, plus
-/// everything the timing path returns ([`Error::Sim`] for faulting
-/// cells). Trace-capture fallbacks ([`Error::is_trace_fallback`]) are
-/// handled internally by re-interpreting per cell.
-pub fn run_grid(
+/// directory belongs to a different sweep) or appended to,
+/// [`Error::DegradedJournal`] when the journal quarantines cells but
+/// `policy.keep_going` is off, plus everything the timing path returns
+/// ([`Error::Sim`] for faulting cells, [`Error::BudgetExhausted`] for
+/// cells over the deadline) unless `keep_going` quarantines it.
+/// Trace-capture fallbacks ([`Error::is_trace_fallback`]) are handled
+/// internally by re-interpreting per cell.
+pub fn run_grid_with(
     program: &Program,
     spec: &GridSpec,
     journal_dir: &Path,
     cache: &WorkloadCache,
+    policy: &GridPolicy,
+    injector: Option<&FaultInjector>,
     on_shard: impl Fn(ShardEvent<'_>) + Sync,
 ) -> Result<GridOutcome, Error> {
     let _span = perfclone_obs::span!("grid.sweep");
@@ -287,19 +548,31 @@ pub fn run_grid(
     };
     let spilled_trace = trace.as_deref().is_some_and(|t| t.is_spilled());
 
-    let (journal, done) = Journal::open(journal_dir, spec)?;
+    let (journal, load) = Journal::open(journal_dir, spec)?;
+    if !policy.keep_going && !load.quarantined.is_empty() {
+        return Err(Error::DegradedJournal {
+            workload: spec.workload.clone(),
+            quarantined: load.quarantined.len() as u64,
+        });
+    }
+    let recovered_shards = load.recovered;
+    let done = load.shards;
+    let prior_quarantined = load.quarantined;
     let skipped_shards = done.len() as u64;
     for (&shard, rows) in &done {
         // Journal::open validated the range; a missing range here would
         // mean the spec changed underneath us mid-call.
         let Some((start, end)) = spec.shard_range(shard) else { continue };
         perfclone_obs::count!("grid.shards.skipped", 1);
-        on_shard(ShardEvent { shard, start, end, resumed: true, rows });
+        let quars: Vec<QuarantineRecord> =
+            prior_quarantined.range(start..end).map(|(_, rec)| rec.clone()).collect();
+        on_shard(ShardEvent { shard, start, end, resumed: true, rows, quarantined: &quars });
     }
 
     let pending: Vec<u64> = (0..spec.shard_count()).filter(|s| !done.contains_key(s)).collect();
     let executed_shards = pending.len() as u64;
-    let fresh: Vec<Result<(u64, Vec<CellRow>), Error>> = pending
+    type ShardDone = (u64, Vec<CellRow>, Vec<QuarantineRecord>, u64);
+    let fresh: Vec<Result<ShardDone, Error>> = pending
         .par_iter()
         .map(|&shard| {
             // In range by construction: shard < shard_count().
@@ -310,29 +583,85 @@ pub fn run_grid(
                 std::thread::sleep(delay);
             }
             let mut rows = Vec::with_capacity((end - start) as usize);
+            let mut quars: Vec<QuarantineRecord> = Vec::new();
+            let mut retries: u64 = 0;
             for cell in start..end {
+                if let Some(prior) = prior_quarantined.get(&cell) {
+                    // Quarantined by an earlier run: honour the record
+                    // instead of re-deriving the same failure (delete the
+                    // quarantine-*.json file to force a retry).
+                    quars.push(prior.clone());
+                    continue;
+                }
                 // In range by construction: cell < cells() ≤ axes.cells().
                 let config = spec
                     .axes
                     .config(cell)
                     .ok_or_else(|| Error::EmptyGrid { workload: spec.workload.clone() })?;
-                let timing = match trace.as_deref() {
-                    Some(store) => run_timing_store(program, store, &config)?,
-                    None => run_timing(program, &config, spec.limit)?,
-                };
-                rows.push(CellRow::of(spec, cell, &timing));
+                match supervise_cell(
+                    program,
+                    trace.as_deref(),
+                    spec,
+                    policy,
+                    injector,
+                    cell,
+                    &config,
+                ) {
+                    Ok((timing, cell_retries)) => {
+                        retries += cell_retries;
+                        rows.push(CellRow::of(spec, cell, &timing));
+                    }
+                    Err((err, attempts)) => {
+                        retries += u64::from(attempts.saturating_sub(1));
+                        if !policy.keep_going {
+                            return Err(err);
+                        }
+                        let rec = QuarantineRecord {
+                            cell,
+                            id: spec.cell_id(cell).to_string(),
+                            kind: err.kind().to_string(),
+                            reason: err.to_string(),
+                            attempts,
+                        };
+                        retry_journal(policy, &spec.workload, cell, || {
+                            journal.record_quarantine(&rec)
+                        })?;
+                        perfclone_obs::count!("grid.quarantined", 1);
+                        eprintln!(
+                            "perfclone: cell {cell} ({}) failed permanently ({err}); \
+                             quarantined after {attempts} attempt(s)",
+                            rec.id
+                        );
+                        quars.push(rec);
+                    }
+                }
             }
-            journal.record_shard(shard, start, end, &rows)?;
+            retry_journal(policy, &spec.workload, start, || {
+                journal.record_shard(shard, start, end, &rows)
+            })?;
             perfclone_obs::count!("grid.shards.executed", 1);
-            on_shard(ShardEvent { shard, start, end, resumed: false, rows: &rows });
-            Ok((shard, rows))
+            on_shard(ShardEvent {
+                shard,
+                start,
+                end,
+                resumed: false,
+                rows: &rows,
+                quarantined: &quars,
+            });
+            Ok((shard, rows, quars, retries))
         })
         .collect();
 
     let mut merged = done;
+    let mut quarantined = prior_quarantined;
+    let mut retries: u64 = 0;
     for result in fresh {
-        let (shard, rows) = result?;
+        let (shard, rows, quars, shard_retries) = result?;
         merged.insert(shard, rows);
+        for rec in quars {
+            quarantined.insert(rec.cell, rec);
+        }
+        retries += shard_retries;
     }
     let mut rows = Vec::with_capacity(spec.cells() as usize);
     for shard_rows in merged.into_values() {
@@ -346,6 +675,9 @@ pub fn run_grid(
         skipped_shards,
         spilled_trace,
         pareto,
+        quarantined: quarantined.into_values().collect(),
+        retries,
+        recovered_shards,
     })
 }
 
@@ -434,5 +766,38 @@ mod tests {
         let mut shuffled = rows.clone();
         shuffled.reverse();
         assert_eq!(pareto_frontier(&shuffled), frontier, "input order must not matter");
+    }
+
+    #[test]
+    fn backoff_is_deterministic_capped_and_seeded() {
+        let p = GridPolicy { seed: 7, ..Default::default() };
+        assert_eq!(p.backoff("crc32", 3, 1), p.backoff("crc32", 3, 1));
+        // Jitter varies with the cell (collisions are possible modulo the
+        // base, but not across 20 consecutive cells).
+        let base = p.backoff("crc32", 3, 1);
+        assert!(
+            (0..20).any(|cell| p.backoff("crc32", cell, 1) != base),
+            "jitter must depend on the cell"
+        );
+        let cap = Duration::from_millis(p.backoff_cap_ms);
+        for attempt in 0..40 {
+            assert!(p.backoff("crc32", 3, attempt) <= cap);
+        }
+        let zero = GridPolicy { backoff_base_ms: 0, ..Default::default() };
+        assert_eq!(zero.backoff("crc32", 0, 0), Duration::ZERO);
+    }
+
+    #[test]
+    fn fault_injector_spec_parses_perm_and_transient() {
+        let inject = parse_fault_injector("5=perm, 9=trans:2, 11=trans").unwrap();
+        assert!(matches!(inject(5, 0), Some(Error::Injected { transient: false, .. })));
+        assert!(matches!(inject(5, 9), Some(Error::Injected { transient: false, .. })));
+        assert!(matches!(inject(9, 0), Some(Error::Injected { transient: true, .. })));
+        assert!(matches!(inject(9, 1), Some(Error::Injected { transient: true, .. })));
+        assert!(inject(9, 2).is_none(), "trans:2 succeeds on the third attempt");
+        assert!(inject(11, 0).is_some() && inject(11, 1).is_none(), "bare trans = trans:1");
+        assert!(inject(4, 0).is_none(), "unlisted cells are healthy");
+        assert!(parse_fault_injector("").is_none());
+        assert!(parse_fault_injector("bogus, 3=nope").is_none());
     }
 }

@@ -49,11 +49,13 @@ pub mod journal;
 pub mod suite;
 
 pub use cache::{trace_cap, WorkloadCache, WorkloadCacheStats, DEFAULT_TRACE_CAP};
-pub use error::Error;
+pub use error::{Error, ErrorClass};
 pub use grid::{
-    pareto_frontier, run_grid, CellId, CellRow, GridOutcome, GridSpec, ParetoPoint, ShardEvent,
+    env_fault_injector, pareto_frontier, parse_fault_injector, run_grid, run_grid_with, CellId,
+    CellRow, FaultInjector, GridOutcome, GridPolicy, GridSpec, ParetoPoint, ShardEvent,
 };
-pub use journal::{Journal, JournalError};
+pub use journal::{Journal, JournalError, JournalLoad, QuarantineRecord};
+pub use perfclone_sim::faultfs;
 pub use perfclone_validate::seeds;
 pub use seeds::derive_cell_seed;
 
@@ -61,7 +63,7 @@ pub use perfclone_metrics::{mean_abs_pct_error, pearson, rank, relative_error, s
 pub use perfclone_power::{estimate_power, PowerReport};
 pub use perfclone_profile::{profile_program, ProfileError, WorkloadProfile};
 pub use perfclone_sim::{
-    PackedRecorder, PackedReplay, PackedTrace, SimError, SpilledTrace,
+    reap_stray_spills, PackedRecorder, PackedReplay, PackedTrace, SimError, SpilledTrace,
     TraceError as SpillTraceError, TraceStore,
 };
 pub use perfclone_synth::{
@@ -198,6 +200,34 @@ pub fn run_timing(
     Ok(TimingResult { report, power })
 }
 
+/// [`run_timing`] with a pipeline cycle budget — the per-cell deadline of
+/// supervised sweeps ([`GridPolicy`](grid::GridPolicy)`::cell_deadline`).
+///
+/// # Errors
+///
+/// As [`run_timing`], plus [`Error::BudgetExhausted`] (stage
+/// `"pipeline"`) when the trace has not drained within `max_cycles` — a
+/// permanent failure under the supervisor's
+/// [classification](Error::classify), since re-running the same cell
+/// re-derives the same cycle count.
+pub fn run_timing_budgeted(
+    program: &Program,
+    config: &MachineConfig,
+    limit: u64,
+    max_cycles: u64,
+) -> Result<TimingResult, Error> {
+    let _span = perfclone_obs::span!("uarch.pipeline.run");
+    let mut trace = Simulator::trace(program, limit);
+    let report = Pipeline::new(*config).run_budgeted(&mut trace, max_cycles)?;
+    if let Some(f) = trace.fault() {
+        return Err(Error::Sim(f.clone()));
+    }
+    perfclone_obs::count!("uarch.pipeline.runs", 1);
+    perfclone_obs::count!("uarch.pipeline.instrs", report.instrs);
+    let power = estimate_power(config, &report);
+    Ok(TimingResult { report, power })
+}
+
 /// Runs a previously captured [`TraceStore`] — in-memory or spilled to
 /// disk and mmapped back — through the timing pipeline under `config`.
 /// Both storage classes decode through the same replay machinery, so the
@@ -221,6 +251,38 @@ pub fn run_timing_store(
     let _span = perfclone_obs::span!("uarch.pipeline.run");
     let mut replay = store.replay(program);
     let report = Pipeline::new(*config).run(&mut replay);
+    if let Some(f) = store.fault() {
+        return Err(Error::Sim(f.clone()));
+    }
+    perfclone_obs::count!("uarch.pipeline.runs", 1);
+    perfclone_obs::count!("uarch.pipeline.instrs", report.instrs);
+    perfclone_obs::count!("trace.replays", 1);
+    let power = estimate_power(config, &report);
+    Ok(TimingResult { report, power })
+}
+
+/// [`run_timing_store`] with a pipeline cycle budget — the per-cell
+/// deadline of supervised sweeps
+/// ([`GridPolicy`](grid::GridPolicy)`::cell_deadline`).
+///
+/// # Errors
+///
+/// As [`run_timing_store`], plus [`Error::BudgetExhausted`] (stage
+/// `"pipeline"`) when the replay has not drained within `max_cycles`.
+///
+/// # Panics
+///
+/// Panics if `program` is not the program the trace was captured from
+/// (see [`PackedTrace::replay`]).
+pub fn run_timing_store_budgeted(
+    program: &Program,
+    store: &TraceStore,
+    config: &MachineConfig,
+    max_cycles: u64,
+) -> Result<TimingResult, Error> {
+    let _span = perfclone_obs::span!("uarch.pipeline.run");
+    let mut replay = store.replay(program);
+    let report = Pipeline::new(*config).run_budgeted(&mut replay, max_cycles)?;
     if let Some(f) = store.fault() {
         return Err(Error::Sim(f.clone()));
     }

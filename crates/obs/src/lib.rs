@@ -66,8 +66,9 @@ pub use registry::{
     counter, enabled, gauge, histogram, reset, set_enabled, snapshot, Counter, Gauge, Histogram,
 };
 pub use report::{
-    fmt_ns, CacheRates, CounterEntry, GateAttribute, GaugeEntry, HistogramBucket, HistogramEntry,
-    Metric, RunReport, SpanEntry, StageSummary, SweepStats, TelemetrySnapshot, REPORT_VERSION,
+    fmt_ns, CacheRates, CounterEntry, DegradedCoverage, GateAttribute, GaugeEntry, HistogramBucket,
+    HistogramEntry, Metric, QuarantinedCell, RunReport, SpanEntry, StageSummary, SweepStats,
+    TelemetrySnapshot, REPORT_VERSION,
 };
 pub use span::{current, Span, SpanId};
 

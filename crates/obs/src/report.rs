@@ -153,6 +153,37 @@ pub struct SweepStats {
     pub instrs_per_sec: f64,
 }
 
+/// One quarantined sweep cell: a cell whose execution failed permanently
+/// under `--keep-going` and whose row the sweep therefore omits.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct QuarantinedCell {
+    /// Linear cell index within the grid.
+    pub cell: u64,
+    /// Stable cell ID (`g<spec-hash>-c<index>`).
+    pub id: String,
+    /// Typed failure kind (the error variant's stable tag, e.g. `sim` or
+    /// `budget-exhausted`).
+    pub kind: String,
+    /// Human-readable failure description.
+    pub reason: String,
+    /// Execution attempts made before quarantining (1 = no retries).
+    pub attempts: u32,
+}
+
+/// Degraded-coverage summary of a `--keep-going` sweep: how much of the
+/// grid has rows, what was retried, and which cells were quarantined.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DegradedCoverage {
+    /// Cells the sweep enumerated.
+    pub total_cells: u64,
+    /// Cells with a metrics row (`total_cells` minus quarantined).
+    pub covered_cells: u64,
+    /// Transient-failure retries the supervisor performed.
+    pub retries: u64,
+    /// The quarantined cells, in cell order.
+    pub quarantined: Vec<QuarantinedCell>,
+}
+
 /// A named scalar result (bench errors, IPC deltas, miss rates).
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct Metric {
@@ -183,6 +214,10 @@ pub struct RunReport {
     pub gate: Vec<GateAttribute>,
     /// Sweep throughput (null when no sweep ran).
     pub sweep: Option<SweepStats>,
+    /// Degraded-coverage summary (null when the sweep was healthy or no
+    /// sweep ran): present exactly when a `--keep-going` grid sweep
+    /// quarantined cells.
+    pub degraded: Option<DegradedCoverage>,
     /// Free-form scalar results.
     pub metrics: Vec<Metric>,
     /// Raw counter totals. Notable names: `cache.trace.lookups` /
@@ -191,9 +226,16 @@ pub struct RunReport {
     /// captures and zero-allocation replays), `trace.spills` (over-cap
     /// captures spilled to disk and replayed via mmap), `trace.fallbacks`
     /// (captures abandoned — spill disabled or failed — each
-    /// re-interpreted instead, never silently truncated), and
-    /// `grid.shards.executed` / `grid.shards.skipped` (sharded-sweep
-    /// progress: fresh work vs. journal resume).
+    /// re-interpreted instead, never silently truncated),
+    /// `trace.spill.reaped` (stray spill files of dead processes removed
+    /// on startup), `grid.shards.executed` / `grid.shards.skipped`
+    /// (sharded-sweep progress: fresh work vs. journal resume),
+    /// `grid.retries` (transient cell failures retried by the
+    /// supervisor), `grid.quarantined` (cells given up on under
+    /// `--keep-going`), `grid.journal.retries` (transient journal-write
+    /// failures retried), and `grid.journal.truncated_recovered`
+    /// (truncated/corrupt journal records demoted to pending and
+    /// re-executed).
     pub counters: Vec<CounterEntry>,
     /// Raw gauge values. Notable names: `trace.bytes` (total packed-trace
     /// bytes resident in the process), `trace.spill.bytes` (total bytes of
@@ -258,6 +300,7 @@ impl RunReport {
             caches: caches_from(&snap.counters),
             gate: Vec::new(),
             sweep: None,
+            degraded: None,
             metrics: Vec::new(),
             counters: snap.counters,
             gauges: snap.gauges,
@@ -383,6 +426,28 @@ impl RunReport {
                 counter("grid.shards.skipped"),
             );
         }
+        if let Some(deg) = &self.degraded {
+            let _ = writeln!(
+                out,
+                "\ndegraded coverage:\n  {}/{} cells covered · {} retried transient failure(s) \
+                 · {} quarantined",
+                deg.covered_cells,
+                deg.total_cells,
+                deg.retries,
+                deg.quarantined.len(),
+            );
+            const SHOWN: usize = 10;
+            for q in deg.quarantined.iter().take(SHOWN) {
+                let _ = writeln!(
+                    out,
+                    "  cell {:>6}  {}  [{}] after {} attempt(s): {}",
+                    q.cell, q.id, q.kind, q.attempts, q.reason
+                );
+            }
+            if deg.quarantined.len() > SHOWN {
+                let _ = writeln!(out, "  … and {} more", deg.quarantined.len() - SHOWN);
+            }
+        }
         let _ = writeln!(
             out,
             "\n{} counters · {} gauges · {} histograms · {} spans",
@@ -492,6 +557,18 @@ mod tests {
             instrs: 1_000_000,
             instrs_per_sec: 5e8,
         });
+        report.degraded = Some(DegradedCoverage {
+            total_cells: 32,
+            covered_cells: 30,
+            retries: 3,
+            quarantined: vec![QuarantinedCell {
+                cell: 5,
+                id: "gdeadbeefdeadbeef-c5".into(),
+                kind: "injected".into(),
+                reason: "injected permanent fault at cell 5 (attempt 0)".into(),
+                attempts: 1,
+            }],
+        });
         report.metrics.push(Metric { name: "gate.worst_delta".into(), value: 0.013 });
         let json = report.to_json().unwrap();
         let back = RunReport::from_json(&json).unwrap();
@@ -516,5 +593,27 @@ mod tests {
         assert!(text.contains("profile.collect"));
         assert!(text.contains("caches:"));
         assert!(text.contains("profile"));
+        assert!(!text.contains("degraded coverage:"), "healthy runs have no degraded section");
+    }
+
+    #[test]
+    fn render_lists_quarantined_cells_capped() {
+        let mut report = RunReport::from_snapshot("grid", "crc32", sample_snapshot());
+        let quarantined: Vec<QuarantinedCell> = (0..12)
+            .map(|cell| QuarantinedCell {
+                cell,
+                id: format!("gdeadbeefdeadbeef-c{cell}"),
+                kind: "injected".into(),
+                reason: format!("injected permanent fault at cell {cell} (attempt 0)"),
+                attempts: 1,
+            })
+            .collect();
+        report.degraded =
+            Some(DegradedCoverage { total_cells: 32, covered_cells: 20, retries: 4, quarantined });
+        let text = report.render();
+        assert!(text.contains("degraded coverage:"));
+        assert!(text.contains("20/32 cells covered"));
+        assert!(text.contains("[injected]"));
+        assert!(text.contains("… and 2 more"), "per-cell listing is capped:\n{text}");
     }
 }

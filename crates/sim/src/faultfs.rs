@@ -1,0 +1,359 @@
+//! Deterministic filesystem fault injection — the chaos half of the
+//! sweep resilience layer.
+//!
+//! Production code never calls `fs::write`/`fs::rename` directly on the
+//! durability-critical paths (journal records, spill files); it routes
+//! through this shim. When a [`FaultFsPlan`] is installed — explicitly
+//! via [`install`] or from the `PERFCLONE_FAULTFS` environment variable —
+//! the shim deterministically injects the I/O failure modes a long sweep
+//! meets in the wild:
+//!
+//! * **ENOSPC** (`enospc` rate): the write or rename fails loudly with an
+//!   out-of-space error. Callers see an `Io` error and retry or fall back.
+//! * **Short write** (`short` rate): only a prefix of the bytes lands,
+//!   and the call *succeeds* — the torn record is discovered on the next
+//!   read, exercising truncated-record recovery.
+//! * **Torn rename** (`torn` rate): the file is truncated before the
+//!   rename publishes it, modeling a writeback filesystem reordering data
+//!   against the rename durability barrier across a power loss.
+//! * **Corruption** (`corrupt` rate): one byte is flipped before publish,
+//!   and the call succeeds — exercising checksum/validation paths.
+//!
+//! Every decision is a pure function of the plan seed, the fault kind,
+//! and a per-process operation counter, so a given run's fault schedule
+//! is reproducible. Rates are "1 in N" (`0` disables a kind). A plan may
+//! be scoped to paths containing a substring (`scope=`), which keeps
+//! concurrent tests from injecting faults into each other's files.
+//!
+//! Journal `spec.json` identity records are always exempt: chaos targets
+//! the *append* path. Corrupting the identity of a whole journal is a
+//! different failure (covered by the spec-mismatch tests), and injecting
+//! it here would only make a chaos run refuse to resume for the wrong
+//! reason.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// One fault-injection plan: a seed, four "1 in N" rates, and an optional
+/// path scope.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultFsPlan {
+    /// Seed for the deterministic fault schedule.
+    pub seed: u64,
+    /// Inject an out-of-space failure on 1 in `enospc` operations
+    /// (0 = never).
+    pub enospc: u32,
+    /// Write only a prefix (silently) on 1 in `short` writes (0 = never).
+    pub short: u32,
+    /// Truncate the source before 1 in `torn` renames (0 = never).
+    pub torn: u32,
+    /// Flip one byte before 1 in `corrupt` publishes (0 = never).
+    pub corrupt: u32,
+    /// Only inject into paths whose string form contains this substring
+    /// (`None` = every guarded path).
+    pub scope: Option<String>,
+}
+
+impl FaultFsPlan {
+    /// A plan that never injects (useful as a parse fallback).
+    pub fn inert() -> FaultFsPlan {
+        FaultFsPlan { seed: 0, enospc: 0, short: 0, torn: 0, corrupt: 0, scope: None }
+    }
+
+    /// `true` when at least one fault kind has a non-zero rate.
+    pub fn armed(&self) -> bool {
+        self.enospc != 0 || self.short != 0 || self.torn != 0 || self.corrupt != 0
+    }
+
+    /// Parses the `PERFCLONE_FAULTFS` format: comma-separated `key=value`
+    /// pairs, e.g. `seed=7,enospc=13,torn=11,corrupt=17,scope=chaos`.
+    /// Unknown keys and unparsable values are ignored (the corresponding
+    /// field keeps its inert default), so a typo degrades to "no faults"
+    /// rather than a crash.
+    pub fn parse(s: &str) -> FaultFsPlan {
+        let mut plan = FaultFsPlan::inert();
+        for pair in s.split(',') {
+            let Some((key, value)) = pair.split_once('=') else { continue };
+            let (key, value) = (key.trim(), value.trim());
+            match key {
+                "seed" => plan.seed = value.parse().unwrap_or(plan.seed),
+                "enospc" => plan.enospc = value.parse().unwrap_or(plan.enospc),
+                "short" => plan.short = value.parse().unwrap_or(plan.short),
+                "torn" => plan.torn = value.parse().unwrap_or(plan.torn),
+                "corrupt" => plan.corrupt = value.parse().unwrap_or(plan.corrupt),
+                "scope" => {
+                    plan.scope = if value.is_empty() { None } else { Some(value.to_string()) }
+                }
+                _ => {}
+            }
+        }
+        plan
+    }
+}
+
+/// Per-kind totals of faults injected so far in this process.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultFsCounts {
+    /// ENOSPC failures injected.
+    pub enospc: u64,
+    /// Short writes injected.
+    pub short: u64,
+    /// Torn renames injected.
+    pub torn: u64,
+    /// Byte corruptions injected.
+    pub corrupt: u64,
+}
+
+static ENOSPC_INJECTED: AtomicU64 = AtomicU64::new(0);
+static SHORT_INJECTED: AtomicU64 = AtomicU64::new(0);
+static TORN_INJECTED: AtomicU64 = AtomicU64::new(0);
+static CORRUPT_INJECTED: AtomicU64 = AtomicU64::new(0);
+
+/// Totals of faults injected so far (for selfcheck output and tests).
+pub fn injected() -> FaultFsCounts {
+    FaultFsCounts {
+        enospc: ENOSPC_INJECTED.load(Ordering::Relaxed),
+        short: SHORT_INJECTED.load(Ordering::Relaxed),
+        torn: TORN_INJECTED.load(Ordering::Relaxed),
+        corrupt: CORRUPT_INJECTED.load(Ordering::Relaxed),
+    }
+}
+
+/// The process-wide plan, set once: explicitly via [`install`], or lazily
+/// from `PERFCLONE_FAULTFS` on first guarded operation.
+static PLAN: OnceLock<Option<FaultFsPlan>> = OnceLock::new();
+
+/// Guarded operations performed so far — the schedule's time axis.
+static OPS: AtomicU64 = AtomicU64::new(0);
+
+/// Installs `plan` as the process-wide fault plan. Returns `false` when a
+/// plan (or the absence of one) was already fixed — the first of
+/// [`install`] / first guarded operation wins, and the choice is
+/// permanent for the life of the process.
+pub fn install(plan: FaultFsPlan) -> bool {
+    PLAN.set(Some(plan)).is_ok()
+}
+
+fn plan() -> Option<&'static FaultFsPlan> {
+    PLAN.get_or_init(|| std::env::var("PERFCLONE_FAULTFS").ok().map(|s| FaultFsPlan::parse(&s)))
+        .as_ref()
+        .filter(|p| p.armed())
+}
+
+/// `true` when an armed plan is active for this process.
+pub fn active() -> bool {
+    plan().is_some()
+}
+
+/// SplitMix64 finalizer — the same avalanche construction the seed
+/// derivation uses, duplicated locally so the sim crate stays leaf-level.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+const TAG_ENOSPC: u64 = 0xE05C;
+const TAG_SHORT: u64 = 0x5047;
+const TAG_TORN: u64 = 0x7042;
+const TAG_CORRUPT: u64 = 0xC042;
+
+fn hit(p: &FaultFsPlan, rate: u32, tag: u64, op: u64) -> bool {
+    rate != 0 && mix(p.seed ^ tag.rotate_left(32) ^ op).is_multiple_of(u64::from(rate))
+}
+
+fn in_scope(p: &FaultFsPlan, path: &Path) -> bool {
+    let s = path.to_string_lossy();
+    if s.contains("spec.json") {
+        return false; // identity records are exempt; see module docs.
+    }
+    match &p.scope {
+        Some(needle) => s.contains(needle.as_str()),
+        None => true,
+    }
+}
+
+fn enospc(path: &Path) -> io::Error {
+    ENOSPC_INJECTED.fetch_add(1, Ordering::Relaxed);
+    io::Error::other(format!(
+        "injected fault: no space left on device, writing '{}'",
+        path.display()
+    ))
+}
+
+/// Flips one deterministically chosen byte of the file at `path`
+/// (best-effort: a failure to corrupt is ignored — the op then behaves
+/// as a clean pass-through).
+fn flip_byte(p: &FaultFsPlan, path: &Path, op: u64) {
+    let Ok(mut bytes) = fs::read(path) else { return };
+    if bytes.is_empty() {
+        return;
+    }
+    let at = (mix(p.seed ^ op ^ 0xF11B) % bytes.len() as u64) as usize;
+    bytes[at] ^= 0x01;
+    if fs::write(path, &bytes).is_ok() {
+        CORRUPT_INJECTED.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Truncates the file at `path` to half its length (best-effort).
+fn truncate_half(path: &Path) {
+    let Ok(bytes) = fs::read(path) else { return };
+    if fs::write(path, &bytes[..bytes.len() / 2]).is_ok() {
+        TORN_INJECTED.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// `fs::write` with fault injection: may fail with ENOSPC, silently write
+/// a prefix, or silently corrupt one byte.
+///
+/// # Errors
+///
+/// The underlying OS error, or an injected out-of-space failure.
+pub fn write_file(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let Some(p) = plan().filter(|p| in_scope(p, path)) else {
+        return fs::write(path, bytes);
+    };
+    let op = OPS.fetch_add(1, Ordering::Relaxed);
+    if hit(p, p.enospc, TAG_ENOSPC, op) {
+        return Err(enospc(path));
+    }
+    if hit(p, p.short, TAG_SHORT, op) && !bytes.is_empty() {
+        SHORT_INJECTED.fetch_add(1, Ordering::Relaxed);
+        return fs::write(path, &bytes[..bytes.len() / 2]);
+    }
+    if hit(p, p.corrupt, TAG_CORRUPT, op) && !bytes.is_empty() {
+        let mut twisted = bytes.to_vec();
+        let at = (mix(p.seed ^ op ^ 0xF11B) % twisted.len() as u64) as usize;
+        twisted[at] ^= 0x01;
+        CORRUPT_INJECTED.fetch_add(1, Ordering::Relaxed);
+        return fs::write(path, &twisted);
+    }
+    fs::write(path, bytes)
+}
+
+/// `fs::rename` with fault injection: may fail with ENOSPC, or silently
+/// truncate/corrupt `from` before publishing it at `to`.
+///
+/// # Errors
+///
+/// The underlying OS error, or an injected out-of-space failure.
+pub fn rename(from: &Path, to: &Path) -> io::Result<()> {
+    let Some(p) = plan().filter(|p| in_scope(p, to)) else {
+        return fs::rename(from, to);
+    };
+    let op = OPS.fetch_add(1, Ordering::Relaxed);
+    if hit(p, p.enospc, TAG_ENOSPC, op) {
+        return Err(enospc(to));
+    }
+    if hit(p, p.torn, TAG_TORN, op) {
+        truncate_half(from);
+    } else if hit(p, p.corrupt, TAG_CORRUPT, op) {
+        flip_byte(p, from, op);
+    }
+    fs::rename(from, to)
+}
+
+/// ENOSPC gate for streaming writers that manage their own file handles
+/// (spill sinks and segment writers call this once per file created).
+///
+/// # Errors
+///
+/// An injected out-of-space failure; never fails otherwise.
+pub fn check_write(path: &Path) -> io::Result<()> {
+    let Some(p) = plan().filter(|p| in_scope(p, path)) else {
+        return Ok(());
+    };
+    let op = OPS.fetch_add(1, Ordering::Relaxed);
+    if hit(p, p.enospc, TAG_ENOSPC, op) {
+        return Err(enospc(path));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_reads_rates_seed_and_scope() {
+        let p = FaultFsPlan::parse("seed=7, enospc=13,torn=11,corrupt=17,scope=chaos,junk=1");
+        assert_eq!(p.seed, 7);
+        assert_eq!(p.enospc, 13);
+        assert_eq!(p.short, 0);
+        assert_eq!(p.torn, 11);
+        assert_eq!(p.corrupt, 17);
+        assert_eq!(p.scope.as_deref(), Some("chaos"));
+        assert!(p.armed());
+        assert!(!FaultFsPlan::parse("seed=9").armed());
+        assert!(!FaultFsPlan::parse("garbage").armed());
+    }
+
+    #[test]
+    fn schedule_is_deterministic_in_seed_tag_and_op() {
+        let p = FaultFsPlan { enospc: 3, ..FaultFsPlan::inert() };
+        for op in 0..64 {
+            assert_eq!(
+                hit(&p, p.enospc, TAG_ENOSPC, op),
+                hit(&p, p.enospc, TAG_ENOSPC, op),
+                "decision for op {op} must be pure"
+            );
+        }
+        // A 1-in-1 rate always fires; a zero rate never does.
+        let always = FaultFsPlan { torn: 1, ..FaultFsPlan::inert() };
+        assert!((0..32).all(|op| hit(&always, always.torn, TAG_TORN, op)));
+        assert!((0..32).all(|op| !hit(&always, 0, TAG_TORN, op)));
+    }
+
+    /// Behavioral test for every injection path. One test function (not
+    /// several) because the plan is process-global: installing it once and
+    /// scoping it to this test's directory keeps the other tests in this
+    /// binary fault-free.
+    #[test]
+    fn injection_behaviors_under_installed_plan() {
+        let dir =
+            std::env::temp_dir().join(format!("perfclone-faultfs-test-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let installed = install(FaultFsPlan {
+            seed: 42,
+            enospc: 0,
+            short: 1,
+            torn: 1,
+            corrupt: 0,
+            scope: Some("perfclone-faultfs-test".into()),
+        });
+        // If another test initialized the plan first (env-less → None),
+        // injection is off; only assert behaviors when our plan took.
+        if installed {
+            assert!(active());
+            // Short write: only a prefix lands, but the call succeeds.
+            let f = dir.join("short.bin");
+            write_file(&f, &[1u8; 64]).unwrap();
+            assert_eq!(fs::read(&f).unwrap().len(), 32);
+            // Torn rename: the published file is truncated.
+            let src = dir.join("rec.tmp-1");
+            let dst = dir.join("rec.json");
+            fs::write(&src, [2u8; 64]).unwrap();
+            rename(&src, &dst).unwrap();
+            assert_eq!(fs::read(&dst).unwrap().len(), 32);
+            assert!(injected().short > 0);
+            assert!(injected().torn > 0);
+        }
+        // Out-of-scope paths are always clean (and spec.json is exempt
+        // even in scope).
+        let outside = std::env::temp_dir()
+            .join(format!("perfclone-faultfs-outside-{}.bin", std::process::id()));
+        write_file(&outside, &[3u8; 64]).unwrap();
+        assert_eq!(fs::read(&outside).unwrap().len(), 64);
+        let spec = dir.join("spec.json");
+        write_file(&spec, &[4u8; 64]).unwrap();
+        assert_eq!(fs::read(&spec).unwrap().len(), 64);
+        let _ = fs::remove_file(&outside);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

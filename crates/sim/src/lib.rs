@@ -33,6 +33,7 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 mod exec;
+pub mod faultfs;
 mod mem;
 mod packed;
 mod spill;
@@ -40,8 +41,9 @@ mod state;
 mod trace;
 
 pub use exec::{RunOutcome, SimError, Simulator};
+pub use faultfs::FaultFsPlan;
 pub use mem::Memory;
 pub use packed::{PackedRecorder, PackedReplay, PackedTrace};
-pub use spill::{SpilledTrace, SpillingRecorder, TraceError, TraceStore};
+pub use spill::{reap_stray_spills, SpilledTrace, SpillingRecorder, TraceError, TraceStore};
 pub use state::ArchState;
 pub use trace::{CountingObserver, DynInstr, MemAccess, NullObserver, Observer, Trace};

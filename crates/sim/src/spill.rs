@@ -56,6 +56,7 @@ use std::path::{Path, PathBuf};
 use perfclone_isa::Program;
 
 use crate::exec::SimError;
+use crate::faultfs;
 use crate::packed::{replay_parts, PackedRecorder, PackedReplay, PackedTrace, TraceParts};
 use crate::trace::DynInstr;
 
@@ -181,6 +182,76 @@ fn tmp_sibling(path: &Path) -> PathBuf {
     path.with_file_name(name)
 }
 
+/// Extracts the owning pid from a spill artifact's file name, or `None`
+/// when the name is not one of the shapes this crate produces:
+///
+/// * unrenamed temps — `<anything>.tmp-<pid>` (sink temps and
+///   `.seg.tmp-<pid>` segment files);
+/// * sealed capture spills — `perfclone-<name>-<pid>-<seq>.spill`, the
+///   stem [`capture`](crate::SpillingRecorder) builds, which are private
+///   to their process (delete-on-drop) and stranded by a `SIGKILL`.
+fn stray_pid(name: &str) -> Option<u32> {
+    if let Some((_, pid)) = name.rsplit_once(".tmp-") {
+        return pid.parse().ok();
+    }
+    let stem = name.strip_suffix(".spill")?;
+    let mut parts = stem.rsplitn(3, '-');
+    let _seq: u64 = parts.next()?.parse().ok()?;
+    let pid: u32 = parts.next()?.parse().ok()?;
+    parts.next()?; // the sanitized program name must be present too.
+    Some(pid)
+}
+
+/// `true` when `pid` is a live process. Only Linux has a cheap, portable
+/// answer (`/proc/<pid>`); elsewhere every pid is conservatively treated
+/// as alive, so nothing is ever reaped by mistake.
+fn pid_alive(pid: u32) -> bool {
+    if pid == std::process::id() {
+        return true;
+    }
+    #[cfg(target_os = "linux")]
+    {
+        Path::new(&format!("/proc/{pid}")).exists()
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        true
+    }
+}
+
+/// Reaps spill artifacts stranded in `dir` by dead processes, returning
+/// how many files were removed.
+///
+/// Segment files and unrenamed sink temps are normally removed on `Drop`,
+/// and sealed capture spills on [`SpilledTrace`] drop — but a `SIGKILL`
+/// (the crash/kill harness, an OOM kill, a cancelled CI job) runs no
+/// destructors, stranding `PCSPILL1` files in the spill directory forever.
+/// This sweep mirrors the journal's stray-temp reaping: it removes only
+/// files whose name matches a shape this crate writes (`perfclone-` stems
+/// and `.tmp-<pid>` temps), whose embedded pid parses, and whose owning
+/// process is provably dead. Files owned by live processes — including
+/// this one — are never touched.
+pub fn reap_stray_spills(dir: &Path) -> u64 {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return 0;
+    };
+    let mut reaped = 0;
+    for entry in entries.flatten() {
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if !name.starts_with("perfclone-") {
+            continue;
+        }
+        let Some(pid) = stray_pid(&name) else { continue };
+        if pid_alive(pid) {
+            continue;
+        }
+        if fs::remove_file(entry.path()).is_ok() {
+            reaped += 1;
+        }
+    }
+    reaped
+}
+
 /// Fixed-size spill-file header (see the module docs for the layout).
 #[derive(Clone, Copy, Debug)]
 struct Header {
@@ -294,6 +365,7 @@ struct SpillSink {
 impl SpillSink {
     fn create(final_path: &Path) -> Result<SpillSink, TraceError> {
         let tmp = tmp_sibling(final_path);
+        faultfs::check_write(&tmp).map_err(io_at(&tmp, "create"))?;
         let file = File::create(&tmp).map_err(io_at(&tmp, "create"))?;
         let guard = TempGuard::new(tmp);
         let mut w = io::BufWriter::new(file);
@@ -325,7 +397,7 @@ impl SpillSink {
         file.write_all(&header.encode()).map_err(io_at(&self.final_path, "write"))?;
         file.sync_all().map_err(io_at(&self.final_path, "sync"))?;
         drop(file);
-        fs::rename(&self.guard.path, &self.final_path)
+        faultfs::rename(&self.guard.path, &self.final_path)
             .map_err(io_at(&self.final_path, "rename"))?;
         self.guard.disarm();
         Ok(())
@@ -862,6 +934,7 @@ struct SegWriter {
 impl SegWriter {
     fn create(dir: &Path, stem: &str, kind: &str) -> Result<SegWriter, TraceError> {
         let path = dir.join(format!("{stem}.{kind}.seg.tmp-{}", std::process::id()));
+        faultfs::check_write(&path).map_err(io_at(&path, "create"))?;
         let file = File::create(&path).map_err(io_at(&path, "create"))?;
         Ok(SegWriter { w: io::BufWriter::new(file), path })
     }
@@ -1163,6 +1236,45 @@ mod tests {
             std::env::temp_dir().join(format!("perfclone-spill-test-{}-{tag}", std::process::id()));
         fs::create_dir_all(&dir).unwrap();
         dir
+    }
+
+    #[test]
+    fn stray_pid_parses_only_this_crates_shapes() {
+        assert_eq!(stray_pid("perfclone-crc32-123-0.spill"), Some(123));
+        assert_eq!(stray_pid("perfclone-a_b-9-17.spill"), Some(9));
+        assert_eq!(stray_pid("perfclone-crc32-123-0.spill.tmp-456"), Some(456));
+        assert_eq!(stray_pid("perfclone-crc32-123-0.addrs.seg.tmp-456"), Some(456));
+        assert_eq!(stray_pid("perfclone-noseq.spill"), None);
+        assert_eq!(stray_pid("perfclone-crc32-x-0.spill"), None);
+        assert_eq!(stray_pid("busy.spill"), None);
+        assert_eq!(stray_pid("shard-000001.json"), None);
+    }
+
+    #[test]
+    fn reap_removes_dead_pid_strays_and_keeps_live_ones() {
+        let dir = tmp_dir("reap");
+        // A pid above the kernel's pid_max (4 194 304 on Linux) can never
+        // be alive, so these strays are provably dead.
+        let dead = 4_000_000_000u32;
+        let dead_spill = dir.join(format!("perfclone-crc32-{dead}-0.spill"));
+        let dead_seg = dir.join(format!("perfclone-crc32-{dead}-1.addrs.seg.tmp-{dead}"));
+        let dead_tmp = dir.join(format!("perfclone-crc32-{dead}-2.spill.tmp-{dead}"));
+        let live = dir.join(format!("perfclone-crc32-{}-0.spill", std::process::id()));
+        let unrelated = dir.join("busy.spill");
+        for f in [&dead_spill, &dead_seg, &dead_tmp, &live, &unrelated] {
+            fs::write(f, b"x").unwrap();
+        }
+        let reaped = reap_stray_spills(&dir);
+        if cfg!(target_os = "linux") {
+            assert_eq!(reaped, 3);
+            assert!(!dead_spill.exists() && !dead_seg.exists() && !dead_tmp.exists());
+        } else {
+            // Without a pid-liveness oracle nothing is reaped.
+            assert_eq!(reaped, 0);
+        }
+        assert!(live.exists(), "live-pid spill must survive");
+        assert!(unrelated.exists(), "non-perfclone files must never be touched");
+        fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
