@@ -14,18 +14,11 @@ use std::time::Instant;
 
 use perfclone::{pareto_frontier, run_grid, GridAxes, GridSpec, WorkloadCache};
 use perfclone_kernels::{by_name, Scale};
+use perfclone_obs::rss::peak_rss_kib;
 
 const KERNEL: &str = "crc32";
 const LIMIT: u64 = 20_000;
 const SHARD: u64 = 64;
-
-/// Peak resident set size in KiB, from `/proc/self/status` (`VmHWM`);
-/// `None` off Linux.
-fn peak_rss_kib() -> Option<u64> {
-    let status = std::fs::read_to_string("/proc/self/status").ok()?;
-    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
-    line.split_whitespace().nth(1)?.parse().ok()
-}
 
 fn main() {
     let program = by_name(KERNEL).expect("kernel exists").build(Scale::Tiny).program;

@@ -1,9 +1,11 @@
 //! Telemetry overhead gate: the susan 28-config L1 D-cache sweep (the
 //! hottest instrumented path — trace extraction plus the single-pass
 //! stack-distance engine) timed with the registry enabled versus disabled
-//! at runtime. The instrumentation batches its publishes once per stage,
-//! so the acceptance bound is < 3 % overhead; the measured numbers are
-//! recorded in EXPERIMENTS.md ("Telemetry overhead").
+//! at runtime, and with event tracing (per-thread rings) on top. The
+//! instrumentation batches its publishes once per stage, so the
+//! acceptance bound is < 3 % overhead — for metrics alone and for
+//! metrics + tracing; the measured numbers are recorded in
+//! EXPERIMENTS.md ("Telemetry overhead").
 
 use std::time::Instant;
 
@@ -34,27 +36,39 @@ fn bench_enabled_vs_disabled(c: &mut Criterion) {
         perfclone_obs::set_enabled(false);
         b.iter(|| sweep_dcache(&program, &configs, u64::MAX))
     });
+    group.bench_function("sweep28_telemetry_and_tracing_on", |b| {
+        perfclone_obs::set_enabled(true);
+        perfclone_obs::set_trace_enabled(true);
+        b.iter(|| sweep_dcache(&program, &configs, u64::MAX));
+        perfclone_obs::set_trace_enabled(false);
+    });
     group.finish();
 
-    // Headline number: best-of-3 each way, printed for EXPERIMENTS.md and
-    // CI logs. Best-of damps scheduler noise on shared runners.
-    let time_best = |enabled: bool| -> f64 {
+    // Headline numbers: best-of-3 each way, printed for EXPERIMENTS.md
+    // and CI logs. Best-of damps scheduler noise on shared runners.
+    let time_best = |enabled: bool, tracing: bool| -> f64 {
         perfclone_obs::set_enabled(enabled);
-        (0..3)
+        perfclone_obs::set_trace_enabled(tracing);
+        let best = (0..3)
             .map(|_| {
                 let t = Instant::now();
                 let _ = sweep_dcache(&program, &configs, u64::MAX);
                 t.elapsed().as_secs_f64()
             })
-            .fold(f64::INFINITY, f64::min)
+            .fold(f64::INFINITY, f64::min);
+        perfclone_obs::set_trace_enabled(false);
+        best
     };
-    let on_s = time_best(true);
-    let off_s = time_best(false);
+    let on_s = time_best(true, false);
+    let trace_s = time_best(true, true);
+    let off_s = time_best(false, false);
     perfclone_obs::set_enabled(true);
     let overhead = (on_s - off_s) / off_s * 100.0;
+    let trace_overhead = (trace_s - off_s) / off_s * 100.0;
     println!(
-        "\n{KERNEL}: 28-config sweep  telemetry-on {on_s:.3}s  telemetry-off {off_s:.3}s  \
-         overhead {overhead:+.2}%  (acceptance: < 3%)"
+        "\n{KERNEL}: 28-config sweep  telemetry-on {on_s:.3}s  +tracing {trace_s:.3}s  \
+         telemetry-off {off_s:.3}s  overhead {overhead:+.2}%  \
+         tracing overhead {trace_overhead:+.2}%  (acceptance: < 3% each)"
     );
 }
 

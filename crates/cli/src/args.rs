@@ -30,6 +30,8 @@ const VALUED: &[&str] = &[
     "--limit",
     "--max-retries",
     "--cell-deadline",
+    "--trace-out",
+    "--heartbeat",
 ];
 
 /// Splits `argv` into positionals and options.
@@ -110,6 +112,22 @@ impl Parsed {
     /// report was requested.
     pub fn report_dest(&self) -> Option<&str> {
         self.opt(&["--report"])
+    }
+
+    /// Destination file of the Chrome Trace Format event trace selected
+    /// by `--trace-out`, or `None` when tracing was not requested.
+    pub fn trace_out(&self) -> Option<&str> {
+        self.opt(&["--trace-out"])
+    }
+
+    /// Heartbeat cadence in milliseconds selected by `--heartbeat`
+    /// (default 1000; 0 disables the sampler).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the value is not an integer.
+    pub fn heartbeat_ms(&self) -> Result<u64, String> {
+        Ok(self.opt_u64(&["--heartbeat"])?.unwrap_or(1000))
     }
 
     /// Returns the input scale selected by `--scale` (default small).
@@ -209,6 +227,20 @@ mod tests {
         let q = parse(&argv(&["grid", "crc32"])).unwrap();
         assert!(!q.keep_going());
         assert_eq!(q.opt_u64(&["--max-retries"]).unwrap(), None);
+    }
+
+    #[test]
+    fn trace_and_heartbeat_options() {
+        let p = parse(&argv(&["grid", "crc32", "--trace-out", "t.json", "--heartbeat", "250"]))
+            .unwrap();
+        assert_eq!(p.trace_out(), Some("t.json"));
+        assert_eq!(p.heartbeat_ms().unwrap(), 250);
+        let q = parse(&argv(&["grid", "crc32"])).unwrap();
+        assert_eq!(q.trace_out(), None);
+        assert_eq!(q.heartbeat_ms().unwrap(), 1000, "heartbeats default on at 1 s");
+        assert!(parse(&argv(&["grid", "--trace-out"])).is_err());
+        let z = parse(&argv(&["grid", "crc32", "--heartbeat", "0"])).unwrap();
+        assert_eq!(z.heartbeat_ms().unwrap(), 0);
     }
 
     #[test]

@@ -12,7 +12,8 @@ use perfclone::{
 };
 use perfclone_isa::Program;
 use perfclone_obs::{
-    DegradedCoverage, GateAttribute, Metric, QuarantinedCell, RunReport, SweepStats,
+    DegradedCoverage, GateAttribute, Metric, QuarantinedCell, RunReport, Sampler, SamplerConfig,
+    SweepStats, Timeline, TraceSummary,
 };
 use perfclone_uarch::{design_changes, MachineConfig};
 
@@ -79,8 +80,20 @@ OPTIONS:
                           quarantine-*.json records in the journal) and
                           complete the sweep with degraded coverage
                           instead of aborting on the first failure
+  --trace-out FILE        record span begin/end and instant events in
+                          per-thread ring buffers and write them as Chrome
+                          Trace Format JSON (open in Perfetto via
+                          https://ui.perfetto.dev) when the command ends;
+                          works with every verb
+  --heartbeat MS          grid only: cadence of the live JSONL heartbeat
+                          records the sampler thread emits on stderr
+                          (cells/s, ETA, retries, RSS; default 1000,
+                          0 disables); stdout is never touched
 
 ENVIRONMENT:
+  PERFCLONE_TRACE_RING    per-thread event-ring capacity for --trace-out
+                          (default 16384; the oldest events are dropped,
+                          and counted, when a ring wraps)
   PERFCLONE_TRACE_CAP     byte budget for in-memory packed dynamic traces
                           (default 1 GiB); over-cap captures spill to disk
                           and replay via mmap with identical results
@@ -121,6 +134,7 @@ struct ReportExtras {
     sweep: Option<SweepStats>,
     degraded: Option<DegradedCoverage>,
     metrics: Vec<Metric>,
+    timeline: Option<Timeline>,
 }
 
 /// Pending report extras; `Some` only while a `--report` run is active.
@@ -174,6 +188,17 @@ fn note_metric(name: &str, value: f64) {
     }
 }
 
+/// Contributes the sampler's down-sampled series to a pending report
+/// (dropped when the sampler recorded nothing).
+fn note_timeline(timeline: Timeline) {
+    if timeline.points.is_empty() {
+        return;
+    }
+    if let Some(e) = extras_lock().as_mut() {
+        e.timeline = Some(timeline);
+    }
+}
+
 /// Maps a sweep's quarantine records into the report's degraded-coverage
 /// section (a no-op for healthy sweeps).
 fn note_degraded(outcome: &GridOutcome) {
@@ -210,6 +235,15 @@ fn write_report(cmd: &str, dest: &str) -> Result<(), String> {
     report.sweep = extras.sweep;
     report.degraded = extras.degraded;
     report.metrics = extras.metrics;
+    report.timeline = extras.timeline;
+    if perfclone_obs::trace_enabled() {
+        let stats = perfclone_obs::trace_stats();
+        report.trace = Some(TraceSummary {
+            events: stats.events,
+            dropped: stats.dropped,
+            threads: stats.threads,
+        });
+    }
     let json = report.to_json().map_err(|e| format!("serializing report: {e}"))?;
     if dest == "-" {
         println!("{json}");
@@ -217,6 +251,22 @@ fn write_report(cmd: &str, dest: &str) -> Result<(), String> {
         std::fs::write(dest, &json).map_err(|e| format!("writing {dest}: {e}"))?;
         say!("run report -> {dest}");
     }
+    Ok(())
+}
+
+/// Writes the recorded event trace as Chrome Trace Format JSON to `dest`
+/// and prints a one-line accounting of what landed in it.
+fn write_trace(dest: &str) -> Result<(), String> {
+    let json = perfclone_obs::chrome_trace();
+    std::fs::write(dest, &json).map_err(|e| format!("writing {dest}: {e}"))?;
+    let stats = perfclone_obs::trace_stats();
+    say!(
+        "event trace -> {dest} ({} events across {} thread(s), {} dropped to ring wrap); \
+         open in Perfetto: https://ui.perfetto.dev",
+        stats.events,
+        stats.threads,
+        stats.dropped
+    );
     Ok(())
 }
 
@@ -233,12 +283,18 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
     };
     let rest = parse(&argv[1..])?;
     let report_dest = rest.report_dest().map(str::to_string);
-    if report_dest.is_some() {
-        // Start the report from a clean registry so the document covers
-        // exactly this command.
+    let trace_dest = rest.trace_out().map(str::to_string);
+    if report_dest.is_some() || trace_dest.is_some() {
+        // Start from a clean registry (and rewound event rings) so the
+        // report and trace cover exactly this command.
         perfclone_obs::reset();
+    }
+    if report_dest.is_some() {
         *extras_lock() = Some(ReportExtras::default());
         HUMAN_TO_STDERR.store(report_dest.as_deref() == Some("-"), Ordering::Relaxed);
+    }
+    if trace_dest.is_some() {
+        perfclone_obs::set_trace_enabled(true);
     }
     // Make `--jobs` the ambient parallelism for whatever the subcommand
     // fans out (currently the cache sweeps).
@@ -267,11 +323,23 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "chaos" => chaos(&rest),
         other => Err(format!("unknown command {other:?}")),
     });
-    if let Some(dest) = report_dest {
+    // Export the trace before the report so the report's `trace` summary
+    // describes exactly what the file holds; disable tracing after the
+    // report is written (it reads the enabled flag).
+    let result = match &trace_dest {
+        Some(dest) => result.and_then(|()| write_trace(dest)),
+        None => result,
+    };
+    let result = if let Some(dest) = report_dest {
         let write_result = result.and_then(|()| write_report(cmd, &dest));
         HUMAN_TO_STDERR.store(false, Ordering::Relaxed);
         *extras_lock() = None;
-        return write_result;
+        write_result
+    } else {
+        result
+    };
+    if trace_dest.is_some() {
+        perfclone_obs::set_trace_enabled(false);
     }
     result
 }
@@ -639,6 +707,16 @@ fn grid(parsed: &Parsed) -> Result<(), String> {
         journal_dir.display()
     );
     let cache = WorkloadCache::new();
+    // Live telemetry: the sampler thread heartbeats JSONL on stderr and
+    // accumulates the report's timeline. Stdout is untouched either way.
+    let heartbeat_ms = parsed.heartbeat_ms()?;
+    let sampler = (heartbeat_ms > 0).then(|| {
+        Sampler::start(SamplerConfig {
+            interval: std::time::Duration::from_millis(heartbeat_ms),
+            emit_heartbeats: true,
+            ..SamplerConfig::default()
+        })
+    });
     // (shards seen, rows so far) for progress lines and the running
     // frontier; shards land in arbitrary order, the merge is ordered.
     let progress = Mutex::new((0u64, Vec::<CellRow>::new()));
@@ -671,6 +749,9 @@ fn grid(parsed: &Parsed) -> Result<(), String> {
         })
         .map_err(|e| e.to_string())?;
     let wall_ns = start.elapsed().as_nanos() as u64;
+    if let Some(sampler) = sampler {
+        note_timeline(sampler.stop());
+    }
     note_sweep(outcome.cells, wall_ns, outcome.rows.iter().map(|r| r.instrs).sum());
     note_metric("grid.shards.executed", outcome.executed_shards as f64);
     note_metric("grid.shards.skipped", outcome.skipped_shards as f64);

@@ -1,0 +1,127 @@
+//! Stdout purity under machine-readable output: when `perfclone grid`
+//! runs with `--stream --report -`, stdout carries *only* JSON (one row
+//! per line plus the final run report) while progress chatter, the
+//! Pareto table, and telemetry heartbeats all route to stderr. A single
+//! stray human line would corrupt downstream `| jq` pipelines, so every
+//! stdout line is parsed here.
+
+use serde::Value;
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+
+const BIN: &str = env!("CARGO_BIN_EXE_perfclone");
+
+fn temp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("perfclone-stdout-json-{}-{name}", std::process::id()))
+}
+
+/// Looks up a key in an `Obj` value.
+fn field<'v>(v: &'v Value, key: &str) -> Option<&'v Value> {
+    match v {
+        Value::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, fv)| fv),
+        _ => None,
+    }
+}
+
+#[test]
+fn streamed_grid_stdout_is_pure_json() {
+    let journal = temp("journal");
+    let trace = temp("trace.json");
+    let _ = std::fs::remove_dir_all(&journal);
+    let _ = std::fs::remove_file(&trace);
+
+    let mut cmd = Command::new(BIN);
+    cmd.args([
+        "grid",
+        "crc32",
+        "--scale",
+        "tiny",
+        "--limit",
+        "20000",
+        "--cells",
+        "16",
+        "--shard",
+        "4",
+        "--jobs",
+        "2",
+        "--stream",
+        "--report",
+        "-",
+        "--heartbeat",
+        "25",
+    ]);
+    cmd.arg("--trace-out").arg(&trace);
+    cmd.arg("--journal").arg(&journal);
+    cmd.stdout(Stdio::piped()).stderr(Stdio::piped());
+    let output = cmd.output().expect("run streamed grid sweep");
+    assert!(output.status.success(), "grid sweep failed: {output:?}");
+
+    // Every stdout line must parse as JSON: cell rows first, exactly one
+    // trailing run report.
+    let stdout = String::from_utf8(output.stdout).expect("stdout is UTF-8");
+    let lines: Vec<&str> = stdout.lines().filter(|l| !l.trim().is_empty()).collect();
+    assert!(!lines.is_empty(), "streamed sweep produced no stdout");
+    let mut rows = 0u64;
+    let mut reports = 0u64;
+    for (i, line) in lines.iter().enumerate() {
+        let value: Value = serde_json::from_str(line)
+            .unwrap_or_else(|e| panic!("stdout line {} is not JSON ({e}): {line:?}", i + 1));
+        assert!(
+            matches!(value, Value::Obj(_)),
+            "stdout line {} is not a JSON object: {line:?}",
+            i + 1
+        );
+        if let Some(version) = field(&value, "report_version") {
+            reports += 1;
+            assert_eq!(i, lines.len() - 1, "run report must be the final stdout line");
+            assert_eq!(*version, Value::U64(2));
+            assert!(
+                matches!(field(&value, "timeline"), Some(Value::Obj(_))),
+                "report should carry the sampled timeline"
+            );
+            assert!(
+                matches!(field(&value, "trace"), Some(Value::Obj(_))),
+                "report should carry the trace summary"
+            );
+        } else {
+            rows += 1;
+            assert!(
+                field(&value, "cell").is_some(),
+                "row line {} lacks a cell index: {line:?}",
+                i + 1
+            );
+        }
+    }
+    assert_eq!(rows, 16, "one JSON line per swept cell");
+    assert_eq!(reports, 1, "exactly one run report on stdout");
+
+    // Heartbeats land on stderr — never stdout — and are themselves JSONL.
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    let heartbeats: Vec<&str> =
+        stderr.lines().filter(|l| l.contains("\"type\":\"heartbeat\"")).collect();
+    assert!(!heartbeats.is_empty(), "25 ms cadence must produce heartbeats on stderr");
+    for hb in &heartbeats {
+        let value: Value = serde_json::from_str(hb)
+            .unwrap_or_else(|e| panic!("heartbeat is not JSON ({e}): {hb:?}"));
+        assert_eq!(field(&value, "type"), Some(&Value::Str("heartbeat".into())));
+        assert!(
+            matches!(field(&value, "cells_total"), Some(Value::U64(_))),
+            "heartbeat lacks cells_total: {hb:?}"
+        );
+    }
+    assert!(
+        stderr.contains("running pareto"),
+        "progress chatter must still reach the operator on stderr"
+    );
+
+    // The trace file is valid Chrome Trace Format JSON.
+    let trace_text = std::fs::read_to_string(&trace).expect("trace file written");
+    let trace_json: Value = serde_json::from_str(&trace_text).expect("trace file is valid JSON");
+    match field(&trace_json, "traceEvents") {
+        Some(Value::Arr(events)) => assert!(!events.is_empty(), "trace must contain events"),
+        other => panic!("traceEvents must be an array, got {other:?}"),
+    }
+
+    let _ = std::fs::remove_dir_all(&journal);
+    let _ = std::fs::remove_file(&trace);
+}

@@ -209,6 +209,8 @@ fn publish_capture(program: &Program, store: &TraceStore, cap_bytes: usize) {
         }
         TraceStore::Spilled(spilled) => {
             perfclone_obs::count!("trace.spills", 1);
+            // The spill file was just sealed (written, synced, renamed).
+            perfclone_obs::instant!("trace.spill.seal");
             let total = SPILL_BYTES_TOTAL.fetch_add(spilled.file_bytes(), Ordering::Relaxed)
                 + spilled.file_bytes();
             perfclone_obs::gauge!("trace.spill.bytes", total);
@@ -270,12 +272,20 @@ impl<K: Eq + Hash, V> Memo<K, V> {
             };
             map.entry(key).or_default().clone()
         };
-        slot.get_or_init(|| {
-            self.computes.fetch_add(1, Ordering::Relaxed);
-            self.g_computes.incr();
-            compute().map(Arc::new)
-        })
-        .clone()
+        let mut computed = false;
+        let result = slot
+            .get_or_init(|| {
+                computed = true;
+                self.computes.fetch_add(1, Ordering::Relaxed);
+                self.g_computes.incr();
+                compute().map(Arc::new)
+            })
+            .clone();
+        if !computed {
+            // Served from an already-filled slot: a cache hit.
+            perfclone_obs::instant!("cache.hit");
+        }
+        result
     }
 }
 

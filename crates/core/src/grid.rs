@@ -438,6 +438,7 @@ fn supervise_cell(
             Err(err) => {
                 if err.classify() == ErrorClass::Transient && attempt < policy.max_retries {
                     perfclone_obs::count!("grid.retries", 1);
+                    perfclone_obs::instant!("grid.cell.retry");
                     eprintln!(
                         "perfclone: cell {cell} failed transiently ({err}); \
                          retry {}/{}",
@@ -564,6 +565,8 @@ pub fn run_grid_with(
         // mean the spec changed underneath us mid-call.
         let Some((start, end)) = spec.shard_range(shard) else { continue };
         perfclone_obs::count!("grid.shards.skipped", 1);
+        // Resumed cells count as done so live progress/ETA covers them.
+        perfclone_obs::count!("grid.cells.done", rows.len() as u64);
         let quars: Vec<QuarantineRecord> =
             prior_quarantined.range(start..end).map(|(_, rec)| rec.clone()).collect();
         on_shard(ShardEvent { shard, start, end, resumed: true, rows, quarantined: &quars });
@@ -571,10 +574,14 @@ pub fn run_grid_with(
 
     let pending: Vec<u64> = (0..spec.shard_count()).filter(|s| !done.contains_key(s)).collect();
     let executed_shards = pending.len() as u64;
+    // Rayon workers start span-free; carry the sweep span's id across the
+    // pool so per-shard spans (and their trace events) nest under it.
+    let sweep_span = perfclone_obs::current();
     type ShardDone = (u64, Vec<CellRow>, Vec<QuarantineRecord>, u64);
     let fresh: Vec<Result<ShardDone, Error>> = pending
         .par_iter()
         .map(|&shard| {
+            let _shard_span = perfclone_obs::Span::child_of(sweep_span, "grid.shard");
             // In range by construction: shard < shard_count().
             let (start, end) = spec
                 .shard_range(shard)
@@ -591,6 +598,7 @@ pub fn run_grid_with(
                     // instead of re-deriving the same failure (delete the
                     // quarantine-*.json file to force a retry).
                     quars.push(prior.clone());
+                    perfclone_obs::count!("grid.cells.done", 1);
                     continue;
                 }
                 // In range by construction: cell < cells() ≤ axes.cells().
@@ -598,6 +606,7 @@ pub fn run_grid_with(
                     .axes
                     .config(cell)
                     .ok_or_else(|| Error::EmptyGrid { workload: spec.workload.clone() })?;
+                perfclone_obs::instant!("grid.cell.start");
                 match supervise_cell(
                     program,
                     trace.as_deref(),
@@ -610,6 +619,8 @@ pub fn run_grid_with(
                     Ok((timing, cell_retries)) => {
                         retries += cell_retries;
                         rows.push(CellRow::of(spec, cell, &timing));
+                        perfclone_obs::instant!("grid.cell.finish");
+                        perfclone_obs::count!("grid.cells.done", 1);
                     }
                     Err((err, attempts)) => {
                         retries += u64::from(attempts.saturating_sub(1));
@@ -627,6 +638,10 @@ pub fn run_grid_with(
                             journal.record_quarantine(&rec)
                         })?;
                         perfclone_obs::count!("grid.quarantined", 1);
+                        // Quarantined cells are processed work: count them
+                        // done so live progress/ETA still converges.
+                        perfclone_obs::count!("grid.cells.done", 1);
+                        perfclone_obs::instant!("grid.cell.quarantine");
                         eprintln!(
                             "perfclone: cell {cell} ({}) failed permanently ({err}); \
                              quarantined after {attempts} attempt(s)",

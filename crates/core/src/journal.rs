@@ -539,6 +539,7 @@ impl Journal {
         let rec = ShardRecord { spec_hash: self.spec_hash, shard, start, end, rows: rows.to_vec() };
         let path = self.dir.join(format!("shard-{shard:06}.json"));
         let text = serde_json::to_string(&rec).map_err(|e| corrupt(&path, e.to_string()))?;
+        perfclone_obs::instant!("journal.write.shard");
         write_atomic(&path, &text)
     }
 
@@ -558,6 +559,7 @@ impl Journal {
         };
         let path = Self::quarantine_path(&self.dir, rec.cell);
         let text = serde_json::to_string(&doc).map_err(|e| corrupt(&path, e.to_string()))?;
+        perfclone_obs::instant!("journal.write.quarantine");
         write_atomic(&path, &text)
     }
 

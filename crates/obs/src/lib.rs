@@ -55,12 +55,27 @@
 //! // inside each rayon closure:
 //! let _cell = Span::child_of(parent, "sweep.cell");
 //! ```
+//!
+//! ## Event tracing and live telemetry
+//!
+//! Beyond aggregates, the crate records individual events: span
+//! begin/end pairs and [`instant!`] markers land in per-thread lock-free
+//! ring buffers (see the `trace` module docs) and export as Chrome Trace
+//! Format JSON via [`chrome_trace`], loadable in Perfetto. Tracing is off
+//! by default; the CLI's `--trace-out FILE` flag enables it for one run.
+//! A [`Sampler`] thread turns the same registry into live JSONL
+//! heartbeats on stderr and a down-sampled [`Timeline`] for the
+//! [`RunReport`] v2 `timeline` section, with RSS self-sampled through
+//! [`rss`].
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 mod registry;
 mod report;
+pub mod rss;
+mod sample;
 mod span;
+mod trace;
 
 pub use registry::{
     counter, enabled, gauge, histogram, reset, set_enabled, snapshot, Counter, Gauge, Histogram,
@@ -68,9 +83,14 @@ pub use registry::{
 pub use report::{
     fmt_ns, CacheRates, CounterEntry, DegradedCoverage, GateAttribute, GaugeEntry, HistogramBucket,
     HistogramEntry, Metric, QuarantinedCell, RunReport, SpanEntry, StageSummary, SweepStats,
-    TelemetrySnapshot, REPORT_VERSION,
+    TelemetrySnapshot, Timeline, TimelinePoint, TraceSummary, REPORT_VERSION,
 };
+pub use sample::{Sampler, SamplerConfig};
 pub use span::{current, Span, SpanId};
+pub use trace::{
+    chrome_trace, set_trace_enabled, set_trace_ring_capacity, trace_enabled, trace_instant,
+    trace_stats, TraceStats,
+};
 
 /// Opens an RAII span: `let _s = span!("synth.gen");`. The span closes
 /// (and records) when the guard drops. Nested under the thread's current
@@ -105,6 +125,16 @@ macro_rules! gauge {
             ::std::sync::OnceLock::new();
         __HANDLE.get_or_init(|| $crate::gauge($name)).set(($v) as u64);
     }};
+}
+
+/// Records a thread-scoped instant event into the trace ring:
+/// `instant!("grid.cell.finish")`. Near-free while tracing is off (the
+/// default); see [`set_trace_enabled`] and the `--trace-out` CLI flag.
+#[macro_export]
+macro_rules! instant {
+    ($name:literal) => {
+        $crate::trace_instant($name)
+    };
 }
 
 /// Records a value into a named log2-bucketed histogram:

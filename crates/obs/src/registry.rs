@@ -238,6 +238,16 @@ pub fn set_enabled(on: bool) {
 /// instants (e.g. `lookups` observed before a racing `computes`
 /// increment). Between stages — where every report in this workspace is
 /// taken — all updates have completed and the snapshot is exact.
+///
+/// Two guarantees hold even mid-run, and the timeline
+/// [`Sampler`](crate::Sampler) depends on both: snapshotting never
+/// panics or blocks writers, and each *individual* counter is monotonic
+/// across successive snapshots (every `add` lands exactly once, so a
+/// later snapshot can only observe an equal or larger total). What a
+/// torn read can do is skew *relationships between* instruments — a
+/// derived quantity like `lookups − computes` may be transiently off by
+/// in-flight updates — which is why the sampler computes all derived
+/// values with saturating arithmetic and clamps its monotonic series.
 pub fn snapshot() -> TelemetrySnapshot {
     let r = registry();
     let counters = lock(&r.counters)
@@ -262,11 +272,12 @@ pub fn snapshot() -> TelemetrySnapshot {
     TelemetrySnapshot { counters, gauges, histograms, spans }
 }
 
-/// Zeroes every instrument and clears the span log. Registrations (and
-/// cached handles) stay valid. Intended for tests and for the CLI, which
-/// resets before a `--report` run so the report covers exactly one
-/// command.
+/// Zeroes every instrument, clears the span log, and rewinds the trace
+/// event rings. Registrations (and cached handles) stay valid. Intended
+/// for tests and for the CLI, which resets before a `--report` run so
+/// the report covers exactly one command.
 pub fn reset() {
+    crate::trace::trace_reset();
     let r = registry();
     for c in lock(&r.counters).values() {
         c.0.store(0, Ordering::Relaxed);
@@ -327,6 +338,42 @@ mod tests {
         assert_eq!(h.count(), 0);
         c.incr();
         assert_eq!(c.get(), 1);
+    }
+
+    #[test]
+    fn concurrent_snapshots_never_observe_a_counter_going_backwards() {
+        let _g = registry_lock();
+        reset();
+        let c = counter("test.torn.counter");
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    // Add before checking stop: even a writer first
+                    // scheduled after the reader finished lands at least
+                    // one increment, keeping the final assert meaningful.
+                    loop {
+                        c.add(3);
+                        if stop.load(Ordering::Relaxed) {
+                            break;
+                        }
+                    }
+                });
+            }
+            let mut prev = 0u64;
+            for _ in 0..2_000 {
+                let snap = snapshot();
+                let v = snap
+                    .counters
+                    .iter()
+                    .find(|e| e.name == "test.torn.counter")
+                    .map_or(0, |e| e.value);
+                assert!(v >= prev, "counter went backwards: {v} < {prev}");
+                prev = v;
+            }
+            stop.store(true, Ordering::Relaxed);
+        });
+        assert!(c.get() > 0);
     }
 
     #[test]

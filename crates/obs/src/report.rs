@@ -9,7 +9,12 @@ use serde::{Deserialize, Serialize};
 /// Version of the [`RunReport`] JSON schema. Bumped whenever a field is
 /// added, removed, or changes meaning; consumers should check it before
 /// interpreting the rest of the document.
-pub const REPORT_VERSION: u32 = 1;
+///
+/// v2 adds the optional [`RunReport::timeline`] and [`RunReport::trace`]
+/// sections. Every v1 field kept its name and meaning, so v1 readers can
+/// treat a v2 document as v1 plus ignorable extra keys, and this build
+/// still parses v1 documents (the new fields deserialize as absent).
+pub const REPORT_VERSION: u32 = 2;
 
 /// A named counter total.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -184,6 +189,61 @@ pub struct DegradedCoverage {
     pub quarantined: Vec<QuarantinedCell>,
 }
 
+/// One sample of the run's time-series telemetry, produced by the
+/// [`Sampler`](crate::Sampler) at a fixed cadence while a sweep runs.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TimelinePoint {
+    /// Milliseconds since the registry epoch.
+    pub t_ms: u64,
+    /// Grid cells completed so far (`grid.cells.done`, including cells
+    /// restored from the resume journal).
+    pub cells_done: u64,
+    /// Cells the sweep enumerates (`grid.cells` gauge; 0 outside sweeps).
+    pub cells_total: u64,
+    /// Instantaneous throughput since the previous point.
+    pub cells_per_s: f64,
+    /// Self-sampled resident set size in KiB (0 when procfs is absent).
+    pub rss_kib: u64,
+    /// Aggregate hit rate across every `cache.*` memo, in `[0, 1]`.
+    pub cache_hit_rate: f64,
+    /// Transient-failure retries so far (`grid.retries`).
+    pub retries: u64,
+    /// Cells quarantined so far (`grid.quarantined`).
+    pub quarantined: u64,
+}
+
+/// The down-sampled time-series a sampler accumulated over a run: the
+/// RunReport v2 `timeline` section.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Timeline {
+    /// Effective spacing between points in milliseconds (the base
+    /// sampling interval times the final down-sampling stride).
+    pub interval_ms: u64,
+    /// The thinned series, oldest first.
+    pub points: Vec<TimelinePoint>,
+}
+
+impl Timeline {
+    /// An empty timeline (no points recorded).
+    #[must_use]
+    pub fn empty() -> Timeline {
+        Timeline { interval_ms: 0, points: Vec::new() }
+    }
+}
+
+/// Event-trace accounting: the RunReport v2 `trace` section, present when
+/// the run recorded events for a `--trace-out` export.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceSummary {
+    /// Events written over the run (retained + dropped).
+    pub events: u64,
+    /// Events lost to per-thread ring wrap; 0 means the exported trace is
+    /// complete.
+    pub dropped: u64,
+    /// Threads that recorded at least one event.
+    pub threads: u64,
+}
+
 /// A named scalar result (bench errors, IPC deltas, miss rates).
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct Metric {
@@ -197,7 +257,9 @@ pub struct Metric {
 /// CLI writes for `--report out.json` and the bench binaries emit so both
 /// share one schema. Derived summaries (stages, cache rates) ride next to
 /// the raw snapshot so consumers can recompute anything.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+/// `Deserialize` is hand-written (not derived) so the v2-only optional
+/// fields parse as absent from v1 documents instead of erroring.
+#[derive(Clone, Debug, PartialEq, Serialize)]
 pub struct RunReport {
     /// Schema version; see [`REPORT_VERSION`].
     pub report_version: u32,
@@ -220,6 +282,12 @@ pub struct RunReport {
     pub degraded: Option<DegradedCoverage>,
     /// Free-form scalar results.
     pub metrics: Vec<Metric>,
+    /// Down-sampled time-series of throughput, RSS, and cache hit rates
+    /// (null when no sampler ran). Added in schema v2.
+    pub timeline: Option<Timeline>,
+    /// Event-trace accounting (null when tracing was off). Added in
+    /// schema v2.
+    pub trace: Option<TraceSummary>,
     /// Raw counter totals. Notable names: `cache.trace.lookups` /
     /// `cache.trace.computes` (packed-trace memo traffic, also surfaced in
     /// [`RunReport::caches`]), `trace.captures` / `trace.replays` (packed
@@ -247,6 +315,29 @@ pub struct RunReport {
     pub histograms: Vec<HistogramEntry>,
     /// Raw span log.
     pub spans: Vec<SpanEntry>,
+}
+
+impl serde::Deserialize for RunReport {
+    fn from_value(v: &serde::Value) -> Result<RunReport, serde::Error> {
+        Ok(RunReport {
+            report_version: serde::get_field(v, "report_version")?,
+            command: serde::get_field(v, "command")?,
+            workload: serde::get_field(v, "workload")?,
+            stages: serde::get_field(v, "stages")?,
+            caches: serde::get_field(v, "caches")?,
+            gate: serde::get_field(v, "gate")?,
+            sweep: serde::opt_field(v, "sweep")?,
+            degraded: serde::opt_field(v, "degraded")?,
+            metrics: serde::get_field(v, "metrics")?,
+            // v2 additions: absent from v1 documents, so optional lookups.
+            timeline: serde::opt_field(v, "timeline")?,
+            trace: serde::opt_field(v, "trace")?,
+            counters: serde::get_field(v, "counters")?,
+            gauges: serde::get_field(v, "gauges")?,
+            histograms: serde::get_field(v, "histograms")?,
+            spans: serde::get_field(v, "spans")?,
+        })
+    }
 }
 
 /// Derives [`StageSummary`] rows by aggregating spans that share a name.
@@ -302,6 +393,8 @@ impl RunReport {
             sweep: None,
             degraded: None,
             metrics: Vec::new(),
+            timeline: None,
+            trace: None,
             counters: snap.counters,
             gauges: snap.gauges,
             histograms: snap.histograms,
@@ -448,6 +541,25 @@ impl RunReport {
                 let _ = writeln!(out, "  … and {} more", deg.quarantined.len() - SHOWN);
             }
         }
+        if let Some(tl) = &self.timeline {
+            let peak_rss = tl.points.iter().map(|p| p.rss_kib).max().unwrap_or(0);
+            let peak_rate = tl.points.iter().map(|p| p.cells_per_s).fold(0.0f64, f64::max);
+            let _ = writeln!(
+                out,
+                "\ntimeline:\n  {} points every {} ms · peak {:.1} cells/s · peak rss {} KiB",
+                tl.points.len(),
+                tl.interval_ms,
+                peak_rate,
+                peak_rss,
+            );
+        }
+        if let Some(tr) = &self.trace {
+            let _ = writeln!(
+                out,
+                "\ntrace:\n  {} events across {} thread(s) · {} dropped to ring wrap",
+                tr.events, tr.threads, tr.dropped,
+            );
+        }
         let _ = writeln!(
             out,
             "\n{} counters · {} gauges · {} histograms · {} spans",
@@ -570,9 +682,45 @@ mod tests {
             }],
         });
         report.metrics.push(Metric { name: "gate.worst_delta".into(), value: 0.013 });
+        report.timeline = Some(Timeline {
+            interval_ms: 1000,
+            points: vec![TimelinePoint {
+                t_ms: 1000,
+                cells_done: 16,
+                cells_total: 32,
+                cells_per_s: 16.0,
+                rss_kib: 51200,
+                cache_hit_rate: 0.75,
+                retries: 1,
+                quarantined: 0,
+            }],
+        });
+        report.trace = Some(TraceSummary { events: 4096, dropped: 0, threads: 8 });
         let json = report.to_json().unwrap();
         let back = RunReport::from_json(&json).unwrap();
         assert_eq!(back, report);
+    }
+
+    #[test]
+    fn v1_documents_without_the_v2_sections_still_parse() {
+        let report = RunReport::from_snapshot("clone", "crc32", sample_snapshot());
+        let json = report.to_json().unwrap();
+        // Rewrite the document the way a v1 writer produced it: version 1
+        // and no timeline/trace keys at all.
+        let serde::Value::Obj(fields) = serde_json::from_str::<serde::Value>(&json).unwrap() else {
+            panic!("report is not a JSON object")
+        };
+        let v1_fields: Vec<(String, serde::Value)> = fields
+            .into_iter()
+            .filter(|(k, _)| k != "timeline" && k != "trace")
+            .map(|(k, v)| if k == "report_version" { (k, serde::Value::U64(1)) } else { (k, v) })
+            .collect();
+        let v1_json = serde_json::to_string(&serde::Value::Obj(v1_fields)).unwrap();
+        let back = RunReport::from_json(&v1_json).unwrap();
+        assert_eq!(back.report_version, 1);
+        assert_eq!(back.timeline, None);
+        assert_eq!(back.trace, None);
+        assert_eq!(back.stages, report.stages);
     }
 
     #[test]
@@ -588,7 +736,7 @@ mod tests {
     fn render_mentions_the_major_sections() {
         let report = RunReport::from_snapshot("clone", "crc32", sample_snapshot());
         let text = report.render();
-        assert!(text.contains("run report v1"));
+        assert!(text.contains("run report v2"));
         assert!(text.contains("stages:"));
         assert!(text.contains("profile.collect"));
         assert!(text.contains("caches:"));

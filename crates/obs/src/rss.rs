@@ -1,0 +1,54 @@
+//! Self-sampled process memory from `/proc/self/status`, so sweeps and
+//! benches can report current and peak RSS without external tooling
+//! (`/usr/bin/time`, cgroup accounting, ...).
+//!
+//! Both readings are `None` on platforms without procfs; callers treat a
+//! missing reading as "unknown", never as zero.
+
+/// Current resident set size in KiB (`VmRSS`), or `None` if procfs is
+/// unavailable.
+pub fn current_rss_kib() -> Option<u64> {
+    status_field("VmRSS:")
+}
+
+/// Peak resident set size in KiB (`VmHWM` — the high-water mark over the
+/// process lifetime), or `None` if procfs is unavailable.
+pub fn peak_rss_kib() -> Option<u64> {
+    status_field("VmHWM:")
+}
+
+/// Parses one `Key:   <n> kB` line out of `/proc/self/status`.
+fn status_field(key: &str) -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    parse_status_field(&status, key)
+}
+
+fn parse_status_field(status: &str, key: &str) -> Option<u64> {
+    let rest = status.lines().find_map(|line| line.strip_prefix(key))?;
+    rest.trim().trim_end_matches("kB").trim().parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_proc_status_lines() {
+        let status = "Name:\tperfclone\nVmHWM:\t  204800 kB\nVmRSS:\t   51200 kB\n";
+        assert_eq!(parse_status_field(status, "VmRSS:"), Some(51200));
+        assert_eq!(parse_status_field(status, "VmHWM:"), Some(204800));
+        assert_eq!(parse_status_field(status, "VmPMD:"), None);
+        assert_eq!(parse_status_field("VmRSS: not-a-number kB\n", "VmRSS:"), None);
+    }
+
+    #[test]
+    fn live_readings_are_sane_on_linux() {
+        if !cfg!(target_os = "linux") {
+            return;
+        }
+        let rss = current_rss_kib().expect("procfs available on linux");
+        let peak = peak_rss_kib().expect("procfs available on linux");
+        assert!(rss > 0);
+        assert!(peak >= rss / 2, "peak {peak} KiB should not be far below current {rss} KiB");
+    }
+}

@@ -1,0 +1,348 @@
+//! The timeline sampler: a background thread that periodically reads the
+//! registry (via [`snapshot()`](crate::snapshot) — see its torn-read
+//! contract), self-samples RSS, and produces both live JSONL heartbeat
+//! records on stderr and a down-sampled [`Timeline`] for the RunReport v2
+//! `timeline` section.
+//!
+//! ## Torn reads and monotonicity
+//!
+//! The sampler runs *while stages are running*, which is exactly the
+//! regime where [`snapshot()`](crate::snapshot) may return values mixed
+//! from slightly different instants. That is safe here by construction:
+//! every rate and remainder is computed with saturating arithmetic, and
+//! monotonic quantities (`cells_done`, `retries`, `quarantined`) are
+//! clamped to never move backwards across successive points, so a torn
+//! read can at worst delay an increment to the next tick — it can never
+//! panic, divide by zero, or produce a decreasing series.
+//!
+//! ## Down-sampling
+//!
+//! The timeline is bounded: when the point buffer reaches
+//! [`SamplerConfig::max_points`], every other point is discarded and the
+//! recording stride doubles, so an arbitrarily long sweep yields a
+//! bounded, evenly thinned series whose effective interval is reported in
+//! [`Timeline::interval_ms`]. Heartbeats keep firing at the base interval
+//! regardless of the recording stride.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::report::{TelemetrySnapshot, Timeline, TimelinePoint};
+
+/// How the sampler thread runs.
+#[derive(Clone, Copy, Debug)]
+pub struct SamplerConfig {
+    /// Base sampling interval (also the heartbeat cadence).
+    pub interval: Duration,
+    /// Emit one JSONL heartbeat record to **stderr** per tick. Stdout is
+    /// never touched — it stays reserved for result rows.
+    pub emit_heartbeats: bool,
+    /// Timeline length bound; reaching it halves the series and doubles
+    /// the recording stride.
+    pub max_points: usize,
+}
+
+impl Default for SamplerConfig {
+    fn default() -> SamplerConfig {
+        SamplerConfig {
+            interval: Duration::from_millis(1000),
+            emit_heartbeats: false,
+            max_points: 256,
+        }
+    }
+}
+
+/// Handle to a running sampler thread; [`Sampler::stop`] joins it and
+/// returns the accumulated [`Timeline`].
+#[derive(Debug)]
+pub struct Sampler {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<Timeline>>,
+}
+
+impl Sampler {
+    /// Spawns the sampler thread. If the thread cannot be spawned the
+    /// sampler is inert and [`Sampler::stop`] returns an empty timeline.
+    pub fn start(config: SamplerConfig) -> Sampler {
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("obs-sampler".to_string())
+            .spawn(move || run(config, &thread_stop))
+            .ok();
+        Sampler { stop, handle }
+    }
+
+    /// Signals the thread, takes one final sample, joins, and returns the
+    /// timeline.
+    pub fn stop(mut self) -> Timeline {
+        self.stop.store(true, Ordering::Relaxed);
+        match self.handle.take() {
+            Some(h) => h.join().unwrap_or_else(|_| Timeline::empty()),
+            None => Timeline::empty(),
+        }
+    }
+}
+
+impl Drop for Sampler {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Everything carried tick-to-tick to rate and clamp the series.
+struct TickState {
+    prev: Option<TimelinePoint>,
+    prev_wall: Instant,
+}
+
+fn run(config: SamplerConfig, stop: &AtomicBool) -> Timeline {
+    let base_interval = config.interval.max(Duration::from_millis(1));
+    let max_points = config.max_points.max(2);
+    let mut points: Vec<TimelinePoint> = Vec::new();
+    let mut stride: u64 = 1;
+    let mut tick: u64 = 0;
+    let mut state = TickState { prev: None, prev_wall: Instant::now() };
+    let mut last_tick = Instant::now();
+    loop {
+        let stopping = stop.load(Ordering::Relaxed);
+        if stopping || last_tick.elapsed() >= base_interval {
+            last_tick = Instant::now();
+            let (point, eta_s) = sample(&mut state);
+            if config.emit_heartbeats {
+                eprintln!("{}", heartbeat_line(&point, eta_s));
+            }
+            if stopping || tick.is_multiple_of(stride) {
+                points.push(point);
+                if points.len() >= max_points {
+                    decimate(&mut points);
+                    stride = stride.saturating_mul(2);
+                }
+            }
+            tick += 1;
+        }
+        if stopping {
+            break;
+        }
+        // Sleep in short slices so stop() returns promptly even with a
+        // long heartbeat interval.
+        let remaining = base_interval.saturating_sub(last_tick.elapsed());
+        std::thread::sleep(remaining.min(Duration::from_millis(20)));
+    }
+    let interval_ms =
+        u64::try_from(base_interval.as_millis()).unwrap_or(u64::MAX).saturating_mul(stride);
+    Timeline { interval_ms, points }
+}
+
+/// Drops every other point, oldest-first, keeping the series evenly
+/// thinned.
+fn decimate(points: &mut Vec<TimelinePoint>) {
+    let mut keep = false;
+    points.retain(|_| {
+        keep = !keep;
+        keep
+    });
+}
+
+/// Takes one sample. Returns the timeline point plus the ETA (`None`
+/// until a rate is observable) for the heartbeat record.
+fn sample(state: &mut TickState) -> (TimelinePoint, Option<f64>) {
+    let snap = crate::snapshot();
+    let now = Instant::now();
+    let raw = point_from_snapshot(&snap);
+    let dt_s = now.duration_since(state.prev_wall).as_secs_f64();
+    let point = clamp_and_rate(raw, state.prev.as_ref(), dt_s);
+    let eta_s = eta_seconds(&point);
+    state.prev_wall = now;
+    state.prev = Some(point.clone());
+    (point, eta_s)
+}
+
+/// Builds the raw (unclamped, rate-free) point from a snapshot plus a
+/// fresh RSS reading.
+fn point_from_snapshot(snap: &TelemetrySnapshot) -> TimelinePoint {
+    let counter = |name: &str| snap.counters.iter().find(|c| c.name == name).map_or(0, |c| c.value);
+    let gauge = |name: &str| snap.gauges.iter().find(|g| g.name == name).map_or(0, |g| g.value);
+    let (mut lookups, mut computes) = (0u64, 0u64);
+    for c in &snap.counters {
+        if let Some(stem) = c.name.strip_prefix("cache.") {
+            if stem.ends_with(".lookups") {
+                lookups = lookups.saturating_add(c.value);
+            } else if stem.ends_with(".computes") {
+                computes = computes.saturating_add(c.value);
+            }
+        }
+    }
+    // A torn read can observe `computes` ahead of `lookups`; saturate so
+    // the hit rate stays in [0, 1].
+    let hits = lookups.saturating_sub(computes);
+    let cache_hit_rate = if lookups == 0 { 0.0 } else { hits as f64 / lookups as f64 };
+    TimelinePoint {
+        t_ms: crate::registry::registry().elapsed_ns() / 1_000_000,
+        cells_done: counter("grid.cells.done"),
+        cells_total: gauge("grid.cells"),
+        cells_per_s: 0.0,
+        rss_kib: crate::rss::current_rss_kib().unwrap_or(0),
+        cache_hit_rate,
+        retries: counter("grid.retries"),
+        quarantined: counter("grid.quarantined"),
+    }
+}
+
+/// Clamps monotonic series against the previous point and computes the
+/// instantaneous throughput from the wall-clock delta.
+fn clamp_and_rate(mut p: TimelinePoint, prev: Option<&TimelinePoint>, dt_s: f64) -> TimelinePoint {
+    if let Some(prev) = prev {
+        p.t_ms = p.t_ms.max(prev.t_ms);
+        p.cells_done = p.cells_done.max(prev.cells_done);
+        p.cells_total = p.cells_total.max(prev.cells_total);
+        p.retries = p.retries.max(prev.retries);
+        p.quarantined = p.quarantined.max(prev.quarantined);
+        if dt_s > 0.0 {
+            let delta = p.cells_done.saturating_sub(prev.cells_done);
+            p.cells_per_s = delta as f64 / dt_s;
+        }
+    }
+    if !p.cells_per_s.is_finite() {
+        p.cells_per_s = 0.0;
+    }
+    p
+}
+
+/// Remaining cells over the current rate; `None` while the rate is zero
+/// (no progress observed yet) or the total is unknown.
+fn eta_seconds(p: &TimelinePoint) -> Option<f64> {
+    let remaining = p.cells_total.checked_sub(p.cells_done)?;
+    if p.cells_per_s <= 0.0 || p.cells_total == 0 {
+        return None;
+    }
+    Some(remaining as f64 / p.cells_per_s)
+}
+
+/// One heartbeat as a single-line JSON record. Hand-formatted from
+/// already-validated finite numbers so the line is always valid JSON.
+fn heartbeat_line(p: &TimelinePoint, eta_s: Option<f64>) -> String {
+    let eta = eta_s.map_or("null".to_string(), |e| format!("{e:.1}"));
+    format!(
+        concat!(
+            "{{\"type\":\"heartbeat\",\"t_ms\":{},\"cells_done\":{},\"cells_total\":{},",
+            "\"cells_per_s\":{:.2},\"eta_s\":{},\"retries\":{},\"quarantined\":{},",
+            "\"rss_kib\":{},\"cache_hit_rate\":{:.4}}}"
+        ),
+        p.t_ms,
+        p.cells_done,
+        p.cells_total,
+        p.cells_per_s,
+        eta,
+        p.retries,
+        p.quarantined,
+        p.rss_kib,
+        p.cache_hit_rate,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests::registry_lock;
+
+    #[test]
+    fn sampler_tolerates_concurrent_updates_and_never_goes_backwards() {
+        let _g = registry_lock();
+        crate::reset();
+        crate::gauge("grid.cells").set(100_000);
+        let sampler = Sampler::start(SamplerConfig {
+            interval: Duration::from_millis(1),
+            emit_heartbeats: false,
+            max_points: 1024,
+        });
+        let done = crate::counter("grid.cells.done");
+        let retries = crate::counter("grid.retries");
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..20_000 {
+                        done.incr();
+                        retries.incr();
+                    }
+                });
+            }
+        });
+        std::thread::sleep(Duration::from_millis(10));
+        let timeline = sampler.stop();
+        assert!(!timeline.points.is_empty());
+        for pair in timeline.points.windows(2) {
+            assert!(pair[1].t_ms >= pair[0].t_ms, "t_ms went backwards");
+            assert!(pair[1].cells_done >= pair[0].cells_done, "cells_done went backwards");
+            assert!(pair[1].retries >= pair[0].retries, "retries went backwards");
+        }
+        let last = timeline.points.last().unwrap();
+        assert_eq!(last.cells_done, 80_000, "final sample sees the quiesced total");
+        assert!(last.cells_per_s.is_finite());
+    }
+
+    #[test]
+    fn timeline_is_down_sampled_to_the_point_bound() {
+        let _g = registry_lock();
+        crate::reset();
+        let sampler = Sampler::start(SamplerConfig {
+            interval: Duration::from_millis(1),
+            emit_heartbeats: false,
+            max_points: 8,
+        });
+        std::thread::sleep(Duration::from_millis(60));
+        let timeline = sampler.stop();
+        assert!(timeline.points.len() <= 8, "got {} points", timeline.points.len());
+        assert!(timeline.interval_ms >= 2, "stride doubled at least once");
+    }
+
+    #[test]
+    fn heartbeat_lines_are_valid_json() {
+        let p = TimelinePoint {
+            t_ms: 1500,
+            cells_done: 40,
+            cells_total: 100,
+            cells_per_s: 12.5,
+            rss_kib: 51200,
+            cache_hit_rate: 0.75,
+            retries: 1,
+            quarantined: 0,
+        };
+        for eta in [Some(4.8), None] {
+            let line = heartbeat_line(&p, eta);
+            let v: serde::Value = serde_json::from_str(&line).unwrap();
+            let serde::Value::Obj(fields) = v else { panic!("heartbeat not an object") };
+            assert!(
+                fields
+                    .iter()
+                    .any(|(k, v)| k == "type"
+                        && matches!(v, serde::Value::Str(s) if s == "heartbeat"))
+            );
+            assert!(fields.iter().any(|(k, _)| k == "eta_s"));
+        }
+    }
+
+    #[test]
+    fn eta_needs_progress_and_a_total() {
+        let mut p = TimelinePoint {
+            t_ms: 0,
+            cells_done: 10,
+            cells_total: 0,
+            cells_per_s: 5.0,
+            rss_kib: 0,
+            cache_hit_rate: 0.0,
+            retries: 0,
+            quarantined: 0,
+        };
+        assert_eq!(eta_seconds(&p), None, "done > total: no ETA");
+        p.cells_total = 100;
+        assert_eq!(eta_seconds(&p), Some(18.0));
+        p.cells_per_s = 0.0;
+        assert_eq!(eta_seconds(&p), None, "no observed rate: no ETA");
+    }
+}

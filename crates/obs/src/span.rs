@@ -83,7 +83,9 @@ impl Span {
         let r = registry();
         let id = r.next_span_id();
         let prev_current = CURRENT.with(|c| c.replace(id));
-        Span { id, parent, name, start_ns: r.elapsed_ns(), prev_current }
+        let start_ns = r.elapsed_ns();
+        crate::trace::span_begin(name, id, parent, start_ns);
+        Span { id, parent, name, start_ns, prev_current }
     }
 
     /// This span's id, for parenting child spans on other threads.
@@ -108,6 +110,7 @@ impl Drop for Span {
             return;
         }
         CURRENT.with(|c| c.set(self.prev_current));
+        crate::trace::span_end(self.name, self.id, self.parent);
         let r = registry();
         let duration_ns = r.elapsed_ns().saturating_sub(self.start_ns);
         r.push_span(SpanRecord {

@@ -88,6 +88,39 @@ pub fn get_field<T: Deserialize>(v: &Value, name: &str) -> Result<T, Error> {
     }
 }
 
+/// Looks up an *optional* struct field in an object value: a missing
+/// field and an explicit `null` both deserialize to `None`. Hand-written
+/// `Deserialize` impls use this to add fields to a versioned schema
+/// without breaking documents written before the field existed.
+///
+/// # Errors
+///
+/// Errors when `v` is not an object or when a present, non-null field's
+/// own deserialization fails.
+pub fn opt_field<T: Deserialize>(v: &Value, name: &str) -> Result<Option<T>, Error> {
+    match v {
+        Value::Obj(fields) => match fields.iter().find(|(k, _)| k == name) {
+            None | Some((_, Value::Null)) => Ok(None),
+            Some((_, fv)) => {
+                T::from_value(fv).map(Some).map_err(|e| Error::msg(format!("field {name:?}: {e}")))
+            }
+        },
+        other => Err(Error::msg(format!("expected object with field {name:?}, got {other:?}"))),
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Value, Error> {
+        Ok(v.clone())
+    }
+}
+
 macro_rules! ser_de_uint {
     ($($t:ty),*) => {$(
         impl Serialize for $t {

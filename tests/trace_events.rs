@@ -1,0 +1,182 @@
+//! Well-formedness of the Chrome Trace Format export under real parallel
+//! work: the same cache sweep that drives the telemetry tests runs on
+//! 1/4/8-thread rayon pools with tracing on, and the exported JSON must
+//! be valid, balanced (`B`/`E` pairs match per tid), and per-thread
+//! monotonic — the properties Perfetto's importer needs to render spans
+//! instead of rejecting the file. A separate test checks that ring wrap
+//! reports an exact dropped-event count rather than silently truncating.
+
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use perfclone::cache_sweep;
+use perfclone_kernels::{by_name, Scale};
+use perfclone_uarch::sweep_trace_par;
+use proptest::prelude::*;
+use serde::Value;
+
+/// Tracing state (rings, enable switch, ring capacity) is process-global,
+/// so tests in this binary serialize on one lock.
+fn registry_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    match LOCK.get_or_init(|| Mutex::new(())).lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Looks up a key in an `Obj` value.
+fn field<'v>(v: &'v Value, key: &str) -> Option<&'v Value> {
+    match v {
+        Value::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, fv)| fv),
+        _ => None,
+    }
+}
+
+fn str_field<'v>(v: &'v Value, key: &str) -> Option<&'v str> {
+    match field(v, key) {
+        Some(Value::Str(s)) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+fn num_field(v: &Value, key: &str) -> Option<f64> {
+    match field(v, key) {
+        Some(Value::U64(n)) => Some(*n as f64),
+        Some(Value::I64(n)) => Some(*n as f64),
+        Some(Value::F64(n)) => Some(*n),
+        _ => None,
+    }
+}
+
+/// Runs the 28-config cache sweep on a `jobs`-thread pool with tracing on
+/// and returns the exported Chrome trace.
+fn traced_sweep(jobs: usize) -> String {
+    perfclone_obs::reset();
+    perfclone_obs::set_trace_enabled(true);
+    let program = by_name("crc32").expect("kernel").build(Scale::Tiny).program;
+    let trace = perfclone::AddressTrace::extract(&program, 60_000);
+    let pool = rayon::ThreadPoolBuilder::new().num_threads(jobs).build().expect("pool");
+    pool.install(|| {
+        let _ = sweep_trace_par(&trace, &cache_sweep());
+    });
+    perfclone_obs::set_trace_enabled(false);
+    perfclone_obs::chrome_trace()
+}
+
+/// Parses a Chrome trace document into its event array.
+fn parse_events(json: &str) -> Vec<Value> {
+    let doc: Value = serde_json::from_str(json).expect("trace export is valid JSON");
+    match field(&doc, "traceEvents") {
+        Some(Value::Arr(events)) => events.clone(),
+        other => panic!("traceEvents must be an array, got {other:?}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// Across pool widths, the export is valid JSON whose per-tid streams
+    /// are balanced (every `E` has a preceding `B`, every `B` is closed)
+    /// and per-tid timestamps never run backwards. The non-meta event
+    /// count also reconciles exactly with [`perfclone_obs::trace_stats`]
+    /// when nothing wrapped.
+    #[test]
+    fn export_is_balanced_and_monotonic_at_any_pool_width(
+        jobs in prop_oneof![Just(1usize), Just(4), Just(8)],
+    ) {
+        let _g = registry_lock();
+        let json = traced_sweep(jobs);
+        let stats = perfclone_obs::trace_stats();
+        let events = parse_events(&json);
+
+        let mut depth: std::collections::HashMap<u64, i64> = std::collections::HashMap::new();
+        let mut last_ts: std::collections::HashMap<u64, f64> = std::collections::HashMap::new();
+        let mut recorded = 0u64;
+        let mut pass_id = None;
+        let mut group_parents = Vec::new();
+        for ev in &events {
+            let ph = str_field(ev, "ph").expect("event has ph");
+            if ph == "M" {
+                continue; // metadata carries no timestamp
+            }
+            recorded += 1;
+            let tid = match field(ev, "tid") {
+                Some(Value::U64(t)) => *t,
+                other => panic!("tid must be an integer, got {other:?}"),
+            };
+            let ts = num_field(ev, "ts").expect("event has ts");
+            let prev = last_ts.entry(tid).or_insert(0.0);
+            prop_assert!(ts >= *prev, "tid {} time ran backwards: {} after {}", tid, ts, *prev);
+            *prev = ts;
+            match ph {
+                "B" => {
+                    *depth.entry(tid).or_insert(0) += 1;
+                    if str_field(ev, "name") == Some("sweep.pass") {
+                        pass_id = field(ev, "args").and_then(|a| num_field(a, "id"));
+                    }
+                    if str_field(ev, "name") == Some("sweep.group") {
+                        group_parents
+                            .push(field(ev, "args").and_then(|a| num_field(a, "parent")));
+                    }
+                }
+                "E" => {
+                    let d = depth.entry(tid).or_insert(0);
+                    *d -= 1;
+                    prop_assert!(*d >= 0, "tid {tid} closed a span it never opened");
+                }
+                "i" => {}
+                other => prop_assert!(false, "unexpected phase {other:?}"),
+            }
+        }
+        for (tid, d) in &depth {
+            prop_assert_eq!(*d, 0, "tid {} left {} span(s) open in the export", tid, d);
+        }
+
+        // Parent edges survive the pool hop: every sweep.group B names the
+        // driving sweep.pass span as its parent.
+        let pass_id = pass_id.expect("sweep.pass span in trace");
+        prop_assert!(!group_parents.is_empty(), "sweep.group spans in trace");
+        for parent in &group_parents {
+            prop_assert_eq!(*parent, Some(pass_id));
+        }
+
+        // Nothing wrapped at the default ring size, so the export holds
+        // exactly the events the rings accounted for.
+        prop_assert_eq!(stats.dropped, 0);
+        prop_assert_eq!(recorded, stats.events);
+    }
+}
+
+/// Overflowing a deliberately tiny ring drops the *oldest* events and
+/// reports exactly how many: 20 written at capacity 8 ⇒ 12 dropped, and
+/// the export retains the newest 8.
+#[test]
+fn ring_wrap_reports_an_accurate_dropped_count() {
+    let _g = registry_lock();
+    perfclone_obs::reset();
+    perfclone_obs::set_trace_ring_capacity(8);
+    perfclone_obs::set_trace_enabled(true);
+    // A fresh thread gets a fresh ring at the shrunken capacity (existing
+    // rings keep their size).
+    std::thread::spawn(|| {
+        for _ in 0..20 {
+            perfclone_obs::trace_instant("test.wrap.instant");
+        }
+    })
+    .join()
+    .expect("writer thread");
+    perfclone_obs::set_trace_enabled(false);
+    perfclone_obs::set_trace_ring_capacity(1 << 14);
+
+    let stats = perfclone_obs::trace_stats();
+    assert_eq!(stats.events, 20, "every write counted, retained or not");
+    assert_eq!(stats.dropped, 12, "20 written into 8 slots drops exactly 12");
+    assert_eq!(stats.threads, 1);
+
+    let instants = parse_events(&perfclone_obs::chrome_trace())
+        .iter()
+        .filter(|ev| str_field(ev, "ph") == Some("i"))
+        .filter(|ev| str_field(ev, "name") == Some("test.wrap.instant"))
+        .count();
+    assert_eq!(instants, 8, "export retains exactly the ring capacity");
+}
