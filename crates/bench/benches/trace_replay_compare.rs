@@ -8,43 +8,19 @@
 //! speedup replay delivers, plus the stream-regeneration microcosts
 //! (interpret vs replay) that drive it.
 
+use std::path::Path;
 use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use perfclone::{
-    base_config, design_changes, run_timing, run_timing_replay, MachineConfig, PackedTrace,
-    TimingResult,
+use perfclone::{run_timing, run_timing_replay, MachineConfig, PackedTrace, TimingResult};
+use perfclone_bench::{
+    design_sweep_configs, experiment_params, prepare, scale_from_env, scale_label,
 };
-use perfclone_bench::{experiment_params, prepare, scale_from_env};
 use perfclone_isa::Program;
 use perfclone_kernels::by_name;
+use perfclone_obs::rss::peak_rss_kib;
 
 const KERNEL: &str = "susan";
-
-/// The sweep's configuration set: base, the five Table-3 design changes,
-/// and six further single-parameter variants — 12 configurations, the
-/// shape of a real design-space exploration.
-fn sweep_configs() -> Vec<MachineConfig> {
-    let base = base_config();
-    let mut configs = vec![base];
-    configs.extend(design_changes());
-    configs.extend([
-        MachineConfig { name: "4x-window", rob_size: 64, lsq_size: 32, ..base },
-        MachineConfig { name: "slow-mem", mem_latency: 80, ..base },
-        MachineConfig { name: "wide-bus", mem_bus_bytes: 16, ..base },
-        MachineConfig { name: "2-mem-ports", mem_ports: 2, ..base },
-        MachineConfig {
-            name: "3x-width",
-            fetch_width: 3,
-            decode_width: 3,
-            issue_width: 3,
-            commit_width: 3,
-            ..base
-        },
-        MachineConfig { name: "fast-l2", l2_latency: 2, ..base },
-    ]);
-    configs
-}
 
 /// The oracle: one functional execution per (program × config) cell.
 fn sweep_interpret(programs: &[&Program], configs: &[MachineConfig]) -> Vec<TimingResult> {
@@ -70,9 +46,10 @@ fn sweep_replay(programs: &[&Program], configs: &[MachineConfig]) -> Vec<TimingR
 
 fn bench_replay_vs_interpret(c: &mut Criterion) {
     let kernel = by_name(KERNEL).expect("kernel exists");
-    let bench = prepare(kernel, scale_from_env(), &experiment_params);
+    let scale = scale_from_env();
+    let bench = prepare(kernel, scale, &experiment_params);
     let programs = [&bench.program, &bench.clone];
-    let configs = sweep_configs();
+    let configs = design_sweep_configs();
 
     // Correctness gate first: every cell's PipelineReport and PowerReport
     // must be bit-identical between the two paths.
@@ -147,6 +124,28 @@ fn bench_replay_vs_interpret(c: &mut Criterion) {
          speedup {:.2}x  (pipeline-model-bound)",
         interp_s / replay_s,
     );
+
+    // Trajectory record: the replay-path wall clock and memory footprint
+    // for the 12-configuration sweep, checked in per PR and regression-
+    // gated in CI (same scheme as `BENCH_grid.json`). Hand-rolled JSON
+    // keeps the bench crate dependency-free.
+    let rss_kib = peak_rss_kib().unwrap_or(0);
+    let json = format!(
+        "{{\n  \"bench\": \"trace_replay_compare\",\n  \"workload\": \"{KERNEL}\",\n  \
+         \"scale\": \"{}\",\n  \"configs\": {n},\n  \"cells\": {},\n  \
+         \"interpret_s\": {interp_s:.3},\n  \"elapsed_s\": {replay_s:.3},\n  \
+         \"sweep_speedup\": {:.2},\n  \"supply_speedup\": {:.1},\n  \
+         \"peak_rss_kib\": {rss_kib}\n}}\n",
+        scale_label(scale),
+        2 * n,
+        interp_s / replay_s,
+        supply_interp_s / supply_replay_s,
+    );
+    let dest = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_replay.json");
+    match std::fs::write(&dest, &json) {
+        Ok(()) => println!("bench record -> {}", dest.display()),
+        Err(e) => eprintln!("perfclone-bench: cannot write {}: {e}", dest.display()),
+    }
 }
 
 criterion_group! {

@@ -84,6 +84,39 @@ pub fn kernels_from_env() -> Vec<&'static Kernel> {
     }
 }
 
+/// The replay benches' shared configuration set: base, the five Table-3
+/// design changes, and six further single-parameter variants — 12
+/// configurations, the shape of a real design-space exploration.
+pub fn design_sweep_configs() -> Vec<MachineConfig> {
+    let base = perfclone::base_config();
+    let mut configs = vec![base];
+    configs.extend(perfclone::design_changes());
+    configs.extend([
+        MachineConfig { name: "4x-window", rob_size: 64, lsq_size: 32, ..base },
+        MachineConfig { name: "slow-mem", mem_latency: 80, ..base },
+        MachineConfig { name: "wide-bus", mem_bus_bytes: 16, ..base },
+        MachineConfig { name: "2-mem-ports", mem_ports: 2, ..base },
+        MachineConfig {
+            name: "3x-width",
+            fetch_width: 3,
+            decode_width: 3,
+            issue_width: 3,
+            commit_width: 3,
+            ..base
+        },
+        MachineConfig { name: "fast-l2", l2_latency: 2, ..base },
+    ]);
+    configs
+}
+
+/// The scale's lowercase label, for bench records and reports.
+pub fn scale_label(scale: Scale) -> &'static str {
+    match scale {
+        Scale::Tiny => "tiny",
+        Scale::Small => "small",
+    }
+}
+
 /// Synthesis parameters used by the experiments: clone dynamic length
 /// matched to the original's.
 pub fn experiment_params(profile_len: u64) -> SynthesisParams {

@@ -26,7 +26,7 @@ use std::sync::{Arc, Mutex, OnceLock};
 
 use std::path::PathBuf;
 
-use perfclone_isa::Program;
+use perfclone_isa::{InstrMetaTable, Program};
 use perfclone_profile::{profile_program, WorkloadProfile};
 use perfclone_sim::{DynInstr, PackedRecorder, Simulator, SpillingRecorder, TraceStore};
 use perfclone_statsim::{synth_trace, TraceParams};
@@ -352,6 +352,15 @@ struct PackedKey {
     limit: u64,
 }
 
+/// Keyed by workload *and* program length: the table is pc-indexed, so a
+/// caller that reuses a workload name for a re-synthesized program of a
+/// different length must not be served the stale table.
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct MetaKey {
+    workload: String,
+    program_len: usize,
+}
+
 /// Hit/compute counters of a [`WorkloadCache`], for observability and
 /// tests.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -378,6 +387,10 @@ pub struct WorkloadCacheStats {
     /// count too: the outcome — including the fallback signal — is
     /// memoized).
     pub packed_trace_computes: u64,
+    /// Interned per-pc instruction-metadata table lookups served.
+    pub meta_lookups: u64,
+    /// Metadata tables actually built.
+    pub meta_computes: u64,
 }
 
 /// Memoizes the per-workload artifacts a sweep re-uses across cells: the
@@ -395,6 +408,7 @@ pub struct WorkloadCache {
     traces: Memo<TraceKey, Vec<DynInstr>>,
     addr_traces: Memo<AddrTraceKey, AddressTrace>,
     packed_traces: Memo<PackedKey, TraceStore>,
+    metas: Memo<MetaKey, InstrMetaTable>,
 }
 
 impl Default for WorkloadCache {
@@ -405,6 +419,7 @@ impl Default for WorkloadCache {
             traces: Memo::new("statsim"),
             addr_traces: Memo::new("addr_trace"),
             packed_traces: Memo::new("trace"),
+            metas: Memo::new("meta"),
         }
     }
 }
@@ -544,6 +559,19 @@ impl WorkloadCache {
         self.packed_traces.get_or_compute(key, || capture_packed(program, limit, cap_bytes))
     }
 
+    /// The interned per-pc [`InstrMetaTable`] of `program` — the flat
+    /// static-resolution table the batched replay front end indexes per
+    /// retired record — built on first request and shared across every
+    /// cell (and rayon worker) replaying this workload.
+    pub fn instr_meta(&self, workload: &str, program: &Program) -> Arc<InstrMetaTable> {
+        let key = MetaKey { workload: workload.to_string(), program_len: program.len() };
+        self.metas
+            .get_or_compute(key, || Ok(InstrMetaTable::new(program)))
+            // Interning is infallible, so the Err arm is unreachable;
+            // recomputing (uncached) keeps this API infallible too.
+            .unwrap_or_else(|_| Arc::new(InstrMetaTable::new(program)))
+    }
+
     /// A point-in-time copy of all lookup/compute counters, read once
     /// each with `Ordering::Relaxed`.
     ///
@@ -568,6 +596,8 @@ impl WorkloadCache {
             addr_trace_computes: self.addr_traces.computes.load(Ordering::Relaxed),
             packed_trace_lookups: self.packed_traces.lookups.load(Ordering::Relaxed),
             packed_trace_computes: self.packed_traces.computes.load(Ordering::Relaxed),
+            meta_lookups: self.metas.lookups.load(Ordering::Relaxed),
+            meta_computes: self.metas.computes.load(Ordering::Relaxed),
         }
     }
 }

@@ -46,7 +46,7 @@ use std::path::Path;
 use std::sync::OnceLock;
 use std::time::Duration;
 
-use perfclone_isa::Program;
+use perfclone_isa::{InstrMetaTable, Program};
 use perfclone_sim::TraceStore;
 use perfclone_uarch::{GridAxes, MachineConfig};
 use perfclone_validate::derive_cell_seed;
@@ -57,8 +57,8 @@ use crate::cache::WorkloadCache;
 use crate::error::ErrorClass;
 use crate::journal::{Journal, JournalError, QuarantineRecord};
 use crate::{
-    run_timing, run_timing_budgeted, run_timing_store, run_timing_store_budgeted, Error,
-    TimingResult,
+    run_timing, run_timing_budgeted, run_timing_store_interned, run_timing_store_interned_budgeted,
+    Error, TimingResult,
 };
 
 /// One design-space sweep: a workload, an instruction limit, the grid
@@ -398,17 +398,21 @@ fn shard_delay() -> Option<Duration> {
     })
 }
 
-/// Times one cell, honouring the policy's per-cell deadline.
+/// Times one cell, honouring the policy's per-cell deadline. The trace
+/// path replays batched through the sweep-wide interned `meta` table, so
+/// every cell skips per-record static resolution.
 fn time_cell(
     program: &Program,
-    trace: Option<&TraceStore>,
+    trace: Option<(&TraceStore, &InstrMetaTable)>,
     config: &MachineConfig,
     limit: u64,
     deadline: Option<u64>,
 ) -> Result<TimingResult, Error> {
     match (trace, deadline) {
-        (Some(store), Some(cycles)) => run_timing_store_budgeted(program, store, config, cycles),
-        (Some(store), None) => run_timing_store(program, store, config),
+        (Some((store, meta)), Some(cycles)) => {
+            run_timing_store_interned_budgeted(program, store, meta, config, cycles)
+        }
+        (Some((store, meta)), None) => run_timing_store_interned(program, store, meta, config),
         (None, Some(cycles)) => run_timing_budgeted(program, config, limit, cycles),
         (None, None) => run_timing(program, config, limit),
     }
@@ -420,7 +424,7 @@ fn time_cell(
 /// final error plus the attempts made (≥ 1).
 fn supervise_cell(
     program: &Program,
-    trace: Option<&TraceStore>,
+    trace: Option<(&TraceStore, &InstrMetaTable)>,
     spec: &GridSpec,
     policy: &GridPolicy,
     injector: Option<&FaultInjector>,
@@ -548,6 +552,9 @@ pub fn run_grid_with(
         Err(e) => return Err(e),
     };
     let spilled_trace = trace.as_deref().is_some_and(|t| t.is_spilled());
+    // One interned static-resolution table for the whole sweep: every
+    // cell's batched replay indexes it instead of re-resolving per record.
+    let meta = cache.instr_meta(&spec.workload, program);
 
     let (journal, load) = Journal::open(journal_dir, spec)?;
     if !policy.keep_going && !load.quarantined.is_empty() {
@@ -609,7 +616,7 @@ pub fn run_grid_with(
                 perfclone_obs::instant!("grid.cell.start");
                 match supervise_cell(
                     program,
-                    trace.as_deref(),
+                    trace.as_deref().map(|t| (t, &*meta)),
                     spec,
                     policy,
                     injector,

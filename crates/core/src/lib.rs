@@ -78,6 +78,8 @@ pub use perfclone_validate::{
     ValidationReport, Verdict,
 };
 
+pub use perfclone_isa::{InstrMeta, InstrMetaTable};
+
 use perfclone_isa::Program;
 use perfclone_sim::Simulator;
 
@@ -248,15 +250,42 @@ pub fn run_timing_store(
     store: &TraceStore,
     config: &MachineConfig,
 ) -> Result<TimingResult, Error> {
+    let meta = InstrMetaTable::new(program);
+    run_timing_store_interned(program, store, &meta, config)
+}
+
+/// [`run_timing_store`] with a caller-supplied interned metadata table —
+/// the amortized entry point for sweeps, where the same `meta` (built
+/// once per program, e.g. via [`WorkloadCache::instr_meta`]) serves every
+/// configuration instead of being rebuilt per replay. Drives the batched
+/// SoA decode path ([`TraceStore::replay_batched`] →
+/// [`Pipeline::run_batched`]), which is property-tested bit-identical to
+/// the record-at-a-time oracle.
+///
+/// # Errors
+///
+/// As [`run_timing_store`].
+///
+/// # Panics
+///
+/// Panics if `program` is not the captured program or `meta` was built
+/// from a different program (see [`PackedTrace::replay_batched`]).
+pub fn run_timing_store_interned(
+    program: &Program,
+    store: &TraceStore,
+    meta: &InstrMetaTable,
+    config: &MachineConfig,
+) -> Result<TimingResult, Error> {
     let _span = perfclone_obs::span!("uarch.pipeline.run");
-    let mut replay = store.replay(program);
-    let report = Pipeline::new(*config).run(&mut replay);
+    let replay = store.replay_batched(program, meta);
+    let report = Pipeline::new(*config).run_batched(replay);
     if let Some(f) = store.fault() {
         return Err(Error::Sim(f.clone()));
     }
     perfclone_obs::count!("uarch.pipeline.runs", 1);
     perfclone_obs::count!("uarch.pipeline.instrs", report.instrs);
     perfclone_obs::count!("trace.replays", 1);
+    perfclone_obs::count!("replay.batch.runs", 1);
     let power = estimate_power(config, &report);
     Ok(TimingResult { report, power })
 }
@@ -280,15 +309,37 @@ pub fn run_timing_store_budgeted(
     config: &MachineConfig,
     max_cycles: u64,
 ) -> Result<TimingResult, Error> {
+    let meta = InstrMetaTable::new(program);
+    run_timing_store_interned_budgeted(program, store, &meta, config, max_cycles)
+}
+
+/// [`run_timing_store_interned`] with a pipeline cycle budget — the
+/// amortized form of [`run_timing_store_budgeted`].
+///
+/// # Errors
+///
+/// As [`run_timing_store_budgeted`].
+///
+/// # Panics
+///
+/// As [`run_timing_store_interned`].
+pub fn run_timing_store_interned_budgeted(
+    program: &Program,
+    store: &TraceStore,
+    meta: &InstrMetaTable,
+    config: &MachineConfig,
+    max_cycles: u64,
+) -> Result<TimingResult, Error> {
     let _span = perfclone_obs::span!("uarch.pipeline.run");
-    let mut replay = store.replay(program);
-    let report = Pipeline::new(*config).run_budgeted(&mut replay, max_cycles)?;
+    let replay = store.replay_batched(program, meta);
+    let report = Pipeline::new(*config).run_batched_budgeted(replay, max_cycles)?;
     if let Some(f) = store.fault() {
         return Err(Error::Sim(f.clone()));
     }
     perfclone_obs::count!("uarch.pipeline.runs", 1);
     perfclone_obs::count!("uarch.pipeline.instrs", report.instrs);
     perfclone_obs::count!("trace.replays", 1);
+    perfclone_obs::count!("replay.batch.runs", 1);
     let power = estimate_power(config, &report);
     Ok(TimingResult { report, power })
 }
@@ -315,14 +366,16 @@ pub fn run_timing_replay(
     config: &MachineConfig,
 ) -> Result<TimingResult, Error> {
     let _span = perfclone_obs::span!("uarch.pipeline.run");
-    let mut replay = trace.replay(program);
-    let report = Pipeline::new(*config).run(&mut replay);
+    let meta = InstrMetaTable::new(program);
+    let replay = trace.replay_batched(program, &meta);
+    let report = Pipeline::new(*config).run_batched(replay);
     if let Some(f) = trace.fault() {
         return Err(Error::Sim(f.clone()));
     }
     perfclone_obs::count!("uarch.pipeline.runs", 1);
     perfclone_obs::count!("uarch.pipeline.instrs", report.instrs);
     perfclone_obs::count!("trace.replays", 1);
+    perfclone_obs::count!("replay.batch.runs", 1);
     let power = estimate_power(config, &report);
     Ok(TimingResult { report, power })
 }
@@ -349,7 +402,10 @@ pub fn run_timing_trace(
     cache: &WorkloadCache,
 ) -> Result<TimingResult, Error> {
     match cache.packed_trace(workload, program, limit) {
-        Ok(store) => run_timing_store(program, &store, config),
+        Ok(store) => {
+            let meta = cache.instr_meta(workload, program);
+            run_timing_store_interned(program, &store, &meta, config)
+        }
         Err(e) if e.is_trace_fallback() => run_timing(program, config, limit),
         Err(e) => Err(e),
     }

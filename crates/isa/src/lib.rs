@@ -41,6 +41,7 @@ mod builder;
 mod disasm;
 mod encode;
 mod instr;
+mod meta;
 mod parse;
 mod program;
 mod reg;
@@ -49,6 +50,7 @@ pub use builder::{Label, ProgramBuilder};
 pub use disasm::{disasm, disasm_program};
 pub use encode::{decode_instr, decode_program, encode_instr, encode_program, DecodeError};
 pub use instr::{AluOp, Cond, FpOp, Instr, InstrClass, MemRef, MemWidth, OperandList, RegRef};
+pub use meta::{InstrMeta, InstrMetaTable};
 pub use parse::{parse_instr, ParseInstrError};
 pub use program::{DataSeg, Program, StreamDesc, StreamId, INSTR_BYTES};
 pub use reg::{FReg, Reg};

@@ -43,7 +43,7 @@ mod trace;
 pub use exec::{RunOutcome, SimError, Simulator};
 pub use faultfs::FaultFsPlan;
 pub use mem::Memory;
-pub use packed::{PackedRecorder, PackedReplay, PackedTrace};
+pub use packed::{BatchReplay, PackedRecorder, PackedReplay, PackedTrace, ReplayChunk, CHUNK_LEN};
 pub use spill::{reap_stray_spills, SpilledTrace, SpillingRecorder, TraceError, TraceStore};
 pub use state::ArchState;
 pub use trace::{CountingObserver, DynInstr, MemAccess, NullObserver, Observer, Trace};

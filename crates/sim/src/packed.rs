@@ -38,7 +38,7 @@
 //! [`PackedTrace::halted`] distinguishes a clean `halt` from a capture that
 //! stopped at its instruction limit.
 
-use perfclone_isa::{Instr, Program};
+use perfclone_isa::{Instr, InstrMeta, InstrMetaTable, Program};
 
 use crate::exec::{SimError, Simulator};
 use crate::trace::{DynInstr, MemAccess, Observer};
@@ -153,21 +153,57 @@ impl PackedTrace {
     /// (checked by name and text length) — replaying against different
     /// code would silently decode garbage.
     pub fn replay<'a>(&'a self, program: &'a Program) -> PackedReplay<'a> {
-        replay_parts(
-            TraceParts {
-                program_name: &self.program_name,
-                program_len: self.program_len,
-                start_pc: self.start_pc,
-                len: self.len,
-                redirect_bits: &self.redirect_bits,
-                taken_bits: &self.taken_bits,
-                targets: &self.targets,
-                mem_addrs: &self.mem_addrs,
-                mem_sizes: &self.mem_sizes,
-                fault: self.fault.as_ref(),
-            },
-            program,
-        )
+        replay_parts(self.parts(), program, None)
+    }
+
+    /// Like [`replay`](PackedTrace::replay), but resolves per-record static
+    /// questions (does this pc carry a memory access?) from an interned
+    /// [`InstrMetaTable`] instead of re-matching the instruction enum per
+    /// record. Decoded stream is identical; only the per-record cost drops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `program` does not match the capture, or if `meta` was not
+    /// built for `program` (checked by length).
+    pub fn replay_interned<'a>(
+        &'a self,
+        program: &'a Program,
+        meta: &'a InstrMetaTable,
+    ) -> PackedReplay<'a> {
+        assert_meta_matches(meta, program);
+        replay_parts(self.parts(), program, Some(meta.as_slice()))
+    }
+
+    /// A batched decoder over this trace: [`BatchReplay::fill`] decodes up
+    /// to [`CHUNK_LEN`] records at a time into a reusable [`ReplayChunk`]
+    /// using word-at-a-time scans of the redirect/taken bitsets. Yields the
+    /// exact record stream of [`replay`](PackedTrace::replay) (the
+    /// property-tested oracle), chunked.
+    ///
+    /// # Panics
+    ///
+    /// Same identity checks as [`replay_interned`](PackedTrace::replay_interned).
+    pub fn replay_batched<'a>(
+        &'a self,
+        program: &'a Program,
+        meta: &'a InstrMetaTable,
+    ) -> BatchReplay<'a> {
+        batch_replay_parts(self.parts(), program, meta)
+    }
+
+    fn parts(&self) -> TraceParts<'_> {
+        TraceParts {
+            program_name: &self.program_name,
+            program_len: self.program_len,
+            start_pc: self.start_pc,
+            len: self.len,
+            redirect_bits: &self.redirect_bits,
+            taken_bits: &self.taken_bits,
+            targets: &self.targets,
+            mem_addrs: &self.mem_addrs,
+            mem_sizes: &self.mem_sizes,
+            fault: self.fault.as_ref(),
+        }
     }
 }
 
@@ -188,9 +224,8 @@ pub(crate) struct TraceParts<'a> {
     pub fault: Option<&'a SimError>,
 }
 
-/// Builds the replay iterator for a raw trace encoding, asserting the
-/// program identity (name and text length) matches the capture.
-pub(crate) fn replay_parts<'a>(parts: TraceParts<'a>, program: &'a Program) -> PackedReplay<'a> {
+/// Asserts the program identity (name and text length) matches the capture.
+fn assert_program_matches(parts: &TraceParts<'_>, program: &Program) {
     assert!(
         program.name() == parts.program_name && program.len() == parts.program_len,
         "packed trace of {:?} ({} instrs) replayed against {:?} ({} instrs)",
@@ -199,6 +234,28 @@ pub(crate) fn replay_parts<'a>(parts: TraceParts<'a>, program: &'a Program) -> P
         program.name(),
         program.len(),
     );
+}
+
+/// Asserts an interned metadata table was built for `program`.
+fn assert_meta_matches(meta: &InstrMetaTable, program: &Program) {
+    assert!(
+        meta.len() == program.len(),
+        "interned metadata of {} instrs replayed against {:?} ({} instrs)",
+        meta.len(),
+        program.name(),
+        program.len(),
+    );
+}
+
+/// Builds the replay iterator for a raw trace encoding, asserting the
+/// program identity (name and text length) matches the capture. With
+/// `meta`, per-record static questions come from the interned table.
+pub(crate) fn replay_parts<'a>(
+    parts: TraceParts<'a>,
+    program: &'a Program,
+    meta: Option<&'a [InstrMeta]>,
+) -> PackedReplay<'a> {
+    assert_program_matches(&parts, program);
     PackedReplay {
         len: parts.len,
         redirect_bits: parts.redirect_bits,
@@ -208,6 +265,32 @@ pub(crate) fn replay_parts<'a>(parts: TraceParts<'a>, program: &'a Program) -> P
         mem_sizes: parts.mem_sizes,
         fault: parts.fault,
         code: program.instrs(),
+        meta,
+        idx: 0,
+        pc: parts.start_pc,
+        target_cursor: 0,
+        mem_cursor: 0,
+    }
+}
+
+/// Builds the batched decoder for a raw trace encoding, asserting both the
+/// program identity and that `meta` was interned for that program.
+pub(crate) fn batch_replay_parts<'a>(
+    parts: TraceParts<'a>,
+    program: &'a Program,
+    meta: &'a InstrMetaTable,
+) -> BatchReplay<'a> {
+    assert_program_matches(&parts, program);
+    assert_meta_matches(meta, program);
+    BatchReplay {
+        len: parts.len,
+        redirect_bits: parts.redirect_bits,
+        taken_bits: parts.taken_bits,
+        targets: parts.targets,
+        mem_addrs: parts.mem_addrs,
+        mem_sizes: parts.mem_sizes,
+        fault: parts.fault,
+        meta: meta.as_slice(),
         idx: 0,
         pc: parts.start_pc,
         target_cursor: 0,
@@ -336,6 +419,9 @@ pub struct PackedReplay<'a> {
     mem_sizes: &'a [u8],
     fault: Option<&'a SimError>,
     code: &'a [Instr],
+    /// Interned per-pc metadata (from [`PackedTrace::replay_interned`]);
+    /// `None` falls back to per-record enum inspection.
+    meta: Option<&'a [InstrMeta]>,
     idx: u64,
     pc: u32,
     target_cursor: usize,
@@ -372,7 +458,11 @@ impl Iterator for PackedReplay<'_> {
         };
         // The program decides whether this record carries a memory access;
         // the SoA arrays only hold the dynamic half (address, size, store).
-        let mem = if instr.mem_ref().is_some() {
+        let has_mem = match self.meta {
+            Some(metas) => metas[pc as usize].has_mem,
+            None => instr.mem_ref().is_some(),
+        };
+        let mem = if has_mem {
             let addr = self.mem_addrs[self.mem_cursor];
             let sz = self.mem_sizes[self.mem_cursor];
             self.mem_cursor += 1;
@@ -388,6 +478,234 @@ impl Iterator for PackedReplay<'_> {
     fn size_hint(&self) -> (usize, Option<usize>) {
         let left = usize::try_from(self.len - self.idx).unwrap_or(usize::MAX);
         (left, Some(left))
+    }
+}
+
+/// Records per [`ReplayChunk`]: 256 keeps the chunk's SoA arrays (~4.6 KiB)
+/// L1-resident while amortizing refill overhead, and is a multiple of 64 so
+/// chunk boundaries align with bitset words.
+pub const CHUNK_LEN: usize = 256;
+
+/// A reusable structure-of-arrays batch of decoded trace records, filled by
+/// [`BatchReplay::fill`]. Consumers index the parallel arrays directly
+/// instead of materializing one [`DynInstr`] per record; the static
+/// instruction is recovered from `pcs[i]` via the program text or an
+/// interned [`InstrMetaTable`].
+///
+/// `mem_sizes[i] == 0` means record `i` carries no memory access (real
+/// accesses are 1/4/8 bytes, with the store flag in bit 7, so 0 is free as
+/// a sentinel); `mem_addrs[i]` is only meaningful when `mem_sizes[i] != 0`.
+#[derive(Clone, Debug)]
+pub struct ReplayChunk {
+    len: usize,
+    pcs: [u32; CHUNK_LEN],
+    next_pcs: [u32; CHUNK_LEN],
+    taken: [bool; CHUNK_LEN],
+    mem_addrs: [u64; CHUNK_LEN],
+    mem_sizes: [u8; CHUNK_LEN],
+}
+
+impl Default for ReplayChunk {
+    fn default() -> ReplayChunk {
+        ReplayChunk::new()
+    }
+}
+
+impl ReplayChunk {
+    /// An empty chunk, ready to be passed to [`BatchReplay::fill`].
+    pub fn new() -> ReplayChunk {
+        ReplayChunk {
+            len: 0,
+            pcs: [0; CHUNK_LEN],
+            next_pcs: [0; CHUNK_LEN],
+            taken: [false; CHUNK_LEN],
+            mem_addrs: [0; CHUNK_LEN],
+            mem_sizes: [0; CHUNK_LEN],
+        }
+    }
+
+    /// Number of decoded records in the chunk (0 once the stream is drained).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the last fill decoded nothing.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// pc of record `i`.
+    #[inline]
+    pub fn pc(&self, i: usize) -> u32 {
+        self.pcs[i]
+    }
+
+    /// next_pc of record `i`.
+    #[inline]
+    pub fn next_pc(&self, i: usize) -> u32 {
+        self.next_pcs[i]
+    }
+
+    /// Taken-conditional-branch flag of record `i`.
+    #[inline]
+    pub fn taken(&self, i: usize) -> bool {
+        self.taken[i]
+    }
+
+    /// Memory access of record `i`, if it carries one.
+    #[inline]
+    pub fn mem(&self, i: usize) -> Option<MemAccess> {
+        let sz = self.mem_sizes[i];
+        (sz != 0).then(|| MemAccess {
+            addr: self.mem_addrs[i],
+            bytes: sz & 0x7f,
+            is_store: sz & 0x80 != 0,
+        })
+    }
+
+    /// Reassembles record `i` as a [`DynInstr`], resolving the static
+    /// instruction from `code` — the bridge back to the record-at-a-time
+    /// currency, used by the batched-vs-oracle equivalence tests.
+    pub fn record(&self, i: usize, code: &[Instr]) -> DynInstr {
+        assert!(i < self.len, "record {i} out of chunk (len {})", self.len);
+        let pc = self.pcs[i];
+        DynInstr {
+            pc,
+            instr: code[pc as usize],
+            next_pc: self.next_pcs[i],
+            taken: self.taken[i],
+            mem: self.mem(i),
+        }
+    }
+
+    /// Iterates the chunk's records as [`DynInstr`]s (test/oracle bridge).
+    pub fn records<'a>(&'a self, code: &'a [Instr]) -> impl Iterator<Item = DynInstr> + 'a {
+        (0..self.len).map(move |i| self.record(i, code))
+    }
+}
+
+/// Batched decoder over a packed trace: each [`fill`](BatchReplay::fill)
+/// decodes up to [`CHUNK_LEN`] records into a caller-owned [`ReplayChunk`].
+///
+/// Unlike [`PackedReplay`]'s per-record probing, the decoder loads each
+/// 64-record redirect/taken bitset word once and walks runs of fall-through
+/// records with `u64::trailing_zeros` — within a run, `next_pc` is just
+/// `pc + 1` and no varint is decoded. Per-pc static questions come from the
+/// interned [`InstrMetaTable`] rather than instruction-enum matching.
+///
+/// Fault/halted state carries through chunk boundaries exactly as in the
+/// record-at-a-time path: the decoder stops after the last cleanly retired
+/// record (wherever that falls relative to a chunk edge) and
+/// [`fault`](BatchReplay::fault) names what stopped the capture.
+#[derive(Clone, Debug)]
+pub struct BatchReplay<'a> {
+    len: u64,
+    redirect_bits: &'a [u64],
+    taken_bits: &'a [u64],
+    targets: &'a [u8],
+    mem_addrs: &'a [u64],
+    mem_sizes: &'a [u8],
+    fault: Option<&'a SimError>,
+    meta: &'a [InstrMeta],
+    idx: u64,
+    pc: u32,
+    target_cursor: usize,
+    mem_cursor: usize,
+}
+
+impl<'a> BatchReplay<'a> {
+    /// Decodes the next batch of records into `chunk`, returning how many
+    /// were decoded (0 once the stream is drained). The chunk is fully
+    /// overwritten up to the returned length; earlier contents past it are
+    /// stale.
+    pub fn fill(&mut self, chunk: &mut ReplayChunk) -> usize {
+        let metas = self.meta;
+        let mut slot = 0usize;
+        let mut pc = self.pc;
+        while slot < CHUNK_LEN && self.idx < self.len {
+            // One bitset word covers 64 records; clamp the span to the
+            // stream end and the space left in the chunk, then scan the
+            // word instead of probing bit-by-bit.
+            let word = (self.idx / 64) as usize;
+            let off = (self.idx % 64) as u32;
+            let span = (64 - u64::from(off)).min(self.len - self.idx).min((CHUNK_LEN - slot) as u64)
+                as u32;
+            let rword = self.redirect_bits[word] >> off;
+            let tword = self.taken_bits[word] >> off;
+            let mut i = 0u32;
+            while i < span {
+                // trailing_zeros finds the entire run of fall-through
+                // records at once; within it pc just increments.
+                let run = (rword >> i).trailing_zeros().min(span - i);
+                for j in i..i + run {
+                    chunk.pcs[slot] = pc;
+                    chunk.taken[slot] = (tword >> j) & 1 != 0;
+                    chunk.mem_sizes[slot] = if metas[pc as usize].has_mem {
+                        chunk.mem_addrs[slot] = self.mem_addrs[self.mem_cursor];
+                        let sz = self.mem_sizes[self.mem_cursor];
+                        self.mem_cursor += 1;
+                        sz
+                    } else {
+                        0
+                    };
+                    pc = pc.wrapping_add(1);
+                    chunk.next_pcs[slot] = pc;
+                    slot += 1;
+                }
+                i += run;
+                if i < span {
+                    // Redirected record: the only place a varint is decoded.
+                    chunk.pcs[slot] = pc;
+                    chunk.taken[slot] = (tword >> i) & 1 != 0;
+                    chunk.mem_sizes[slot] = if metas[pc as usize].has_mem {
+                        chunk.mem_addrs[slot] = self.mem_addrs[self.mem_cursor];
+                        let sz = self.mem_sizes[self.mem_cursor];
+                        self.mem_cursor += 1;
+                        sz
+                    } else {
+                        0
+                    };
+                    let delta = decode_zigzag(self.targets, &mut self.target_cursor);
+                    pc = i64::from(pc).wrapping_add(delta) as u32;
+                    chunk.next_pcs[slot] = pc;
+                    slot += 1;
+                    i += 1;
+                }
+            }
+            self.idx += u64::from(span);
+        }
+        self.pc = pc;
+        chunk.len = slot;
+        slot
+    }
+
+    /// Total records in the stream.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// `true` when the stream holds no records at all.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Records not yet decoded into a chunk.
+    pub fn remaining(&self) -> u64 {
+        self.len - self.idx
+    }
+
+    /// The fault recorded at capture time, if any — surfaced after the
+    /// last chunk drains, mirroring [`PackedReplay::fault`].
+    pub fn fault(&self) -> Option<&SimError> {
+        self.fault
+    }
+
+    /// The interned per-pc metadata this decoder resolves against.
+    #[inline]
+    pub fn meta(&self) -> &'a [InstrMeta] {
+        self.meta
     }
 }
 
@@ -578,6 +896,75 @@ mod tests {
         b.halt();
         let other = b.build();
         let _ = packed.replay(&other).count();
+    }
+
+    /// Drains `packed` through the batched decoder, reassembling
+    /// [`DynInstr`]s, and checks the stream (and fault) against the
+    /// record-at-a-time oracle — both plain and interned.
+    fn assert_batched_equals_oracle(p: &perfclone_isa::Program, limit: u64) {
+        let packed = PackedTrace::capture(p, limit);
+        let meta = InstrMetaTable::new(p);
+        let oracle: Vec<DynInstr> = packed.replay(p).collect();
+        let interned: Vec<DynInstr> = packed.replay_interned(p, &meta).collect();
+        assert_eq!(oracle, interned, "interned oracle diverged at limit {limit}");
+        let mut batched = packed.replay_batched(p, &meta);
+        let mut chunk = ReplayChunk::new();
+        let mut out = Vec::new();
+        while batched.fill(&mut chunk) > 0 {
+            out.extend(chunk.records(p.instrs()));
+        }
+        assert_eq!(oracle, out, "batched decode diverged at limit {limit}");
+        assert_eq!(batched.remaining(), 0);
+        assert_eq!(batched.fault(), packed.fault());
+        assert_eq!(batched.fill(&mut chunk), 0, "drained decoder must stay drained");
+    }
+
+    #[test]
+    fn batched_decode_matches_oracle_across_limits() {
+        let p = busy_program();
+        // Limits straddle bitset-word (64) and chunk (256) boundaries.
+        for limit in [0, 1, 7, 63, 64, 65, 255, 256, 257, 511, 512, 1_000, u64::MAX] {
+            assert_batched_equals_oracle(&p, limit);
+        }
+    }
+
+    #[test]
+    fn batched_decode_carries_fault_across_chunk_boundary() {
+        // A program that falls off its own end after exactly CHUNK_LEN
+        // retired records: the fault lands precisely on a chunk boundary.
+        let mut b = ProgramBuilder::new("edge");
+        for _ in 0..CHUNK_LEN {
+            b.nop();
+        }
+        let p = b.build();
+        let packed = PackedTrace::capture(&p, u64::MAX);
+        assert_eq!(packed.len(), CHUNK_LEN as u64);
+        assert!(packed.fault().is_some());
+        assert_batched_equals_oracle(&p, u64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "replayed against")]
+    fn batched_replay_against_wrong_program_panics() {
+        let p = busy_program();
+        let packed = PackedTrace::capture(&p, 100);
+        let mut b = ProgramBuilder::new("other");
+        b.halt();
+        let other = b.build();
+        let meta = InstrMetaTable::new(&other);
+        let _ = packed.replay_batched(&other, &meta);
+    }
+
+    #[test]
+    #[should_panic(expected = "interned metadata")]
+    fn batched_replay_with_mismatched_meta_panics() {
+        let p = busy_program();
+        let packed = PackedTrace::capture(&p, 100);
+        let mut b = ProgramBuilder::new("other");
+        b.halt();
+        let other = b.build();
+        let wrong_meta = InstrMetaTable::new(&other);
+        let _ = packed.replay_batched(&p, &wrong_meta);
     }
 
     #[test]

@@ -53,11 +53,14 @@ use std::fs::{self, File};
 use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
-use perfclone_isa::Program;
+use perfclone_isa::{InstrMetaTable, Program};
 
 use crate::exec::SimError;
 use crate::faultfs;
-use crate::packed::{replay_parts, PackedRecorder, PackedReplay, PackedTrace, TraceParts};
+use crate::packed::{
+    batch_replay_parts, replay_parts, BatchReplay, PackedRecorder, PackedReplay, PackedTrace,
+    TraceParts,
+};
 use crate::trace::DynInstr;
 
 /// Magic bytes opening every spill file.
@@ -811,21 +814,52 @@ impl SpilledTrace {
     /// (checked by name and text length), exactly like
     /// [`PackedTrace::replay`].
     pub fn replay<'a>(&'a self, program: &'a Program) -> PackedReplay<'a> {
-        replay_parts(
-            TraceParts {
-                program_name: &self.program_name,
-                program_len: self.program_len,
-                start_pc: self.start_pc,
-                len: self.len,
-                redirect_bits: self.redirect_bits(),
-                taken_bits: self.taken_bits(),
-                targets: self.targets(),
-                mem_addrs: self.mem_addrs(),
-                mem_sizes: self.mem_sizes(),
-                fault: self.fault.as_ref(),
-            },
-            program,
-        )
+        replay_parts(self.parts(), program, None)
+    }
+
+    /// Like [`replay`](SpilledTrace::replay), but resolving per-record
+    /// static questions from an interned [`InstrMetaTable`] — the spilled
+    /// analogue of [`PackedTrace::replay_interned`].
+    pub fn replay_interned<'a>(
+        &'a self,
+        program: &'a Program,
+        meta: &'a InstrMetaTable,
+    ) -> PackedReplay<'a> {
+        assert!(
+            meta.len() == program.len(),
+            "interned metadata of {} instrs replayed against {:?} ({} instrs)",
+            meta.len(),
+            program.name(),
+            program.len(),
+        );
+        replay_parts(self.parts(), program, Some(meta.as_slice()))
+    }
+
+    /// Batched decoder over the memory-mapped encoding — the spilled
+    /// analogue of [`PackedTrace::replay_batched`]. Both backings feed the
+    /// same raw slices to the same decoder, so batched replay of a spilled
+    /// trace is equivalent by construction.
+    pub fn replay_batched<'a>(
+        &'a self,
+        program: &'a Program,
+        meta: &'a InstrMetaTable,
+    ) -> BatchReplay<'a> {
+        batch_replay_parts(self.parts(), program, meta)
+    }
+
+    fn parts(&self) -> TraceParts<'_> {
+        TraceParts {
+            program_name: &self.program_name,
+            program_len: self.program_len,
+            start_pc: self.start_pc,
+            len: self.len,
+            redirect_bits: self.redirect_bits(),
+            taken_bits: self.taken_bits(),
+            targets: self.targets(),
+            mem_addrs: self.mem_addrs(),
+            mem_sizes: self.mem_sizes(),
+            fault: self.fault.as_ref(),
+        }
     }
 }
 
@@ -919,6 +953,34 @@ impl TraceStore {
         match self {
             TraceStore::Mem(t) => t.replay(program),
             TraceStore::Spilled(t) => t.replay(program),
+        }
+    }
+
+    /// Record-at-a-time replay with interned per-pc metadata — dispatches
+    /// to [`PackedTrace::replay_interned`] or
+    /// [`SpilledTrace::replay_interned`].
+    pub fn replay_interned<'a>(
+        &'a self,
+        program: &'a Program,
+        meta: &'a InstrMetaTable,
+    ) -> PackedReplay<'a> {
+        match self {
+            TraceStore::Mem(t) => t.replay_interned(program, meta),
+            TraceStore::Spilled(t) => t.replay_interned(program, meta),
+        }
+    }
+
+    /// Batched decoder over the recorded stream — dispatches to
+    /// [`PackedTrace::replay_batched`] or [`SpilledTrace::replay_batched`],
+    /// so in-memory and spilled traces batch-decode identically.
+    pub fn replay_batched<'a>(
+        &'a self,
+        program: &'a Program,
+        meta: &'a InstrMetaTable,
+    ) -> BatchReplay<'a> {
+        match self {
+            TraceStore::Mem(t) => t.replay_batched(program, meta),
+            TraceStore::Spilled(t) => t.replay_batched(program, meta),
         }
     }
 }
@@ -1292,6 +1354,30 @@ mod tests {
         let mapped: Vec<DynInstr> = spilled.replay(&p).collect();
         assert_eq!(direct, mapped);
         assert!(spilled.is_mapped(), "unix CI should serve spills via mmap");
+        drop(spilled);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn spilled_batched_decode_matches_in_memory_oracle() {
+        let p = busy_program();
+        let meta = InstrMetaTable::new(&p);
+        let packed = PackedTrace::capture(&p, u64::MAX);
+        let dir = tmp_dir("batched");
+        let path = dir.join("busy.spill");
+        packed.spill_to(&path).unwrap();
+        let spilled = SpilledTrace::open(&path).unwrap();
+        let oracle: Vec<DynInstr> = packed.replay(&p).collect();
+        let interned: Vec<DynInstr> = spilled.replay_interned(&p, &meta).collect();
+        assert_eq!(oracle, interned);
+        let mut batched = spilled.replay_batched(&p, &meta);
+        let mut chunk = crate::ReplayChunk::new();
+        let mut out = Vec::new();
+        while batched.fill(&mut chunk) > 0 {
+            out.extend(chunk.records(p.instrs()));
+        }
+        assert_eq!(oracle, out, "mmap-backed batched decode must match");
+        assert_eq!(batched.fault(), packed.fault());
         drop(spilled);
         fs::remove_dir_all(&dir).unwrap();
     }

@@ -264,9 +264,14 @@ pub fn synth_trace(
     // Statistical traces stay as full `DynInstr` records: the block bodies
     // are RNG-shuffled per dynamic execution, so the same pc maps to
     // different instructions across visits and the pc→instr indirection a
-    // `PackedTrace` relies on does not hold. Memoization (the `statsim`
-    // cache memo) is the sharing mechanism here; this gauge makes the
-    // resident cost visible next to `trace.bytes` in run reports.
+    // `PackedTrace` (and the flat pc-indexed `InstrMetaTable` the batched
+    // replay interns) relies on does not hold. These records still share
+    // the interned static resolution: the pipeline's iterator front end
+    // derives the same `InstrMeta::of` per record that the batched path
+    // reads from the table, so both feeds are bit-identical currencies.
+    // Memoization (the `statsim` cache memo) is the sharing mechanism
+    // here; this gauge makes the resident cost visible next to
+    // `trace.bytes` in run reports.
     perfclone_obs::gauge!(
         "statsim.trace.bytes",
         (out.len() * core::mem::size_of::<DynInstr>()) as u64

@@ -6,10 +6,10 @@
 //! fidelity gate's replay path must return the identical report.
 
 use perfclone::experiments::{design_change_sweep, design_change_sweep_par};
-use perfclone_isa::{MemWidth, Program, ProgramBuilder, Reg, StreamDesc};
+use perfclone_isa::{InstrMetaTable, MemWidth, Program, ProgramBuilder, Reg, StreamDesc};
 use perfclone_kernels::{by_name, Scale};
 use perfclone_repro::prelude::*;
-use perfclone_sim::Simulator;
+use perfclone_sim::{ReplayChunk, Simulator, CHUNK_LEN};
 use proptest::prelude::*;
 
 fn susan_tiny() -> Program {
@@ -91,6 +91,110 @@ proptest! {
         prop_assert_eq!(itrace.fault(), packed.fault());
         prop_assert_eq!(replay.fault(), packed.fault());
     }
+
+    /// The batched SoA decoder and the interned record-at-a-time replay
+    /// both reproduce the plain record-at-a-time oracle record for record
+    /// — every `DynInstr` field — and carry the same fault, for random
+    /// programs (halting and faulting) across capture limits straddling
+    /// the word (64) and chunk (256) boundaries.
+    #[test]
+    fn batched_decode_matches_oracle_record_for_record(
+        ops in proptest::collection::vec(any::<u8>(), 1..160),
+        halt in any::<bool>(),
+        limit in prop_oneof![
+            Just(u64::MAX),
+            1u64..400,
+            (CHUNK_LEN as u64 - 2)..(CHUNK_LEN as u64 + 2),
+        ],
+    ) {
+        let p = random_program(&ops, halt);
+        let packed = PackedTrace::capture(&p, limit);
+        let meta = InstrMetaTable::new(&p);
+        let mut oracle = packed.replay(&p);
+        let mut interned = packed.replay_interned(&p, &meta);
+        let mut batched = packed.replay_batched(&p, &meta);
+        let mut chunk = ReplayChunk::new();
+        loop {
+            let n = batched.fill(&mut chunk);
+            if n == 0 {
+                break;
+            }
+            for rec in chunk.records(p.instrs()) {
+                prop_assert_eq!(oracle.next(), Some(rec));
+                prop_assert_eq!(interned.next(), Some(rec));
+            }
+        }
+        prop_assert_eq!(oracle.next(), None, "batched decode must not end early");
+        prop_assert_eq!(interned.next(), None);
+        prop_assert_eq!(batched.fault(), packed.fault());
+    }
+}
+
+/// A halt or fault landing exactly on (or either side of) a chunk
+/// boundary decodes identically through the batched path — the
+/// carry-through case where a chunk fills completely and the stream's
+/// terminal state must survive into the next (empty) `fill`.
+#[test]
+fn chunk_boundary_halt_and_fault_match_oracle() {
+    for extra in [CHUNK_LEN - 2, CHUNK_LEN - 1, CHUNK_LEN, CHUNK_LEN + 1] {
+        for halt in [true, false] {
+            let mut b = ProgramBuilder::new("edge");
+            for _ in 0..extra {
+                b.nop();
+            }
+            if halt {
+                b.halt();
+            }
+            let p = b.build();
+            let packed = PackedTrace::capture(&p, u64::MAX);
+            let meta = InstrMetaTable::new(&p);
+            let mut oracle = packed.replay(&p);
+            let mut batched = packed.replay_batched(&p, &meta);
+            let mut chunk = ReplayChunk::new();
+            loop {
+                let n = batched.fill(&mut chunk);
+                if n == 0 {
+                    break;
+                }
+                for rec in chunk.records(p.instrs()) {
+                    assert_eq!(oracle.next(), Some(rec), "{extra} nops, halt={halt}");
+                }
+            }
+            assert_eq!(oracle.next(), None, "{extra} nops, halt={halt}: early end");
+            assert_eq!(batched.fault(), packed.fault());
+            assert_eq!(packed.fault().is_some(), !halt, "missing halt must fault");
+        }
+    }
+}
+
+/// A spilled (mmapped) trace forced over a tiny byte cap — the
+/// programmatic form of the `PERFCLONE_TRACE_CAP` forcing CI uses —
+/// decodes batched exactly as the in-memory record-at-a-time oracle.
+#[test]
+fn spilled_batched_decode_matches_in_memory_oracle() {
+    let program = susan_tiny();
+    let limit = 20_000;
+    let cache = WorkloadCache::new();
+    let store = cache
+        .packed_trace_capped("susan-tiny", &program, limit, 1024)
+        .expect("a 1 KiB cap must force a spill, not fail");
+    assert!(store.is_spilled(), "batched decode must be exercised over the mmap");
+    let meta = InstrMetaTable::new(&program);
+    let packed = PackedTrace::capture(&program, limit);
+    let mut oracle = packed.replay(&program);
+    let mut batched = store.replay_batched(&program, &meta);
+    let mut chunk = ReplayChunk::new();
+    loop {
+        let n = batched.fill(&mut chunk);
+        if n == 0 {
+            break;
+        }
+        for rec in chunk.records(program.instrs()) {
+            assert_eq!(oracle.next(), Some(rec));
+        }
+    }
+    assert_eq!(oracle.next(), None, "spilled batched decode must not end early");
+    assert_eq!(batched.fault(), packed.fault());
 }
 
 /// `run_timing_trace` (one capture through the shared cache, replayed per
@@ -125,7 +229,9 @@ fn run_timing_trace_is_bit_identical_across_configs() {
 }
 
 /// The parallel design sweep (which fans replay cells across rayon
-/// workers) returns bit-identical results for 1 and 4 worker threads.
+/// workers) returns bit-identical results for 1, 4, and 8 worker
+/// threads — the batched replay path shares one interned metadata table
+/// across the pool, so the table must be position-independent too.
 #[test]
 fn parallel_sweep_replay_is_thread_count_invariant() {
     let program = susan_tiny();
@@ -138,7 +244,7 @@ fn parallel_sweep_replay_is_thread_count_invariant() {
             )
         };
     let serial = design_change_sweep(&program, &clone, &base, u64::MAX).expect("sweep");
-    for par in [run(1), run(4)] {
+    for par in [run(1), run(4), run(8)] {
         assert_eq!(serial.base_real.report, par.base_real.report);
         assert_eq!(serial.base_synth.report, par.base_synth.report);
         assert_eq!(serial.changes.len(), par.changes.len());
